@@ -1,0 +1,93 @@
+// Micro-benchmark M2 — text-analysis throughput (the stage upstream of
+// the monitoring server: tokenization, stopword filtering, optional
+// stemming, interning, weighting). Useful for sizing a deployment: the
+// paper's 200 docs/s arrival rate must clear this stage first.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "text/analyzer.h"
+#include "text/porter_stemmer.h"
+#include "text/tokenizer.h"
+
+namespace ita {
+namespace {
+
+// Builds a deterministic pseudo-English document of ~`words` words.
+std::string SyntheticText(std::size_t words, Rng* rng) {
+  static const char* kVocabulary[] = {
+      "market",   "report",   "analyst",  "company", "quarter",  "earnings",
+      "the",      "of",       "and",      "with",    "announce", "product",
+      "security", "monitor",  "stream",   "query",   "index",    "threshold",
+      "weapons",  "tracking", "industry", "news",    "price",    "energy",
+      "develop",  "research", "system",   "data",    "growth",   "billion"};
+  std::string text;
+  text.reserve(words * 8);
+  for (std::size_t i = 0; i < words; ++i) {
+    text += kVocabulary[rng->UniformInt(0, 29)];
+    text += (i % 12 == 11) ? ". " : " ";
+  }
+  return text;
+}
+
+void BM_Tokenize(benchmark::State& state) {
+  Rng rng(1);
+  const std::string text = SyntheticText(400, &rng);
+  Tokenizer tokenizer;
+  for (auto _ : state) {
+    std::size_t tokens = 0;
+    tokenizer.ForEachToken(text, [&](std::string_view) { ++tokens; });
+    benchmark::DoNotOptimize(tokens);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * text.size()));
+}
+BENCHMARK(BM_Tokenize);
+
+void BM_PorterStem(benchmark::State& state) {
+  const std::vector<std::string> words = {
+      "generalizations", "monitoring", "continuous", "queries",
+      "relational",      "hopefulness", "destruction", "tracking"};
+  std::size_t i = 0;
+  for (auto _ : state) {
+    std::string w = words[i++ % words.size()];
+    PorterStemmer::StemInPlace(&w);
+    benchmark::DoNotOptimize(w);
+  }
+}
+BENCHMARK(BM_PorterStem);
+
+void BM_AnalyzeDocument(benchmark::State& state) {
+  const bool stem = state.range(0) == 1;
+  Rng rng(2);
+  std::vector<std::string> texts;
+  for (int i = 0; i < 64; ++i) texts.push_back(SyntheticText(400, &rng));
+  AnalyzerOptions opts;
+  opts.stem = stem;
+  opts.keep_text = false;
+  Analyzer analyzer(opts);
+  std::size_t i = 0;
+  Timestamp t = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyzer.MakeDocument(texts[i++ % texts.size()], ++t));
+  }
+  state.SetLabel(stem ? "stemming:on" : "stemming:off");
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AnalyzeDocument)->Arg(0)->Arg(1);
+
+void BM_MakeQuery(benchmark::State& state) {
+  Analyzer analyzer;
+  for (auto _ : state) {
+    auto q = analyzer.MakeQuery("weapons of mass destruction threat report", 10);
+    benchmark::DoNotOptimize(q);
+  }
+}
+BENCHMARK(BM_MakeQuery);
+
+}  // namespace
+}  // namespace ita
+
+BENCHMARK_MAIN();

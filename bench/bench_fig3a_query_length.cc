@@ -1,0 +1,56 @@
+// Figure 3(a) — "Sensitivity to query length".
+//
+// Paper setup: window N = 1,000 documents; 1,000 queries; k = 10; query
+// length n swept from 4 to 40 terms; metric = average processing time per
+// arrival event (ms, log scale). Paper result: both methods grow with n;
+// ITA ~10x faster at n = 4, ~6x at n = 40.
+//
+// Each benchmark iteration is one stream event (arrival + forced expiry).
+// Series: BM_Fig3a/{ita,naive}/n:{4,10,20,30,40}.
+
+#include <benchmark/benchmark.h>
+
+#include "harness/report.h"
+#include "harness/stream_bench.h"
+
+namespace ita {
+namespace bench {
+namespace {
+
+StreamWorkload Fig3aWorkload(int n_terms) {
+  StreamWorkload w;
+  w.window = 1'000;
+  w.n_queries = 1'000;
+  w.k = 10;
+  w.terms_per_query = static_cast<std::size_t>(n_terms);
+  return w;
+}
+
+void BM_Fig3a(benchmark::State& state, StreamBench::Strategy strategy) {
+  StreamBench& fixture =
+      StreamBench::Cached(strategy, Fig3aWorkload(static_cast<int>(state.range(0))));
+  const ServerStats before = fixture.server().stats();
+  for (auto _ : state) {
+    fixture.Step();
+  }
+  AttachCounters(state, before, fixture.server());
+}
+
+void Ita(benchmark::State& state) { BM_Fig3a(state, StreamBench::Strategy::kIta); }
+void Naive(benchmark::State& state) { BM_Fig3a(state, StreamBench::Strategy::kNaive); }
+
+BENCHMARK(Ita)
+    ->Name("BM_Fig3a/ita/n")
+    ->Arg(4)->Arg(10)->Arg(20)->Arg(30)->Arg(40)
+    ->MinTime(1.0)->Unit(benchmark::kMillisecond);
+
+BENCHMARK(Naive)
+    ->Name("BM_Fig3a/naive/n")
+    ->Arg(4)->Arg(10)->Arg(20)->Arg(30)->Arg(40)
+    ->MinTime(1.0)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace ita
+
+BENCHMARK_MAIN();

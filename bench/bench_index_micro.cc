@@ -1,0 +1,118 @@
+// Micro-benchmark M1 — the data-structure operations ITA's event handling
+// is built from: skip-list-backed inverted-list insert/erase, boundary
+// searches, threshold-tree probes, result-set maintenance and similarity
+// scoring.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/random.h"
+#include "core/query.h"
+#include "core/result_set.h"
+#include "core/threshold_tree.h"
+#include "index/inverted_list.h"
+
+namespace ita {
+namespace {
+
+void BM_InvertedListInsertErase(benchmark::State& state) {
+  const std::size_t size = static_cast<std::size_t>(state.range(0));
+  InvertedList list;
+  Rng rng(1);
+  std::vector<std::pair<DocId, double>> resident;
+  resident.reserve(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    const double w = rng.NextDouble();
+    list.Insert(i + 1, w);
+    resident.emplace_back(i + 1, w);
+  }
+  DocId next = size + 1;
+  std::size_t victim = 0;
+  for (auto _ : state) {
+    // Steady-state churn: one insert + one erase, like a sliding window.
+    const double w = rng.NextDouble();
+    benchmark::DoNotOptimize(list.Insert(next, w));
+    auto& old = resident[victim];
+    benchmark::DoNotOptimize(list.Erase(old.first, old.second));
+    old = {next, w};
+    ++next;
+    victim = (victim + 1) % resident.size();
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_InvertedListInsertErase)->Arg(1'000)->Arg(10'000)->Arg(100'000);
+
+void BM_InvertedListBoundarySearch(benchmark::State& state) {
+  const std::size_t size = static_cast<std::size_t>(state.range(0));
+  InvertedList list;
+  Rng rng(2);
+  for (std::size_t i = 0; i < size; ++i) list.Insert(i + 1, rng.NextDouble());
+  for (auto _ : state) {
+    const double theta = rng.NextDouble();
+    benchmark::DoNotOptimize(list.FirstBelow(theta));
+    benchmark::DoNotOptimize(list.NextWeightAbove(theta));
+  }
+}
+BENCHMARK(BM_InvertedListBoundarySearch)->Arg(1'000)->Arg(100'000);
+
+void BM_ThresholdTreeProbe(benchmark::State& state) {
+  const std::size_t queries = static_cast<std::size_t>(state.range(0));
+  const double hit_fraction = static_cast<double>(state.range(1)) / 100.0;
+  ThresholdTree tree;
+  Rng rng(3);
+  for (QueryId q = 1; q <= queries; ++q) {
+    tree.Insert(rng.NextDouble(), q);
+  }
+  std::size_t sink = 0;
+  for (auto _ : state) {
+    // Probe at the requested selectivity: w such that ~hit_fraction of
+    // thetas fall below it.
+    sink += tree.ProbeLessEqual(hit_fraction, [](QueryId) {});
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_ThresholdTreeProbe)
+    ->Args({1'000, 1})
+    ->Args({1'000, 10})
+    ->Args({10'000, 1})
+    ->Args({10'000, 10});
+
+void BM_ResultSetMaintenance(benchmark::State& state) {
+  const std::size_t size = static_cast<std::size_t>(state.range(0));
+  ResultSet result;
+  Rng rng(4);
+  for (DocId d = 1; d <= size; ++d) result.Insert(d, rng.NextDouble());
+  DocId next = size + 1;
+  DocId victim = 1;
+  for (auto _ : state) {
+    result.Insert(next, rng.NextDouble());
+    result.Erase(victim);
+    benchmark::DoNotOptimize(result.KthScore(10));
+    ++next;
+    ++victim;
+  }
+}
+BENCHMARK(BM_ResultSetMaintenance)->Arg(100)->Arg(10'000);
+
+void BM_ScoreDocument(benchmark::State& state) {
+  const std::size_t doc_terms = static_cast<std::size_t>(state.range(0));
+  const std::size_t query_terms = static_cast<std::size_t>(state.range(1));
+  Composition comp;
+  for (TermId t = 0; t < doc_terms; ++t) {
+    comp.push_back({t * 3, 0.01});
+  }
+  std::vector<TermWeight> query;
+  for (std::size_t i = 0; i < query_terms; ++i) {
+    query.push_back({static_cast<TermId>(i * 17), 0.1});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ScoreDocument(comp, query));
+  }
+}
+BENCHMARK(BM_ScoreDocument)->Args({100, 4})->Args({100, 10})->Args({100, 40})->Args({1'000, 10});
+
+}  // namespace
+}  // namespace ita
+
+BENCHMARK_MAIN();

@@ -1,0 +1,50 @@
+// Ablation A4 — the Naive baseline's k_max (Yi et al. [6]) and rescan
+// policy.
+//
+// The paper enhances Naive with top-k_max views "to reduce the frequency
+// of subsequent recomputations"; the analytically-derived k_max is not
+// restated. This bench sweeps k_max/k over {1, 1.5, 2, 4} (1 = plain
+// Naive of Section II) and also measures the variant that skips provably
+// futile rescans (complete views) — demonstrating that no tuning of the
+// baseline approaches ITA (compare with BM_Fig3a/ita/n:10).
+
+#include <benchmark/benchmark.h>
+
+#include "harness/report.h"
+#include "harness/stream_bench.h"
+
+namespace ita {
+namespace bench {
+namespace {
+
+void BM_KMax(benchmark::State& state) {
+  StreamWorkload w;
+  w.window = 1'000;
+  w.n_queries = 1'000;
+  w.k = 10;
+  w.terms_per_query = 10;
+  w.kmax_factor = static_cast<double>(state.range(0)) / 100.0;
+  w.skip_complete_rescans = state.range(1) == 1;
+
+  StreamBench& fixture = StreamBench::Cached(StreamBench::Strategy::kNaive, w);
+  const ServerStats before = fixture.server().stats();
+  for (auto _ : state) {
+    fixture.Step();
+  }
+  AttachCounters(state, before, fixture.server());
+}
+
+BENCHMARK(BM_KMax)
+    ->Name("BM_KMaxAblation/naive/kmax_pct_skip")
+    ->Args({100, 0})
+    ->Args({150, 0})
+    ->Args({200, 0})
+    ->Args({400, 0})
+    ->Args({200, 1})
+    ->MinTime(1.0)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace ita
+
+BENCHMARK_MAIN();

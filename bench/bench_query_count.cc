@@ -1,0 +1,58 @@
+// Ablation A1 — scalability with the number of installed queries (one of
+// the experiments the paper reports as "omitted due to lack of space").
+//
+// Setup: Figure 3 defaults (N = 1,000, n = 10, k = 10); query population
+// swept over {100, 300, 1,000, 3,000, 10,000}. Naive's arrival cost is
+// linear in the population (every query is scored on every arrival); ITA
+// touches only the queries whose threshold trees flag the document.
+
+#include <benchmark/benchmark.h>
+
+#include "harness/report.h"
+#include "harness/stream_bench.h"
+
+namespace ita {
+namespace bench {
+namespace {
+
+StreamWorkload QueryCountWorkload(std::size_t queries) {
+  StreamWorkload w;
+  w.window = 1'000;
+  w.n_queries = queries;
+  w.k = 10;
+  w.terms_per_query = 10;
+  return w;
+}
+
+void BM_QueryCount(benchmark::State& state, StreamBench::Strategy strategy) {
+  StreamBench& fixture = StreamBench::Cached(
+      strategy, QueryCountWorkload(static_cast<std::size_t>(state.range(0))));
+  const ServerStats before = fixture.server().stats();
+  for (auto _ : state) {
+    fixture.Step();
+  }
+  AttachCounters(state, before, fixture.server());
+}
+
+void Ita(benchmark::State& state) {
+  BM_QueryCount(state, StreamBench::Strategy::kIta);
+}
+void Naive(benchmark::State& state) {
+  BM_QueryCount(state, StreamBench::Strategy::kNaive);
+}
+
+BENCHMARK(Ita)
+    ->Name("BM_QueryCount/ita/q")
+    ->Arg(100)->Arg(300)->Arg(1'000)->Arg(3'000)->Arg(10'000)
+    ->MinTime(1.0)->Unit(benchmark::kMillisecond);
+
+BENCHMARK(Naive)
+    ->Name("BM_QueryCount/naive/q")
+    ->Arg(100)->Arg(300)->Arg(1'000)->Arg(3'000)->Arg(10'000)
+    ->MinTime(1.0)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace ita
+
+BENCHMARK_MAIN();

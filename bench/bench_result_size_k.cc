@@ -1,0 +1,58 @@
+// Ablation A2 — sensitivity to the result size k (another experiment the
+// paper reports as "omitted due to lack of space").
+//
+// Setup: Figure 3 defaults (N = 1,000, n = 10, 1,000 queries); k swept
+// over {1, 10, 50, 100}. Larger k means deeper initial searches, lower
+// local thresholds, and hence more maintained candidates for ITA; for
+// Naive it mostly grows k_max and the refill targets.
+
+#include <benchmark/benchmark.h>
+
+#include "harness/report.h"
+#include "harness/stream_bench.h"
+
+namespace ita {
+namespace bench {
+namespace {
+
+StreamWorkload KWorkload(int k) {
+  StreamWorkload w;
+  w.window = 1'000;
+  w.n_queries = 1'000;
+  w.k = k;
+  w.terms_per_query = 10;
+  return w;
+}
+
+void BM_ResultSizeK(benchmark::State& state, StreamBench::Strategy strategy) {
+  StreamBench& fixture =
+      StreamBench::Cached(strategy, KWorkload(static_cast<int>(state.range(0))));
+  const ServerStats before = fixture.server().stats();
+  for (auto _ : state) {
+    fixture.Step();
+  }
+  AttachCounters(state, before, fixture.server());
+}
+
+void Ita(benchmark::State& state) {
+  BM_ResultSizeK(state, StreamBench::Strategy::kIta);
+}
+void Naive(benchmark::State& state) {
+  BM_ResultSizeK(state, StreamBench::Strategy::kNaive);
+}
+
+BENCHMARK(Ita)
+    ->Name("BM_ResultSizeK/ita/k")
+    ->Arg(1)->Arg(10)->Arg(50)->Arg(100)
+    ->MinTime(1.0)->Unit(benchmark::kMillisecond);
+
+BENCHMARK(Naive)
+    ->Name("BM_ResultSizeK/naive/k")
+    ->Arg(1)->Arg(10)->Arg(50)->Arg(100)
+    ->MinTime(1.0)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace ita
+
+BENCHMARK_MAIN();

@@ -1,0 +1,67 @@
+// Ablation A3 — the threshold roll-up of Section III-B.
+//
+// Roll-up "shrinks the monitored region of the term frequency space in
+// order to reduce the number of future updates that need to be handled".
+// This bench runs ITA with and without it (Figure 3(a) setup, n = 10) and
+// exposes the mechanism through the probed/ev and reads/ev counters: with
+// roll-up disabled, local thresholds only ever descend, so ever more
+// arrivals/expirations pass the threshold-tree probes.
+
+#include <benchmark/benchmark.h>
+
+#include "harness/report.h"
+#include "harness/stream_bench.h"
+
+namespace ita {
+namespace bench {
+namespace {
+
+StreamWorkload RollupWorkload(bool rollup, bool hot) {
+  StreamWorkload w;
+  w.window = 1'000;
+  w.n_queries = 1'000;
+  w.k = 10;
+  w.terms_per_query = 10;
+  w.rollup = rollup;
+  // "hot" restricts query terms to the 200 most frequent dictionary
+  // entries: every arrival matches several queries, so the monitored
+  // regions actually fill up and the roll-up has work to do. The paper's
+  // uniform draw (hot=0) mostly yields rare-term queries.
+  if (hot) w.query_max_term = 200;
+  return w;
+}
+
+void BM_Rollup(benchmark::State& state) {
+  const bool rollup = state.range(0) == 1;
+  const bool hot = state.range(1) == 1;
+  StreamBench& fixture = StreamBench::Cached(StreamBench::Strategy::kIta,
+                                             RollupWorkload(rollup, hot));
+  const ServerStats before = fixture.server().stats();
+  for (auto _ : state) {
+    fixture.Step();
+  }
+  AttachCounters(state, before, fixture.server());
+  // Average candidate-set size |R| over a sample of queries (query ids are
+  // assigned sequentially from 1): the roll-up's memory effect.
+  auto& server = dynamic_cast<ItaServer&>(fixture.server());
+  double total = 0.0;
+  const std::size_t sample = 100;
+  for (QueryId q = 1; q <= sample; ++q) {
+    const auto candidates = server.Candidates(q);
+    if (candidates.ok()) total += static_cast<double>(candidates->size());
+  }
+  state.counters["avg|R|"] = benchmark::Counter(total / sample);
+  state.SetLabel(std::string(rollup ? "rollup:on" : "rollup:off") +
+                 (hot ? " hot-queries" : " paper-queries"));
+}
+
+BENCHMARK(BM_Rollup)
+    ->Name("BM_RollupAblation/rollup_hot")
+    ->Args({1, 0})->Args({0, 0})->Args({1, 1})->Args({0, 1})
+    ->MinTime(1.0)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace ita
+
+BENCHMARK_MAIN();

@@ -1,0 +1,37 @@
+// Benchmark reporting helpers: attach per-event operation counters to the
+// Google Benchmark output so each experiment's table also exposes *why*
+// the strategies differ (scores computed, rescans, roll-ups, probes).
+
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include "common/stats.h"
+#include "core/server.h"
+
+namespace ita {
+namespace bench {
+
+/// Snapshot server statistics before the timing loop, then call this after
+/// it to publish per-event counters.
+inline void AttachCounters(benchmark::State& state, const ServerStats& before,
+                           const ContinuousSearchServer& server) {
+  const ServerStats& after = server.stats();
+  const double events = state.iterations() > 0
+                            ? static_cast<double>(state.iterations())
+                            : 1.0;
+  state.counters["scores/ev"] = benchmark::Counter(
+      static_cast<double>(after.scores_computed - before.scores_computed) / events);
+  state.counters["probed/ev"] = benchmark::Counter(
+      static_cast<double>(after.queries_probed - before.queries_probed) / events);
+  state.counters["rescans/ev"] = benchmark::Counter(
+      static_cast<double>(after.full_rescans - before.full_rescans) / events);
+  state.counters["rollups/ev"] = benchmark::Counter(
+      static_cast<double>(after.rollup_steps - before.rollup_steps) / events);
+  state.counters["reads/ev"] = benchmark::Counter(
+      static_cast<double>(after.list_entries_read - before.list_entries_read) /
+      events);
+}
+
+}  // namespace bench
+}  // namespace ita

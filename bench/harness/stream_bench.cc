@@ -1,0 +1,104 @@
+#include "harness/stream_bench.h"
+
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace ita {
+namespace bench {
+
+std::string StreamWorkload::CacheKey(const std::string& strategy) const {
+  std::ostringstream os;
+  os << strategy << "/dict:" << dictionary << "/zipf:" << zipf_exponent
+     << "/mu:" << doc_length_mu << "/pool:" << doc_pool << "/q:" << n_queries
+     << "/n:" << terms_per_query << "/k:" << k << "/N:" << window
+     << "/time:" << time_based << "/hot:" << query_max_term << "/seed:" << seed
+     << "/rollup:" << rollup << "/kmax:" << kmax_factor
+     << "/skip:" << skip_complete_rescans;
+  return os.str();
+}
+
+StreamBench& StreamBench::Cached(Strategy strategy, const StreamWorkload& workload) {
+  static std::map<std::string, std::unique_ptr<StreamBench>>* cache =
+      new std::map<std::string, std::unique_ptr<StreamBench>>();
+  const std::string key =
+      workload.CacheKey(strategy == Strategy::kIta ? "ita" : "naive");
+  auto it = cache->find(key);
+  if (it == cache->end()) {
+    it = cache->emplace(key, std::unique_ptr<StreamBench>(
+                                 new StreamBench(strategy, workload)))
+             .first;
+  }
+  return *it->second;
+}
+
+StreamBench::StreamBench(Strategy strategy, const StreamWorkload& workload)
+    : workload_(workload), arrivals_(workload.arrival_rate, workload.seed ^ 0x9E37) {
+  ServerOptions options;
+  if (workload.time_based) {
+    const double seconds =
+        static_cast<double>(workload.window) / workload.arrival_rate;
+    options.window = WindowSpec::TimeBased(SecondsToMicros(seconds));
+  } else {
+    options.window = WindowSpec::CountBased(workload.window);
+  }
+  if (strategy == Strategy::kIta) {
+    ItaTuning tuning;
+    tuning.enable_rollup = workload.rollup;
+    server_ = std::make_unique<ItaServer>(options, tuning);
+  } else {
+    NaiveTuning tuning;
+    tuning.kmax_factor = workload.kmax_factor;
+    tuning.skip_complete_rescans = workload.skip_complete_rescans;
+    server_ = std::make_unique<NaiveServer>(options, tuning);
+  }
+
+  // Pre-generate the document pool (analysis happens upstream of the
+  // server in the paper's model, so it is excluded from Step()).
+  SyntheticCorpusOptions copts;
+  copts.dictionary_size = workload.dictionary;
+  copts.zipf_exponent = workload.zipf_exponent;
+  copts.length_lognormal_mu = workload.doc_length_mu;
+  copts.length_lognormal_sigma = workload.doc_length_sigma;
+  copts.min_length = workload.doc_length_min;
+  copts.max_length = workload.doc_length_max;
+  copts.seed = workload.seed;
+  SyntheticCorpusGenerator corpus(copts);
+  pool_.reserve(workload.doc_pool);
+  for (std::size_t i = 0; i < workload.doc_pool; ++i) {
+    pool_.push_back(corpus.NextDocument());
+  }
+
+  // Fill the window before installing queries (installation order does not
+  // change steady-state behaviour, and an empty-server prefill keeps
+  // N = 10^5 setups affordable).
+  for (std::size_t i = 0; i < workload.window; ++i) {
+    Document doc = pool_[cursor_++ % pool_.size()];
+    doc.arrival_time = arrivals_.Next();
+    ITA_CHECK(server_->Ingest(std::move(doc)).ok());
+  }
+
+  QueryWorkloadOptions qopts;
+  qopts.terms_per_query = workload.terms_per_query;
+  qopts.k = workload.k;
+  qopts.seed = workload.seed + 0xABCD;
+  qopts.max_term = workload.query_max_term;
+  QueryWorkloadGenerator queries(workload.dictionary, qopts);
+  for (std::size_t i = 0; i < workload.n_queries; ++i) {
+    ITA_CHECK(server_->RegisterQuery(queries.NextQuery()).ok());
+  }
+  server_->ResetStats();
+}
+
+void StreamBench::Step() {
+  Document doc = pool_[cursor_++ % pool_.size()];
+  doc.arrival_time = arrivals_.Next();
+  const auto id = server_->Ingest(std::move(doc));
+  ITA_DCHECK(id.ok());
+  benchmark::DoNotOptimize(id);
+}
+
+}  // namespace bench
+}  // namespace ita

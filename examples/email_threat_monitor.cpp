@@ -1,0 +1,117 @@
+// Email threat monitoring (the paper's security-analyst scenario): "a
+// security analyst who monitors email traffic for potential terror threats
+// would register several standing queries to identify recent emails that
+// most closely fit certain threat profiles".
+//
+// Demonstrates: count-based windows, multiple threat-profile queries,
+// Porter stemming for recall across inflections, and the incremental
+// maintenance statistics that explain why ITA keeps up with traffic.
+//
+// Build & run:   ./build/examples/email_threat_monitor
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/ita_server.h"
+#include "text/analyzer.h"
+
+namespace {
+
+// Simulated email traffic: overwhelmingly benign, a few hits.
+const char* kEmails[] = {
+    "Minutes from the quarterly budget meeting are attached for review.",
+    "Lunch on Friday? The new noodle place downtown has great reviews.",
+    "Shipment of laboratory chemicals delayed at customs, new invoice attached.",
+    "Reminder: the fire drill scheduled for Monday morning at nine.",
+    "The conference keynote on explosive growth in cloud spending was great.",
+    "Can you forward the slide deck from yesterday's design review?",
+    "Procurement update: detonator assemblies flagged in the cargo manifest.",
+    "Your subscription renewal is due; no action needed if enrolled.",
+    "Security advisory: phishing attempts impersonating the help desk.",
+    "Team offsite agenda: hiking, barbecue, and the annual trivia night.",
+    "Customs flagged ammonium nitrate quantities exceeding the permit.",
+    "Happy birthday! Cake in the kitchen at three this afternoon.",
+    "Updated threat assessment for the embassy district attached.",
+    "Weekly metrics dashboard refreshed; conversion is up two percent.",
+    "The chemistry department ordered nitrate reagents for the semester.",
+    "Draft press release for the product launch, comments welcome.",
+};
+
+}  // namespace
+
+int main() {
+  // Stemming folds inflections ("explosives" ~ "explosive"), buying recall
+  // for profile matching.
+  ita::AnalyzerOptions aopts;
+  aopts.stem = true;
+  ita::Analyzer analyzer(aopts);
+
+  // Monitor the 10 most recent emails.
+  ita::ItaServer server{ita::ServerOptions{ita::WindowSpec::CountBased(10)}};
+
+  struct Profile {
+    const char* name;
+    const char* terms;
+    int k;
+  };
+  const Profile profiles[] = {
+      {"explosives", "explosive detonator ammonium nitrate", 3},
+      {"chemical-precursors", "chemicals laboratory nitrate customs", 3},
+      {"threat-reports", "threat assessment security advisory", 2},
+  };
+
+  std::vector<std::pair<ita::QueryId, std::string>> registered;
+  for (const Profile& p : profiles) {
+    const auto query = analyzer.MakeQuery(p.terms, p.k);
+    if (!query.ok()) {
+      std::fprintf(stderr, "bad profile '%s': %s\n", p.name,
+                   query.status().ToString().c_str());
+      return 1;
+    }
+    const auto qid = server.RegisterQuery(*query);
+    if (!qid.ok()) {
+      std::fprintf(stderr, "register failed: %s\n", qid.status().ToString().c_str());
+      return 1;
+    }
+    registered.emplace_back(*qid, p.name);
+    std::printf("profile '%s' installed as query %u: {%s}, k=%d\n", p.name,
+                *qid, p.terms, p.k);
+  }
+
+  std::printf("\n--- streaming %zu emails ---\n",
+              sizeof(kEmails) / sizeof(kEmails[0]));
+  ita::Timestamp t = 0;
+  for (const char* text : kEmails) {
+    const auto id = server.Ingest(analyzer.MakeDocument(text, t += 500'000));
+    if (!id.ok()) {
+      std::fprintf(stderr, "ingest failed: %s\n", id.status().ToString().c_str());
+      return 1;
+    }
+  }
+
+  std::printf("\n--- current matches per profile (over the last 10 emails) ---\n");
+  for (const auto& [qid, name] : registered) {
+    std::printf("%s:\n", name.c_str());
+    const auto result = server.Result(qid);
+    if (result->empty()) {
+      std::printf("  (no matching email in the window)\n");
+      continue;
+    }
+    for (const ita::ResultEntry& e : *result) {
+      const ita::Document* doc = server.documents().Get(e.doc);
+      std::printf("  score %.3f  email #%llu  %.58s\n", e.score,
+                  static_cast<unsigned long long>(e.doc),
+                  doc != nullptr ? doc->text.c_str() : "<expired>");
+    }
+  }
+
+  const ita::ServerStats& stats = server.stats();
+  std::printf(
+      "\nwhy this scales: of %llu emails x %zu profiles, ITA computed only "
+      "%llu similarity scores (threshold trees pruned the rest)\n",
+      static_cast<unsigned long long>(stats.documents_ingested),
+      registered.size(),
+      static_cast<unsigned long long>(stats.scores_computed));
+  return 0;
+}

@@ -1,0 +1,160 @@
+// An interactive text-monitoring shell over the library — type documents
+// and standing queries, watch results update live. Reads commands from
+// stdin, so it can also be scripted:
+//
+//   printf 'query 2 oil prices\ndoc oil prices rallied today\nresults\n' \
+//     | ./build/examples/interactive_monitor
+//
+// Commands:
+//   query <k> <terms...>     install a continuous query, prints its id
+//   drop <qid>               terminate a query
+//   doc <text...>            stream one document
+//   load <path>              stream a file (one document per line)
+//   results                  print every query's current top-k
+//   inspect <qid>            thresholds/candidates of one query (ITA gut)
+//   stats                    server operation counters
+//   help, quit
+
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "core/ita_server.h"
+#include "stream/corpus.h"
+#include "text/analyzer.h"
+
+namespace {
+
+void PrintHelp() {
+  std::printf(
+      "commands:\n"
+      "  query <k> <terms...>   install a continuous query\n"
+      "  drop <qid>             terminate a query\n"
+      "  doc <text...>          stream one document\n"
+      "  load <path>            stream a file (one document per line)\n"
+      "  results                current top-k of every query\n"
+      "  inspect <qid>          thresholds & candidates of a query\n"
+      "  stats                  server operation counters\n"
+      "  help | quit\n");
+}
+
+}  // namespace
+
+int main() {
+  ita::Analyzer analyzer;
+  ita::ItaServer server{ita::ServerOptions{ita::WindowSpec::CountBased(1000)}};
+  std::map<ita::QueryId, std::string> query_texts;
+  ita::Timestamp now = 0;
+
+  std::printf("ITA interactive monitor — window: last 1000 documents. "
+              "Type 'help' for commands.\n");
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string cmd;
+    in >> cmd;
+    if (cmd.empty()) continue;
+
+    if (cmd == "quit" || cmd == "exit") break;
+
+    if (cmd == "help") {
+      PrintHelp();
+
+    } else if (cmd == "query") {
+      int k = 0;
+      in >> k;
+      std::string terms;
+      std::getline(in, terms);
+      const auto query = analyzer.MakeQuery(terms, k);
+      if (!query.ok()) {
+        std::printf("error: %s\n", query.status().ToString().c_str());
+        continue;
+      }
+      const auto qid = server.RegisterQuery(*query);
+      if (!qid.ok()) {
+        std::printf("error: %s\n", qid.status().ToString().c_str());
+        continue;
+      }
+      query_texts[*qid] = terms;
+      std::printf("query %u installed (k=%d):%s\n", *qid, k, terms.c_str());
+
+    } else if (cmd == "drop") {
+      ita::QueryId qid = 0;
+      in >> qid;
+      const ita::Status status = server.UnregisterQuery(qid);
+      if (!status.ok()) {
+        std::printf("error: %s\n", status.ToString().c_str());
+      } else {
+        query_texts.erase(qid);
+        std::printf("query %u terminated\n", qid);
+      }
+
+    } else if (cmd == "doc") {
+      std::string text;
+      std::getline(in, text);
+      const auto id = server.Ingest(analyzer.MakeDocument(text, now += 1000));
+      if (!id.ok()) {
+        std::printf("error: %s\n", id.status().ToString().c_str());
+      } else {
+        std::printf("doc %llu ingested (window now %zu)\n",
+                    static_cast<unsigned long long>(*id), server.window_size());
+      }
+
+    } else if (cmd == "load") {
+      std::string path;
+      in >> path;
+      const auto docs = ita::TextFileCorpusReader::ReadAll(path, &analyzer);
+      if (!docs.ok()) {
+        std::printf("error: %s\n", docs.status().ToString().c_str());
+        continue;
+      }
+      std::size_t n = 0;
+      for (const ita::Document& doc : *docs) {
+        ita::Document copy = doc;
+        copy.arrival_time = now += 1000;
+        if (server.Ingest(std::move(copy)).ok()) ++n;
+      }
+      std::printf("streamed %zu documents from %s (window now %zu)\n", n,
+                  path.c_str(), server.window_size());
+
+    } else if (cmd == "results") {
+      if (query_texts.empty()) std::printf("(no queries installed)\n");
+      for (const auto& [qid, text] : query_texts) {
+        std::printf("query %u:%s\n", qid, text.c_str());
+        const auto result = server.Result(qid);
+        if (!result.ok() || result->empty()) {
+          std::printf("  (no matching document in the window)\n");
+          continue;
+        }
+        for (const ita::ResultEntry& e : *result) {
+          const ita::Document* doc = server.documents().Get(e.doc);
+          std::printf("  %.4f  doc %llu  %.60s\n", e.score,
+                      static_cast<unsigned long long>(e.doc),
+                      doc != nullptr ? doc->text.c_str() : "");
+        }
+      }
+
+    } else if (cmd == "inspect") {
+      ita::QueryId qid = 0;
+      in >> qid;
+      const auto tau = server.InfluenceThreshold(qid);
+      if (!tau.ok()) {
+        std::printf("error: %s\n", tau.status().ToString().c_str());
+        continue;
+      }
+      const auto candidates = server.Candidates(qid);
+      std::printf("query %u: tau=%.6f, |R|=%zu candidates\n", qid, *tau,
+                  candidates->size());
+
+    } else if (cmd == "stats") {
+      std::printf("%s", server.stats().ToString().c_str());
+
+    } else {
+      std::printf("unknown command '%s' — try 'help'\n", cmd.c_str());
+    }
+  }
+  return 0;
+}

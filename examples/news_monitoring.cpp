@@ -1,0 +1,138 @@
+// News monitoring (the paper's investment-manager scenario): an
+// "investment manager who is interested in a portfolio of industries and
+// companies" monitors newsflashes; words related to the industries of
+// interest are standing text queries over the stream.
+//
+// Demonstrates: time-based sliding windows, Poisson arrivals on virtual
+// time, result listeners (alerts), several concurrent portfolio queries.
+//
+// Build & run:   ./build/examples/news_monitoring
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/ita_server.h"
+#include "stream/arrival_process.h"
+#include "text/analyzer.h"
+
+namespace {
+
+// A synthetic newsflash wire: a rotating mix of sector stories.
+const char* kNewsWire[] = {
+    "Crude oil futures climbed after producers signaled deeper supply cuts.",
+    "The semiconductor giant unveiled a new chip fabrication process.",
+    "Gold steadied while investors weighed central bank rate signals.",
+    "Electric vehicle deliveries hit a record as battery costs fell.",
+    "Refinery outages tightened gasoline supply across the region.",
+    "A chip shortage continues to squeeze automotive production lines.",
+    "The airline reported strong bookings despite higher fuel prices.",
+    "Battery recycling startups attract fresh venture funding rounds.",
+    "Oil demand forecasts were trimmed on slowing industrial activity.",
+    "Foundries race to expand semiconductor capacity in new fabs.",
+    "Utilities add grid scale batteries to absorb solar generation.",
+    "Jet fuel hedging cushioned the carrier from crude price swings.",
+};
+
+}  // namespace
+
+int main() {
+  ita::Analyzer analyzer;
+
+  // Keep the last 20 (virtual) seconds of newsflashes.
+  ita::ItaServer server{
+      ita::ServerOptions{ita::WindowSpec::TimeBased(20 * ita::kMicrosPerSecond)}};
+
+  // The manager's portfolio, registered as standing queries.
+  struct Portfolio {
+    const char* name;
+    const char* terms;
+  };
+  const Portfolio portfolio[] = {
+      {"energy", "oil crude refinery fuel"},
+      {"chips", "semiconductor chip fabrication foundry"},
+      {"ev-batteries", "electric vehicle battery"},
+  };
+
+  std::map<ita::QueryId, std::string> names;
+  for (const Portfolio& p : portfolio) {
+    const auto query = analyzer.MakeQuery(p.terms, /*k=*/3);
+    if (!query.ok()) {
+      std::fprintf(stderr, "bad query '%s': %s\n", p.terms,
+                   query.status().ToString().c_str());
+      return 1;
+    }
+    const auto qid = server.RegisterQuery(*query);
+    if (!qid.ok()) {
+      std::fprintf(stderr, "register failed: %s\n", qid.status().ToString().c_str());
+      return 1;
+    }
+    names[*qid] = p.name;
+    std::printf("registered portfolio query '%s' (id %u): {%s}\n", p.name, *qid,
+                p.terms);
+  }
+
+  // Alert whenever any portfolio's top-3 changes.
+  std::size_t alerts = 0;
+  server.SetResultListener(
+      [&](ita::QueryId qid, const std::vector<ita::ResultEntry>& result) {
+        ++alerts;
+        if (result.empty()) {
+          std::printf("  ALERT [%s] no matching story left in the window\n",
+                      names[qid].c_str());
+          return;
+        }
+        std::printf("  ALERT [%s] top story now doc %llu (score %.3f, %zu hits)\n",
+                    names[qid].c_str(),
+                    static_cast<unsigned long long>(result.front().doc),
+                    result.front().score, result.size());
+      });
+
+  // Newsflashes arrive as a Poisson process, ~1 story per virtual second.
+  ita::PoissonProcess arrivals(/*rate_per_second=*/1.0, /*seed=*/2026);
+  std::printf("\n--- streaming 36 newsflashes over ~36s of virtual time ---\n");
+  const int kFlashes = 36;
+  for (int i = 0; i < kFlashes; ++i) {
+    const char* text = kNewsWire[i % (sizeof(kNewsWire) / sizeof(kNewsWire[0]))];
+    const ita::Timestamp t = arrivals.Next();
+    const auto id = server.Ingest(analyzer.MakeDocument(text, t));
+    if (!id.ok()) {
+      std::fprintf(stderr, "ingest failed: %s\n", id.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("[t=%6.1fs] doc %llu: %.60s\n",
+                static_cast<double>(t) / ita::kMicrosPerSecond,
+                static_cast<unsigned long long>(*id), text);
+  }
+
+  std::printf("\n--- final portfolio views ---\n");
+  for (const auto& [qid, name] : names) {
+    std::printf("%s:\n", name.c_str());
+    const auto result = server.Result(qid);
+    for (const ita::ResultEntry& e : *result) {
+      const ita::Document* doc = server.documents().Get(e.doc);
+      std::printf("  %.3f  doc %llu  %.56s\n", e.score,
+                  static_cast<unsigned long long>(e.doc),
+                  doc != nullptr ? doc->text.c_str() : "<expired>");
+    }
+  }
+
+  const ita::ServerStats& stats = server.stats();
+  std::printf("\n%zu alerts; %llu arrivals, %llu expirations, "
+              "%llu threshold roll-ups, %llu refills\n",
+              alerts,
+              static_cast<unsigned long long>(stats.documents_ingested),
+              static_cast<unsigned long long>(stats.documents_expired),
+              static_cast<unsigned long long>(stats.rollup_steps),
+              static_cast<unsigned long long>(stats.refills));
+
+  // The wire goes quiet: advancing virtual time expires the whole window
+  // (time-based windows need no arrival to age documents out).
+  const ita::Timestamp idle = arrivals.Now() + 25 * ita::kMicrosPerSecond;
+  if (!server.AdvanceTime(idle).ok()) return 1;
+  std::printf("after 25s of silence the window holds %zu documents and "
+              "every portfolio view is empty\n",
+              server.window_size());
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Quickstart: the smallest complete use of the library.
+//
+//   1. Create an Analyzer (raw text -> weighted composition lists).
+//   2. Create an ItaServer with a sliding window.
+//   3. Register a continuous query.
+//   4. Stream documents; read the continuously-maintained top-k.
+//
+// Build & run:   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/ita_server.h"
+#include "text/analyzer.h"
+
+int main() {
+  // 1. The analyzer: tokenization, stopword removal, cosine weighting.
+  ita::Analyzer analyzer;
+
+  // 2. A server that monitors the 5 most recent documents.
+  ita::ItaServer server{ita::ServerOptions{ita::WindowSpec::CountBased(5)}};
+
+  // 3. A standing query: "continuously report the top-2 documents among
+  //    the 5 most recent ones that best match {database streams}".
+  const auto query = analyzer.MakeQuery("database streams", /*k=*/2);
+  if (!query.ok()) {
+    std::fprintf(stderr, "bad query: %s\n", query.status().ToString().c_str());
+    return 1;
+  }
+  const auto qid = server.RegisterQuery(*query);
+  if (!qid.ok()) {
+    std::fprintf(stderr, "register failed: %s\n", qid.status().ToString().c_str());
+    return 1;
+  }
+
+  // 4. Stream documents and watch the result evolve.
+  const char* stream[] = {
+      "A new database engine ships with vectorized execution.",
+      "Cooking tips: how to caramelize onions without burning them.",
+      "Streams of sensor data overwhelm the ingestion database.",
+      "Financial streams require low latency database writes.",
+      "Gardening in small spaces: balcony herbs for beginners.",
+      "Benchmarking databases on streams of user events.",
+      "A database outage disrupted streams of payment events.",
+  };
+
+  ita::Timestamp now = 0;
+  for (const char* text : stream) {
+    const auto doc_id = server.Ingest(analyzer.MakeDocument(text, now += 1000));
+    if (!doc_id.ok()) {
+      std::fprintf(stderr, "ingest failed: %s\n", doc_id.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("ingested doc %llu: %.48s...\n",
+                static_cast<unsigned long long>(*doc_id), text);
+
+    const auto result = server.Result(*qid);
+    for (const ita::ResultEntry& entry : *result) {
+      std::printf("    top: doc %llu  score %.4f\n",
+                  static_cast<unsigned long long>(entry.doc), entry.score);
+    }
+  }
+
+  std::printf("\nserver processed %llu documents, expired %llu; "
+              "ITA scored only %llu candidate/query pairs\n",
+              static_cast<unsigned long long>(server.stats().documents_ingested),
+              static_cast<unsigned long long>(server.stats().documents_expired),
+              static_cast<unsigned long long>(server.stats().scores_computed));
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Virtual time. The server and the stream machinery never consult the wall
+// clock: all timestamps are microseconds of simulated time, which makes
+// time-based sliding windows exactly reproducible in tests and benches.
+
+#pragma once
+
+#include <cstdint>
+
+#include "common/logging.h"
+#include "common/types.h"
+
+namespace ita {
+
+inline constexpr Timestamp kMicrosPerSecond = 1'000'000;
+inline constexpr Timestamp kMicrosPerMinute = 60 * kMicrosPerSecond;
+
+/// Converts seconds of simulated time to a Timestamp duration.
+constexpr Timestamp SecondsToMicros(double seconds) {
+  return static_cast<Timestamp>(seconds * static_cast<double>(kMicrosPerSecond));
+}
+
+/// A monotonically advancing virtual clock.
+class VirtualClock {
+ public:
+  explicit VirtualClock(Timestamp start = 0) : now_(start) {}
+
+  Timestamp Now() const { return now_; }
+
+  /// Advances the clock by a non-negative duration and returns the new time.
+  Timestamp Advance(Timestamp delta) {
+    ITA_DCHECK(delta >= 0) << "clock may not move backwards";
+    now_ += delta;
+    return now_;
+  }
+
+  /// Jumps to an absolute time not earlier than the current one.
+  void AdvanceTo(Timestamp t) {
+    ITA_DCHECK(t >= now_) << "clock may not move backwards";
+    now_ = t;
+  }
+
+ private:
+  Timestamp now_;
+};
+
+}  // namespace ita

@@ -1,0 +1,12 @@
+#include "common/logging.h"
+
+namespace ita {
+namespace internal {
+
+LogLevel& MinLogLevel() {
+  static LogLevel level = LogLevel::kInfo;
+  return level;
+}
+
+}  // namespace internal
+}  // namespace ita

@@ -1,0 +1,98 @@
+// Minimal leveled logging and assertion macros.
+//
+// ITA_CHECK(cond) aborts on violation in all build types and is reserved
+// for invariants whose violation would corrupt server state; ITA_DCHECK is
+// compiled out of release builds and guards hot paths.
+
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace ita {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+namespace internal {
+
+/// Process-wide minimum level actually emitted; default Info.
+LogLevel& MinLogLevel();
+
+inline const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarning: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kFatal: return "FATAL";
+  }
+  return "?";
+}
+
+/// Accumulates one log line and flushes it to stderr on destruction.
+/// Fatal messages abort the process after flushing.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line) : level_(level) {
+    stream_ << "[" << LevelName(level) << " " << Basename(file) << ":" << line << "] ";
+  }
+
+  ~LogMessage() {
+    if (level_ >= MinLogLevel()) {
+      stream_ << "\n";
+      std::cerr << stream_.str() << std::flush;
+    }
+    if (level_ == LogLevel::kFatal) std::abort();
+  }
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  static const char* Basename(const char* path) {
+    const char* base = path;
+    for (const char* p = path; *p != '\0'; ++p) {
+      if (*p == '/') base = p + 1;
+    }
+    return base;
+  }
+
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression when a log statement is disabled.
+struct NullStream {
+  template <typename T>
+  NullStream& operator<<(const T&) { return *this; }
+};
+
+}  // namespace internal
+
+/// Sets the process-wide minimum level emitted by ITA_LOG.
+inline void SetMinLogLevel(LogLevel level) { internal::MinLogLevel() = level; }
+
+}  // namespace ita
+
+#define ITA_LOG(level)                                                     \
+  ::ita::internal::LogMessage(::ita::LogLevel::k##level, __FILE__, __LINE__).stream()
+
+#define ITA_CHECK(cond)                                                    \
+  if (!(cond))                                                             \
+  ::ita::internal::LogMessage(::ita::LogLevel::kFatal, __FILE__, __LINE__).stream() \
+      << "Check failed: " #cond " "
+
+#define ITA_CHECK_OK(expr)                                                 \
+  if (::ita::Status _ita_check_status = (expr); !_ita_check_status.ok())   \
+  ::ita::internal::LogMessage(::ita::LogLevel::kFatal, __FILE__, __LINE__).stream() \
+      << "Status not OK: " << _ita_check_status.ToString() << " "
+
+#ifdef NDEBUG
+#define ITA_DCHECK(cond) \
+  if (true) {            \
+  } else                 \
+    ::ita::internal::NullStream()
+#else
+#define ITA_DCHECK(cond) ITA_CHECK(cond)
+#endif

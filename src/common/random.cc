@@ -1,0 +1,32 @@
+#include "common/random.h"
+
+#include <algorithm>
+
+namespace ita {
+
+ZipfDistribution::ZipfDistribution(std::size_t n, double s) : s_(s) {
+  ITA_CHECK(n > 0) << "Zipf distribution needs a non-empty support";
+  ITA_CHECK(s >= 0.0) << "Zipf exponent must be non-negative";
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    acc += 1.0 / std::pow(static_cast<double>(r + 1), s_);
+    cdf_[r] = acc;
+  }
+  norm_ = acc;
+  for (std::size_t r = 0; r < n; ++r) cdf_[r] /= norm_;
+  cdf_.back() = 1.0;  // guard against accumulated rounding
+}
+
+std::size_t ZipfDistribution::Sample(Rng* rng) const {
+  const double u = rng->NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double ZipfDistribution::Pmf(std::size_t rank) const {
+  ITA_DCHECK(rank < cdf_.size());
+  return 1.0 / std::pow(static_cast<double>(rank + 1), s_) / norm_;
+}
+
+}  // namespace ita

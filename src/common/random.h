@@ -1,0 +1,132 @@
+// Deterministic pseudo-random machinery for workload generation.
+//
+// Everything here is seeded explicitly and fully reproducible across
+// platforms (no std::random_device, no libstdc++-version-dependent
+// distributions). The generator is xoshiro256** (Blackman & Vigna), seeded
+// via SplitMix64; distributions are implemented from first principles.
+
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace ita {
+
+/// xoshiro256** pseudo-random generator. Satisfies the essentials of
+/// UniformRandomBitGenerator but is deliberately used only through the
+/// distribution helpers below to keep results platform-stable.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four 64-bit lanes from `seed` via SplitMix64, so that any
+  /// seed (including 0) produces a well-mixed state.
+  explicit Rng(std::uint64_t seed = 0xD1B54A32D192ED03ULL) { Seed(seed); }
+
+  void Seed(std::uint64_t seed) {
+    std::uint64_t x = seed;
+    for (auto& lane : state_) lane = SplitMix64(&x);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  /// Next raw 64-bit value.
+  std::uint64_t Next() {
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  std::uint64_t operator()() { return Next(); }
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double NextDouble() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in (0, 1]; safe as an argument to log().
+  double NextDoublePositive() {
+    return (static_cast<double>(Next() >> 11) + 1.0) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::uint64_t UniformInt(std::uint64_t lo, std::uint64_t hi) {
+    ITA_DCHECK(lo <= hi);
+    const std::uint64_t range = hi - lo + 1;  // 0 means the full 2^64 range
+    if (range == 0) return Next();
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t limit = max() - max() % range;
+    std::uint64_t v;
+    do {
+      v = Next();
+    } while (v >= limit);
+    return lo + v % range;
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool NextBool(double p) { return NextDouble() < p; }
+
+  /// Exponentially distributed value with the given rate (mean 1/rate).
+  double Exponential(double rate) {
+    ITA_DCHECK(rate > 0.0);
+    return -std::log(NextDoublePositive()) / rate;
+  }
+
+  /// Standard normal via Box-Muller (one value per call; no state carried).
+  double Normal(double mean = 0.0, double stddev = 1.0) {
+    const double u1 = NextDoublePositive();
+    const double u2 = NextDouble();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    return mean + stddev * r * std::cos(6.283185307179586476925286766559 * u2);
+  }
+
+  /// Log-normal: exp(Normal(mu, sigma)).
+  double LogNormal(double mu, double sigma) { return std::exp(Normal(mu, sigma)); }
+
+ private:
+  static std::uint64_t SplitMix64(std::uint64_t* x) {
+    std::uint64_t z = (*x += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  static std::uint64_t Rotl(std::uint64_t v, int k) {
+    return (v << k) | (v >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+/// Zipf(s) distribution over ranks {0, 1, ..., n-1}: P(rank r) proportional
+/// to 1 / (r+1)^s. Implemented with a precomputed CDF and binary search —
+/// O(n) memory, O(log n) per sample, exact and deterministic. Suitable for
+/// dictionary-sized n (a 181,978-term dictionary costs ~1.4 MB).
+class ZipfDistribution {
+ public:
+  ZipfDistribution(std::size_t n, double s);
+
+  std::size_t n() const { return cdf_.size(); }
+  double s() const { return s_; }
+
+  /// Samples a rank in [0, n).
+  std::size_t Sample(Rng* rng) const;
+
+  /// Probability mass of a given rank.
+  double Pmf(std::size_t rank) const;
+
+ private:
+  double s_ = 1.0;
+  double norm_ = 1.0;
+  std::vector<double> cdf_;
+};
+
+}  // namespace ita

@@ -1,0 +1,27 @@
+#include "common/stats.h"
+
+#include <sstream>
+
+namespace ita {
+
+std::string ServerStats::ToString() const {
+  std::ostringstream os;
+  os << "documents_ingested     = " << documents_ingested << "\n"
+     << "documents_expired      = " << documents_expired << "\n"
+     << "index_entries_inserted = " << index_entries_inserted << "\n"
+     << "index_entries_erased   = " << index_entries_erased << "\n"
+     << "scores_computed        = " << scores_computed << "\n"
+     << "queries_probed         = " << queries_probed << "\n"
+     << "membership_checks      = " << membership_checks << "\n"
+     << "result_insertions      = " << result_insertions << "\n"
+     << "result_removals        = " << result_removals << "\n"
+     << "threshold_probe_steps  = " << threshold_probe_steps << "\n"
+     << "list_entries_read      = " << list_entries_read << "\n"
+     << "rollup_steps           = " << rollup_steps << "\n"
+     << "rollup_evictions       = " << rollup_evictions << "\n"
+     << "refills                = " << refills << "\n"
+     << "full_rescans           = " << full_rescans << "\n";
+  return os.str();
+}
+
+}  // namespace ita

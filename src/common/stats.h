@@ -1,0 +1,44 @@
+// Operation statistics exported by every server implementation. The
+// counters quantify exactly the work the paper reasons about (probes,
+// score computations, roll-ups, refills) and power the ablation benches.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ita {
+
+/// Monotonic operation counters; reset with Reset(). All counts are since
+/// construction or the last Reset().
+struct ServerStats {
+  // Stream plumbing.
+  std::uint64_t documents_ingested = 0;
+  std::uint64_t documents_expired = 0;
+  std::uint64_t index_entries_inserted = 0;
+  std::uint64_t index_entries_erased = 0;
+
+  // Query evaluation work.
+  std::uint64_t scores_computed = 0;        ///< full S(d|Q) evaluations
+  std::uint64_t queries_probed = 0;         ///< query "may be affected" hits
+  std::uint64_t membership_checks = 0;      ///< Naive: is d in R(Q)?
+  std::uint64_t result_insertions = 0;      ///< documents added to some R
+  std::uint64_t result_removals = 0;        ///< documents dropped from some R
+
+  // ITA-specific machinery.
+  std::uint64_t threshold_probe_steps = 0;  ///< threshold-tree entries visited
+  std::uint64_t list_entries_read = 0;      ///< inverted-list entries consumed by TA
+  std::uint64_t rollup_steps = 0;           ///< local-threshold lifts
+  std::uint64_t rollup_evictions = 0;       ///< R evictions due to roll-up
+  std::uint64_t refills = 0;                ///< post-expiration search resumptions
+
+  // Naive-specific machinery.
+  std::uint64_t full_rescans = 0;           ///< top-k_max recomputations over D
+
+  void Reset() { *this = ServerStats(); }
+
+  /// Multi-line human-readable dump (one "name = value" per line).
+  std::string ToString() const;
+};
+
+}  // namespace ita

@@ -1,0 +1,30 @@
+// Wall-clock stopwatch used only by the benchmark harness (the library
+// itself runs on virtual time; see common/clock.h).
+
+#pragma once
+
+#include <chrono>
+
+namespace ita {
+
+/// High-resolution elapsed-time measurement.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds since construction or the last Restart().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace ita

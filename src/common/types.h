@@ -1,0 +1,51 @@
+// Core identifier and value types shared across the library.
+//
+// The system model follows Section II of Mouratidis & Pang (ICDE 2009):
+// a stream of documents flows into a main-memory server; each stream
+// element carries a unique document identifier, an arrival timestamp and a
+// "composition list" of <term, weight> pairs; user queries are sets of
+// weighted terms plus a result size k.
+
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace ita {
+
+/// Identifier of a document in the stream. Assigned by the server at
+/// ingestion time; strictly increasing with arrival order, starting at 1.
+using DocId = std::uint64_t;
+
+/// Identifier of a dictionary term (a dimension of the term-frequency
+/// space). Dense, starting at 0; interned by ita::Vocabulary.
+using TermId = std::uint32_t;
+
+/// Identifier of a registered continuous query.
+using QueryId = std::uint32_t;
+
+/// Microseconds since an arbitrary epoch (virtual time; see ita::VirtualClock).
+using Timestamp = std::int64_t;
+
+inline constexpr DocId kInvalidDocId = 0;
+inline constexpr DocId kMaxDocId = std::numeric_limits<DocId>::max();
+inline constexpr TermId kInvalidTermId = std::numeric_limits<TermId>::max();
+inline constexpr QueryId kInvalidQueryId = std::numeric_limits<QueryId>::max();
+
+/// One entry of a composition list: term t appears in the document with
+/// (scheme-dependent, pre-normalized) impact weight w_{d,t} > 0.
+struct TermWeight {
+  TermId term = kInvalidTermId;
+  double weight = 0.0;
+
+  friend bool operator==(const TermWeight& a, const TermWeight& b) {
+    return a.term == b.term && a.weight == b.weight;
+  }
+};
+
+/// A document's composition list: sorted by ascending TermId, one entry per
+/// distinct term, all weights strictly positive.
+using Composition = std::vector<TermWeight>;
+
+}  // namespace ita

@@ -1,0 +1,71 @@
+// A bounded "best k" accumulator.
+//
+// Used by the brute-force oracle and by the Naive baseline's full rescans:
+// push every candidate, keep only the k best under a caller-supplied
+// "ranks before" comparator, and extract them in rank order.
+
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace ita {
+
+/// Keeps the `capacity` best elements seen so far. `RanksBefore(a, b)`
+/// must be a strict weak ordering meaning "a belongs ahead of b in the
+/// final output". Push is O(log k); TakeSorted is O(k log k).
+template <typename T, typename RanksBefore>
+class BoundedTopK {
+ public:
+  explicit BoundedTopK(std::size_t capacity, RanksBefore cmp = RanksBefore())
+      : capacity_(capacity), cmp_(cmp) {
+    heap_.reserve(capacity_ + 1);
+  }
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return heap_.size(); }
+  bool empty() const { return heap_.empty(); }
+
+  /// Offers a candidate; keeps it only if it ranks among the best
+  /// `capacity` seen so far. Returns true if the candidate was kept.
+  bool Push(const T& value) {
+    if (capacity_ == 0) return false;
+    if (heap_.size() < capacity_) {
+      heap_.push_back(value);
+      std::push_heap(heap_.begin(), heap_.end(), cmp_);  // max-heap of worst-on-top
+      return true;
+    }
+    // heap_.front() is the current worst kept element.
+    if (cmp_(value, heap_.front())) {
+      std::pop_heap(heap_.begin(), heap_.end(), cmp_);
+      heap_.back() = value;
+      std::push_heap(heap_.begin(), heap_.end(), cmp_);
+      return true;
+    }
+    return false;
+  }
+
+  /// The worst currently-kept element. Requires !empty().
+  const T& Worst() const {
+    ITA_DCHECK(!heap_.empty());
+    return heap_.front();
+  }
+
+  /// Destructively extracts the kept elements in rank order (best first).
+  std::vector<T> TakeSorted() {
+    std::vector<T> out = std::move(heap_);
+    heap_.clear();
+    std::sort(out.begin(), out.end(), cmp_);
+    return out;
+  }
+
+ private:
+  std::size_t capacity_;
+  RanksBefore cmp_;
+  std::vector<T> heap_;
+};
+
+}  // namespace ita

@@ -1,0 +1,296 @@
+// An ordered skip list (Pugh 1990) with bidirectional level-0 links.
+//
+// This is the ordering backbone of the whole system:
+//   * inverted lists keep <w_{d,t}, d> impact entries in decreasing-weight
+//     order and are scanned downward by the threshold algorithm and the
+//     incremental refill, and one-step-backward by the roll-up;
+//   * threshold trees keep <theta_{Q,t}, Q> entries in increasing-theta
+//     order and are range-scanned from the front on every probe;
+//   * result sets keep <score, d> entries in decreasing-score order.
+//
+// Design notes (following the LevelDB/RocksDB memtable idiom):
+//   * nodes are allocated in one block with a flexible forward-pointer
+//     array sized to the node's tower height;
+//   * elements are unique under the comparator (Insert reports duplicates);
+//   * the level-0 chain is doubly linked so iterators are bidirectional,
+//     which the threshold roll-up needs to find "the preceding entry";
+//   * heights are drawn from a fixed-seed xoshiro generator, so structure
+//     and performance are reproducible run to run.
+//
+// Not thread-safe; the server is single-threaded per the paper's model.
+
+#pragma once
+
+#include <cstdint>
+#include <new>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace ita {
+
+template <typename T, typename Compare>
+class SkipList {
+ public:
+  static constexpr int kMaxHeight = 20;      // comfortable for ~1M entries
+  static constexpr unsigned kBranching = 4;  // P(level up) = 1/4
+
+  class Iterator;
+  using value_type = T;
+  using iterator = Iterator;
+  using const_iterator = Iterator;
+
+  explicit SkipList(Compare cmp = Compare())
+      : cmp_(cmp), rng_(0x5EEDC0FFEE15D00DULL) {
+    head_ = AllocateNode(kMaxHeight, /*construct_value=*/false);
+    for (int i = 0; i < kMaxHeight; ++i) head_->next[i] = nullptr;
+    head_->prev = nullptr;
+    last_ = head_;
+  }
+
+  ~SkipList() {
+    Clear();
+    for (int h = 1; h <= kMaxHeight; ++h) {
+      Node* node = free_list_[h - 1];
+      while (node != nullptr) {
+        Node* next = node->next[0];
+        ::operator delete(node);
+        node = next;
+      }
+    }
+    ::operator delete(head_);
+  }
+
+  SkipList(const SkipList&) = delete;
+  SkipList& operator=(const SkipList&) = delete;
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Removes all elements.
+  void Clear() {
+    Node* n = head_->next[0];
+    while (n != nullptr) {
+      Node* next = n->next[0];
+      FreeNode(n, /*destroy_value=*/true);
+      n = next;
+    }
+    for (int i = 0; i < kMaxHeight; ++i) head_->next[i] = nullptr;
+    last_ = head_;
+    size_ = 0;
+  }
+
+  /// Inserts `value` if no equivalent element exists. Returns the position
+  /// of the (new or pre-existing) element and whether insertion happened.
+  std::pair<Iterator, bool> Insert(const T& value) {
+    Node* update[kMaxHeight];
+    Node* succ = FindGreaterOrEqual(value, update);
+    if (succ != nullptr && Equal(succ->value, value)) {
+      return {Iterator(this, succ), false};
+    }
+    const int height = RandomHeight();
+    Node* node = AllocateNode(height, /*construct_value=*/false);
+    new (&node->value) T(value);
+    for (int i = 0; i < height; ++i) {
+      node->next[i] = update[i]->next[i];
+      update[i]->next[i] = node;
+    }
+    node->prev = update[0];
+    if (node->next[0] != nullptr) {
+      node->next[0]->prev = node;
+    } else {
+      last_ = node;
+    }
+    ++size_;
+    return {Iterator(this, node), true};
+  }
+
+  /// Removes the element equivalent to `value`; returns false if absent.
+  bool Erase(const T& value) {
+    Node* update[kMaxHeight];
+    Node* node = FindGreaterOrEqual(value, update);
+    if (node == nullptr || !Equal(node->value, value)) return false;
+    EraseNode(node, update);
+    return true;
+  }
+
+  /// Removes the element at `pos` (which must be valid and dereferenceable)
+  /// and returns the iterator following it.
+  Iterator Erase(Iterator pos) {
+    ITA_DCHECK(pos.node_ != nullptr && pos.node_ != head_);
+    Node* next = pos.node_->next[0];
+    const bool erased = Erase(pos.node_->value);
+    ITA_DCHECK(erased);
+    (void)erased;
+    return Iterator(this, next);
+  }
+
+  /// Position of the element equivalent to `value`, or end().
+  Iterator Find(const T& value) const {
+    Node* node = FindGreaterOrEqual(value, nullptr);
+    if (node != nullptr && Equal(node->value, value)) return Iterator(this, node);
+    return end();
+  }
+
+  bool Contains(const T& value) const { return Find(value) != end(); }
+
+  /// First element e with !(e < value), i.e. e >= value in list order.
+  Iterator LowerBound(const T& value) const {
+    return Iterator(this, FindGreaterOrEqual(value, nullptr));
+  }
+
+  /// First element e with value < e.
+  Iterator UpperBound(const T& value) const {
+    Node* x = head_;
+    for (int level = kMaxHeight - 1; level >= 0; --level) {
+      while (x->next[level] != nullptr && !cmp_(value, x->next[level]->value)) {
+        x = x->next[level];
+      }
+    }
+    return Iterator(this, x->next[0]);
+  }
+
+  Iterator begin() const { return Iterator(this, head_->next[0]); }
+  Iterator end() const { return Iterator(this, nullptr); }
+
+  /// Last element, or end() when empty.
+  Iterator Back() const {
+    return last_ == head_ ? end() : Iterator(this, last_);
+  }
+
+  /// Bidirectional iterator over the level-0 chain. Decrementing begin()
+  /// or incrementing end() is undefined, as with standard containers.
+  class Iterator {
+   public:
+    using value_type = T;
+
+    Iterator() = default;
+
+    const T& operator*() const { return node_->value; }
+    const T* operator->() const { return &node_->value; }
+
+    Iterator& operator++() {
+      node_ = node_->next[0];
+      return *this;
+    }
+    Iterator operator++(int) {
+      Iterator tmp = *this;
+      ++*this;
+      return tmp;
+    }
+
+    Iterator& operator--() {
+      if (node_ == nullptr) {
+        node_ = list_->last_;
+        ITA_DCHECK(node_ != list_->head_) << "--end() on empty skip list";
+      } else {
+        node_ = node_->prev;
+        ITA_DCHECK(node_ != list_->head_) << "--begin()";
+      }
+      return *this;
+    }
+    Iterator operator--(int) {
+      Iterator tmp = *this;
+      --*this;
+      return tmp;
+    }
+
+    /// True if a predecessor element exists (i.e. this is not begin() and
+    /// the list is non-empty). Valid for end() as well.
+    bool HasPrev() const {
+      const auto* pred = node_ == nullptr ? list_->last_ : node_->prev;
+      return pred != list_->head_;
+    }
+
+    friend bool operator==(const Iterator& a, const Iterator& b) {
+      return a.node_ == b.node_;
+    }
+    friend bool operator!=(const Iterator& a, const Iterator& b) {
+      return a.node_ != b.node_;
+    }
+
+   private:
+    friend class SkipList;
+    Iterator(const SkipList* list, typename SkipList::Node* node)
+        : list_(list), node_(node) {}
+
+    const SkipList* list_ = nullptr;
+    typename SkipList::Node* node_ = nullptr;
+  };
+
+ private:
+  struct Node {
+    T value;
+    Node* prev;
+    std::int32_t height;
+    Node* next[1];  // flexible: `height` pointers are allocated
+  };
+
+  // Nodes are recycled through per-height free lists: sliding-window
+  // workloads insert and erase at the same steady rate, so after warm-up
+  // almost every allocation is served without touching the allocator.
+  Node* AllocateNode(int height, bool construct_value) {
+    Node* node = free_list_[height - 1];
+    if (node != nullptr) {
+      free_list_[height - 1] = node->next[0];
+    } else {
+      const std::size_t bytes =
+          sizeof(Node) + sizeof(Node*) * static_cast<std::size_t>(height - 1);
+      node = static_cast<Node*>(::operator new(bytes));
+    }
+    node->height = height;
+    node->prev = nullptr;
+    if (construct_value) new (&node->value) T();
+    return node;
+  }
+
+  void FreeNode(Node* node, bool destroy_value) {
+    if (destroy_value) node->value.~T();
+    node->next[0] = free_list_[node->height - 1];
+    free_list_[node->height - 1] = node;
+  }
+
+  bool Equal(const T& a, const T& b) const { return !cmp_(a, b) && !cmp_(b, a); }
+
+  int RandomHeight() {
+    int height = 1;
+    while (height < kMaxHeight && (rng_.Next() % kBranching) == 0) ++height;
+    return height;
+  }
+
+  /// First node whose value is >= `value` in list order; fills `update`
+  /// (when non-null) with the rightmost node < value at every level.
+  Node* FindGreaterOrEqual(const T& value, Node** update) const {
+    Node* x = head_;
+    for (int level = kMaxHeight - 1; level >= 0; --level) {
+      while (x->next[level] != nullptr && cmp_(x->next[level]->value, value)) {
+        x = x->next[level];
+      }
+      if (update != nullptr) update[level] = x;
+    }
+    return x->next[0];
+  }
+
+  void EraseNode(Node* node, Node** update) {
+    for (int i = 0; i < node->height; ++i) {
+      ITA_DCHECK(update[i]->next[i] == node);
+      update[i]->next[i] = node->next[i];
+    }
+    if (node->next[0] != nullptr) {
+      node->next[0]->prev = node->prev;
+    } else {
+      last_ = node->prev;
+    }
+    FreeNode(node, /*destroy_value=*/true);
+    --size_;
+  }
+
+  Compare cmp_;
+  Rng rng_;
+  Node* head_;          // sentinel; value never constructed
+  Node* last_ = nullptr;  // last real node, or head_ when empty
+  std::size_t size_ = 0;
+  Node* free_list_[kMaxHeight] = {};  // recycled nodes, bucketed by height
+};
+
+}  // namespace ita

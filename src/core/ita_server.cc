@@ -1,0 +1,347 @@
+#include "core/ita_server.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace ita {
+
+namespace {
+constexpr double kInfinity = std::numeric_limits<double>::infinity();
+}  // namespace
+
+Status ItaServer::OnRegisterQuery(QueryId id, const Query& query) {
+  auto state = std::make_unique<QueryState>();
+  state->id = id;
+  state->query = &query;
+  state->theta.assign(query.terms.size(), kInfinity);
+  state->tau = kInfinity;
+
+  // Threshold-tree entries exist from registration on; +infinity keeps the
+  // query invisible to probes until the initial search assigns real
+  // thresholds.
+  for (const TermWeight& tw : query.terms) {
+    trees_[tw.term].Insert(kInfinity, id);
+  }
+
+  QueryState* raw = state.get();
+  states_.emplace(id, std::move(state));
+
+  // Initial top-k over the current window contents (Section III-A).
+  ExtendSearch(*raw);
+  return Status::OK();
+}
+
+Status ItaServer::OnUnregisterQuery(QueryId id) {
+  const auto it = states_.find(id);
+  ITA_CHECK(it != states_.end());
+  const QueryState& state = *it->second;
+  for (std::size_t i = 0; i < state.query->terms.size(); ++i) {
+    const TermId term = state.query->terms[i].term;
+    const auto tree = trees_.find(term);
+    ITA_CHECK(tree != trees_.end());
+    const bool erased = tree->second.Erase(state.theta[i], id);
+    ITA_CHECK(erased) << "threshold tree entry missing for query " << id;
+  }
+  states_.erase(it);
+  return Status::OK();
+}
+
+void ItaServer::CollectAffectedQueries(const Document& doc,
+                                       std::vector<QueryId>* out) {
+  out->clear();
+  ServerStats& stats = mutable_stats();
+  for (const TermWeight& tw : doc.composition) {
+    const auto it = trees_.find(tw.term);
+    if (it == trees_.end() || it->second.empty()) continue;
+    stats.threshold_probe_steps += it->second.ProbeLessEqual(
+        tw.weight, [out](QueryId q) { out->push_back(q); });
+  }
+  // A document is processed once per query even if it clears several local
+  // thresholds (Section III-B).
+  std::sort(out->begin(), out->end());
+  out->erase(std::unique(out->begin(), out->end()), out->end());
+}
+
+void ItaServer::OnArrive(const Document& doc) {
+  mutable_stats().index_entries_inserted += index_.AddDocument(doc);
+  if (states_.empty()) return;
+
+  CollectAffectedQueries(doc, &probe_scratch_);
+  for (const QueryId id : probe_scratch_) {
+    ++mutable_stats().queries_probed;
+    ProcessArrival(*states_.at(id), doc);
+  }
+}
+
+void ItaServer::OnExpire(const Document& doc) {
+  // Delete postings first so a refill cannot resurrect the expiring
+  // document.
+  mutable_stats().index_entries_erased += index_.RemoveDocument(doc);
+  if (states_.empty()) return;
+
+  CollectAffectedQueries(doc, &probe_scratch_);
+  for (const QueryId id : probe_scratch_) {
+    ++mutable_stats().queries_probed;
+    ProcessExpiry(*states_.at(id), doc);
+  }
+}
+
+void ItaServer::ProcessArrival(QueryState& state, const Document& doc) {
+  const std::size_t k = static_cast<std::size_t>(state.query->k);
+  const double sk_before = state.result.KthScore(k);
+
+  ScoreIntoResult(state, doc);
+
+  // Scores are strictly positive here (the document shares a term with the
+  // query); score >= sk_before covers both "R had fewer than k documents"
+  // and "d displaces the old k-th (ties resolve newest-first)".
+  const double score = *state.result.ScoreOf(doc.id);
+  if (score >= sk_before) {
+    MarkResultChanged(state.id);
+    if (tuning_.enable_rollup) RollUp(state);
+  }
+}
+
+void ItaServer::ProcessExpiry(QueryState& state, const Document& doc) {
+  const std::size_t k = static_cast<std::size_t>(state.query->k);
+
+  // Invariant I1: a document above some local threshold is in R, score
+  // already known — "we do not need to calculate it anew".
+  ITA_DCHECK(state.result.Contains(doc.id))
+      << "I1 violated: expiring doc " << doc.id << " missing from R of query "
+      << state.id;
+
+  const bool was_topk = state.result.InTopK(doc.id, k);
+  const bool erased = state.result.Erase(doc.id);
+  ITA_CHECK(erased);
+  ++mutable_stats().result_removals;
+
+  if (!was_topk) return;  // below the top-k: simply remove (Section III-B)
+
+  MarkResultChanged(state.id);
+  // The result lost a top-k member; resume the threshold search from the
+  // current local thresholds if the remaining candidates cannot prove the
+  // new top-k (I2 violated).
+  if (state.result.KthScore(k) < state.tau) {
+    ++mutable_stats().refills;
+    ExtendSearch(state);
+  }
+}
+
+void ItaServer::ScoreIntoResult(QueryState& state, const Document& doc) {
+  const double score = ScoreDocument(doc.composition, state.query->terms);
+  ++mutable_stats().scores_computed;
+  state.result.Insert(doc.id, score);
+  ++mutable_stats().result_insertions;
+}
+
+void ItaServer::SetTheta(QueryState& state, std::size_t i, double new_theta) {
+  const double old_theta = state.theta[i];
+  if (old_theta == new_theta) return;
+  const TermId term = state.query->terms[i].term;
+  const auto tree = trees_.find(term);
+  ITA_CHECK(tree != trees_.end());
+  tree->second.Update(old_theta, new_theta, state.id);
+  state.theta[i] = new_theta;
+}
+
+void ItaServer::ExtendSearch(QueryState& state) {
+  const auto& qterms = state.query->terms;
+  const std::size_t n = qterms.size();
+  const std::size_t k = static_cast<std::size_t>(state.query->k);
+  ServerStats& stats = mutable_stats();
+
+  // Cursor i sits at the first unread entry of list i (first entry with
+  // weight strictly below theta[i]); lists_[i] may be null (term never
+  // indexed), which reads as exhausted.
+  std::vector<const InvertedList*> lists(n, nullptr);
+  std::vector<InvertedList::Iterator> cursor(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    lists[i] = index_.List(qterms[i].term);
+    if (lists[i] != nullptr) cursor[i] = lists[i]->FirstBelow(state.theta[i]);
+  }
+  const auto exhausted = [&](std::size_t i) {
+    return lists[i] == nullptr || cursor[i] == lists[i]->end();
+  };
+
+  // Reads every unread entry of list i tied at weight `w`, scoring the
+  // documents not yet in R, and lowers theta[i] to w. Draining the whole
+  // tie run keeps I1 exact: monitored region = {weight >= theta}.
+  const auto read_run_and_lower = [&](std::size_t i, double w) {
+    while (!exhausted(i) && cursor[i]->weight == w) {
+      const DocId d = cursor[i]->doc;
+      ++stats.list_entries_read;
+      if (!state.result.Contains(d)) {
+        const Document* doc = store().Get(d);
+        ITA_DCHECK(doc != nullptr);
+        ScoreIntoResult(state, *doc);
+      }
+      ++cursor[i];
+    }
+    SetTheta(state, i, w);
+  };
+
+  while (true) {
+    // tau if the search stopped right now (thresholds at the next unread
+    // weights, exhausted lists at 0), and the most promising list to read:
+    // the one with the highest w_{Q,t} * c_t (Section III-A favors heavy
+    // query terms instead of round-robin).
+    double tau_candidate = 0.0;
+    std::size_t best = n;
+    double best_key = -1.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (exhausted(i)) continue;
+      const double key = qterms[i].weight * cursor[i]->weight;
+      tau_candidate += key;
+      if (key > best_key) {
+        best_key = key;
+        best = i;
+      }
+    }
+
+    if (best == n) {
+      // Every list exhausted: R holds all valid documents with nonzero
+      // similarity; thresholds drop to 0 (fully monitored lists).
+      for (std::size_t i = 0; i < n; ++i) SetTheta(state, i, 0.0);
+      break;
+    }
+
+    if (state.result.KthScore(k) >= tau_candidate) {
+      // k documents are verified (score >= tau). Finalize the local
+      // thresholds at the "latest c_t values" (Section III-A), draining
+      // boundary ties; exhausted lists are fully monitored.
+      for (std::size_t i = 0; i < n; ++i) {
+        if (exhausted(i)) {
+          SetTheta(state, i, 0.0);
+        } else {
+          read_run_and_lower(i, cursor[i]->weight);
+        }
+      }
+      break;
+    }
+
+    read_run_and_lower(best, cursor[best]->weight);
+  }
+
+  state.tau = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    state.tau += qterms[i].weight * state.theta[i];
+  }
+  ITA_DCHECK(std::isfinite(state.tau));
+}
+
+void ItaServer::RollUp(QueryState& state) {
+  const auto& qterms = state.query->terms;
+  const std::size_t n = qterms.size();
+  const std::size_t k = static_cast<std::size_t>(state.query->k);
+  ServerStats& stats = mutable_stats();
+
+  const double sk = state.result.KthScore(k);
+
+  while (true) {
+    // Candidate roll-up per list: lift theta to the smallest distinct
+    // weight above it ("the preceding entry"). The paper lifts the list
+    // with the smallest w_{Q,t} * c_t first.
+    std::size_t best = n;
+    double best_key = kInfinity;
+    double best_target = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const InvertedList* list = index_.List(qterms[i].term);
+      if (list == nullptr) continue;
+      const auto target = list->NextWeightAbove(state.theta[i]);
+      if (!target.has_value()) continue;
+      const double key = qterms[i].weight * *target;
+      if (key < best_key) {
+        best_key = key;
+        best = i;
+        best_target = *target;
+      }
+    }
+    if (best == n) break;
+
+    const double new_tau =
+        state.tau + qterms[best].weight * (best_target - state.theta[best]);
+    if (new_tau > sk) break;  // stop at the last iteration with tau <= S_k
+
+    // Evict from R the documents de-monitored by this lift: entries of the
+    // rolled list with weight in [theta_best, best_target) that fall below
+    // every (new) local threshold. Such documents score < new_tau <= S_k,
+    // so they cannot be in the top-k (DESIGN.md §2, item 5).
+    const InvertedList* list = index_.List(qterms[best].term);
+    const double old_theta = state.theta[best];
+    SetTheta(state, best, best_target);
+    state.tau = new_tau;
+    ++stats.rollup_steps;
+
+    const auto segment_end = list->FirstBelow(old_theta);
+    for (auto it = list->FirstBelow(best_target); it != segment_end; ++it) {
+      const DocId d = it->doc;
+      const Document* doc = store().Get(d);
+      ITA_DCHECK(doc != nullptr);
+      bool monitored = false;
+      for (std::size_t j = 0; j < n; ++j) {
+        // Only terms the document contains have impact entries; absent
+        // terms (weight 0) are never ahead of a threshold, even theta = 0.
+        const double w = CompositionWeight(doc->composition, qterms[j].term);
+        if (w > 0.0 && w >= state.theta[j]) {
+          monitored = true;
+          break;
+        }
+      }
+      if (!monitored) {
+        const bool erased = state.result.Erase(d);
+        ITA_DCHECK(erased) << "I1 violated during roll-up";
+        if (erased) {
+          ++stats.rollup_evictions;
+          ++stats.result_removals;
+        }
+      }
+    }
+  }
+}
+
+std::vector<ResultEntry> ItaServer::CurrentResult(QueryId id) const {
+  const auto it = states_.find(id);
+  ITA_CHECK(it != states_.end());
+  const QueryState& state = *it->second;
+  return state.result.TopK(static_cast<std::size_t>(state.query->k));
+}
+
+StatusOr<double> ItaServer::InfluenceThreshold(QueryId id) const {
+  const auto it = states_.find(id);
+  if (it == states_.end()) {
+    return Status::NotFound("no query with id " + std::to_string(id));
+  }
+  return it->second->tau;
+}
+
+StatusOr<double> ItaServer::LocalThreshold(QueryId id, TermId term) const {
+  const auto it = states_.find(id);
+  if (it == states_.end()) {
+    return Status::NotFound("no query with id " + std::to_string(id));
+  }
+  const QueryState& state = *it->second;
+  for (std::size_t i = 0; i < state.query->terms.size(); ++i) {
+    if (state.query->terms[i].term == term) return state.theta[i];
+  }
+  return Status::OutOfRange("term not part of the query");
+}
+
+StatusOr<std::vector<ResultEntry>> ItaServer::Candidates(QueryId id) const {
+  const auto it = states_.find(id);
+  if (it == states_.end()) {
+    return Status::NotFound("no query with id " + std::to_string(id));
+  }
+  const QueryState& state = *it->second;
+  std::vector<ResultEntry> out;
+  out.reserve(state.result.size());
+  for (const auto& entry : state.result) {
+    out.push_back(ResultEntry{entry.doc, entry.score});
+  }
+  return out;
+}
+
+}  // namespace ita

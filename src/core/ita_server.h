@@ -1,0 +1,125 @@
+// The Incremental Threshold Algorithm (Section III of Mouratidis & Pang,
+// ICDE 2009).
+//
+// Data structures (Figure 1): the valid documents live in the base class's
+// FIFO store; on top of them ItaServer maintains an impact-ordered
+// inverted index, and for every inverted list a threshold tree holding the
+// local thresholds theta_{Q,t} of the registered queries.
+//
+// Invariants maintained for every query Q (DESIGN.md §2):
+//   I1  R(Q) = { valid d : exists t in Q with w_{d,t} >= theta_{Q,t} },
+//       every member with its exact score S(d|Q);
+//   I2  tau(Q) = sum_t w_{Q,t} * theta_{Q,t} <= S_k(Q) whenever R holds at
+//       least k documents (tau = 0 when the query's lists are exhausted).
+// Under I1+I2 any valid document outside R scores strictly below tau <=
+// S_k, so the top-k prefix of R is the exact query answer at all times.
+//
+// Event processing:
+//   * arrival  — insert postings; probe the threshold trees of the
+//     document's terms for queries with theta <= w_{d,t}; score and add
+//     the document to their R; when S_k rises, roll local thresholds up
+//     (shrinking the monitored region) while tau stays <= S_k;
+//   * expiry   — delete postings; probe the same trees; drop the document
+//     from each affected R; if it was in a top-k, resume the threshold
+//     search downward from the current thresholds until I2 holds again.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/result_set.h"
+#include "core/server.h"
+#include "core/threshold_tree.h"
+#include "index/inverted_index.h"
+
+namespace ita {
+
+struct ItaTuning {
+  /// Disable to ablate the threshold roll-up of Section III-B (bench A3):
+  /// local thresholds then only ever move downward, monitored regions only
+  /// grow, and more arrivals/expirations must be processed per query.
+  bool enable_rollup = true;
+};
+
+class ItaServer : public ContinuousSearchServer {
+ public:
+  explicit ItaServer(ServerOptions options, ItaTuning tuning = {})
+      : ContinuousSearchServer(options), tuning_(tuning) {}
+
+  std::string name() const override { return "ita"; }
+
+  const InvertedIndex& index() const { return index_; }
+
+  /// The current influence threshold tau(Q) — exposed for tests and for
+  /// the invariant checker.
+  StatusOr<double> InfluenceThreshold(QueryId id) const;
+
+  /// The current local threshold theta_{Q,t}; OutOfRange if t not in Q.
+  StatusOr<double> LocalThreshold(QueryId id, TermId term) const;
+
+  /// Full candidate list R (verified + unverified), best first — test and
+  /// debugging hook; the public answer is Result(id).
+  StatusOr<std::vector<ResultEntry>> Candidates(QueryId id) const;
+
+ protected:
+  Status OnRegisterQuery(QueryId id, const Query& query) override;
+  Status OnUnregisterQuery(QueryId id) override;
+  void OnArrive(const Document& doc) override;
+  void OnExpire(const Document& doc) override;
+  std::vector<ResultEntry> CurrentResult(QueryId id) const override;
+
+ private:
+  struct QueryState {
+    QueryId id = kInvalidQueryId;
+    const Query* query = nullptr;  // owned by the base class; node-stable
+    ResultSet result;
+    /// Local thresholds, parallel to query->terms. +infinity = nothing
+    /// read yet (registration only); 0 = list exhausted (fully monitored).
+    std::vector<double> theta;
+    /// Cached tau = sum_t w_{Q,t} * theta_t; finite once registered.
+    double tau = 0.0;
+  };
+
+  /// Probes the threshold trees of the document's terms and returns the
+  /// distinct queries with theta_{Q,t} <= w_{d,t} for some t (the queries
+  /// the document may affect).
+  void CollectAffectedQueries(const Document& doc, std::vector<QueryId>* out);
+
+  /// Arrival handling for one affected query (Section III-B).
+  void ProcessArrival(QueryState& state, const Document& doc);
+
+  /// Expiration handling for one affected query (Section III-B).
+  void ProcessExpiry(QueryState& state, const Document& doc);
+
+  /// The unified threshold search: used for the initial top-k computation
+  /// (Section III-A) and, because R keeps the unverified documents, for
+  /// the incremental refill after expirations. Reads inverted lists
+  /// downward from the current local thresholds — favoring the list with
+  /// the highest w_{Q,t} * c_t — until S_k >= tau or all lists are
+  /// exhausted. Finalizes thresholds at the last-read weights, draining
+  /// boundary tie runs so I1 holds exactly.
+  void ExtendSearch(QueryState& state);
+
+  /// The roll-up of Section III-B: while tau can rise without exceeding
+  /// S_k, lift the local threshold of the list with the smallest
+  /// w_{Q,t} * c_t to the next distinct weight above it, evicting from R
+  /// the documents that fall below all local thresholds.
+  void RollUp(QueryState& state);
+
+  /// Scores `doc` against `state` and adds it to R (it must be absent).
+  void ScoreIntoResult(QueryState& state, const Document& doc);
+
+  /// Moves theta[i] (vector + threshold tree entry) to `new_theta`.
+  void SetTheta(QueryState& state, std::size_t i, double new_theta);
+
+  ItaTuning tuning_;
+  InvertedIndex index_;
+  std::unordered_map<QueryId, std::unique_ptr<QueryState>> states_;
+  std::unordered_map<TermId, ThresholdTree> trees_;
+  std::vector<QueryId> probe_scratch_;
+};
+
+}  // namespace ita

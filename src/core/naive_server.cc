@@ -1,0 +1,154 @@
+#include "core/naive_server.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "container/bounded_heap.h"
+
+namespace ita {
+
+std::size_t NaiveServer::KMaxFor(int k) const {
+  const double scaled = std::ceil(tuning_.kmax_factor * static_cast<double>(k));
+  const std::size_t kmax = static_cast<std::size_t>(scaled);
+  return kmax > static_cast<std::size_t>(k) ? kmax : static_cast<std::size_t>(k);
+}
+
+Status NaiveServer::OnRegisterQuery(QueryId id, const Query& query) {
+  auto state = std::make_unique<QueryState>();
+  state->id = id;
+  state->query = &query;
+  state->kmax = KMaxFor(query.k);
+  QueryState* raw = state.get();
+  states_.emplace(id, std::move(state));
+  Refill(*raw);  // initial evaluation scans all valid documents
+  return Status::OK();
+}
+
+Status NaiveServer::OnUnregisterQuery(QueryId id) {
+  const auto it = states_.find(id);
+  ITA_CHECK(it != states_.end());
+  states_.erase(it);
+  return Status::OK();
+}
+
+void NaiveServer::OnArrive(const Document& doc) {
+  ServerStats& stats = mutable_stats();
+  for (auto& [id, state_ptr] : states_) {
+    QueryState& state = *state_ptr;
+    // Naive computes S(d_ins|Q) for every user query Q.
+    const double score = ScoreDocument(doc.composition, state.query->terms);
+    ++stats.scores_computed;
+    if (score <= 0.0) continue;
+
+    const std::size_t k = static_cast<std::size_t>(state.query->k);
+    const double sk_before = state.view.KthScore(k);
+
+    if (state.complete) {
+      // The view holds every matching document; admit unconditionally.
+      state.view.Insert(doc.id, score);
+      ++stats.result_insertions;
+      if (state.view.size() > state.kmax) {
+        // Evict the worst; from now on matchers exist outside the view.
+        state.view.Erase(state.view.Worst()->doc);
+        ++stats.result_removals;
+        state.complete = false;
+      }
+    } else {
+      // view = exact top-k'; admit only documents that enter it. Ties
+      // admit (newer documents outrank equal-scored older ones).
+      const auto worst = state.view.Worst();
+      if (!worst.has_value() || score >= worst->score) {
+        state.view.Insert(doc.id, score);
+        ++stats.result_insertions;
+        if (state.view.size() > state.kmax) {
+          state.view.Erase(state.view.Worst()->doc);
+          ++stats.result_removals;
+        }
+      }
+    }
+
+    if (score >= sk_before) MarkResultChanged(state.id);
+  }
+}
+
+void NaiveServer::OnExpire(const Document& doc) {
+  ServerStats& stats = mutable_stats();
+  for (auto& [id, state_ptr] : states_) {
+    QueryState& state = *state_ptr;
+    // Naive checks whether d_del is in R for every query.
+    ++stats.membership_checks;
+    if (!state.view.Contains(doc.id)) continue;
+
+    const std::size_t k = static_cast<std::size_t>(state.query->k);
+    const bool was_topk = state.view.InTopK(doc.id, k);
+    state.view.Erase(doc.id);
+    ++stats.result_removals;
+    if (was_topk) MarkResultChanged(state.id);
+
+    if (state.view.size() < k &&
+        !(tuning_.skip_complete_rescans && state.complete)) {
+      // Underflow: recompute the view from scratch (the expensive scan;
+      // top-k_max per [6] to make these recomputations rarer). A complete
+      // view cannot gain members from a rescan; the paper's baseline
+      // rescans anyway, the tuning flag above opts out.
+      Refill(state);
+      ++stats.full_rescans;
+    }
+  }
+}
+
+void NaiveServer::Refill(QueryState& state) {
+  struct RanksBefore {
+    bool operator()(const ResultSet::Entry& a, const ResultSet::Entry& b) const {
+      if (a.score != b.score) return a.score > b.score;
+      return a.doc > b.doc;
+    }
+  };
+  ServerStats& stats = mutable_stats();
+  BoundedTopK<ResultSet::Entry, RanksBefore> heap(state.kmax);
+  std::size_t matchers = 0;
+  for (const Document& doc : store()) {
+    const double score = ScoreDocument(doc.composition, state.query->terms);
+    ++stats.scores_computed;
+    if (score <= 0.0) continue;
+    ++matchers;
+    heap.Push(ResultSet::Entry{score, doc.id});
+  }
+  state.view.Clear();
+  for (const ResultSet::Entry& entry : heap.TakeSorted()) {
+    state.view.Insert(entry.doc, entry.score);
+  }
+  state.complete = matchers <= state.kmax;
+  MarkResultChanged(state.id);
+}
+
+StatusOr<std::vector<ResultEntry>> NaiveServer::View(QueryId id) const {
+  const auto it = states_.find(id);
+  if (it == states_.end()) {
+    return Status::NotFound("no query with id " + std::to_string(id));
+  }
+  const QueryState& state = *it->second;
+  std::vector<ResultEntry> out;
+  out.reserve(state.view.size());
+  for (const auto& entry : state.view) {
+    out.push_back(ResultEntry{entry.doc, entry.score});
+  }
+  return out;
+}
+
+StatusOr<bool> NaiveServer::ViewComplete(QueryId id) const {
+  const auto it = states_.find(id);
+  if (it == states_.end()) {
+    return Status::NotFound("no query with id " + std::to_string(id));
+  }
+  return it->second->complete;
+}
+
+std::vector<ResultEntry> NaiveServer::CurrentResult(QueryId id) const {
+  const auto it = states_.find(id);
+  ITA_CHECK(it != states_.end());
+  const QueryState& state = *it->second;
+  return state.view.TopK(static_cast<std::size_t>(state.query->k));
+}
+
+}  // namespace ita

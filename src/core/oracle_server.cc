@@ -1,0 +1,43 @@
+#include "core/oracle_server.h"
+
+#include "common/logging.h"
+#include "container/bounded_heap.h"
+#include "core/result_set.h"
+
+namespace ita {
+
+Status OracleServer::OnRegisterQuery(QueryId id, const Query& query) {
+  registered_.emplace(id, &query);
+  return Status::OK();
+}
+
+Status OracleServer::OnUnregisterQuery(QueryId id) {
+  registered_.erase(id);
+  return Status::OK();
+}
+
+void OracleServer::OnArrive(const Document& doc) { (void)doc; }
+
+void OracleServer::OnExpire(const Document& doc) { (void)doc; }
+
+std::vector<ResultEntry> OracleServer::CurrentResult(QueryId id) const {
+  const auto it = registered_.find(id);
+  ITA_CHECK(it != registered_.end());
+  const Query& query = *it->second;
+
+  struct RanksBefore {
+    bool operator()(const ResultEntry& a, const ResultEntry& b) const {
+      if (a.score != b.score) return a.score > b.score;
+      return a.doc > b.doc;  // ties: newest first, matching ResultSet
+    }
+  };
+  BoundedTopK<ResultEntry, RanksBefore> heap(static_cast<std::size_t>(query.k));
+  for (const Document& doc : store()) {
+    const double score = ScoreDocument(doc.composition, query.terms);
+    if (score <= 0.0) continue;  // only nonzero-similarity documents count
+    heap.Push(ResultEntry{doc.id, score});
+  }
+  return heap.TakeSorted();
+}
+
+}  // namespace ita

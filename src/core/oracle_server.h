@@ -1,0 +1,32 @@
+// Brute-force ground truth: recomputes every result from scratch, on
+// demand, by scanning all valid documents. Used by the test suites to
+// verify ITA and Naive after every stream event; never benchmarked.
+
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+#include "core/server.h"
+
+namespace ita {
+
+class OracleServer : public ContinuousSearchServer {
+ public:
+  explicit OracleServer(ServerOptions options)
+      : ContinuousSearchServer(options) {}
+
+  std::string name() const override { return "oracle"; }
+
+ protected:
+  Status OnRegisterQuery(QueryId id, const Query& query) override;
+  Status OnUnregisterQuery(QueryId id) override;
+  void OnArrive(const Document& doc) override;
+  void OnExpire(const Document& doc) override;
+  std::vector<ResultEntry> CurrentResult(QueryId id) const override;
+
+ private:
+  std::unordered_map<QueryId, const Query*> registered_;
+};
+
+}  // namespace ita

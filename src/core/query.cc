@@ -1,0 +1,52 @@
+#include "core/query.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace ita {
+
+Status ValidateQuery(const Query& query) {
+  if (query.k < 1) {
+    return Status::InvalidArgument("query requires k >= 1");
+  }
+  if (query.terms.empty()) {
+    return Status::InvalidArgument("query has no effective search terms");
+  }
+  TermId prev = kInvalidTermId;
+  for (std::size_t i = 0; i < query.terms.size(); ++i) {
+    const TermWeight& tw = query.terms[i];
+    if (tw.weight <= 0.0) {
+      std::ostringstream os;
+      os << "query term " << tw.term << " has non-positive weight " << tw.weight;
+      return Status::InvalidArgument(os.str());
+    }
+    if (i > 0 && tw.term <= prev) {
+      return Status::InvalidArgument(
+          "query terms must be sorted by ascending TermId and distinct");
+    }
+    prev = tw.term;
+  }
+  return Status::OK();
+}
+
+double ScoreDocument(const Composition& composition,
+                     const std::vector<TermWeight>& query_terms) {
+  // The query side is short (a handful of terms); binary-search each query
+  // term in the document's composition list.
+  double score = 0.0;
+  auto begin = composition.begin();
+  for (const TermWeight& qt : query_terms) {
+    const auto it = std::lower_bound(
+        begin, composition.end(), qt.term,
+        [](const TermWeight& tw, TermId term) { return tw.term < term; });
+    if (it != composition.end() && it->term == qt.term) {
+      score += qt.weight * it->weight;
+      begin = it + 1;  // query terms ascend, so the search range shrinks
+    } else {
+      begin = it;
+    }
+  }
+  return score;
+}
+
+}  // namespace ita

@@ -1,0 +1,35 @@
+// A continuous text search query (Section II): a set of weighted search
+// terms plus the result size k. Queries are installed once at the server
+// and stay active until unregistered.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "stream/document.h"
+
+namespace ita {
+
+struct Query {
+  /// Number of result documents requested. Must be >= 1.
+  int k = 0;
+  /// Weighted search terms: sorted by ascending TermId, one entry per
+  /// distinct term, all weights strictly positive. See BuildQueryVector.
+  std::vector<TermWeight> terms;
+  /// Original query string, kept for display purposes only.
+  std::string text;
+};
+
+/// Validates the structural requirements above.
+Status ValidateQuery(const Query& query);
+
+/// The similarity score S(d|Q) = sum over shared terms of w_{Q,t} * w_{d,t}
+/// (paper Formula 1). `query_terms` and `composition` must both be sorted
+/// by ascending TermId.
+double ScoreDocument(const Composition& composition,
+                     const std::vector<TermWeight>& query_terms);
+
+}  // namespace ita

@@ -1,0 +1,65 @@
+#include "core/result_set.h"
+
+#include "common/logging.h"
+
+namespace ita {
+
+void ResultSet::Insert(DocId doc, double score) {
+  const auto [it, inserted] = by_doc_.emplace(doc, score);
+  (void)it;
+  ITA_CHECK(inserted) << "document " << doc << " already in result set";
+  const auto [pos, fresh] = by_score_.Insert(Entry{score, doc});
+  (void)pos;
+  ITA_DCHECK(fresh);
+}
+
+bool ResultSet::Erase(DocId doc) {
+  const auto it = by_doc_.find(doc);
+  if (it == by_doc_.end()) return false;
+  const bool erased = by_score_.Erase(Entry{it->second, doc});
+  ITA_DCHECK(erased);
+  (void)erased;
+  by_doc_.erase(it);
+  return true;
+}
+
+std::optional<double> ResultSet::ScoreOf(DocId doc) const {
+  const auto it = by_doc_.find(doc);
+  if (it == by_doc_.end()) return std::nullopt;
+  return it->second;
+}
+
+double ResultSet::KthScore(std::size_t k) const {
+  if (k == 0) return 0.0;
+  if (by_doc_.size() < k) return 0.0;
+  auto it = by_score_.begin();
+  for (std::size_t i = 1; i < k; ++i) ++it;
+  return it->score;
+}
+
+std::vector<ResultEntry> ResultSet::TopK(std::size_t k) const {
+  std::vector<ResultEntry> out;
+  out.reserve(k < by_doc_.size() ? k : by_doc_.size());
+  auto it = by_score_.begin();
+  for (std::size_t i = 0; i < k && it != by_score_.end(); ++i, ++it) {
+    out.push_back(ResultEntry{it->doc, it->score});
+  }
+  return out;
+}
+
+bool ResultSet::InTopK(DocId doc, std::size_t k) const {
+  const auto stored = ScoreOf(doc);
+  if (!stored.has_value()) return false;
+  auto it = by_score_.begin();
+  for (std::size_t i = 0; i < k && it != by_score_.end(); ++i, ++it) {
+    if (it->doc == doc) return true;
+  }
+  return false;
+}
+
+void ResultSet::Clear() {
+  by_score_.Clear();
+  by_doc_.clear();
+}
+
+}  // namespace ita

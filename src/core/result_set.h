@@ -1,0 +1,89 @@
+// The maintained result list R of one continuous query (Section III).
+//
+// R holds every *encountered* document with its exact score — the top-k
+// prefix is the reported answer; the remainder ("unverified" documents in
+// the paper's terminology) is what makes incremental refill possible after
+// expirations. Ordered by decreasing score (ties: newest document first)
+// with O(log n) insert/erase and O(1) membership/score lookup.
+
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "container/skip_list.h"
+
+namespace ita {
+
+/// One reported result: a valid document and its similarity score.
+struct ResultEntry {
+  DocId doc = kInvalidDocId;
+  double score = 0.0;
+
+  friend bool operator==(const ResultEntry& a, const ResultEntry& b) {
+    return a.doc == b.doc && a.score == b.score;
+  }
+};
+
+class ResultSet {
+ public:
+  struct Entry {
+    double score = 0.0;
+    DocId doc = kInvalidDocId;
+  };
+  /// Decreasing score; ties broken by decreasing doc id (newest first).
+  struct Order {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.score != b.score) return a.score > b.score;
+      return a.doc > b.doc;
+    }
+  };
+  using List = SkipList<Entry, Order>;
+  using Iterator = List::Iterator;
+
+  std::size_t size() const { return by_doc_.size(); }
+  bool empty() const { return by_doc_.empty(); }
+
+  /// Adds document `doc` with `score`. Must not already be present.
+  void Insert(DocId doc, double score);
+
+  /// Removes `doc`; returns false if absent.
+  bool Erase(DocId doc);
+
+  bool Contains(DocId doc) const { return by_doc_.find(doc) != by_doc_.end(); }
+
+  /// Exact stored score, if present.
+  std::optional<double> ScoreOf(DocId doc) const;
+
+  /// Score of the k-th best document, S_k — the bar an arriving/expiring
+  /// document must reach to affect the top-k result. Returns 0 when fewer
+  /// than k documents are present (only zero-similarity documents are
+  /// missing from R at that point).
+  double KthScore(std::size_t k) const;
+
+  /// Top-min(k, size) entries, best first.
+  std::vector<ResultEntry> TopK(std::size_t k) const;
+
+  /// True when `doc` is within the top-k prefix (score above, or tied-and-
+  /// newer than, the k-th best).
+  bool InTopK(DocId doc, std::size_t k) const;
+
+  /// The lowest-ranked entry (worst score, oldest among ties), if any.
+  std::optional<Entry> Worst() const {
+    if (by_doc_.empty()) return std::nullopt;
+    return *by_score_.Back();
+  }
+
+  Iterator begin() const { return by_score_.begin(); }
+  Iterator end() const { return by_score_.end(); }
+
+  void Clear();
+
+ private:
+  List by_score_;
+  std::unordered_map<DocId, double> by_doc_;
+};
+
+}  // namespace ita

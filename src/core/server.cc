@@ -1,0 +1,118 @@
+#include "core/server.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace ita {
+
+ContinuousSearchServer::ContinuousSearchServer(ServerOptions options)
+    : options_(options) {
+  ITA_CHECK_OK(options_.window.Validate());
+}
+
+StatusOr<QueryId> ContinuousSearchServer::RegisterQuery(Query query) {
+  ITA_RETURN_NOT_OK(ValidateQuery(query));
+  const QueryId id = next_query_id_++;
+  const auto [it, inserted] = queries_.emplace(id, std::move(query));
+  ITA_DCHECK(inserted);
+  const Status status = OnRegisterQuery(id, it->second);
+  if (!status.ok()) {
+    queries_.erase(it);
+    return status;
+  }
+  return id;
+}
+
+Status ContinuousSearchServer::UnregisterQuery(QueryId id) {
+  const auto it = queries_.find(id);
+  if (it == queries_.end()) {
+    return Status::NotFound("no query with id " + std::to_string(id));
+  }
+  ITA_RETURN_NOT_OK(OnUnregisterQuery(id));
+  queries_.erase(it);
+  return Status::OK();
+}
+
+StatusOr<DocId> ContinuousSearchServer::Ingest(Document document) {
+  if (document.arrival_time < last_arrival_time_) {
+    return Status::InvalidArgument(
+        "document arrival times must be non-decreasing");
+  }
+  last_arrival_time_ = document.arrival_time;
+
+  // Expire documents the new arrival pushes out of the window — "a
+  // document d_ins arrives, forcing an existing one d_del to expire".
+  if (options_.window.kind == WindowSpec::Kind::kCountBased) {
+    while (store_.size() >= options_.window.count) ExpireOldest();
+  } else {
+    while (!store_.empty() &&
+           !options_.window.ValidAt(store_.Oldest().arrival_time,
+                                    document.arrival_time)) {
+      ExpireOldest();
+    }
+  }
+
+  const DocId id = store_.Append(std::move(document));
+  const Document* stored = store_.Get(id);
+  ITA_DCHECK(stored != nullptr);
+  OnArrive(*stored);
+  ++stats_.documents_ingested;
+
+  FlushNotifications();
+  return id;
+}
+
+Status ContinuousSearchServer::AdvanceTime(Timestamp now) {
+  if (now < last_arrival_time_) {
+    return Status::InvalidArgument("time may not move backwards");
+  }
+  last_arrival_time_ = now;
+  if (options_.window.kind == WindowSpec::Kind::kTimeBased) {
+    while (!store_.empty() &&
+           !options_.window.ValidAt(store_.Oldest().arrival_time, now)) {
+      ExpireOldest();
+    }
+  }
+  FlushNotifications();
+  return Status::OK();
+}
+
+StatusOr<std::vector<ResultEntry>> ContinuousSearchServer::Result(QueryId id) const {
+  if (queries_.find(id) == queries_.end()) {
+    return Status::NotFound("no query with id " + std::to_string(id));
+  }
+  return CurrentResult(id);
+}
+
+void ContinuousSearchServer::ExpireOldest() {
+  // Remove the document from the store first: strategies that rescan the
+  // valid documents during OnExpire (Naive's refill) must not see it.
+  const Document expired = store_.PopOldest();
+  OnExpire(expired);
+  ++stats_.documents_expired;
+}
+
+void ContinuousSearchServer::MarkResultChanged(QueryId id) {
+  if (listener_ == nullptr) return;
+  if (std::find(changed_queries_.begin(), changed_queries_.end(), id) ==
+      changed_queries_.end()) {
+    changed_queries_.push_back(id);
+  }
+}
+
+void ContinuousSearchServer::FlushNotifications() {
+  if (listener_ == nullptr || changed_queries_.empty()) return;
+  for (const QueryId id : changed_queries_) {
+    listener_(id, CurrentResult(id));
+  }
+  changed_queries_.clear();
+}
+
+const Query& ContinuousSearchServer::GetQuery(QueryId id) const {
+  const auto it = queries_.find(id);
+  ITA_CHECK(it != queries_.end()) << "unknown query id " << id;
+  return it->second;
+}
+
+}  // namespace ita

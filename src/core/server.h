@@ -1,0 +1,131 @@
+// The continuous text search server abstraction (Section II's system
+// model): documents stream in, registered queries stay active, and the
+// server keeps every query's exact top-k over the sliding window.
+//
+// ContinuousSearchServer owns the machinery every strategy shares — the
+// FIFO list of valid documents, window-driven expiration, query
+// registration bookkeeping, statistics, result-change notification — and
+// delegates the actual result maintenance to subclasses:
+//
+//   * ItaServer    — the paper's Incremental Threshold Algorithm;
+//   * NaiveServer  — the paper's comparator (Naive + Yi et al. top-k_max);
+//   * OracleServer — brute-force ground truth for tests.
+//
+// Servers are single-threaded and run on virtual time, per the paper's
+// main-memory, CPU-bound setting.
+
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "core/query.h"
+#include "core/result_set.h"
+#include "index/document_store.h"
+#include "stream/document.h"
+#include "stream/window.h"
+
+namespace ita {
+
+struct ServerOptions {
+  WindowSpec window = WindowSpec::CountBased(1000);
+};
+
+/// Invoked after an ingest/advance completes, once per query whose top-k
+/// result changed during that event.
+using ResultListener =
+    std::function<void(QueryId, const std::vector<ResultEntry>&)>;
+
+class ContinuousSearchServer {
+ public:
+  explicit ContinuousSearchServer(ServerOptions options);
+  virtual ~ContinuousSearchServer() = default;
+
+  ContinuousSearchServer(const ContinuousSearchServer&) = delete;
+  ContinuousSearchServer& operator=(const ContinuousSearchServer&) = delete;
+
+  /// Installs a continuous query; its result is immediately computed over
+  /// the current window contents. Returns the id used for Result()/
+  /// UnregisterQuery(). The query must satisfy ValidateQuery().
+  StatusOr<QueryId> RegisterQuery(Query query);
+
+  /// Terminates a continuous query.
+  Status UnregisterQuery(QueryId id);
+
+  /// Streams one document into the server: expires documents pushed out of
+  /// the window, then processes the arrival. Arrival times must be
+  /// non-decreasing. Returns the id assigned to the document.
+  StatusOr<DocId> Ingest(Document document);
+
+  /// For time-based windows: advances the clock to `now`, expiring
+  /// documents that fall out of the window, without an accompanying
+  /// arrival. No-op for count-based windows.
+  Status AdvanceTime(Timestamp now);
+
+  /// Snapshot of the current top-k result of a query, best first. Exact at
+  /// every event boundary.
+  ///
+  /// NOTE: bind the return value to a named variable before iterating —
+  /// `for (auto& e : *server.Result(id))` dangles (the temporary StatusOr
+  /// is destroyed before the loop body runs; C++23's P2644 fixes the
+  /// language trap, but this library targets C++20).
+  StatusOr<std::vector<ResultEntry>> Result(QueryId id) const;
+
+  /// Registers a listener fired after each Ingest/AdvanceTime for every
+  /// query whose top-k changed. Pass nullptr to remove.
+  void SetResultListener(ResultListener listener) { listener_ = std::move(listener); }
+
+  const ServerStats& stats() const { return stats_; }
+  void ResetStats() { stats_.Reset(); }
+
+  const ServerOptions& options() const { return options_; }
+  /// Read-only view of the valid documents (the window contents), oldest
+  /// first — inspection hook for tools and tests.
+  const DocumentStore& documents() const { return store_; }
+  std::size_t window_size() const { return store_.size(); }
+  Timestamp last_arrival_time() const { return last_arrival_time_; }
+  std::size_t query_count() const { return queries_.size(); }
+
+  /// Human-readable strategy name ("ita", "naive", "oracle").
+  virtual std::string name() const = 0;
+
+ protected:
+  /// Strategy hooks. OnArrive runs with the document already in the store;
+  /// OnExpire runs after the document has left the store (so rescans see
+  /// only still-valid documents) — the reference stays valid for the
+  /// duration of the call.
+  virtual Status OnRegisterQuery(QueryId id, const Query& query) = 0;
+  virtual Status OnUnregisterQuery(QueryId id) = 0;
+  virtual void OnArrive(const Document& doc) = 0;
+  virtual void OnExpire(const Document& doc) = 0;
+  virtual std::vector<ResultEntry> CurrentResult(QueryId id) const = 0;
+
+  /// Subclasses flag queries whose top-k changed during the current event;
+  /// the base class fires the listener afterwards.
+  void MarkResultChanged(QueryId id);
+
+  const Query& GetQuery(QueryId id) const;
+  const DocumentStore& store() const { return store_; }
+  ServerStats& mutable_stats() { return stats_; }
+
+ private:
+  void ExpireOldest();
+  void FlushNotifications();
+
+  ServerOptions options_;
+  DocumentStore store_;
+  std::unordered_map<QueryId, Query> queries_;
+  QueryId next_query_id_ = 1;
+  Timestamp last_arrival_time_ = 0;
+  ServerStats stats_;
+  ResultListener listener_;
+  std::vector<QueryId> changed_queries_;  // dedup'd per event
+};
+
+}  // namespace ita

@@ -1,0 +1,5 @@
+#include "core/threshold_tree.h"
+
+// ThresholdTree is header-only; this translation unit anchors the header.
+
+namespace ita {}  // namespace ita

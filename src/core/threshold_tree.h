@@ -1,0 +1,75 @@
+// The per-inverted-list "threshold tree" of Section III: a book-keeping
+// structure holding one <theta_{Q,t}, Q> entry for every registered query
+// Q that contains term t. Its job is the probe "find all queries whose
+// local threshold is <= w" executed on every document arrival/expiration
+// that touches the term.
+//
+// Entries ascend by theta, so the probe is a front scan that stops at the
+// first entry above w — cost proportional to the number of *affected*
+// queries, which is exactly the economy ITA is built on.
+
+#pragma once
+
+#include <cstddef>
+
+#include "common/logging.h"
+#include "common/types.h"
+#include "container/skip_list.h"
+
+namespace ita {
+
+class ThresholdTree {
+ public:
+  struct Entry {
+    double theta = 0.0;
+    QueryId query = kInvalidQueryId;
+  };
+  struct Order {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.theta != b.theta) return a.theta < b.theta;
+      return a.query < b.query;
+    }
+  };
+
+  /// Registers query `query` with local threshold `theta`. A query appears
+  /// at most once per tree.
+  void Insert(double theta, QueryId query) {
+    const bool inserted = entries_.Insert(Entry{theta, query}).second;
+    ITA_DCHECK(inserted);
+    (void)inserted;
+  }
+
+  /// Removes the entry (theta, query); the exact current theta must be
+  /// supplied. Returns false if absent.
+  bool Erase(double theta, QueryId query) {
+    return entries_.Erase(Entry{theta, query});
+  }
+
+  /// Moves a query's threshold from `old_theta` to `new_theta`.
+  void Update(double old_theta, double new_theta, QueryId query) {
+    const bool erased = Erase(old_theta, query);
+    ITA_DCHECK(erased);
+    (void)erased;
+    Insert(new_theta, query);
+  }
+
+  /// Invokes `fn(QueryId)` for every query with theta <= w, and returns
+  /// the number of entries visited (== number of invocations).
+  template <typename Fn>
+  std::size_t ProbeLessEqual(double w, Fn&& fn) const {
+    std::size_t steps = 0;
+    for (auto it = entries_.begin(); it != entries_.end() && it->theta <= w; ++it) {
+      ++steps;
+      fn(it->query);
+    }
+    return steps;
+  }
+
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+ private:
+  SkipList<Entry, Order> entries_;
+};
+
+}  // namespace ita

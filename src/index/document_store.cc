@@ -1,0 +1,5 @@
+#include "index/document_store.h"
+
+// DocumentStore is header-only; this translation unit anchors the header.
+
+namespace ita {}  // namespace ita

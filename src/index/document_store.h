@@ -1,0 +1,66 @@
+// The list of valid documents (Figure 1): a FIFO of the documents inside
+// the sliding window. Arrivals append at the tail; expirations pop the
+// head. Ids are assigned here, strictly sequential with arrival order,
+// which makes id -> document lookup O(1) (deque index = id - head id).
+
+#pragma once
+
+#include <deque>
+
+#include "common/logging.h"
+#include "common/types.h"
+#include "stream/document.h"
+
+namespace ita {
+
+class DocumentStore {
+ public:
+  /// Takes ownership of `doc`, assigns the next sequential id (starting at
+  /// 1) and returns it.
+  DocId Append(Document doc) {
+    doc.id = next_id_++;
+    documents_.push_back(std::move(doc));
+    return documents_.back().id;
+  }
+
+  std::size_t size() const { return documents_.size(); }
+  bool empty() const { return documents_.empty(); }
+
+  /// Oldest (next-to-expire) valid document. Requires !empty().
+  const Document& Oldest() const {
+    ITA_DCHECK(!documents_.empty());
+    return documents_.front();
+  }
+
+  /// Removes and returns the oldest document.
+  Document PopOldest() {
+    ITA_DCHECK(!documents_.empty());
+    Document doc = std::move(documents_.front());
+    documents_.pop_front();
+    return doc;
+  }
+
+  /// Valid document with the given id, or nullptr if it never existed or
+  /// has expired.
+  const Document* Get(DocId id) const {
+    if (documents_.empty()) return nullptr;
+    const DocId first = documents_.front().id;
+    if (id < first || id >= next_id_) return nullptr;
+    return &documents_[static_cast<std::size_t>(id - first)];
+  }
+
+  bool Contains(DocId id) const { return Get(id) != nullptr; }
+
+  /// Iteration over valid documents, oldest first.
+  std::deque<Document>::const_iterator begin() const { return documents_.begin(); }
+  std::deque<Document>::const_iterator end() const { return documents_.end(); }
+
+  /// Id that will be assigned to the next appended document.
+  DocId next_id() const { return next_id_; }
+
+ private:
+  std::deque<Document> documents_;
+  DocId next_id_ = 1;
+};
+
+}  // namespace ita

@@ -1,0 +1,41 @@
+#include "index/inverted_index.h"
+
+#include "common/logging.h"
+
+namespace ita {
+
+InvertedList* InvertedIndex::MutableList(TermId term) {
+  if (term >= lists_.size()) {
+    lists_.resize(static_cast<std::size_t>(term) + 1);
+  }
+  if (lists_[term] == nullptr) {
+    lists_[term] = std::make_unique<InvertedList>();
+    ++materialized_;
+  }
+  return lists_[term].get();
+}
+
+std::size_t InvertedIndex::AddDocument(const Document& doc) {
+  ITA_DCHECK(doc.id != kInvalidDocId) << "document must have an id before indexing";
+  for (const TermWeight& tw : doc.composition) {
+    const bool inserted = MutableList(tw.term)->Insert(doc.id, tw.weight);
+    ITA_CHECK(inserted) << "duplicate posting for doc " << doc.id << " term " << tw.term;
+  }
+  total_postings_ += doc.composition.size();
+  return doc.composition.size();
+}
+
+std::size_t InvertedIndex::RemoveDocument(const Document& doc) {
+  std::size_t removed = 0;
+  for (const TermWeight& tw : doc.composition) {
+    InvertedList* list = MutableList(tw.term);
+    ITA_CHECK(list != nullptr) << "no list for term " << tw.term;
+    const bool erased = list->Erase(doc.id, tw.weight);
+    ITA_CHECK(erased) << "missing posting for doc " << doc.id << " term " << tw.term;
+    ++removed;
+  }
+  total_postings_ -= removed;
+  return removed;
+}
+
+}  // namespace ita

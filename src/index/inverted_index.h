@@ -1,0 +1,48 @@
+// The inverted index over the valid documents (Figure 1): term dictionary
+// entries point to impact-ordered inverted lists. Lists are materialized
+// lazily, on the first posting for a term, and are indexed densely by
+// TermId.
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+#include "index/inverted_list.h"
+#include "stream/document.h"
+
+namespace ita {
+
+class InvertedIndex {
+ public:
+  /// Inserts one posting per composition entry. Returns the number of
+  /// postings inserted. The document id must be set.
+  std::size_t AddDocument(const Document& doc);
+
+  /// Removes the document's postings (exact inverse of AddDocument).
+  /// Returns the number of postings removed.
+  std::size_t RemoveDocument(const Document& doc);
+
+  /// The list for `term`, or nullptr if no posting was ever inserted for
+  /// it. The pointer stays valid for the index's lifetime.
+  const InvertedList* List(TermId term) const {
+    if (term >= lists_.size()) return nullptr;
+    return lists_[term].get();
+  }
+
+  /// Number of terms with a materialized list (counting emptied ones).
+  std::size_t materialized_lists() const { return materialized_; }
+
+  /// Total postings across all lists.
+  std::size_t total_postings() const { return total_postings_; }
+
+ private:
+  InvertedList* MutableList(TermId term);
+
+  std::vector<std::unique_ptr<InvertedList>> lists_;
+  std::size_t materialized_ = 0;
+  std::size_t total_postings_ = 0;
+};
+
+}  // namespace ita

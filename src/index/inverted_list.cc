@@ -1,0 +1,6 @@
+#include "index/inverted_list.h"
+
+// InvertedList is header-only; this translation unit anchors the header in
+// the build so it is compiled (and its warnings surfaced) on its own.
+
+namespace ita {}  // namespace ita

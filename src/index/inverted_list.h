@@ -1,0 +1,89 @@
+// An impact-ordered inverted list L_t (Figure 1): one <w_{d,t}, d> entry
+// per valid document containing term t, sorted by decreasing weight (ties
+// by decreasing document id, i.e. newest first). Built on the skip list so
+// that document arrival/expiration are O(log n) and the threshold
+// algorithm can scan downward from any weight boundary — and the roll-up
+// can step upward to the preceding entry.
+
+#pragma once
+
+#include <optional>
+
+#include "common/types.h"
+#include "container/skip_list.h"
+
+namespace ita {
+
+/// One inverted-list posting: document `doc` contains the list's term with
+/// impact weight `weight` (> 0).
+struct ImpactEntry {
+  double weight = 0.0;
+  DocId doc = kInvalidDocId;
+};
+
+/// Decreasing weight, then decreasing doc id (newest first).
+struct ImpactOrder {
+  bool operator()(const ImpactEntry& a, const ImpactEntry& b) const {
+    if (a.weight != b.weight) return a.weight > b.weight;
+    return a.doc > b.doc;
+  }
+};
+
+class InvertedList {
+ public:
+  using List = SkipList<ImpactEntry, ImpactOrder>;
+  using Iterator = List::Iterator;
+
+  /// Inserts the posting for (doc, weight). Returns false if an identical
+  /// posting is already present (callers treat this as a logic error).
+  bool Insert(DocId doc, double weight) {
+    return entries_.Insert(ImpactEntry{weight, doc}).second;
+  }
+
+  /// Removes the posting for (doc, weight); the exact weight must be the
+  /// one supplied at insertion (it comes from the composition list).
+  bool Erase(DocId doc, double weight) {
+    return entries_.Erase(ImpactEntry{weight, doc});
+  }
+
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  Iterator begin() const { return entries_.begin(); }
+  Iterator end() const { return entries_.end(); }
+
+  /// First entry with weight strictly below `theta` — where a downward
+  /// (initial or refill) scan resumes when the local threshold is `theta`.
+  /// Returns end() when every entry weighs >= theta.
+  Iterator FirstBelow(double theta) const {
+    // Order is (weight desc, doc desc); kInvalidDocId (=0) sorts after all
+    // real docs of equal weight, so this lands past the theta tie run.
+    return entries_.LowerBound(ImpactEntry{theta, kInvalidDocId});
+  }
+
+  /// First entry with weight <= theta (start of the theta tie run, if any).
+  Iterator FirstAtOrBelow(double theta) const {
+    return entries_.LowerBound(ImpactEntry{theta, kMaxDocId});
+  }
+
+  /// The smallest distinct weight strictly above `theta` among current
+  /// entries — the roll-up target "defined by the preceding entry"
+  /// (Section III-B). Empty when no entry weighs more than theta.
+  std::optional<double> NextWeightAbove(double theta) const {
+    Iterator it = FirstAtOrBelow(theta);
+    if (!it.HasPrev()) return std::nullopt;
+    --it;
+    return it->weight;
+  }
+
+  /// Weight of the heaviest entry, or empty when the list is empty.
+  std::optional<double> TopWeight() const {
+    if (entries_.empty()) return std::nullopt;
+    return entries_.begin()->weight;
+  }
+
+ private:
+  List entries_;
+};
+
+}  // namespace ita

@@ -1,0 +1,20 @@
+#include "stream/arrival_process.h"
+
+#include "common/logging.h"
+
+namespace ita {
+
+PoissonProcess::PoissonProcess(double rate_per_second, std::uint64_t seed)
+    : rate_(rate_per_second), rng_(seed) {
+  ITA_CHECK(rate_per_second > 0.0) << "arrival rate must be positive";
+}
+
+Timestamp PoissonProcess::Next() {
+  const double gap_seconds = rng_.Exponential(rate_);
+  Timestamp gap = SecondsToMicros(gap_seconds);
+  if (gap < 1) gap = 1;  // keep timestamps strictly increasing
+  now_ += gap;
+  return now_;
+}
+
+}  // namespace ita

@@ -1,0 +1,53 @@
+// Arrival processes that timestamp the document stream. The paper streams
+// the WSJ corpus "following a Poisson process with a mean arrival rate of
+// 200 documents/second".
+
+#pragma once
+
+#include "common/clock.h"
+#include "common/random.h"
+#include "common/types.h"
+
+namespace ita {
+
+/// Homogeneous Poisson process: exponential inter-arrival times with the
+/// given mean rate, on the virtual-time axis.
+class PoissonProcess {
+ public:
+  /// `rate_per_second` must be positive.
+  PoissonProcess(double rate_per_second, std::uint64_t seed);
+
+  /// Timestamp of the next arrival (strictly increasing).
+  Timestamp Next();
+
+  /// The timestamp most recently returned by Next() (start time initially).
+  Timestamp Now() const { return now_; }
+
+  double rate_per_second() const { return rate_; }
+
+ private:
+  double rate_;
+  Timestamp now_ = 0;
+  Rng rng_;
+};
+
+/// Deterministic fixed-interval arrivals — useful in tests where exact
+/// expiration timing matters.
+class FixedIntervalProcess {
+ public:
+  explicit FixedIntervalProcess(Timestamp interval_micros, Timestamp start = 0)
+      : interval_(interval_micros), now_(start) {}
+
+  Timestamp Next() {
+    now_ += interval_;
+    return now_;
+  }
+
+  Timestamp Now() const { return now_; }
+
+ private:
+  Timestamp interval_;
+  Timestamp now_;
+};
+
+}  // namespace ita

@@ -1,0 +1,111 @@
+#include "stream/corpus.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+
+#include "common/logging.h"
+
+namespace ita {
+
+SyntheticCorpusGenerator::SyntheticCorpusGenerator(SyntheticCorpusOptions options)
+    : options_(options),
+      zipf_(options.dictionary_size, options.zipf_exponent),
+      rng_(options.seed) {
+  ITA_CHECK(options_.dictionary_size > 0);
+  ITA_CHECK(options_.min_length >= 1 && options_.min_length <= options_.max_length);
+  count_scratch_.assign(options_.dictionary_size, 0);
+}
+
+Document SyntheticCorpusGenerator::NextDocument(Timestamp arrival_time) {
+  // Draw the document length, then that many Zipfian tokens.
+  const double raw_len =
+      rng_.LogNormal(options_.length_lognormal_mu, options_.length_lognormal_sigma);
+  std::size_t length = static_cast<std::size_t>(std::llround(raw_len));
+  length = std::clamp(length, options_.min_length, options_.max_length);
+
+  touched_scratch_.clear();
+  for (std::size_t i = 0; i < length; ++i) {
+    const TermId term = static_cast<TermId>(zipf_.Sample(&rng_));
+    if (count_scratch_[term] == 0) touched_scratch_.push_back(term);
+    ++count_scratch_[term];
+  }
+  std::sort(touched_scratch_.begin(), touched_scratch_.end());
+
+  TermCounts counts;
+  counts.reserve(touched_scratch_.size());
+  for (const TermId term : touched_scratch_) {
+    counts.emplace_back(term, count_scratch_[term]);
+    count_scratch_[term] = 0;  // reset for the next document
+  }
+
+  corpus_stats_.AddDocument(counts, length);
+
+  Document doc;
+  doc.arrival_time = arrival_time;
+  doc.token_count = length;
+  doc.composition = BuildComposition(counts, length, options_.scheme,
+                                     &corpus_stats_, options_.bm25);
+  return doc;
+}
+
+QueryWorkloadGenerator::QueryWorkloadGenerator(std::size_t dictionary_size,
+                                               QueryWorkloadOptions options)
+    : dictionary_size_(dictionary_size), options_(options), rng_(options.seed) {
+  ITA_CHECK(dictionary_size_ > 0);
+  ITA_CHECK(options_.terms_per_query >= 1);
+  ITA_CHECK(options_.k >= 1);
+}
+
+Query QueryWorkloadGenerator::NextQuery() {
+  std::size_t range = dictionary_size_;
+  if (options_.max_term != 0 && options_.max_term < range) {
+    range = options_.max_term;
+  }
+  std::vector<TermId> picks;
+  picks.reserve(options_.terms_per_query);
+  for (std::size_t i = 0; i < options_.terms_per_query; ++i) {
+    picks.push_back(static_cast<TermId>(rng_.UniformInt(0, range - 1)));
+  }
+  std::sort(picks.begin(), picks.end());
+
+  TermCounts counts;
+  for (const TermId term : picks) {
+    if (!counts.empty() && counts.back().first == term) {
+      ++counts.back().second;
+    } else {
+      counts.emplace_back(term, 1);
+    }
+  }
+
+  Query query;
+  query.k = options_.k;
+  query.terms = BuildQueryVector(counts, options_.scheme);
+  return query;
+}
+
+std::vector<Query> QueryWorkloadGenerator::MakeQueries(std::size_t count) {
+  std::vector<Query> queries;
+  queries.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) queries.push_back(NextQuery());
+  return queries;
+}
+
+StatusOr<std::vector<Document>> TextFileCorpusReader::ReadAll(const std::string& path,
+                                                              Analyzer* analyzer) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IoError("cannot open corpus file: " + path);
+  }
+  std::vector<Document> documents;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    Document doc = analyzer->MakeDocument(line);
+    if (doc.composition.empty()) continue;  // nothing survived filtering
+    documents.push_back(std::move(doc));
+  }
+  return documents;
+}
+
+}  // namespace ita

@@ -1,0 +1,112 @@
+// Workload sources.
+//
+// The paper streams the TREC WSJ corpus (172,961 Wall Street Journal
+// articles, 181,978-term dictionary after stopword removal). That corpus
+// is licensed and cannot ship with this repository, so the benchmark
+// harness uses SyntheticCorpusGenerator: a Zipfian document source
+// calibrated to WSJ's first-order statistics (dictionary size, term-
+// frequency skew, document length distribution). DESIGN.md §3 records the
+// substitution rationale. TextFileCorpusReader lets anyone with the real
+// collection (or any text file) stream it instead.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "core/query.h"
+#include "stream/document.h"
+#include "text/analyzer.h"
+#include "text/weighting.h"
+
+namespace ita {
+
+struct SyntheticCorpusOptions {
+  /// Dictionary size; term ids are 0..dictionary_size-1 where id == Zipf
+  /// rank (0 is the most frequent term). Default mirrors WSJ.
+  std::size_t dictionary_size = 181'978;
+  /// Zipf exponent of the term (unigram) distribution. English text is
+  /// close to 1.0 (Zipf's law).
+  double zipf_exponent = 1.0;
+  /// Document token counts are log-normal; defaults give a median of ~260
+  /// tokens, matching WSJ articles (~400 raw tokens) after stopword
+  /// removal.
+  double length_lognormal_mu = 5.56;
+  double length_lognormal_sigma = 0.6;
+  std::size_t min_length = 32;
+  std::size_t max_length = 2'000;
+  WeightingScheme scheme = WeightingScheme::kCosine;
+  Bm25Params bm25;
+  std::uint64_t seed = 42;
+};
+
+/// Deterministic stream of synthetic documents. Not thread-safe.
+class SyntheticCorpusGenerator {
+ public:
+  explicit SyntheticCorpusGenerator(SyntheticCorpusOptions options);
+
+  /// Produces the next document (composition list only, no text payload).
+  /// `arrival_time` is stamped on the result; ids are left unassigned.
+  Document NextDocument(Timestamp arrival_time = 0);
+
+  const SyntheticCorpusOptions& options() const { return options_; }
+
+  /// Corpus statistics accumulated over the generated documents (feeds
+  /// BM25 weighting when options().scheme == kBm25).
+  const CorpusStats& corpus_stats() const { return corpus_stats_; }
+
+ private:
+  SyntheticCorpusOptions options_;
+  ZipfDistribution zipf_;
+  Rng rng_;
+  CorpusStats corpus_stats_;
+  std::vector<std::uint32_t> count_scratch_;  // termid -> count, lazily cleared
+  std::vector<TermId> touched_scratch_;
+};
+
+struct QueryWorkloadOptions {
+  /// Terms per query, drawn uniformly at random from the dictionary with
+  /// replacement (paper Section IV: "terms selected randomly from the
+  /// dictionary"); duplicates aggregate into term frequencies.
+  std::size_t terms_per_query = 10;
+  int k = 10;
+  WeightingScheme scheme = WeightingScheme::kCosine;
+  std::uint64_t seed = 4242;
+  /// When nonzero, draw terms only from the `max_term` most frequent
+  /// dictionary entries (term id == Zipf rank). Models "hot" queries over
+  /// popular vocabulary — every arriving document matches several queries,
+  /// the regime where ITA's threshold roll-up pays off most.
+  std::size_t max_term = 0;
+};
+
+/// Generates random queries over the same term-id space as a synthetic
+/// corpus with the given dictionary size.
+class QueryWorkloadGenerator {
+ public:
+  QueryWorkloadGenerator(std::size_t dictionary_size, QueryWorkloadOptions options);
+
+  Query NextQuery();
+
+  /// Convenience: a batch of `count` queries.
+  std::vector<Query> MakeQueries(std::size_t count);
+
+ private:
+  std::size_t dictionary_size_;
+  QueryWorkloadOptions options_;
+  Rng rng_;
+};
+
+/// Reads a plain-text corpus: every non-empty line of the file becomes one
+/// document, analyzed through `analyzer`. Suitable for newline-delimited
+/// exports of TREC collections, news dumps, mail archives, etc.
+class TextFileCorpusReader {
+ public:
+  /// Loads and analyzes the whole file. Arrival times are left at 0 for
+  /// the caller (or an ArrivalProcess) to assign.
+  static StatusOr<std::vector<Document>> ReadAll(const std::string& path,
+                                                 Analyzer* analyzer);
+};
+
+}  // namespace ita

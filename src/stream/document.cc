@@ -1,0 +1,15 @@
+#include "stream/document.h"
+
+#include <algorithm>
+
+namespace ita {
+
+double CompositionWeight(const Composition& composition, TermId term) {
+  const auto it = std::lower_bound(
+      composition.begin(), composition.end(), term,
+      [](const TermWeight& tw, TermId t) { return tw.term < t; });
+  if (it != composition.end() && it->term == term) return it->weight;
+  return 0.0;
+}
+
+}  // namespace ita

@@ -1,0 +1,29 @@
+// The stream element of Section II: a text document with its composition
+// list (one <term, weight> pair per distinct term) and arrival timestamp.
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "common/types.h"
+
+namespace ita {
+
+/// A streamed document. `id` is assigned by the server at ingestion
+/// (strictly increasing with arrival order); producers leave it at
+/// kInvalidDocId. `composition` is sorted by ascending TermId with
+/// strictly positive weights — see ita::BuildComposition.
+struct Document {
+  DocId id = kInvalidDocId;
+  Timestamp arrival_time = 0;
+  Composition composition;
+  std::string text;            ///< optional raw payload (kept for display)
+  std::size_t token_count = 0; ///< post-filtering token count (BM25 length)
+};
+
+/// Binary-searches a composition list for `term`; returns the weight or
+/// 0.0 when the document does not contain the term.
+double CompositionWeight(const Composition& composition, TermId term);
+
+}  // namespace ita

@@ -1,0 +1,34 @@
+#include "stream/window.h"
+
+#include <sstream>
+
+namespace ita {
+
+Status WindowSpec::Validate() const {
+  switch (kind) {
+    case Kind::kCountBased:
+      if (count < 1) {
+        return Status::InvalidArgument("count-based window requires N >= 1");
+      }
+      return Status::OK();
+    case Kind::kTimeBased:
+      if (duration < 1) {
+        return Status::InvalidArgument(
+            "time-based window requires a positive duration");
+      }
+      return Status::OK();
+  }
+  return Status::Internal("unknown window kind");
+}
+
+std::string WindowSpec::ToString() const {
+  std::ostringstream os;
+  if (kind == Kind::kCountBased) {
+    os << "count:" << count;
+  } else {
+    os << "time:" << duration << "us";
+  }
+  return os.str();
+}
+
+}  // namespace ita

@@ -1,0 +1,49 @@
+// Sliding-window specifications (Section II, citing Babcock et al., PODS
+// 2002): count-based windows keep the N most recent documents; time-based
+// windows keep the documents that arrived within the last W time units.
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace ita {
+
+struct WindowSpec {
+  enum class Kind { kCountBased, kTimeBased };
+
+  Kind kind = Kind::kCountBased;
+  /// Count-based: number of valid documents N (>= 1).
+  std::size_t count = 1000;
+  /// Time-based: window length in microseconds (>= 1).
+  Timestamp duration = 0;
+
+  static WindowSpec CountBased(std::size_t n) {
+    WindowSpec spec;
+    spec.kind = Kind::kCountBased;
+    spec.count = n;
+    return spec;
+  }
+
+  static WindowSpec TimeBased(Timestamp duration_micros) {
+    WindowSpec spec;
+    spec.kind = Kind::kTimeBased;
+    spec.duration = duration_micros;
+    return spec;
+  }
+
+  Status Validate() const;
+
+  /// True if a document that arrived at `arrival` is still valid at `now`
+  /// under a time-based window. (Count-based validity is positional.)
+  bool ValidAt(Timestamp arrival, Timestamp now) const {
+    return arrival > now - duration;
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace ita

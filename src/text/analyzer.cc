@@ -1,0 +1,72 @@
+#include "text/analyzer.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+
+#include "text/porter_stemmer.h"
+
+namespace ita {
+
+Analyzer::Analyzer(AnalyzerOptions options)
+    : options_(options), tokenizer_(options.tokenizer) {}
+
+std::size_t Analyzer::CountTerms(std::string_view text, TermCounts* counts) {
+  const StopwordSet& stopwords =
+      options_.stopwords != nullptr ? *options_.stopwords : StopwordSet::English();
+
+  std::unordered_map<TermId, std::uint32_t> freq;
+  std::size_t token_count = 0;
+  std::string stem_buffer;
+  tokenizer_.ForEachToken(text, [&](std::string_view token) {
+    if (options_.remove_stopwords && stopwords.Contains(token)) return;
+    TermId id;
+    if (options_.stem) {
+      stem_buffer.assign(token);
+      PorterStemmer::StemInPlace(&stem_buffer);
+      id = vocabulary_.Intern(stem_buffer);
+    } else {
+      id = vocabulary_.Intern(token);
+    }
+    ++freq[id];
+    ++token_count;
+  });
+
+  counts->assign(freq.begin(), freq.end());
+  std::sort(counts->begin(), counts->end());
+  return token_count;
+}
+
+Document Analyzer::MakeDocument(std::string_view text, Timestamp arrival_time) {
+  Document doc;
+  doc.arrival_time = arrival_time;
+  TermCounts counts;
+  doc.token_count = CountTerms(text, &counts);
+  // BM25 weights use the statistics snapshot *including* this document, so
+  // a term seen for the first time still gets a finite idf.
+  corpus_stats_.AddDocument(counts, doc.token_count);
+  doc.composition = BuildComposition(counts, doc.token_count, options_.scheme,
+                                     &corpus_stats_, options_.bm25);
+  if (options_.keep_text) doc.text.assign(text);
+  return doc;
+}
+
+StatusOr<Query> Analyzer::MakeQuery(std::string_view text, int k) {
+  if (k < 1) {
+    return Status::InvalidArgument("query requires k >= 1");
+  }
+  Query query;
+  query.k = k;
+  query.text.assign(text);
+  TermCounts counts;
+  CountTerms(text, &counts);
+  if (counts.empty()) {
+    return Status::InvalidArgument(
+        "query has no effective search terms after tokenization/stopword removal");
+  }
+  query.terms = BuildQueryVector(counts, options_.scheme);
+  ITA_RETURN_NOT_OK(ValidateQuery(query));
+  return query;
+}
+
+}  // namespace ita

@@ -1,0 +1,310 @@
+// Port of the reference implementation of the Porter stemming algorithm
+// (https://tartarus.org/martin/PorterStemmer/, public domain). It includes
+// the two departures of the official version relative to the 1980 paper,
+// marked DEPARTURE below: step 2 maps "bli"->"ble" (paper: "abli"->"able")
+// and adds "logi"->"log".
+
+#include "text/porter_stemmer.h"
+
+#include <cstring>
+
+namespace ita {
+namespace {
+
+// Works on buffer b[0..k]; j marks the end of the candidate stem during
+// suffix tests. All indices follow the reference implementation.
+class Engine {
+ public:
+  explicit Engine(std::string* b) : b_(*b), k_(static_cast<int>(b->size()) - 1) {}
+
+  void Run() {
+    if (k_ <= 1) return;  // words of length <= 2 are left unchanged
+    Step1ab();
+    Step1c();
+    Step2();
+    Step3();
+    Step4();
+    Step5();
+    b_.resize(static_cast<std::size_t>(k_) + 1);
+  }
+
+ private:
+  // True when b[i] is a consonant ('y' is a consonant iff it does not
+  // follow a consonant).
+  bool Cons(int i) const {
+    switch (b_[static_cast<std::size_t>(i)]) {
+      case 'a': case 'e': case 'i': case 'o': case 'u':
+        return false;
+      case 'y':
+        return i == 0 ? true : !Cons(i - 1);
+      default:
+        return true;
+    }
+  }
+
+  // Measure of b[0..j]: the number of VC sequences in [C](VC)^m[V].
+  int Measure() const {
+    int n = 0;
+    int i = 0;
+    while (true) {
+      if (i > j_) return n;
+      if (!Cons(i)) break;
+      ++i;
+    }
+    ++i;
+    while (true) {
+      while (true) {
+        if (i > j_) return n;
+        if (Cons(i)) break;
+        ++i;
+      }
+      ++i;
+      ++n;
+      while (true) {
+        if (i > j_) return n;
+        if (!Cons(i)) break;
+        ++i;
+      }
+      ++i;
+    }
+  }
+
+  bool VowelInStem() const {
+    for (int i = 0; i <= j_; ++i) {
+      if (!Cons(i)) return true;
+    }
+    return false;
+  }
+
+  // b[i-1] == b[i] and both are consonants.
+  bool DoubleC(int i) const {
+    if (i < 1) return false;
+    if (b_[static_cast<std::size_t>(i)] != b_[static_cast<std::size_t>(i - 1)]) return false;
+    return Cons(i);
+  }
+
+  // consonant-vowel-consonant ending at i, where the final consonant is not
+  // w, x or y ("cav(e)", "lov(e)" but not "snow", "box", "tray").
+  bool Cvc(int i) const {
+    if (i < 2 || !Cons(i) || Cons(i - 1) || !Cons(i - 2)) return false;
+    const char ch = b_[static_cast<std::size_t>(i)];
+    return ch != 'w' && ch != 'x' && ch != 'y';
+  }
+
+  // True when b[0..k] ends with `s`; sets j to the stem end on success.
+  bool Ends(const char* s) {
+    const int len = static_cast<int>(std::strlen(s));
+    if (len > k_ + 1) return false;
+    if (std::memcmp(b_.data() + k_ - len + 1, s, static_cast<std::size_t>(len)) != 0) {
+      return false;
+    }
+    j_ = k_ - len;
+    return true;
+  }
+
+  // Replaces b[j+1..k] with `s`.
+  void SetTo(const char* s) {
+    const int len = static_cast<int>(std::strlen(s));
+    b_.resize(static_cast<std::size_t>(j_) + 1);
+    b_.append(s, static_cast<std::size_t>(len));
+    k_ = j_ + len;
+  }
+
+  void R(const char* s) {
+    if (Measure() > 0) SetTo(s);
+  }
+
+  // Plurals and -ed / -ing.
+  void Step1ab() {
+    if (b_[static_cast<std::size_t>(k_)] == 's') {
+      if (Ends("sses")) {
+        k_ -= 2;
+      } else if (Ends("ies")) {
+        SetTo("i");
+      } else if (b_[static_cast<std::size_t>(k_ - 1)] != 's') {
+        --k_;
+      }
+    }
+    if (Ends("eed")) {
+      if (Measure() > 0) --k_;
+    } else if ((Ends("ed") || Ends("ing")) && VowelInStem()) {
+      k_ = j_;
+      if (Ends("at")) {
+        SetTo("ate");
+      } else if (Ends("bl")) {
+        SetTo("ble");
+      } else if (Ends("iz")) {
+        SetTo("ize");
+      } else if (DoubleC(k_)) {
+        --k_;
+        const char ch = b_[static_cast<std::size_t>(k_)];
+        if (ch == 'l' || ch == 's' || ch == 'z') ++k_;
+      } else if (Measure() == 1 && Cvc(k_)) {
+        j_ = k_;
+        SetTo("e");
+      }
+    }
+  }
+
+  // Terminal y -> i when there is another vowel in the stem.
+  void Step1c() {
+    if (Ends("y") && VowelInStem()) b_[static_cast<std::size_t>(k_)] = 'i';
+  }
+
+  // Double suffices -> single ones ("-ization" -> "-ize").
+  void Step2() {
+    if (k_ < 1) return;
+    switch (b_[static_cast<std::size_t>(k_ - 1)]) {
+      case 'a':
+        if (Ends("ational")) { R("ate"); break; }
+        if (Ends("tional")) { R("tion"); break; }
+        break;
+      case 'c':
+        if (Ends("enci")) { R("ence"); break; }
+        if (Ends("anci")) { R("ance"); break; }
+        break;
+      case 'e':
+        if (Ends("izer")) { R("ize"); break; }
+        break;
+      case 'l':
+        if (Ends("bli")) { R("ble"); break; }  // DEPARTURE (paper: abli->able)
+        if (Ends("alli")) { R("al"); break; }
+        if (Ends("entli")) { R("ent"); break; }
+        if (Ends("eli")) { R("e"); break; }
+        if (Ends("ousli")) { R("ous"); break; }
+        break;
+      case 'o':
+        if (Ends("ization")) { R("ize"); break; }
+        if (Ends("ation")) { R("ate"); break; }
+        if (Ends("ator")) { R("ate"); break; }
+        break;
+      case 's':
+        if (Ends("alism")) { R("al"); break; }
+        if (Ends("iveness")) { R("ive"); break; }
+        if (Ends("fulness")) { R("ful"); break; }
+        if (Ends("ousness")) { R("ous"); break; }
+        break;
+      case 't':
+        if (Ends("aliti")) { R("al"); break; }
+        if (Ends("iviti")) { R("ive"); break; }
+        if (Ends("biliti")) { R("ble"); break; }
+        break;
+      case 'g':
+        if (Ends("logi")) { R("log"); break; }  // DEPARTURE (addition)
+        break;
+      default:
+        break;
+    }
+  }
+
+  // "-icate", "-ful", "-ness" etc.
+  void Step3() {
+    switch (b_[static_cast<std::size_t>(k_)]) {
+      case 'e':
+        if (Ends("icate")) { R("ic"); break; }
+        if (Ends("ative")) { R(""); break; }
+        if (Ends("alize")) { R("al"); break; }
+        break;
+      case 'i':
+        if (Ends("iciti")) { R("ic"); break; }
+        break;
+      case 'l':
+        if (Ends("ical")) { R("ic"); break; }
+        if (Ends("ful")) { R(""); break; }
+        break;
+      case 's':
+        if (Ends("ness")) { R(""); break; }
+        break;
+      default:
+        break;
+    }
+  }
+
+  // Drops "-ant", "-ence" etc. in context <c>vcvc<v>.
+  void Step4() {
+    if (k_ < 1) return;
+    switch (b_[static_cast<std::size_t>(k_ - 1)]) {
+      case 'a':
+        if (Ends("al")) break;
+        return;
+      case 'c':
+        if (Ends("ance")) break;
+        if (Ends("ence")) break;
+        return;
+      case 'e':
+        if (Ends("er")) break;
+        return;
+      case 'i':
+        if (Ends("ic")) break;
+        return;
+      case 'l':
+        if (Ends("able")) break;
+        if (Ends("ible")) break;
+        return;
+      case 'n':
+        if (Ends("ant")) break;
+        if (Ends("ement")) break;
+        if (Ends("ment")) break;
+        if (Ends("ent")) break;
+        return;
+      case 'o':
+        if (Ends("ion") && j_ >= 0 &&
+            (b_[static_cast<std::size_t>(j_)] == 's' ||
+             b_[static_cast<std::size_t>(j_)] == 't')) {
+          break;
+        }
+        if (Ends("ou")) break;  // takes care of -ous
+        return;
+      case 's':
+        if (Ends("ism")) break;
+        return;
+      case 't':
+        if (Ends("ate")) break;
+        if (Ends("iti")) break;
+        return;
+      case 'u':
+        if (Ends("ous")) break;
+        return;
+      case 'v':
+        if (Ends("ive")) break;
+        return;
+      case 'z':
+        if (Ends("ize")) break;
+        return;
+      default:
+        return;
+    }
+    if (Measure() > 1) k_ = j_;
+  }
+
+  // Removes a final -e and changes -ll to -l in context m > 1.
+  void Step5() {
+    j_ = k_;
+    if (b_[static_cast<std::size_t>(k_)] == 'e') {
+      const int a = Measure();
+      if (a > 1 || (a == 1 && !Cvc(k_ - 1))) --k_;
+    }
+    if (b_[static_cast<std::size_t>(k_)] == 'l' && DoubleC(k_) && Measure() > 1) {
+      --k_;
+    }
+  }
+
+  std::string& b_;
+  int k_;
+  int j_ = 0;
+};
+
+}  // namespace
+
+std::string PorterStemmer::Stem(std::string_view word) {
+  std::string w(word);
+  StemInPlace(&w);
+  return w;
+}
+
+void PorterStemmer::StemInPlace(std::string* word) {
+  Engine engine(word);
+  engine.Run();
+}
+
+}  // namespace ita

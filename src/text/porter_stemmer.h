@@ -1,0 +1,26 @@
+// The Porter stemming algorithm (M.F. Porter, "An algorithm for suffix
+// stripping", Program 14(3), 1980). Reduces inflected English words to a
+// common stem ("relational" -> "relat", "ponies" -> "poni").
+//
+// Stemming is optional in the analyzer (off by default: the paper's
+// 181,978-term WSJ dictionary is unstemmed), but is provided as part of
+// the text substrate for applications that want recall over precision.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace ita {
+
+class PorterStemmer {
+ public:
+  /// Stems a single lowercase word. Words of length <= 2 are returned
+  /// unchanged, as in the original algorithm.
+  static std::string Stem(std::string_view word);
+
+  /// In-place variant: `word` must be lowercase ASCII.
+  static void StemInPlace(std::string* word);
+};
+
+}  // namespace ita

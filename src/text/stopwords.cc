@@ -1,0 +1,57 @@
+#include "text/stopwords.h"
+
+namespace ita {
+namespace {
+
+// Snowball English stopword list, extended with a handful of ubiquitous
+// function words, contraction stems ("ll", "ve", ...) that the tokenizer
+// produces from split contractions, and single letters.
+constexpr std::string_view kEnglishStopwords[] = {
+    "i", "me", "my", "myself", "we", "our", "ours", "ourselves", "you",
+    "your", "yours", "yourself", "yourselves", "he", "him", "his", "himself",
+    "she", "her", "hers", "herself", "it", "its", "itself", "they", "them",
+    "their", "theirs", "themselves", "what", "which", "who", "whom", "this",
+    "that", "these", "those", "am", "is", "are", "was", "were", "be", "been",
+    "being", "have", "has", "had", "having", "do", "does", "did", "doing",
+    "a", "an", "the", "and", "but", "if", "or", "because", "as", "until",
+    "while", "of", "at", "by", "for", "with", "about", "against", "between",
+    "into", "through", "during", "before", "after", "above", "below", "to",
+    "from", "up", "down", "in", "out", "on", "off", "over", "under", "again",
+    "further", "then", "once", "here", "there", "when", "where", "why",
+    "how", "all", "any", "both", "each", "few", "more", "most", "other",
+    "some", "such", "no", "nor", "not", "only", "own", "same", "so", "than",
+    "too", "very", "can", "will", "just", "don", "should", "now",
+    // Contraction fragments produced by the tokenizer ("don't" -> don, t).
+    "d", "ll", "m", "o", "re", "ve", "t", "s",
+    "ain", "aren", "couldn", "didn", "doesn", "hadn", "hasn", "haven",
+    "isn", "ma", "mightn", "mustn", "needn", "shan", "shouldn", "wasn",
+    "weren", "won", "wouldn",
+    // Common additions beyond Snowball.
+    "also", "could", "would", "may", "might", "must", "shall", "upon",
+    "via", "whether", "within", "without", "since", "among", "amongst",
+    "although", "though", "thus", "therefore", "however", "moreover",
+    "meanwhile", "nevertheless", "onto", "per", "said", "says", "say",
+    "mr", "mrs", "ms", "inc", "co", "corp",
+    // Remaining single letters (initials, bullet labels).
+    "b", "c", "e", "f", "g", "h", "j", "k", "l", "n", "p", "q", "r", "u",
+    "v", "w", "x", "y", "z",
+};
+
+}  // namespace
+
+const StopwordSet& StopwordSet::English() {
+  static const StopwordSet* instance = [] {
+    auto* set = new StopwordSet();
+    for (std::string_view w : kEnglishStopwords) set->Add(w);
+    return set;
+  }();
+  return *instance;
+}
+
+StopwordSet StopwordSet::FromWords(std::initializer_list<std::string_view> words) {
+  StopwordSet set;
+  for (std::string_view w : words) set.Add(w);
+  return set;
+}
+
+}  // namespace ita

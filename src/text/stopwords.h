@@ -1,0 +1,48 @@
+// Standard English stopword removal (paper Section IV cites [7],
+// Baeza-Yates & Ribeiro-Neto). The built-in list is the Snowball English
+// stopword list extended with a few ubiquitous function words; callers can
+// add domain-specific entries.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <unordered_set>
+
+namespace ita {
+
+class StopwordSet {
+ public:
+  /// An empty set (no filtering).
+  StopwordSet() = default;
+
+  /// The canonical English list (shared instance).
+  static const StopwordSet& English();
+
+  /// Builds a set from an explicit word list.
+  static StopwordSet FromWords(std::initializer_list<std::string_view> words);
+
+  bool Contains(std::string_view word) const {
+    return words_.find(word) != words_.end();
+  }
+
+  void Add(std::string_view word) { words_.emplace(word); }
+
+  std::size_t size() const { return words_.size(); }
+
+ private:
+  struct Hash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view sv) const {
+      return std::hash<std::string_view>{}(sv);
+    }
+  };
+  struct Eq {
+    using is_transparent = void;
+    bool operator()(std::string_view a, std::string_view b) const { return a == b; }
+  };
+
+  std::unordered_set<std::string, Hash, Eq> words_;
+};
+
+}  // namespace ita

@@ -1,0 +1,9 @@
+#include "text/tokenizer.h"
+
+namespace ita {
+
+void Tokenizer::Tokenize(std::string_view text, std::vector<std::string>* out) const {
+  ForEachToken(text, [out](std::string_view token) { out->emplace_back(token); });
+}
+
+}  // namespace ita

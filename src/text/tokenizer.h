@@ -1,0 +1,78 @@
+// Lexical analysis: splits raw text into lowercase word tokens.
+//
+// A token is a maximal run of ASCII letters and digits; every other byte
+// (punctuation, whitespace, non-ASCII) separates tokens. This matches the
+// preprocessing conventions of classic IR collections such as TREC WSJ
+// (Baeza-Yates & Ribeiro-Neto, "Modern Information Retrieval").
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ita {
+
+struct TokenizerOptions {
+  /// Tokens shorter than this many bytes are dropped.
+  std::size_t min_token_length = 1;
+  /// Tokens longer than this many bytes are dropped (garbage/DNA strings).
+  std::size_t max_token_length = 64;
+  /// When false, tokens consisting solely of digits are dropped.
+  bool keep_numbers = true;
+};
+
+class Tokenizer {
+ public:
+  explicit Tokenizer(TokenizerOptions options = {}) : options_(options) {}
+
+  const TokenizerOptions& options() const { return options_; }
+
+  /// Invokes `fn(std::string_view token)` for every token, in order. The
+  /// view points into `scratch`, which holds the lowercased token bytes,
+  /// and is invalidated by the next token.
+  template <typename Fn>
+  void ForEachToken(std::string_view text, Fn&& fn) const {
+    std::string scratch;
+    scratch.reserve(options_.max_token_length);
+    std::size_t i = 0;
+    const std::size_t n = text.size();
+    while (i < n) {
+      while (i < n && !IsTokenByte(text[i])) ++i;
+      scratch.clear();
+      bool all_digits = true;
+      bool oversize = false;
+      while (i < n && IsTokenByte(text[i])) {
+        const char c = ToLowerAscii(text[i]);
+        all_digits = all_digits && (c >= '0' && c <= '9');
+        if (scratch.size() < options_.max_token_length) {
+          scratch.push_back(c);
+        } else {
+          oversize = true;
+        }
+        ++i;
+      }
+      if (scratch.empty() || oversize) continue;
+      if (scratch.size() < options_.min_token_length) continue;
+      if (all_digits && !options_.keep_numbers) continue;
+      fn(std::string_view(scratch));
+    }
+  }
+
+  /// Appends all tokens of `text` to `out`.
+  void Tokenize(std::string_view text, std::vector<std::string>* out) const;
+
+  static bool IsTokenByte(char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9');
+  }
+
+  static char ToLowerAscii(char c) {
+    return (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
+  }
+
+ private:
+  TokenizerOptions options_;
+};
+
+}  // namespace ita

@@ -1,0 +1,29 @@
+#include "text/vocabulary.h"
+
+#include "common/logging.h"
+
+namespace ita {
+
+TermId Vocabulary::Intern(std::string_view token) {
+  const auto it = ids_.find(token);
+  if (it != ids_.end()) return it->second;
+  ITA_CHECK(terms_.size() < kInvalidTermId) << "vocabulary overflow";
+  const TermId id = static_cast<TermId>(terms_.size());
+  const auto [pos, inserted] = ids_.emplace(std::string(token), id);
+  ITA_DCHECK(inserted);
+  terms_.push_back(&pos->first);
+  return id;
+}
+
+std::optional<TermId> Vocabulary::Lookup(std::string_view token) const {
+  const auto it = ids_.find(token);
+  if (it == ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::string& Vocabulary::TermText(TermId id) const {
+  ITA_CHECK(id < terms_.size()) << "unknown TermId " << id;
+  return *terms_[id];
+}
+
+}  // namespace ita

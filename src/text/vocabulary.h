@@ -1,0 +1,53 @@
+// The term dictionary of Figure 1: interns token strings to dense TermIds
+// and maps them back. The TermId space indexes the inverted lists and the
+// dimensions of the term-frequency space.
+
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ita {
+
+class Vocabulary {
+ public:
+  Vocabulary() = default;
+
+  Vocabulary(const Vocabulary&) = delete;
+  Vocabulary& operator=(const Vocabulary&) = delete;
+
+  /// Returns the id of `token`, interning it if new. Ids are dense,
+  /// starting at 0, in first-seen order.
+  TermId Intern(std::string_view token);
+
+  /// Returns the id of `token` if already interned.
+  std::optional<TermId> Lookup(std::string_view token) const;
+
+  /// The token string of an interned id.
+  const std::string& TermText(TermId id) const;
+
+  /// Number of distinct interned terms.
+  std::size_t size() const { return terms_.size(); }
+
+ private:
+  struct Hash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view sv) const {
+      return std::hash<std::string_view>{}(sv);
+    }
+  };
+  struct Eq {
+    using is_transparent = void;
+    bool operator()(std::string_view a, std::string_view b) const { return a == b; }
+  };
+
+  std::unordered_map<std::string, TermId, Hash, Eq> ids_;
+  std::vector<const std::string*> terms_;  // id -> interned string
+};
+
+}  // namespace ita

@@ -1,0 +1,108 @@
+#include "text/weighting.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace ita {
+
+const char* WeightingSchemeName(WeightingScheme scheme) {
+  switch (scheme) {
+    case WeightingScheme::kCosine: return "cosine";
+    case WeightingScheme::kBm25: return "bm25";
+    case WeightingScheme::kRawTf: return "raw_tf";
+  }
+  return "?";
+}
+
+void CorpusStats::AddDocument(const TermCounts& counts, std::size_t token_count) {
+  for (const auto& [term, count] : counts) {
+    (void)count;
+    ++document_frequency_[term];
+  }
+  ++total_documents_;
+  total_tokens_ += token_count;
+}
+
+std::uint64_t CorpusStats::DocumentFrequency(TermId term) const {
+  const auto it = document_frequency_.find(term);
+  return it == document_frequency_.end() ? 0 : it->second;
+}
+
+double CorpusStats::Idf(TermId term) const {
+  const double n = static_cast<double>(total_documents_);
+  const double df = static_cast<double>(DocumentFrequency(term));
+  const double idf = std::log((n - df + 0.5) / (df + 0.5) + 1.0);
+  return idf > 0.0 ? idf : 0.0;
+}
+
+Composition BuildComposition(const TermCounts& counts, std::size_t token_count,
+                             WeightingScheme scheme, const CorpusStats* stats,
+                             const Bm25Params& bm25) {
+  Composition composition;
+  composition.reserve(counts.size());
+  switch (scheme) {
+    case WeightingScheme::kCosine: {
+      double sum_sq = 0.0;
+      for (const auto& [term, count] : counts) {
+        (void)term;
+        sum_sq += static_cast<double>(count) * static_cast<double>(count);
+      }
+      const double norm = sum_sq > 0.0 ? 1.0 / std::sqrt(sum_sq) : 0.0;
+      for (const auto& [term, count] : counts) {
+        composition.push_back({term, static_cast<double>(count) * norm});
+      }
+      break;
+    }
+    case WeightingScheme::kBm25: {
+      ITA_CHECK(stats != nullptr) << "BM25 weighting requires CorpusStats";
+      const double avgdl = stats->average_length() > 0.0 ? stats->average_length() : 1.0;
+      const double len_norm =
+          bm25.k1 * (1.0 - bm25.b + bm25.b * static_cast<double>(token_count) / avgdl);
+      for (const auto& [term, count] : counts) {
+        const double f = static_cast<double>(count);
+        const double tf = f * (bm25.k1 + 1.0) / (f + len_norm);
+        const double w = stats->Idf(term) * tf;
+        if (w > 0.0) composition.push_back({term, w});
+      }
+      break;
+    }
+    case WeightingScheme::kRawTf: {
+      for (const auto& [term, count] : counts) {
+        composition.push_back({term, static_cast<double>(count)});
+      }
+      break;
+    }
+  }
+  return composition;
+}
+
+std::vector<TermWeight> BuildQueryVector(const TermCounts& counts,
+                                         WeightingScheme scheme) {
+  std::vector<TermWeight> terms;
+  terms.reserve(counts.size());
+  switch (scheme) {
+    case WeightingScheme::kCosine: {
+      double sum_sq = 0.0;
+      for (const auto& [term, count] : counts) {
+        (void)term;
+        sum_sq += static_cast<double>(count) * static_cast<double>(count);
+      }
+      const double norm = sum_sq > 0.0 ? 1.0 / std::sqrt(sum_sq) : 0.0;
+      for (const auto& [term, count] : counts) {
+        terms.push_back({term, static_cast<double>(count) * norm});
+      }
+      break;
+    }
+    case WeightingScheme::kBm25:
+    case WeightingScheme::kRawTf: {
+      for (const auto& [term, count] : counts) {
+        terms.push_back({term, static_cast<double>(count)});
+      }
+      break;
+    }
+  }
+  return terms;
+}
+
+}  // namespace ita

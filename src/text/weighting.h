@@ -1,0 +1,81 @@
+// Term weighting schemes: how raw term frequencies become the impact
+// weights w_{d,t} (composition lists) and w_{Q,t} (query vectors) that the
+// similarity S(d|Q) = sum_t w_{Q,t} * w_{d,t} aggregates (paper Formula 1).
+//
+// The paper evaluates the cosine measure and notes the technique extends to
+// any measure decomposable this way, naming Okapi; both are provided, plus
+// raw term frequency for didactic examples.
+
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ita {
+
+enum class WeightingScheme {
+  /// w_{d,t} = f_{d,t} / sqrt(sum_t' f_{d,t'}^2); likewise for queries.
+  /// S(d|Q) is then the cosine of the angle between the frequency vectors.
+  kCosine,
+  /// Okapi BM25: w_{d,t} = idf(t) * f(k1+1) / (f + k1(1-b+b*|d|/avgdl)),
+  /// w_{Q,t} = f_{Q,t}. idf and avgdl are taken from a CorpusStats snapshot
+  /// at analysis time (weights are immutable once a document is streamed).
+  kBm25,
+  /// w = f on both sides; useful for worked examples with round numbers.
+  kRawTf,
+};
+
+/// Returns a stable display name ("cosine", "bm25", "raw_tf").
+const char* WeightingSchemeName(WeightingScheme scheme);
+
+struct Bm25Params {
+  double k1 = 1.2;
+  double b = 0.75;
+};
+
+/// Raw term frequencies of one document or query: sorted by ascending
+/// TermId, one entry per distinct term, counts >= 1.
+using TermCounts = std::vector<std::pair<TermId, std::uint32_t>>;
+
+/// Running corpus statistics consumed by BM25 weighting: document
+/// frequencies, document count and average length. Callers decide what
+/// population the statistics describe (the analyzer feeds every analyzed
+/// document through).
+class CorpusStats {
+ public:
+  /// Accounts one document with the given distinct terms and token count.
+  void AddDocument(const TermCounts& counts, std::size_t token_count);
+
+  std::uint64_t total_documents() const { return total_documents_; }
+  double average_length() const {
+    return total_documents_ == 0
+               ? 0.0
+               : static_cast<double>(total_tokens_) / static_cast<double>(total_documents_);
+  }
+  std::uint64_t DocumentFrequency(TermId term) const;
+
+  /// Robertson-Sparck-Jones idf with the standard +0.5 smoothing,
+  /// floored at 0.
+  double Idf(TermId term) const;
+
+ private:
+  std::unordered_map<TermId, std::uint64_t> document_frequency_;
+  std::uint64_t total_documents_ = 0;
+  std::uint64_t total_tokens_ = 0;
+};
+
+/// Turns raw document term counts into a composition list under `scheme`.
+/// `stats` may be null except for kBm25. Counts must be sorted by TermId.
+Composition BuildComposition(const TermCounts& counts, std::size_t token_count,
+                             WeightingScheme scheme, const CorpusStats* stats,
+                             const Bm25Params& bm25 = {});
+
+/// Turns raw query term counts into a query weight vector under `scheme`.
+std::vector<TermWeight> BuildQueryVector(const TermCounts& counts,
+                                         WeightingScheme scheme);
+
+}  // namespace ita

@@ -1,0 +1,33 @@
+#include "common/clock.h"
+
+#include <gtest/gtest.h>
+
+namespace ita {
+namespace {
+
+TEST(ClockTest, StartsAtGivenTime) {
+  VirtualClock clock(100);
+  EXPECT_EQ(clock.Now(), 100);
+}
+
+TEST(ClockTest, AdvanceAccumulates) {
+  VirtualClock clock;
+  clock.Advance(5);
+  clock.Advance(7);
+  EXPECT_EQ(clock.Now(), 12);
+}
+
+TEST(ClockTest, AdvanceToJumps) {
+  VirtualClock clock;
+  clock.AdvanceTo(1'000'000);
+  EXPECT_EQ(clock.Now(), kMicrosPerSecond);
+}
+
+TEST(ClockTest, SecondsConversion) {
+  EXPECT_EQ(SecondsToMicros(1.0), 1'000'000);
+  EXPECT_EQ(SecondsToMicros(0.5), 500'000);
+  EXPECT_EQ(SecondsToMicros(0.000001), 1);
+}
+
+}  // namespace
+}  // namespace ita

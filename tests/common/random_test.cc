@@ -1,0 +1,147 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace ita {
+namespace {
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 100000; ++i) {
+    const double v = rng.NextDouble();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoublePositiveNeverZero) {
+  Rng rng(7);
+  for (int i = 0; i < 100000; ++i) {
+    ASSERT_GT(rng.NextDoublePositive(), 0.0);
+  }
+}
+
+TEST(RngTest, UniformIntRespectsBoundsAndCoversRange) {
+  Rng rng(99);
+  std::vector<int> hits(10, 0);
+  for (int i = 0; i < 100000; ++i) {
+    const auto v = rng.UniformInt(3, 12);
+    ASSERT_GE(v, 3u);
+    ASSERT_LE(v, 12u);
+    ++hits[v - 3];
+  }
+  for (const int h : hits) {
+    // Each of the 10 values should receive ~10000 hits.
+    EXPECT_GT(h, 9000);
+    EXPECT_LT(h, 11000);
+  }
+}
+
+TEST(RngTest, UniformIntSingleton) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.UniformInt(42, 42), 42u);
+  }
+}
+
+TEST(RngTest, ExponentialMeanMatchesRate) {
+  Rng rng(11);
+  const double rate = 200.0;  // the paper's arrival rate
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(rate);
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, 1.0 / rate, 0.1 / rate);
+}
+
+TEST(RngTest, NormalMomentsAreSane) {
+  Rng rng(13);
+  const int n = 200000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Normal(2.0, 3.0);
+    sum += v;
+    sum_sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.05);
+  EXPECT_NEAR(var, 9.0, 0.3);
+}
+
+TEST(RngTest, LogNormalMedianIsExpMu) {
+  Rng rng(17);
+  const double mu = 5.56;
+  const int n = 100001;
+  std::vector<double> values;
+  values.reserve(n);
+  for (int i = 0; i < n; ++i) values.push_back(rng.LogNormal(mu, 0.6));
+  std::nth_element(values.begin(), values.begin() + n / 2, values.end());
+  const double median = values[n / 2];
+  EXPECT_NEAR(median, std::exp(mu), std::exp(mu) * 0.05);
+}
+
+TEST(ZipfTest, PmfSumsToOne) {
+  ZipfDistribution zipf(1000, 1.0);
+  double sum = 0.0;
+  for (std::size_t r = 0; r < zipf.n(); ++r) sum += zipf.Pmf(r);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, PmfIsMonotoneDecreasing) {
+  ZipfDistribution zipf(500, 1.2);
+  for (std::size_t r = 1; r < zipf.n(); ++r) {
+    ASSERT_LT(zipf.Pmf(r), zipf.Pmf(r - 1));
+  }
+}
+
+TEST(ZipfTest, SampleFrequenciesTrackPmf) {
+  ZipfDistribution zipf(100, 1.0);
+  Rng rng(23);
+  std::vector<int> hits(100, 0);
+  const int n = 300000;
+  for (int i = 0; i < n; ++i) ++hits[zipf.Sample(&rng)];
+  // Spot-check the head ranks against the analytic pmf.
+  for (const std::size_t r : {0u, 1u, 2u, 5u, 10u}) {
+    const double expected = zipf.Pmf(r) * n;
+    EXPECT_NEAR(hits[r], expected, expected * 0.1 + 30.0) << "rank " << r;
+  }
+}
+
+TEST(ZipfTest, ExponentZeroIsUniform) {
+  ZipfDistribution zipf(50, 0.0);
+  for (std::size_t r = 0; r < 50; ++r) {
+    EXPECT_NEAR(zipf.Pmf(r), 1.0 / 50.0, 1e-12);
+  }
+}
+
+TEST(ZipfTest, SamplesStayInRange) {
+  ZipfDistribution zipf(10, 1.5);
+  Rng rng(31);
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_LT(zipf.Sample(&rng), 10u);
+  }
+}
+
+}  // namespace
+}  // namespace ita

@@ -1,0 +1,91 @@
+#include "container/bounded_heap.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/random.h"
+
+namespace ita {
+namespace {
+
+using MinFirst = std::less<int>;
+
+TEST(BoundedTopKTest, KeepsBestK) {
+  BoundedTopK<int, MinFirst> top(3);
+  for (const int v : {9, 1, 8, 2, 7, 3}) top.Push(v);
+  EXPECT_EQ(top.TakeSorted(), (std::vector<int>{1, 2, 3}));
+}
+
+TEST(BoundedTopKTest, FewerThanCapacity) {
+  BoundedTopK<int, MinFirst> top(10);
+  top.Push(5);
+  top.Push(2);
+  EXPECT_EQ(top.size(), 2u);
+  EXPECT_EQ(top.TakeSorted(), (std::vector<int>{2, 5}));
+}
+
+TEST(BoundedTopKTest, ZeroCapacityKeepsNothing) {
+  BoundedTopK<int, MinFirst> top(0);
+  EXPECT_FALSE(top.Push(1));
+  EXPECT_TRUE(top.empty());
+}
+
+TEST(BoundedTopKTest, PushReportsKept) {
+  BoundedTopK<int, MinFirst> top(2);
+  EXPECT_TRUE(top.Push(10));
+  EXPECT_TRUE(top.Push(20));
+  EXPECT_TRUE(top.Push(5));    // displaces 20
+  EXPECT_FALSE(top.Push(30));  // worse than current worst (10)
+  EXPECT_EQ(top.TakeSorted(), (std::vector<int>{5, 10}));
+}
+
+TEST(BoundedTopKTest, WorstTracksBoundary) {
+  BoundedTopK<int, MinFirst> top(3);
+  top.Push(4);
+  top.Push(2);
+  top.Push(6);
+  EXPECT_EQ(top.Worst(), 6);
+  top.Push(1);
+  EXPECT_EQ(top.Worst(), 4);
+}
+
+TEST(BoundedTopKTest, RandomAgainstFullSort) {
+  Rng rng(77);
+  for (int round = 0; round < 50; ++round) {
+    const std::size_t capacity = 1 + rng.UniformInt(0, 19);
+    std::vector<int> values;
+    BoundedTopK<int, MinFirst> top(capacity);
+    const int n = static_cast<int>(rng.UniformInt(0, 200));
+    for (int i = 0; i < n; ++i) {
+      const int v = static_cast<int>(rng.UniformInt(0, 1000));
+      values.push_back(v);
+      top.Push(v);
+    }
+    std::sort(values.begin(), values.end());
+    if (values.size() > capacity) values.resize(capacity);
+    EXPECT_EQ(top.TakeSorted(), values);
+  }
+}
+
+struct ScoreDesc {
+  bool operator()(const std::pair<double, int>& a,
+                  const std::pair<double, int>& b) const {
+    return a.first > b.first;
+  }
+};
+
+TEST(BoundedTopKTest, WorksWithDescendingScores) {
+  BoundedTopK<std::pair<double, int>, ScoreDesc> top(2);
+  top.Push({0.3, 1});
+  top.Push({0.9, 2});
+  top.Push({0.5, 3});
+  const auto out = top.TakeSorted();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].second, 2);
+  EXPECT_EQ(out[1].second, 3);
+}
+
+}  // namespace
+}  // namespace ita

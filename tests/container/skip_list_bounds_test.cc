@@ -1,0 +1,107 @@
+// Boundary-search semantics under duplicum-free composite keys and fuzzed
+// churn: LowerBound/UpperBound/Back/HasPrev must agree with a std::set
+// reference at every step, including around erased boundaries.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/random.h"
+#include "container/skip_list.h"
+
+namespace ita {
+namespace {
+
+using IntList = SkipList<int, std::less<int>>;
+
+class SkipListBoundsFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SkipListBoundsFuzzTest, BoundsMatchStdSetUnderChurn) {
+  Rng rng(GetParam());
+  IntList list;
+  std::set<int> reference;
+
+  for (int step = 0; step < 15000; ++step) {
+    const int v = static_cast<int>(rng.UniformInt(0, 300));
+    switch (rng.UniformInt(0, 3)) {
+      case 0:
+      case 1:
+        list.Insert(v);
+        reference.insert(v);
+        break;
+      case 2:
+        list.Erase(v);
+        reference.erase(v);
+        break;
+      default: {
+        // Probe both bounds at a random pivot.
+        const auto lb = list.LowerBound(v);
+        const auto ref_lb = reference.lower_bound(v);
+        if (ref_lb == reference.end()) {
+          ASSERT_EQ(lb, list.end());
+        } else {
+          ASSERT_NE(lb, list.end());
+          ASSERT_EQ(*lb, *ref_lb);
+        }
+        const auto ub = list.UpperBound(v);
+        const auto ref_ub = reference.upper_bound(v);
+        if (ref_ub == reference.end()) {
+          ASSERT_EQ(ub, list.end());
+        } else {
+          ASSERT_NE(ub, list.end());
+          ASSERT_EQ(*ub, *ref_ub);
+        }
+        break;
+      }
+    }
+    // Back() must track the maximum at all times.
+    if (reference.empty()) {
+      ASSERT_EQ(list.Back(), list.end());
+    } else {
+      ASSERT_NE(list.Back(), list.end());
+      ASSERT_EQ(*list.Back(), *reference.rbegin());
+    }
+  }
+}
+
+TEST_P(SkipListBoundsFuzzTest, BackwardWalkMatchesForward) {
+  Rng rng(GetParam() * 31 + 7);
+  IntList list;
+  for (int i = 0; i < 500; ++i) {
+    list.Insert(static_cast<int>(rng.UniformInt(0, 100000)));
+  }
+  std::vector<int> forward;
+  for (const int v : list) forward.push_back(v);
+
+  std::vector<int> backward;
+  auto it = list.end();
+  while (it.HasPrev()) {
+    --it;
+    backward.push_back(*it);
+  }
+  std::reverse(backward.begin(), backward.end());
+  EXPECT_EQ(backward, forward);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SkipListBoundsFuzzTest,
+                         ::testing::Values(101, 202, 303));
+
+TEST(SkipListBoundsTest, BoundsOnEmptyList) {
+  IntList list;
+  EXPECT_EQ(list.LowerBound(5), list.end());
+  EXPECT_EQ(list.UpperBound(5), list.end());
+  EXPECT_FALSE(list.end().HasPrev());
+}
+
+TEST(SkipListBoundsTest, BoundsAroundSingleElement) {
+  IntList list;
+  list.Insert(10);
+  EXPECT_EQ(*list.LowerBound(10), 10);
+  EXPECT_EQ(*list.LowerBound(9), 10);
+  EXPECT_EQ(list.LowerBound(11), list.end());
+  EXPECT_EQ(*list.UpperBound(9), 10);
+  EXPECT_EQ(list.UpperBound(10), list.end());
+}
+
+}  // namespace
+}  // namespace ita

@@ -1,0 +1,240 @@
+#include "container/skip_list.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/random.h"
+
+namespace ita {
+namespace {
+
+using IntList = SkipList<int, std::less<int>>;
+
+TEST(SkipListTest, EmptyList) {
+  IntList list;
+  EXPECT_TRUE(list.empty());
+  EXPECT_EQ(list.size(), 0u);
+  EXPECT_EQ(list.begin(), list.end());
+  EXPECT_EQ(list.Back(), list.end());
+  EXPECT_EQ(list.Find(1), list.end());
+  EXPECT_FALSE(list.Erase(1));
+}
+
+TEST(SkipListTest, InsertMaintainsSortedOrder) {
+  IntList list;
+  for (const int v : {5, 1, 9, 3, 7, 2, 8, 4, 6, 0}) {
+    EXPECT_TRUE(list.Insert(v).second);
+  }
+  EXPECT_EQ(list.size(), 10u);
+  int expected = 0;
+  for (const int v : list) {
+    EXPECT_EQ(v, expected++);
+  }
+}
+
+TEST(SkipListTest, DuplicateInsertRejected) {
+  IntList list;
+  EXPECT_TRUE(list.Insert(42).second);
+  const auto [it, inserted] = list.Insert(42);
+  EXPECT_FALSE(inserted);
+  EXPECT_EQ(*it, 42);
+  EXPECT_EQ(list.size(), 1u);
+}
+
+TEST(SkipListTest, EraseByValue) {
+  IntList list;
+  for (int v = 0; v < 100; ++v) list.Insert(v);
+  for (int v = 0; v < 100; v += 2) {
+    EXPECT_TRUE(list.Erase(v));
+  }
+  EXPECT_EQ(list.size(), 50u);
+  for (const int v : list) {
+    EXPECT_EQ(v % 2, 1);
+  }
+  EXPECT_FALSE(list.Erase(2));  // already gone
+}
+
+TEST(SkipListTest, EraseByIteratorReturnsSuccessor) {
+  IntList list;
+  for (const int v : {1, 2, 3}) list.Insert(v);
+  auto it = list.Find(2);
+  ASSERT_NE(it, list.end());
+  auto next = list.Erase(it);
+  ASSERT_NE(next, list.end());
+  EXPECT_EQ(*next, 3);
+  EXPECT_EQ(list.size(), 2u);
+}
+
+TEST(SkipListTest, FindAndContains) {
+  IntList list;
+  for (int v = 0; v < 50; v += 5) list.Insert(v);
+  EXPECT_TRUE(list.Contains(25));
+  EXPECT_FALSE(list.Contains(26));
+  auto it = list.Find(30);
+  ASSERT_NE(it, list.end());
+  EXPECT_EQ(*it, 30);
+}
+
+TEST(SkipListTest, LowerAndUpperBound) {
+  IntList list;
+  for (const int v : {10, 20, 30, 40}) list.Insert(v);
+  EXPECT_EQ(*list.LowerBound(20), 20);
+  EXPECT_EQ(*list.UpperBound(20), 30);
+  EXPECT_EQ(*list.LowerBound(21), 30);
+  EXPECT_EQ(*list.LowerBound(5), 10);
+  EXPECT_EQ(list.LowerBound(41), list.end());
+  EXPECT_EQ(list.UpperBound(40), list.end());
+}
+
+TEST(SkipListTest, BackwardIteration) {
+  IntList list;
+  for (int v = 0; v < 20; ++v) list.Insert(v);
+  auto it = list.end();
+  for (int expected = 19; expected >= 0; --expected) {
+    --it;
+    EXPECT_EQ(*it, expected);
+  }
+  EXPECT_EQ(it, list.begin());
+}
+
+TEST(SkipListTest, BackTracksLargestElement) {
+  IntList list;
+  list.Insert(5);
+  EXPECT_EQ(*list.Back(), 5);
+  list.Insert(9);
+  EXPECT_EQ(*list.Back(), 9);
+  list.Insert(7);
+  EXPECT_EQ(*list.Back(), 9);
+  list.Erase(9);
+  EXPECT_EQ(*list.Back(), 7);
+  list.Erase(7);
+  list.Erase(5);
+  EXPECT_EQ(list.Back(), list.end());
+}
+
+TEST(SkipListTest, HasPrevSemantics) {
+  IntList list;
+  list.Insert(1);
+  list.Insert(2);
+  EXPECT_FALSE(list.begin().HasPrev());
+  EXPECT_TRUE(list.end().HasPrev());
+  auto second = list.Find(2);
+  EXPECT_TRUE(second.HasPrev());
+}
+
+TEST(SkipListTest, ClearResets) {
+  IntList list;
+  for (int v = 0; v < 1000; ++v) list.Insert(v);
+  list.Clear();
+  EXPECT_TRUE(list.empty());
+  EXPECT_EQ(list.begin(), list.end());
+  // Reusable after Clear.
+  list.Insert(3);
+  EXPECT_EQ(*list.begin(), 3);
+  EXPECT_EQ(*list.Back(), 3);
+}
+
+TEST(SkipListTest, CustomComparatorDescending) {
+  SkipList<int, std::greater<int>> list;
+  for (const int v : {3, 1, 4, 1, 5, 9, 2, 6}) list.Insert(v);
+  std::vector<int> out;
+  for (const int v : list) out.push_back(v);
+  EXPECT_TRUE(std::is_sorted(out.begin(), out.end(), std::greater<int>()));
+}
+
+TEST(SkipListTest, LargeSequentialAndReverseInsert) {
+  IntList asc, desc;
+  for (int v = 0; v < 20000; ++v) asc.Insert(v);
+  for (int v = 19999; v >= 0; --v) desc.Insert(v);
+  EXPECT_EQ(asc.size(), desc.size());
+  auto a = asc.begin();
+  auto d = desc.begin();
+  while (a != asc.end()) {
+    ASSERT_EQ(*a, *d);
+    ++a;
+    ++d;
+  }
+}
+
+// Differential fuzz against std::set: random interleaved inserts, erases
+// and bound queries must agree exactly.
+class SkipListFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SkipListFuzzTest, MatchesStdSet) {
+  Rng rng(GetParam());
+  IntList list;
+  std::set<int> reference;
+
+  for (int step = 0; step < 20000; ++step) {
+    const int op = static_cast<int>(rng.UniformInt(0, 9));
+    const int v = static_cast<int>(rng.UniformInt(0, 499));
+    if (op < 5) {
+      const bool inserted = list.Insert(v).second;
+      EXPECT_EQ(inserted, reference.insert(v).second);
+    } else if (op < 8) {
+      EXPECT_EQ(list.Erase(v), reference.erase(v) > 0);
+    } else if (op == 8) {
+      EXPECT_EQ(list.Contains(v), reference.count(v) > 0);
+    } else {
+      const auto lb = list.LowerBound(v);
+      const auto ref_lb = reference.lower_bound(v);
+      if (ref_lb == reference.end()) {
+        EXPECT_EQ(lb, list.end());
+      } else {
+        ASSERT_NE(lb, list.end());
+        EXPECT_EQ(*lb, *ref_lb);
+      }
+    }
+    ASSERT_EQ(list.size(), reference.size());
+  }
+
+  // Final full-order comparison, forward and backward.
+  std::vector<int> forward(reference.begin(), reference.end());
+  std::vector<int> got;
+  for (const int v : list) got.push_back(v);
+  EXPECT_EQ(got, forward);
+
+  if (!forward.empty()) {
+    std::vector<int> backward;
+    auto it = list.end();
+    do {
+      --it;
+      backward.push_back(*it);
+    } while (it != list.begin());
+    std::reverse(backward.begin(), backward.end());
+    EXPECT_EQ(backward, forward);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SkipListFuzzTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+struct Pair {
+  double weight;
+  int id;
+};
+struct PairOrder {
+  bool operator()(const Pair& a, const Pair& b) const {
+    if (a.weight != b.weight) return a.weight > b.weight;
+    return a.id > b.id;
+  }
+};
+
+TEST(SkipListTest, CompositeKeysWithTies) {
+  SkipList<Pair, PairOrder> list;
+  list.Insert({0.5, 1});
+  list.Insert({0.5, 2});
+  list.Insert({0.7, 3});
+  list.Insert({0.3, 4});
+  std::vector<int> ids;
+  for (const Pair& p : list) ids.push_back(p.id);
+  // weight desc, id desc within ties.
+  EXPECT_EQ(ids, (std::vector<int>{3, 2, 1, 4}));
+}
+
+}  // namespace
+}  // namespace ita

@@ -1,0 +1,207 @@
+// Deep white-box scenarios for ITA's incremental machinery: the interplay
+// of roll-up evictions and refill rediscovery, threshold trajectories over
+// scripted streams, and correct accounting of the work counters — the
+// counters the benchmark harness reports must be trustworthy.
+
+#include <gtest/gtest.h>
+
+#include "../testing/builders.h"
+#include "core/ita_server.h"
+
+namespace ita {
+namespace {
+
+using testing::Ids;
+using testing::MakeDoc;
+using testing::MakeQuery;
+
+constexpr TermId kA = 1;
+
+// The core incremental claim end to end: documents evicted from R by a
+// roll-up are *rediscovered* by the downward refill once the top of the
+// result expires — without ever rescanning the window.
+TEST(ItaIncrementalTest, RollUpEvictionThenRefillRediscovery) {
+  ItaServer server{ServerOptions{WindowSpec::CountBased(4)}};
+  const auto id = server.RegisterQuery(MakeQuery(1, {{kA, 1.0}}));
+  ASSERT_TRUE(id.ok());
+
+  // Window fills: d1(0.9), d2(0.5), d3(0.7).
+  ASSERT_TRUE(server.Ingest(MakeDoc({{kA, 0.9}}, 1)).ok());
+  ASSERT_TRUE(server.Ingest(MakeDoc({{kA, 0.5}}, 2)).ok());
+  ASSERT_TRUE(server.Ingest(MakeDoc({{kA, 0.7}}, 3)).ok());
+  EXPECT_EQ(Ids(*server.Result(*id)), (std::vector<DocId>{1}));
+
+  // (d1's own arrival already rolled theta up to 0.9 — tau == S_k is
+  // allowed — so d2/d3 were never even scored.)
+  EXPECT_DOUBLE_EQ(*server.LocalThreshold(*id, kA), 0.9);
+
+  // d4(0.95) takes the top; roll-up lifts theta to 0.95, evicting d1.
+  ASSERT_TRUE(server.Ingest(MakeDoc({{kA, 0.95}}, 4)).ok());
+  EXPECT_EQ(Ids(*server.Result(*id)), (std::vector<DocId>{4}));
+  EXPECT_DOUBLE_EQ(*server.LocalThreshold(*id, kA), 0.95);
+  EXPECT_GE(server.stats().rollup_evictions, 1u);
+  EXPECT_EQ(server.Candidates(*id)->size(), 1u);  // R = {d4} only
+
+  // Low-impact traffic below theta: ITA must not even probe the query.
+  server.ResetStats();
+  ASSERT_TRUE(server.Ingest(MakeDoc({{kA, 0.2}}, 5)).ok());  // d5; d1 expires
+  ASSERT_TRUE(server.Ingest(MakeDoc({{kA, 0.3}}, 6)).ok());  // d6; d2 expires
+  ASSERT_TRUE(server.Ingest(MakeDoc({{kA, 0.1}}, 7)).ok());  // d7; d3 expires
+  EXPECT_EQ(server.stats().queries_probed, 0u);
+  EXPECT_EQ(server.stats().scores_computed, 0u);
+  EXPECT_EQ(Ids(*server.Result(*id)), (std::vector<DocId>{4}));
+
+  // d8 pushes d4 (the top-1) out. The refill resumes *downward from
+  // theta = 0.95* and rediscovers d6 (0.3) — the documents the roll-up
+  // evicted earlier come back through list reads, not a window scan.
+  ASSERT_TRUE(server.Ingest(MakeDoc({{kA, 0.05}}, 8)).ok());
+  EXPECT_EQ(Ids(*server.Result(*id)), (std::vector<DocId>{6}));
+  EXPECT_EQ(server.stats().refills, 1u);
+  EXPECT_GT(server.stats().list_entries_read, 0u);
+  // Thresholds descended to the verification boundary.
+  EXPECT_DOUBLE_EQ(*server.LocalThreshold(*id, kA), 0.2);
+  EXPECT_DOUBLE_EQ(*server.InfluenceThreshold(*id), 0.2);
+  // R now holds the rediscovered candidates d6 and d5 — but not d8/d7
+  // (below the final threshold).
+  EXPECT_EQ(Ids(*server.Candidates(*id)), (std::vector<DocId>{6, 5}));
+}
+
+TEST(ItaIncrementalTest, ThresholdTrajectoryAcrossScript) {
+  // theta starts at the initial-search stop, rolls up on strong arrivals,
+  // descends on refills; tau == w_Q * theta throughout for a single-term
+  // query.
+  ItaServer server{ServerOptions{WindowSpec::CountBased(10)}};
+  const auto id = server.RegisterQuery(MakeQuery(2, {{kA, 1.0}}));
+  ASSERT_TRUE(id.ok());
+  EXPECT_DOUBLE_EQ(*server.InfluenceThreshold(*id), 0.0);  // empty window
+
+  ASSERT_TRUE(server.Ingest(MakeDoc({{kA, 0.4}}, 1)).ok());
+  // One matcher < k: theta must stay 0 (tau must stay 0 while R is
+  // under-filled).
+  EXPECT_DOUBLE_EQ(*server.LocalThreshold(*id, kA), 0.0);
+  ASSERT_TRUE(server.Ingest(MakeDoc({{kA, 0.6}}, 2)).ok());
+  // With k documents present, d2's arrival rolls theta up to the S_k
+  // boundary (tau = 0.4 == S_k is permitted).
+  EXPECT_DOUBLE_EQ(*server.LocalThreshold(*id, kA), 0.4);
+
+  // A strong pair arrives: top-2 becomes {0.9, 0.8}; roll-up can lift
+  // theta to 0.6 (tau = 0.6 <= Sk = 0.8) but no further (0.8 <= 0.8 ok —
+  // boundary: lifting to 0.8 keeps tau <= Sk, so it lifts twice).
+  ASSERT_TRUE(server.Ingest(MakeDoc({{kA, 0.9}}, 3)).ok());
+  ASSERT_TRUE(server.Ingest(MakeDoc({{kA, 0.8}}, 4)).ok());
+  const double theta = *server.LocalThreshold(*id, kA);
+  EXPECT_DOUBLE_EQ(theta, 0.8);  // tau = 0.8 == Sk allowed (<=)
+  EXPECT_DOUBLE_EQ(*server.InfluenceThreshold(*id), theta);
+  EXPECT_EQ(Ids(*server.Result(*id)), (std::vector<DocId>{3, 4}));
+}
+
+TEST(ItaIncrementalTest, StatsLedgerExactForScriptedRun) {
+  ItaServer server{ServerOptions{WindowSpec::CountBased(2)}};
+  const auto q1 = server.RegisterQuery(MakeQuery(1, {{1, 1.0}}));
+  const auto q2 = server.RegisterQuery(MakeQuery(1, {{2, 1.0}}));
+  ASSERT_TRUE(q1.ok());
+  ASSERT_TRUE(q2.ok());
+  server.ResetStats();
+
+  // d1 carries both terms: probes and scores exactly both queries; 2
+  // postings inserted.
+  ASSERT_TRUE(server.Ingest(MakeDoc({{1, 0.5}, {2, 0.6}}, 1)).ok());
+  EXPECT_EQ(server.stats().documents_ingested, 1u);
+  EXPECT_EQ(server.stats().index_entries_inserted, 2u);
+  EXPECT_EQ(server.stats().queries_probed, 2u);
+  EXPECT_EQ(server.stats().scores_computed, 2u);
+  EXPECT_EQ(server.stats().result_insertions, 2u);
+
+  // d2 carries only term 1: probes/scores exactly one query.
+  ASSERT_TRUE(server.Ingest(MakeDoc({{1, 0.7}}, 2)).ok());
+  EXPECT_EQ(server.stats().queries_probed, 3u);
+  EXPECT_EQ(server.stats().scores_computed, 3u);
+
+  // d3 (term 3 only): expires d1. d2's arrival had already rolled q1's
+  // threshold above d1's weight and evicted it from R(q1), so only q2 is
+  // probed by the expiry.
+  ASSERT_TRUE(server.Ingest(MakeDoc({{3, 0.9}}, 3)).ok());
+  EXPECT_EQ(server.stats().documents_expired, 1u);
+  EXPECT_EQ(server.stats().index_entries_erased, 2u);
+  EXPECT_EQ(server.stats().queries_probed, 4u);
+  EXPECT_EQ(server.stats().result_removals, 2u);  // 1 roll-up + 1 expiry
+  // q2 lost its only result; lists for term 2 are empty, so the refill
+  // finds nothing and tau drops to 0.
+  EXPECT_DOUBLE_EQ(*server.InfluenceThreshold(*q2), 0.0);
+  EXPECT_TRUE(server.Result(*q2)->empty());
+  EXPECT_EQ(Ids(*server.Result(*q1)), (std::vector<DocId>{2}));
+}
+
+TEST(ItaIncrementalTest, ReregistrationAfterChurnIsClean) {
+  ItaServer server{ServerOptions{WindowSpec::CountBased(5)}};
+  for (int round = 0; round < 20; ++round) {
+    const auto id = server.RegisterQuery(MakeQuery(2, {{kA, 1.0}}));
+    ASSERT_TRUE(id.ok());
+    ASSERT_TRUE(server.Ingest(MakeDoc({{kA, 0.1 * (round % 9 + 1)}}, round)).ok());
+    ASSERT_TRUE(server.Result(*id).ok());
+    ASSERT_TRUE(server.UnregisterQuery(*id).ok());
+  }
+  // No queries left: arrivals must not probe anything.
+  server.ResetStats();
+  ASSERT_TRUE(server.Ingest(MakeDoc({{kA, 0.5}}, 99)).ok());
+  EXPECT_EQ(server.stats().queries_probed, 0u);
+}
+
+TEST(ItaIncrementalTest, IdenticalQueriesEvolveIdentically) {
+  // Two registrations of the same query must stay in lock-step — threshold
+  // trees keep per-query entries independent.
+  ItaServer server{ServerOptions{WindowSpec::CountBased(4)}};
+  const Query q = MakeQuery(2, {{1, 0.6}, {2, 0.8}});
+  const auto a = server.RegisterQuery(q);
+  const auto b = server.RegisterQuery(q);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  Rng rng(12);
+  for (int i = 0; i < 60; ++i) {
+    Composition comp;
+    if (rng.NextBool(0.6)) comp.push_back({1, rng.NextDouble()});
+    if (rng.NextBool(0.6)) comp.push_back({2, rng.NextDouble()});
+    if (comp.empty()) comp.push_back({3, 0.5});
+    Document doc;
+    doc.arrival_time = i;
+    doc.composition = comp;
+    ASSERT_TRUE(server.Ingest(std::move(doc)).ok());
+    const auto ra = server.Result(*a);
+    const auto rb = server.Result(*b);
+    ASSERT_EQ(Ids(*ra), Ids(*rb)) << "event " << i;
+    ASSERT_EQ(*server.InfluenceThreshold(*a), *server.InfluenceThreshold(*b));
+  }
+}
+
+TEST(ItaIncrementalTest, CandidateSetStaysBoundedUnderRollup) {
+  // With roll-up on, R should track the verification boundary rather than
+  // accumulate the whole window.
+  ItaServer with{ServerOptions{WindowSpec::CountBased(200)}};
+  ItaTuning off_tuning;
+  off_tuning.enable_rollup = false;
+  ItaServer without{ServerOptions{WindowSpec::CountBased(200)}, off_tuning};
+
+  const Query q = MakeQuery(3, {{kA, 1.0}});
+  const auto wa = with.RegisterQuery(q);
+  const auto wb = without.RegisterQuery(q);
+  ASSERT_TRUE(wa.ok());
+  ASSERT_TRUE(wb.ok());
+
+  Rng rng(5);
+  for (int i = 0; i < 400; ++i) {
+    const double weight = rng.NextDoublePositive();
+    ASSERT_TRUE(with.Ingest(MakeDoc({{kA, weight}}, i)).ok());
+    ASSERT_TRUE(without.Ingest(MakeDoc({{kA, weight}}, i)).ok());
+    ASSERT_EQ(Ids(*with.Result(*wa)), Ids(*without.Result(*wb)));
+  }
+  const std::size_t with_candidates = with.Candidates(*wa)->size();
+  const std::size_t without_candidates = without.Candidates(*wb)->size();
+  // Without roll-up every matching document stays in R (the whole window
+  // matches here); with roll-up the candidate set hugs the top.
+  EXPECT_EQ(without_candidates, 200u);
+  EXPECT_LT(with_candidates, 40u);
+  EXPECT_GT(with.stats().rollup_steps, 0u);
+}
+
+}  // namespace
+}  // namespace ita

@@ -1,0 +1,271 @@
+#include "core/ita_server.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "../testing/builders.h"
+
+namespace ita {
+namespace {
+
+using testing::Ids;
+using testing::MakeDoc;
+using testing::MakeQuery;
+
+constexpr TermId kTower = 11;
+constexpr TermId kWhite = 20;
+// Query "white white tower" (Figure 1): f_white=2, f_tower=1, cosine-
+// normalized.
+const double kWq = 1.0 / std::sqrt(5.0);
+
+Query WhiteWhiteTower(int k) {
+  return MakeQuery(k, {{kTower, kWq}, {kWhite, 2.0 * kWq}});
+}
+
+// The running example of Figures 1-2, with self-consistent compositions:
+// single-term documents whose weights mirror the inverted lists
+//   L_tower: (0.10,d7) (0.08,d1) (0.07,d5) (0.05,d8)
+//   L_white: (0.08,d6) (0.06,d2) (0.04,d4) (0.03,d3)
+class PaperExampleTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    server_ = std::make_unique<ItaServer>(ServerOptions{WindowSpec::CountBased(100)});
+    // Ingest in id order d1..d8.
+    ASSERT_TRUE(server_->Ingest(MakeDoc({{kTower, 0.08}}, 1)).ok());  // d1
+    ASSERT_TRUE(server_->Ingest(MakeDoc({{kWhite, 0.06}}, 2)).ok());  // d2
+    ASSERT_TRUE(server_->Ingest(MakeDoc({{kWhite, 0.03}}, 3)).ok());  // d3
+    ASSERT_TRUE(server_->Ingest(MakeDoc({{kWhite, 0.04}}, 4)).ok());  // d4
+    ASSERT_TRUE(server_->Ingest(MakeDoc({{kTower, 0.07}}, 5)).ok());  // d5
+    ASSERT_TRUE(server_->Ingest(MakeDoc({{kWhite, 0.08}}, 6)).ok());  // d6
+    ASSERT_TRUE(server_->Ingest(MakeDoc({{kTower, 0.10}}, 7)).ok());  // d7
+    ASSERT_TRUE(server_->Ingest(MakeDoc({{kTower, 0.05}}, 8)).ok());  // d8
+    const auto id = server_->RegisterQuery(WhiteWhiteTower(2));
+    ASSERT_TRUE(id.ok());
+    query_ = *id;
+  }
+
+  std::unique_ptr<ItaServer> server_;
+  QueryId query_ = kInvalidQueryId;
+};
+
+TEST_F(PaperExampleTest, InitialTopKMatchesFigure1) {
+  const auto result = server_->Result(query_);
+  ASSERT_TRUE(result.ok());
+  // {d6, d2}: S(d6) = 2/sqrt(5)*0.08 ~ 0.0716, S(d2) ~ 0.0537.
+  EXPECT_EQ(Ids(*result), (std::vector<DocId>{6, 2}));
+  EXPECT_NEAR((*result)[0].score, 0.16 * kWq, 1e-12);
+  EXPECT_NEAR((*result)[1].score, 0.12 * kWq, 1e-12);
+}
+
+TEST_F(PaperExampleTest, InfluenceThresholdDoesNotExceedSk) {
+  const auto tau = server_->InfluenceThreshold(query_);
+  ASSERT_TRUE(tau.ok());
+  const auto result = server_->Result(query_);
+  ASSERT_TRUE(result.ok());
+  const double sk = result->back().score;
+  EXPECT_LE(*tau, sk * (1.0 + 1e-12));
+  EXPECT_GT(*tau, 0.0);
+}
+
+TEST_F(PaperExampleTest, LocalThresholdsFinalizeAtLastReadWeights) {
+  // The search descends both lists until tau <= S_k; with this data it
+  // stops after reading tower down to 0.05 and white down to 0.03.
+  const auto theta_tower = server_->LocalThreshold(query_, kTower);
+  const auto theta_white = server_->LocalThreshold(query_, kWhite);
+  ASSERT_TRUE(theta_tower.ok());
+  ASSERT_TRUE(theta_white.ok());
+  EXPECT_DOUBLE_EQ(*theta_tower, 0.05);
+  EXPECT_DOUBLE_EQ(*theta_white, 0.03);
+}
+
+TEST_F(PaperExampleTest, UnknownTermIsOutOfRange) {
+  EXPECT_TRUE(server_->LocalThreshold(query_, 999).status().IsOutOfRange());
+  EXPECT_TRUE(server_->LocalThreshold(12345, kTower).status().IsNotFound());
+}
+
+TEST_F(PaperExampleTest, ArrivalTriggersRollUpAndEviction) {
+  // d9 arrives with a strong tower weight (Figure 2), entering the top-2.
+  ASSERT_TRUE(server_->Ingest(MakeDoc({{kTower, 0.18}}, 9)).ok());  // d9
+
+  const auto result = server_->Result(query_);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(Ids(*result), (std::vector<DocId>{9, 6}));
+
+  // Roll-up lifted the tower threshold from 0.05 to at least 0.08 (the
+  // two cheap lifts are well within the new S_k).
+  const auto theta_tower = server_->LocalThreshold(query_, kTower);
+  ASSERT_TRUE(theta_tower.ok());
+  EXPECT_GE(*theta_tower, 0.08 - 1e-12);
+  EXPECT_GT(server_->stats().rollup_steps, 0u);
+
+  // Documents that fell below every local threshold left R (d8 at tower
+  // 0.05 and d5 at tower 0.07 are now de-monitored).
+  const auto candidates = server_->Candidates(query_);
+  ASSERT_TRUE(candidates.ok());
+  const auto ids = Ids(*candidates);
+  EXPECT_EQ(std::count(ids.begin(), ids.end(), 8u), 0);
+  EXPECT_EQ(std::count(ids.begin(), ids.end(), 5u), 0);
+  EXPECT_GT(server_->stats().rollup_evictions, 0u);
+
+  // tau <= S_k still holds after the roll-up.
+  const auto tau = server_->InfluenceThreshold(query_);
+  ASSERT_TRUE(tau.ok());
+  EXPECT_LE(*tau, (*result)[1].score * (1.0 + 1e-12));
+}
+
+TEST_F(PaperExampleTest, IrrelevantArrivalIsNotProcessed) {
+  server_->ResetStats();
+  ASSERT_TRUE(server_->Ingest(MakeDoc({{777, 0.9}}, 9)).ok());
+  EXPECT_EQ(server_->stats().queries_probed, 0u);
+  EXPECT_EQ(server_->stats().scores_computed, 0u);
+}
+
+TEST_F(PaperExampleTest, BelowThresholdArrivalAfterRollUpIsIgnored) {
+  ASSERT_TRUE(server_->Ingest(MakeDoc({{kTower, 0.18}}, 9)).ok());  // rolls up
+  server_->ResetStats();
+  // Tower threshold is now >= 0.08; an arrival at 0.02 falls below it (and
+  // below no other list's threshold), so ITA must not even score it.
+  ASSERT_TRUE(server_->Ingest(MakeDoc({{kTower, 0.02}}, 10)).ok());
+  EXPECT_EQ(server_->stats().queries_probed, 0u);
+  EXPECT_EQ(server_->stats().scores_computed, 0u);
+}
+
+TEST(ItaServerTest, ExpirationOfTopDocumentRefills) {
+  ItaServer server{ServerOptions{WindowSpec::CountBased(3)}};
+  const auto id = server.RegisterQuery(MakeQuery(1, {{1, 1.0}}));
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(server.Ingest(MakeDoc({{1, 0.9}}, 0)).ok());  // doc 1 (top)
+  ASSERT_TRUE(server.Ingest(MakeDoc({{1, 0.5}}, 1)).ok());  // doc 2
+  ASSERT_TRUE(server.Ingest(MakeDoc({{1, 0.7}}, 2)).ok());  // doc 3
+
+  ASSERT_EQ(Ids(*server.Result(*id)), (std::vector<DocId>{1}));
+
+  // Doc 4 pushes doc 1 (the top-1) out of the window.
+  ASSERT_TRUE(server.Ingest(MakeDoc({{1, 0.2}}, 3)).ok());
+  EXPECT_EQ(Ids(*server.Result(*id)), (std::vector<DocId>{3}));
+
+  // And again: doc 5 pushes doc 2 out (not in the top-1: no refill needed).
+  const auto refills_before = server.stats().refills;
+  ASSERT_TRUE(server.Ingest(MakeDoc({{1, 0.1}}, 4)).ok());
+  EXPECT_EQ(Ids(*server.Result(*id)), (std::vector<DocId>{3}));
+  EXPECT_EQ(server.stats().refills, refills_before);
+}
+
+TEST(ItaServerTest, FewerMatchersThanK) {
+  ItaServer server{ServerOptions{WindowSpec::CountBased(10)}};
+  const auto id = server.RegisterQuery(MakeQuery(5, {{1, 1.0}}));
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(server.Ingest(MakeDoc({{1, 0.4}}, 0)).ok());
+  ASSERT_TRUE(server.Ingest(MakeDoc({{2, 0.4}}, 1)).ok());  // not a matcher
+  ASSERT_TRUE(server.Ingest(MakeDoc({{1, 0.6}}, 2)).ok());
+  const auto result = server.Result(*id);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(Ids(*result), (std::vector<DocId>{3, 1}));
+  // tau must be 0: every matching document is already in R.
+  EXPECT_DOUBLE_EQ(*server.InfluenceThreshold(*id), 0.0);
+}
+
+TEST(ItaServerTest, EmptyWindowRegistration) {
+  ItaServer server{ServerOptions{WindowSpec::CountBased(10)}};
+  const auto id = server.RegisterQuery(MakeQuery(3, {{1, 0.5}, {2, 0.5}}));
+  ASSERT_TRUE(id.ok());
+  EXPECT_TRUE(server.Result(*id)->empty());
+  EXPECT_DOUBLE_EQ(*server.InfluenceThreshold(*id), 0.0);
+  // First matching arrival becomes the top-1 immediately.
+  ASSERT_TRUE(server.Ingest(MakeDoc({{1, 0.3}}, 0)).ok());
+  EXPECT_EQ(Ids(*server.Result(*id)), (std::vector<DocId>{1}));
+}
+
+TEST(ItaServerTest, UnregisterCleansThresholdTrees) {
+  ItaServer server{ServerOptions{WindowSpec::CountBased(10)}};
+  const auto id = server.RegisterQuery(MakeQuery(1, {{1, 1.0}}));
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(server.Ingest(MakeDoc({{1, 0.5}}, 0)).ok());
+  ASSERT_TRUE(server.UnregisterQuery(*id).ok());
+  server.ResetStats();
+  // Arrivals touching the term no longer probe anything.
+  ASSERT_TRUE(server.Ingest(MakeDoc({{1, 0.9}}, 1)).ok());
+  EXPECT_EQ(server.stats().queries_probed, 0u);
+}
+
+TEST(ItaServerTest, MidStreamRegistrationSeesOnlyWindowContents) {
+  ItaServer server{ServerOptions{WindowSpec::CountBased(2)}};
+  ASSERT_TRUE(server.Ingest(MakeDoc({{1, 0.9}}, 0)).ok());  // doc 1
+  ASSERT_TRUE(server.Ingest(MakeDoc({{1, 0.5}}, 1)).ok());  // doc 2
+  ASSERT_TRUE(server.Ingest(MakeDoc({{1, 0.7}}, 2)).ok());  // doc 3; doc 1 expired
+  const auto id = server.RegisterQuery(MakeQuery(2, {{1, 1.0}}));
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(Ids(*server.Result(*id)), (std::vector<DocId>{3, 2}));
+}
+
+TEST(ItaServerTest, SharedTermsAcrossQueries) {
+  ItaServer server{ServerOptions{WindowSpec::CountBased(10)}};
+  const auto q1 = server.RegisterQuery(MakeQuery(1, {{1, 1.0}}));
+  const auto q2 = server.RegisterQuery(MakeQuery(1, {{1, 0.5}, {2, 0.5}}));
+  ASSERT_TRUE(q1.ok());
+  ASSERT_TRUE(q2.ok());
+  ASSERT_TRUE(server.Ingest(MakeDoc({{1, 0.6}, {2, 0.8}}, 0)).ok());
+  EXPECT_EQ(Ids(*server.Result(*q1)), (std::vector<DocId>{1}));
+  EXPECT_EQ(Ids(*server.Result(*q2)), (std::vector<DocId>{1}));
+  EXPECT_NEAR((*server.Result(*q2))[0].score, 0.5 * 0.6 + 0.5 * 0.8, 1e-12);
+}
+
+TEST(ItaServerTest, TieHeavyWeightsDrainCorrectly) {
+  // Many identical weights force the boundary-tie drain logic.
+  ItaServer server{ServerOptions{WindowSpec::CountBased(20)}};
+  const auto id = server.RegisterQuery(MakeQuery(3, {{1, 1.0}}));
+  ASSERT_TRUE(id.ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(server.Ingest(MakeDoc({{1, 0.5}}, i)).ok());
+  }
+  const auto result = server.Result(*id);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 3u);
+  // Ties resolve newest-first: docs 10, 9, 8.
+  EXPECT_EQ(Ids(*result), (std::vector<DocId>{10, 9, 8}));
+}
+
+TEST(ItaServerTest, RollupDisabledStillCorrect) {
+  ItaTuning tuning;
+  tuning.enable_rollup = false;
+  ItaServer server{ServerOptions{WindowSpec::CountBased(5)}, tuning};
+  const auto id = server.RegisterQuery(MakeQuery(2, {{1, 1.0}}));
+  ASSERT_TRUE(id.ok());
+  for (int i = 1; i <= 8; ++i) {
+    ASSERT_TRUE(server.Ingest(MakeDoc({{1, 0.1 * i}}, i)).ok());
+  }
+  EXPECT_EQ(server.stats().rollup_steps, 0u);
+  // Window holds docs 4..8 with weights 0.4..0.8.
+  const auto result = server.Result(*id);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(Ids(*result), (std::vector<DocId>{8, 7}));
+}
+
+TEST(ItaServerTest, MultiTermDocumentProcessedOncePerQuery) {
+  ItaServer server{ServerOptions{WindowSpec::CountBased(10)}};
+  const auto id = server.RegisterQuery(MakeQuery(1, {{1, 0.6}, {2, 0.8}}));
+  ASSERT_TRUE(id.ok());
+  server.ResetStats();
+  // Document above both local thresholds (both 0: empty lists) — must be
+  // scored exactly once.
+  ASSERT_TRUE(server.Ingest(MakeDoc({{1, 0.5}, {2, 0.5}}, 0)).ok());
+  EXPECT_EQ(server.stats().queries_probed, 1u);
+  EXPECT_EQ(server.stats().scores_computed, 1u);
+}
+
+TEST(ItaServerTest, WindowOfOne) {
+  ItaServer server{ServerOptions{WindowSpec::CountBased(1)}};
+  const auto id = server.RegisterQuery(MakeQuery(1, {{1, 1.0}}));
+  ASSERT_TRUE(id.ok());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(server.Ingest(MakeDoc({{1, 0.1 * (i + 1)}}, i)).ok());
+    const auto result = server.Result(*id);
+    ASSERT_TRUE(result.ok());
+    ASSERT_EQ(result->size(), 1u);
+    EXPECT_EQ((*result)[0].doc, static_cast<DocId>(i + 1));
+  }
+}
+
+}  // namespace
+}  // namespace ita

@@ -1,0 +1,182 @@
+#include "core/naive_server.h"
+
+#include <gtest/gtest.h>
+
+#include "../testing/builders.h"
+
+namespace ita {
+namespace {
+
+using testing::Ids;
+using testing::MakeDoc;
+using testing::MakeQuery;
+
+TEST(NaiveServerTest, KMaxScalesWithFactor) {
+  NaiveServer def{ServerOptions{WindowSpec::CountBased(10)}};
+  EXPECT_EQ(def.KMaxFor(10), 20u);
+
+  NaiveTuning plain;
+  plain.kmax_factor = 1.0;
+  NaiveServer one{ServerOptions{WindowSpec::CountBased(10)}, plain};
+  EXPECT_EQ(one.KMaxFor(10), 10u);
+
+  NaiveTuning half;
+  half.kmax_factor = 0.5;  // never below k
+  NaiveServer floor{ServerOptions{WindowSpec::CountBased(10)}, half};
+  EXPECT_EQ(floor.KMaxFor(10), 10u);
+
+  NaiveTuning frac;
+  frac.kmax_factor = 1.5;
+  NaiveServer f{ServerOptions{WindowSpec::CountBased(10)}, frac};
+  EXPECT_EQ(f.KMaxFor(3), 5u);  // ceil(4.5)
+}
+
+TEST(NaiveServerTest, EveryQueryScoredOnEveryArrival) {
+  NaiveServer server{ServerOptions{WindowSpec::CountBased(10)}};
+  ASSERT_TRUE(server.RegisterQuery(MakeQuery(1, {{1, 1.0}})).ok());
+  ASSERT_TRUE(server.RegisterQuery(MakeQuery(1, {{2, 1.0}})).ok());
+  ASSERT_TRUE(server.RegisterQuery(MakeQuery(1, {{3, 1.0}})).ok());
+  server.ResetStats();
+  // The document matches none of the queries — Naive pays anyway.
+  ASSERT_TRUE(server.Ingest(MakeDoc({{99, 0.5}}, 0)).ok());
+  EXPECT_EQ(server.stats().scores_computed, 3u);
+}
+
+TEST(NaiveServerTest, EveryQueryMembershipCheckedOnExpiry) {
+  NaiveServer server{ServerOptions{WindowSpec::CountBased(1)}};
+  ASSERT_TRUE(server.RegisterQuery(MakeQuery(1, {{1, 1.0}})).ok());
+  ASSERT_TRUE(server.RegisterQuery(MakeQuery(1, {{2, 1.0}})).ok());
+  ASSERT_TRUE(server.Ingest(MakeDoc({{99, 0.5}}, 0)).ok());
+  server.ResetStats();
+  ASSERT_TRUE(server.Ingest(MakeDoc({{98, 0.5}}, 1)).ok());  // forces expiry
+  EXPECT_EQ(server.stats().membership_checks, 2u);
+}
+
+TEST(NaiveServerTest, UnderflowTriggersFullRescan) {
+  NaiveServer server{ServerOptions{WindowSpec::CountBased(6)}};
+  const auto id = server.RegisterQuery(MakeQuery(2, {{1, 1.0}}));  // kmax=4
+  ASSERT_TRUE(id.ok());
+  // Six matchers; view = top-4 {0.6 0.5 0.4 0.3}, incomplete.
+  for (const double w : {0.6, 0.5, 0.4, 0.3, 0.1, 0.2}) {
+    ASSERT_TRUE(server.Ingest(MakeDoc({{1, w}}, 0)).ok());
+  }
+  EXPECT_EQ(server.stats().full_rescans, 0u);
+
+  // Expire 0.6 and 0.5 (view members): view 4->3->2, still >= k.
+  ASSERT_TRUE(server.Ingest(MakeDoc({{1, 0.15}}, 1)).ok());
+  ASSERT_TRUE(server.Ingest(MakeDoc({{1, 0.05}}, 2)).ok());
+  EXPECT_EQ(server.stats().full_rescans, 0u);
+
+  // Expire 0.4: view {0.3} underflows below k=2 -> rescan to top-kmax.
+  ASSERT_TRUE(server.Ingest(MakeDoc({{1, 0.07}}, 3)).ok());
+  EXPECT_EQ(server.stats().full_rescans, 1u);
+
+  const auto result = server.Result(*id);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 2u);
+  EXPECT_DOUBLE_EQ((*result)[0].score, 0.3);
+  EXPECT_DOUBLE_EQ((*result)[1].score, 0.2);
+}
+
+TEST(NaiveServerTest, CompleteViewRescansByDefault) {
+  // Paper-faithful baseline: a query with fewer matchers than k rescans D
+  // on every matching expiry, even though the scan cannot find anything.
+  NaiveServer server{ServerOptions{WindowSpec::CountBased(4)}};
+  const auto id = server.RegisterQuery(MakeQuery(3, {{1, 1.0}}));
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(server.Ingest(MakeDoc({{1, 0.5}}, 0)).ok());  // one matcher
+  ASSERT_TRUE(server.Ingest(MakeDoc({{9, 0.1}}, 1)).ok());
+  ASSERT_TRUE(server.Ingest(MakeDoc({{9, 0.1}}, 2)).ok());
+  ASSERT_TRUE(server.Ingest(MakeDoc({{9, 0.1}}, 3)).ok());
+  server.ResetStats();
+  // The matcher expires; |view| = 0 < k triggers the (futile) rescan.
+  ASSERT_TRUE(server.Ingest(MakeDoc({{9, 0.1}}, 4)).ok());
+  EXPECT_EQ(server.stats().full_rescans, 1u);
+  EXPECT_TRUE(server.Result(*id)->empty());
+}
+
+TEST(NaiveServerTest, CompleteViewSkipsRescansWhenTuned) {
+  NaiveTuning tuning;
+  tuning.skip_complete_rescans = true;
+  NaiveServer server{ServerOptions{WindowSpec::CountBased(5)}, tuning};
+  const auto id = server.RegisterQuery(MakeQuery(2, {{1, 1.0}}));  // kmax=4
+  ASSERT_TRUE(id.ok());
+  // Only 3 matchers exist — the view holds all of them (complete).
+  ASSERT_TRUE(server.Ingest(MakeDoc({{1, 0.5}}, 0)).ok());
+  ASSERT_TRUE(server.Ingest(MakeDoc({{1, 0.7}}, 1)).ok());
+  ASSERT_TRUE(server.Ingest(MakeDoc({{1, 0.3}}, 2)).ok());
+  ASSERT_TRUE(server.Ingest(MakeDoc({{9, 0.9}}, 3)).ok());
+  ASSERT_TRUE(server.Ingest(MakeDoc({{9, 0.9}}, 4)).ok());
+  server.ResetStats();
+  // Expiring the matchers one by one never triggers a rescan: the view
+  // provably holds every matcher.
+  for (int i = 5; i < 10; ++i) {
+    ASSERT_TRUE(server.Ingest(MakeDoc({{9, 0.1}}, i)).ok());
+  }
+  EXPECT_EQ(server.stats().full_rescans, 0u);
+  EXPECT_TRUE(server.Result(*id)->empty());
+}
+
+TEST(NaiveServerTest, LowScoringArrivalAdmittedWhileComplete) {
+  NaiveServer server{ServerOptions{WindowSpec::CountBased(10)}};
+  const auto id = server.RegisterQuery(MakeQuery(2, {{1, 1.0}}));  // kmax=4
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(server.Ingest(MakeDoc({{1, 0.9}}, 0)).ok());
+  ASSERT_TRUE(server.Ingest(MakeDoc({{1, 0.8}}, 1)).ok());
+  // Lower than both, but the view is complete -> must be admitted so that
+  // later deletions expose it without a rescan.
+  ASSERT_TRUE(server.Ingest(MakeDoc({{1, 0.1}}, 2)).ok());
+  // Expire nothing yet; check via the k=2 result after the strong docs age
+  // out of a smaller window — here simply verify it is tracked: take the
+  // top-3 by registering k=3... instead verify by expiring in a new stream.
+  const auto result = server.Result(*id);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(Ids(*result), (std::vector<DocId>{1, 2}));
+}
+
+TEST(NaiveServerTest, ArrivalDisplacesWorstWhenSaturated) {
+  NaiveTuning tuning;
+  tuning.kmax_factor = 1.0;  // kmax == k: plain Naive of Section II
+  NaiveServer server{ServerOptions{WindowSpec::CountBased(10)}, tuning};
+  const auto id = server.RegisterQuery(MakeQuery(2, {{1, 1.0}}));
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(server.Ingest(MakeDoc({{1, 0.5}}, 0)).ok());
+  ASSERT_TRUE(server.Ingest(MakeDoc({{1, 0.6}}, 1)).ok());
+  ASSERT_TRUE(server.Ingest(MakeDoc({{1, 0.7}}, 2)).ok());  // kicks 0.5
+  const auto result = server.Result(*id);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(Ids(*result), (std::vector<DocId>{3, 2}));
+}
+
+TEST(NaiveServerTest, RegistrationScansExistingWindow) {
+  NaiveServer server{ServerOptions{WindowSpec::CountBased(10)}};
+  ASSERT_TRUE(server.Ingest(MakeDoc({{1, 0.4}}, 0)).ok());
+  ASSERT_TRUE(server.Ingest(MakeDoc({{1, 0.8}}, 1)).ok());
+  server.ResetStats();
+  const auto id = server.RegisterQuery(MakeQuery(1, {{1, 1.0}}));
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(server.stats().scores_computed, 2u);  // scanned both docs
+  EXPECT_EQ(Ids(*server.Result(*id)), (std::vector<DocId>{2}));
+}
+
+TEST(NaiveServerTest, PlainNaiveMatchesEnhancedResults) {
+  // kmax_factor 1.0 and 2.0 must produce identical *answers* (the factor
+  // only changes maintenance cost).
+  NaiveTuning plain;
+  plain.kmax_factor = 1.0;
+  NaiveServer a{ServerOptions{WindowSpec::CountBased(4)}, plain};
+  NaiveServer b{ServerOptions{WindowSpec::CountBased(4)}};
+  const auto qa = a.RegisterQuery(MakeQuery(2, {{1, 1.0}}));
+  const auto qb = b.RegisterQuery(MakeQuery(2, {{1, 1.0}}));
+  ASSERT_TRUE(qa.ok());
+  ASSERT_TRUE(qb.ok());
+  const double weights[] = {0.5, 0.9, 0.2, 0.7, 0.4, 0.8, 0.1, 0.3, 0.6};
+  for (int i = 0; i < 9; ++i) {
+    ASSERT_TRUE(a.Ingest(MakeDoc({{1, weights[i]}}, i)).ok());
+    ASSERT_TRUE(b.Ingest(MakeDoc({{1, weights[i]}}, i)).ok());
+    EXPECT_EQ(Ids(*a.Result(*qa)), Ids(*b.Result(*qb))) << "event " << i;
+  }
+}
+
+}  // namespace
+}  // namespace ita

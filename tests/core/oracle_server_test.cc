@@ -1,0 +1,80 @@
+// Direct validation of OracleServer against hand-computed answers. The
+// oracle is the ground truth for the equivalence property suites, so its
+// own correctness rests on explicit, human-verifiable cases.
+
+#include "core/oracle_server.h"
+
+#include <gtest/gtest.h>
+
+#include "../testing/builders.h"
+
+namespace ita {
+namespace {
+
+using testing::Ids;
+using testing::MakeDoc;
+using testing::MakeQuery;
+
+TEST(OracleServerTest, HandComputedScores) {
+  OracleServer server{ServerOptions{WindowSpec::CountBased(10)}};
+  // Q = {t1: 0.6, t2: 0.8}, k = 2.
+  const auto id = server.RegisterQuery(MakeQuery(2, {{1, 0.6}, {2, 0.8}}));
+  ASSERT_TRUE(id.ok());
+
+  ASSERT_TRUE(server.Ingest(MakeDoc({{1, 0.5}}, 0)).ok());           // S = 0.30
+  ASSERT_TRUE(server.Ingest(MakeDoc({{2, 0.5}}, 1)).ok());           // S = 0.40
+  ASSERT_TRUE(server.Ingest(MakeDoc({{1, 0.3}, {2, 0.2}}, 2)).ok()); // S = 0.34
+  ASSERT_TRUE(server.Ingest(MakeDoc({{3, 0.9}}, 3)).ok());           // S = 0
+
+  const auto result = server.Result(*id);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 2u);
+  EXPECT_EQ((*result)[0].doc, 2u);
+  EXPECT_DOUBLE_EQ((*result)[0].score, 0.8 * 0.5);
+  EXPECT_EQ((*result)[1].doc, 3u);
+  EXPECT_DOUBLE_EQ((*result)[1].score, 0.6 * 0.3 + 0.8 * 0.2);
+}
+
+TEST(OracleServerTest, ZeroScoresNeverReported) {
+  OracleServer server{ServerOptions{WindowSpec::CountBased(10)}};
+  const auto id = server.RegisterQuery(MakeQuery(5, {{1, 1.0}}));
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(server.Ingest(MakeDoc({{2, 0.9}}, 0)).ok());
+  ASSERT_TRUE(server.Ingest(MakeDoc({{3, 0.9}}, 1)).ok());
+  EXPECT_TRUE(server.Result(*id)->empty());
+}
+
+TEST(OracleServerTest, TiesRankNewestFirst) {
+  OracleServer server{ServerOptions{WindowSpec::CountBased(10)}};
+  const auto id = server.RegisterQuery(MakeQuery(2, {{1, 1.0}}));
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(server.Ingest(MakeDoc({{1, 0.5}}, 0)).ok());  // doc 1
+  ASSERT_TRUE(server.Ingest(MakeDoc({{1, 0.5}}, 1)).ok());  // doc 2
+  ASSERT_TRUE(server.Ingest(MakeDoc({{1, 0.5}}, 2)).ok());  // doc 3
+  EXPECT_EQ(Ids(*server.Result(*id)), (std::vector<DocId>{3, 2}));
+}
+
+TEST(OracleServerTest, RecomputesOnEveryRead) {
+  OracleServer server{ServerOptions{WindowSpec::CountBased(2)}};
+  const auto id = server.RegisterQuery(MakeQuery(1, {{1, 1.0}}));
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(server.Ingest(MakeDoc({{1, 0.9}}, 0)).ok());
+  EXPECT_EQ(Ids(*server.Result(*id)), (std::vector<DocId>{1}));
+  // The strong document slides out; the oracle must not remember it.
+  ASSERT_TRUE(server.Ingest(MakeDoc({{1, 0.2}}, 1)).ok());
+  ASSERT_TRUE(server.Ingest(MakeDoc({{1, 0.3}}, 2)).ok());
+  EXPECT_EQ(Ids(*server.Result(*id)), (std::vector<DocId>{3}));
+}
+
+TEST(OracleServerTest, KLargerThanMatchers) {
+  OracleServer server{ServerOptions{WindowSpec::CountBased(10)}};
+  const auto id = server.RegisterQuery(MakeQuery(100, {{1, 1.0}}));
+  ASSERT_TRUE(id.ok());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(server.Ingest(MakeDoc({{1, 0.1 * (i + 1)}}, i)).ok());
+  }
+  EXPECT_EQ(server.Result(*id)->size(), 5u);
+}
+
+}  // namespace
+}  // namespace ita

@@ -1,0 +1,92 @@
+#include "core/query.h"
+
+#include <gtest/gtest.h>
+
+#include "../testing/builders.h"
+
+namespace ita {
+namespace {
+
+using testing::MakeDoc;
+using testing::MakeQuery;
+
+TEST(ValidateQueryTest, AcceptsWellFormed) {
+  EXPECT_TRUE(ValidateQuery(MakeQuery(5, {{1, 0.3}, {4, 0.7}})).ok());
+}
+
+TEST(ValidateQueryTest, RejectsBadK) {
+  EXPECT_TRUE(ValidateQuery(MakeQuery(0, {{1, 0.3}})).IsInvalidArgument());
+  EXPECT_FALSE(ValidateQuery(MakeQuery(-1, {{1, 0.3}})).ok());
+}
+
+TEST(ValidateQueryTest, RejectsEmptyTerms) {
+  EXPECT_FALSE(ValidateQuery(MakeQuery(3, {})).ok());
+}
+
+TEST(ValidateQueryTest, RejectsNonPositiveWeights) {
+  EXPECT_FALSE(ValidateQuery(MakeQuery(3, {{1, 0.0}})).ok());
+  EXPECT_FALSE(ValidateQuery(MakeQuery(3, {{1, -0.5}})).ok());
+}
+
+TEST(ValidateQueryTest, RejectsDuplicateTerms) {
+  Query q;
+  q.k = 3;
+  q.terms = {{1, 0.5}, {1, 0.5}};
+  EXPECT_FALSE(ValidateQuery(q).ok());
+}
+
+TEST(ValidateQueryTest, RejectsUnsortedTerms) {
+  Query q;
+  q.k = 3;
+  q.terms = {{5, 0.5}, {1, 0.5}};
+  EXPECT_FALSE(ValidateQuery(q).ok());
+}
+
+TEST(ScoreDocumentTest, SumsSharedTermProducts) {
+  const Document doc = MakeDoc({{1, 0.5}, {3, 0.2}, {8, 0.1}});
+  const Query q = MakeQuery(1, {{1, 0.4}, {8, 0.6}});
+  EXPECT_DOUBLE_EQ(ScoreDocument(doc.composition, q.terms),
+                   0.4 * 0.5 + 0.6 * 0.1);
+}
+
+TEST(ScoreDocumentTest, DisjointIsZero) {
+  const Document doc = MakeDoc({{1, 0.5}});
+  const Query q = MakeQuery(1, {{2, 1.0}});
+  EXPECT_EQ(ScoreDocument(doc.composition, q.terms), 0.0);
+}
+
+TEST(ScoreDocumentTest, EmptyComposition) {
+  const Query q = MakeQuery(1, {{2, 1.0}});
+  EXPECT_EQ(ScoreDocument({}, q.terms), 0.0);
+}
+
+TEST(ScoreDocumentTest, QuerySupersetOfDocument) {
+  const Document doc = MakeDoc({{5, 0.3}});
+  const Query q = MakeQuery(1, {{1, 0.1}, {5, 0.2}, {9, 0.7}});
+  EXPECT_DOUBLE_EQ(ScoreDocument(doc.composition, q.terms), 0.2 * 0.3);
+}
+
+TEST(ScoreDocumentTest, ManyTermsMergeCorrectly) {
+  Composition comp;
+  std::vector<TermWeight> qterms;
+  double expected = 0.0;
+  for (TermId t = 0; t < 100; ++t) {
+    comp.push_back({t, 0.01 * (t + 1)});
+    if (t % 3 == 0) {
+      qterms.push_back({t, 0.02 * (t + 1)});
+      expected += 0.01 * (t + 1) * 0.02 * (t + 1);
+    }
+  }
+  EXPECT_NEAR(ScoreDocument(comp, qterms), expected, 1e-12);
+}
+
+TEST(CompositionWeightTest, FindsExactTerm) {
+  const Document doc = MakeDoc({{2, 0.4}, {7, 0.6}});
+  EXPECT_DOUBLE_EQ(CompositionWeight(doc.composition, 2), 0.4);
+  EXPECT_DOUBLE_EQ(CompositionWeight(doc.composition, 7), 0.6);
+  EXPECT_EQ(CompositionWeight(doc.composition, 5), 0.0);
+  EXPECT_EQ(CompositionWeight({}, 5), 0.0);
+}
+
+}  // namespace
+}  // namespace ita

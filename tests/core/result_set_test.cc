@@ -1,0 +1,138 @@
+#include "core/result_set.h"
+
+#include <gtest/gtest.h>
+
+namespace ita {
+namespace {
+
+TEST(ResultSetTest, EmptySet) {
+  ResultSet r;
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(r.KthScore(1), 0.0);
+  EXPECT_EQ(r.KthScore(5), 0.0);
+  EXPECT_TRUE(r.TopK(3).empty());
+  EXPECT_FALSE(r.Contains(1));
+  EXPECT_FALSE(r.ScoreOf(1).has_value());
+  EXPECT_FALSE(r.Worst().has_value());
+  EXPECT_FALSE(r.Erase(1));
+}
+
+TEST(ResultSetTest, OrderedByScoreDescending) {
+  ResultSet r;
+  r.Insert(1, 0.3);
+  r.Insert(2, 0.9);
+  r.Insert(3, 0.5);
+  const auto top = r.TopK(3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].doc, 2u);
+  EXPECT_EQ(top[1].doc, 3u);
+  EXPECT_EQ(top[2].doc, 1u);
+}
+
+TEST(ResultSetTest, TiesNewestFirst) {
+  ResultSet r;
+  r.Insert(5, 0.5);
+  r.Insert(9, 0.5);
+  r.Insert(2, 0.5);
+  const auto top = r.TopK(3);
+  EXPECT_EQ(top[0].doc, 9u);
+  EXPECT_EQ(top[1].doc, 5u);
+  EXPECT_EQ(top[2].doc, 2u);
+}
+
+TEST(ResultSetTest, KthScore) {
+  ResultSet r;
+  r.Insert(1, 0.9);
+  r.Insert(2, 0.7);
+  r.Insert(3, 0.5);
+  EXPECT_DOUBLE_EQ(r.KthScore(1), 0.9);
+  EXPECT_DOUBLE_EQ(r.KthScore(2), 0.7);
+  EXPECT_DOUBLE_EQ(r.KthScore(3), 0.5);
+  EXPECT_EQ(r.KthScore(4), 0.0);  // fewer than 4 docs
+  EXPECT_EQ(r.KthScore(0), 0.0);
+}
+
+TEST(ResultSetTest, TopKTruncates) {
+  ResultSet r;
+  for (DocId d = 1; d <= 10; ++d) r.Insert(d, 0.1 * static_cast<double>(d));
+  const auto top = r.TopK(3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].doc, 10u);
+  EXPECT_DOUBLE_EQ(top[0].score, 1.0);
+}
+
+TEST(ResultSetTest, EraseRemovesBothViews) {
+  ResultSet r;
+  r.Insert(1, 0.4);
+  r.Insert(2, 0.6);
+  EXPECT_TRUE(r.Erase(1));
+  EXPECT_FALSE(r.Contains(1));
+  EXPECT_EQ(r.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.KthScore(1), 0.6);
+  EXPECT_FALSE(r.Erase(1));
+}
+
+TEST(ResultSetTest, ScoreOfReturnsExactStored) {
+  ResultSet r;
+  r.Insert(7, 0.123456789);
+  ASSERT_TRUE(r.ScoreOf(7).has_value());
+  EXPECT_DOUBLE_EQ(*r.ScoreOf(7), 0.123456789);
+}
+
+TEST(ResultSetTest, InTopK) {
+  ResultSet r;
+  r.Insert(1, 0.9);
+  r.Insert(2, 0.8);
+  r.Insert(3, 0.7);
+  EXPECT_TRUE(r.InTopK(1, 2));
+  EXPECT_TRUE(r.InTopK(2, 2));
+  EXPECT_FALSE(r.InTopK(3, 2));
+  EXPECT_TRUE(r.InTopK(3, 3));
+  EXPECT_FALSE(r.InTopK(99, 3));
+}
+
+TEST(ResultSetTest, InTopKWithTies) {
+  ResultSet r;
+  r.Insert(1, 0.5);
+  r.Insert(2, 0.5);
+  r.Insert(3, 0.5);
+  // Ties rank newest first: top-2 = {3, 2}.
+  EXPECT_TRUE(r.InTopK(3, 2));
+  EXPECT_TRUE(r.InTopK(2, 2));
+  EXPECT_FALSE(r.InTopK(1, 2));
+}
+
+TEST(ResultSetTest, WorstIsLowestOldest) {
+  ResultSet r;
+  r.Insert(1, 0.5);
+  r.Insert(2, 0.3);
+  r.Insert(3, 0.3);
+  const auto worst = r.Worst();
+  ASSERT_TRUE(worst.has_value());
+  EXPECT_EQ(worst->doc, 2u);  // tied at 0.3, older doc ranks last
+  EXPECT_DOUBLE_EQ(worst->score, 0.3);
+}
+
+TEST(ResultSetTest, ClearEmpties) {
+  ResultSet r;
+  r.Insert(1, 0.5);
+  r.Clear();
+  EXPECT_TRUE(r.empty());
+  r.Insert(1, 0.7);  // reusable, same doc id OK after Clear
+  EXPECT_DOUBLE_EQ(*r.ScoreOf(1), 0.7);
+}
+
+TEST(ResultSetTest, IterationIsSorted) {
+  ResultSet r;
+  for (DocId d = 1; d <= 100; ++d) {
+    r.Insert(d, static_cast<double>((d * 37) % 50));
+  }
+  double prev = 1e300;
+  for (const auto& e : r) {
+    ASSERT_LE(e.score, prev);
+    prev = e.score;
+  }
+}
+
+}  // namespace
+}  // namespace ita

@@ -1,0 +1,209 @@
+// Tests of the shared server machinery (window mechanics, registration,
+// time advancement, listeners) — run against all three implementations via
+// a typed parameterization.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "../testing/builders.h"
+#include "core/ita_server.h"
+#include "core/naive_server.h"
+#include "core/oracle_server.h"
+
+namespace ita {
+namespace {
+
+using testing::Ids;
+using testing::MakeDoc;
+using testing::MakeQuery;
+
+enum class Kind { kIta, kNaive, kOracle };
+
+std::unique_ptr<ContinuousSearchServer> MakeServer(Kind kind, ServerOptions opts) {
+  switch (kind) {
+    case Kind::kIta: return std::make_unique<ItaServer>(opts);
+    case Kind::kNaive: return std::make_unique<NaiveServer>(opts);
+    case Kind::kOracle: return std::make_unique<OracleServer>(opts);
+  }
+  return nullptr;
+}
+
+class ServerCommonTest : public ::testing::TestWithParam<Kind> {
+ protected:
+  std::unique_ptr<ContinuousSearchServer> NewServer(ServerOptions opts) {
+    return MakeServer(GetParam(), opts);
+  }
+};
+
+TEST_P(ServerCommonTest, CountWindowEvictsOldest) {
+  auto server = NewServer({WindowSpec::CountBased(3)});
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(server->Ingest(MakeDoc({{1, 0.5}}, i)).ok());
+  }
+  EXPECT_EQ(server->window_size(), 3u);
+  EXPECT_EQ(server->documents().Oldest().id, 3u);
+  EXPECT_EQ(server->stats().documents_ingested, 5u);
+  EXPECT_EQ(server->stats().documents_expired, 2u);
+}
+
+TEST_P(ServerCommonTest, TimeWindowEvictsByAge) {
+  auto server = NewServer({WindowSpec::TimeBased(100)});
+  ASSERT_TRUE(server->Ingest(MakeDoc({{1, 0.5}}, 0)).ok());
+  ASSERT_TRUE(server->Ingest(MakeDoc({{1, 0.5}}, 50)).ok());
+  ASSERT_TRUE(server->Ingest(MakeDoc({{1, 0.5}}, 99)).ok());
+  EXPECT_EQ(server->window_size(), 3u);
+  // t=100: the t=0 document is exactly 100us old -> expired.
+  ASSERT_TRUE(server->Ingest(MakeDoc({{1, 0.5}}, 100)).ok());
+  EXPECT_EQ(server->window_size(), 3u);
+  // A quiet period then a late arrival expires several at once.
+  ASSERT_TRUE(server->Ingest(MakeDoc({{1, 0.5}}, 250)).ok());
+  EXPECT_EQ(server->window_size(), 1u);
+}
+
+TEST_P(ServerCommonTest, AdvanceTimeExpiresWithoutArrival) {
+  auto server = NewServer({WindowSpec::TimeBased(100)});
+  ASSERT_TRUE(server->Ingest(MakeDoc({{1, 0.5}}, 0)).ok());
+  ASSERT_TRUE(server->Ingest(MakeDoc({{1, 0.5}}, 60)).ok());
+  ASSERT_TRUE(server->AdvanceTime(120).ok());
+  EXPECT_EQ(server->window_size(), 1u);
+  ASSERT_TRUE(server->AdvanceTime(200).ok());
+  EXPECT_EQ(server->window_size(), 0u);
+}
+
+TEST_P(ServerCommonTest, AdvanceTimeIsNoOpForCountWindows) {
+  auto server = NewServer({WindowSpec::CountBased(10)});
+  ASSERT_TRUE(server->Ingest(MakeDoc({{1, 0.5}}, 5)).ok());
+  ASSERT_TRUE(server->AdvanceTime(1'000'000).ok());
+  EXPECT_EQ(server->window_size(), 1u);
+}
+
+TEST_P(ServerCommonTest, OutOfOrderArrivalRejected) {
+  auto server = NewServer({WindowSpec::CountBased(10)});
+  ASSERT_TRUE(server->Ingest(MakeDoc({{1, 0.5}}, 100)).ok());
+  const auto result = server->Ingest(MakeDoc({{1, 0.5}}, 99));
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+  EXPECT_FALSE(server->AdvanceTime(50).ok());
+}
+
+TEST_P(ServerCommonTest, RegisterRejectsInvalidQueries) {
+  auto server = NewServer({WindowSpec::CountBased(10)});
+  EXPECT_FALSE(server->RegisterQuery(MakeQuery(0, {{1, 0.5}})).ok());
+  EXPECT_FALSE(server->RegisterQuery(MakeQuery(3, {})).ok());
+  EXPECT_FALSE(server->RegisterQuery(MakeQuery(3, {{1, -1.0}})).ok());
+}
+
+TEST_P(ServerCommonTest, QueryIdsAreSequential) {
+  auto server = NewServer({WindowSpec::CountBased(10)});
+  const auto a = server->RegisterQuery(MakeQuery(1, {{1, 1.0}}));
+  const auto b = server->RegisterQuery(MakeQuery(1, {{2, 1.0}}));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a + 1, *b);
+  EXPECT_EQ(server->query_count(), 2u);
+}
+
+TEST_P(ServerCommonTest, UnregisterRemovesQuery) {
+  auto server = NewServer({WindowSpec::CountBased(10)});
+  const auto id = server->RegisterQuery(MakeQuery(1, {{1, 1.0}}));
+  ASSERT_TRUE(id.ok());
+  EXPECT_TRUE(server->UnregisterQuery(*id).ok());
+  EXPECT_EQ(server->query_count(), 0u);
+  EXPECT_TRUE(server->UnregisterQuery(*id).IsNotFound());
+  EXPECT_FALSE(server->Result(*id).ok());
+  // The stream continues to work with no queries.
+  EXPECT_TRUE(server->Ingest(MakeDoc({{1, 0.5}}, 1)).ok());
+}
+
+TEST_P(ServerCommonTest, ResultForUnknownQueryIsNotFound) {
+  auto server = NewServer({WindowSpec::CountBased(10)});
+  EXPECT_TRUE(server->Result(42).status().IsNotFound());
+}
+
+TEST_P(ServerCommonTest, RegistrationComputesInitialResultOverWindow) {
+  auto server = NewServer({WindowSpec::CountBased(10)});
+  ASSERT_TRUE(server->Ingest(MakeDoc({{1, 0.9}}, 0)).ok());   // doc 1
+  ASSERT_TRUE(server->Ingest(MakeDoc({{1, 0.4}}, 1)).ok());   // doc 2
+  ASSERT_TRUE(server->Ingest(MakeDoc({{2, 0.8}}, 2)).ok());   // doc 3 (no term 1)
+  const auto id = server->RegisterQuery(MakeQuery(2, {{1, 1.0}}));
+  ASSERT_TRUE(id.ok());
+  const auto result = server->Result(*id);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(Ids(*result), (std::vector<DocId>{1, 2}));
+}
+
+TEST_P(ServerCommonTest, ResultShrinksWithWindow) {
+  auto server = NewServer({WindowSpec::CountBased(2)});
+  const auto id = server->RegisterQuery(MakeQuery(5, {{1, 1.0}}));
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(server->Ingest(MakeDoc({{1, 0.9}}, 0)).ok());
+  ASSERT_TRUE(server->Ingest(MakeDoc({{1, 0.8}}, 1)).ok());
+  ASSERT_TRUE(server->Ingest(MakeDoc({{2, 0.7}}, 2)).ok());  // pushes doc 1 out
+  const auto result = server->Result(*id);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(Ids(*result), (std::vector<DocId>{2}));
+}
+
+TEST_P(ServerCommonTest, ListenerFiresOnTopKChange) {
+  if (GetParam() == Kind::kOracle) {
+    GTEST_SKIP() << "the oracle recomputes on read and cannot track changes";
+  }
+  auto server = NewServer({WindowSpec::CountBased(10)});
+  const auto id = server->RegisterQuery(MakeQuery(1, {{1, 1.0}}));
+  ASSERT_TRUE(id.ok());
+
+  int notifications = 0;
+  std::vector<ResultEntry> last;
+  server->SetResultListener([&](QueryId q, const std::vector<ResultEntry>& r) {
+    EXPECT_EQ(q, *id);
+    ++notifications;
+    last = r;
+  });
+
+  ASSERT_TRUE(server->Ingest(MakeDoc({{1, 0.5}}, 0)).ok());
+  EXPECT_EQ(notifications, 1);
+  ASSERT_EQ(last.size(), 1u);
+
+  // A weaker document does not change the top-1.
+  ASSERT_TRUE(server->Ingest(MakeDoc({{1, 0.2}}, 1)).ok());
+  EXPECT_EQ(notifications, 1);
+
+  // A stronger one does.
+  ASSERT_TRUE(server->Ingest(MakeDoc({{1, 0.9}}, 2)).ok());
+  EXPECT_EQ(notifications, 2);
+  EXPECT_EQ(last[0].doc, 3u);
+
+  // A document with an unrelated term never notifies.
+  ASSERT_TRUE(server->Ingest(MakeDoc({{9, 0.9}}, 3)).ok());
+  EXPECT_EQ(notifications, 2);
+}
+
+TEST_P(ServerCommonTest, StatsResetClearsCounters) {
+  auto server = NewServer({WindowSpec::CountBased(2)});
+  ASSERT_TRUE(server->Ingest(MakeDoc({{1, 0.5}}, 0)).ok());
+  EXPECT_GT(server->stats().documents_ingested, 0u);
+  server->ResetStats();
+  EXPECT_EQ(server->stats().documents_ingested, 0u);
+}
+
+TEST_P(ServerCommonTest, EqualTimestampsAllowed) {
+  auto server = NewServer({WindowSpec::CountBased(10)});
+  ASSERT_TRUE(server->Ingest(MakeDoc({{1, 0.5}}, 7)).ok());
+  ASSERT_TRUE(server->Ingest(MakeDoc({{1, 0.6}}, 7)).ok());  // burst
+  EXPECT_EQ(server->window_size(), 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllServers, ServerCommonTest,
+                         ::testing::Values(Kind::kIta, Kind::kNaive, Kind::kOracle),
+                         [](const ::testing::TestParamInfo<Kind>& info) {
+                           switch (info.param) {
+                             case Kind::kIta: return "Ita";
+                             case Kind::kNaive: return "Naive";
+                             case Kind::kOracle: return "Oracle";
+                           }
+                           return "Unknown";
+                         });
+
+}  // namespace
+}  // namespace ita

@@ -1,0 +1,100 @@
+#include "core/threshold_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace ita {
+namespace {
+
+std::vector<QueryId> Probe(const ThresholdTree& tree, double w) {
+  std::vector<QueryId> hits;
+  tree.ProbeLessEqual(w, [&](QueryId q) { hits.push_back(q); });
+  std::sort(hits.begin(), hits.end());
+  return hits;
+}
+
+TEST(ThresholdTreeTest, EmptyTreeProbesNothing) {
+  ThresholdTree tree;
+  EXPECT_TRUE(tree.empty());
+  EXPECT_TRUE(Probe(tree, 1.0).empty());
+}
+
+TEST(ThresholdTreeTest, ProbeSelectsThetaLessEqual) {
+  ThresholdTree tree;
+  tree.Insert(0.10, 1);
+  tree.Insert(0.20, 2);
+  tree.Insert(0.30, 3);
+  EXPECT_EQ(Probe(tree, 0.05), (std::vector<QueryId>{}));
+  EXPECT_EQ(Probe(tree, 0.10), (std::vector<QueryId>{1}));  // inclusive
+  EXPECT_EQ(Probe(tree, 0.25), (std::vector<QueryId>{1, 2}));
+  EXPECT_EQ(Probe(tree, 0.30), (std::vector<QueryId>{1, 2, 3}));
+  EXPECT_EQ(Probe(tree, 9.99), (std::vector<QueryId>{1, 2, 3}));
+}
+
+TEST(ThresholdTreeTest, ProbeCountsVisitedEntries) {
+  ThresholdTree tree;
+  tree.Insert(0.1, 1);
+  tree.Insert(0.2, 2);
+  tree.Insert(0.9, 3);
+  std::size_t count = tree.ProbeLessEqual(0.5, [](QueryId) {});
+  EXPECT_EQ(count, 2u);
+}
+
+TEST(ThresholdTreeTest, EqualThetasForDifferentQueries) {
+  ThresholdTree tree;
+  tree.Insert(0.5, 10);
+  tree.Insert(0.5, 20);
+  EXPECT_EQ(tree.size(), 2u);
+  EXPECT_EQ(Probe(tree, 0.5), (std::vector<QueryId>{10, 20}));
+  EXPECT_TRUE(tree.Erase(0.5, 10));
+  EXPECT_EQ(Probe(tree, 0.5), (std::vector<QueryId>{20}));
+}
+
+TEST(ThresholdTreeTest, UpdateMovesThreshold) {
+  ThresholdTree tree;
+  tree.Insert(0.10, 7);
+  tree.Update(0.10, 0.40, 7);  // roll-up
+  EXPECT_TRUE(Probe(tree, 0.2).empty());
+  EXPECT_EQ(Probe(tree, 0.4), (std::vector<QueryId>{7}));
+  tree.Update(0.40, 0.05, 7);  // refill lowers it again
+  EXPECT_EQ(Probe(tree, 0.07), (std::vector<QueryId>{7}));
+}
+
+TEST(ThresholdTreeTest, EraseMissingReturnsFalse) {
+  ThresholdTree tree;
+  tree.Insert(0.5, 1);
+  EXPECT_FALSE(tree.Erase(0.4, 1));   // wrong theta
+  EXPECT_FALSE(tree.Erase(0.5, 99));  // wrong query
+  EXPECT_TRUE(tree.Erase(0.5, 1));
+  EXPECT_TRUE(tree.empty());
+}
+
+TEST(ThresholdTreeTest, InfinityThresholdIsInvisible) {
+  ThresholdTree tree;
+  tree.Insert(std::numeric_limits<double>::infinity(), 3);
+  EXPECT_TRUE(Probe(tree, 1e308).empty());
+  EXPECT_TRUE(tree.Erase(std::numeric_limits<double>::infinity(), 3));
+}
+
+TEST(ThresholdTreeTest, ZeroThresholdMatchesEverything) {
+  ThresholdTree tree;
+  tree.Insert(0.0, 4);
+  EXPECT_EQ(Probe(tree, 0.0000001), (std::vector<QueryId>{4}));
+  EXPECT_EQ(Probe(tree, 0.0), (std::vector<QueryId>{4}));
+}
+
+TEST(ThresholdTreeTest, ManyQueriesProbeScalesWithHits) {
+  ThresholdTree tree;
+  for (QueryId q = 0; q < 1000; ++q) {
+    tree.Insert(0.001 * static_cast<double>(q), q);
+  }
+  const auto hits = Probe(tree, 0.0095);
+  EXPECT_EQ(hits.size(), 10u);  // thetas 0.000 .. 0.009
+  EXPECT_EQ(hits.front(), 0u);
+  EXPECT_EQ(hits.back(), 9u);
+}
+
+}  // namespace
+}  // namespace ita

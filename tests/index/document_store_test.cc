@@ -1,0 +1,91 @@
+#include "index/document_store.h"
+
+#include <gtest/gtest.h>
+
+namespace ita {
+namespace {
+
+Document MakeDoc(Timestamp t) {
+  Document doc;
+  doc.arrival_time = t;
+  doc.composition = {{1, 0.5}};
+  return doc;
+}
+
+TEST(DocumentStoreTest, AssignsSequentialIdsFromOne) {
+  DocumentStore store;
+  EXPECT_EQ(store.Append(MakeDoc(0)), 1u);
+  EXPECT_EQ(store.Append(MakeDoc(1)), 2u);
+  EXPECT_EQ(store.Append(MakeDoc(2)), 3u);
+  EXPECT_EQ(store.next_id(), 4u);
+}
+
+TEST(DocumentStoreTest, FifoOrder) {
+  DocumentStore store;
+  store.Append(MakeDoc(10));
+  store.Append(MakeDoc(20));
+  EXPECT_EQ(store.Oldest().arrival_time, 10);
+  const Document popped = store.PopOldest();
+  EXPECT_EQ(popped.arrival_time, 10);
+  EXPECT_EQ(popped.id, 1u);
+  EXPECT_EQ(store.Oldest().arrival_time, 20);
+}
+
+TEST(DocumentStoreTest, GetById) {
+  DocumentStore store;
+  const DocId a = store.Append(MakeDoc(1));
+  const DocId b = store.Append(MakeDoc(2));
+  ASSERT_NE(store.Get(a), nullptr);
+  EXPECT_EQ(store.Get(a)->arrival_time, 1);
+  ASSERT_NE(store.Get(b), nullptr);
+  EXPECT_EQ(store.Get(b)->arrival_time, 2);
+  EXPECT_EQ(store.Get(99), nullptr);
+  EXPECT_EQ(store.Get(0), nullptr);  // kInvalidDocId
+}
+
+TEST(DocumentStoreTest, GetAfterExpirations) {
+  DocumentStore store;
+  for (int i = 0; i < 10; ++i) store.Append(MakeDoc(i));
+  for (int i = 0; i < 4; ++i) store.PopOldest();
+  EXPECT_EQ(store.Get(1), nullptr);
+  EXPECT_EQ(store.Get(4), nullptr);
+  ASSERT_NE(store.Get(5), nullptr);
+  EXPECT_EQ(store.Get(5)->arrival_time, 4);
+  EXPECT_TRUE(store.Contains(10));
+  EXPECT_FALSE(store.Contains(11));
+}
+
+TEST(DocumentStoreTest, IterationOldestFirst) {
+  DocumentStore store;
+  for (int i = 0; i < 5; ++i) store.Append(MakeDoc(i));
+  store.PopOldest();
+  Timestamp expected = 1;
+  for (const Document& doc : store) {
+    EXPECT_EQ(doc.arrival_time, expected++);
+  }
+  EXPECT_EQ(expected, 5);
+}
+
+TEST(DocumentStoreTest, EmptyStore) {
+  DocumentStore store;
+  EXPECT_TRUE(store.empty());
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_EQ(store.Get(1), nullptr);
+  EXPECT_EQ(store.begin(), store.end());
+}
+
+TEST(DocumentStoreTest, LargeChurn) {
+  DocumentStore store;
+  for (int i = 0; i < 10000; ++i) {
+    store.Append(MakeDoc(i));
+    if (store.size() > 100) store.PopOldest();
+  }
+  EXPECT_EQ(store.size(), 100u);
+  // The last 100 ids are 9901..10000.
+  EXPECT_EQ(store.Oldest().id, 9901u);
+  ASSERT_NE(store.Get(10000), nullptr);
+  EXPECT_EQ(store.Get(9900), nullptr);
+}
+
+}  // namespace
+}  // namespace ita

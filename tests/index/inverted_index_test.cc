@@ -1,0 +1,84 @@
+#include "index/inverted_index.h"
+
+#include <gtest/gtest.h>
+
+namespace ita {
+namespace {
+
+Document MakeDoc(DocId id, Composition composition) {
+  Document doc;
+  doc.id = id;
+  doc.composition = std::move(composition);
+  return doc;
+}
+
+TEST(InvertedIndexTest, AddCreatesListsPerTerm) {
+  InvertedIndex index;
+  EXPECT_EQ(index.AddDocument(MakeDoc(1, {{2, 0.3}, {5, 0.7}})), 2u);
+  EXPECT_EQ(index.materialized_lists(), 2u);
+  EXPECT_EQ(index.total_postings(), 2u);
+  ASSERT_NE(index.List(2), nullptr);
+  ASSERT_NE(index.List(5), nullptr);
+  EXPECT_EQ(index.List(3), nullptr);
+  EXPECT_EQ(index.List(9999), nullptr);
+  EXPECT_EQ(index.List(2)->size(), 1u);
+}
+
+TEST(InvertedIndexTest, SharedTermsAccumulate) {
+  InvertedIndex index;
+  index.AddDocument(MakeDoc(1, {{7, 0.4}}));
+  index.AddDocument(MakeDoc(2, {{7, 0.9}}));
+  index.AddDocument(MakeDoc(3, {{7, 0.1}}));
+  ASSERT_NE(index.List(7), nullptr);
+  EXPECT_EQ(index.List(7)->size(), 3u);
+  EXPECT_DOUBLE_EQ(*index.List(7)->TopWeight(), 0.9);
+}
+
+TEST(InvertedIndexTest, RemoveInvertsAdd) {
+  InvertedIndex index;
+  const Document d1 = MakeDoc(1, {{2, 0.3}, {5, 0.7}});
+  const Document d2 = MakeDoc(2, {{5, 0.2}});
+  index.AddDocument(d1);
+  index.AddDocument(d2);
+  EXPECT_EQ(index.RemoveDocument(d1), 2u);
+  EXPECT_EQ(index.total_postings(), 1u);
+  EXPECT_TRUE(index.List(2)->empty());
+  EXPECT_EQ(index.List(5)->size(), 1u);
+  EXPECT_EQ(index.RemoveDocument(d2), 1u);
+  EXPECT_EQ(index.total_postings(), 0u);
+}
+
+TEST(InvertedIndexTest, ListPointerStableAcrossGrowth) {
+  InvertedIndex index;
+  index.AddDocument(MakeDoc(1, {{0, 0.5}}));
+  const InvertedList* list = index.List(0);
+  // Adding a much larger term id grows the dense vector.
+  index.AddDocument(MakeDoc(2, {{100000, 0.5}}));
+  EXPECT_EQ(index.List(0), list);
+  EXPECT_EQ(list->size(), 1u);
+}
+
+TEST(InvertedIndexTest, ChurnKeepsCountsConsistent) {
+  InvertedIndex index;
+  std::vector<Document> window;
+  std::size_t expected = 0;
+  for (DocId id = 1; id <= 500; ++id) {
+    Composition comp;
+    for (TermId t = static_cast<TermId>(id % 7); t < 20; t += 7) {
+      comp.push_back({t, 0.1 + static_cast<double>(id % 13) / 13.0});
+    }
+    Document doc = MakeDoc(id, comp);
+    index.AddDocument(doc);
+    expected += comp.size();
+    window.push_back(std::move(doc));
+    if (window.size() > 50) {
+      expected -= window.front().composition.size();
+      index.RemoveDocument(window.front());
+      window.erase(window.begin());
+    }
+  }
+  EXPECT_EQ(index.total_postings(), expected);
+}
+
+}  // namespace
+}  // namespace ita

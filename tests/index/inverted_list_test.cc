@@ -1,0 +1,130 @@
+#include "index/inverted_list.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ita {
+namespace {
+
+std::vector<DocId> Docs(const InvertedList& list) {
+  std::vector<DocId> out;
+  for (const ImpactEntry& e : list) out.push_back(e.doc);
+  return out;
+}
+
+TEST(InvertedListTest, OrderedByDecreasingWeight) {
+  InvertedList list;
+  EXPECT_TRUE(list.Insert(1, 0.08));
+  EXPECT_TRUE(list.Insert(7, 0.10));
+  EXPECT_TRUE(list.Insert(5, 0.07));
+  EXPECT_TRUE(list.Insert(8, 0.05));
+  EXPECT_EQ(Docs(list), (std::vector<DocId>{7, 1, 5, 8}));
+}
+
+TEST(InvertedListTest, TiesOrderNewestFirst) {
+  InvertedList list;
+  list.Insert(3, 0.5);
+  list.Insert(9, 0.5);
+  list.Insert(6, 0.5);
+  EXPECT_EQ(Docs(list), (std::vector<DocId>{9, 6, 3}));
+}
+
+TEST(InvertedListTest, EraseRequiresExactWeight) {
+  InvertedList list;
+  list.Insert(4, 0.25);
+  EXPECT_FALSE(list.Erase(4, 0.30));
+  EXPECT_TRUE(list.Erase(4, 0.25));
+  EXPECT_TRUE(list.empty());
+}
+
+TEST(InvertedListTest, DuplicatePostingRejected) {
+  InvertedList list;
+  EXPECT_TRUE(list.Insert(4, 0.25));
+  EXPECT_FALSE(list.Insert(4, 0.25));
+  EXPECT_EQ(list.size(), 1u);
+}
+
+TEST(InvertedListTest, FirstBelowSkipsTieRun) {
+  InvertedList list;
+  list.Insert(1, 0.9);
+  list.Insert(2, 0.5);
+  list.Insert(3, 0.5);
+  list.Insert(4, 0.2);
+
+  auto it = list.FirstBelow(0.5);
+  ASSERT_NE(it, list.end());
+  EXPECT_EQ(it->doc, 4u);  // both 0.5 entries are at-or-above
+
+  it = list.FirstBelow(0.91);
+  ASSERT_NE(it, list.end());
+  EXPECT_EQ(it->doc, 1u);
+
+  EXPECT_EQ(list.FirstBelow(0.1), list.end());
+}
+
+TEST(InvertedListTest, FirstAtOrBelowIncludesTieRun) {
+  InvertedList list;
+  list.Insert(1, 0.9);
+  list.Insert(2, 0.5);
+  list.Insert(3, 0.5);
+  list.Insert(4, 0.2);
+
+  auto it = list.FirstAtOrBelow(0.5);
+  ASSERT_NE(it, list.end());
+  EXPECT_EQ(it->doc, 3u);  // first of the 0.5 run (newest first: 3 then 2)
+  EXPECT_EQ(it->weight, 0.5);
+}
+
+TEST(InvertedListTest, NextWeightAboveFindsPrecedingEntry) {
+  InvertedList list;
+  list.Insert(9, 0.16);
+  list.Insert(7, 0.10);
+  list.Insert(1, 0.08);
+  list.Insert(5, 0.07);
+
+  // The paper's roll-up example: threshold at 0.08, preceding entry d7.
+  auto w = list.NextWeightAbove(0.08);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_DOUBLE_EQ(*w, 0.10);
+
+  w = list.NextWeightAbove(0.10);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_DOUBLE_EQ(*w, 0.16);
+
+  EXPECT_FALSE(list.NextWeightAbove(0.16).has_value());
+  EXPECT_FALSE(list.NextWeightAbove(0.99).has_value());
+
+  // From below every entry.
+  w = list.NextWeightAbove(0.0);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_DOUBLE_EQ(*w, 0.07);
+}
+
+TEST(InvertedListTest, NextWeightAboveSkipsTies) {
+  InvertedList list;
+  list.Insert(1, 0.4);
+  list.Insert(2, 0.4);
+  list.Insert(3, 0.6);
+  const auto w = list.NextWeightAbove(0.4);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_DOUBLE_EQ(*w, 0.6);  // not 0.4 again
+}
+
+TEST(InvertedListTest, TopWeight) {
+  InvertedList list;
+  EXPECT_FALSE(list.TopWeight().has_value());
+  list.Insert(1, 0.3);
+  list.Insert(2, 0.8);
+  EXPECT_DOUBLE_EQ(*list.TopWeight(), 0.8);
+}
+
+TEST(InvertedListTest, EmptyListBoundaries) {
+  InvertedList list;
+  EXPECT_EQ(list.FirstBelow(0.5), list.end());
+  EXPECT_EQ(list.FirstAtOrBelow(0.5), list.end());
+  EXPECT_FALSE(list.NextWeightAbove(0.0).has_value());
+}
+
+}  // namespace
+}  // namespace ita

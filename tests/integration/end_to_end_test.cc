@@ -1,0 +1,215 @@
+// End-to-end tests over the full public pipeline: raw text -> Analyzer ->
+// server -> results/listeners, exercising the scenarios the paper's
+// introduction motivates (news monitoring, email threat profiles).
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "../testing/builders.h"
+#include "core/ita_server.h"
+#include "core/naive_server.h"
+#include "core/oracle_server.h"
+#include "stream/arrival_process.h"
+#include "text/analyzer.h"
+
+namespace ita {
+namespace {
+
+using testing::Ids;
+
+const char* kNewsFeed[] = {
+    "Oil prices surged after supply cuts were announced by producers.",
+    "The central bank kept interest rates unchanged amid inflation fears.",
+    "A breakthrough in battery technology boosts electric vehicle range.",
+    "Quarterly earnings at the bank beat analyst expectations.",
+    "New explosives detection system deployed at major airports.",
+    "Electric vehicle maker announces record deliveries this quarter.",
+    "Analysts expect oil demand to soften as inventories build.",
+    "The merger between the two banks cleared its final regulatory hurdle.",
+    "Authorities seized chemicals linked to improvised explosives.",
+    "Battery startup raises funding to scale solid state production.",
+};
+
+TEST(EndToEndTest, NewsMonitoringScenario) {
+  Analyzer analyzer;
+  ItaServer server{ServerOptions{WindowSpec::CountBased(8)}};
+
+  const auto oil = server.RegisterQuery(*analyzer.MakeQuery("oil prices demand", 3));
+  const auto ev = server.RegisterQuery(
+      *analyzer.MakeQuery("electric vehicle battery", 3));
+  ASSERT_TRUE(oil.ok());
+  ASSERT_TRUE(ev.ok());
+
+  Timestamp t = 0;
+  std::vector<DocId> ids;
+  for (const char* text : kNewsFeed) {
+    const auto id = server.Ingest(analyzer.MakeDocument(text, t += 1000));
+    ASSERT_TRUE(id.ok());
+    ids.push_back(*id);
+  }
+
+  const auto oil_result = server.Result(*oil);
+  ASSERT_TRUE(oil_result.ok());
+  ASSERT_FALSE(oil_result->empty());
+  // Doc 7 ("oil demand ... inventories") and doc 1 ("oil prices surged")
+  // are the oil-related stories; doc 1 has left the window (size 8, 10
+  // docs streamed), so doc 7 must lead.
+  EXPECT_EQ(oil_result->front().doc, ids[6]);
+
+  const auto ev_result = server.Result(*ev);
+  ASSERT_TRUE(ev_result.ok());
+  ASSERT_GE(ev_result->size(), 2u);
+  // Battery/EV stories: docs 3, 6, 10; doc 3 expired (window 8).
+  for (const ResultEntry& e : *ev_result) {
+    EXPECT_TRUE(e.doc == ids[5] || e.doc == ids[9] || e.doc == ids[2]);
+  }
+}
+
+TEST(EndToEndTest, ThreatProfileListenerFires) {
+  Analyzer analyzer;
+  ItaServer server{ServerOptions{WindowSpec::CountBased(20)}};
+  const auto threat =
+      server.RegisterQuery(*analyzer.MakeQuery("explosives chemicals detection", 2));
+  ASSERT_TRUE(threat.ok());
+
+  std::vector<std::vector<DocId>> alerts;
+  server.SetResultListener([&](QueryId q, const std::vector<ResultEntry>& r) {
+    EXPECT_EQ(q, *threat);
+    alerts.push_back(testing::Ids(r));
+  });
+
+  Timestamp t = 0;
+  for (const char* text : kNewsFeed) {
+    ASSERT_TRUE(server.Ingest(analyzer.MakeDocument(text, t += 1000)).ok());
+  }
+  // Exactly the two threat-related stories (docs 5 and 9) and no others
+  // should have triggered alerts.
+  ASSERT_EQ(alerts.size(), 2u);
+  EXPECT_EQ(alerts[0].front(), 5u);
+  EXPECT_EQ(alerts[1].front(), 9u);
+}
+
+TEST(EndToEndTest, TimeBasedWindowWithPoissonArrivals) {
+  Analyzer analyzer;
+  // 15-minute window over a 200 docs/sec Poisson stream — the paper's
+  // example query, scaled down: keep documents from the last 50ms.
+  ItaServer server{ServerOptions{WindowSpec::TimeBased(50'000)}};
+  const auto id = server.RegisterQuery(*analyzer.MakeQuery("alpha beta", 5));
+  ASSERT_TRUE(id.ok());
+
+  PoissonProcess arrivals(200.0, 99);
+  int matching = 0;
+  for (int i = 0; i < 100; ++i) {
+    const Timestamp t = arrivals.Next();
+    const std::string text =
+        (i % 3 == 0) ? "alpha beta gamma payload" : "unrelated filler content";
+    if (i % 3 == 0) ++matching;
+    ASSERT_TRUE(server.Ingest(analyzer.MakeDocument(text, t)).ok());
+  }
+  const auto result = server.Result(*id);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result->size(), 5u);
+  // Every reported document must still be inside the time window.
+  for (const ResultEntry& e : *result) {
+    ASSERT_NE(server.documents().Get(e.doc), nullptr);
+  }
+  // Idle period expires everything.
+  ASSERT_TRUE(server.AdvanceTime(arrivals.Now() + 60'000).ok());
+  EXPECT_TRUE(server.Result(*id)->empty());
+  EXPECT_EQ(server.window_size(), 0u);
+}
+
+TEST(EndToEndTest, StemmingRecallAcrossInflections) {
+  AnalyzerOptions opts;
+  opts.stem = true;
+  Analyzer analyzer(opts);
+  ItaServer server{ServerOptions{WindowSpec::CountBased(10)}};
+  const auto id = server.RegisterQuery(*analyzer.MakeQuery("monitor queries", 5));
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(
+      server.Ingest(analyzer.MakeDocument("monitoring continuous query streams", 1))
+          .ok());
+  const auto result = server.Result(*id);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 1u);  // matched via stems monitor/queri
+}
+
+TEST(EndToEndTest, ThreeServersAgreeOnTextWorkload) {
+  Analyzer analyzer;
+  ServerOptions opts{WindowSpec::CountBased(6)};
+  ItaServer ita_server{opts};
+  NaiveServer naive{opts};
+  OracleServer oracle{opts};
+
+  const Query q = *analyzer.MakeQuery("bank earnings merger", 3);
+  const auto a = ita_server.RegisterQuery(q);
+  const auto b = naive.RegisterQuery(q);
+  const auto c = oracle.RegisterQuery(q);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(c.ok());
+
+  Timestamp t = 0;
+  for (int round = 0; round < 3; ++round) {
+    for (const char* text : kNewsFeed) {
+      const Document doc = analyzer.MakeDocument(text, t += 500);
+      ASSERT_TRUE(ita_server.Ingest(doc).ok());
+      ASSERT_TRUE(naive.Ingest(doc).ok());
+      ASSERT_TRUE(oracle.Ingest(doc).ok());
+      const auto ra = ita_server.Result(*a);
+      const auto rb = naive.Result(*b);
+      const auto rc = oracle.Result(*c);
+      ASSERT_TRUE(ra.ok());
+      ASSERT_TRUE(rb.ok());
+      ASSERT_TRUE(rc.ok());
+      ASSERT_EQ(Ids(*ra), Ids(*rc));
+      ASSERT_EQ(Ids(*rb), Ids(*rc));
+    }
+  }
+}
+
+TEST(EndToEndTest, HeavyChurnSmoke) {
+  // A longer mixed workload as a memory-safety / stability smoke test.
+  Analyzer analyzer;
+  ItaServer server{ServerOptions{WindowSpec::CountBased(50)}};
+  std::vector<QueryId> ids;
+  const char* query_strings[] = {"alpha beta", "gamma delta epsilon",
+                                 "zeta eta", "theta iota kappa", "lambda mu"};
+  for (const char* qs : query_strings) {
+    const auto id = server.RegisterQuery(*analyzer.MakeQuery(qs, 4));
+    ASSERT_TRUE(id.ok());
+    ids.push_back(*id);
+  }
+  const char* words[] = {"alpha", "beta", "gamma", "delta", "epsilon", "zeta",
+                         "eta",   "theta", "iota", "kappa", "lambda",  "mu",
+                         "nu",    "xi",    "omicron"};
+  Rng rng(5);
+  Timestamp t = 0;
+  for (int i = 0; i < 2000; ++i) {
+    std::string text;
+    const int len = 3 + static_cast<int>(rng.UniformInt(0, 8));
+    for (int w = 0; w < len; ++w) {
+      text += words[rng.UniformInt(0, 14)];
+      text += ' ';
+    }
+    ASSERT_TRUE(server.Ingest(analyzer.MakeDocument(text, t += 100)).ok());
+    if (i % 500 == 499) {
+      // Rotate a query.
+      ASSERT_TRUE(server.UnregisterQuery(ids[0]).ok());
+      ids.erase(ids.begin());
+      const auto id = server.RegisterQuery(*analyzer.MakeQuery("nu xi omicron", 4));
+      ASSERT_TRUE(id.ok());
+      ids.push_back(*id);
+    }
+  }
+  for (const QueryId id : ids) {
+    EXPECT_TRUE(server.Result(id).ok());
+  }
+  EXPECT_EQ(server.window_size(), 50u);
+}
+
+}  // namespace
+}  // namespace ita

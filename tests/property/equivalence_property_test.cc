@@ -1,0 +1,300 @@
+// The central correctness property of the reproduction: after EVERY stream
+// event, for EVERY registered query, the results maintained incrementally
+// by ItaServer and NaiveServer must equal the brute-force OracleServer's
+// recomputed top-k — same size, same score sequence (ties may permute
+// equal-scored documents, so scores are compared, and membership is
+// checked for every strictly-above-S_k document).
+//
+// Scenarios sweep window kind/size, k, query length, dictionary size and
+// weighting scheme, with small dictionaries to force heavy term collisions
+// and (for raw-tf) massive score/weight ties.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "../testing/builders.h"
+#include "core/ita_server.h"
+#include "core/naive_server.h"
+#include "core/oracle_server.h"
+#include "stream/corpus.h"
+
+namespace ita {
+namespace {
+
+struct Scenario {
+  std::string label;
+  std::uint64_t seed = 1;
+  std::size_t dictionary = 300;
+  std::size_t n_queries = 12;
+  std::size_t terms_per_query = 4;
+  int k = 5;
+  WindowSpec window = WindowSpec::CountBased(40);
+  std::size_t events = 400;
+  WeightingScheme scheme = WeightingScheme::kCosine;
+  bool churn_queries = false;  // register/unregister queries mid-stream
+  bool rollup = true;
+  std::size_t hot_max_term = 0;     // restrict query terms to Zipf head
+  bool naive_skip_rescans = false;  // Naive futile-rescan optimization
+};
+
+std::ostream& operator<<(std::ostream& os, const Scenario& s) {
+  return os << s.label;
+}
+
+class EquivalenceTest : public ::testing::TestWithParam<Scenario> {};
+
+void ExpectSameAnswer(const std::vector<ResultEntry>& got,
+                      const std::vector<ResultEntry>& want,
+                      const std::string& who, QueryId q, std::size_t event) {
+  ASSERT_EQ(got.size(), want.size())
+      << who << " result size mismatch, query " << q << ", event " << event;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    // Scores must match exactly position by position (ties permute only
+    // equal scores, leaving the score sequence unchanged). Both sides
+    // compute scores with the same ScoreDocument, so exact comparison is
+    // appropriate; 1e-12 absorbs nothing but accidental reordering.
+    ASSERT_NEAR(got[i].score, want[i].score, 1e-12)
+        << who << " score mismatch at rank " << i << ", query " << q
+        << ", event " << event;
+  }
+  // Scores must be correctly ordered.
+  for (std::size_t i = 1; i < got.size(); ++i) {
+    ASSERT_GE(got[i - 1].score, got[i].score);
+  }
+}
+
+TEST_P(EquivalenceTest, ItaAndNaiveMatchOracleAfterEveryEvent) {
+  const Scenario& s = GetParam();
+
+  SyntheticCorpusOptions copts;
+  copts.dictionary_size = s.dictionary;
+  copts.min_length = 3;
+  copts.max_length = 30;
+  copts.length_lognormal_mu = 2.3;  // median ~10 distinct terms
+  copts.length_lognormal_sigma = 0.5;
+  copts.scheme = s.scheme;
+  copts.seed = s.seed;
+  SyntheticCorpusGenerator corpus(copts);
+
+  QueryWorkloadOptions qopts;
+  qopts.terms_per_query = s.terms_per_query;
+  qopts.k = s.k;
+  qopts.scheme = s.scheme;
+  qopts.seed = s.seed * 7919 + 17;
+  qopts.max_term = s.hot_max_term;
+  QueryWorkloadGenerator queries(s.dictionary, qopts);
+
+  ItaTuning tuning;
+  tuning.enable_rollup = s.rollup;
+  ItaServer ita_server{ServerOptions{s.window}, tuning};
+  NaiveTuning naive_tuning;
+  naive_tuning.skip_complete_rescans = s.naive_skip_rescans;
+  NaiveServer naive{ServerOptions{s.window}, naive_tuning};
+  OracleServer oracle{ServerOptions{s.window}};
+  std::vector<ContinuousSearchServer*> servers = {&ita_server, &naive, &oracle};
+
+  std::vector<QueryId> active;
+  const auto register_one = [&] {
+    const Query q = queries.NextQuery();
+    QueryId id = kInvalidQueryId;
+    for (ContinuousSearchServer* server : servers) {
+      const auto got = server->RegisterQuery(q);
+      ASSERT_TRUE(got.ok());
+      if (id == kInvalidQueryId) {
+        id = *got;
+      } else {
+        ASSERT_EQ(id, *got);  // identical registration order -> same ids
+      }
+    }
+    active.push_back(id);
+  };
+
+  for (std::size_t i = 0; i < s.n_queries; ++i) register_one();
+
+  Rng churn_rng(s.seed * 31 + 5);
+  for (std::size_t event = 0; event < s.events; ++event) {
+    const Document doc = corpus.NextDocument(static_cast<Timestamp>(event * 100));
+    for (ContinuousSearchServer* server : servers) {
+      ASSERT_TRUE(server->Ingest(doc).ok());
+    }
+
+    if (s.churn_queries && event % 37 == 36 && !active.empty()) {
+      // Unregister a random active query everywhere, then add a new one.
+      const std::size_t victim = churn_rng.UniformInt(0, active.size() - 1);
+      for (ContinuousSearchServer* server : servers) {
+        ASSERT_TRUE(server->UnregisterQuery(active[victim]).ok());
+      }
+      active.erase(active.begin() + static_cast<std::ptrdiff_t>(victim));
+      register_one();
+    }
+
+    for (const QueryId q : active) {
+      const auto want = oracle.Result(q);
+      ASSERT_TRUE(want.ok());
+      const auto ita_got = ita_server.Result(q);
+      ASSERT_TRUE(ita_got.ok());
+      ExpectSameAnswer(*ita_got, *want, "ita", q, event);
+      const auto naive_got = naive.Result(q);
+      ASSERT_TRUE(naive_got.ok());
+      ExpectSameAnswer(*naive_got, *want, "naive", q, event);
+    }
+  }
+
+  // Sanity: the stream actually exercised expirations and (for ITA) the
+  // threshold machinery.
+  if (s.window.kind == WindowSpec::Kind::kCountBased && s.events > s.window.count) {
+    EXPECT_GT(ita_server.stats().documents_expired, 0u);
+  }
+}
+
+std::vector<Scenario> MakeScenarios() {
+  std::vector<Scenario> all;
+
+  Scenario base;
+  base.label = "baseline_cosine";
+  all.push_back(base);
+
+  for (const std::uint64_t seed : {2ull, 3ull, 4ull}) {
+    Scenario s = base;
+    s.seed = seed;
+    s.label = "seed_" + std::to_string(seed);
+    all.push_back(s);
+  }
+
+  {
+    Scenario s = base;
+    s.label = "tiny_window";
+    s.window = WindowSpec::CountBased(5);
+    s.events = 300;
+    all.push_back(s);
+  }
+  {
+    Scenario s = base;
+    s.label = "window_of_one";
+    s.window = WindowSpec::CountBased(1);
+    s.events = 150;
+    all.push_back(s);
+  }
+  {
+    Scenario s = base;
+    s.label = "large_window_short_run";
+    s.window = WindowSpec::CountBased(200);
+    s.events = 320;
+    all.push_back(s);
+  }
+  {
+    Scenario s = base;
+    s.label = "time_window";
+    s.window = WindowSpec::TimeBased(3500);  // ~35 documents at 100us spacing
+    s.events = 350;
+    all.push_back(s);
+  }
+  {
+    Scenario s = base;
+    s.label = "k1";
+    s.k = 1;
+    all.push_back(s);
+  }
+  {
+    Scenario s = base;
+    s.label = "k_large_vs_window";
+    s.k = 60;  // often exceeds matcher count
+    s.window = WindowSpec::CountBased(30);
+    all.push_back(s);
+  }
+  {
+    Scenario s = base;
+    s.label = "single_term_queries";
+    s.terms_per_query = 1;
+    all.push_back(s);
+  }
+  {
+    Scenario s = base;
+    s.label = "long_queries";
+    s.terms_per_query = 12;
+    s.n_queries = 8;
+    all.push_back(s);
+  }
+  {
+    Scenario s = base;
+    s.label = "tiny_dictionary_collisions";
+    s.dictionary = 40;
+    s.events = 300;
+    all.push_back(s);
+  }
+  {
+    Scenario s = base;
+    s.label = "raw_tf_tie_storm";
+    s.scheme = WeightingScheme::kRawTf;
+    s.dictionary = 30;
+    s.terms_per_query = 3;
+    s.events = 250;
+    s.window = WindowSpec::CountBased(25);
+    all.push_back(s);
+  }
+  {
+    Scenario s = base;
+    s.label = "bm25";
+    s.scheme = WeightingScheme::kBm25;
+    all.push_back(s);
+  }
+  {
+    Scenario s = base;
+    s.label = "query_churn";
+    s.churn_queries = true;
+    s.events = 450;
+    all.push_back(s);
+  }
+  {
+    Scenario s = base;
+    s.label = "no_rollup_ablation";
+    s.rollup = false;
+    all.push_back(s);
+  }
+  {
+    Scenario s = base;
+    s.label = "no_rollup_tiny_dict";
+    s.rollup = false;
+    s.dictionary = 40;
+    all.push_back(s);
+  }
+  {
+    // Queries over the Zipf head: every document matches several queries,
+    // stressing the roll-up / refill interplay at high density.
+    Scenario s = base;
+    s.label = "hot_queries";
+    s.dictionary = 500;
+    s.hot_max_term = 20;
+    s.events = 300;
+    all.push_back(s);
+  }
+  {
+    Scenario s = base;
+    s.label = "hot_queries_no_rollup";
+    s.dictionary = 500;
+    s.hot_max_term = 20;
+    s.rollup = false;
+    s.events = 300;
+    all.push_back(s);
+  }
+  {
+    // The Naive futile-rescan optimization must never change answers.
+    Scenario s = base;
+    s.label = "naive_skip_rescans";
+    s.naive_skip_rescans = true;
+    all.push_back(s);
+  }
+  return all;
+}
+
+INSTANTIATE_TEST_SUITE_P(Scenarios, EquivalenceTest,
+                         ::testing::ValuesIn(MakeScenarios()),
+                         [](const ::testing::TestParamInfo<Scenario>& info) {
+                           return info.param.label;
+                         });
+
+}  // namespace
+}  // namespace ita

@@ -1,0 +1,206 @@
+// White-box invariant checks on ItaServer (DESIGN.md §2), verified after
+// every stream event on randomized workloads:
+//
+//   I1  R(Q) contains exactly the valid documents with some composition
+//       weight >= the corresponding local threshold, each with its exact
+//       score;
+//   I2  tau(Q) = sum_t w_{Q,t} * theta_{Q,t} <= S_k(Q) whenever |R| >= k,
+//       and tau = 0 whenever |R| < k (lists exhausted);
+//   I3  the reported top-k is a prefix of R ordered by (score desc, doc
+//       desc), and every valid document outside R scores strictly below
+//       tau.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "../testing/builders.h"
+#include "core/ita_server.h"
+#include "stream/corpus.h"
+
+namespace ita {
+namespace {
+
+struct InvariantScenario {
+  std::string label;
+  std::uint64_t seed = 1;
+  std::size_t dictionary = 120;
+  std::size_t n_queries = 8;
+  std::size_t terms_per_query = 4;
+  int k = 4;
+  WindowSpec window = WindowSpec::CountBased(30);
+  std::size_t events = 300;
+  bool rollup = true;
+};
+
+std::ostream& operator<<(std::ostream& os, const InvariantScenario& s) {
+  return os << s.label;
+}
+
+class ItaInvariantTest : public ::testing::TestWithParam<InvariantScenario> {};
+
+void CheckInvariants(const ItaServer& server,
+                     const std::unordered_map<QueryId, Query>& queries,
+                     std::size_t event) {
+  for (const auto& [qid, query] : queries) {
+    const auto candidates = server.Candidates(qid);
+    ASSERT_TRUE(candidates.ok());
+    const auto tau_or = server.InfluenceThreshold(qid);
+    ASSERT_TRUE(tau_or.ok());
+    const double tau = *tau_or;
+
+    // Gather thresholds and check tau consistency.
+    double tau_check = 0.0;
+    std::vector<double> theta(query.terms.size());
+    for (std::size_t i = 0; i < query.terms.size(); ++i) {
+      const auto t = server.LocalThreshold(qid, query.terms[i].term);
+      ASSERT_TRUE(t.ok());
+      theta[i] = *t;
+      ASSERT_TRUE(std::isfinite(theta[i]));
+      ASSERT_GE(theta[i], 0.0);
+      tau_check += query.terms[i].weight * theta[i];
+    }
+    ASSERT_NEAR(tau, tau_check, 1e-12) << "tau cache drifted, query " << qid;
+
+    std::unordered_map<DocId, double> in_r;
+    for (const ResultEntry& e : *candidates) in_r.emplace(e.doc, e.score);
+
+    // I1 over every valid document + the "outside R scores < tau" bound.
+    for (const Document& doc : server.documents()) {
+      bool monitored = false;
+      for (std::size_t i = 0; i < query.terms.size(); ++i) {
+        // Only terms the document actually contains have impact entries;
+        // absent terms (weight 0) are never "ahead of the threshold".
+        const double w = CompositionWeight(doc.composition, query.terms[i].term);
+        if (w > 0.0 && w >= theta[i]) {
+          monitored = true;
+          break;
+        }
+      }
+      const auto it = in_r.find(doc.id);
+      const double score = ScoreDocument(doc.composition, query.terms);
+      if (monitored) {
+        ASSERT_NE(it, in_r.end())
+            << "I1: monitored doc " << doc.id << " missing from R, query "
+            << qid << ", event " << event;
+        ASSERT_NEAR(it->second, score, 1e-12)
+            << "I1: stale score for doc " << doc.id;
+      } else {
+        ASSERT_EQ(it, in_r.end())
+            << "I1: unmonitored doc " << doc.id << " retained in R, query "
+            << qid << ", event " << event;
+        ASSERT_LT(score, tau + 1e-12)
+            << "I3: missing doc " << doc.id << " could outscore tau";
+      }
+    }
+
+    // I2: tau <= S_k when k candidates exist; tau == 0 otherwise.
+    const std::size_t k = static_cast<std::size_t>(query.k);
+    if (candidates->size() >= k) {
+      const double sk = (*candidates)[k - 1].score;
+      ASSERT_LE(tau, sk + 1e-12)
+          << "I2 violated: tau " << tau << " > S_k " << sk << ", query " << qid;
+    } else {
+      ASSERT_EQ(tau, 0.0)
+          << "I2 violated: under-filled R with positive tau, query " << qid;
+    }
+
+    // I3: the reported result is the top-k prefix of the candidates.
+    const auto result = server.Result(qid);
+    ASSERT_TRUE(result.ok());
+    ASSERT_EQ(result->size(), std::min(k, candidates->size()));
+    for (std::size_t i = 0; i < result->size(); ++i) {
+      ASSERT_EQ((*result)[i].doc, (*candidates)[i].doc);
+      if (i > 0) {
+        ASSERT_GE((*result)[i - 1].score, (*result)[i].score);
+      }
+    }
+  }
+}
+
+TEST_P(ItaInvariantTest, HoldAfterEveryEvent) {
+  const InvariantScenario& s = GetParam();
+
+  SyntheticCorpusOptions copts;
+  copts.dictionary_size = s.dictionary;
+  copts.min_length = 3;
+  copts.max_length = 25;
+  copts.length_lognormal_mu = 2.2;
+  copts.seed = s.seed;
+  SyntheticCorpusGenerator corpus(copts);
+
+  QueryWorkloadOptions qopts;
+  qopts.terms_per_query = s.terms_per_query;
+  qopts.k = s.k;
+  qopts.seed = s.seed + 1000;
+  QueryWorkloadGenerator generator(s.dictionary, qopts);
+
+  ItaTuning tuning;
+  tuning.enable_rollup = s.rollup;
+  ItaServer server{ServerOptions{s.window}, tuning};
+
+  std::unordered_map<QueryId, Query> queries;
+  for (std::size_t i = 0; i < s.n_queries; ++i) {
+    const Query q = generator.NextQuery();
+    const auto id = server.RegisterQuery(q);
+    ASSERT_TRUE(id.ok());
+    queries.emplace(*id, q);
+  }
+  CheckInvariants(server, queries, 0);
+
+  for (std::size_t event = 1; event <= s.events; ++event) {
+    const Document doc = corpus.NextDocument(static_cast<Timestamp>(event * 50));
+    ASSERT_TRUE(server.Ingest(doc).ok());
+    CheckInvariants(server, queries, event);
+  }
+}
+
+std::vector<InvariantScenario> MakeInvariantScenarios() {
+  std::vector<InvariantScenario> all;
+  InvariantScenario base;
+  base.label = "base";
+  all.push_back(base);
+  for (const std::uint64_t seed : {7ull, 11ull, 13ull}) {
+    InvariantScenario s = base;
+    s.seed = seed;
+    s.label = "seed_" + std::to_string(seed);
+    all.push_back(s);
+  }
+  {
+    InvariantScenario s = base;
+    s.label = "no_rollup";
+    s.rollup = false;
+    all.push_back(s);
+  }
+  {
+    InvariantScenario s = base;
+    s.label = "collision_heavy";
+    s.dictionary = 30;
+    s.events = 250;
+    all.push_back(s);
+  }
+  {
+    InvariantScenario s = base;
+    s.label = "time_window";
+    s.window = WindowSpec::TimeBased(1300);
+    all.push_back(s);
+  }
+  {
+    InvariantScenario s = base;
+    s.label = "k1";
+    s.k = 1;
+    all.push_back(s);
+  }
+  return all;
+}
+
+INSTANTIATE_TEST_SUITE_P(Scenarios, ItaInvariantTest,
+                         ::testing::ValuesIn(MakeInvariantScenarios()),
+                         [](const ::testing::TestParamInfo<InvariantScenario>& info) {
+                           return info.param.label;
+                         });
+
+}  // namespace
+}  // namespace ita

@@ -1,0 +1,184 @@
+// White-box invariants of the Naive baseline's materialized top-k_max
+// view (Yi et al. [6]), verified after every stream event on randomized
+// workloads:
+//
+//   V1  k <= |view| <= k_max between events (unless fewer matchers exist);
+//   V2  the view is exactly the top-|view| of the valid matching
+//       documents (score-for-score against a brute-force scan);
+//   V3  when `complete` is set, the view holds *every* valid matcher;
+//   V4  stored scores are exact.
+//
+// These invariants are what make the baseline's answers trustworthy — and
+// hence what makes the Figure 3 cost comparison meaningful.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "../testing/builders.h"
+#include "core/naive_server.h"
+#include "stream/corpus.h"
+
+namespace ita {
+namespace {
+
+struct NaiveScenario {
+  std::string label;
+  std::uint64_t seed = 1;
+  std::size_t dictionary = 100;
+  std::size_t n_queries = 8;
+  std::size_t terms_per_query = 4;
+  int k = 4;
+  double kmax_factor = 2.0;
+  bool skip_complete_rescans = false;
+  std::size_t window = 25;
+  std::size_t events = 300;
+};
+
+std::ostream& operator<<(std::ostream& os, const NaiveScenario& s) {
+  return os << s.label;
+}
+
+class NaiveViewInvariantTest : public ::testing::TestWithParam<NaiveScenario> {};
+
+void CheckViewInvariants(const NaiveServer& server,
+                         const std::unordered_map<QueryId, Query>& queries,
+                         std::size_t event) {
+  for (const auto& [qid, query] : queries) {
+    const auto view_or = server.View(qid);
+    ASSERT_TRUE(view_or.ok());
+    const auto& view = *view_or;
+    const auto complete_or = server.ViewComplete(qid);
+    ASSERT_TRUE(complete_or.ok());
+
+    // Brute-force matcher list, ranked like the server ranks.
+    std::vector<ResultEntry> matchers;
+    for (const Document& doc : server.documents()) {
+      const double score = ScoreDocument(doc.composition, query.terms);
+      if (score > 0.0) matchers.push_back(ResultEntry{doc.id, score});
+    }
+    std::sort(matchers.begin(), matchers.end(),
+              [](const ResultEntry& a, const ResultEntry& b) {
+                if (a.score != b.score) return a.score > b.score;
+                return a.doc > b.doc;
+              });
+
+    const std::size_t k = static_cast<std::size_t>(query.k);
+    const std::size_t kmax = server.KMaxFor(query.k);
+
+    // V1: size bounds.
+    ASSERT_LE(view.size(), kmax) << "query " << qid << ", event " << event;
+    ASSERT_GE(view.size(), std::min(k, matchers.size()))
+        << "view underflow left unrepaired, query " << qid << ", event "
+        << event;
+
+    // V2: exact top-|view| (score sequences match; ties may permute ids).
+    for (std::size_t i = 0; i < view.size(); ++i) {
+      ASSERT_NEAR(view[i].score, matchers[i].score, 1e-12)
+          << "view rank " << i << " wrong, query " << qid << ", event "
+          << event;
+    }
+
+    // V3: completeness soundness.
+    if (*complete_or) {
+      ASSERT_EQ(view.size(), matchers.size())
+          << "complete view missing matchers, query " << qid << ", event "
+          << event;
+    }
+
+    // V4: stored scores are exact for the documents they cite.
+    for (const ResultEntry& e : view) {
+      const Document* doc = server.documents().Get(e.doc);
+      ASSERT_NE(doc, nullptr) << "view cites expired doc " << e.doc;
+      ASSERT_NEAR(e.score, ScoreDocument(doc->composition, query.terms), 1e-12);
+    }
+  }
+}
+
+TEST_P(NaiveViewInvariantTest, HoldAfterEveryEvent) {
+  const NaiveScenario& s = GetParam();
+
+  SyntheticCorpusOptions copts;
+  copts.dictionary_size = s.dictionary;
+  copts.min_length = 3;
+  copts.max_length = 20;
+  copts.length_lognormal_mu = 2.0;
+  copts.seed = s.seed;
+  SyntheticCorpusGenerator corpus(copts);
+
+  QueryWorkloadOptions qopts;
+  qopts.terms_per_query = s.terms_per_query;
+  qopts.k = s.k;
+  qopts.seed = s.seed + 77;
+  QueryWorkloadGenerator generator(s.dictionary, qopts);
+
+  NaiveTuning tuning;
+  tuning.kmax_factor = s.kmax_factor;
+  tuning.skip_complete_rescans = s.skip_complete_rescans;
+  NaiveServer server{ServerOptions{WindowSpec::CountBased(s.window)}, tuning};
+
+  std::unordered_map<QueryId, Query> queries;
+  for (std::size_t i = 0; i < s.n_queries; ++i) {
+    const Query q = generator.NextQuery();
+    const auto id = server.RegisterQuery(q);
+    ASSERT_TRUE(id.ok());
+    queries.emplace(*id, q);
+  }
+  CheckViewInvariants(server, queries, 0);
+
+  for (std::size_t event = 1; event <= s.events; ++event) {
+    ASSERT_TRUE(
+        server.Ingest(corpus.NextDocument(static_cast<Timestamp>(event))).ok());
+    CheckViewInvariants(server, queries, event);
+  }
+}
+
+std::vector<NaiveScenario> MakeNaiveScenarios() {
+  std::vector<NaiveScenario> all;
+  NaiveScenario base;
+  base.label = "base";
+  all.push_back(base);
+  for (const std::uint64_t seed : {3ull, 9ull}) {
+    NaiveScenario s = base;
+    s.seed = seed;
+    s.label = "seed_" + std::to_string(seed);
+    all.push_back(s);
+  }
+  {
+    NaiveScenario s = base;
+    s.label = "plain_naive_kmax1";
+    s.kmax_factor = 1.0;
+    all.push_back(s);
+  }
+  {
+    NaiveScenario s = base;
+    s.label = "kmax4";
+    s.kmax_factor = 4.0;
+    all.push_back(s);
+  }
+  {
+    NaiveScenario s = base;
+    s.label = "skip_complete_rescans";
+    s.skip_complete_rescans = true;
+    all.push_back(s);
+  }
+  {
+    NaiveScenario s = base;
+    s.label = "rare_matchers";
+    s.dictionary = 2000;  // queries rarely match: views mostly complete
+    s.events = 250;
+    all.push_back(s);
+  }
+  return all;
+}
+
+INSTANTIATE_TEST_SUITE_P(Scenarios, NaiveViewInvariantTest,
+                         ::testing::ValuesIn(MakeNaiveScenarios()),
+                         [](const ::testing::TestParamInfo<NaiveScenario>& info) {
+                           return info.param.label;
+                         });
+
+}  // namespace
+}  // namespace ita

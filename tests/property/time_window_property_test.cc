@@ -1,0 +1,100 @@
+// Time-based windows with arbitrary AdvanceTime interleavings: arrivals
+// and pure clock ticks (quiet periods, bursts at one instant, ticks that
+// expire many documents at once) must keep ITA and Naive exactly
+// equivalent to the oracle. This is the paper's "can be easily adapted to
+// time-based windows" claim under adversarial schedules.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "../testing/builders.h"
+#include "core/ita_server.h"
+#include "core/naive_server.h"
+#include "core/oracle_server.h"
+#include "stream/corpus.h"
+
+namespace ita {
+namespace {
+
+class TimeWindowScheduleTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TimeWindowScheduleTest, TickArrivalInterleavingsStayExact) {
+  const std::uint64_t seed = GetParam();
+
+  SyntheticCorpusOptions copts;
+  copts.dictionary_size = 150;
+  copts.min_length = 3;
+  copts.max_length = 20;
+  copts.length_lognormal_mu = 2.0;
+  copts.seed = seed;
+  SyntheticCorpusGenerator corpus(copts);
+
+  QueryWorkloadOptions qopts;
+  qopts.terms_per_query = 4;
+  qopts.k = 4;
+  qopts.seed = seed + 5;
+  QueryWorkloadGenerator generator(150, qopts);
+
+  const ServerOptions options{WindowSpec::TimeBased(700)};
+  ItaServer ita_server{options};
+  NaiveServer naive{options};
+  OracleServer oracle{options};
+  std::vector<ContinuousSearchServer*> servers = {&ita_server, &naive, &oracle};
+
+  std::vector<QueryId> ids;
+  for (int i = 0; i < 8; ++i) {
+    const Query q = generator.NextQuery();
+    QueryId id = kInvalidQueryId;
+    for (auto* server : servers) {
+      const auto got = server->RegisterQuery(q);
+      ASSERT_TRUE(got.ok());
+      id = *got;
+    }
+    ids.push_back(id);
+  }
+
+  Rng rng(seed * 13 + 1);
+  Timestamp now = 0;
+  for (int event = 0; event < 400; ++event) {
+    const int action = static_cast<int>(rng.UniformInt(0, 9));
+    if (action < 6) {
+      // Arrival; sometimes several documents share one instant (burst).
+      if (!rng.NextBool(0.2)) now += rng.UniformInt(1, 120);
+      const Document doc = corpus.NextDocument(now);
+      for (auto* server : servers) ASSERT_TRUE(server->Ingest(doc).ok());
+    } else if (action < 9) {
+      // Quiet tick; occasionally a long silence that clears everything.
+      now += rng.NextBool(0.15) ? 2000 : rng.UniformInt(1, 300);
+      for (auto* server : servers) ASSERT_TRUE(server->AdvanceTime(now).ok());
+    } else {
+      // Zero-length tick (no-op).
+      for (auto* server : servers) ASSERT_TRUE(server->AdvanceTime(now).ok());
+    }
+
+    ASSERT_EQ(ita_server.window_size(), oracle.window_size());
+    ASSERT_EQ(naive.window_size(), oracle.window_size());
+    for (const QueryId id : ids) {
+      const auto want = oracle.Result(id);
+      const auto got_ita = ita_server.Result(id);
+      const auto got_naive = naive.Result(id);
+      ASSERT_TRUE(want.ok());
+      ASSERT_TRUE(got_ita.ok());
+      ASSERT_TRUE(got_naive.ok());
+      ASSERT_EQ(got_ita->size(), want->size()) << "event " << event;
+      ASSERT_EQ(got_naive->size(), want->size()) << "event " << event;
+      for (std::size_t i = 0; i < want->size(); ++i) {
+        ASSERT_NEAR((*got_ita)[i].score, (*want)[i].score, 1e-12)
+            << "ita, event " << event << ", rank " << i;
+        ASSERT_NEAR((*got_naive)[i].score, (*want)[i].score, 1e-12)
+            << "naive, event " << event << ", rank " << i;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TimeWindowScheduleTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace ita

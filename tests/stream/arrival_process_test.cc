@@ -1,0 +1,66 @@
+#include "stream/arrival_process.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ita {
+namespace {
+
+TEST(PoissonProcessTest, TimestampsStrictlyIncrease) {
+  PoissonProcess process(200.0, 1);
+  Timestamp prev = process.Now();
+  for (int i = 0; i < 10000; ++i) {
+    const Timestamp t = process.Next();
+    ASSERT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(PoissonProcessTest, MeanRateMatches) {
+  // The paper's setting: 200 documents/second.
+  PoissonProcess process(200.0, 7);
+  const int n = 100000;
+  Timestamp last = 0;
+  for (int i = 0; i < n; ++i) last = process.Next();
+  const double seconds = static_cast<double>(last) / kMicrosPerSecond;
+  const double measured_rate = n / seconds;
+  EXPECT_NEAR(measured_rate, 200.0, 4.0);
+}
+
+TEST(PoissonProcessTest, InterArrivalVarianceIsExponential) {
+  PoissonProcess process(50.0, 3);
+  std::vector<double> gaps;
+  Timestamp prev = 0;
+  for (int i = 0; i < 50000; ++i) {
+    const Timestamp t = process.Next();
+    gaps.push_back(static_cast<double>(t - prev) / kMicrosPerSecond);
+    prev = t;
+  }
+  double mean = 0.0;
+  for (const double g : gaps) mean += g;
+  mean /= gaps.size();
+  double var = 0.0;
+  for (const double g : gaps) var += (g - mean) * (g - mean);
+  var /= gaps.size();
+  // Exponential: variance == mean^2 (coefficient of variation 1).
+  EXPECT_NEAR(var / (mean * mean), 1.0, 0.05);
+}
+
+TEST(PoissonProcessTest, DeterministicBySeed) {
+  PoissonProcess a(100.0, 42), b(100.0, 42);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(FixedIntervalProcessTest, ExactSpacing) {
+  FixedIntervalProcess process(5000, 100);
+  EXPECT_EQ(process.Now(), 100);
+  EXPECT_EQ(process.Next(), 5100);
+  EXPECT_EQ(process.Next(), 10100);
+  EXPECT_EQ(process.Now(), 10100);
+}
+
+}  // namespace
+}  // namespace ita

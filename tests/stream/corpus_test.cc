@@ -1,0 +1,194 @@
+#include "stream/corpus.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+
+namespace ita {
+namespace {
+
+SyntheticCorpusOptions SmallOptions() {
+  SyntheticCorpusOptions opts;
+  opts.dictionary_size = 5000;
+  opts.min_length = 10;
+  opts.max_length = 200;
+  opts.length_lognormal_mu = 4.0;  // median ~55 tokens
+  opts.seed = 7;
+  return opts;
+}
+
+TEST(SyntheticCorpusTest, DocumentsAreWellFormed) {
+  SyntheticCorpusGenerator gen(SmallOptions());
+  for (int i = 0; i < 200; ++i) {
+    const Document doc = gen.NextDocument(i);
+    EXPECT_EQ(doc.arrival_time, i);
+    EXPECT_GE(doc.token_count, 10u);
+    EXPECT_LE(doc.token_count, 200u);
+    ASSERT_FALSE(doc.composition.empty());
+    for (std::size_t j = 0; j < doc.composition.size(); ++j) {
+      EXPECT_GT(doc.composition[j].weight, 0.0);
+      EXPECT_LT(doc.composition[j].term, 5000u);
+      if (j > 0) {
+        ASSERT_LT(doc.composition[j - 1].term, doc.composition[j].term);
+      }
+    }
+  }
+}
+
+TEST(SyntheticCorpusTest, CosineUnitNorm) {
+  SyntheticCorpusGenerator gen(SmallOptions());
+  for (int i = 0; i < 50; ++i) {
+    const Document doc = gen.NextDocument();
+    double norm_sq = 0.0;
+    for (const TermWeight& tw : doc.composition) {
+      norm_sq += tw.weight * tw.weight;
+    }
+    EXPECT_NEAR(norm_sq, 1.0, 1e-9);
+  }
+}
+
+TEST(SyntheticCorpusTest, DeterministicBySeed) {
+  SyntheticCorpusGenerator a(SmallOptions()), b(SmallOptions());
+  for (int i = 0; i < 50; ++i) {
+    const Document da = a.NextDocument();
+    const Document db = b.NextDocument();
+    ASSERT_EQ(da.composition.size(), db.composition.size());
+    for (std::size_t j = 0; j < da.composition.size(); ++j) {
+      ASSERT_EQ(da.composition[j].term, db.composition[j].term);
+      ASSERT_EQ(da.composition[j].weight, db.composition[j].weight);
+    }
+  }
+}
+
+TEST(SyntheticCorpusTest, LowRankTermsDominante) {
+  SyntheticCorpusGenerator gen(SmallOptions());
+  std::uint64_t head_hits = 0, tail_hits = 0;
+  for (int i = 0; i < 300; ++i) {
+    const Document doc = gen.NextDocument();
+    for (const TermWeight& tw : doc.composition) {
+      if (tw.term < 50) ++head_hits;
+      if (tw.term >= 4000) ++tail_hits;
+    }
+  }
+  // Zipf skew: the 50 head terms should appear in far more documents than
+  // the 1000 tail terms combined.
+  EXPECT_GT(head_hits, tail_hits);
+}
+
+TEST(SyntheticCorpusTest, CorpusStatsGrow) {
+  SyntheticCorpusGenerator gen(SmallOptions());
+  for (int i = 0; i < 20; ++i) gen.NextDocument();
+  EXPECT_EQ(gen.corpus_stats().total_documents(), 20u);
+  EXPECT_GT(gen.corpus_stats().average_length(), 0.0);
+}
+
+TEST(SyntheticCorpusTest, Bm25SchemeSupported) {
+  SyntheticCorpusOptions opts = SmallOptions();
+  opts.scheme = WeightingScheme::kBm25;
+  SyntheticCorpusGenerator gen(opts);
+  for (int i = 0; i < 20; ++i) {
+    const Document doc = gen.NextDocument();
+    for (const TermWeight& tw : doc.composition) {
+      ASSERT_GT(tw.weight, 0.0);
+    }
+  }
+}
+
+TEST(QueryWorkloadTest, QueriesAreWellFormed) {
+  QueryWorkloadOptions opts;
+  opts.terms_per_query = 10;
+  opts.k = 10;
+  QueryWorkloadGenerator gen(5000, opts);
+  for (int i = 0; i < 100; ++i) {
+    const Query q = gen.NextQuery();
+    EXPECT_EQ(q.k, 10);
+    EXPECT_TRUE(ValidateQuery(q).ok());
+    EXPECT_LE(q.terms.size(), 10u);
+    EXPECT_GE(q.terms.size(), 1u);
+  }
+}
+
+TEST(QueryWorkloadTest, TermsSpreadAcrossDictionary) {
+  QueryWorkloadOptions opts;
+  opts.terms_per_query = 10;
+  QueryWorkloadGenerator gen(100000, opts);
+  std::set<TermId> seen;
+  for (int i = 0; i < 200; ++i) {
+    for (const TermWeight& tw : gen.NextQuery().terms) seen.insert(tw.term);
+  }
+  // Uniform draws over a large dictionary should rarely repeat.
+  EXPECT_GT(seen.size(), 1900u);
+}
+
+TEST(QueryWorkloadTest, MakeQueriesBatch) {
+  QueryWorkloadGenerator gen(1000, {});
+  const auto queries = gen.MakeQueries(25);
+  EXPECT_EQ(queries.size(), 25u);
+}
+
+TEST(QueryWorkloadTest, MaxTermRestrictsToHotVocabulary) {
+  QueryWorkloadOptions opts;
+  opts.terms_per_query = 10;
+  opts.max_term = 50;
+  QueryWorkloadGenerator gen(100000, opts);
+  for (int i = 0; i < 100; ++i) {
+    for (const TermWeight& tw : gen.NextQuery().terms) {
+      ASSERT_LT(tw.term, 50u);
+    }
+  }
+}
+
+TEST(QueryWorkloadTest, MaxTermLargerThanDictionaryIsHarmless) {
+  QueryWorkloadOptions opts;
+  opts.max_term = 10'000'000;
+  QueryWorkloadGenerator gen(100, opts);
+  for (int i = 0; i < 50; ++i) {
+    for (const TermWeight& tw : gen.NextQuery().terms) {
+      ASSERT_LT(tw.term, 100u);
+    }
+  }
+}
+
+TEST(QueryWorkloadTest, DeterministicBySeed) {
+  QueryWorkloadOptions opts;
+  opts.seed = 99;
+  QueryWorkloadGenerator a(1000, opts), b(1000, opts);
+  for (int i = 0; i < 20; ++i) {
+    const Query qa = a.NextQuery();
+    const Query qb = b.NextQuery();
+    ASSERT_EQ(qa.terms.size(), qb.terms.size());
+    for (std::size_t j = 0; j < qa.terms.size(); ++j) {
+      ASSERT_EQ(qa.terms[j].term, qb.terms[j].term);
+    }
+  }
+}
+
+TEST(TextFileCorpusReaderTest, ReadsLinesAsDocuments) {
+  const std::string path = ::testing::TempDir() + "/corpus_test.txt";
+  {
+    std::ofstream out(path);
+    out << "The market rallied on strong earnings.\n";
+    out << "\n";  // blank line skipped
+    out << "Oil prices fell amid supply concerns.\n";
+    out << "the of and\n";  // all stopwords: skipped (empty composition)
+  }
+  Analyzer analyzer;
+  const auto docs = TextFileCorpusReader::ReadAll(path, &analyzer);
+  ASSERT_TRUE(docs.ok());
+  EXPECT_EQ(docs->size(), 2u);
+  EXPECT_FALSE((*docs)[0].composition.empty());
+  std::remove(path.c_str());
+}
+
+TEST(TextFileCorpusReaderTest, MissingFileIsIoError) {
+  Analyzer analyzer;
+  const auto docs =
+      TextFileCorpusReader::ReadAll("/nonexistent/file.txt", &analyzer);
+  ASSERT_FALSE(docs.ok());
+  EXPECT_EQ(docs.status().code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace ita

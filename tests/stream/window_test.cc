@@ -1,0 +1,41 @@
+#include "stream/window.h"
+
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+
+namespace ita {
+namespace {
+
+TEST(WindowSpecTest, CountBasedFactory) {
+  const WindowSpec w = WindowSpec::CountBased(500);
+  EXPECT_EQ(w.kind, WindowSpec::Kind::kCountBased);
+  EXPECT_EQ(w.count, 500u);
+  EXPECT_TRUE(w.Validate().ok());
+  EXPECT_EQ(w.ToString(), "count:500");
+}
+
+TEST(WindowSpecTest, TimeBasedFactory) {
+  const WindowSpec w = WindowSpec::TimeBased(15 * kMicrosPerMinute);
+  EXPECT_EQ(w.kind, WindowSpec::Kind::kTimeBased);
+  EXPECT_TRUE(w.Validate().ok());
+  EXPECT_EQ(w.ToString(), "time:900000000us");
+}
+
+TEST(WindowSpecTest, InvalidSpecsRejected) {
+  EXPECT_FALSE(WindowSpec::CountBased(0).Validate().ok());
+  EXPECT_FALSE(WindowSpec::TimeBased(0).Validate().ok());
+  EXPECT_FALSE(WindowSpec::TimeBased(-5).Validate().ok());
+}
+
+TEST(WindowSpecTest, TimeValidityBoundary) {
+  const WindowSpec w = WindowSpec::TimeBased(100);
+  // Document that arrived at t=50, window 100us.
+  EXPECT_TRUE(w.ValidAt(50, 149));   // 99us old: valid
+  EXPECT_FALSE(w.ValidAt(50, 150));  // exactly 100us old: expired
+  EXPECT_FALSE(w.ValidAt(50, 151));
+  EXPECT_TRUE(w.ValidAt(50, 50));    // brand new
+}
+
+}  // namespace
+}  // namespace ita

@@ -1,0 +1,57 @@
+// Small construction helpers shared by the core/property/integration test
+// suites: documents and queries with hand-picked term weights, bypassing
+// the analyzer for precise control.
+
+#pragma once
+
+#include <algorithm>
+#include <initializer_list>
+#include <vector>
+
+#include "core/query.h"
+#include "core/result_set.h"
+#include "stream/document.h"
+
+namespace ita {
+namespace testing {
+
+/// A document with an explicit composition list. Entries are sorted by
+/// term id automatically; the id is left unassigned (the server sets it).
+inline Document MakeDoc(std::initializer_list<TermWeight> composition,
+                        Timestamp arrival_time = 0) {
+  Document doc;
+  doc.arrival_time = arrival_time;
+  doc.composition.assign(composition);
+  std::sort(doc.composition.begin(), doc.composition.end(),
+            [](const TermWeight& a, const TermWeight& b) { return a.term < b.term; });
+  return doc;
+}
+
+/// A query with explicit term weights (sorted by term id automatically).
+inline Query MakeQuery(int k, std::initializer_list<TermWeight> terms) {
+  Query query;
+  query.k = k;
+  query.terms.assign(terms);
+  std::sort(query.terms.begin(), query.terms.end(),
+            [](const TermWeight& a, const TermWeight& b) { return a.term < b.term; });
+  return query;
+}
+
+/// Scores of a result, in reported order.
+inline std::vector<double> Scores(const std::vector<ResultEntry>& result) {
+  std::vector<double> out;
+  out.reserve(result.size());
+  for (const ResultEntry& e : result) out.push_back(e.score);
+  return out;
+}
+
+/// Document ids of a result, in reported order.
+inline std::vector<DocId> Ids(const std::vector<ResultEntry>& result) {
+  std::vector<DocId> out;
+  out.reserve(result.size());
+  for (const ResultEntry& e : result) out.push_back(e.doc);
+  return out;
+}
+
+}  // namespace testing
+}  // namespace ita

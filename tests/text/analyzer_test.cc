@@ -1,0 +1,168 @@
+#include "text/analyzer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ita {
+namespace {
+
+TEST(AnalyzerTest, DocumentPipelineEndToEnd) {
+  Analyzer analyzer;
+  const Document doc = analyzer.MakeDocument(
+      "The quick brown fox jumps over the lazy dog; the fox wins.");
+  // Stopwords ("the", "over") removed; fox appears twice.
+  ASSERT_FALSE(doc.composition.empty());
+  const auto fox = analyzer.vocabulary().Lookup("fox");
+  ASSERT_TRUE(fox.has_value());
+  const double w_fox = CompositionWeight(doc.composition, *fox);
+  const auto dog = analyzer.vocabulary().Lookup("dog");
+  ASSERT_TRUE(dog.has_value());
+  const double w_dog = CompositionWeight(doc.composition, *dog);
+  EXPECT_NEAR(w_fox / w_dog, 2.0, 1e-9);
+  EXPECT_FALSE(analyzer.vocabulary().Lookup("the").has_value());
+}
+
+TEST(AnalyzerTest, CompositionSortedUnique) {
+  Analyzer analyzer;
+  const Document doc = analyzer.MakeDocument(
+      "zebra apple zebra mango apple banana zebra");
+  for (std::size_t i = 1; i < doc.composition.size(); ++i) {
+    ASSERT_LT(doc.composition[i - 1].term, doc.composition[i].term);
+  }
+  EXPECT_EQ(doc.composition.size(), 4u);
+}
+
+TEST(AnalyzerTest, CosineUnitNorm) {
+  Analyzer analyzer;
+  const Document doc =
+      analyzer.MakeDocument("alpha beta gamma alpha beta alpha");
+  double norm_sq = 0.0;
+  for (const TermWeight& tw : doc.composition) norm_sq += tw.weight * tw.weight;
+  EXPECT_NEAR(norm_sq, 1.0, 1e-12);
+}
+
+TEST(AnalyzerTest, KeepsTextWhenAsked) {
+  AnalyzerOptions opts;
+  opts.keep_text = true;
+  Analyzer keeper(opts);
+  EXPECT_EQ(keeper.MakeDocument("hello world").text, "hello world");
+
+  opts.keep_text = false;
+  Analyzer dropper(opts);
+  EXPECT_TRUE(dropper.MakeDocument("hello world").text.empty());
+}
+
+TEST(AnalyzerTest, ArrivalTimePassedThrough) {
+  Analyzer analyzer;
+  EXPECT_EQ(analyzer.MakeDocument("x y z", 12345).arrival_time, 12345);
+}
+
+TEST(AnalyzerTest, StemmingMergesInflections) {
+  AnalyzerOptions opts;
+  opts.stem = true;
+  Analyzer analyzer(opts);
+  const Document doc = analyzer.MakeDocument("monitoring monitored monitors");
+  EXPECT_EQ(doc.composition.size(), 1u);  // all stem to "monitor"
+}
+
+TEST(AnalyzerTest, StemmingOffKeepsInflections) {
+  Analyzer analyzer;
+  const Document doc = analyzer.MakeDocument("monitoring monitored monitors");
+  EXPECT_EQ(doc.composition.size(), 3u);
+}
+
+TEST(AnalyzerTest, QueryHappyPath) {
+  Analyzer analyzer;
+  const auto q = analyzer.MakeQuery("weapons of mass destruction", 10);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->k, 10);
+  // "of" is a stopword: 3 effective terms.
+  EXPECT_EQ(q->terms.size(), 3u);
+  EXPECT_EQ(q->text, "weapons of mass destruction");
+}
+
+TEST(AnalyzerTest, QueryDuplicateTermsAggregate) {
+  Analyzer analyzer;
+  const auto q = analyzer.MakeQuery("white white tower", 2);
+  ASSERT_TRUE(q.ok());
+  ASSERT_EQ(q->terms.size(), 2u);
+  const auto white = analyzer.vocabulary().Lookup("white");
+  ASSERT_TRUE(white.has_value());
+  double w_white = 0.0, w_tower = 0.0;
+  for (const TermWeight& tw : q->terms) {
+    if (tw.term == *white) {
+      w_white = tw.weight;
+    } else {
+      w_tower = tw.weight;
+    }
+  }
+  EXPECT_NEAR(w_white / w_tower, 2.0, 1e-12);  // f_white=2, f_tower=1
+  EXPECT_NEAR(w_white, 2.0 / std::sqrt(5.0), 1e-12);
+}
+
+TEST(AnalyzerTest, QueryAllStopwordsRejected) {
+  Analyzer analyzer;
+  const auto q = analyzer.MakeQuery("the of and", 5);
+  ASSERT_FALSE(q.ok());
+  EXPECT_TRUE(q.status().IsInvalidArgument());
+}
+
+TEST(AnalyzerTest, QueryBadKRejected) {
+  Analyzer analyzer;
+  EXPECT_FALSE(analyzer.MakeQuery("valid terms", 0).ok());
+  EXPECT_FALSE(analyzer.MakeQuery("valid terms", -3).ok());
+}
+
+TEST(AnalyzerTest, SharedVocabularyAcrossDocsAndQueries) {
+  Analyzer analyzer;
+  const Document doc = analyzer.MakeDocument("nuclear proliferation report");
+  const auto q = analyzer.MakeQuery("nuclear report", 1);
+  ASSERT_TRUE(q.ok());
+  const double score = ScoreDocument(doc.composition, q->terms);
+  EXPECT_GT(score, 0.0);
+}
+
+TEST(AnalyzerTest, DisjointTextScoresZero) {
+  Analyzer analyzer;
+  const Document doc = analyzer.MakeDocument("cats dogs hamsters");
+  const auto q = analyzer.MakeQuery("quantum chromodynamics", 1);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(ScoreDocument(doc.composition, q->terms), 0.0);
+}
+
+TEST(AnalyzerTest, CorpusStatsAccumulate) {
+  Analyzer analyzer;
+  analyzer.MakeDocument("alpha beta");
+  analyzer.MakeDocument("alpha gamma delta");
+  EXPECT_EQ(analyzer.corpus_stats().total_documents(), 2u);
+  const auto alpha = analyzer.vocabulary().Lookup("alpha");
+  ASSERT_TRUE(alpha.has_value());
+  EXPECT_EQ(analyzer.corpus_stats().DocumentFrequency(*alpha), 2u);
+}
+
+TEST(AnalyzerTest, Bm25SchemeProducesPositiveWeights) {
+  AnalyzerOptions opts;
+  opts.scheme = WeightingScheme::kBm25;
+  Analyzer analyzer(opts);
+  analyzer.MakeDocument("seed document to establish statistics");
+  const Document doc = analyzer.MakeDocument("unusual zirconium content");
+  for (const TermWeight& tw : doc.composition) {
+    EXPECT_GT(tw.weight, 0.0);
+  }
+}
+
+TEST(AnalyzerTest, CustomStopwordSet) {
+  const StopwordSet custom = StopwordSet::FromWords({"reuters"});
+  AnalyzerOptions opts;
+  opts.stopwords = &custom;
+  Analyzer analyzer(opts);
+  const Document doc = analyzer.MakeDocument("reuters reports the merger");
+  EXPECT_FALSE(analyzer.vocabulary().Lookup("reuters").has_value());
+  // "the" is NOT filtered under the custom set.
+  EXPECT_TRUE(analyzer.vocabulary().Lookup("the").has_value());
+  (void)doc;
+}
+
+}  // namespace
+}  // namespace ita

@@ -1,0 +1,144 @@
+#include "text/porter_stemmer.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ita {
+namespace {
+
+struct Case {
+  const char* input;
+  const char* expected;
+};
+
+class PorterVectorTest : public ::testing::TestWithParam<Case> {};
+
+TEST_P(PorterVectorTest, MatchesReference) {
+  const Case& c = GetParam();
+  EXPECT_EQ(PorterStemmer::Stem(c.input), c.expected) << c.input;
+}
+
+// Vectors checked against the reference implementation's voc.txt/output.txt
+// (tartarus.org) and the examples in Porter's 1980 paper.
+INSTANTIATE_TEST_SUITE_P(
+    Step1a, PorterVectorTest,
+    ::testing::Values(Case{"caresses", "caress"}, Case{"ponies", "poni"},
+                      Case{"ties", "ti"}, Case{"caress", "caress"},
+                      Case{"cats", "cat"}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Step1b, PorterVectorTest,
+    ::testing::Values(Case{"feed", "feed"}, Case{"agreed", "agre"},
+                      Case{"plastered", "plaster"}, Case{"bled", "bled"},
+                      Case{"motoring", "motor"}, Case{"sing", "sing"},
+                      Case{"conflated", "conflat"}, Case{"troubled", "troubl"},
+                      Case{"sized", "size"}, Case{"hopping", "hop"},
+                      Case{"tanned", "tan"}, Case{"falling", "fall"},
+                      Case{"hissing", "hiss"}, Case{"fizzed", "fizz"},
+                      Case{"failing", "fail"}, Case{"filing", "file"}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Step1c, PorterVectorTest,
+    ::testing::Values(Case{"happy", "happi"}, Case{"sky", "sky"}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Step2, PorterVectorTest,
+    ::testing::Values(Case{"relational", "relat"}, Case{"conditional", "condit"},
+                      Case{"rational", "ration"}, Case{"valenci", "valenc"},
+                      Case{"hesitanci", "hesit"}, Case{"digitizer", "digit"},
+                      Case{"conformabli", "conform"}, Case{"radicalli", "radic"},
+                      Case{"differentli", "differ"}, Case{"vileli", "vile"},
+                      Case{"analogousli", "analog"},
+                      Case{"vietnamization", "vietnam"},
+                      Case{"predication", "predic"}, Case{"operator", "oper"},
+                      Case{"feudalism", "feudal"},
+                      Case{"decisiveness", "decis"},
+                      Case{"hopefulness", "hope"},
+                      Case{"callousness", "callous"},
+                      Case{"formaliti", "formal"},
+                      Case{"sensitiviti", "sensit"},
+                      Case{"sensibiliti", "sensibl"}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Step3, PorterVectorTest,
+    ::testing::Values(Case{"triplicate", "triplic"}, Case{"formative", "form"},
+                      Case{"formalize", "formal"}, Case{"electriciti", "electr"},
+                      Case{"electrical", "electr"}, Case{"hopeful", "hope"},
+                      Case{"goodness", "good"}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Step4, PorterVectorTest,
+    ::testing::Values(Case{"revival", "reviv"}, Case{"allowance", "allow"},
+                      Case{"inference", "infer"}, Case{"airliner", "airlin"},
+                      Case{"gyroscopic", "gyroscop"},
+                      Case{"adjustable", "adjust"}, Case{"defensible", "defens"},
+                      Case{"irritant", "irrit"}, Case{"replacement", "replac"},
+                      Case{"adjustment", "adjust"}, Case{"dependent", "depend"},
+                      Case{"adoption", "adopt"}, Case{"homologou", "homolog"},
+                      Case{"communism", "commun"}, Case{"activate", "activ"},
+                      Case{"angulariti", "angular"}, Case{"homologous", "homolog"},
+                      Case{"effective", "effect"}, Case{"bowdlerize", "bowdler"}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Step5, PorterVectorTest,
+    ::testing::Values(Case{"probate", "probat"}, Case{"rate", "rate"},
+                      Case{"cease", "ceas"}, Case{"controll", "control"},
+                      Case{"roll", "roll"}));
+
+INSTANTIATE_TEST_SUITE_P(
+    GeneralVocabulary, PorterVectorTest,
+    ::testing::Values(Case{"generalizations", "gener"},
+                      Case{"oscillators", "oscil"},
+                      Case{"monitoring", "monitor"},
+                      Case{"weapons", "weapon"},
+                      Case{"destruction", "destruct"},
+                      Case{"continuous", "continu"},
+                      Case{"queries", "queri"},
+                      Case{"incremental", "increment"},
+                      Case{"threshold", "threshold"}));
+
+INSTANTIATE_TEST_SUITE_P(
+    HandTraced, PorterVectorTest,
+    ::testing::Values(Case{"flies", "fli"},      // ies->i
+                      Case{"dies", "di"},        // ies->i
+                      Case{"mules", "mule"},     // s-drop; final e kept (cvc)
+                      Case{"denied", "deni"},    // ed-drop, no e-append
+                      Case{"owned", "own"},      // ed-drop
+                      Case{"meetings", "meet"},  // s then ing
+                      Case{"agreement", "agreement"},  // m("agre")=1: kept
+                      Case{"replacement", "replac"},   // m>1: ement dropped
+                      Case{"dogs", "dog"},
+                      Case{"stemming", "stem"},  // doublec undoubles
+                      Case{"stems", "stem"}));
+
+TEST(PorterStemmerTest, ShortWordsUnchanged) {
+  EXPECT_EQ(PorterStemmer::Stem("a"), "a");
+  EXPECT_EQ(PorterStemmer::Stem("at"), "at");
+  EXPECT_EQ(PorterStemmer::Stem("is"), "is");
+}
+
+TEST(PorterStemmerTest, EmptyString) {
+  EXPECT_EQ(PorterStemmer::Stem(""), "");
+}
+
+TEST(PorterStemmerTest, InPlaceMatchesCopying) {
+  std::string w = "generalizations";
+  PorterStemmer::StemInPlace(&w);
+  EXPECT_EQ(w, PorterStemmer::Stem("generalizations"));
+}
+
+TEST(PorterStemmerTest, IdempotentOnCommonStems) {
+  for (const char* word :
+       {"relational", "monitoring", "queries", "hopping", "caresses"}) {
+    const std::string once = PorterStemmer::Stem(word);
+    const std::string twice = PorterStemmer::Stem(once);
+    // Porter is not idempotent in general, but these stems are fixpoints.
+    EXPECT_EQ(once, twice) << word;
+  }
+}
+
+}  // namespace
+}  // namespace ita

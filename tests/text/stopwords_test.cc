@@ -1,0 +1,62 @@
+#include "text/stopwords.h"
+
+#include <gtest/gtest.h>
+
+namespace ita {
+namespace {
+
+TEST(StopwordsTest, EnglishListContainsFunctionWords) {
+  const StopwordSet& sw = StopwordSet::English();
+  for (const char* w : {"the", "a", "an", "and", "or", "of", "is", "are",
+                        "was", "with", "that", "this", "not"}) {
+    EXPECT_TRUE(sw.Contains(w)) << w;
+  }
+}
+
+TEST(StopwordsTest, EnglishListDoesNotContainContentWords) {
+  const StopwordSet& sw = StopwordSet::English();
+  for (const char* w : {"weapons", "destruction", "portfolio", "tower",
+                        "white", "explosives", "market", "reuters"}) {
+    EXPECT_FALSE(sw.Contains(w)) << w;
+  }
+}
+
+TEST(StopwordsTest, EmptySetMatchesNothing) {
+  StopwordSet sw;
+  EXPECT_FALSE(sw.Contains("the"));
+  EXPECT_EQ(sw.size(), 0u);
+}
+
+TEST(StopwordsTest, CustomAdditions) {
+  StopwordSet sw;
+  sw.Add("reuters");
+  EXPECT_TRUE(sw.Contains("reuters"));
+  EXPECT_FALSE(sw.Contains("bloomberg"));
+}
+
+TEST(StopwordsTest, FromWordsBuilder) {
+  const StopwordSet sw = StopwordSet::FromWords({"alpha", "beta"});
+  EXPECT_TRUE(sw.Contains("alpha"));
+  EXPECT_TRUE(sw.Contains("beta"));
+  EXPECT_FALSE(sw.Contains("gamma"));
+  EXPECT_EQ(sw.size(), 2u);
+}
+
+TEST(StopwordsTest, EnglishSingletonIsStable) {
+  const StopwordSet& a = StopwordSet::English();
+  const StopwordSet& b = StopwordSet::English();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GT(a.size(), 150u);
+}
+
+TEST(StopwordsTest, ContractionFragments) {
+  const StopwordSet& sw = StopwordSet::English();
+  // "don't" tokenizes to {don, t}; both must be filtered.
+  EXPECT_TRUE(sw.Contains("don"));
+  EXPECT_TRUE(sw.Contains("t"));
+  EXPECT_TRUE(sw.Contains("ll"));
+  EXPECT_TRUE(sw.Contains("ve"));
+}
+
+}  // namespace
+}  // namespace ita

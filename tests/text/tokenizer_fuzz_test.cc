@@ -1,0 +1,96 @@
+// Tokenizer robustness: random byte soup in, well-formed tokens out. The
+// invariants every emitted token must satisfy regardless of input:
+// lowercase alphanumeric ASCII only, within the configured length bounds,
+// and reconstructible (each token appears in the lowercased input as a
+// maximal alphanumeric run).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "text/tokenizer.h"
+
+namespace ita {
+namespace {
+
+class TokenizerFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TokenizerFuzzTest, TokensAlwaysWellFormed) {
+  Rng rng(GetParam());
+  TokenizerOptions opts;
+  opts.min_token_length = 1 + rng.UniformInt(0, 2);
+  opts.max_token_length = 4 + rng.UniformInt(0, 28);
+  opts.keep_numbers = rng.NextBool(0.5);
+  Tokenizer tokenizer(opts);
+
+  for (int round = 0; round < 200; ++round) {
+    // Byte soup: full 0..255 range, including NUL and UTF-8 fragments.
+    std::string input;
+    const std::size_t len = rng.UniformInt(0, 2000);
+    for (std::size_t i = 0; i < len; ++i) {
+      input.push_back(static_cast<char>(rng.UniformInt(0, 255)));
+    }
+
+    std::vector<std::string> tokens;
+    tokenizer.Tokenize(input, &tokens);
+
+    for (const std::string& token : tokens) {
+      ASSERT_GE(token.size(), opts.min_token_length);
+      ASSERT_LE(token.size(), opts.max_token_length);
+      bool all_digits = true;
+      for (const char c : token) {
+        ASSERT_TRUE((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9'))
+            << "byte " << static_cast<int>(c);
+        all_digits = all_digits && (c >= '0' && c <= '9');
+      }
+      if (!opts.keep_numbers) {
+        ASSERT_FALSE(all_digits) << "numeric token leaked: " << token;
+      }
+    }
+  }
+}
+
+TEST_P(TokenizerFuzzTest, TokenizationIsDeterministic) {
+  Rng rng(GetParam() ^ 0xF00D);
+  Tokenizer tokenizer;
+  std::string input;
+  for (int i = 0; i < 5000; ++i) {
+    input.push_back(static_cast<char>(rng.UniformInt(0, 255)));
+  }
+  std::vector<std::string> a, b;
+  tokenizer.Tokenize(input, &a);
+  tokenizer.Tokenize(input, &b);
+  EXPECT_EQ(a, b);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TokenizerFuzzTest,
+                         ::testing::Values(11, 22, 33, 44));
+
+TEST(TokenizerEdgeTest, AllSeparators) {
+  Tokenizer tokenizer;
+  std::vector<std::string> tokens;
+  tokenizer.Tokenize(std::string(1000, '!'), &tokens);
+  EXPECT_TRUE(tokens.empty());
+}
+
+TEST(TokenizerEdgeTest, SingleGiantToken) {
+  TokenizerOptions opts;
+  opts.max_token_length = 64;
+  Tokenizer tokenizer(opts);
+  std::vector<std::string> tokens;
+  tokenizer.Tokenize(std::string(100000, 'a'), &tokens);
+  EXPECT_TRUE(tokens.empty());  // oversize tokens are dropped, not split
+}
+
+TEST(TokenizerEdgeTest, EmbeddedNulByte) {
+  Tokenizer tokenizer;
+  std::vector<std::string> tokens;
+  const std::string input{"abc\0def", 7};
+  tokenizer.Tokenize(input, &tokens);
+  EXPECT_EQ(tokens, (std::vector<std::string>{"abc", "def"}));
+}
+
+}  // namespace
+}  // namespace ita

@@ -1,0 +1,91 @@
+#include "text/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace ita {
+namespace {
+
+std::vector<std::string> Tokens(std::string_view text, TokenizerOptions opts = {}) {
+  Tokenizer tokenizer(opts);
+  std::vector<std::string> out;
+  tokenizer.Tokenize(text, &out);
+  return out;
+}
+
+TEST(TokenizerTest, SplitsOnWhitespaceAndPunctuation) {
+  EXPECT_EQ(Tokens("Hello, world! foo-bar baz."),
+            (std::vector<std::string>{"hello", "world", "foo", "bar", "baz"}));
+}
+
+TEST(TokenizerTest, Lowercases) {
+  EXPECT_EQ(Tokens("WMD Weapons ofMassDestruction"),
+            (std::vector<std::string>{"wmd", "weapons", "ofmassdestruction"}));
+}
+
+TEST(TokenizerTest, EmptyAndPunctuationOnly) {
+  EXPECT_TRUE(Tokens("").empty());
+  EXPECT_TRUE(Tokens("...!?;:--- ***").empty());
+}
+
+TEST(TokenizerTest, KeepsDigitsInsideTokens) {
+  EXPECT_EQ(Tokens("b2b report2024"),
+            (std::vector<std::string>{"b2b", "report2024"}));
+}
+
+TEST(TokenizerTest, NumbersKeptByDefault) {
+  EXPECT_EQ(Tokens("agenda 2024 item 7"),
+            (std::vector<std::string>{"agenda", "2024", "item", "7"}));
+}
+
+TEST(TokenizerTest, NumbersDroppedWhenDisabled) {
+  TokenizerOptions opts;
+  opts.keep_numbers = false;
+  EXPECT_EQ(Tokens("agenda 2024 item 7", opts),
+            (std::vector<std::string>{"agenda", "item"}));
+}
+
+TEST(TokenizerTest, MinLengthFilters) {
+  TokenizerOptions opts;
+  opts.min_token_length = 3;
+  EXPECT_EQ(Tokens("a an the cat sat", opts),
+            (std::vector<std::string>{"the", "cat", "sat"}));
+}
+
+TEST(TokenizerTest, OversizeTokensDropped) {
+  TokenizerOptions opts;
+  opts.max_token_length = 8;
+  const std::string big(100, 'x');
+  EXPECT_EQ(Tokens("small " + big + " fine", opts),
+            (std::vector<std::string>{"small", "fine"}));
+}
+
+TEST(TokenizerTest, NonAsciiBytesSeparate) {
+  // UTF-8 bytes outside ASCII act as separators (documented behaviour).
+  EXPECT_EQ(Tokens("caf\xC3\xA9 bar"),
+            (std::vector<std::string>{"caf", "bar"}));
+}
+
+TEST(TokenizerTest, ApostrophesSplitContractions) {
+  EXPECT_EQ(Tokens("don't it's o'clock"),
+            (std::vector<std::string>{"don", "t", "it", "s", "o", "clock"}));
+}
+
+TEST(TokenizerTest, ForEachTokenViewsAreTransient) {
+  Tokenizer tokenizer;
+  std::vector<std::string> copies;
+  tokenizer.ForEachToken("alpha beta gamma", [&](std::string_view t) {
+    copies.emplace_back(t);
+  });
+  EXPECT_EQ(copies, (std::vector<std::string>{"alpha", "beta", "gamma"}));
+}
+
+TEST(TokenizerTest, WindowsNewlinesAndTabs) {
+  EXPECT_EQ(Tokens("one\r\ntwo\tthree\nfour"),
+            (std::vector<std::string>{"one", "two", "three", "four"}));
+}
+
+}  // namespace
+}  // namespace ita

@@ -1,0 +1,62 @@
+#include "text/vocabulary.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace ita {
+namespace {
+
+TEST(VocabularyTest, InternAssignsDenseIds) {
+  Vocabulary vocab;
+  EXPECT_EQ(vocab.Intern("alpha"), 0u);
+  EXPECT_EQ(vocab.Intern("beta"), 1u);
+  EXPECT_EQ(vocab.Intern("gamma"), 2u);
+  EXPECT_EQ(vocab.size(), 3u);
+}
+
+TEST(VocabularyTest, InternIsIdempotent) {
+  Vocabulary vocab;
+  const TermId a = vocab.Intern("alpha");
+  EXPECT_EQ(vocab.Intern("alpha"), a);
+  EXPECT_EQ(vocab.size(), 1u);
+}
+
+TEST(VocabularyTest, LookupFindsInternedOnly) {
+  Vocabulary vocab;
+  vocab.Intern("alpha");
+  ASSERT_TRUE(vocab.Lookup("alpha").has_value());
+  EXPECT_EQ(*vocab.Lookup("alpha"), 0u);
+  EXPECT_FALSE(vocab.Lookup("beta").has_value());
+}
+
+TEST(VocabularyTest, TermTextRoundTrips) {
+  Vocabulary vocab;
+  const TermId a = vocab.Intern("weapons");
+  const TermId b = vocab.Intern("destruction");
+  EXPECT_EQ(vocab.TermText(a), "weapons");
+  EXPECT_EQ(vocab.TermText(b), "destruction");
+}
+
+TEST(VocabularyTest, ManyTermsStayConsistentAcrossRehash) {
+  Vocabulary vocab;
+  for (int i = 0; i < 50000; ++i) {
+    vocab.Intern("term_" + std::to_string(i));
+  }
+  EXPECT_EQ(vocab.size(), 50000u);
+  // Pointers into the hash map keys must have remained stable.
+  EXPECT_EQ(vocab.TermText(0), "term_0");
+  EXPECT_EQ(vocab.TermText(12345), "term_12345");
+  EXPECT_EQ(vocab.TermText(49999), "term_49999");
+  EXPECT_EQ(*vocab.Lookup("term_31415"), 31415u);
+}
+
+TEST(VocabularyTest, EmptyStringIsAValidTerm) {
+  Vocabulary vocab;
+  const TermId id = vocab.Intern("");
+  EXPECT_EQ(vocab.TermText(id), "");
+  EXPECT_TRUE(vocab.Lookup("").has_value());
+}
+
+}  // namespace
+}  // namespace ita

@@ -1,0 +1,121 @@
+#include "text/weighting.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ita {
+namespace {
+
+TEST(WeightingTest, CosineCompositionIsUnitNorm) {
+  const TermCounts counts = {{1, 2}, {5, 1}, {9, 2}};  // f = (2, 1, 2)
+  const Composition comp =
+      BuildComposition(counts, 5, WeightingScheme::kCosine, nullptr);
+  ASSERT_EQ(comp.size(), 3u);
+  double norm_sq = 0.0;
+  for (const TermWeight& tw : comp) norm_sq += tw.weight * tw.weight;
+  EXPECT_NEAR(norm_sq, 1.0, 1e-12);
+  EXPECT_NEAR(comp[0].weight, 2.0 / 3.0, 1e-12);  // sqrt(4+1+4) = 3
+  EXPECT_NEAR(comp[1].weight, 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(comp[2].weight, 2.0 / 3.0, 1e-12);
+}
+
+TEST(WeightingTest, CosineWeightsProportionalToFrequency) {
+  const TermCounts counts = {{0, 3}, {1, 1}};
+  const Composition comp =
+      BuildComposition(counts, 4, WeightingScheme::kCosine, nullptr);
+  EXPECT_NEAR(comp[0].weight / comp[1].weight, 3.0, 1e-12);
+}
+
+TEST(WeightingTest, RawTfPassesCountsThrough) {
+  const TermCounts counts = {{2, 7}, {4, 1}};
+  const Composition comp =
+      BuildComposition(counts, 8, WeightingScheme::kRawTf, nullptr);
+  EXPECT_EQ(comp[0].weight, 7.0);
+  EXPECT_EQ(comp[1].weight, 1.0);
+}
+
+TEST(WeightingTest, EmptyCountsGiveEmptyComposition) {
+  const Composition comp =
+      BuildComposition({}, 0, WeightingScheme::kCosine, nullptr);
+  EXPECT_TRUE(comp.empty());
+}
+
+TEST(WeightingTest, QueryVectorCosineNormalized) {
+  // "white white tower": f = (2, 1).
+  const TermCounts counts = {{11, 1}, {20, 2}};
+  const auto terms = BuildQueryVector(counts, WeightingScheme::kCosine);
+  ASSERT_EQ(terms.size(), 2u);
+  const double norm = std::sqrt(5.0);
+  EXPECT_NEAR(terms[0].weight, 1.0 / norm, 1e-12);
+  EXPECT_NEAR(terms[1].weight, 2.0 / norm, 1e-12);
+}
+
+TEST(CorpusStatsTest, TracksDocumentFrequencies) {
+  CorpusStats stats;
+  stats.AddDocument({{1, 3}, {2, 1}}, 4);
+  stats.AddDocument({{2, 5}, {3, 1}}, 6);
+  EXPECT_EQ(stats.total_documents(), 2u);
+  EXPECT_DOUBLE_EQ(stats.average_length(), 5.0);
+  EXPECT_EQ(stats.DocumentFrequency(1), 1u);
+  EXPECT_EQ(stats.DocumentFrequency(2), 2u);
+  EXPECT_EQ(stats.DocumentFrequency(3), 1u);
+  EXPECT_EQ(stats.DocumentFrequency(99), 0u);
+}
+
+TEST(CorpusStatsTest, IdfDecreasesWithDocumentFrequency) {
+  CorpusStats stats;
+  for (int i = 0; i < 100; ++i) {
+    TermCounts counts = {{0, 1}};       // term 0 in every document
+    if (i < 5) counts.push_back({1, 1});  // term 1 in 5 documents
+    stats.AddDocument(counts, 10);
+  }
+  EXPECT_GT(stats.Idf(1), stats.Idf(0));
+  EXPECT_GE(stats.Idf(0), 0.0);
+}
+
+TEST(WeightingTest, Bm25RareTermOutweighsCommonTerm) {
+  CorpusStats stats;
+  for (int i = 0; i < 100; ++i) {
+    TermCounts counts = {{0, 1}};
+    if (i == 0) counts.push_back({1, 1});
+    stats.AddDocument(counts, 100);
+  }
+  const TermCounts doc = {{0, 3}, {1, 3}};
+  const Composition comp =
+      BuildComposition(doc, 100, WeightingScheme::kBm25, &stats);
+  ASSERT_EQ(comp.size(), 2u);
+  EXPECT_GT(comp[1].weight, comp[0].weight);  // rare term 1 weighs more
+}
+
+TEST(WeightingTest, Bm25TermFrequencySaturates) {
+  CorpusStats stats;
+  stats.AddDocument({{0, 1}, {1, 1}}, 100);
+  stats.AddDocument({{2, 1}}, 100);
+  const Composition one =
+      BuildComposition({{0, 1}}, 100, WeightingScheme::kBm25, &stats);
+  const Composition ten =
+      BuildComposition({{0, 10}}, 100, WeightingScheme::kBm25, &stats);
+  const Composition hundred =
+      BuildComposition({{0, 100}}, 100, WeightingScheme::kBm25, &stats);
+  ASSERT_EQ(one.size(), 1u);
+  // Increasing frequency helps, with diminishing returns bounded by k1+1.
+  EXPECT_GT(ten[0].weight, one[0].weight);
+  EXPECT_GT(hundred[0].weight, ten[0].weight);
+  EXPECT_LT(hundred[0].weight / one[0].weight, 1.0 + 1.2 + 1e-9);
+}
+
+TEST(WeightingTest, Bm25QueryVectorIsRawFrequency) {
+  const auto terms = BuildQueryVector({{3, 2}, {8, 1}}, WeightingScheme::kBm25);
+  EXPECT_EQ(terms[0].weight, 2.0);
+  EXPECT_EQ(terms[1].weight, 1.0);
+}
+
+TEST(WeightingTest, SchemeNames) {
+  EXPECT_STREQ(WeightingSchemeName(WeightingScheme::kCosine), "cosine");
+  EXPECT_STREQ(WeightingSchemeName(WeightingScheme::kBm25), "bm25");
+  EXPECT_STREQ(WeightingSchemeName(WeightingScheme::kRawTf), "raw_tf");
+}
+
+}  // namespace
+}  // namespace ita
