@@ -1,0 +1,72 @@
+// Experiment B1 — batched ingest throughput. Sweeps the epoch batch size
+// on the default synthetic workload (Section IV setup: 1,000 queries,
+// k = 10, count-based window of 1,000, WSJ-calibrated corpus) and reports
+// documents/second for the batched pipeline vs. the per-event baseline.
+//
+// batch = 1 goes through the per-event Ingest path (the pre-pipeline
+// baseline); batch > 1 goes through IngestBatch, which probes each
+// affected term's threshold tree once per epoch and runs roll-up/refill
+// once per affected query per epoch. items_per_second is documents/s in
+// both cases, so the rows are directly comparable.
+//
+// To record a machine-readable baseline (bench/results/):
+//   ./build/bench/bench_batch_ingest --benchmark_format=json
+//     > bench/results/batch_ingest.json
+
+#include <benchmark/benchmark.h>
+
+#include "harness/report.h"
+#include "harness/stream_bench.h"
+
+namespace ita {
+namespace bench {
+namespace {
+
+void RunBatchSweep(benchmark::State& state, StreamBench::Strategy strategy,
+                   std::size_t hot_max_term) {
+  StreamWorkload workload;
+  workload.batch_size = static_cast<std::size_t>(state.range(0));
+  workload.query_max_term = hot_max_term;
+  StreamBench& fixture = StreamBench::Cached(strategy, workload);
+  const ServerStats before = fixture.server().stats();
+  if (workload.batch_size == 1) {
+    for (auto _ : state) fixture.Step();
+  } else {
+    for (auto _ : state) fixture.StepBatch();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(workload.batch_size));
+  AttachCounters(state, before, fixture.server());
+}
+
+/// The paper's default setup: random queries over the full dictionary.
+/// Query matches are sparse, so the epoch machinery only overtakes the
+/// (heavily optimized) per-event path at larger batch sizes.
+void BM_ItaBatchIngest(benchmark::State& state) {
+  RunBatchSweep(state, StreamBench::Strategy::kIta, /*hot_max_term=*/0);
+}
+BENCHMARK(BM_ItaBatchIngest)
+    ->Arg(1)->Arg(4)->Arg(16)->Arg(64)->Arg(256)->Arg(1024)
+    ->Unit(benchmark::kMicrosecond);
+
+/// Hot queries over the Zipf head: every arriving document matches many
+/// queries, so the per-(term, batch) probe and per-(query, epoch)
+/// roll-up/refill amortization dominates — the regime where batching
+/// pays from small batch sizes on.
+void BM_ItaBatchIngestHotQueries(benchmark::State& state) {
+  RunBatchSweep(state, StreamBench::Strategy::kIta, /*hot_max_term=*/2000);
+}
+BENCHMARK(BM_ItaBatchIngestHotQueries)
+    ->Arg(1)->Arg(16)->Arg(64)->Arg(256)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_NaiveBatchIngest(benchmark::State& state) {
+  RunBatchSweep(state, StreamBench::Strategy::kNaive, /*hot_max_term=*/0);
+}
+BENCHMARK(BM_NaiveBatchIngest)
+    ->Arg(1)->Arg(64)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace ita

@@ -56,6 +56,47 @@ void BM_InvertedListBoundarySearch(benchmark::State& state) {
 }
 BENCHMARK(BM_InvertedListBoundarySearch)->Arg(1'000)->Arg(100'000);
 
+// Batched vs single-posting index maintenance on a window-sized hot list:
+// one epoch of `run` postings applied with InsertOrdered + EraseOrdered
+// (one pass each) vs `run` independent Insert + Erase calls (one search
+// and one tail shift each). items_per_second counts postings, so the two
+// rows compare directly — the bulk path's advantage grows with run size.
+void BM_InvertedListEpochOps(benchmark::State& state) {
+  const std::size_t size = static_cast<std::size_t>(state.range(0));
+  const std::size_t run = static_cast<std::size_t>(state.range(1));
+  const bool bulk = state.range(2) != 0;
+  InvertedList list;
+  Rng rng(7);
+  for (DocId d = 1; d <= size; ++d) list.Insert(d, rng.NextDouble());
+  DocId next = size + 1;
+  std::vector<ImpactEntry> batch;
+  for (auto _ : state) {
+    batch.clear();
+    for (std::size_t i = 0; i < run; ++i) {
+      batch.push_back(ImpactEntry{rng.NextDouble(), next++});
+    }
+    std::sort(batch.begin(), batch.end(),
+              [](const ImpactEntry& a, const ImpactEntry& b) {
+                return ImpactOrder{}(a, b);
+              });
+    if (bulk) {
+      benchmark::DoNotOptimize(list.InsertOrdered(batch.begin(), batch.end()));
+      benchmark::DoNotOptimize(list.EraseOrdered(batch.begin(), batch.end()));
+    } else {
+      for (const ImpactEntry& e : batch) list.Insert(e.doc, e.weight);
+      for (const ImpactEntry& e : batch) list.Erase(e.doc, e.weight);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(2 * run));
+}
+BENCHMARK(BM_InvertedListEpochOps)
+    ->Args({1'000, 64, 0})
+    ->Args({1'000, 64, 1})
+    ->Args({10'000, 64, 0})
+    ->Args({10'000, 64, 1})
+    ->Args({10'000, 256, 0})
+    ->Args({10'000, 256, 1});
+
 void BM_ThresholdTreeProbe(benchmark::State& state) {
   const std::size_t queries = static_cast<std::size_t>(state.range(0));
   const double hit_fraction = static_cast<double>(state.range(1)) / 100.0;

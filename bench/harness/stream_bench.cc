@@ -14,7 +14,8 @@ std::string StreamWorkload::CacheKey(const std::string& strategy) const {
   os << strategy << "/dict:" << dictionary << "/zipf:" << zipf_exponent
      << "/mu:" << doc_length_mu << "/pool:" << doc_pool << "/q:" << n_queries
      << "/n:" << terms_per_query << "/k:" << k << "/N:" << window
-     << "/time:" << time_based << "/hot:" << query_max_term << "/seed:" << seed
+     << "/time:" << time_based << "/hot:" << query_max_term
+     << "/batch:" << batch_size << "/seed:" << seed
      << "/rollup:" << rollup << "/kmax:" << kmax_factor
      << "/skip:" << skip_complete_rescans;
   return os.str();
@@ -98,6 +99,19 @@ void StreamBench::Step() {
   const auto id = server_->Ingest(std::move(doc));
   ITA_DCHECK(id.ok());
   benchmark::DoNotOptimize(id);
+}
+
+void StreamBench::StepBatch() {
+  std::vector<Document> batch;
+  batch.reserve(workload_.batch_size);
+  for (std::size_t i = 0; i < workload_.batch_size; ++i) {
+    Document doc = pool_[cursor_++ % pool_.size()];
+    doc.arrival_time = arrivals_.Next();
+    batch.push_back(std::move(doc));
+  }
+  const auto ids = server_->IngestBatch(std::move(batch));
+  ITA_DCHECK(ids.ok());
+  benchmark::DoNotOptimize(ids);
 }
 
 }  // namespace bench

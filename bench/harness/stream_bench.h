@@ -51,6 +51,10 @@ struct StreamWorkload {
   // Stream & window (paper: Poisson at 200 docs/s, count-based window).
   double arrival_rate = 200.0;
   std::size_t window = 1'000;
+  /// Documents per ingest epoch: 1 streams through the per-event Ingest
+  /// path; > 1 groups arrivals into IngestBatch epochs (the batched ingest
+  /// pipeline). StepBatch() consumes `batch_size` documents per call.
+  std::size_t batch_size = 1;
   /// When true, use a time-based window sized to hold ~`window` documents
   /// at the configured arrival rate (duration = window / rate), instead of
   /// a count-based one — Section IV notes the results are similar.
@@ -79,6 +83,11 @@ class StreamBench {
   /// Processes one stream event: the next document arrival (and the
   /// expirations it forces). This is the timed region.
   void Step();
+
+  /// Processes one ingest epoch: the next `workload().batch_size`
+  /// arrivals as a single IngestBatch (and the expirations they force).
+  /// The timed region for the batched-pipeline experiments.
+  void StepBatch();
 
   ContinuousSearchServer& server() { return *server_; }
   const StreamWorkload& workload() const { return workload_; }

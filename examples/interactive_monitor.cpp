@@ -2,8 +2,8 @@
 // and standing queries, watch results update live. Reads commands from
 // stdin, so it can also be scripted:
 //
-//   printf 'query 2 oil prices\ndoc oil prices rallied today\nresults\n' \
-//     | ./build/examples/interactive_monitor
+//   printf 'query 2 oil prices\ndoc oil prices rallied today\nresults\n' |
+//     ./build/examples/interactive_monitor
 //
 // Commands:
 //   query <k> <terms...>     install a continuous query, prints its id

@@ -8,6 +8,7 @@ std::string ServerStats::ToString() const {
   std::ostringstream os;
   os << "documents_ingested     = " << documents_ingested << "\n"
      << "documents_expired      = " << documents_expired << "\n"
+     << "batches_ingested       = " << batches_ingested << "\n"
      << "index_entries_inserted = " << index_entries_inserted << "\n"
      << "index_entries_erased   = " << index_entries_erased << "\n"
      << "scores_computed        = " << scores_computed << "\n"

@@ -15,6 +15,7 @@ struct ServerStats {
   // Stream plumbing.
   std::uint64_t documents_ingested = 0;
   std::uint64_t documents_expired = 0;
+  std::uint64_t batches_ingested = 0;       ///< IngestBatch epochs processed
   std::uint64_t index_entries_inserted = 0;
   std::uint64_t index_entries_erased = 0;
 

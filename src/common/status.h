@@ -12,6 +12,19 @@
 #include <string>
 #include <utility>
 
+/// Marks a returned reference as bound to the lifetime of the object it was
+/// obtained from, so `for (auto& e : *server.Result(id))` — dereferencing a
+/// temporary StatusOr and keeping the reference past its destruction — is
+/// diagnosed at compile time where the compiler supports it (Clang).
+#if defined(__clang__) && defined(__has_cpp_attribute)
+#if __has_cpp_attribute(clang::lifetimebound)
+#define ITA_LIFETIME_BOUND [[clang::lifetimebound]]
+#endif
+#endif
+#ifndef ITA_LIFETIME_BOUND
+#define ITA_LIFETIME_BOUND
+#endif
+
 namespace ita {
 
 enum class StatusCode : int {
@@ -44,8 +57,9 @@ inline const char* StatusCodeName(StatusCode code) {
 }
 
 /// Outcome of an operation: either OK or an error code plus message.
-/// Cheap to copy in the OK case (no allocation).
-class Status {
+/// Cheap to copy in the OK case (no allocation). [[nodiscard]]: silently
+/// dropping a Status return hides failures; consume it or cast to void.
+class [[nodiscard]] Status {
  public:
   Status() = default;
 
@@ -115,8 +129,19 @@ inline std::ostream& operator<<(std::ostream& os, const Status& s) {
 
 /// Either a value of type T or an error Status. Inspect with ok(); access
 /// the value with value()/operator* only when ok().
+///
+/// The accessors return references INTO the StatusOr. Bind the StatusOr to
+/// a named variable before holding such a reference:
+///
+///   const auto result = server.Result(id);   // named: references stay valid
+///   for (const auto& e : *result) { ... }
+///
+///   for (const auto& e : *server.Result(id)) { ... }   // DANGLES: the
+///   // temporary StatusOr dies before the loop body runs (C++23's P2718
+///   // fixes the language trap; this library targets C++20). Clang builds
+///   // reject it at compile time via ITA_LIFETIME_BOUND.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   StatusOr(const T& value) : value_(value) {}          // NOLINT(google-explicit-constructor)
   StatusOr(T&& value) : value_(std::move(value)) {}    // NOLINT(google-explicit-constructor)
@@ -128,27 +153,27 @@ class StatusOr {
 
   bool ok() const { return value_.has_value(); }
 
-  const Status& status() const { return status_; }
+  const Status& status() const ITA_LIFETIME_BOUND { return status_; }
 
-  const T& value() const& {
+  const T& value() const& ITA_LIFETIME_BOUND {
     CheckHasValue();
     return *value_;
   }
-  T& value() & {
+  T& value() & ITA_LIFETIME_BOUND {
     CheckHasValue();
     return *value_;
   }
-  T&& value() && {
+  T&& value() && ITA_LIFETIME_BOUND {
     CheckHasValue();
     return std::move(*value_);
   }
 
-  const T& operator*() const& { return value(); }
-  T& operator*() & { return value(); }
-  T&& operator*() && { return std::move(*this).value(); }
+  const T& operator*() const& ITA_LIFETIME_BOUND { return value(); }
+  T& operator*() & ITA_LIFETIME_BOUND { return value(); }
+  T&& operator*() && ITA_LIFETIME_BOUND { return std::move(*this).value(); }
 
-  const T* operator->() const { return &value(); }
-  T* operator->() { return &value(); }
+  const T* operator->() const ITA_LIFETIME_BOUND { return &value(); }
+  T* operator->() ITA_LIFETIME_BOUND { return &value(); }
 
   T value_or(T fallback) const {
     return ok() ? *value_ : std::move(fallback);

@@ -78,6 +78,7 @@ class SkipList {
     for (int i = 0; i < kMaxHeight; ++i) head_->next[i] = nullptr;
     last_ = head_;
     size_ = 0;
+    height_ = 1;
   }
 
   /// Inserts `value` if no equivalent element exists. Returns the position
@@ -89,6 +90,11 @@ class SkipList {
       return {Iterator(this, succ), false};
     }
     const int height = RandomHeight();
+    if (height > height_) {
+      // Searches only fill update up to the previously occupied height.
+      for (int i = height_; i < height; ++i) update[i] = head_;
+      height_ = height;
+    }
     Node* node = AllocateNode(height, /*construct_value=*/false);
     new (&node->value) T(value);
     for (int i = 0; i < height; ++i) {
@@ -113,6 +119,7 @@ class SkipList {
     EraseNode(node, update);
     return true;
   }
+
 
   /// Removes the element at `pos` (which must be valid and dereferenceable)
   /// and returns the iterator following it.
@@ -142,7 +149,7 @@ class SkipList {
   /// First element e with value < e.
   Iterator UpperBound(const T& value) const {
     Node* x = head_;
-    for (int level = kMaxHeight - 1; level >= 0; --level) {
+    for (int level = height_ - 1; level >= 0; --level) {
       while (x->next[level] != nullptr && !cmp_(value, x->next[level]->value)) {
         x = x->next[level];
       }
@@ -262,7 +269,7 @@ class SkipList {
   /// (when non-null) with the rightmost node < value at every level.
   Node* FindGreaterOrEqual(const T& value, Node** update) const {
     Node* x = head_;
-    for (int level = kMaxHeight - 1; level >= 0; --level) {
+    for (int level = height_ - 1; level >= 0; --level) {
       while (x->next[level] != nullptr && cmp_(x->next[level]->value, value)) {
         x = x->next[level];
       }
@@ -283,6 +290,7 @@ class SkipList {
     }
     FreeNode(node, /*destroy_value=*/true);
     --size_;
+    while (height_ > 1 && head_->next[height_ - 1] == nullptr) --height_;
   }
 
   Compare cmp_;
@@ -290,6 +298,10 @@ class SkipList {
   Node* head_;          // sentinel; value never constructed
   Node* last_ = nullptr;  // last real node, or head_ when empty
   std::size_t size_ = 0;
+  /// Levels currently occupied (LevelDB-style): searches start at
+  /// height_ - 1 instead of kMaxHeight - 1, so operations on the many
+  /// short lists of a Zipfian index skip the empty upper levels.
+  int height_ = 1;
   Node* free_list_[kMaxHeight] = {};  // recycled nodes, bucketed by height
 };
 

@@ -89,6 +89,200 @@ void ItaServer::OnExpire(const Document& doc) {
   }
 }
 
+double ItaServer::ThetaOf(const QueryState& state, TermId term) const {
+  const auto& qterms = state.query->terms;
+  for (std::size_t i = 0; i < qterms.size(); ++i) {
+    if (qterms[i].term == term) return state.theta[i];
+  }
+  ITA_DCHECK(false) << "query " << state.id << " probed for foreign term " << term;
+  return kInfinity;
+}
+
+template <typename DocRange, typename GetDoc, typename RunOp>
+void ItaServer::CollectBatchAffected(const DocRange& docs, GetDoc&& get_doc,
+                                     RunOp&& run_op) {
+  ServerStats& stats = mutable_stats();
+
+  // Group the epoch's postings per term in O(postings) — no full sort and
+  // no per-posting hashing. Postings radix-scatter into 2^k buckets keyed
+  // by the term's low bits (same term -> same bucket; the histogram stays
+  // L1-resident), then each small bucket sorts by (term, ImpactOrder),
+  // which makes every term's run contiguous.
+  std::size_t total_postings = 0;
+  for (std::uint32_t i = 0; i < docs.size(); ++i) {
+    total_postings += get_doc(i).composition.size();
+  }
+  std::size_t buckets = 16;
+  while (buckets < total_postings / 4) buckets <<= 1;
+  const std::uint32_t mask = static_cast<std::uint32_t>(buckets) - 1;
+  bucket_start_.assign(buckets + 1, 0);
+  for (std::uint32_t i = 0; i < docs.size(); ++i) {
+    for (const TermWeight& tw : get_doc(i).composition) {
+      ++bucket_start_[(tw.term & mask) + 1];
+    }
+  }
+  for (std::size_t b = 1; b <= buckets; ++b) {
+    bucket_start_[b] += bucket_start_[b - 1];
+  }
+  bucket_cursor_.assign(bucket_start_.begin(), bucket_start_.end() - 1);
+  batch_postings_.resize(total_postings);
+  for (std::uint32_t i = 0; i < docs.size(); ++i) {
+    const Document& doc = get_doc(i);
+    for (const TermWeight& tw : doc.composition) {
+      batch_postings_[bucket_cursor_[tw.term & mask]++] =
+          BatchPosting{tw.weight, doc.id, tw.term, i};
+    }
+  }
+
+  batch_affected_.clear();
+  BatchPosting* flat = batch_postings_.data();
+  for (std::size_t b = 0; b < buckets; ++b) {
+    const std::size_t bucket_lo = bucket_start_[b];
+    const std::size_t bucket_hi = bucket_start_[b + 1];
+    if (bucket_lo == bucket_hi) continue;
+    if (bucket_hi - bucket_lo > 1) {
+      std::sort(flat + bucket_lo, flat + bucket_hi,
+                [](const BatchPosting& a, const BatchPosting& b) {
+                  if (a.term != b.term) return a.term < b.term;
+                  if (a.weight != b.weight) return a.weight > b.weight;
+                  return a.doc > b.doc;
+                });
+    }
+
+    for (std::size_t lo = bucket_lo; lo < bucket_hi;) {
+      const TermId term = flat[lo].term;
+      std::size_t hi = lo;
+      while (hi < bucket_hi && flat[hi].term == term) ++hi;
+
+      // Bulk index maintenance for this term's run — one ordered merge
+      // pass instead of one top-down search per posting.
+      run_op(term, lo, hi);
+
+      const auto it = trees_.find(term);
+      if (it != trees_.end() && !it->second.empty()) {
+        // One tree probe per (term, batch), with the run's max weight; the
+        // per-query filter below restores exactness.
+        const double max_weight = flat[lo].weight;
+        probe_scratch_.clear();
+        stats.threshold_probe_steps += it->second.ProbeLessEqual(
+            max_weight, [this](QueryId q) { probe_scratch_.push_back(q); });
+        for (const QueryId q : probe_scratch_) {
+          const double theta = ThetaOf(*states_.at(q), term);
+          // The run orders by descending weight: stop at the first posting
+          // below the query's local threshold.
+          for (std::size_t p = lo; p < hi; ++p) {
+            if (flat[p].weight < theta) break;
+            batch_affected_.emplace_back(q, flat[p].doc_index);
+          }
+        }
+      }
+      lo = hi;
+    }
+  }
+
+  // A document is processed once per query even if it clears several local
+  // thresholds (Section III-B); sorting also groups the pairs per query.
+  std::sort(batch_affected_.begin(), batch_affected_.end());
+  batch_affected_.erase(
+      std::unique(batch_affected_.begin(), batch_affected_.end()),
+      batch_affected_.end());
+}
+
+void ItaServer::OnArriveBatch(const std::vector<const Document*>& docs) {
+  ServerStats& stats = mutable_stats();
+  if (docs.empty()) return;
+
+  CollectBatchAffected(
+      docs, [&docs](std::uint32_t i) -> const Document& { return *docs[i]; },
+      [this, &stats](TermId term, std::size_t lo, std::size_t hi) {
+        const std::size_t n =
+            index_.InsertRun(term, BatchRunIterator{batch_postings_.data() + lo},
+                             BatchRunIterator{batch_postings_.data() + hi});
+        ITA_CHECK(n == hi - lo) << "duplicate posting in batch insert";
+        stats.index_entries_inserted += n;
+      });
+  if (states_.empty()) return;
+
+  for (std::size_t lo = 0; lo < batch_affected_.size();) {
+    const QueryId id = batch_affected_[lo].first;
+    std::size_t hi = lo;
+    while (hi < batch_affected_.size() && batch_affected_[hi].first == id) ++hi;
+
+    QueryState& state = *states_.at(id);
+    stats.queries_probed += hi - lo;
+    const std::size_t k = static_cast<std::size_t>(state.query->k);
+    const double sk_before = state.result.KthScore(k);
+
+    bool improved = false;
+    for (std::size_t p = lo; p < hi; ++p) {
+      const Document& doc = *docs[batch_affected_[p].second];
+      ScoreIntoResult(state, doc);
+      if (*state.result.ScoreOf(doc.id) >= sk_before) improved = true;
+    }
+    // One roll-up per affected query per epoch, against the epoch-final
+    // S_k — sequential processing rolls up after every improving arrival,
+    // but each intermediate lift is subsumed by this final one.
+    if (improved) {
+      MarkResultChanged(state.id);
+      if (tuning_.enable_rollup) RollUp(state);
+    }
+    lo = hi;
+  }
+}
+
+void ItaServer::OnExpireBatch(const std::vector<Document>& docs) {
+  ServerStats& stats = mutable_stats();
+  if (docs.empty()) return;
+
+  // The collection pass unindexes every term run before any per-query
+  // processing below: a refill must never resurrect a doomed-but-not-yet-
+  // processed document (they are already out of the store, so a stale
+  // posting would dangle).
+  CollectBatchAffected(
+      docs, [&docs](std::uint32_t i) -> const Document& { return docs[i]; },
+      [this, &stats](TermId term, std::size_t lo, std::size_t hi) {
+        const std::size_t n =
+            index_.EraseRun(term, BatchRunIterator{batch_postings_.data() + lo},
+                            BatchRunIterator{batch_postings_.data() + hi});
+        ITA_CHECK(n == hi - lo) << "missing posting in batch erase";
+        stats.index_entries_erased += n;
+      });
+  if (states_.empty()) return;
+
+  for (std::size_t lo = 0; lo < batch_affected_.size();) {
+    const QueryId id = batch_affected_[lo].first;
+    std::size_t hi = lo;
+    while (hi < batch_affected_.size() && batch_affected_[hi].first == id) ++hi;
+
+    QueryState& state = *states_.at(id);
+    stats.queries_probed += hi - lo;
+    const std::size_t k = static_cast<std::size_t>(state.query->k);
+
+    bool lost_topk = false;
+    for (std::size_t p = lo; p < hi; ++p) {
+      const DocId d = docs[batch_affected_[p].second].id;
+      // Invariant I1: a document above some local threshold is in R.
+      ITA_DCHECK(state.result.Contains(d))
+          << "I1 violated: expiring doc " << d << " missing from R of query "
+          << id;
+      if (state.result.InTopK(d, k)) lost_topk = true;
+      const bool erased = state.result.Erase(d);
+      ITA_CHECK(erased);
+      ++stats.result_removals;
+    }
+    if (lost_topk) {
+      MarkResultChanged(state.id);
+      // One refill per affected query per epoch: resume the threshold
+      // search only once, after all of the epoch's removals.
+      if (state.result.KthScore(k) < state.tau) {
+        ++stats.refills;
+        ExtendSearch(state);
+      }
+    }
+    lo = hi;
+  }
+}
+
 void ItaServer::ProcessArrival(QueryState& state, const Document& doc) {
   const std::size_t k = static_cast<std::size_t>(state.query->k);
   const double sk_before = state.result.KthScore(k);

@@ -69,6 +69,24 @@ class ItaServer : public ContinuousSearchServer {
   Status OnUnregisterQuery(QueryId id) override;
   void OnArrive(const Document& doc) override;
   void OnExpire(const Document& doc) override;
+
+  /// Epoch-amortized event processing (DESIGN.md §4). Both hooks bucket
+  /// the batch's postings per term, probe each term's threshold tree ONCE
+  /// with the bucket's maximum weight (instead of once per document), and
+  /// run the expensive per-query machinery (RollUp after arrivals,
+  /// ExtendSearch refill after expirations) once per affected query per
+  /// epoch instead of once per event. Semantically exact: candidate
+  /// filtering uses the exact per-query local thresholds, and I1/I2 are
+  /// restored before the hook returns.
+  ///
+  /// ItaServer MUST override OnExpireBatch (not merely for speed): the
+  /// base class removes every expiring document from the store before the
+  /// call, so the per-document OnExpire loop could refill from postings of
+  /// a doomed-but-not-yet-unindexed document. The override unindexes the
+  /// whole batch up front.
+  void OnArriveBatch(const std::vector<const Document*>& docs) override;
+  void OnExpireBatch(const std::vector<Document>& docs) override;
+
   std::vector<ResultEntry> CurrentResult(QueryId id) const override;
 
  private:
@@ -115,11 +133,62 @@ class ItaServer : public ContinuousSearchServer {
   /// Moves theta[i] (vector + threshold tree entry) to `new_theta`.
   void SetTheta(QueryState& state, std::size_t i, double new_theta);
 
+  /// The current local threshold of `term` in `state`; the term must be
+  /// part of the query.
+  double ThetaOf(const QueryState& state, TermId term) const;
+
+  /// Shared batch-hook front half: flattens one posting per (document,
+  /// term) of the batch and sorts it ONCE into per-term ImpactOrder runs.
+  /// Each run is handed to `run_op(term, first, last)` — the bulk index
+  /// insert/erase — and then probed against the term's threshold tree
+  /// once, with the run's max weight, emitting one (query, posting index)
+  /// pair per posting that clears the query's local threshold for that
+  /// term. Pairs come out sorted by (query, epoch position) with
+  /// duplicates removed, ready for grouped per-query processing.
+  template <typename DocRange, typename GetDoc, typename RunOp>
+  void CollectBatchAffected(const DocRange& docs, GetDoc&& get_doc,
+                            RunOp&& run_op);
+
   ItaTuning tuning_;
   InvertedIndex index_;
   std::unordered_map<QueryId, std::unique_ptr<QueryState>> states_;
   std::unordered_map<TermId, ThresholdTree> trees_;
   std::vector<QueryId> probe_scratch_;
+
+  // Batch (epoch) scratch, reused across IngestBatch calls. Postings
+  // radix-scatter into the buckets below keyed by the term's low bits
+  // (same term -> same bucket), and only each small bucket gets sorted —
+  // never the epoch's full posting set.
+  struct BatchPosting {
+    double weight = 0.0;
+    DocId doc = kInvalidDocId;
+    TermId term = kInvalidTermId;
+    std::uint32_t doc_index = 0;  ///< position in the epoch's doc sequence
+  };
+  /// Forward iterator presenting a grouped posting run as ImpactEntries —
+  /// the shape InvertedIndex::InsertRun/EraseRun consume.
+  struct BatchRunIterator {
+    const BatchPosting* p = nullptr;
+    ImpactEntry operator*() const { return ImpactEntry{p->weight, p->doc}; }
+    BatchRunIterator& operator++() {
+      ++p;
+      return *this;
+    }
+    friend bool operator==(BatchRunIterator a, BatchRunIterator b) {
+      return a.p == b.p;
+    }
+    friend bool operator!=(BatchRunIterator a, BatchRunIterator b) {
+      return a.p != b.p;
+    }
+  };
+  std::vector<BatchPosting> batch_postings_;  ///< grouped per term after scatter
+  /// Radix-bucket scratch: postings scatter into 2^k buckets keyed by the
+  /// term's low bits (same term -> same bucket), then each small bucket is
+  /// sorted by (term, ImpactOrder), which makes term runs contiguous. The
+  /// histogram stays L1-resident, unlike any dictionary-sized table.
+  std::vector<std::uint32_t> bucket_start_;
+  std::vector<std::uint32_t> bucket_cursor_;
+  std::vector<std::pair<QueryId, std::uint32_t>> batch_affected_;
 };
 
 }  // namespace ita

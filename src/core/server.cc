@@ -63,15 +63,97 @@ StatusOr<DocId> ContinuousSearchServer::Ingest(Document document) {
   return id;
 }
 
+StatusOr<std::vector<DocId>> ContinuousSearchServer::IngestBatch(
+    std::vector<Document> batch) {
+  if (batch.empty()) return std::vector<DocId>{};
+  Timestamp prev = last_arrival_time_;
+  for (const Document& doc : batch) {
+    if (doc.arrival_time < prev) {
+      return Status::InvalidArgument(
+          "document arrival times must be non-decreasing");
+    }
+    prev = doc.arrival_time;
+  }
+  const Timestamp epoch_end = batch.back().arrival_time;
+  last_arrival_time_ = epoch_end;
+
+  // Transient prefix: batch documents that would arrive *and* expire
+  // within this epoch. They exist only when the batch alone overflows the
+  // window — in which case every previously valid document expires too
+  // (transients are newer than all of them), leaving the store empty
+  // before the survivors are appended.
+  std::size_t first_survivor = 0;
+  if (options_.window.kind == WindowSpec::Kind::kCountBased) {
+    if (batch.size() > options_.window.count) {
+      first_survivor = batch.size() - options_.window.count;
+    }
+  } else {
+    while (first_survivor < batch.size() &&
+           !options_.window.ValidAt(batch[first_survivor].arrival_time,
+                                    epoch_end)) {
+      ++first_survivor;
+    }
+  }
+  const std::size_t arriving = batch.size() - first_survivor;
+
+  // Expire the valid documents the epoch pushes out, as one batch.
+  std::vector<Document> expired;
+  if (options_.window.kind == WindowSpec::Kind::kCountBased) {
+    while (!store_.empty() && store_.size() + arriving > options_.window.count) {
+      expired.push_back(store_.PopOldest());
+    }
+  } else {
+    while (!store_.empty() &&
+           !options_.window.ValidAt(store_.Oldest().arrival_time, epoch_end)) {
+      expired.push_back(store_.PopOldest());
+    }
+  }
+  if (!expired.empty()) {
+    OnExpireBatch(expired);
+    stats_.documents_expired += expired.size();
+  }
+
+  std::vector<DocId> ids;
+  ids.reserve(batch.size());
+
+  // Transients get ids (keeping the id sequence identical to sequential
+  // ingestion) but never reach the strategy hooks.
+  for (std::size_t i = 0; i < first_survivor; ++i) {
+    ITA_DCHECK(store_.empty());
+    ids.push_back(store_.Append(std::move(batch[i])));
+    store_.PopOldest();
+    ++stats_.documents_expired;
+  }
+
+  std::vector<const Document*> arrived;
+  arrived.reserve(arriving);
+  for (std::size_t i = first_survivor; i < batch.size(); ++i) {
+    const DocId id = store_.Append(std::move(batch[i]));
+    ids.push_back(id);
+    arrived.push_back(store_.Get(id));
+  }
+  if (!arrived.empty()) OnArriveBatch(arrived);
+
+  stats_.documents_ingested += batch.size();
+  ++stats_.batches_ingested;
+  FlushNotifications();
+  return ids;
+}
+
 Status ContinuousSearchServer::AdvanceTime(Timestamp now) {
   if (now < last_arrival_time_) {
     return Status::InvalidArgument("time may not move backwards");
   }
   last_arrival_time_ = now;
   if (options_.window.kind == WindowSpec::Kind::kTimeBased) {
+    std::vector<Document> expired;
     while (!store_.empty() &&
            !options_.window.ValidAt(store_.Oldest().arrival_time, now)) {
-      ExpireOldest();
+      expired.push_back(store_.PopOldest());
+    }
+    if (!expired.empty()) {
+      OnExpireBatch(expired);
+      stats_.documents_expired += expired.size();
     }
   }
   FlushNotifications();

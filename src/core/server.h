@@ -63,18 +63,41 @@ class ContinuousSearchServer {
   /// non-decreasing. Returns the id assigned to the document.
   StatusOr<DocId> Ingest(Document document);
 
+  /// Streams a batch of documents as one epoch: every expiration the
+  /// batch's arrivals force is processed first (one OnExpireBatch call),
+  /// then the arrivals (one OnArriveBatch call), and result-listener
+  /// notifications flush once at the end of the epoch instead of once per
+  /// event. Arrival times must be non-decreasing across the batch and
+  /// relative to previous ingests.
+  ///
+  /// Semantically exact: after the call, every query's Result() equals
+  /// what one-at-a-time Ingest of the same documents would produce. Only
+  /// the notification cadence (per epoch, not per event) differs.
+  ///
+  /// Returns the ids assigned to the batch documents, in order. Every
+  /// document receives an id — including "transient" ones whose lifetime
+  /// falls entirely inside the epoch (possible when the batch alone
+  /// overflows the window); those count as ingested-and-expired in the
+  /// stats but are never shown to the strategy hooks, since their net
+  /// effect on every result is nil.
+  StatusOr<std::vector<DocId>> IngestBatch(std::vector<Document> batch);
+
   /// For time-based windows: advances the clock to `now`, expiring
   /// documents that fall out of the window, without an accompanying
-  /// arrival. No-op for count-based windows.
+  /// arrival. The expirations form one epoch (a single OnExpireBatch
+  /// call). No-op for count-based windows.
   Status AdvanceTime(Timestamp now);
 
   /// Snapshot of the current top-k result of a query, best first. Exact at
-  /// every event boundary.
+  /// every event boundary (for IngestBatch, the event is the whole epoch).
   ///
   /// NOTE: bind the return value to a named variable before iterating —
   /// `for (auto& e : *server.Result(id))` dangles (the temporary StatusOr
   /// is destroyed before the loop body runs; C++23's P2644 fixes the
-  /// language trap, but this library targets C++20).
+  /// language trap, but this library targets C++20). StatusOr's accessors
+  /// are ITA_LIFETIME_BOUND, so Clang rejects the dangling form at compile
+  /// time; see tests/common/statusor_lifetime_test.cc for the safe
+  /// patterns.
   StatusOr<std::vector<ResultEntry>> Result(QueryId id) const;
 
   /// Registers a listener fired after each Ingest/AdvanceTime for every
@@ -105,6 +128,23 @@ class ContinuousSearchServer {
   virtual void OnArrive(const Document& doc) = 0;
   virtual void OnExpire(const Document& doc) = 0;
   virtual std::vector<ResultEntry> CurrentResult(QueryId id) const = 0;
+
+  /// Epoch (batch) strategy hooks, called by IngestBatch/AdvanceTime.
+  /// OnArriveBatch runs with every batch document already in the store
+  /// (pointers stay valid for the duration of the call); OnExpireBatch
+  /// runs after *all* of the epoch's expiring documents have left the
+  /// store, so rescans see only documents that survive the epoch's
+  /// expirations. The defaults delegate to the per-document hooks;
+  /// subclasses override them to amortize index probes and result
+  /// maintenance across the epoch. Overrides must be semantically exact:
+  /// epoch-end results must equal per-document processing (see
+  /// DESIGN.md §4).
+  virtual void OnArriveBatch(const std::vector<const Document*>& docs) {
+    for (const Document* doc : docs) OnArrive(*doc);
+  }
+  virtual void OnExpireBatch(const std::vector<Document>& docs) {
+    for (const Document& doc : docs) OnExpire(doc);
+  }
 
   /// Subclasses flag queries whose top-k changed during the current event;
   /// the base class fires the listener afterwards.

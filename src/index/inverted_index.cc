@@ -1,5 +1,7 @@
 #include "index/inverted_index.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace ita {
@@ -36,6 +38,68 @@ std::size_t InvertedIndex::RemoveDocument(const Document& doc) {
   }
   total_postings_ -= removed;
   return removed;
+}
+
+template <typename Apply>
+std::size_t InvertedIndex::ForEachTermRun(Apply&& apply) {
+  // Group per term; within a term the entries must follow ImpactOrder
+  // (weight desc, doc desc) so each group is a valid ordered run.
+  std::sort(batch_scratch_.begin(), batch_scratch_.end(),
+            [](const FlatPosting& a, const FlatPosting& b) {
+              if (a.term != b.term) return a.term < b.term;
+              return ImpactOrder{}(a.entry, b.entry);
+            });
+  std::size_t applied = 0;
+  for (std::size_t lo = 0; lo < batch_scratch_.size();) {
+    const TermId term = batch_scratch_[lo].term;
+    std::size_t hi = lo;
+    while (hi < batch_scratch_.size() && batch_scratch_[hi].term == term) ++hi;
+    applied += apply(MutableList(term), lo, hi);
+    lo = hi;
+  }
+  return applied;
+}
+
+std::size_t InvertedIndex::AddBatch(const std::vector<const Document*>& docs) {
+  batch_scratch_.clear();
+  for (const Document* doc : docs) {
+    ITA_DCHECK(doc->id != kInvalidDocId)
+        << "document must have an id before indexing";
+    for (const TermWeight& tw : doc->composition) {
+      batch_scratch_.push_back(
+          FlatPosting{tw.term, ImpactEntry{tw.weight, doc->id}});
+    }
+  }
+  const std::size_t inserted =
+      ForEachTermRun([this](InvertedList* list, std::size_t lo, std::size_t hi) {
+        const std::size_t n =
+            list->InsertOrdered(EntryIterator{batch_scratch_.data() + lo},
+                                EntryIterator{batch_scratch_.data() + hi});
+        ITA_CHECK(n == hi - lo) << "duplicate posting in batch insert";
+        return n;
+      });
+  total_postings_ += inserted;
+  return inserted;
+}
+
+std::size_t InvertedIndex::RemoveBatch(const std::vector<Document>& docs) {
+  batch_scratch_.clear();
+  for (const Document& doc : docs) {
+    for (const TermWeight& tw : doc.composition) {
+      batch_scratch_.push_back(
+          FlatPosting{tw.term, ImpactEntry{tw.weight, doc.id}});
+    }
+  }
+  const std::size_t erased =
+      ForEachTermRun([this](InvertedList* list, std::size_t lo, std::size_t hi) {
+        const std::size_t n =
+            list->EraseOrdered(EntryIterator{batch_scratch_.data() + lo},
+                               EntryIterator{batch_scratch_.data() + hi});
+        ITA_CHECK(n == hi - lo) << "missing posting in batch erase";
+        return n;
+      });
+  total_postings_ -= erased;
+  return erased;
 }
 
 }  // namespace ita

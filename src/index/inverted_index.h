@@ -24,6 +24,37 @@ class InvertedIndex {
   /// Returns the number of postings removed.
   std::size_t RemoveDocument(const Document& doc);
 
+  /// Batch (epoch) maintenance: inserts the postings of all documents,
+  /// grouped per term and applied to each inverted list as one ordered
+  /// run. Exactly equivalent to AddDocument on each document, but a term
+  /// appearing in many batch documents costs one list pass instead of one
+  /// top-down search per posting. Returns the number of postings inserted.
+  std::size_t AddBatch(const std::vector<const Document*>& docs);
+
+  /// Exact inverse of AddBatch (documents passed by value because the
+  /// expiration path owns them by then). Returns postings removed.
+  std::size_t RemoveBatch(const std::vector<Document>& docs);
+
+  /// Lower-level run primitives for callers that already hold the batch's
+  /// postings grouped per term (ItaServer flattens and sorts once per
+  /// epoch and shares the runs between index maintenance and threshold
+  /// probing). `FwdIt` dereferences to an ImpactEntry (by value or
+  /// reference); the run must follow ImpactOrder. Return postings
+  /// inserted/erased.
+  template <typename FwdIt>
+  std::size_t InsertRun(TermId term, FwdIt first, FwdIt last) {
+    const std::size_t n = MutableList(term)->InsertOrdered(first, last);
+    total_postings_ += n;
+    return n;
+  }
+  template <typename FwdIt>
+  std::size_t EraseRun(TermId term, FwdIt first, FwdIt last) {
+    if (term >= lists_.size() || lists_[term] == nullptr) return 0;
+    const std::size_t n = lists_[term]->EraseOrdered(first, last);
+    total_postings_ -= n;
+    return n;
+  }
+
   /// The list for `term`, or nullptr if no posting was ever inserted for
   /// it. The pointer stays valid for the index's lifetime.
   const InvertedList* List(TermId term) const {
@@ -40,9 +71,32 @@ class InvertedIndex {
  private:
   InvertedList* MutableList(TermId term);
 
+  /// One flattened posting of a batch, sortable into per-term ImpactOrder
+  /// runs for InsertOrdered/EraseOrdered.
+  struct FlatPosting {
+    TermId term = kInvalidTermId;
+    ImpactEntry entry;
+  };
+  /// Forward iterator exposing the ImpactEntry of a FlatPosting run.
+  struct EntryIterator {
+    const FlatPosting* p = nullptr;
+    const ImpactEntry& operator*() const { return p->entry; }
+    EntryIterator& operator++() {
+      ++p;
+      return *this;
+    }
+    friend bool operator==(EntryIterator a, EntryIterator b) { return a.p == b.p; }
+    friend bool operator!=(EntryIterator a, EntryIterator b) { return a.p != b.p; }
+  };
+  /// Flattens, sorts and applies the scratch postings via `apply(list,
+  /// run_begin, run_end)` once per term group.
+  template <typename Apply>
+  std::size_t ForEachTermRun(Apply&& apply);
+
   std::vector<std::unique_ptr<InvertedList>> lists_;
   std::size_t materialized_ = 0;
   std::size_t total_postings_ = 0;
+  std::vector<FlatPosting> batch_scratch_;
 };
 
 }  // namespace ita

@@ -1,16 +1,29 @@
 // An impact-ordered inverted list L_t (Figure 1): one <w_{d,t}, d> entry
 // per valid document containing term t, sorted by decreasing weight (ties
-// by decreasing document id, i.e. newest first). Built on the skip list so
-// that document arrival/expiration are O(log n) and the threshold
-// algorithm can scan downward from any weight boundary — and the roll-up
-// can step upward to the preceding entry.
+// by decreasing document id, i.e. newest first).
+//
+// Storage is a sorted contiguous array rather than a linked structure:
+// even the hottest lists of a Zipfian vocabulary (≈ window size entries)
+// fit in L1/L2, so boundary searches are cache-resident binary searches,
+// the threshold algorithm's downward scans are linear reads, and the
+// batched ingest pipeline applies a whole epoch's postings for a term as
+// ONE merge (insert) or compaction (erase) pass — the memory-traffic win
+// that makes epoch batching pay (DESIGN.md §4). Single-posting insert and
+// erase shift the tail with memmove, which at these sizes beats pointer-
+// chasing node structures.
+//
+// Iterators are raw pointers into the array; any mutation invalidates
+// them. The threshold machinery only holds iterators across read-only
+// phases (searches and roll-up scans run strictly between index updates).
 
 #pragma once
 
+#include <algorithm>
 #include <optional>
+#include <vector>
 
+#include "common/logging.h"
 #include "common/types.h"
-#include "container/skip_list.h"
 
 namespace ita {
 
@@ -31,26 +44,117 @@ struct ImpactOrder {
 
 class InvertedList {
  public:
-  using List = SkipList<ImpactEntry, ImpactOrder>;
-  using Iterator = List::Iterator;
+  using Iterator = const ImpactEntry*;
 
   /// Inserts the posting for (doc, weight). Returns false if an identical
   /// posting is already present (callers treat this as a logic error).
   bool Insert(DocId doc, double weight) {
-    return entries_.Insert(ImpactEntry{weight, doc}).second;
+    const ImpactEntry entry{weight, doc};
+    const auto it =
+        std::lower_bound(entries_.begin(), entries_.end(), entry, ImpactOrder{});
+    if (it != entries_.end() && it->doc == doc && it->weight == weight) {
+      return false;
+    }
+    entries_.insert(it, entry);
+    return true;
   }
 
   /// Removes the posting for (doc, weight); the exact weight must be the
   /// one supplied at insertion (it comes from the composition list).
   bool Erase(DocId doc, double weight) {
-    return entries_.Erase(ImpactEntry{weight, doc});
+    const ImpactEntry entry{weight, doc};
+    const auto it =
+        std::lower_bound(entries_.begin(), entries_.end(), entry, ImpactOrder{});
+    if (it == entries_.end() || it->doc != doc || it->weight != weight) {
+      return false;
+    }
+    entries_.erase(it);
+    return true;
+  }
+
+  /// Inserts a run of postings already sorted by ImpactOrder (weight desc,
+  /// doc desc) in one backward pass of binary-search jumps and block moves
+  /// — the batched-ingest fast path. A run of k postings costs k searches
+  /// plus at most one rewrite of the array, instead of k half-array
+  /// shifts. The run must not contain postings already present. Returns
+  /// the number inserted.
+  template <typename FwdIt>
+  std::size_t InsertOrdered(FwdIt first, FwdIt last) {
+    auto& run = RunScratch();
+    run.clear();
+    for (FwdIt it = first; it != last; ++it) run.push_back(*it);
+    if (run.empty()) return 0;
+    if (run.size() == 1) {
+      // Singleton runs (the common case under a large vocabulary) take the
+      // plain insert path: one search, one tail shift.
+      const bool inserted = Insert(run[0].doc, run[0].weight);
+      ITA_DCHECK(inserted);
+      return inserted ? 1 : 0;
+    }
+
+    const std::size_t old_size = entries_.size();
+    entries_.resize(old_size + run.size());
+    auto read_end = entries_.begin() + static_cast<std::ptrdiff_t>(old_size);
+    auto write_end = entries_.end();
+    for (std::size_t j = run.size(); j-- > 0;) {
+      const ImpactEntry& value = run[j];
+      const auto pos =
+          std::lower_bound(entries_.begin(), read_end, value, ImpactOrder{});
+      ITA_DCHECK(pos == read_end || pos->doc != value.doc ||
+                 pos->weight != value.weight)
+          << "duplicate posting in ordered insert: doc " << value.doc;
+      // Everything in [pos, read_end) follows `value`: shift it into the
+      // unsettled back block, then place the value in front of it.
+      write_end = std::move_backward(pos, read_end, write_end);
+      read_end = pos;
+      *--write_end = value;
+    }
+    return run.size();
+  }
+
+  /// Removes a run of postings already sorted by ImpactOrder in one
+  /// forward pass of binary-search jumps and block moves (targets absent
+  /// from the list are skipped). The counterpart of InsertOrdered for the
+  /// expiration side of an epoch. Returns the number erased.
+  template <typename FwdIt>
+  std::size_t EraseOrdered(FwdIt first, FwdIt last) {
+    if (first == last) return 0;
+    {
+      FwdIt second = first;
+      ++second;
+      if (second == last) {
+        const ImpactEntry target = *first;
+        return Erase(target.doc, target.weight) ? 1 : 0;
+      }
+    }
+    std::size_t erased = 0;
+    auto write = entries_.begin();
+    auto read = entries_.begin();
+    for (FwdIt it = first; it != last; ++it) {
+      const ImpactEntry target = *it;
+      const auto pos =
+          std::lower_bound(read, entries_.end(), target, ImpactOrder{});
+      // The block [read, pos) survives: slide it down over the gap left by
+      // prior erasures (no-op while nothing has been erased yet).
+      write = (write == read) ? pos : std::move(read, pos, write);
+      read = pos;
+      if (read != entries_.end() && read->doc == target.doc &&
+          read->weight == target.weight) {
+        ++read;  // drop the matched posting
+        ++erased;
+      }
+    }
+    write = (write == read) ? entries_.end()
+                            : std::move(read, entries_.end(), write);
+    entries_.erase(write, entries_.end());
+    return erased;
   }
 
   std::size_t size() const { return entries_.size(); }
   bool empty() const { return entries_.empty(); }
 
-  Iterator begin() const { return entries_.begin(); }
-  Iterator end() const { return entries_.end(); }
+  Iterator begin() const { return entries_.data(); }
+  Iterator end() const { return entries_.data() + entries_.size(); }
 
   /// First entry with weight strictly below `theta` — where a downward
   /// (initial or refill) scan resumes when the local threshold is `theta`.
@@ -58,32 +162,44 @@ class InvertedList {
   Iterator FirstBelow(double theta) const {
     // Order is (weight desc, doc desc); kInvalidDocId (=0) sorts after all
     // real docs of equal weight, so this lands past the theta tie run.
-    return entries_.LowerBound(ImpactEntry{theta, kInvalidDocId});
+    return LowerBound(ImpactEntry{theta, kInvalidDocId});
   }
 
   /// First entry with weight <= theta (start of the theta tie run, if any).
   Iterator FirstAtOrBelow(double theta) const {
-    return entries_.LowerBound(ImpactEntry{theta, kMaxDocId});
+    return LowerBound(ImpactEntry{theta, kMaxDocId});
   }
 
   /// The smallest distinct weight strictly above `theta` among current
   /// entries — the roll-up target "defined by the preceding entry"
   /// (Section III-B). Empty when no entry weighs more than theta.
   std::optional<double> NextWeightAbove(double theta) const {
-    Iterator it = FirstAtOrBelow(theta);
-    if (!it.HasPrev()) return std::nullopt;
-    --it;
-    return it->weight;
+    const Iterator it = FirstAtOrBelow(theta);
+    if (it == begin()) return std::nullopt;
+    return (it - 1)->weight;
   }
 
   /// Weight of the heaviest entry, or empty when the list is empty.
   std::optional<double> TopWeight() const {
     if (entries_.empty()) return std::nullopt;
-    return entries_.begin()->weight;
+    return entries_.front().weight;
   }
 
  private:
-  List entries_;
+  Iterator LowerBound(const ImpactEntry& probe) const {
+    return std::lower_bound(entries_.data(), entries_.data() + entries_.size(),
+                            probe, ImpactOrder{});
+  }
+
+  /// Shared scratch for materializing InsertOrdered runs (the server is
+  /// single-threaded per the paper's model; thread_local keeps the class
+  /// reusable from test threads).
+  static std::vector<ImpactEntry>& RunScratch() {
+    static thread_local std::vector<ImpactEntry> scratch;
+    return scratch;
+  }
+
+  std::vector<ImpactEntry> entries_;
 };
 
 }  // namespace ita

@@ -1,43 +1,41 @@
-#include "text/analyzer.h"
+#include "pipeline/ingest_pipeline.h"
 
 #include <algorithm>
-#include <string>
-#include <unordered_map>
 
 #include "text/porter_stemmer.h"
 
 namespace ita {
 
-Analyzer::Analyzer(AnalyzerOptions options)
+IngestPipeline::IngestPipeline(IngestPipelineOptions options)
     : options_(options), tokenizer_(options.tokenizer) {}
 
-std::size_t Analyzer::CountTerms(std::string_view text, TermCounts* counts) {
+std::size_t IngestPipeline::CountTerms(std::string_view text, TermCounts* counts) {
   const StopwordSet& stopwords =
       options_.stopwords != nullptr ? *options_.stopwords : StopwordSet::English();
 
-  std::unordered_map<TermId, std::uint32_t> freq;
+  freq_scratch_.clear();
   std::size_t token_count = 0;
-  std::string stem_buffer;
   tokenizer_.ForEachToken(text, [&](std::string_view token) {
     if (options_.remove_stopwords && stopwords.Contains(token)) return;
     TermId id;
     if (options_.stem) {
-      stem_buffer.assign(token);
-      PorterStemmer::StemInPlace(&stem_buffer);
-      id = vocabulary_.Intern(stem_buffer);
+      stem_scratch_.assign(token);
+      PorterStemmer::StemInPlace(&stem_scratch_);
+      id = vocabulary_.Intern(stem_scratch_);
     } else {
       id = vocabulary_.Intern(token);
     }
-    ++freq[id];
+    ++freq_scratch_[id];
     ++token_count;
   });
 
-  counts->assign(freq.begin(), freq.end());
+  counts->assign(freq_scratch_.begin(), freq_scratch_.end());
   std::sort(counts->begin(), counts->end());
   return token_count;
 }
 
-Document Analyzer::MakeDocument(std::string_view text, Timestamp arrival_time) {
+Document IngestPipeline::AnalyzeDocument(std::string_view text,
+                                         Timestamp arrival_time) {
   Document doc;
   doc.arrival_time = arrival_time;
   TermCounts counts;
@@ -51,7 +49,25 @@ Document Analyzer::MakeDocument(std::string_view text, Timestamp arrival_time) {
   return doc;
 }
 
-StatusOr<Query> Analyzer::MakeQuery(std::string_view text, int k) {
+std::vector<Document> IngestPipeline::AnalyzeBatch(
+    const std::vector<RawDocument>& batch) {
+  std::vector<Document> out;
+  out.reserve(batch.size());
+  TermCounts counts;
+  for (const RawDocument& raw : batch) {
+    Document doc;
+    doc.arrival_time = raw.arrival_time;
+    doc.token_count = CountTerms(raw.text, &counts);
+    corpus_stats_.AddDocument(counts, doc.token_count);
+    doc.composition = BuildComposition(counts, doc.token_count, options_.scheme,
+                                       &corpus_stats_, options_.bm25);
+    if (options_.keep_text) doc.text = raw.text;
+    out.push_back(std::move(doc));
+  }
+  return out;
+}
+
+StatusOr<Query> IngestPipeline::AnalyzeQuery(std::string_view text, int k) {
   if (k < 1) {
     return Status::InvalidArgument("query requires k >= 1");
   }

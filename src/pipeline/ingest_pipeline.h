@@ -1,0 +1,107 @@
+// The staged ingest pipeline: raw text -> tokens -> stopword filtering ->
+// optional stemming -> term interning -> weighting -> weighted term
+// vectors (composition lists / query vectors).
+//
+// The paper's stream elements arrive at the monitoring server already
+// carrying composition lists — analysis happens upstream. IngestPipeline
+// is that upstream stage, factored out of the server layers so it can be
+// scaled independently (sharded, run on dedicated threads) and so a whole
+// epoch's worth of documents can be analyzed in one pass:
+//
+//   * AnalyzeDocument — one document, the classic path;
+//   * AnalyzeBatch    — a batch of raw documents in one pass, reusing the
+//     frequency-counting and stemming scratch buffers across documents
+//     (no per-document allocation in steady state). The result feeds
+//     ContinuousSearchServer::IngestBatch.
+//
+// One pipeline instance owns the Vocabulary and corpus statistics, so
+// documents and queries that are matched against each other must go
+// through the same pipeline. text/analyzer.h remains as a thin facade
+// over this class.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "core/query.h"
+#include "stream/document.h"
+#include "text/stopwords.h"
+#include "text/tokenizer.h"
+#include "text/vocabulary.h"
+#include "text/weighting.h"
+
+namespace ita {
+
+/// A not-yet-analyzed stream element: the raw text plus the arrival
+/// timestamp the producer observed.
+struct RawDocument {
+  std::string text;
+  Timestamp arrival_time = 0;
+};
+
+struct IngestPipelineOptions {
+  TokenizerOptions tokenizer;
+  /// Drop stopwords (the built-in English list unless `stopwords` is set).
+  bool remove_stopwords = true;
+  /// Apply the Porter stemmer after stopword removal. Off by default — the
+  /// paper's WSJ dictionary (181,978 terms) is unstemmed.
+  bool stem = false;
+  /// How term frequencies become impact weights.
+  WeightingScheme scheme = WeightingScheme::kCosine;
+  Bm25Params bm25;
+  /// Keep the raw text inside produced Documents (display convenience).
+  bool keep_text = true;
+  /// Custom stopword set; null selects StopwordSet::English().
+  const StopwordSet* stopwords = nullptr;
+};
+
+class IngestPipeline {
+ public:
+  explicit IngestPipeline(IngestPipelineOptions options = {});
+
+  IngestPipeline(const IngestPipeline&) = delete;
+  IngestPipeline& operator=(const IngestPipeline&) = delete;
+
+  /// Analyzes one document. The result's `id` is unset (the server assigns
+  /// it at ingestion); `arrival_time` is passed through. Also feeds the
+  /// running corpus statistics (used by BM25 weighting).
+  Document AnalyzeDocument(std::string_view text, Timestamp arrival_time = 0);
+
+  /// Analyzes a batch of raw documents in one pass, preserving order.
+  /// Equivalent to calling AnalyzeDocument on each element in sequence
+  /// (identical output documents and corpus-statistics updates) but with
+  /// the analysis scratch state shared across the batch.
+  std::vector<Document> AnalyzeBatch(const std::vector<RawDocument>& batch);
+
+  /// Analyzes a query string into a Query with result size `k`. Fails with
+  /// InvalidArgument if no effective terms remain after filtering or k < 1.
+  StatusOr<Query> AnalyzeQuery(std::string_view text, int k);
+
+  const Vocabulary& vocabulary() const { return vocabulary_; }
+  Vocabulary& vocabulary() { return vocabulary_; }
+  const CorpusStats& corpus_stats() const { return corpus_stats_; }
+  const IngestPipelineOptions& options() const { return options_; }
+
+ private:
+  /// Tokenize + filter + stem + intern into sorted term counts; returns the
+  /// number of tokens that survived filtering. Uses the shared scratch
+  /// buffers, so at most one call may be in flight.
+  std::size_t CountTerms(std::string_view text, TermCounts* counts);
+
+  IngestPipelineOptions options_;
+  Tokenizer tokenizer_;
+  Vocabulary vocabulary_;
+  CorpusStats corpus_stats_;
+
+  // Scratch reused across documents (and across a whole AnalyzeBatch):
+  // term-frequency accumulator and stemmer buffer keep their capacity.
+  std::unordered_map<TermId, std::uint32_t> freq_scratch_;
+  std::string stem_scratch_;
+};
+
+}  // namespace ita

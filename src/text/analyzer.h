@@ -1,47 +1,34 @@
-// The end-to-end text analysis pipeline: raw text -> tokens -> stopword
-// filtering -> optional stemming -> term interning -> weighted composition
-// list / query vector.
+// Compatibility facade over pipeline/ingest_pipeline.h: the historical
+// single-document analysis API (raw text -> tokens -> stopword filtering
+// -> optional stemming -> term interning -> weighted composition list /
+// query vector).
 //
-// The paper's stream elements already carry composition lists (analysis
-// happens upstream of the monitoring server); Analyzer is that upstream
-// stage. One Analyzer instance owns the Vocabulary, so documents and
-// queries that should be matched against each other must go through the
-// same Analyzer.
+// The implementation lives in IngestPipeline — the staged, batch-capable
+// front end the servers' IngestBatch path is built on. Analyzer keeps the
+// original names (MakeDocument/MakeQuery) for existing call sites and
+// exposes the underlying pipeline for code that wants the batch API.
+//
+// One Analyzer instance owns one pipeline (and thus one Vocabulary), so
+// documents and queries that should be matched against each other must go
+// through the same Analyzer.
 
 #pragma once
 
-#include <memory>
 #include <string_view>
 
 #include "common/status.h"
 #include "core/query.h"
+#include "pipeline/ingest_pipeline.h"
 #include "stream/document.h"
-#include "text/stopwords.h"
-#include "text/tokenizer.h"
-#include "text/vocabulary.h"
-#include "text/weighting.h"
 
 namespace ita {
 
-struct AnalyzerOptions {
-  TokenizerOptions tokenizer;
-  /// Drop stopwords (the built-in English list unless `stopwords` is set).
-  bool remove_stopwords = true;
-  /// Apply the Porter stemmer after stopword removal. Off by default — the
-  /// paper's WSJ dictionary (181,978 terms) is unstemmed.
-  bool stem = false;
-  /// How term frequencies become impact weights.
-  WeightingScheme scheme = WeightingScheme::kCosine;
-  Bm25Params bm25;
-  /// Keep the raw text inside produced Documents (display convenience).
-  bool keep_text = true;
-  /// Custom stopword set; null selects StopwordSet::English().
-  const StopwordSet* stopwords = nullptr;
-};
+/// Analyzer predates IngestPipeline; the options struct is shared.
+using AnalyzerOptions = IngestPipelineOptions;
 
 class Analyzer {
  public:
-  explicit Analyzer(AnalyzerOptions options = {});
+  explicit Analyzer(AnalyzerOptions options = {}) : pipeline_(options) {}
 
   Analyzer(const Analyzer&) = delete;
   Analyzer& operator=(const Analyzer&) = delete;
@@ -49,26 +36,27 @@ class Analyzer {
   /// Analyzes one document. The result's `id` is unset (the server assigns
   /// it at ingestion); `arrival_time` is passed through. Also feeds the
   /// running corpus statistics (used by BM25 weighting).
-  Document MakeDocument(std::string_view text, Timestamp arrival_time = 0);
+  Document MakeDocument(std::string_view text, Timestamp arrival_time = 0) {
+    return pipeline_.AnalyzeDocument(text, arrival_time);
+  }
 
   /// Analyzes a query string into a Query with result size `k`. Fails with
   /// InvalidArgument if no effective terms remain after filtering or k < 1.
-  StatusOr<Query> MakeQuery(std::string_view text, int k);
+  StatusOr<Query> MakeQuery(std::string_view text, int k) {
+    return pipeline_.AnalyzeQuery(text, k);
+  }
 
-  const Vocabulary& vocabulary() const { return vocabulary_; }
-  Vocabulary& vocabulary() { return vocabulary_; }
-  const CorpusStats& corpus_stats() const { return corpus_stats_; }
-  const AnalyzerOptions& options() const { return options_; }
+  /// The underlying staged pipeline (batch analysis, shared scratch).
+  IngestPipeline& pipeline() { return pipeline_; }
+  const IngestPipeline& pipeline() const { return pipeline_; }
+
+  const Vocabulary& vocabulary() const { return pipeline_.vocabulary(); }
+  Vocabulary& vocabulary() { return pipeline_.vocabulary(); }
+  const CorpusStats& corpus_stats() const { return pipeline_.corpus_stats(); }
+  const AnalyzerOptions& options() const { return pipeline_.options(); }
 
  private:
-  /// Tokenize + filter + stem + intern into sorted term counts; returns the
-  /// number of tokens that survived filtering.
-  std::size_t CountTerms(std::string_view text, TermCounts* counts);
-
-  AnalyzerOptions options_;
-  Tokenizer tokenizer_;
-  Vocabulary vocabulary_;
-  CorpusStats corpus_stats_;
+  IngestPipeline pipeline_;
 };
 
 }  // namespace ita

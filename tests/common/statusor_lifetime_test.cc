@@ -1,0 +1,113 @@
+// Regression coverage for the dangling-StatusOr footgun documented at
+// ContinuousSearchServer::Result(): the accessors of a *temporary*
+// StatusOr return references that die with the temporary at the end of the
+// full expression. These tests pin down the SAFE patterns — bind to a
+// named variable, or copy/move the value out — and exercise them end to
+// end against a live server so a lifetime regression shows up under ASan.
+//
+// The unsafe form `for (auto& e : *server.Result(id))` is rejected at
+// compile time on Clang via ITA_LIFETIME_BOUND (see common/status.h); it
+// cannot appear here because this file must also compile with GCC, where
+// the annotation is a no-op.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "../testing/builders.h"
+#include "common/status.h"
+#include "core/ita_server.h"
+
+namespace ita {
+namespace {
+
+ItaServer& PopulatedServer(QueryId* qid) {
+  static ItaServer* server = [] {
+    auto* s = new ItaServer{ServerOptions{WindowSpec::CountBased(10)}};
+    return s;
+  }();
+  static QueryId id = [] {
+    const auto got =
+        server->RegisterQuery(testing::MakeQuery(2, {{1, 1.0}, {2, 0.5}}));
+    ITA_CHECK_OK(got.status());
+    ITA_CHECK_OK(server->Ingest(testing::MakeDoc({{1, 0.9}}, 100)).status());
+    ITA_CHECK_OK(server->Ingest(testing::MakeDoc({{2, 0.8}}, 200)).status());
+    ITA_CHECK_OK(server->Ingest(testing::MakeDoc({{3, 0.7}}, 300)).status());
+    return *got;
+  }();
+  *qid = id;
+  return *server;
+}
+
+// Safe pattern 1: bind the StatusOr to a named variable, then iterate.
+TEST(StatusOrLifetimeTest, NamedBindingThenIterate) {
+  QueryId qid;
+  ItaServer& server = PopulatedServer(&qid);
+
+  const auto result = server.Result(qid);
+  ASSERT_TRUE(result.ok());
+  std::size_t seen = 0;
+  double prev = 2.0;
+  for (const ResultEntry& entry : *result) {
+    EXPECT_GT(entry.score, 0.0);
+    EXPECT_LE(entry.score, prev);
+    prev = entry.score;
+    ++seen;
+  }
+  EXPECT_EQ(seen, result->size());
+  EXPECT_EQ(seen, 2u);
+}
+
+// Safe pattern 2: move the value out of the rvalue StatusOr in the same
+// full expression; the vector owns its storage afterwards.
+TEST(StatusOrLifetimeTest, MoveValueOutOfTemporary) {
+  QueryId qid;
+  ItaServer& server = PopulatedServer(&qid);
+
+  const std::vector<ResultEntry> entries = *server.Result(qid);
+  ASSERT_EQ(entries.size(), 2u);
+  for (const ResultEntry& entry : entries) {
+    EXPECT_GT(entry.score, 0.0);
+  }
+}
+
+// Safe pattern 3: value_or copies out with a fallback for the error case.
+TEST(StatusOrLifetimeTest, ValueOrCopiesOut) {
+  QueryId qid;
+  ItaServer& server = PopulatedServer(&qid);
+
+  const std::vector<ResultEntry> entries =
+      server.Result(qid).value_or(std::vector<ResultEntry>{});
+  EXPECT_EQ(entries.size(), 2u);
+
+  const std::vector<ResultEntry> missing =
+      server.Result(9999).value_or(std::vector<ResultEntry>{});
+  EXPECT_TRUE(missing.empty());
+}
+
+// status() of a named error StatusOr stays valid while the object lives.
+TEST(StatusOrLifetimeTest, ErrorStatusAccessibleFromNamedBinding) {
+  QueryId qid;
+  ItaServer& server = PopulatedServer(&qid);
+
+  const auto missing = server.Result(9999);
+  ASSERT_FALSE(missing.ok());
+  EXPECT_TRUE(missing.status().IsNotFound());
+  EXPECT_FALSE(missing.status().message().empty());
+}
+
+// Status and StatusOr are [[nodiscard]]: returns must be consumed. This
+// cannot be asserted at runtime, but the explicit void casts below are the
+// sanctioned discard idiom and must stay compilable.
+TEST(StatusOrLifetimeTest, ExplicitDiscardIdiomCompiles) {
+  QueryId qid;
+  ItaServer& server = PopulatedServer(&qid);
+  (void)server.Result(qid);
+  (void)server.AdvanceTime(server.last_arrival_time());
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace ita

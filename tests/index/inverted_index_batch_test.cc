@@ -1,0 +1,102 @@
+// AddBatch / RemoveBatch / InsertRun / EraseRun: the epoch-granular index
+// maintenance must be exactly equivalent to per-document AddDocument /
+// RemoveDocument.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "../testing/builders.h"
+#include "index/inverted_index.h"
+
+namespace ita {
+namespace {
+
+Document WithId(Document doc, DocId id) {
+  doc.id = id;
+  return doc;
+}
+
+std::vector<Document> SampleDocs() {
+  using testing::MakeDoc;
+  return {
+      WithId(MakeDoc({{1, 0.9}, {2, 0.2}, {7, 0.4}}), 1),
+      WithId(MakeDoc({{1, 0.5}, {3, 0.8}}), 2),
+      WithId(MakeDoc({{1, 0.5}, {2, 0.2}, {3, 0.1}, {9, 1.0}}), 3),
+      WithId(MakeDoc({{7, 0.4}}), 4),
+  };
+}
+
+void ExpectSameLists(const InvertedIndex& got, const InvertedIndex& want,
+                     TermId max_term) {
+  for (TermId t = 0; t <= max_term; ++t) {
+    const InvertedList* g = got.List(t);
+    const InvertedList* w = want.List(t);
+    const std::size_t gn = g == nullptr ? 0 : g->size();
+    const std::size_t wn = w == nullptr ? 0 : w->size();
+    ASSERT_EQ(gn, wn) << "term " << t;
+    if (gn == 0) continue;
+    auto gi = g->begin();
+    for (const ImpactEntry& we : *w) {
+      EXPECT_EQ(gi->doc, we.doc) << "term " << t;
+      EXPECT_EQ(gi->weight, we.weight) << "term " << t;
+      ++gi;
+    }
+  }
+}
+
+TEST(InvertedIndexBatchTest, AddBatchMatchesAddDocument) {
+  const std::vector<Document> docs = SampleDocs();
+  InvertedIndex batched, sequential;
+  std::vector<const Document*> ptrs;
+  for (const Document& d : docs) ptrs.push_back(&d);
+
+  std::size_t want_postings = 0;
+  for (const Document& d : docs) want_postings += sequential.AddDocument(d);
+  EXPECT_EQ(batched.AddBatch(ptrs), want_postings);
+  EXPECT_EQ(batched.total_postings(), sequential.total_postings());
+  ExpectSameLists(batched, sequential, 9);
+}
+
+TEST(InvertedIndexBatchTest, RemoveBatchMatchesRemoveDocument) {
+  const std::vector<Document> docs = SampleDocs();
+  InvertedIndex batched, sequential;
+  std::vector<const Document*> ptrs;
+  for (const Document& d : docs) ptrs.push_back(&d);
+  (void)batched.AddBatch(ptrs);
+  for (const Document& d : docs) (void)sequential.AddDocument(d);
+
+  // Remove the middle two as one epoch.
+  const std::vector<Document> epoch = {docs[1], docs[2]};
+  const std::size_t removed = batched.RemoveBatch(epoch);
+  EXPECT_EQ(removed, docs[1].composition.size() + docs[2].composition.size());
+  (void)sequential.RemoveDocument(docs[1]);
+  (void)sequential.RemoveDocument(docs[2]);
+  EXPECT_EQ(batched.total_postings(), sequential.total_postings());
+  ExpectSameLists(batched, sequential, 9);
+}
+
+TEST(InvertedIndexBatchTest, EmptyBatchIsNoOp) {
+  InvertedIndex index;
+  EXPECT_EQ(index.AddBatch({}), 0u);
+  EXPECT_EQ(index.RemoveBatch({}), 0u);
+  EXPECT_EQ(index.total_postings(), 0u);
+}
+
+TEST(InvertedIndexBatchTest, InsertRunEraseRunRoundTrip) {
+  InvertedIndex index;
+  const std::vector<ImpactEntry> run = {{0.9, 3}, {0.9, 1}, {0.2, 2}};
+  EXPECT_EQ(index.InsertRun(5, run.begin(), run.end()), run.size());
+  ASSERT_NE(index.List(5), nullptr);
+  EXPECT_EQ(index.List(5)->size(), 3u);
+  EXPECT_EQ(index.total_postings(), 3u);
+
+  EXPECT_EQ(index.EraseRun(5, run.begin(), run.end()), run.size());
+  EXPECT_TRUE(index.List(5)->empty());
+  EXPECT_EQ(index.total_postings(), 0u);
+  // Erasing from a never-materialized term is a no-op.
+  EXPECT_EQ(index.EraseRun(4242, run.begin(), run.end()), 0u);
+}
+
+}  // namespace
+}  // namespace ita

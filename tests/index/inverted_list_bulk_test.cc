@@ -1,0 +1,157 @@
+// The bulk (epoch) maintenance contract of InvertedList: InsertOrdered /
+// EraseOrdered must leave the list exactly as the equivalent sequence of
+// single Insert / Erase calls would, for runs of any shape — singletons
+// (the fast path), interleaved weights, tie runs, runs spanning the whole
+// list, and erase runs containing absent targets.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/random.h"
+#include "index/inverted_list.h"
+
+namespace ita {
+namespace {
+
+std::vector<ImpactEntry> Entries(const InvertedList& list) {
+  return std::vector<ImpactEntry>(list.begin(), list.end());
+}
+
+void ExpectSameEntries(const InvertedList& got, const InvertedList& want) {
+  ASSERT_EQ(got.size(), want.size());
+  auto g = got.begin();
+  for (const ImpactEntry& w : want) {
+    EXPECT_EQ(g->doc, w.doc);
+    EXPECT_EQ(g->weight, w.weight);
+    ++g;
+  }
+}
+
+std::vector<ImpactEntry> SortedRun(std::vector<ImpactEntry> run) {
+  std::sort(run.begin(), run.end(),
+            [](const ImpactEntry& a, const ImpactEntry& b) {
+              return ImpactOrder{}(a, b);
+            });
+  return run;
+}
+
+TEST(InvertedListBulkTest, InsertOrderedMatchesSingles) {
+  InvertedList bulk, single;
+  for (DocId d = 1; d <= 20; ++d) {
+    bulk.Insert(d, 0.05 * static_cast<double>(d));
+    single.Insert(d, 0.05 * static_cast<double>(d));
+  }
+  const std::vector<ImpactEntry> run = SortedRun({
+      {0.93, 21}, {0.41, 22}, {0.41, 23}, {0.07, 24}, {0.001, 25}});
+  EXPECT_EQ(bulk.InsertOrdered(run.begin(), run.end()), run.size());
+  for (const ImpactEntry& e : run) single.Insert(e.doc, e.weight);
+  ExpectSameEntries(bulk, single);
+}
+
+TEST(InvertedListBulkTest, EraseOrderedMatchesSingles) {
+  InvertedList bulk, single;
+  Rng rng(11);
+  std::vector<ImpactEntry> all;
+  for (DocId d = 1; d <= 50; ++d) {
+    const double w = rng.NextDouble();
+    bulk.Insert(d, w);
+    single.Insert(d, w);
+    all.push_back({w, d});
+  }
+  std::vector<ImpactEntry> victims;
+  for (std::size_t i = 0; i < all.size(); i += 3) victims.push_back(all[i]);
+  const std::vector<ImpactEntry> run = SortedRun(victims);
+  EXPECT_EQ(bulk.EraseOrdered(run.begin(), run.end()), run.size());
+  for (const ImpactEntry& e : run) single.Erase(e.doc, e.weight);
+  ExpectSameEntries(bulk, single);
+}
+
+TEST(InvertedListBulkTest, SingletonRunsUseExactSemantics) {
+  InvertedList list;
+  const std::vector<ImpactEntry> one = {{0.5, 7}};
+  EXPECT_EQ(list.InsertOrdered(one.begin(), one.end()), 1u);
+  EXPECT_EQ(list.size(), 1u);
+  EXPECT_EQ(list.EraseOrdered(one.begin(), one.end()), 1u);
+  EXPECT_TRUE(list.empty());
+}
+
+TEST(InvertedListBulkTest, EraseOrderedSkipsAbsentTargets) {
+  InvertedList list;
+  list.Insert(1, 0.9);
+  list.Insert(2, 0.5);
+  list.Insert(3, 0.1);
+  // 0.7/42 and 0.05/99 are absent; 0.5/2 is present.
+  const std::vector<ImpactEntry> run =
+      SortedRun({{0.7, 42}, {0.5, 2}, {0.05, 99}});
+  EXPECT_EQ(list.EraseOrdered(run.begin(), run.end()), 1u);
+  EXPECT_EQ(list.size(), 2u);
+  EXPECT_FALSE(list.Erase(2, 0.5));  // already gone
+}
+
+TEST(InvertedListBulkTest, EmptyRunsAreNoOps) {
+  InvertedList list;
+  list.Insert(1, 0.4);
+  const std::vector<ImpactEntry> empty;
+  EXPECT_EQ(list.InsertOrdered(empty.begin(), empty.end()), 0u);
+  EXPECT_EQ(list.EraseOrdered(empty.begin(), empty.end()), 0u);
+  EXPECT_EQ(list.size(), 1u);
+}
+
+TEST(InvertedListBulkTest, RunIntoEmptyList) {
+  InvertedList list;
+  const std::vector<ImpactEntry> run = SortedRun({{0.2, 1}, {0.8, 2}});
+  EXPECT_EQ(list.InsertOrdered(run.begin(), run.end()), 2u);
+  EXPECT_EQ(list.size(), 2u);
+  EXPECT_EQ(list.begin()->doc, 2u);  // heaviest first
+}
+
+// Randomized churn: bulk epochs vs the same operations applied singly.
+TEST(InvertedListBulkTest, RandomizedEpochChurnMatchesSingles) {
+  InvertedList bulk, single;
+  Rng rng(29);
+  std::vector<ImpactEntry> resident;
+  DocId next = 1;
+  for (int epoch = 0; epoch < 200; ++epoch) {
+    // Arrivals: 1..8 new postings.
+    std::vector<ImpactEntry> arrive;
+    const std::size_t n_in = 1 + rng.UniformInt(0, 7);
+    for (std::size_t i = 0; i < n_in; ++i) {
+      // Quantized weights force tie runs.
+      const double w = static_cast<double>(rng.UniformInt(1, 12)) / 12.0;
+      arrive.push_back({w, next++});
+    }
+    arrive = SortedRun(arrive);
+    ASSERT_EQ(bulk.InsertOrdered(arrive.begin(), arrive.end()), arrive.size());
+    for (const ImpactEntry& e : arrive) ASSERT_TRUE(single.Insert(e.doc, e.weight));
+    resident.insert(resident.end(), arrive.begin(), arrive.end());
+
+    // Expirations: up to half of the residents, oldest-biased.
+    std::vector<ImpactEntry> expire;
+    for (std::size_t i = 0; i < resident.size();) {
+      if (rng.UniformInt(0, 3) == 0) {
+        expire.push_back(resident[i]);
+        resident.erase(resident.begin() + static_cast<std::ptrdiff_t>(i));
+      } else {
+        ++i;
+      }
+    }
+    expire = SortedRun(expire);
+    ASSERT_EQ(bulk.EraseOrdered(expire.begin(), expire.end()), expire.size());
+    for (const ImpactEntry& e : expire) ASSERT_TRUE(single.Erase(e.doc, e.weight));
+
+    ASSERT_EQ(bulk.size(), resident.size());
+    ExpectSameEntries(bulk, single);
+    // Boundary searches agree with the single-op list too.
+    const double theta = rng.NextDouble();
+    ASSERT_EQ(bulk.FirstBelow(theta) == bulk.end(),
+              single.FirstBelow(theta) == single.end());
+    ASSERT_EQ(bulk.NextWeightAbove(theta).has_value(),
+              single.NextWeightAbove(theta).has_value());
+  }
+  (void)Entries;
+}
+
+}  // namespace
+}  // namespace ita

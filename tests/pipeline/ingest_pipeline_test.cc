@@ -1,0 +1,107 @@
+#include "pipeline/ingest_pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace ita {
+namespace {
+
+std::vector<RawDocument> SampleBatch() {
+  std::vector<RawDocument> batch;
+  batch.push_back({"The quick brown fox jumps over the lazy dog", 100});
+  batch.push_back({"Streams of sensor data overwhelm the ingestion database", 200});
+  batch.push_back({"Financial streams require low latency database writes", 300});
+  batch.push_back({"", 400});  // analyzes to an empty composition
+  batch.push_back({"fox fox fox database", 500});
+  return batch;
+}
+
+// The core batch contract: AnalyzeBatch must produce exactly the documents
+// AnalyzeDocument produces one at a time (same vocabulary interning order,
+// same compositions, same corpus statistics).
+TEST(IngestPipelineTest, BatchMatchesSequentialAnalysis) {
+  for (const WeightingScheme scheme :
+       {WeightingScheme::kCosine, WeightingScheme::kBm25,
+        WeightingScheme::kRawTf}) {
+    IngestPipelineOptions opts;
+    opts.scheme = scheme;
+    IngestPipeline sequential(opts);
+    IngestPipeline batched(opts);
+
+    const std::vector<RawDocument> batch = SampleBatch();
+    std::vector<Document> want;
+    for (const RawDocument& raw : batch) {
+      want.push_back(sequential.AnalyzeDocument(raw.text, raw.arrival_time));
+    }
+    const std::vector<Document> got = batched.AnalyzeBatch(batch);
+
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].arrival_time, want[i].arrival_time);
+      EXPECT_EQ(got[i].token_count, want[i].token_count);
+      EXPECT_EQ(got[i].text, want[i].text);
+      ASSERT_EQ(got[i].composition.size(), want[i].composition.size()) << i;
+      for (std::size_t j = 0; j < got[i].composition.size(); ++j) {
+        EXPECT_EQ(got[i].composition[j].term, want[i].composition[j].term);
+        EXPECT_DOUBLE_EQ(got[i].composition[j].weight,
+                         want[i].composition[j].weight);
+      }
+    }
+    EXPECT_EQ(batched.corpus_stats().total_documents(),
+              sequential.corpus_stats().total_documents());
+    EXPECT_EQ(batched.vocabulary().size(), sequential.vocabulary().size());
+  }
+}
+
+TEST(IngestPipelineTest, BatchSharesVocabularyWithQueries) {
+  IngestPipeline pipeline;
+  const std::vector<Document> docs =
+      pipeline.AnalyzeBatch({{"nuclear proliferation report", 0}});
+  const auto q = pipeline.AnalyzeQuery("nuclear report", 1);
+  ASSERT_TRUE(q.ok());
+  ASSERT_EQ(docs.size(), 1u);
+  EXPECT_GT(ScoreDocument(docs[0].composition, q->terms), 0.0);
+}
+
+TEST(IngestPipelineTest, ScratchStateDoesNotLeakAcrossDocuments) {
+  IngestPipeline pipeline;
+  // Two very different documents back to back: the second must not inherit
+  // term counts from the first.
+  const std::vector<Document> docs = pipeline.AnalyzeBatch(
+      {{"alpha beta gamma", 0}, {"delta epsilon", 0}});
+  ASSERT_EQ(docs.size(), 2u);
+  EXPECT_EQ(docs[0].composition.size(), 3u);
+  EXPECT_EQ(docs[1].composition.size(), 2u);
+}
+
+TEST(IngestPipelineTest, EmptyBatch) {
+  IngestPipeline pipeline;
+  EXPECT_TRUE(pipeline.AnalyzeBatch({}).empty());
+  EXPECT_EQ(pipeline.corpus_stats().total_documents(), 0u);
+}
+
+TEST(IngestPipelineTest, KeepTextOffDropsPayload) {
+  IngestPipelineOptions opts;
+  opts.keep_text = false;
+  IngestPipeline pipeline(opts);
+  const std::vector<Document> docs = pipeline.AnalyzeBatch({{"hello world", 0}});
+  ASSERT_EQ(docs.size(), 1u);
+  EXPECT_TRUE(docs[0].text.empty());
+}
+
+TEST(IngestPipelineTest, StemmingAppliesAcrossBatch) {
+  IngestPipelineOptions opts;
+  opts.stem = true;
+  IngestPipeline pipeline(opts);
+  const std::vector<Document> docs = pipeline.AnalyzeBatch(
+      {{"monitoring monitored", 0}, {"monitors", 0}});
+  ASSERT_EQ(docs.size(), 2u);
+  EXPECT_EQ(docs[0].composition.size(), 1u);
+  // Same stem interned to the same term id.
+  EXPECT_EQ(docs[1].composition[0].term, docs[0].composition[0].term);
+}
+
+}  // namespace
+}  // namespace ita

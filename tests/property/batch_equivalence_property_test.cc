@@ -1,0 +1,372 @@
+// The batch-ingest exactness property: IngestBatch must be semantically
+// identical to one-at-a-time Ingest. For every strategy (ITA with its real
+// batch hooks, Naive and Oracle through the default per-document loops), a
+// batched server and a sequential server consume the same randomized
+// stream; after every epoch all registered queries must report identical
+// results (same sizes, same score sequences), the assigned document ids
+// must match, and both must agree with a brute-force OracleServer.
+//
+// Scenarios sweep batch size (including batches larger than the window,
+// which exercises the transient-document path), window kind, weighting
+// scheme and the roll-up ablation.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "../testing/builders.h"
+#include "core/ita_server.h"
+#include "core/naive_server.h"
+#include "core/oracle_server.h"
+#include "stream/corpus.h"
+
+namespace ita {
+namespace {
+
+struct BatchScenario {
+  std::string label;
+  std::uint64_t seed = 1;
+  std::size_t dictionary = 300;
+  std::size_t n_queries = 10;
+  std::size_t terms_per_query = 4;
+  int k = 5;
+  WindowSpec window = WindowSpec::CountBased(40);
+  std::size_t events = 360;
+  std::size_t batch_size = 16;
+  WeightingScheme scheme = WeightingScheme::kCosine;
+  bool rollup = true;
+  std::size_t hot_max_term = 0;
+  bool advance_time_between_epochs = false;  // time-based windows only
+};
+
+std::ostream& operator<<(std::ostream& os, const BatchScenario& s) {
+  return os << s.label;
+}
+
+class BatchEquivalenceTest : public ::testing::TestWithParam<BatchScenario> {};
+
+using ServerFactory =
+    std::function<std::unique_ptr<ContinuousSearchServer>(const BatchScenario&)>;
+
+std::vector<std::pair<std::string, ServerFactory>> Strategies() {
+  return {
+      {"ita",
+       [](const BatchScenario& s) -> std::unique_ptr<ContinuousSearchServer> {
+         ItaTuning tuning;
+         tuning.enable_rollup = s.rollup;
+         return std::make_unique<ItaServer>(ServerOptions{s.window}, tuning);
+       }},
+      {"naive",
+       [](const BatchScenario& s) -> std::unique_ptr<ContinuousSearchServer> {
+         return std::make_unique<NaiveServer>(ServerOptions{s.window});
+       }},
+      {"oracle",
+       [](const BatchScenario& s) -> std::unique_ptr<ContinuousSearchServer> {
+         return std::make_unique<OracleServer>(ServerOptions{s.window});
+       }},
+  };
+}
+
+void ExpectSameAnswer(const std::vector<ResultEntry>& got,
+                      const std::vector<ResultEntry>& want,
+                      const std::string& who, QueryId q, std::size_t epoch) {
+  ASSERT_EQ(got.size(), want.size())
+      << who << " result size mismatch, query " << q << ", epoch " << epoch;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    // Ties permute only equal scores, so the score sequences must match
+    // exactly position by position.
+    ASSERT_NEAR(got[i].score, want[i].score, 1e-12)
+        << who << " score mismatch at rank " << i << ", query " << q
+        << ", epoch " << epoch;
+  }
+}
+
+TEST_P(BatchEquivalenceTest, BatchMatchesSequentialAndOracle) {
+  const BatchScenario& s = GetParam();
+
+  for (const auto& [name, make_server] : Strategies()) {
+    SCOPED_TRACE(name);
+
+    SyntheticCorpusOptions copts;
+    copts.dictionary_size = s.dictionary;
+    copts.min_length = 3;
+    copts.max_length = 30;
+    copts.length_lognormal_mu = 2.3;
+    copts.length_lognormal_sigma = 0.5;
+    copts.scheme = s.scheme;
+    copts.seed = s.seed;
+    SyntheticCorpusGenerator corpus(copts);
+
+    QueryWorkloadOptions qopts;
+    qopts.terms_per_query = s.terms_per_query;
+    qopts.k = s.k;
+    qopts.scheme = s.scheme;
+    qopts.seed = s.seed * 7919 + 17;
+    qopts.max_term = s.hot_max_term;
+    QueryWorkloadGenerator query_gen(s.dictionary, qopts);
+
+    std::unique_ptr<ContinuousSearchServer> sequential = make_server(s);
+    std::unique_ptr<ContinuousSearchServer> batched = make_server(s);
+    OracleServer oracle{ServerOptions{s.window}};
+
+    std::vector<QueryId> active;
+    for (std::size_t i = 0; i < s.n_queries; ++i) {
+      const Query q = query_gen.NextQuery();
+      const auto a = sequential->RegisterQuery(q);
+      const auto b = batched->RegisterQuery(q);
+      const auto c = oracle.RegisterQuery(q);
+      ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+      ASSERT_EQ(*a, *b);
+      ASSERT_EQ(*a, *c);
+      active.push_back(*a);
+    }
+
+    Timestamp now = 0;
+    std::size_t epoch = 0;
+    for (std::size_t done = 0; done < s.events; ++epoch) {
+      const std::size_t n =
+          std::min(s.batch_size, s.events - done);
+      std::vector<Document> batch;
+      batch.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        batch.push_back(corpus.NextDocument(now += 100));
+      }
+      done += n;
+
+      std::vector<DocId> sequential_ids;
+      for (const Document& doc : batch) {
+        const auto id = sequential->Ingest(doc);
+        ASSERT_TRUE(id.ok());
+        sequential_ids.push_back(*id);
+        ASSERT_TRUE(oracle.Ingest(doc).ok());
+      }
+      const auto batch_ids = batched->IngestBatch(batch);
+      ASSERT_TRUE(batch_ids.ok());
+      ASSERT_EQ(*batch_ids, sequential_ids)
+          << "id sequence diverged at epoch " << epoch;
+
+      if (s.advance_time_between_epochs && epoch % 3 == 2) {
+        // Jump the clock far enough to expire part of the window without
+        // an accompanying arrival (time-based windows only).
+        now += s.window.duration / 2;
+        ASSERT_TRUE(sequential->AdvanceTime(now).ok());
+        ASSERT_TRUE(batched->AdvanceTime(now).ok());
+        ASSERT_TRUE(oracle.AdvanceTime(now).ok());
+      }
+
+      ASSERT_EQ(batched->window_size(), sequential->window_size());
+      for (const QueryId q : active) {
+        const auto want = oracle.Result(q);
+        ASSERT_TRUE(want.ok());
+        const auto seq_got = sequential->Result(q);
+        ASSERT_TRUE(seq_got.ok());
+        const auto bat_got = batched->Result(q);
+        ASSERT_TRUE(bat_got.ok());
+        ExpectSameAnswer(*seq_got, *want, name + "/sequential", q, epoch);
+        ExpectSameAnswer(*bat_got, *want, name + "/batched", q, epoch);
+        // Batched and sequential must agree on membership too, not just
+        // scores: every strictly-above-S_k document is order-forced.
+        ASSERT_EQ(testing::Ids(*bat_got).size(), testing::Ids(*seq_got).size());
+      }
+    }
+
+    // The stream must actually have exercised expirations.
+    if (s.window.kind == WindowSpec::Kind::kCountBased &&
+        s.events > s.window.count) {
+      EXPECT_GT(batched->stats().documents_expired, 0u);
+    }
+    EXPECT_EQ(batched->stats().documents_ingested,
+              sequential->stats().documents_ingested);
+    EXPECT_EQ(batched->stats().documents_expired,
+              sequential->stats().documents_expired);
+    EXPECT_GT(batched->stats().batches_ingested, 0u);
+  }
+}
+
+// The epoch notification contract: the listener fires at most once per
+// query per epoch, against the epoch-final result.
+TEST(BatchNotificationTest, ListenerFlushesOncePerEpoch) {
+  SyntheticCorpusOptions copts;
+  copts.dictionary_size = 50;
+  copts.min_length = 3;
+  copts.max_length = 12;
+  copts.length_lognormal_mu = 1.8;
+  copts.seed = 9;
+  SyntheticCorpusGenerator corpus(copts);
+
+  QueryWorkloadOptions qopts;
+  qopts.terms_per_query = 3;
+  qopts.k = 3;
+  qopts.seed = 77;
+  QueryWorkloadGenerator query_gen(50, qopts);
+
+  ItaServer server{ServerOptions{WindowSpec::CountBased(20)}};
+  std::vector<QueryId> queries;
+  for (int i = 0; i < 6; ++i) {
+    const auto id = server.RegisterQuery(query_gen.NextQuery());
+    ASSERT_TRUE(id.ok());
+    queries.push_back(*id);
+  }
+
+  std::vector<std::pair<QueryId, std::vector<ResultEntry>>> fired;
+  server.SetResultListener(
+      [&fired](QueryId q, const std::vector<ResultEntry>& result) {
+        fired.emplace_back(q, result);
+      });
+
+  Timestamp now = 0;
+  for (int epoch = 0; epoch < 12; ++epoch) {
+    std::vector<Document> batch;
+    for (int i = 0; i < 8; ++i) batch.push_back(corpus.NextDocument(now += 100));
+    fired.clear();
+    ASSERT_TRUE(server.IngestBatch(std::move(batch)).ok());
+
+    std::vector<QueryId> seen;
+    for (const auto& [q, result] : fired) {
+      // At most one notification per query per epoch.
+      for (const QueryId prior : seen) ASSERT_NE(prior, q);
+      seen.push_back(q);
+      // The notified result is the epoch-final result.
+      const auto current = server.Result(q);
+      ASSERT_TRUE(current.ok());
+      ASSERT_EQ(result.size(), current->size());
+      for (std::size_t i = 0; i < result.size(); ++i) {
+        ASSERT_EQ(result[i].doc, (*current)[i].doc);
+        ASSERT_EQ(result[i].score, (*current)[i].score);
+      }
+    }
+  }
+}
+
+// Empty batches are well-defined no-ops.
+TEST(BatchEdgeCaseTest, EmptyBatchIsNoOp) {
+  ItaServer server{ServerOptions{WindowSpec::CountBased(5)}};
+  const auto ids = server.IngestBatch({});
+  ASSERT_TRUE(ids.ok());
+  EXPECT_TRUE(ids->empty());
+  EXPECT_EQ(server.stats().batches_ingested, 0u);
+}
+
+// Out-of-order arrival times inside a batch are rejected atomically.
+TEST(BatchEdgeCaseTest, NonMonotoneBatchRejected) {
+  ItaServer server{ServerOptions{WindowSpec::CountBased(5)}};
+  std::vector<Document> batch;
+  batch.push_back(testing::MakeDoc({{1, 0.5}}, 200));
+  batch.push_back(testing::MakeDoc({{2, 0.5}}, 100));
+  const auto ids = server.IngestBatch(std::move(batch));
+  ASSERT_FALSE(ids.ok());
+  EXPECT_TRUE(ids.status().IsInvalidArgument());
+  EXPECT_EQ(server.window_size(), 0u);
+  EXPECT_EQ(server.stats().documents_ingested, 0u);
+}
+
+std::vector<BatchScenario> MakeBatchScenarios() {
+  std::vector<BatchScenario> all;
+
+  BatchScenario base;
+  base.label = "baseline_batch16";
+  all.push_back(base);
+
+  for (const std::size_t batch : {1u, 3u, 7u, 64u}) {
+    BatchScenario s = base;
+    s.batch_size = batch;
+    s.label = "batch_" + std::to_string(batch);
+    all.push_back(s);
+  }
+  for (const std::uint64_t seed : {2ull, 3ull}) {
+    BatchScenario s = base;
+    s.seed = seed;
+    s.label = "seed_" + std::to_string(seed);
+    all.push_back(s);
+  }
+  {
+    // Batch larger than the window: exercises transient documents (arrive
+    // and expire inside one epoch).
+    BatchScenario s = base;
+    s.label = "batch_overflows_window";
+    s.batch_size = 130;
+    s.window = WindowSpec::CountBased(40);
+    all.push_back(s);
+  }
+  {
+    BatchScenario s = base;
+    s.label = "window_of_one";
+    s.window = WindowSpec::CountBased(1);
+    s.batch_size = 8;
+    s.events = 160;
+    all.push_back(s);
+  }
+  {
+    BatchScenario s = base;
+    s.label = "time_window";
+    s.window = WindowSpec::TimeBased(3500);
+    all.push_back(s);
+  }
+  {
+    BatchScenario s = base;
+    s.label = "time_window_with_advances";
+    s.window = WindowSpec::TimeBased(3500);
+    s.advance_time_between_epochs = true;
+    all.push_back(s);
+  }
+  {
+    BatchScenario s = base;
+    s.label = "raw_tf_tie_storm";
+    s.scheme = WeightingScheme::kRawTf;
+    s.dictionary = 30;
+    s.terms_per_query = 3;
+    s.window = WindowSpec::CountBased(25);
+    s.events = 250;
+    all.push_back(s);
+  }
+  {
+    BatchScenario s = base;
+    s.label = "bm25";
+    s.scheme = WeightingScheme::kBm25;
+    all.push_back(s);
+  }
+  {
+    BatchScenario s = base;
+    s.label = "no_rollup_ablation";
+    s.rollup = false;
+    all.push_back(s);
+  }
+  {
+    // Dense matching: hot queries over the Zipf head, so every batch
+    // bucket probes trees that answer with many candidate queries.
+    BatchScenario s = base;
+    s.label = "hot_queries";
+    s.dictionary = 500;
+    s.hot_max_term = 20;
+    s.events = 280;
+    all.push_back(s);
+  }
+  {
+    BatchScenario s = base;
+    s.label = "k1_tiny_dictionary";
+    s.k = 1;
+    s.dictionary = 40;
+    all.push_back(s);
+  }
+  {
+    BatchScenario s = base;
+    s.label = "k_exceeds_matchers";
+    s.k = 60;
+    s.window = WindowSpec::CountBased(30);
+    all.push_back(s);
+  }
+  return all;
+}
+
+INSTANTIATE_TEST_SUITE_P(BatchScenarios, BatchEquivalenceTest,
+                         ::testing::ValuesIn(MakeBatchScenarios()),
+                         [](const ::testing::TestParamInfo<BatchScenario>& info) {
+                           return info.param.label;
+                         });
+
+}  // namespace
+}  // namespace ita
