@@ -1,0 +1,147 @@
+// Sharded execution engine scaling (DESIGN.md §6): epoch throughput of
+// the query-heavy synthetic workload as the --shards / --threads axes
+// grow. Every shard sees the whole stream but owns only 1/S of the
+// queries, so per-epoch work per shard is (replicated index maintenance)
+// + (per-query work)/S — on a query-heavy workload the second term
+// dominates and the epoch critical path shrinks with S.
+//
+// Two metrics per configuration:
+//   * items_per_second        — wall-clock document throughput, which only
+//     scales when each shard actually has its own core;
+//   * critical_us_per_epoch   — max over shards of measured per-shard busy
+//     time per epoch: the epoch latency once every shard runs on its own
+//     core. This is the hardware-independent scaling metric (recorded in
+//     bench/results/sharded_baseline.json, whose measurement box pins the
+//     process to a single CPU and therefore cannot show wall-clock
+//     parallel speedup).
+//   * busy_us_per_epoch       — summed shard busy time per epoch: the
+//     total CPU an epoch costs, i.e. the price of replicating index
+//     maintenance S times.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "harness/stream_bench.h"
+
+namespace ita {
+namespace bench {
+namespace {
+
+/// The query-heavy workload: a large population of hot queries drawn from
+/// the Zipf head, so most arrivals affect many queries and per-query work
+/// (scoring, result maintenance, roll-up) dwarfs index maintenance.
+StreamWorkload QueryHeavyWorkload() {
+  StreamWorkload workload;
+  workload.n_queries = 2'000;
+  workload.query_max_term = 200;  // hot: terms from the Zipf head
+  workload.window = 4'096;
+  workload.batch_size = 256;
+  return workload;
+}
+
+void ReportShardCounters(benchmark::State& state, StreamBench& bench,
+                         const std::vector<std::uint64_t>& busy_before,
+                         std::uint64_t epochs_before) {
+  exec::ShardedServer& server = *bench.sharded();
+  const std::uint64_t epochs = server.epochs_processed() - epochs_before;
+  if (epochs == 0) return;
+  std::uint64_t critical = 0;
+  std::uint64_t total = 0;
+  for (std::size_t s = 0; s < server.shard_count(); ++s) {
+    const std::uint64_t busy = server.shard_busy_micros(s) - busy_before[s];
+    critical = std::max(critical, busy);
+    total += busy;
+  }
+  state.counters["critical_us_per_epoch"] =
+      static_cast<double>(critical) / static_cast<double>(epochs);
+  state.counters["busy_us_per_epoch"] =
+      static_cast<double>(total) / static_cast<double>(epochs);
+  state.counters["epochs"] = static_cast<double>(epochs);
+}
+
+std::vector<std::uint64_t> BusySnapshot(StreamBench& bench) {
+  exec::ShardedServer& server = *bench.sharded();
+  std::vector<std::uint64_t> busy(server.shard_count());
+  for (std::size_t s = 0; s < server.shard_count(); ++s) {
+    busy[s] = server.shard_busy_micros(s);
+  }
+  return busy;
+}
+
+/// Epoch throughput vs shard count (threads auto: one per shard, capped
+/// at hardware concurrency).
+void BM_ShardedEpochThroughput(benchmark::State& state) {
+  StreamWorkload workload = QueryHeavyWorkload();
+  workload.shards = static_cast<std::size_t>(state.range(0));
+  StreamBench& bench =
+      StreamBench::Cached(StreamBench::Strategy::kSharded, workload);
+
+  const std::vector<std::uint64_t> busy_before = BusySnapshot(bench);
+  const std::uint64_t epochs_before = bench.sharded()->epochs_processed();
+  for (auto _ : state) {
+    bench.StepBatch();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(workload.batch_size));
+  ReportShardCounters(state, bench, busy_before, epochs_before);
+}
+// UseRealTime: the epoch runs on pool workers, so rates must come from
+// wall time, not the (mostly blocked) main thread's CPU time.
+// MeasureProcessCPUTime: the cpu column then reports all threads — the
+// true CPU an epoch costs.
+BENCHMARK(BM_ShardedEpochThroughput)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+/// The --threads axis at a fixed shard count: fewer workers than shards
+/// serialize shard tasks within each phase (the barrier still holds), so
+/// wall time degrades gracefully toward the single-threaded cost.
+void BM_ShardedThreadSweep(benchmark::State& state) {
+  StreamWorkload workload = QueryHeavyWorkload();
+  workload.shards = 4;
+  workload.threads = static_cast<std::size_t>(state.range(0));
+  StreamBench& bench =
+      StreamBench::Cached(StreamBench::Strategy::kSharded, workload);
+
+  const std::vector<std::uint64_t> busy_before = BusySnapshot(bench);
+  const std::uint64_t epochs_before = bench.sharded()->epochs_processed();
+  for (auto _ : state) {
+    bench.StepBatch();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(workload.batch_size));
+  ReportShardCounters(state, bench, busy_before, epochs_before);
+}
+BENCHMARK(BM_ShardedThreadSweep)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+/// The sequential ITA server on the identical workload — the sharding
+/// overhead baseline (broadcast copies, scheduler hops, S=1 equivalence).
+void BM_SequentialEpochBaseline(benchmark::State& state) {
+  const StreamWorkload workload = QueryHeavyWorkload();
+  StreamBench& bench =
+      StreamBench::Cached(StreamBench::Strategy::kIta, workload);
+  for (auto _ : state) {
+    bench.StepBatch();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(workload.batch_size));
+}
+BENCHMARK(BM_SequentialEpochBaseline)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace ita

@@ -16,16 +16,29 @@ std::string StreamWorkload::CacheKey(const std::string& strategy) const {
      << "/n:" << terms_per_query << "/k:" << k << "/N:" << window
      << "/time:" << time_based << "/hot:" << query_max_term
      << "/batch:" << batch_size << "/seed:" << seed
+     << "/shards:" << shards << "/threads:" << threads
      << "/rollup:" << rollup << "/kmax:" << kmax_factor
      << "/skip:" << skip_complete_rescans;
   return os.str();
 }
 
+namespace {
+
+const char* StrategyName(StreamBench::Strategy strategy) {
+  switch (strategy) {
+    case StreamBench::Strategy::kIta: return "ita";
+    case StreamBench::Strategy::kNaive: return "naive";
+    case StreamBench::Strategy::kSharded: return "sharded";
+  }
+  return "?";
+}
+
+}  // namespace
+
 StreamBench& StreamBench::Cached(Strategy strategy, const StreamWorkload& workload) {
   static std::map<std::string, std::unique_ptr<StreamBench>>* cache =
       new std::map<std::string, std::unique_ptr<StreamBench>>();
-  const std::string key =
-      workload.CacheKey(strategy == Strategy::kIta ? "ita" : "naive");
+  const std::string key = workload.CacheKey(StrategyName(strategy));
   auto it = cache->find(key);
   if (it == cache->end()) {
     it = cache->emplace(key, std::unique_ptr<StreamBench>(
@@ -49,6 +62,13 @@ StreamBench::StreamBench(Strategy strategy, const StreamWorkload& workload)
     ItaTuning tuning;
     tuning.enable_rollup = workload.rollup;
     server_ = std::make_unique<ItaServer>(options, tuning);
+  } else if (strategy == Strategy::kSharded) {
+    exec::ShardedServerOptions sharded_options;
+    sharded_options.window = options.window;
+    sharded_options.shards = workload.shards;
+    sharded_options.threads = workload.threads;
+    sharded_options.tuning.enable_rollup = workload.rollup;
+    sharded_ = std::make_unique<exec::ShardedServer>(sharded_options);
   } else {
     NaiveTuning tuning;
     tuning.kmax_factor = workload.kmax_factor;
@@ -74,11 +94,28 @@ StreamBench::StreamBench(Strategy strategy, const StreamWorkload& workload)
 
   // Fill the window before installing queries (installation order does not
   // change steady-state behaviour, and an empty-server prefill keeps
-  // N = 10^5 setups affordable).
-  for (std::size_t i = 0; i < workload.window; ++i) {
-    Document doc = pool_[cursor_++ % pool_.size()];
-    doc.arrival_time = arrivals_.Next();
-    ITA_CHECK(server_->Ingest(std::move(doc)).ok());
+  // N = 10^5 setups affordable). The sharded engine prefils in epochs so
+  // the broadcast overhead is paid per batch, not per document.
+  if (sharded_ != nullptr) {
+    constexpr std::size_t kPrefillEpoch = 512;
+    for (std::size_t filled = 0; filled < workload.window;) {
+      const std::size_t n = std::min(kPrefillEpoch, workload.window - filled);
+      std::vector<Document> batch;
+      batch.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        Document doc = pool_[cursor_++ % pool_.size()];
+        doc.arrival_time = arrivals_.Next();
+        batch.push_back(std::move(doc));
+      }
+      ITA_CHECK(sharded_->IngestBatch(std::move(batch)).ok());
+      filled += n;
+    }
+  } else {
+    for (std::size_t i = 0; i < workload.window; ++i) {
+      Document doc = pool_[cursor_++ % pool_.size()];
+      doc.arrival_time = arrivals_.Next();
+      ITA_CHECK(server_->Ingest(std::move(doc)).ok());
+    }
   }
 
   QueryWorkloadOptions qopts;
@@ -88,14 +125,28 @@ StreamBench::StreamBench(Strategy strategy, const StreamWorkload& workload)
   qopts.max_term = workload.query_max_term;
   QueryWorkloadGenerator queries(workload.dictionary, qopts);
   for (std::size_t i = 0; i < workload.n_queries; ++i) {
-    ITA_CHECK(server_->RegisterQuery(queries.NextQuery()).ok());
+    if (sharded_ != nullptr) {
+      ITA_CHECK(sharded_->RegisterQuery(queries.NextQuery()).ok());
+    } else {
+      ITA_CHECK(server_->RegisterQuery(queries.NextQuery()).ok());
+    }
   }
-  server_->ResetStats();
+  if (sharded_ != nullptr) {
+    sharded_->ResetStats();
+  } else {
+    server_->ResetStats();
+  }
 }
 
 void StreamBench::Step() {
   Document doc = pool_[cursor_++ % pool_.size()];
   doc.arrival_time = arrivals_.Next();
+  if (sharded_ != nullptr) {
+    const auto id = sharded_->Ingest(std::move(doc));
+    ITA_DCHECK(id.ok());
+    benchmark::DoNotOptimize(id);
+    return;
+  }
   const auto id = server_->Ingest(std::move(doc));
   ITA_DCHECK(id.ok());
   benchmark::DoNotOptimize(id);
@@ -108,6 +159,12 @@ void StreamBench::StepBatch() {
     Document doc = pool_[cursor_++ % pool_.size()];
     doc.arrival_time = arrivals_.Next();
     batch.push_back(std::move(doc));
+  }
+  if (sharded_ != nullptr) {
+    const auto ids = sharded_->IngestBatch(std::move(batch));
+    ITA_DCHECK(ids.ok());
+    benchmark::DoNotOptimize(ids);
+    return;
   }
   const auto ids = server_->IngestBatch(std::move(batch));
   ITA_DCHECK(ids.ok());

@@ -18,9 +18,11 @@
 #include <string>
 #include <vector>
 
+#include "common/logging.h"
 #include "core/ita_server.h"
 #include "core/naive_server.h"
 #include "core/server.h"
+#include "exec/sharded_server.h"
 #include "stream/arrival_process.h"
 #include "stream/corpus.h"
 
@@ -62,6 +64,13 @@ struct StreamWorkload {
 
   std::uint64_t seed = 42;
 
+  /// Shard count for Strategy::kSharded (the sharded parallel engine);
+  /// ignored by the sequential strategies.
+  std::size_t shards = 1;
+  /// Scheduler worker threads for Strategy::kSharded; 0 = one per shard
+  /// (capped at hardware concurrency).
+  std::size_t threads = 0;
+
   // Strategy tuning.
   bool rollup = true;                      // ITA
   double kmax_factor = 2.0;                // Naive
@@ -73,7 +82,7 @@ struct StreamWorkload {
 
 class StreamBench {
  public:
-  enum class Strategy { kIta, kNaive };
+  enum class Strategy { kIta, kNaive, kSharded };
 
   /// Returns the cached fixture for this configuration, building it (and
   /// paying corpus generation, window prefill and query registration) on
@@ -89,14 +98,24 @@ class StreamBench {
   /// The timed region for the batched-pipeline experiments.
   void StepBatch();
 
-  ContinuousSearchServer& server() { return *server_; }
+  /// The sequential server behind kIta/kNaive. CHECK-fails for a
+  /// kSharded fixture — use sharded() there.
+  ContinuousSearchServer& server() {
+    ITA_CHECK(server_ != nullptr) << "kSharded fixtures have no sequential "
+                                     "server; use sharded()";
+    return *server_;
+  }
+  /// The sharded engine behind Strategy::kSharded (null otherwise) —
+  /// exposes per-shard busy time for the critical-path counters.
+  exec::ShardedServer* sharded() { return sharded_.get(); }
   const StreamWorkload& workload() const { return workload_; }
 
  private:
   StreamBench(Strategy strategy, const StreamWorkload& workload);
 
   StreamWorkload workload_;
-  std::unique_ptr<ContinuousSearchServer> server_;
+  std::unique_ptr<ContinuousSearchServer> server_;    // sequential strategies
+  std::unique_ptr<exec::ShardedServer> sharded_;      // Strategy::kSharded
   std::vector<Document> pool_;
   std::size_t cursor_ = 0;
   PoissonProcess arrivals_;

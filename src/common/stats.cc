@@ -4,6 +4,25 @@
 
 namespace ita {
 
+void ServerStats::Add(const ServerStats& other) {
+  documents_ingested += other.documents_ingested;
+  documents_expired += other.documents_expired;
+  batches_ingested += other.batches_ingested;
+  index_entries_inserted += other.index_entries_inserted;
+  index_entries_erased += other.index_entries_erased;
+  scores_computed += other.scores_computed;
+  queries_probed += other.queries_probed;
+  membership_checks += other.membership_checks;
+  result_insertions += other.result_insertions;
+  result_removals += other.result_removals;
+  threshold_probe_steps += other.threshold_probe_steps;
+  list_entries_read += other.list_entries_read;
+  rollup_steps += other.rollup_steps;
+  rollup_evictions += other.rollup_evictions;
+  refills += other.refills;
+  full_rescans += other.full_rescans;
+}
+
 std::string ServerStats::ToString() const {
   std::ostringstream os;
   os << "documents_ingested     = " << documents_ingested << "\n"

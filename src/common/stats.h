@@ -1,6 +1,16 @@
 // Operation statistics exported by every server implementation. The
 // counters quantify exactly the work the paper reasons about (probes,
 // score computations, roll-ups, refills) and power the ablation benches.
+//
+// Concurrency: counters are plain integers bumped on hot paths, so a
+// single ServerStats instance must only ever be written by one thread at
+// a time. The sharded execution engine therefore keeps one instance per
+// shard — each written exclusively by whichever worker runs that shard's
+// phase, with the scheduler's phase barrier ordering writes against the
+// driver's reads — and aggregates them on read with Add(). This is the
+// "per-shard counters aggregated on read" scheme: zero hot-path cost, no
+// atomics, race-free by construction (tests/common/stats_concurrency_test
+// exercises it under ThreadSanitizer).
 
 #pragma once
 
@@ -12,7 +22,9 @@ namespace ita {
 /// Monotonic operation counters; reset with Reset(). All counts are since
 /// construction or the last Reset().
 struct ServerStats {
-  // Stream plumbing.
+  // Stream plumbing. Replicated (not partitioned) across shards of the
+  // sharded engine — a new counter here must join the take-once list in
+  // exec::ShardedServer::stats().
   std::uint64_t documents_ingested = 0;
   std::uint64_t documents_expired = 0;
   std::uint64_t batches_ingested = 0;       ///< IngestBatch epochs processed
@@ -37,6 +49,11 @@ struct ServerStats {
   std::uint64_t full_rescans = 0;           ///< top-k_max recomputations over D
 
   void Reset() { *this = ServerStats(); }
+
+  /// Adds every counter of `other` into this instance — the per-shard
+  /// aggregation primitive. Field-complete by construction: keep in sync
+  /// with the member list (stats_concurrency_test guards it).
+  void Add(const ServerStats& other);
 
   /// Multi-line human-readable dump (one "name = value" per line).
   std::string ToString() const;

@@ -1,0 +1,59 @@
+#include "common/thread_pool.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace ita {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  ITA_CHECK(threads >= 1) << "a thread pool needs at least one worker";
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+std::future<void> ThreadPool::Submit(std::function<void()> fn) {
+  std::packaged_task<void()> task(std::move(fn));
+  std::future<void> future = task.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ITA_CHECK(!shutting_down_) << "Submit() after Shutdown()";
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void ThreadPool::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutting_down_ && workers_.empty()) return;  // already shut down
+    shutting_down_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+  workers_.clear();
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutting_down_ || !queue_.empty(); });
+      // Drain-then-stop: tasks queued before Shutdown() still run.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    // packaged_task captures any exception into the future, so a throwing
+    // task cannot terminate the worker.
+    task();
+  }
+}
+
+}  // namespace ita

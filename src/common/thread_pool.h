@@ -1,0 +1,54 @@
+// A fixed-size worker thread pool — the first concurrency primitive in the
+// codebase, introduced for the sharded execution engine (exec/). Kept
+// deliberately minimal: a bounded set of workers draining one FIFO task
+// queue. No work stealing, no priorities, no growth — the epoch scheduler
+// submits exactly one task per shard per phase, so fairness and locality
+// tricks would buy nothing (see DESIGN.md §6).
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ita {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (at least 1).
+  explicit ThreadPool(std::size_t threads);
+
+  /// Equivalent to Shutdown().
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `fn` for execution on some worker. The returned future
+  /// becomes ready when the task finishes; if the task threw, get()
+  /// rethrows that exception (an exception never takes down a worker).
+  /// Safe to call from any thread. Must not be called after Shutdown().
+  std::future<void> Submit(std::function<void()> fn);
+
+  /// Drains the queue — every task submitted before the call still runs —
+  /// then joins the workers. Idempotent; called by the destructor.
+  void Shutdown();
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::packaged_task<void()>> queue_;  // guarded by mu_
+  std::vector<std::thread> workers_;
+  bool shutting_down_ = false;  // guarded by mu_
+};
+
+}  // namespace ita

@@ -1,0 +1,90 @@
+// Result-change notification, shared by every epoch driver: queries whose
+// top-k changed are marked (dedup'd) during an event or epoch, and one
+// Flush implementation fires the listener once per changed query at the
+// epoch boundary. Both the sequential ContinuousSearchServer and the
+// sharded execution engine (exec::ShardedServer) flush through this class,
+// so the notification contract — at most one callback per query per
+// epoch, ascending QueryId order, epoch-final result — has exactly one
+// implementation.
+
+#pragma once
+
+#include <algorithm>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+#include "core/result_set.h"
+
+namespace ita {
+
+/// Invoked after an ingest/advance epoch completes, once per query whose
+/// top-k result changed during that epoch.
+using ResultListener =
+    std::function<void(QueryId, const std::vector<ResultEntry>&)>;
+
+class ResultNotifier {
+ public:
+  /// Installs the listener fired by Flush(). Pass nullptr to remove.
+  void SetListener(ResultListener listener) { listener_ = std::move(listener); }
+  bool has_listener() const { return listener_ != nullptr; }
+
+  /// When enabled, Mark() records changes even while no listener is
+  /// installed, so an external driver can TakeChanged() and merge them —
+  /// the sharded engine toggles this on its embedded per-shard servers
+  /// (on while it has a listener) and flushes the merged set through its
+  /// own notifier. Disabling discards marks nobody would observe.
+  void SetTracking(bool enabled) {
+    tracking_ = enabled;
+    if (!tracking_ && listener_ == nullptr) marked_.clear();
+  }
+
+  /// Records that `id`'s top-k changed. No-op unless a listener is
+  /// installed or tracking is enabled (nobody would observe the mark).
+  void Mark(QueryId id) {
+    if (tracking_ || listener_ != nullptr) marked_.push_back(id);
+  }
+
+  void MarkAll(const std::vector<QueryId>& ids) {
+    for (const QueryId id : ids) Mark(id);
+  }
+
+  /// Discards pending marks for `id` — called when a query is
+  /// unregistered, so a flush never tries to resolve a dead query (a
+  /// query can be marked at registration, e.g. by Naive's initial refill,
+  /// and terminated before the next epoch flushes).
+  void Unmark(QueryId id) {
+    marked_.erase(std::remove(marked_.begin(), marked_.end(), id),
+                  marked_.end());
+  }
+
+  /// Drains the marks accumulated since the last drain: sorted ascending,
+  /// duplicates removed.
+  std::vector<QueryId> TakeChanged() {
+    std::sort(marked_.begin(), marked_.end());
+    marked_.erase(std::unique(marked_.begin(), marked_.end()), marked_.end());
+    return std::exchange(marked_, {});
+  }
+
+  /// The one flush implementation: drains the marked queries and fires the
+  /// listener for each, in ascending QueryId order, with `resolve(id)`'s
+  /// (epoch-final) result. Without a listener, marks are discarded only
+  /// when tracking is off too — a tracking driver may drive the public
+  /// ingest paths (which flush) and still expect TakeChanged() to work.
+  template <typename Resolve>
+  void Flush(Resolve&& resolve) {
+    if (listener_ == nullptr) {
+      if (!tracking_) marked_.clear();
+      return;
+    }
+    for (const QueryId id : TakeChanged()) listener_(id, resolve(id));
+  }
+
+ private:
+  ResultListener listener_;
+  bool tracking_ = false;
+  std::vector<QueryId> marked_;  ///< dedup'd at TakeChanged()
+};
+
+}  // namespace ita

@@ -14,6 +14,24 @@ ContinuousSearchServer::ContinuousSearchServer(ServerOptions options)
 StatusOr<QueryId> ContinuousSearchServer::RegisterQuery(Query query) {
   ITA_RETURN_NOT_OK(ValidateQuery(query));
   const QueryId id = next_query_id_++;
+  ITA_RETURN_NOT_OK(InstallQuery(id, std::move(query)));
+  return id;
+}
+
+Status ContinuousSearchServer::RegisterQueryWithId(QueryId id, Query query) {
+  ITA_RETURN_NOT_OK(ValidateQuery(query));
+  if (id == kInvalidQueryId) {
+    return Status::InvalidArgument("reserved query id");
+  }
+  if (queries_.find(id) != queries_.end()) {
+    return Status::InvalidArgument("query id " + std::to_string(id) +
+                                   " already in use");
+  }
+  next_query_id_ = std::max(next_query_id_, id + 1);
+  return InstallQuery(id, std::move(query));
+}
+
+Status ContinuousSearchServer::InstallQuery(QueryId id, Query query) {
   const auto [it, inserted] = queries_.emplace(id, std::move(query));
   ITA_DCHECK(inserted);
   const Status status = OnRegisterQuery(id, it->second);
@@ -21,7 +39,7 @@ StatusOr<QueryId> ContinuousSearchServer::RegisterQuery(Query query) {
     queries_.erase(it);
     return status;
   }
-  return id;
+  return Status::OK();
 }
 
 Status ContinuousSearchServer::UnregisterQuery(QueryId id) {
@@ -31,6 +49,7 @@ Status ContinuousSearchServer::UnregisterQuery(QueryId id) {
   }
   ITA_RETURN_NOT_OK(OnUnregisterQuery(id));
   queries_.erase(it);
+  notifier_.Unmark(id);
   return Status::OK();
 }
 
@@ -63,9 +82,11 @@ StatusOr<DocId> ContinuousSearchServer::Ingest(Document document) {
   return id;
 }
 
-StatusOr<std::vector<DocId>> ContinuousSearchServer::IngestBatch(
-    std::vector<Document> batch) {
-  if (batch.empty()) return std::vector<DocId>{};
+StatusOr<EpochPlan> ContinuousSearchServer::PlanEpoch(
+    const std::vector<Document>& batch) const {
+  if (batch.empty()) {
+    return Status::InvalidArgument("epoch batch may not be empty");
+  }
   Timestamp prev = last_arrival_time_;
   for (const Document& doc : batch) {
     if (doc.arrival_time < prev) {
@@ -74,37 +95,45 @@ StatusOr<std::vector<DocId>> ContinuousSearchServer::IngestBatch(
     }
     prev = doc.arrival_time;
   }
-  const Timestamp epoch_end = batch.back().arrival_time;
-  last_arrival_time_ = epoch_end;
+
+  EpochPlan plan;
+  plan.epoch_end = batch.back().arrival_time;
 
   // Transient prefix: batch documents that would arrive *and* expire
   // within this epoch. They exist only when the batch alone overflows the
   // window — in which case every previously valid document expires too
   // (transients are newer than all of them), leaving the store empty
   // before the survivors are appended.
-  std::size_t first_survivor = 0;
   if (options_.window.kind == WindowSpec::Kind::kCountBased) {
     if (batch.size() > options_.window.count) {
-      first_survivor = batch.size() - options_.window.count;
+      plan.first_survivor = batch.size() - options_.window.count;
     }
   } else {
-    while (first_survivor < batch.size() &&
-           !options_.window.ValidAt(batch[first_survivor].arrival_time,
-                                    epoch_end)) {
-      ++first_survivor;
+    while (plan.first_survivor < batch.size() &&
+           !options_.window.ValidAt(batch[plan.first_survivor].arrival_time,
+                                    plan.epoch_end)) {
+      ++plan.first_survivor;
     }
   }
-  const std::size_t arriving = batch.size() - first_survivor;
+  plan.arriving = batch.size() - plan.first_survivor;
+  return plan;
+}
 
-  // Expire the valid documents the epoch pushes out, as one batch.
+void ContinuousSearchServer::RunExpirePhase(const EpochPlan& plan) {
+  last_arrival_time_ = std::max(last_arrival_time_, plan.epoch_end);
+
+  // Expire the valid documents the epoch pushes out, as one batch. For a
+  // count-based window the arrivals do the pushing; a pure-expiry plan
+  // (arriving = 0) cannot overflow it and expires nothing.
   std::vector<Document> expired;
   if (options_.window.kind == WindowSpec::Kind::kCountBased) {
-    while (!store_.empty() && store_.size() + arriving > options_.window.count) {
+    while (!store_.empty() &&
+           store_.size() + plan.arriving > options_.window.count) {
       expired.push_back(store_.PopOldest());
     }
   } else {
-    while (!store_.empty() &&
-           !options_.window.ValidAt(store_.Oldest().arrival_time, epoch_end)) {
+    while (!store_.empty() && !options_.window.ValidAt(
+                                  store_.Oldest().arrival_time, plan.epoch_end)) {
       expired.push_back(store_.PopOldest());
     }
   }
@@ -112,13 +141,18 @@ StatusOr<std::vector<DocId>> ContinuousSearchServer::IngestBatch(
     OnExpireBatch(expired);
     stats_.documents_expired += expired.size();
   }
+}
+
+std::vector<DocId> ContinuousSearchServer::RunArrivePhase(
+    const EpochPlan& plan, std::vector<Document> batch) {
+  last_arrival_time_ = std::max(last_arrival_time_, plan.epoch_end);
 
   std::vector<DocId> ids;
   ids.reserve(batch.size());
 
   // Transients get ids (keeping the id sequence identical to sequential
   // ingestion) but never reach the strategy hooks.
-  for (std::size_t i = 0; i < first_survivor; ++i) {
+  for (std::size_t i = 0; i < plan.first_survivor; ++i) {
     ITA_DCHECK(store_.empty());
     ids.push_back(store_.Append(std::move(batch[i])));
     store_.PopOldest();
@@ -126,8 +160,8 @@ StatusOr<std::vector<DocId>> ContinuousSearchServer::IngestBatch(
   }
 
   std::vector<const Document*> arrived;
-  arrived.reserve(arriving);
-  for (std::size_t i = first_survivor; i < batch.size(); ++i) {
+  arrived.reserve(plan.arriving);
+  for (std::size_t i = plan.first_survivor; i < batch.size(); ++i) {
     const DocId id = store_.Append(std::move(batch[i]));
     ids.push_back(id);
     arrived.push_back(store_.Get(id));
@@ -136,6 +170,20 @@ StatusOr<std::vector<DocId>> ContinuousSearchServer::IngestBatch(
 
   stats_.documents_ingested += batch.size();
   ++stats_.batches_ingested;
+  return ids;
+}
+
+StatusOr<std::vector<DocId>> ContinuousSearchServer::IngestBatch(
+    std::vector<Document> batch) {
+  if (batch.empty()) return std::vector<DocId>{};
+  EpochPlan plan;
+  {
+    const auto planned = PlanEpoch(batch);
+    ITA_RETURN_NOT_OK(planned.status());
+    plan = *planned;
+  }
+  RunExpirePhase(plan);
+  std::vector<DocId> ids = RunArrivePhase(plan, std::move(batch));
   FlushNotifications();
   return ids;
 }
@@ -144,18 +192,9 @@ Status ContinuousSearchServer::AdvanceTime(Timestamp now) {
   if (now < last_arrival_time_) {
     return Status::InvalidArgument("time may not move backwards");
   }
-  last_arrival_time_ = now;
-  if (options_.window.kind == WindowSpec::Kind::kTimeBased) {
-    std::vector<Document> expired;
-    while (!store_.empty() &&
-           !options_.window.ValidAt(store_.Oldest().arrival_time, now)) {
-      expired.push_back(store_.PopOldest());
-    }
-    if (!expired.empty()) {
-      OnExpireBatch(expired);
-      stats_.documents_expired += expired.size();
-    }
-  }
+  EpochPlan plan;
+  plan.epoch_end = now;
+  RunExpirePhase(plan);
   FlushNotifications();
   return Status::OK();
 }
@@ -176,19 +215,11 @@ void ContinuousSearchServer::ExpireOldest() {
 }
 
 void ContinuousSearchServer::MarkResultChanged(QueryId id) {
-  if (listener_ == nullptr) return;
-  if (std::find(changed_queries_.begin(), changed_queries_.end(), id) ==
-      changed_queries_.end()) {
-    changed_queries_.push_back(id);
-  }
+  notifier_.Mark(id);
 }
 
 void ContinuousSearchServer::FlushNotifications() {
-  if (listener_ == nullptr || changed_queries_.empty()) return;
-  for (const QueryId id : changed_queries_) {
-    listener_(id, CurrentResult(id));
-  }
-  changed_queries_.clear();
+  notifier_.Flush([this](QueryId id) { return CurrentResult(id); });
 }
 
 const Query& ContinuousSearchServer::GetQuery(QueryId id) const {

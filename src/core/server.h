@@ -12,11 +12,14 @@
 //   * OracleServer — brute-force ground truth for tests.
 //
 // Servers are single-threaded and run on virtual time, per the paper's
-// main-memory, CPU-bound setting.
+// main-memory, CPU-bound setting. ContinuousSearchServer also implements
+// the ServerStrategy seam (core/server_strategy.h): the public
+// Ingest/IngestBatch/AdvanceTime entry points are compositions of the
+// seam's epoch phases, which lets exec::ShardedServer embed a complete
+// server per shard and drive the phases itself (DESIGN.md §6).
 
 #pragma once
 
-#include <functional>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -25,8 +28,10 @@
 #include "common/stats.h"
 #include "common/status.h"
 #include "common/types.h"
+#include "core/notifier.h"
 #include "core/query.h"
 #include "core/result_set.h"
+#include "core/server_strategy.h"
 #include "index/document_store.h"
 #include "stream/document.h"
 #include "stream/window.h"
@@ -37,15 +42,10 @@ struct ServerOptions {
   WindowSpec window = WindowSpec::CountBased(1000);
 };
 
-/// Invoked after an ingest/advance completes, once per query whose top-k
-/// result changed during that event.
-using ResultListener =
-    std::function<void(QueryId, const std::vector<ResultEntry>&)>;
-
-class ContinuousSearchServer {
+class ContinuousSearchServer : public ServerStrategy {
  public:
   explicit ContinuousSearchServer(ServerOptions options);
-  virtual ~ContinuousSearchServer() = default;
+  ~ContinuousSearchServer() override = default;
 
   ContinuousSearchServer(const ContinuousSearchServer&) = delete;
   ContinuousSearchServer& operator=(const ContinuousSearchServer&) = delete;
@@ -55,8 +55,13 @@ class ContinuousSearchServer {
   /// UnregisterQuery(). The query must satisfy ValidateQuery().
   StatusOr<QueryId> RegisterQuery(Query query);
 
+  /// ServerStrategy: installs `query` under a caller-chosen id (a sharded
+  /// driver owns the global id sequence). Auto-assigned ids continue after
+  /// the largest explicit id, so the two forms may be mixed.
+  Status RegisterQueryWithId(QueryId id, Query query) override;
+
   /// Terminates a continuous query.
-  Status UnregisterQuery(QueryId id);
+  Status UnregisterQuery(QueryId id) override;
 
   /// Streams one document into the server: expires documents pushed out of
   /// the window, then processes the arrival. Arrival times must be
@@ -88,6 +93,22 @@ class ContinuousSearchServer {
   /// call). No-op for count-based windows.
   Status AdvanceTime(Timestamp now);
 
+  /// ServerStrategy epoch phases (core/server_strategy.h). IngestBatch is
+  /// exactly PlanEpoch + RunExpirePhase + RunArrivePhase + notification
+  /// flush; an external driver (exec::ShardedServer) runs the same phases
+  /// itself with a cross-shard barrier in between and merges the flush.
+  StatusOr<EpochPlan> PlanEpoch(
+      const std::vector<Document>& batch) const override;
+  void RunExpirePhase(const EpochPlan& plan) override;
+  std::vector<DocId> RunArrivePhase(const EpochPlan& plan,
+                                    std::vector<Document> batch) override;
+  void SetChangeTracking(bool enabled) override {
+    notifier_.SetTracking(enabled);
+  }
+  std::vector<QueryId> TakeChangedQueries() override {
+    return notifier_.TakeChanged();
+  }
+
   /// Snapshot of the current top-k result of a query, best first. Exact at
   /// every event boundary (for IngestBatch, the event is the whole epoch).
   ///
@@ -98,25 +119,25 @@ class ContinuousSearchServer {
   /// are ITA_LIFETIME_BOUND, so Clang rejects the dangling form at compile
   /// time; see tests/common/statusor_lifetime_test.cc for the safe
   /// patterns.
-  StatusOr<std::vector<ResultEntry>> Result(QueryId id) const;
+  StatusOr<std::vector<ResultEntry>> Result(QueryId id) const override;
 
-  /// Registers a listener fired after each Ingest/AdvanceTime for every
-  /// query whose top-k changed. Pass nullptr to remove.
-  void SetResultListener(ResultListener listener) { listener_ = std::move(listener); }
+  /// Registers a listener fired after each Ingest/AdvanceTime epoch, once
+  /// per query whose top-k changed, in ascending QueryId order. Pass
+  /// nullptr to remove.
+  void SetResultListener(ResultListener listener) {
+    notifier_.SetListener(std::move(listener));
+  }
 
-  const ServerStats& stats() const { return stats_; }
-  void ResetStats() { stats_.Reset(); }
+  const ServerStats& stats() const override { return stats_; }
+  void ResetStats() override { stats_.Reset(); }
 
   const ServerOptions& options() const { return options_; }
   /// Read-only view of the valid documents (the window contents), oldest
   /// first — inspection hook for tools and tests.
   const DocumentStore& documents() const { return store_; }
-  std::size_t window_size() const { return store_.size(); }
+  std::size_t window_size() const override { return store_.size(); }
   Timestamp last_arrival_time() const { return last_arrival_time_; }
-  std::size_t query_count() const { return queries_.size(); }
-
-  /// Human-readable strategy name ("ita", "naive", "oracle").
-  virtual std::string name() const = 0;
+  std::size_t query_count() const override { return queries_.size(); }
 
  protected:
   /// Strategy hooks. OnArrive runs with the document already in the store;
@@ -155,6 +176,10 @@ class ContinuousSearchServer {
   ServerStats& mutable_stats() { return stats_; }
 
  private:
+  /// Shared tail of RegisterQuery/RegisterQueryWithId: emplaces the query
+  /// and runs the strategy hook, rolling back on failure.
+  Status InstallQuery(QueryId id, Query query);
+
   void ExpireOldest();
   void FlushNotifications();
 
@@ -164,8 +189,7 @@ class ContinuousSearchServer {
   QueryId next_query_id_ = 1;
   Timestamp last_arrival_time_ = 0;
   ServerStats stats_;
-  ResultListener listener_;
-  std::vector<QueryId> changed_queries_;  // dedup'd per event
+  ResultNotifier notifier_;
 };
 
 }  // namespace ita

@@ -1,0 +1,115 @@
+// The strategy seam between the server core and the execution layer
+// (exec/): the narrow surface an epoch driver needs to embed a complete
+// search server — ItaServer, NaiveServer or OracleServer — inside a shard
+// without going through the public wrapper API (DESIGN.md §6).
+//
+// ContinuousSearchServer implements this interface; its public
+// Ingest/IngestBatch/AdvanceTime are thin compositions of the phase
+// methods below. A driver that owns several embedded servers (one per
+// shard) can instead run each phase across all shards with a barrier in
+// between, which is exactly what exec::EpochScheduler does:
+//
+//   plan   = shard->PlanEpoch(batch)        (identical across shards)
+//   phase 1: every shard RunExpirePhase(plan)       — barrier —
+//   phase 2: every shard RunArrivePhase(plan, docs) — barrier —
+//   merge:   every shard TakeChangedQueries(), flushed deterministically
+//
+// The phase methods are NOT individually thread-safe: a driver must never
+// run two phases of the same server concurrently. Distinct servers share
+// no mutable state and may run concurrently without synchronization.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "core/query.h"
+#include "core/result_set.h"
+#include "stream/document.h"
+
+namespace ita {
+
+/// The split of one epoch, computed by PlanEpoch(): when the epoch ends,
+/// which prefix of the batch is transient (arrives and expires within the
+/// epoch) and how many documents actually join the window. A pure-expiry
+/// epoch (AdvanceTime) is an EpochPlan with only `epoch_end` set.
+struct EpochPlan {
+  Timestamp epoch_end = 0;
+  /// Batch documents before this index are transient: they receive ids
+  /// (keeping the id sequence identical to sequential ingestion) but never
+  /// reach the strategy hooks, since their net effect on every result is
+  /// nil. Nonzero only when the batch alone overflows the window.
+  std::size_t first_survivor = 0;
+  /// Number of surviving arrivals (batch size minus the transients).
+  std::size_t arriving = 0;
+};
+
+class ServerStrategy {
+ public:
+  virtual ~ServerStrategy() = default;
+
+  /// Human-readable strategy name ("ita", "naive", "oracle").
+  virtual std::string name() const = 0;
+
+  // --- Query plumbing with driver-assigned ids -----------------------
+  // A sharded driver owns the global id sequence and routes each query to
+  // the shard the id hashes to, so embedded servers must accept the id
+  // instead of assigning their own.
+
+  /// Installs `query` under the caller-chosen id (which must be neither
+  /// kInvalidQueryId nor in use); its result is immediately computed over
+  /// the current window contents.
+  virtual Status RegisterQueryWithId(QueryId id, Query query) = 0;
+
+  /// Terminates a continuous query.
+  virtual Status UnregisterQuery(QueryId id) = 0;
+
+  // --- Epoch phases --------------------------------------------------
+
+  /// Validates `batch` (non-empty, non-decreasing arrival times, also
+  /// relative to previous epochs) and computes the epoch split. Const:
+  /// nothing is mutated, so a failed plan leaves every shard untouched.
+  virtual StatusOr<EpochPlan> PlanEpoch(
+      const std::vector<Document>& batch) const = 0;
+
+  /// Phase 1: processes every expiration the epoch implies — documents
+  /// pushed out by the plan's arrivals (count-based windows) or invalid at
+  /// `plan.epoch_end` (time-based windows) — as one OnExpireBatch call.
+  virtual void RunExpirePhase(const EpochPlan& plan) = 0;
+
+  /// Phase 2: appends the batch to the window (transients per the plan)
+  /// and processes the surviving arrivals as one OnArriveBatch call.
+  /// Returns the assigned ids, in batch order — deterministic, so every
+  /// shard of a broadcast epoch assigns identical ids. The caller must
+  /// have run RunExpirePhase(plan) first.
+  virtual std::vector<DocId> RunArrivePhase(const EpochPlan& plan,
+                                            std::vector<Document> batch) = 0;
+
+  // --- Notification merge --------------------------------------------
+
+  /// While enabled, the server records changed queries even though it has
+  /// no result listener of its own, so the driver can drain and merge
+  /// them. The driver toggles this to mirror its own listener lifetime
+  /// (tracking without an eventual observer would be wasted bookkeeping).
+  virtual void SetChangeTracking(bool enabled) = 0;
+
+  /// Drains the queries whose top-k changed since the last drain (sorted
+  /// ascending, dedup'd). The driver calls this after the arrive barrier
+  /// and flushes the merged set through its own ResultNotifier.
+  virtual std::vector<QueryId> TakeChangedQueries() = 0;
+
+  // --- Read side ------------------------------------------------------
+
+  /// Snapshot of the current top-k result of a query, best first.
+  virtual StatusOr<std::vector<ResultEntry>> Result(QueryId id) const = 0;
+
+  virtual const ServerStats& stats() const = 0;
+  virtual void ResetStats() = 0;
+  virtual std::size_t window_size() const = 0;
+  virtual std::size_t query_count() const = 0;
+};
+
+}  // namespace ita

@@ -1,0 +1,32 @@
+#include "exec/epoch_scheduler.h"
+
+#include <exception>
+#include <future>
+#include <vector>
+
+namespace ita::exec {
+
+void EpochScheduler::RunPhase(std::size_t tasks,
+                              const std::function<void(std::size_t)>& fn) {
+  if (tasks == 0) return;
+
+  std::vector<std::future<void>> pending;
+  pending.reserve(tasks);
+  for (std::size_t i = 0; i < tasks; ++i) {
+    pending.push_back(pool_.Submit([&fn, i] { fn(i); }));
+  }
+
+  // Wait for every task before rethrowing: a phase either completes on all
+  // shards or the caller knows it did not, but no task is left running.
+  std::exception_ptr first_error;
+  for (std::future<void>& future : pending) {
+    try {
+      future.get();
+    } catch (...) {
+      if (first_error == nullptr) first_error = std::current_exception();
+    }
+  }
+  if (first_error != nullptr) std::rethrow_exception(first_error);
+}
+
+}  // namespace ita::exec

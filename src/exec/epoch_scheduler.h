@@ -1,0 +1,37 @@
+// The epoch scheduler: runs one task per shard per phase on a fixed
+// thread pool and blocks until every task finished — the barrier that
+// separates an epoch's expire phase from its arrive phase across shards
+// (DESIGN.md §6). Deliberately work-stealing-free: shard tasks are the
+// unit of parallelism, each touches exactly one shard's private state, so
+// the only scheduling decision that matters is "all of phase N before any
+// of phase N+1", and a barrier expresses it directly.
+
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "common/thread_pool.h"
+
+namespace ita::exec {
+
+class EpochScheduler {
+ public:
+  /// A scheduler backed by `threads` pool workers (at least 1). More
+  /// threads than shards is wasteful but harmless; fewer serializes some
+  /// shard tasks within each phase, never across phases.
+  explicit EpochScheduler(std::size_t threads) : pool_(threads) {}
+
+  /// Runs fn(0), ..., fn(tasks - 1) on the pool and waits for all of them
+  /// to finish (the phase barrier). If tasks threw, the first exception
+  /// (by task index) is rethrown here — after every task has completed,
+  /// so shard state is never abandoned mid-phase.
+  void RunPhase(std::size_t tasks, const std::function<void(std::size_t)>& fn);
+
+  std::size_t thread_count() const { return pool_.thread_count(); }
+
+ private:
+  ThreadPool pool_;
+};
+
+}  // namespace ita::exec

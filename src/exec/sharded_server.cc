@@ -1,0 +1,214 @@
+#include "exec/sharded_server.h"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+
+namespace ita::exec {
+
+namespace {
+
+std::size_t PickThreads(const ShardedServerOptions& options) {
+  if (options.threads != 0) return options.threads;
+  const std::size_t hw = std::thread::hardware_concurrency();
+  return std::max<std::size_t>(1, std::min(options.shards, hw));
+}
+
+}  // namespace
+
+ShardedServer::ShardedServer(ShardedServerOptions options)
+    : ShardedServer(options, [&options](const ServerOptions& server_options) {
+        return std::make_unique<ItaServer>(server_options, options.tuning);
+      }) {}
+
+ShardedServer::ShardedServer(ShardedServerOptions options,
+                             const ShardFactory& factory)
+    : options_(options), scheduler_(PickThreads(options)) {
+  ITA_CHECK(options_.shards >= 1) << "a sharded server needs at least one shard";
+  ITA_CHECK_OK(options_.window.Validate());
+  shards_.reserve(options_.shards);
+  const ServerOptions server_options{options_.window};
+  for (std::size_t s = 0; s < options_.shards; ++s) {
+    shards_.push_back(factory(server_options));
+    ITA_CHECK(shards_.back() != nullptr) << "shard factory returned null";
+  }
+  shard_busy_micros_.assign(shards_.size(), 0);
+}
+
+void ShardedServer::SetResultListener(ResultListener listener) {
+  notifier_.SetListener(std::move(listener));
+  // Shards have no listener of their own; tracking lets the driver drain
+  // their changed queries for the merged flush. It mirrors the listener's
+  // lifetime so listener-less streams (benchmarks, or after removing the
+  // listener) skip per-epoch mark bookkeeping, matching the sequential
+  // server's no-listener fast path.
+  for (const auto& shard : shards_) {
+    shard->SetChangeTracking(notifier_.has_listener());
+  }
+}
+
+StatusOr<QueryId> ShardedServer::RegisterQuery(Query query) {
+  ITA_RETURN_NOT_OK(ValidateQuery(query));
+  const QueryId id = next_query_id_++;
+  ITA_RETURN_NOT_OK(
+      shards_[ShardOf(id)]->RegisterQueryWithId(id, std::move(query)));
+  return id;
+}
+
+Status ShardedServer::UnregisterQuery(QueryId id) {
+  return shards_[ShardOf(id)]->UnregisterQuery(id);
+}
+
+StatusOr<std::vector<DocId>> ShardedServer::IngestBatch(
+    std::vector<Document> batch) {
+  if (batch.empty()) return std::vector<DocId>{};
+
+  // Plan once — shards are identical (same window, same stream history),
+  // so shard 0's plan is every shard's plan, and a failed plan leaves all
+  // of them untouched (the phases below cannot fail).
+  EpochPlan plan;
+  {
+    const auto planned = shards_[0]->PlanEpoch(batch);
+    ITA_RETURN_NOT_OK(planned.status());
+    plan = *planned;
+  }
+
+  // Phase 1: every expiration the epoch implies, on every shard.
+  RunPhase([this, &plan](std::size_t s) { shards_[s]->RunExpirePhase(plan); });
+
+  // --- barrier: no shard starts arrivals before all finished expiring ---
+
+  // Phase 2: broadcast the arrivals. With several shards each copies the
+  // batch into its private store (the copy itself runs on the shard's
+  // worker, so copying parallelizes too — no shard may steal the caller's
+  // buffer while its siblings still read it); a single shard just takes it.
+  std::vector<std::vector<DocId>> ids(shards_.size());
+  if (shards_.size() == 1) {
+    RunPhase([this, &plan, &batch, &ids](std::size_t s) {
+      ids[s] = shards_[s]->RunArrivePhase(plan, std::move(batch));
+    });
+  } else {
+    RunPhase([this, &plan, &batch, &ids](std::size_t s) {
+      ids[s] = shards_[s]->RunArrivePhase(plan, batch);
+    });
+  }
+
+  // Every shard must have assigned the same id sequence.
+  for (std::size_t s = 1; s < shards_.size(); ++s) {
+    ITA_DCHECK(ids[s] == ids[0]) << "shard " << s << " id sequence diverged";
+  }
+
+  last_arrival_time_ = plan.epoch_end;
+  ++epochs_processed_;
+  MergeAndFlush();
+  return std::move(ids[0]);
+}
+
+StatusOr<DocId> ShardedServer::Ingest(Document document) {
+  std::vector<Document> batch;
+  batch.push_back(std::move(document));
+  ITA_ASSIGN_OR_RETURN(const std::vector<DocId> ids,
+                       IngestBatch(std::move(batch)));
+  ITA_DCHECK(ids.size() == 1);
+  return ids[0];
+}
+
+Status ShardedServer::AdvanceTime(Timestamp now) {
+  if (now < last_arrival_time_) {
+    return Status::InvalidArgument("time may not move backwards");
+  }
+  EpochPlan plan;
+  plan.epoch_end = now;
+  RunPhase([this, &plan](std::size_t s) { shards_[s]->RunExpirePhase(plan); });
+  last_arrival_time_ = now;
+  ++epochs_processed_;
+  MergeAndFlush();
+  return Status::OK();
+}
+
+StatusOr<std::vector<ResultEntry>> ShardedServer::Result(QueryId id) const {
+  return shards_[ShardOf(id)]->Result(id);
+}
+
+ServerStats ShardedServer::stats() const {
+  ServerStats aggregated;
+  for (const auto& shard : shards_) aggregated.Add(shard->stats());
+  // Stream plumbing (the counters of stats.h's first group — keep this
+  // list in sync when adding one) is replicated on every shard: each
+  // ingests and indexes the whole stream, so summing would report it S
+  // times; take one shard's view, after checking the replicas agree.
+  const ServerStats& replicated = shards_[0]->stats();
+  for (std::size_t s = 1; s < shards_.size(); ++s) {
+    ITA_DCHECK(shards_[s]->stats().documents_ingested ==
+               replicated.documents_ingested);
+    ITA_DCHECK(shards_[s]->stats().index_entries_inserted ==
+               replicated.index_entries_inserted);
+  }
+  aggregated.documents_ingested = replicated.documents_ingested;
+  aggregated.documents_expired = replicated.documents_expired;
+  aggregated.batches_ingested = replicated.batches_ingested;
+  aggregated.index_entries_inserted = replicated.index_entries_inserted;
+  aggregated.index_entries_erased = replicated.index_entries_erased;
+  return aggregated;
+}
+
+const ServerStats& ShardedServer::shard_stats(std::size_t shard) const {
+  ITA_CHECK(shard < shards_.size());
+  return shards_[shard]->stats();
+}
+
+std::size_t ShardedServer::shard_query_count(std::size_t shard) const {
+  ITA_CHECK(shard < shards_.size());
+  return shards_[shard]->query_count();
+}
+
+void ShardedServer::ResetStats() {
+  for (const auto& shard : shards_) shard->ResetStats();
+  shard_busy_micros_.assign(shards_.size(), 0);
+  epochs_processed_ = 0;
+}
+
+std::uint64_t ShardedServer::shard_busy_micros(std::size_t shard) const {
+  ITA_CHECK(shard < shard_busy_micros_.size());
+  return shard_busy_micros_[shard];
+}
+
+std::string ShardedServer::name() const {
+  return "sharded(" + shards_[0]->name() + "," +
+         std::to_string(shards_.size()) + ")";
+}
+
+std::size_t ShardedServer::query_count() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) total += shard->query_count();
+  return total;
+}
+
+std::size_t ShardedServer::window_size() const {
+  return shards_[0]->window_size();
+}
+
+void ShardedServer::RunPhase(const std::function<void(std::size_t)>& fn) {
+  scheduler_.RunPhase(shards_.size(), [this, &fn](std::size_t s) {
+    Stopwatch watch;
+    fn(s);
+    shard_busy_micros_[s] +=
+        static_cast<std::uint64_t>(watch.ElapsedSeconds() * 1e6);
+  });
+}
+
+void ShardedServer::MergeAndFlush() {
+  for (const auto& shard : shards_) {
+    notifier_.MarkAll(shard->TakeChangedQueries());
+  }
+  notifier_.Flush([this](QueryId id) {
+    auto result = shards_[ShardOf(id)]->Result(id);
+    ITA_CHECK(result.ok()) << "changed query " << id << " has no result";
+    return std::move(*result);
+  });
+}
+
+}  // namespace ita::exec

@@ -1,0 +1,165 @@
+// The sharded parallel execution engine (DESIGN.md §6): registered
+// queries are hash-partitioned across S shards, each shard owning a
+// private embedded server — its own inverted index, threshold trees,
+// result sets and document store, no shared mutable state — and every
+// ingest epoch is broadcast to all shards through the ServerStrategy
+// phase seam, driven in parallel by an EpochScheduler with a barrier
+// between the expire and arrive phases.
+//
+// Exactness (the paper's guarantee survives sharding): ITA maintains each
+// query's structures — R(Q), the local thresholds θ_{Q,t}, τ(Q) —
+// independently of every other query; the inverted index depends only on
+// the document stream. A shard holding a subset of the queries over the
+// full stream is therefore a complete sequential server run for exactly
+// those queries, so per-shard results equal a sequential run query for
+// query (tests/property/sharded_equivalence_property_test.cc asserts
+// this for S ∈ {1, 2, 4, 7} against ITA and the brute-force oracle).
+//
+// Threading contract: the public API must be called from one thread at a
+// time (like every server in this library); inside IngestBatch /
+// AdvanceTime the engine fans each phase out to the scheduler's pool and
+// the phase barrier orders all shard work against the caller. Listener
+// callbacks fire on the calling thread, after the merge, at most once per
+// query per epoch, in ascending QueryId order — deterministic regardless
+// of how shard tasks interleaved.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "core/ita_server.h"
+#include "core/notifier.h"
+#include "core/query.h"
+#include "core/result_set.h"
+#include "core/server.h"
+#include "core/server_strategy.h"
+#include "exec/epoch_scheduler.h"
+#include "pipeline/ingest_pipeline.h"
+
+namespace ita::exec {
+
+struct ShardedServerOptions {
+  WindowSpec window = WindowSpec::CountBased(1000);
+  /// Number of shards S (>= 1). Queries are partitioned by id across the
+  /// shards; every shard sees the whole document stream.
+  std::size_t shards = 4;
+  /// Worker threads driving the shard phases; 0 picks min(shards,
+  /// hardware_concurrency).
+  std::size_t threads = 0;
+  /// Tuning for the default per-shard ItaServer factory; ignored when a
+  /// custom factory is supplied.
+  ItaTuning tuning;
+};
+
+class ShardedServer {
+ public:
+  /// Builds one embedded per-shard server; invoked `shards` times at
+  /// construction, all with the same window options.
+  using ShardFactory =
+      std::function<std::unique_ptr<ServerStrategy>(const ServerOptions&)>;
+
+  /// Shards the paper's ItaServer (the default production configuration).
+  explicit ShardedServer(ShardedServerOptions options);
+  /// Shards whatever the factory builds — the engine is strategy-agnostic
+  /// (the equivalence suite shards Naive and Oracle too).
+  ShardedServer(ShardedServerOptions options, const ShardFactory& factory);
+
+  ShardedServer(const ShardedServer&) = delete;
+  ShardedServer& operator=(const ShardedServer&) = delete;
+
+  /// Installs a continuous query on the shard its id hashes to; the result
+  /// is immediately computed over the current window contents.
+  StatusOr<QueryId> RegisterQuery(Query query);
+
+  /// Terminates a continuous query.
+  Status UnregisterQuery(QueryId id);
+
+  /// Streams a batch of documents as one epoch, broadcast to every shard:
+  /// expire phase on all shards, barrier, arrive phase on all shards,
+  /// barrier, deterministic notification merge. Semantically exact and
+  /// epoch-equivalent to ContinuousSearchServer::IngestBatch of the same
+  /// documents (same ids, same results, same notification cadence).
+  StatusOr<std::vector<DocId>> IngestBatch(std::vector<Document> batch);
+
+  /// The analyzed-epoch handoff from pipeline/: documents were analyzed
+  /// once upstream; the engine broadcasts the weighted vectors to shards.
+  StatusOr<std::vector<DocId>> IngestBatch(AnalyzedBatch batch) {
+    return IngestBatch(std::move(batch.documents));
+  }
+
+  /// Streams one document (an epoch of one).
+  StatusOr<DocId> Ingest(Document document);
+
+  /// For time-based windows: advances the clock, expiring on all shards
+  /// (one barriered expire phase). No-op for count-based windows.
+  Status AdvanceTime(Timestamp now);
+
+  /// Snapshot of the current top-k result of a query, best first, served
+  /// by the owning shard.
+  StatusOr<std::vector<ResultEntry>> Result(QueryId id) const;
+
+  /// Registers a listener fired after each epoch, once per query whose
+  /// top-k changed, in ascending QueryId order, on the calling thread.
+  /// Like the sequential server, changes are only recorded while a
+  /// listener is installed: installing one mid-stream starts notifications
+  /// from the next epoch.
+  void SetResultListener(ResultListener listener);
+
+  /// Aggregated operation counters: per-query work summed across shards;
+  /// stream plumbing (documents ingested/expired, epochs, index entries)
+  /// reported once — every shard ingests and indexes the whole stream, so
+  /// those counters are replicated, not partitioned. Per-shard counters
+  /// stay available via shard_stats().
+  ServerStats stats() const;
+  const ServerStats& shard_stats(std::size_t shard) const;
+  std::size_t shard_query_count(std::size_t shard) const;
+  void ResetStats();
+
+  /// Wall-clock busy time shard `shard`'s phase tasks have accumulated
+  /// since construction or ResetStats(). The maximum across shards is the
+  /// epoch critical path — what an epoch costs once every shard has its
+  /// own core — and is the hardware-independent scaling metric recorded
+  /// by bench_sharded.
+  std::uint64_t shard_busy_micros(std::size_t shard) const;
+  std::uint64_t epochs_processed() const { return epochs_processed_; }
+
+  std::string name() const;
+  std::size_t shard_count() const { return shards_.size(); }
+  std::size_t thread_count() const { return scheduler_.thread_count(); }
+  std::size_t query_count() const;
+  std::size_t window_size() const;
+  Timestamp last_arrival_time() const { return last_arrival_time_; }
+  const ShardedServerOptions& options() const { return options_; }
+
+  /// The shard a query id is partitioned to.
+  std::size_t ShardOf(QueryId id) const { return id % shards_.size(); }
+
+ private:
+  /// Runs fn(shard) on every shard through the scheduler (one barrier),
+  /// accumulating each task's wall time into shard_busy_micros_.
+  void RunPhase(const std::function<void(std::size_t)>& fn);
+
+  /// Drains every shard's changed queries into the notifier and fires the
+  /// listener — the same flush implementation the sequential server uses.
+  void MergeAndFlush();
+
+  ShardedServerOptions options_;
+  std::vector<std::unique_ptr<ServerStrategy>> shards_;
+  EpochScheduler scheduler_;
+  ResultNotifier notifier_;
+  QueryId next_query_id_ = 1;
+  Timestamp last_arrival_time_ = 0;
+  std::uint64_t epochs_processed_ = 0;
+  /// Indexed by shard; written only by the worker running that shard's
+  /// phase task (the barrier orders writes against reads).
+  std::vector<std::uint64_t> shard_busy_micros_;
+};
+
+}  // namespace ita::exec

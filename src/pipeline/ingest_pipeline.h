@@ -44,6 +44,22 @@ struct RawDocument {
   Timestamp arrival_time = 0;
 };
 
+/// The analysis → execution handoff: one epoch's worth of documents,
+/// analyzed exactly once. Analysis stays single-pass no matter how many
+/// shards consume the epoch — the execution engine broadcasts the batch
+/// by const reference and each shard copies the weighted vectors into its
+/// private store (exec::ShardedServer::IngestBatch), while the sequential
+/// server moves them (ContinuousSearchServer::IngestBatch).
+struct AnalyzedBatch {
+  std::vector<Document> documents;
+
+  bool empty() const { return documents.empty(); }
+  std::size_t size() const { return documents.size(); }
+  /// Arrival time of the last document — the end of the epoch this batch
+  /// forms. Requires !empty().
+  Timestamp epoch_end() const { return documents.back().arrival_time; }
+};
+
 struct IngestPipelineOptions {
   TokenizerOptions tokenizer;
   /// Drop stopwords (the built-in English list unless `stopwords` is set).
@@ -77,6 +93,12 @@ class IngestPipeline {
   /// (identical output documents and corpus-statistics updates) but with
   /// the analysis scratch state shared across the batch.
   std::vector<Document> AnalyzeBatch(const std::vector<RawDocument>& batch);
+
+  /// AnalyzeBatch packaged as the epoch handoff consumed by the execution
+  /// layer (sequential IngestBatch or the sharded engine's broadcast).
+  AnalyzedBatch AnalyzeEpoch(const std::vector<RawDocument>& batch) {
+    return AnalyzedBatch{AnalyzeBatch(batch)};
+  }
 
   /// Analyzes a query string into a Query with result size `k`. Fails with
   /// InvalidArgument if no effective terms remain after filtering or k < 1.

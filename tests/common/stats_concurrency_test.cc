@@ -1,0 +1,104 @@
+// The per-shard statistics scheme (common/stats.h): each shard owns a
+// private ServerStats written by exactly one worker at a time, and the
+// driver aggregates them on read with Add(). These tests pin down (a) that
+// Add() covers every counter, so aggregation cannot silently drop a field
+// added later, and (b) that the scheme is race-free when counters are
+// bumped from concurrent shard workers — the ThreadSanitizer CI job runs
+// this suite to prove it.
+
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+namespace ita {
+namespace {
+
+// Fills every byte of the struct through a distinct per-field value so a
+// counter missed by Add() shows up as a mismatch.
+ServerStats DistinctStats(std::uint64_t base) {
+  ServerStats s;
+  s.documents_ingested = base + 1;
+  s.documents_expired = base + 2;
+  s.batches_ingested = base + 3;
+  s.index_entries_inserted = base + 4;
+  s.index_entries_erased = base + 5;
+  s.scores_computed = base + 6;
+  s.queries_probed = base + 7;
+  s.membership_checks = base + 8;
+  s.result_insertions = base + 9;
+  s.result_removals = base + 10;
+  s.threshold_probe_steps = base + 11;
+  s.list_entries_read = base + 12;
+  s.rollup_steps = base + 13;
+  s.rollup_evictions = base + 14;
+  s.refills = base + 15;
+  s.full_rescans = base + 16;
+  return s;
+}
+
+TEST(StatsConcurrencyTest, AddCoversEveryCounter) {
+  // ServerStats is a plain aggregate of uint64 counters; if a new counter
+  // is added without extending Add(), the byte-wise comparison of "a + b"
+  // against the field-wise expectation below fails for it.
+  static_assert(sizeof(ServerStats) % sizeof(std::uint64_t) == 0,
+                "ServerStats must stay an aggregate of uint64 counters");
+
+  const ServerStats a = DistinctStats(100);
+  const ServerStats b = DistinctStats(2000);
+  ServerStats sum = a;
+  sum.Add(b);
+
+  const auto* words_a = reinterpret_cast<const std::uint64_t*>(&a);
+  const auto* words_b = reinterpret_cast<const std::uint64_t*>(&b);
+  const auto* words_sum = reinterpret_cast<const std::uint64_t*>(&sum);
+  const std::size_t n = sizeof(ServerStats) / sizeof(std::uint64_t);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(words_sum[i], words_a[i] + words_b[i]) << "counter index " << i;
+  }
+}
+
+TEST(StatsConcurrencyTest, PerShardCountersAggregateUnderConcurrentUpdates) {
+  // The sharded engine's exact pattern: one ServerStats per shard, each
+  // hammered by its own worker thread only, aggregated after the join
+  // (the join is the barrier that orders writes against the read).
+  constexpr std::size_t kShards = 8;
+  constexpr std::uint64_t kBumpsPerShard = 100'000;
+
+  std::vector<ServerStats> per_shard(kShards);
+  std::vector<std::thread> workers;
+  workers.reserve(kShards);
+  for (std::size_t s = 0; s < kShards; ++s) {
+    workers.emplace_back([&per_shard, s] {
+      ServerStats& mine = per_shard[s];
+      for (std::uint64_t i = 0; i < kBumpsPerShard; ++i) {
+        ++mine.scores_computed;
+        ++mine.queries_probed;
+        mine.threshold_probe_steps += 3;
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  ServerStats aggregated;
+  for (const ServerStats& shard : per_shard) aggregated.Add(shard);
+  EXPECT_EQ(aggregated.scores_computed, kShards * kBumpsPerShard);
+  EXPECT_EQ(aggregated.queries_probed, kShards * kBumpsPerShard);
+  EXPECT_EQ(aggregated.threshold_probe_steps, 3 * kShards * kBumpsPerShard);
+  EXPECT_EQ(aggregated.documents_ingested, 0u);
+}
+
+TEST(StatsConcurrencyTest, ResetClearsEveryCounter) {
+  ServerStats s = DistinctStats(7);
+  s.Reset();
+  const auto* words = reinterpret_cast<const std::uint64_t*>(&s);
+  for (std::size_t i = 0; i < sizeof(ServerStats) / sizeof(std::uint64_t); ++i) {
+    EXPECT_EQ(words[i], 0u) << "counter index " << i;
+  }
+}
+
+}  // namespace
+}  // namespace ita

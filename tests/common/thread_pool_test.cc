@@ -1,0 +1,113 @@
+// ThreadPool contract tests: every submitted task runs exactly once,
+// exceptions travel through the returned future without killing workers,
+// and shutdown drains the queue before joining. The suite doubles as the
+// ThreadSanitizer workout for the pool's queue synchronization.
+
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace ita {
+namespace {
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.thread_count(), 4u);
+
+  std::atomic<int> executed{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.Submit([&executed] { ++executed; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(executed.load(), 100);
+}
+
+TEST(ThreadPoolTest, FutureDeliversTaskException) {
+  ThreadPool pool(2);
+
+  auto throwing = pool.Submit([] { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(throwing.get(), std::runtime_error);
+
+  // The worker that ran the throwing task must survive it.
+  std::atomic<bool> ran{false};
+  pool.Submit([&ran] { ran = true; }).get();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPoolTest, ExceptionInOneTaskDoesNotAffectOthers) {
+  ThreadPool pool(3);
+  std::atomic<int> succeeded{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 30; ++i) {
+    futures.push_back(pool.Submit([i, &succeeded] {
+      if (i % 3 == 0) throw std::logic_error("boom");
+      ++succeeded;
+    }));
+  }
+  int failures = 0;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (const std::logic_error&) {
+      ++failures;
+    }
+  }
+  EXPECT_EQ(failures, 10);
+  EXPECT_EQ(succeeded.load(), 20);
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsQueuedTasks) {
+  std::atomic<int> executed{0};
+  {
+    // One worker, many tasks: most are still queued when Shutdown (via the
+    // destructor) begins, and all of them must still run.
+    ThreadPool pool(1);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&executed] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        ++executed;
+      });
+    }
+  }
+  EXPECT_EQ(executed.load(), 50);
+}
+
+TEST(ThreadPoolTest, ShutdownIsIdempotent) {
+  ThreadPool pool(2);
+  std::atomic<int> executed{0};
+  pool.Submit([&executed] { ++executed; });
+  pool.Shutdown();
+  pool.Shutdown();  // second call must be a no-op, destructor a third
+  EXPECT_EQ(executed.load(), 1);
+}
+
+TEST(ThreadPoolTest, ConcurrentSubmitters) {
+  ThreadPool pool(4);
+  std::atomic<int> executed{0};
+
+  std::vector<std::thread> submitters;
+  std::vector<std::vector<std::future<void>>> futures(4);
+  for (int t = 0; t < 4; ++t) {
+    submitters.emplace_back([&pool, &executed, &futures, t] {
+      for (int i = 0; i < 25; ++i) {
+        futures[t].push_back(pool.Submit([&executed] { ++executed; }));
+      }
+    });
+  }
+  for (auto& s : submitters) s.join();
+  for (auto& per_thread : futures) {
+    for (auto& f : per_thread) f.get();
+  }
+  EXPECT_EQ(executed.load(), 100);
+}
+
+}  // namespace
+}  // namespace ita

@@ -31,6 +31,26 @@ TEST(NaiveServerTest, KMaxScalesWithFactor) {
   EXPECT_EQ(f.KMaxFor(3), 5u);  // ceil(4.5)
 }
 
+TEST(NaiveServerTest, UnregisterBeforeFlushDropsPendingNotification) {
+  // Registration over a non-empty window marks the query changed (the
+  // initial refill); unregistering before the next event must drop that
+  // pending mark instead of letting the flush resolve a dead query.
+  NaiveServer server{ServerOptions{WindowSpec::CountBased(5)}};
+  std::vector<QueryId> fired;
+  server.SetResultListener([&fired](QueryId q, const std::vector<ResultEntry>&) {
+    fired.push_back(q);
+  });
+
+  ASSERT_TRUE(server.Ingest(MakeDoc({{1, 0.8}}, 0)).ok());
+  const auto doomed = server.RegisterQuery(MakeQuery(1, {{1, 1.0}}));
+  ASSERT_TRUE(doomed.ok());
+  ASSERT_TRUE(server.UnregisterQuery(*doomed).ok());
+
+  fired.clear();
+  ASSERT_TRUE(server.Ingest(MakeDoc({{2, 0.5}}, 1)).ok());
+  EXPECT_TRUE(fired.empty());
+}
+
 TEST(NaiveServerTest, EveryQueryScoredOnEveryArrival) {
   NaiveServer server{ServerOptions{WindowSpec::CountBased(10)}};
   ASSERT_TRUE(server.RegisterQuery(MakeQuery(1, {{1, 1.0}})).ok());

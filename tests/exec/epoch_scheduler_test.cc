@@ -1,0 +1,72 @@
+// EpochScheduler contract: RunPhase runs every task exactly once and is a
+// barrier (no task still running when it returns), exceptions surface
+// after all tasks finished, and phases sequence correctly even with fewer
+// threads than tasks.
+
+#include "exec/epoch_scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+namespace ita::exec {
+namespace {
+
+TEST(EpochSchedulerTest, RunsEveryTaskExactlyOnce) {
+  EpochScheduler scheduler(4);
+  std::vector<std::atomic<int>> hits(64);
+  scheduler.RunPhase(64, [&hits](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(EpochSchedulerTest, RunPhaseIsABarrier) {
+  EpochScheduler scheduler(3);
+  std::atomic<int> running{0};
+  std::atomic<int> completed{0};
+  for (int phase = 0; phase < 10; ++phase) {
+    scheduler.RunPhase(7, [&running, &completed](std::size_t) {
+      ++running;
+      ++completed;
+      --running;
+    });
+    // The barrier: once RunPhase returns, nothing is still executing and
+    // every task of the phase has finished.
+    EXPECT_EQ(running.load(), 0);
+    EXPECT_EQ(completed.load(), (phase + 1) * 7);
+  }
+}
+
+TEST(EpochSchedulerTest, MoreTasksThanThreads) {
+  EpochScheduler scheduler(2);
+  std::atomic<int> count{0};
+  scheduler.RunPhase(100, [&count](std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(EpochSchedulerTest, ZeroTasksIsANoOp) {
+  EpochScheduler scheduler(2);
+  scheduler.RunPhase(0, [](std::size_t) { FAIL() << "no task should run"; });
+}
+
+TEST(EpochSchedulerTest, ExceptionPropagatesAfterAllTasksFinished) {
+  EpochScheduler scheduler(4);
+  std::atomic<int> finished{0};
+  EXPECT_THROW(scheduler.RunPhase(16,
+                                  [&finished](std::size_t i) {
+                                    if (i == 5) throw std::runtime_error("shard failed");
+                                    ++finished;
+                                  }),
+               std::runtime_error);
+  // Every non-throwing task still ran to completion before the rethrow.
+  EXPECT_EQ(finished.load(), 15);
+
+  // The scheduler remains usable after a failed phase.
+  std::atomic<int> after{0};
+  scheduler.RunPhase(4, [&after](std::size_t) { ++after; });
+  EXPECT_EQ(after.load(), 4);
+}
+
+}  // namespace
+}  // namespace ita::exec

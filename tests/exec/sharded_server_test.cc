@@ -1,0 +1,355 @@
+// ShardedServer unit tests: query routing and lifecycle, epoch semantics
+// (ids, window, transients, atomic rejection), the deterministic
+// notification merge, stats aggregation, and strategy-agnostic shard
+// factories. The cross-checking of sharded results against sequential
+// servers over randomized streams lives in
+// tests/property/sharded_equivalence_property_test.cc.
+
+#include "exec/sharded_server.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "../testing/builders.h"
+#include "core/naive_server.h"
+#include "core/oracle_server.h"
+
+namespace ita::exec {
+namespace {
+
+ShardedServerOptions SmallOptions(std::size_t shards,
+                                  std::size_t window = 10) {
+  ShardedServerOptions options;
+  options.window = WindowSpec::CountBased(window);
+  options.shards = shards;
+  options.threads = 2;
+  return options;
+}
+
+TEST(ShardedServerTest, RegistersAndRoutesQueriesAcrossShards) {
+  ShardedServer server(SmallOptions(3));
+  EXPECT_EQ(server.shard_count(), 3u);
+
+  std::vector<QueryId> ids;
+  for (int i = 0; i < 9; ++i) {
+    const auto id = server.RegisterQuery(
+        testing::MakeQuery(2, {{static_cast<TermId>(i), 1.0}}));
+    ASSERT_TRUE(id.ok());
+    ids.push_back(*id);
+  }
+  EXPECT_EQ(server.query_count(), 9u);
+
+  // Ids are assigned globally and sequentially, partitioned id -> id % S.
+  for (std::size_t i = 1; i < ids.size(); ++i) EXPECT_EQ(ids[i], ids[0] + i);
+  for (const QueryId id : ids) {
+    EXPECT_EQ(server.ShardOf(id), id % server.shard_count());
+    const auto result = server.Result(id);
+    EXPECT_TRUE(result.ok());
+  }
+
+  // Every shard received its slice (9 queries over 3 shards, round-robin
+  // over sequential ids = 3 each).
+  for (std::size_t s = 0; s < server.shard_count(); ++s) {
+    EXPECT_EQ(server.shard_stats(s).documents_ingested, 0u);
+  }
+}
+
+TEST(ShardedServerTest, UnregisterRoutesToOwningShard) {
+  ShardedServer server(SmallOptions(4));
+  const auto id = server.RegisterQuery(testing::MakeQuery(1, {{1, 1.0}}));
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(server.query_count(), 1u);
+
+  EXPECT_TRUE(server.UnregisterQuery(*id).ok());
+  EXPECT_EQ(server.query_count(), 0u);
+  EXPECT_TRUE(server.UnregisterQuery(*id).IsNotFound());
+  EXPECT_TRUE(server.Result(*id).status().IsNotFound());
+}
+
+TEST(ShardedServerTest, IngestBroadcastsToEveryShard) {
+  ShardedServer server(SmallOptions(3, /*window=*/4));
+
+  const auto d1 = server.Ingest(testing::MakeDoc({{1, 0.5}}, 100));
+  const auto d2 = server.Ingest(testing::MakeDoc({{2, 0.7}}, 200));
+  ASSERT_TRUE(d1.ok() && d2.ok());
+  EXPECT_EQ(*d1, 1u);
+  EXPECT_EQ(*d2, 2u);
+  EXPECT_EQ(server.window_size(), 2u);
+  EXPECT_EQ(server.last_arrival_time(), 200);
+
+  // Every shard saw the whole stream.
+  for (std::size_t s = 0; s < server.shard_count(); ++s) {
+    EXPECT_EQ(server.shard_stats(s).documents_ingested, 2u);
+  }
+  // The aggregate reports the stream once, not once per shard.
+  EXPECT_EQ(server.stats().documents_ingested, 2u);
+}
+
+TEST(ShardedServerTest, EpochMatchesSequentialIdsAndWindow) {
+  ShardedServer server(SmallOptions(2, /*window=*/3));
+
+  // A batch larger than the window: the two oldest batch documents are
+  // transient, ids must still be dense and sequential.
+  std::vector<Document> batch;
+  for (int i = 0; i < 5; ++i) {
+    batch.push_back(testing::MakeDoc({{static_cast<TermId>(i), 0.9}},
+                                     100 * (i + 1)));
+  }
+  const auto ids = server.IngestBatch(std::move(batch));
+  ASSERT_TRUE(ids.ok());
+  EXPECT_EQ(*ids, (std::vector<DocId>{1, 2, 3, 4, 5}));
+  EXPECT_EQ(server.window_size(), 3u);
+  EXPECT_EQ(server.stats().documents_ingested, 5u);
+  EXPECT_EQ(server.stats().documents_expired, 2u);
+  EXPECT_EQ(server.stats().batches_ingested, 1u);
+  EXPECT_EQ(server.epochs_processed(), 1u);
+}
+
+TEST(ShardedServerTest, EmptyBatchIsANoOp) {
+  ShardedServer server(SmallOptions(2));
+  const auto ids = server.IngestBatch(std::vector<Document>{});
+  ASSERT_TRUE(ids.ok());
+  EXPECT_TRUE(ids->empty());
+  EXPECT_EQ(server.epochs_processed(), 0u);
+}
+
+TEST(ShardedServerTest, NonMonotoneBatchRejectedAtomically) {
+  ShardedServer server(SmallOptions(3));
+  std::vector<Document> batch;
+  batch.push_back(testing::MakeDoc({{1, 0.5}}, 200));
+  batch.push_back(testing::MakeDoc({{2, 0.5}}, 100));
+  const auto ids = server.IngestBatch(std::move(batch));
+  ASSERT_FALSE(ids.ok());
+  EXPECT_TRUE(ids.status().IsInvalidArgument());
+  // No shard mutated: the plan failed before any phase ran.
+  EXPECT_EQ(server.window_size(), 0u);
+  EXPECT_EQ(server.stats().documents_ingested, 0u);
+  for (std::size_t s = 0; s < server.shard_count(); ++s) {
+    EXPECT_EQ(server.shard_stats(s).documents_ingested, 0u);
+  }
+}
+
+TEST(ShardedServerTest, QueriesSeeExactTopKAcrossShards) {
+  ShardedServer server(SmallOptions(4, /*window=*/10));
+
+  // Two queries landing on different shards, same term space.
+  const auto q1 = server.RegisterQuery(testing::MakeQuery(2, {{7, 1.0}}));
+  const auto q2 = server.RegisterQuery(testing::MakeQuery(1, {{7, 0.5}}));
+  ASSERT_TRUE(q1.ok() && q2.ok());
+  EXPECT_NE(server.ShardOf(*q1), server.ShardOf(*q2));
+
+  ASSERT_TRUE(server.Ingest(testing::MakeDoc({{7, 0.3}}, 100)).ok());
+  ASSERT_TRUE(server.Ingest(testing::MakeDoc({{7, 0.9}}, 200)).ok());
+  ASSERT_TRUE(server.Ingest(testing::MakeDoc({{5, 0.9}}, 300)).ok());
+
+  const auto r1 = server.Result(*q1);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_EQ(r1->size(), 2u);
+  EXPECT_EQ((*r1)[0].doc, 2u);
+  EXPECT_DOUBLE_EQ((*r1)[0].score, 0.9);
+  EXPECT_EQ((*r1)[1].doc, 1u);
+
+  const auto r2 = server.Result(*q2);
+  ASSERT_TRUE(r2.ok());
+  ASSERT_EQ(r2->size(), 1u);
+  EXPECT_EQ((*r2)[0].doc, 2u);
+  EXPECT_DOUBLE_EQ((*r2)[0].score, 0.45);
+}
+
+TEST(ShardedServerTest, ListenerMergeIsDeterministicAndOncePerEpoch) {
+  ShardedServer server(SmallOptions(3, /*window=*/20));
+
+  std::vector<QueryId> queries;
+  for (int t = 0; t < 6; ++t) {
+    const auto id = server.RegisterQuery(
+        testing::MakeQuery(3, {{static_cast<TermId>(t % 2), 1.0}}));
+    ASSERT_TRUE(id.ok());
+    queries.push_back(*id);
+  }
+
+  std::vector<QueryId> fired;
+  server.SetResultListener(
+      [&fired](QueryId q, const std::vector<ResultEntry>& result) {
+        fired.push_back(q);
+        EXPECT_FALSE(result.empty());
+      });
+
+  // One epoch touching both terms: every query's top-k changes, and the
+  // merged flush must fire once per query, ascending — regardless of how
+  // the three shards' tasks interleaved.
+  std::vector<Document> batch;
+  batch.push_back(testing::MakeDoc({{0, 0.8}}, 100));
+  batch.push_back(testing::MakeDoc({{1, 0.6}}, 200));
+  ASSERT_TRUE(server.IngestBatch(std::move(batch)).ok());
+
+  ASSERT_EQ(fired.size(), queries.size());
+  for (std::size_t i = 1; i < fired.size(); ++i) {
+    EXPECT_LT(fired[i - 1], fired[i]);
+  }
+
+  // An epoch touching nothing the queries monitor fires nothing.
+  fired.clear();
+  ASSERT_TRUE(server.Ingest(testing::MakeDoc({{40, 0.9}}, 300)).ok());
+  EXPECT_TRUE(fired.empty());
+}
+
+TEST(ShardedServerTest, UnregisterBeforeFlushDropsPendingNotification) {
+  // A strategy may mark a query at registration time (Naive's initial
+  // refill does); terminating the query before the next epoch must drop
+  // the pending mark instead of flushing a dead query (which used to
+  // CHECK-crash the merged flush).
+  ShardedServerOptions options = SmallOptions(2, /*window=*/5);
+  ShardedServer server(
+      options, [](const ServerOptions& server_options)
+                   -> std::unique_ptr<ServerStrategy> {
+        return std::make_unique<NaiveServer>(server_options);
+      });
+
+  std::vector<QueryId> fired;
+  server.SetResultListener(
+      [&fired](QueryId q, const std::vector<ResultEntry>&) {
+        fired.push_back(q);
+      });
+
+  ASSERT_TRUE(server.Ingest(testing::MakeDoc({{1, 0.8}}, 10)).ok());
+  const auto doomed = server.RegisterQuery(testing::MakeQuery(1, {{1, 1.0}}));
+  const auto kept = server.RegisterQuery(testing::MakeQuery(1, {{1, 0.5}}));
+  ASSERT_TRUE(doomed.ok() && kept.ok());
+  ASSERT_TRUE(server.UnregisterQuery(*doomed).ok());
+
+  fired.clear();
+  ASSERT_TRUE(server.Ingest(testing::MakeDoc({{1, 0.9}}, 20)).ok());
+  EXPECT_EQ(fired, std::vector<QueryId>{*kept});
+}
+
+TEST(ShardedServerTest, AdvanceTimeExpiresOnEveryShard) {
+  ShardedServerOptions options;
+  options.window = WindowSpec::TimeBased(1000);
+  options.shards = 2;
+  options.threads = 2;
+  ShardedServer server(options);
+
+  const auto q = server.RegisterQuery(testing::MakeQuery(1, {{3, 1.0}}));
+  ASSERT_TRUE(q.ok());
+  ASSERT_TRUE(server.Ingest(testing::MakeDoc({{3, 0.4}}, 100)).ok());
+  ASSERT_EQ(server.Result(*q)->size(), 1u);
+
+  std::vector<QueryId> fired;
+  server.SetResultListener(
+      [&fired](QueryId id, const std::vector<ResultEntry>&) {
+        fired.push_back(id);
+      });
+
+  EXPECT_TRUE(server.AdvanceTime(5000).ok());
+  EXPECT_EQ(server.window_size(), 0u);
+  EXPECT_EQ(server.stats().documents_expired, 1u);
+  EXPECT_EQ(server.Result(*q)->size(), 0u);
+  EXPECT_EQ(fired, std::vector<QueryId>{*q});
+
+  EXPECT_TRUE(server.AdvanceTime(4000).IsInvalidArgument());
+}
+
+TEST(ShardedServerTest, StatsAggregateAndReset) {
+  ShardedServer server(SmallOptions(2, /*window=*/50));
+  const auto q = server.RegisterQuery(testing::MakeQuery(1, {{1, 1.0}}));
+  ASSERT_TRUE(q.ok());
+
+  std::vector<Document> batch;
+  for (int i = 0; i < 8; ++i) {
+    batch.push_back(testing::MakeDoc({{1, 0.5}}, 100 + i));
+  }
+  ASSERT_TRUE(server.IngestBatch(std::move(batch)).ok());
+
+  const ServerStats aggregated = server.stats();
+  EXPECT_EQ(aggregated.documents_ingested, 8u);
+  // Only the owning shard scored the documents; the aggregate equals the
+  // sum over shards.
+  std::uint64_t scores = 0;
+  for (std::size_t s = 0; s < server.shard_count(); ++s) {
+    scores += server.shard_stats(s).scores_computed;
+  }
+  EXPECT_EQ(aggregated.scores_computed, scores);
+  EXPECT_GT(scores, 0u);
+
+  server.ResetStats();
+  EXPECT_EQ(server.stats().documents_ingested, 0u);
+  EXPECT_EQ(server.epochs_processed(), 0u);
+  for (std::size_t s = 0; s < server.shard_count(); ++s) {
+    EXPECT_EQ(server.shard_busy_micros(s), 0u);
+  }
+}
+
+TEST(ShardedServerTest, ShardsCustomStrategies) {
+  // The engine is strategy-agnostic: shard the Naive comparator and the
+  // brute-force oracle through the same seam.
+  for (const std::string kind : {"naive", "oracle"}) {
+    ShardedServerOptions options = SmallOptions(2, /*window=*/5);
+    ShardedServer server(
+        options, [&kind](const ServerOptions& server_options)
+                     -> std::unique_ptr<ServerStrategy> {
+          if (kind == "naive") {
+            return std::make_unique<NaiveServer>(server_options);
+          }
+          return std::make_unique<OracleServer>(server_options);
+        });
+    EXPECT_EQ(server.name(), "sharded(" + kind + ",2)");
+
+    const auto q = server.RegisterQuery(testing::MakeQuery(1, {{2, 1.0}}));
+    ASSERT_TRUE(q.ok());
+    ASSERT_TRUE(server.Ingest(testing::MakeDoc({{2, 0.8}}, 10)).ok());
+    const auto result = server.Result(*q);
+    ASSERT_TRUE(result.ok());
+    ASSERT_EQ(result->size(), 1u);
+    EXPECT_DOUBLE_EQ((*result)[0].score, 0.8);
+  }
+}
+
+TEST(ShardedServerTest, SingleShardDegeneratesToSequential) {
+  ShardedServer server(SmallOptions(1, /*window=*/6));
+  const auto q = server.RegisterQuery(testing::MakeQuery(2, {{1, 1.0}}));
+  ASSERT_TRUE(q.ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(
+        server.Ingest(testing::MakeDoc({{1, 0.1 * (i + 1)}}, 10 * i)).ok());
+  }
+  EXPECT_EQ(server.window_size(), 6u);
+  const auto result = server.Result(*q);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 2u);
+  EXPECT_DOUBLE_EQ((*result)[0].score, 1.0);
+  EXPECT_DOUBLE_EQ((*result)[1].score, 0.9);
+}
+
+TEST(ShardedServerTest, AnalyzedBatchHandoff) {
+  // End-to-end: analysis happens once in the pipeline, the weighted
+  // vectors are broadcast to all shards.
+  IngestPipeline pipeline;
+  ShardedServer server(SmallOptions(2, /*window=*/10));
+
+  const auto query = pipeline.AnalyzeQuery("stream monitoring", /*k=*/2);
+  ASSERT_TRUE(query.ok());
+  const auto qid = server.RegisterQuery(*query);
+  ASSERT_TRUE(qid.ok());
+
+  std::vector<RawDocument> raw;
+  raw.push_back({"continuous stream monitoring of text", 100});
+  raw.push_back({"unrelated cooking recipe", 200});
+  AnalyzedBatch epoch = pipeline.AnalyzeEpoch(raw);
+  ASSERT_EQ(epoch.size(), 2u);
+  EXPECT_EQ(epoch.epoch_end(), 200);
+
+  const auto ids = server.IngestBatch(std::move(epoch));
+  ASSERT_TRUE(ids.ok());
+  EXPECT_EQ(ids->size(), 2u);
+
+  const auto result = server.Result(*qid);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_EQ((*result)[0].doc, 1u);
+}
+
+}  // namespace
+}  // namespace ita::exec

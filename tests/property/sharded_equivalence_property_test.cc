@@ -1,0 +1,349 @@
+// The sharding exactness property (DESIGN.md §6): the sharded parallel
+// engine must be semantically identical to one sequential server — query
+// for query, epoch for epoch. A ShardedServer with S ∈ {1, 2, 4, 7}
+// shards, a sequential ItaServer and a brute-force OracleServer consume
+// the same randomized stream with the same query population; after every
+// epoch all three must report identical results (same sizes, same score
+// sequences), identical document ids, and identical stream statistics.
+// This extends the PR 1 batch-equivalence property to the concurrency
+// layer: partitioning queries across shards, running the epoch phases on
+// a thread pool with barriers, and merging notifications must not change
+// a single reported score.
+//
+// Scenarios sweep the shard count, batch size (including batches larger
+// than the window — the transient path — and single-document epochs),
+// window kind, weighting scheme, roll-up ablation, hot (dense-matching)
+// queries, and mid-stream query registration/unregistration churn.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "../testing/builders.h"
+#include "core/ita_server.h"
+#include "core/oracle_server.h"
+#include "exec/sharded_server.h"
+#include "stream/corpus.h"
+
+namespace ita {
+namespace {
+
+struct ShardScenario {
+  std::string label;
+  std::size_t shards = 2;
+  std::uint64_t seed = 1;
+  std::size_t dictionary = 300;
+  std::size_t n_queries = 12;
+  std::size_t terms_per_query = 4;
+  int k = 5;
+  WindowSpec window = WindowSpec::CountBased(40);
+  std::size_t events = 320;
+  std::size_t batch_size = 16;
+  WeightingScheme scheme = WeightingScheme::kCosine;
+  bool rollup = true;
+  std::size_t hot_max_term = 0;
+  bool advance_time_between_epochs = false;  // time-based windows only
+  bool churn_queries = false;  // unregister/register mid-stream
+};
+
+std::ostream& operator<<(std::ostream& os, const ShardScenario& s) {
+  return os << s.label;
+}
+
+class ShardedEquivalenceTest : public ::testing::TestWithParam<ShardScenario> {};
+
+void ExpectSameAnswer(const std::vector<ResultEntry>& got,
+                      const std::vector<ResultEntry>& want,
+                      const std::string& who, QueryId q, std::size_t epoch) {
+  ASSERT_EQ(got.size(), want.size())
+      << who << " result size mismatch, query " << q << ", epoch " << epoch;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    // Ties permute only equal scores, so the score sequences must match
+    // exactly position by position.
+    ASSERT_NEAR(got[i].score, want[i].score, 1e-12)
+        << who << " score mismatch at rank " << i << ", query " << q
+        << ", epoch " << epoch;
+  }
+}
+
+TEST_P(ShardedEquivalenceTest, ShardedMatchesSequentialAndOracle) {
+  const ShardScenario& s = GetParam();
+
+  SyntheticCorpusOptions copts;
+  copts.dictionary_size = s.dictionary;
+  copts.min_length = 3;
+  copts.max_length = 30;
+  copts.length_lognormal_mu = 2.3;
+  copts.length_lognormal_sigma = 0.5;
+  copts.scheme = s.scheme;
+  copts.seed = s.seed;
+  SyntheticCorpusGenerator corpus(copts);
+
+  QueryWorkloadOptions qopts;
+  qopts.terms_per_query = s.terms_per_query;
+  qopts.k = s.k;
+  qopts.scheme = s.scheme;
+  qopts.seed = s.seed * 7919 + 17;
+  qopts.max_term = s.hot_max_term;
+  QueryWorkloadGenerator query_gen(s.dictionary, qopts);
+
+  ItaTuning tuning;
+  tuning.enable_rollup = s.rollup;
+
+  exec::ShardedServerOptions sharded_options;
+  sharded_options.window = s.window;
+  sharded_options.shards = s.shards;
+  sharded_options.threads = 3;  // deliberately != shards: phases must queue
+  sharded_options.tuning = tuning;
+  exec::ShardedServer sharded(sharded_options);
+
+  ItaServer sequential{ServerOptions{s.window}, tuning};
+  OracleServer oracle{ServerOptions{s.window}};
+
+  std::vector<QueryId> active;
+  const auto register_one = [&]() {
+    const Query q = query_gen.NextQuery();
+    const auto a = sharded.RegisterQuery(q);
+    const auto b = sequential.RegisterQuery(q);
+    const auto c = oracle.RegisterQuery(q);
+    ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+    ASSERT_EQ(*a, *b);
+    ASSERT_EQ(*a, *c);
+    active.push_back(*a);
+  };
+  for (std::size_t i = 0; i < s.n_queries; ++i) register_one();
+
+  Timestamp now = 0;
+  std::size_t epoch = 0;
+  for (std::size_t done = 0; done < s.events; ++epoch) {
+    const std::size_t n = std::min(s.batch_size, s.events - done);
+    std::vector<Document> batch;
+    batch.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      batch.push_back(corpus.NextDocument(now += 100));
+    }
+    done += n;
+
+    std::vector<DocId> sequential_ids;
+    for (const Document& doc : batch) {
+      const auto id = sequential.Ingest(doc);
+      ASSERT_TRUE(id.ok());
+      sequential_ids.push_back(*id);
+      ASSERT_TRUE(oracle.Ingest(doc).ok());
+    }
+    const auto sharded_ids = sharded.IngestBatch(std::move(batch));
+    ASSERT_TRUE(sharded_ids.ok());
+    ASSERT_EQ(*sharded_ids, sequential_ids)
+        << "id sequence diverged at epoch " << epoch;
+
+    if (s.advance_time_between_epochs && epoch % 3 == 2) {
+      now += s.window.duration / 2;
+      ASSERT_TRUE(sharded.AdvanceTime(now).ok());
+      ASSERT_TRUE(sequential.AdvanceTime(now).ok());
+      ASSERT_TRUE(oracle.AdvanceTime(now).ok());
+    }
+
+    if (s.churn_queries && epoch % 4 == 3 && !active.empty()) {
+      // Retire the oldest active query everywhere and install a fresh one;
+      // registration mid-stream must compute the same initial result on
+      // the owning shard as sequentially.
+      const QueryId victim = active.front();
+      active.erase(active.begin());
+      ASSERT_TRUE(sharded.UnregisterQuery(victim).ok());
+      ASSERT_TRUE(sequential.UnregisterQuery(victim).ok());
+      ASSERT_TRUE(oracle.UnregisterQuery(victim).ok());
+      register_one();
+    }
+
+    ASSERT_EQ(sharded.window_size(), sequential.window_size());
+    for (const QueryId q : active) {
+      const auto want = oracle.Result(q);
+      ASSERT_TRUE(want.ok());
+      const auto seq_got = sequential.Result(q);
+      ASSERT_TRUE(seq_got.ok());
+      const auto shard_got = sharded.Result(q);
+      ASSERT_TRUE(shard_got.ok());
+      ExpectSameAnswer(*seq_got, *want, "sequential", q, epoch);
+      ExpectSameAnswer(*shard_got, *want, "sharded", q, epoch);
+      ASSERT_EQ(testing::Ids(*shard_got).size(), testing::Ids(*seq_got).size());
+    }
+  }
+
+  // The stream must actually have exercised expirations, and the sharded
+  // stream accounting must match the sequential server's exactly.
+  if (s.window.kind == WindowSpec::Kind::kCountBased &&
+      s.events > s.window.count) {
+    EXPECT_GT(sharded.stats().documents_expired, 0u);
+  }
+  EXPECT_EQ(sharded.stats().documents_ingested,
+            sequential.stats().documents_ingested);
+  EXPECT_EQ(sharded.stats().documents_expired,
+            sequential.stats().documents_expired);
+  EXPECT_EQ(sharded.query_count(), sequential.query_count());
+}
+
+// The merged notification stream must be equivalent to the sequential
+// server's: same changed-query set per epoch, epoch-final payloads.
+TEST(ShardedNotificationTest, MergedFlushMatchesSequential) {
+  SyntheticCorpusOptions copts;
+  copts.dictionary_size = 60;
+  copts.min_length = 3;
+  copts.max_length = 12;
+  copts.length_lognormal_mu = 1.8;
+  copts.seed = 21;
+  SyntheticCorpusGenerator corpus(copts);
+
+  QueryWorkloadOptions qopts;
+  qopts.terms_per_query = 3;
+  qopts.k = 3;
+  qopts.seed = 99;
+  QueryWorkloadGenerator query_gen(60, qopts);
+
+  exec::ShardedServerOptions options;
+  options.window = WindowSpec::CountBased(25);
+  options.shards = 4;
+  options.threads = 2;
+  exec::ShardedServer sharded(options);
+  ItaServer sequential{ServerOptions{options.window}};
+
+  for (int i = 0; i < 8; ++i) {
+    const Query q = query_gen.NextQuery();
+    const auto a = sharded.RegisterQuery(q);
+    const auto b = sequential.RegisterQuery(q);
+    ASSERT_TRUE(a.ok() && b.ok());
+    ASSERT_EQ(*a, *b);
+  }
+
+  std::vector<QueryId> sharded_fired;
+  std::vector<QueryId> sequential_fired;
+  sharded.SetResultListener(
+      [&sharded_fired](QueryId q, const std::vector<ResultEntry>& result) {
+        sharded_fired.push_back(q);
+        // The notified payload is the epoch-final result.
+        (void)result;
+      });
+  sequential.SetResultListener(
+      [&sequential_fired](QueryId q, const std::vector<ResultEntry>&) {
+        sequential_fired.push_back(q);
+      });
+
+  Timestamp now = 0;
+  for (int epoch = 0; epoch < 15; ++epoch) {
+    std::vector<Document> batch;
+    for (int i = 0; i < 6; ++i) {
+      batch.push_back(corpus.NextDocument(now += 100));
+    }
+    sharded_fired.clear();
+    sequential_fired.clear();
+    ASSERT_TRUE(sequential.IngestBatch(batch).ok());
+    ASSERT_TRUE(sharded.IngestBatch(std::move(batch)).ok());
+
+    // Both flush ascending and dedup'd through the shared ResultNotifier,
+    // so the sequences must be identical, not merely equal as sets.
+    ASSERT_EQ(sharded_fired, sequential_fired) << "epoch " << epoch;
+    for (const QueryId q : sharded_fired) {
+      const auto a = sharded.Result(q);
+      const auto b = sequential.Result(q);
+      ASSERT_TRUE(a.ok() && b.ok());
+      ASSERT_EQ(a->size(), b->size());
+    }
+  }
+}
+
+std::vector<ShardScenario> MakeShardScenarios() {
+  std::vector<ShardScenario> all;
+
+  for (const std::size_t shards : {1u, 2u, 4u, 7u}) {
+    ShardScenario s;
+    s.shards = shards;
+    s.label = "shards_" + std::to_string(shards);
+    all.push_back(s);
+  }
+  {
+    ShardScenario s;
+    s.label = "single_doc_epochs";
+    s.shards = 4;
+    s.batch_size = 1;
+    s.events = 120;
+    all.push_back(s);
+  }
+  {
+    ShardScenario s;
+    s.label = "batch_overflows_window";
+    s.shards = 4;
+    s.batch_size = 130;
+    s.window = WindowSpec::CountBased(40);
+    all.push_back(s);
+  }
+  {
+    ShardScenario s;
+    s.label = "more_shards_than_queries";
+    s.shards = 7;
+    s.n_queries = 3;
+    s.events = 200;
+    all.push_back(s);
+  }
+  {
+    ShardScenario s;
+    s.label = "time_window_with_advances";
+    s.shards = 4;
+    s.window = WindowSpec::TimeBased(3500);
+    s.advance_time_between_epochs = true;
+    all.push_back(s);
+  }
+  {
+    ShardScenario s;
+    s.label = "raw_tf_tie_storm";
+    s.shards = 2;
+    s.scheme = WeightingScheme::kRawTf;
+    s.dictionary = 30;
+    s.terms_per_query = 3;
+    s.window = WindowSpec::CountBased(25);
+    s.events = 250;
+    all.push_back(s);
+  }
+  {
+    ShardScenario s;
+    s.label = "bm25_hot_queries";
+    s.shards = 4;
+    s.scheme = WeightingScheme::kBm25;
+    s.dictionary = 500;
+    s.hot_max_term = 20;
+    s.events = 280;
+    all.push_back(s);
+  }
+  {
+    ShardScenario s;
+    s.label = "no_rollup_ablation";
+    s.shards = 4;
+    s.rollup = false;
+    all.push_back(s);
+  }
+  {
+    ShardScenario s;
+    s.label = "query_churn";
+    s.shards = 4;
+    s.churn_queries = true;
+    all.push_back(s);
+  }
+  {
+    ShardScenario s;
+    s.label = "seed_sweep";
+    s.shards = 4;
+    s.seed = 3;
+    all.push_back(s);
+  }
+  return all;
+}
+
+INSTANTIATE_TEST_SUITE_P(ShardScenarios, ShardedEquivalenceTest,
+                         ::testing::ValuesIn(MakeShardScenarios()),
+                         [](const ::testing::TestParamInfo<ShardScenario>& info) {
+                           return info.param.label;
+                         });
+
+}  // namespace
+}  // namespace ita
