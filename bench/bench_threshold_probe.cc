@@ -1,0 +1,212 @@
+// Experiment C1 — threshold-tree probe cost vs. registered-query count,
+// flat layout vs. the seed's skip-list layout (DESIGN.md §7).
+//
+// The probe "find all queries with theta_{Q,t} <= w" runs once per
+// (term, epoch); its cost is proportional to the number of affected
+// queries. Both layouts scan exactly the affected prefix, so the
+// comparison isolates pure memory behavior: the flat tree reads packed
+// 16-byte {theta, query} pairs sequentially, the seed layout chases
+// level-0 skip-list node pointers. The seed structure is reproduced
+// locally (SkipListThresholdTree below) so the comparison survives the
+// seed code's removal.
+//
+// Also measured: single Update relocation cost (binary search + rotate
+// vs. skip-list erase + insert), the bulk per-epoch retheta pass vs.
+// the same moves applied singly, and the end-to-end query-churn axis of
+// the stream harness (registration storms on the slot-map slab).
+//
+// To record a machine-readable baseline (bench/results/):
+//   ./build/bench/bench_threshold_probe --benchmark_format=json
+//     > bench/results/threshold_probe_baseline.json
+
+#include <benchmark/benchmark.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "common/random.h"
+#include "container/skip_list.h"
+#include "core/threshold_tree.h"
+#include "harness/stream_bench.h"
+
+namespace ita {
+namespace bench {
+namespace {
+
+/// The seed's threshold-tree layout, verbatim: one skip-list entry per
+/// (theta, query), probed by a front scan over the level-0 chain.
+class SkipListThresholdTree {
+ public:
+  using Entry = FlatThresholdTree::Entry;
+  struct Order {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.theta != b.theta) return a.theta < b.theta;
+      return a.query < b.query;
+    }
+  };
+
+  void Insert(double theta, QueryId query) {
+    entries_.Insert(Entry{theta, query});
+  }
+  void Update(double old_theta, double new_theta, QueryId query) {
+    entries_.Erase(Entry{old_theta, query});
+    entries_.Insert(Entry{new_theta, query});
+  }
+  template <typename Fn>
+  std::size_t ProbeLessEqual(double w, Fn&& fn) const {
+    std::size_t steps = 0;
+    for (auto it = entries_.begin(); it != entries_.end() && it->theta <= w;
+         ++it) {
+      ++steps;
+      fn(it->query);
+    }
+    return steps;
+  }
+
+ private:
+  SkipList<Entry, Order> entries_;
+};
+
+/// Thetas drawn uniformly from (0, 1): a probe at w hits ~w*n entries.
+template <typename Tree>
+Tree BuildTree(std::size_t queries, std::uint64_t seed) {
+  Tree tree;
+  Rng rng(seed);
+  for (QueryId q = 1; q <= queries; ++q) {
+    tree.Insert(rng.NextDoublePositive(), q);
+  }
+  return tree;
+}
+
+template <typename Tree>
+void ProbeBench(benchmark::State& state) {
+  const auto queries = static_cast<std::size_t>(state.range(0));
+  const double selectivity = static_cast<double>(state.range(1)) / 100.0;
+  const Tree tree = BuildTree<Tree>(queries, /*seed=*/17);
+  std::size_t sink = 0;
+  for (auto _ : state) {
+    sink += tree.ProbeLessEqual(selectivity, [](QueryId) {});
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(static_cast<int64_t>(sink));
+  state.counters["hits/probe"] = benchmark::Counter(
+      static_cast<double>(sink) /
+      static_cast<double>(state.iterations() > 0 ? state.iterations() : 1));
+}
+
+void BM_FlatProbe(benchmark::State& state) {
+  ProbeBench<FlatThresholdTree>(state);
+}
+void BM_SeedSkipListProbe(benchmark::State& state) {
+  ProbeBench<SkipListThresholdTree>(state);
+}
+// (queries, selectivity %): the acceptance sweep is >= 10k queries.
+BENCHMARK(BM_FlatProbe)
+    ->Args({1'000, 1})->Args({1'000, 10})
+    ->Args({10'000, 1})->Args({10'000, 10})
+    ->Args({100'000, 1})->Args({100'000, 10});
+BENCHMARK(BM_SeedSkipListProbe)
+    ->Args({1'000, 1})->Args({1'000, 10})
+    ->Args({10'000, 1})->Args({10'000, 10})
+    ->Args({100'000, 1})->Args({100'000, 10});
+
+/// Single-threshold relocation: the per-event SetTheta path.
+template <typename Tree>
+void UpdateBench(benchmark::State& state) {
+  const auto queries = static_cast<std::size_t>(state.range(0));
+  Tree tree = BuildTree<Tree>(queries, /*seed=*/23);
+  Rng rng(29);
+  // Replay a fixed move tape so both layouts do identical relocations.
+  std::vector<double> position(queries + 1);
+  {
+    Rng build(23);
+    for (QueryId q = 1; q <= queries; ++q) position[q] = build.NextDoublePositive();
+  }
+  for (auto _ : state) {
+    const QueryId q = 1 + static_cast<QueryId>(rng.Next() % queries);
+    const double target = rng.NextDoublePositive();
+    tree.Update(position[q], target, q);
+    position[q] = target;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_FlatUpdate(benchmark::State& state) {
+  UpdateBench<FlatThresholdTree>(state);
+}
+void BM_SeedSkipListUpdate(benchmark::State& state) {
+  UpdateBench<SkipListThresholdTree>(state);
+}
+BENCHMARK(BM_FlatUpdate)->Arg(1'000)->Arg(10'000)->Arg(100'000);
+BENCHMARK(BM_SeedSkipListUpdate)->Arg(1'000)->Arg(10'000)->Arg(100'000);
+
+/// One epoch's theta moves on one tree: ApplyMoves (erase-compaction +
+/// merge) vs. the same moves as sequential Updates.
+void BM_BulkRetheta(benchmark::State& state) {
+  const auto queries = static_cast<std::size_t>(state.range(0));
+  const auto moves_per_epoch = static_cast<std::size_t>(state.range(1));
+  const bool bulk = state.range(2) != 0;
+  FlatThresholdTree tree = BuildTree<FlatThresholdTree>(queries, /*seed=*/31);
+  std::vector<double> position(queries + 1);
+  {
+    Rng build(31);
+    for (QueryId q = 1; q <= queries; ++q) position[q] = build.NextDoublePositive();
+  }
+  Rng rng(37);
+  std::vector<FlatThresholdTree::ThetaMove> moves;
+  for (auto _ : state) {
+    state.PauseTiming();
+    moves.clear();
+    // Distinct queries per epoch (one move per query, the server's
+    // contract); a stride walk avoids duplicate picks cheaply.
+    const QueryId start = 1 + static_cast<QueryId>(rng.Next() % queries);
+    for (std::size_t m = 0; m < moves_per_epoch; ++m) {
+      const QueryId q =
+          1 + static_cast<QueryId>((start + m * 7919) % queries);
+      const double target = rng.NextDoublePositive();
+      moves.push_back({position[q], target, q});
+      position[q] = target;
+    }
+    state.ResumeTiming();
+    if (bulk) {
+      tree.ApplyMoves(moves);
+    } else {
+      for (const auto& m : moves) tree.Update(m.old_theta, m.new_theta, m.query);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(moves_per_epoch));
+}
+// (queries, moves/epoch, bulk?)
+BENCHMARK(BM_BulkRetheta)
+    ->Args({10'000, 16, 0})->Args({10'000, 16, 1})
+    ->Args({10'000, 128, 0})->Args({10'000, 128, 1})
+    ->Args({100'000, 128, 0})->Args({100'000, 128, 1})
+    ->Unit(benchmark::kMicrosecond);
+
+/// End-to-end churn axis: epochs with `churn` register/unregister pairs
+/// rotating the live population through the slot-map slab before each
+/// ingest (the harness's churn_per_epoch workload knob).
+void BM_ItaQueryChurn(benchmark::State& state) {
+  StreamWorkload workload;
+  workload.n_queries = 1'000;
+  workload.window = 1'000;
+  workload.batch_size = 64;
+  workload.churn_per_epoch = static_cast<std::size_t>(state.range(0));
+  StreamBench& fixture =
+      StreamBench::Cached(StreamBench::Strategy::kIta, workload);
+  for (auto _ : state) fixture.StepBatch();
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(workload.batch_size));
+  state.counters["churn/epoch"] = benchmark::Counter(
+      static_cast<double>(workload.churn_per_epoch));
+  state.counters["state_slots"] = benchmark::Counter(
+      static_cast<double>(fixture.server().stats().query_state_slots));
+}
+BENCHMARK(BM_ItaQueryChurn)
+    ->Arg(0)->Arg(16)->Arg(64)->Arg(256)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace ita

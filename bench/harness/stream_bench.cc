@@ -15,7 +15,8 @@ std::string StreamWorkload::CacheKey(const std::string& strategy) const {
      << "/mu:" << doc_length_mu << "/pool:" << doc_pool << "/q:" << n_queries
      << "/n:" << terms_per_query << "/k:" << k << "/N:" << window
      << "/time:" << time_based << "/hot:" << query_max_term
-     << "/batch:" << batch_size << "/seed:" << seed
+     << "/batch:" << batch_size << "/churn:" << churn_per_epoch
+     << "/seed:" << seed
      << "/shards:" << shards << "/threads:" << threads
      << "/rollup:" << rollup << "/kmax:" << kmax_factor
      << "/skip:" << skip_complete_rescans;
@@ -123,13 +124,13 @@ StreamBench::StreamBench(Strategy strategy, const StreamWorkload& workload)
   qopts.k = workload.k;
   qopts.seed = workload.seed + 0xABCD;
   qopts.max_term = workload.query_max_term;
-  QueryWorkloadGenerator queries(workload.dictionary, qopts);
+  query_gen_ = std::make_unique<QueryWorkloadGenerator>(workload.dictionary, qopts);
   for (std::size_t i = 0; i < workload.n_queries; ++i) {
-    if (sharded_ != nullptr) {
-      ITA_CHECK(sharded_->RegisterQuery(queries.NextQuery()).ok());
-    } else {
-      ITA_CHECK(server_->RegisterQuery(queries.NextQuery()).ok());
-    }
+    StatusOr<QueryId> id = sharded_ != nullptr
+                               ? sharded_->RegisterQuery(query_gen_->NextQuery())
+                               : server_->RegisterQuery(query_gen_->NextQuery());
+    ITA_CHECK(id.ok());
+    live_queries_.push_back(*id);
   }
   if (sharded_ != nullptr) {
     sharded_->ResetStats();
@@ -153,6 +154,28 @@ void StreamBench::Step() {
 }
 
 void StreamBench::StepBatch() {
+  // Query churn axis: rotate the oldest live queries out and fresh ones
+  // in before the epoch's ingest (part of the timed region — churn cost
+  // is exactly what the axis measures). The cursor walks the whole
+  // population FIFO across epochs, so every query eventually churns.
+  if (workload_.churn_per_epoch > 0 && !live_queries_.empty()) {
+    for (std::size_t c = 0; c < workload_.churn_per_epoch; ++c) {
+      QueryId& slot = live_queries_[churn_cursor_];
+      churn_cursor_ = (churn_cursor_ + 1) % live_queries_.size();
+      if (sharded_ != nullptr) {
+        ITA_CHECK(sharded_->UnregisterQuery(slot).ok());
+        const auto fresh = sharded_->RegisterQuery(query_gen_->NextQuery());
+        ITA_CHECK(fresh.ok());
+        slot = *fresh;
+      } else {
+        ITA_CHECK(server_->UnregisterQuery(slot).ok());
+        const auto fresh = server_->RegisterQuery(query_gen_->NextQuery());
+        ITA_CHECK(fresh.ok());
+        slot = *fresh;
+      }
+    }
+  }
+
   std::vector<Document> batch;
   batch.reserve(workload_.batch_size);
   for (std::size_t i = 0; i < workload_.batch_size; ++i) {

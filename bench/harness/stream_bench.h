@@ -49,6 +49,12 @@ struct StreamWorkload {
   /// restrict query terms to the `query_max_term` most frequent terms
   /// ("hot" queries — see QueryWorkloadOptions::max_term).
   std::size_t query_max_term = 0;
+  /// Query churn axis: per StepBatch() epoch, unregister this many of the
+  /// oldest live queries and register as many fresh ones before the
+  /// ingest — the registration/unregistration storm workload that the
+  /// slot-map query-state slab and flat threshold trees are built for.
+  /// 0 = static population (the paper's setting).
+  std::size_t churn_per_epoch = 0;
 
   // Stream & window (paper: Poisson at 200 docs/s, count-based window).
   double arrival_rate = 200.0;
@@ -119,6 +125,12 @@ class StreamBench {
   std::vector<Document> pool_;
   std::size_t cursor_ = 0;
   PoissonProcess arrivals_;
+  /// Churn machinery (churn_per_epoch > 0): live query ids plus the
+  /// generator that mints replacements; the cursor rotates oldest-first
+  /// through the whole population across epochs.
+  std::unique_ptr<QueryWorkloadGenerator> query_gen_;
+  std::vector<QueryId> live_queries_;
+  std::size_t churn_cursor_ = 0;
 };
 
 }  // namespace bench

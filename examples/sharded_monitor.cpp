@@ -10,7 +10,8 @@
 //
 // Prints per-shard busy time and the epoch critical path (max over
 // shards), the quantity that becomes wall-clock latency once every shard
-// has its own core.
+// has its own core — plus the memory-footprint gauges of the unified
+// per-term catalog (DESIGN.md §7), per shard and aggregated.
 //
 // Build & run:   ./build/examples/sharded_monitor --shards 4 --threads 2
 //                [--queries 500] [--window 2000] [--batch 128] [--docs 4096]
@@ -119,5 +120,26 @@ int main(int argc, char** argv) {
   std::printf("epoch critical path (max shard busy): %.1f ms total — the\n"
               "wall cost of the stream once every shard has its own core\n",
               critical / 1e3);
+
+  // Memory footprint of the per-term catalogs and query-state slabs
+  // (DESIGN.md §7). Per-shard structures are private and real — the
+  // document broadcast replicates postings per shard by design — so the
+  // aggregate (summed by ServerStats::Add) is the engine's total memory.
+  std::printf("memory footprint (catalog slab + postings + query slots):\n");
+  for (std::size_t s = 0; s < server.shard_count(); ++s) {
+    const ita::ServerStats& ss = server.shard_stats(s);
+    std::printf("  shard %zu: %8.2f MiB slab, %8.2f MiB postings, "
+                "%llu threshold entries, %llu query slots\n",
+                s, ss.catalog_slab_bytes / (1024.0 * 1024.0),
+                ss.postings_bytes / (1024.0 * 1024.0),
+                static_cast<unsigned long long>(ss.threshold_entries),
+                static_cast<unsigned long long>(ss.query_state_slots));
+  }
+  std::printf("  total:   %8.2f MiB slab, %8.2f MiB postings, "
+              "%llu threshold entries, %llu query slots\n",
+              stats.catalog_slab_bytes / (1024.0 * 1024.0),
+              stats.postings_bytes / (1024.0 * 1024.0),
+              static_cast<unsigned long long>(stats.threshold_entries),
+              static_cast<unsigned long long>(stats.query_state_slots));
   return 0;
 }

@@ -21,6 +21,10 @@ void ServerStats::Add(const ServerStats& other) {
   rollup_evictions += other.rollup_evictions;
   refills += other.refills;
   full_rescans += other.full_rescans;
+  catalog_slab_bytes += other.catalog_slab_bytes;
+  postings_bytes += other.postings_bytes;
+  threshold_entries += other.threshold_entries;
+  query_state_slots += other.query_state_slots;
 }
 
 std::string ServerStats::ToString() const {
@@ -40,7 +44,11 @@ std::string ServerStats::ToString() const {
      << "rollup_steps           = " << rollup_steps << "\n"
      << "rollup_evictions       = " << rollup_evictions << "\n"
      << "refills                = " << refills << "\n"
-     << "full_rescans           = " << full_rescans << "\n";
+     << "full_rescans           = " << full_rescans << "\n"
+     << "catalog_slab_bytes     = " << catalog_slab_bytes << "\n"
+     << "postings_bytes         = " << postings_bytes << "\n"
+     << "threshold_entries      = " << threshold_entries << "\n"
+     << "query_state_slots      = " << query_state_slots << "\n";
   return os.str();
 }
 

@@ -48,6 +48,19 @@ struct ServerStats {
   // Naive-specific machinery.
   std::uint64_t full_rescans = 0;           ///< top-k_max recomputations over D
 
+  // Memory-footprint gauges (DESIGN.md §7): refreshed by the owning
+  // server at each event/epoch boundary, NOT accumulated — each field is
+  // the structure's current size at the last refresh. Add() sums them
+  // like every other field, which is the right aggregate across shards:
+  // every shard's catalog and query-state slab is real, private memory
+  // (the broadcast-document design replicates postings per shard on
+  // purpose), so the sum is the engine's total footprint. They are
+  // intentionally NOT on the sharded take-once list above.
+  std::uint64_t catalog_slab_bytes = 0;     ///< TermState slab reservation
+  std::uint64_t postings_bytes = 0;         ///< live inverted-list entries
+  std::uint64_t threshold_entries = 0;      ///< (theta, query) pairs across trees
+  std::uint64_t query_state_slots = 0;      ///< QueryState slab length (incl. free)
+
   void Reset() { *this = ServerStats(); }
 
   /// Adds every counter of `other` into this instance — the per-shard

@@ -23,6 +23,7 @@
 
 #include <cstdint>
 #include <new>
+#include <utility>
 
 #include "common/logging.h"
 #include "common/random.h"
@@ -49,7 +50,7 @@ class SkipList {
   }
 
   ~SkipList() {
-    Clear();
+    if (head_ != nullptr) Clear();  // headless = moved-from: nothing to walk
     for (int h = 1; h <= kMaxHeight; ++h) {
       Node* node = free_list_[h - 1];
       while (node != nullptr) {
@@ -63,6 +64,48 @@ class SkipList {
 
   SkipList(const SkipList&) = delete;
   SkipList& operator=(const SkipList&) = delete;
+
+  /// Moves steal everything, including the head sentinel — no allocation
+  /// (the slab-allocated query states of the slot map relocate their
+  /// result sets on every growth, so a move must stay O(1) and truly
+  /// noexcept). The moved-from list is left HEADLESS: it supports only
+  /// destruction and assignment, not further element operations — the
+  /// exact lifecycle a relocating container subjects it to. Iterators
+  /// into `other` keep working; nodes do not move.
+  SkipList(SkipList&& other) noexcept
+      : cmp_(other.cmp_),
+        rng_(other.rng_),
+        head_(other.head_),
+        last_(other.last_),
+        size_(other.size_),
+        height_(other.height_) {
+    for (int h = 0; h < kMaxHeight; ++h) {
+      free_list_[h] = other.free_list_[h];
+      other.free_list_[h] = nullptr;
+    }
+    other.head_ = nullptr;
+    other.last_ = nullptr;
+    other.size_ = 0;
+    other.height_ = 1;
+  }
+  SkipList& operator=(SkipList&& other) noexcept {
+    if (this != &other) Swap(other);  // old contents die with `other`
+    return *this;
+  }
+
+  /// Exchanges the entire contents (including recycled-node pools).
+  void Swap(SkipList& other) noexcept {
+    using std::swap;
+    swap(cmp_, other.cmp_);
+    swap(rng_, other.rng_);
+    swap(head_, other.head_);
+    swap(last_, other.last_);
+    swap(size_, other.size_);
+    swap(height_, other.height_);
+    for (int h = 0; h < kMaxHeight; ++h) {
+      swap(free_list_[h], other.free_list_[h]);
+    }
+  }
 
   std::size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }

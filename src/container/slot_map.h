@@ -1,0 +1,130 @@
+// A slab allocator for per-entity state: values live in one contiguous
+// growable array of slots, Insert returns a dense std::uint32_t slot
+// index that stays valid until Erase, and erased slots are recycled
+// through a free list (LIFO, so churny workloads reuse the hottest
+// cache lines instead of growing the slab).
+//
+// This is the query-state backbone of the unified per-term catalog
+// (DESIGN.md §7): ItaServer keys every hot-path structure — threshold
+// tree entries, batch-affected runs — by slot instead of QueryId, so a
+// probe hit resolves with one indexed slab access instead of a hash
+// lookup. The slot index is 32-bit on purpose: it packs beside a double
+// in threshold-tree entries with no padding growth.
+//
+// Guarantees:
+//   * slot stability — a slot index stays valid (and maps to the same
+//     value) until Erase(slot); Insert never moves the mapping;
+//   * NO pointer stability — Insert may grow the slab and move values;
+//     hold slots across mutations, not pointers;
+//   * dense iteration — ForEach visits occupied slots in slot order,
+//     touching one contiguous array;
+//   * O(1) Insert/Erase/lookup, no per-value heap allocation.
+//
+// Not thread-safe; the server is single-threaded per the paper's model.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace ita {
+
+template <typename T>
+class SlotMap {
+ public:
+  using SlotIndex = std::uint32_t;
+  static constexpr SlotIndex kInvalidSlot = UINT32_C(0xFFFFFFFF);
+
+  /// Takes ownership of `value` and returns its slot: the lowest-
+  /// most-recently-freed slot if any is available, otherwise a fresh one
+  /// at the end of the slab.
+  SlotIndex Insert(T value) {
+    if (!free_.empty()) {
+      const SlotIndex slot = free_.back();
+      free_.pop_back();
+      ITA_DCHECK(!slots_[slot].has_value());
+      slots_[slot].emplace(std::move(value));
+      ++size_;
+      return slot;
+    }
+    ITA_CHECK(slots_.size() < kInvalidSlot) << "slot map full";
+    slots_.emplace_back(std::in_place, std::move(value));
+    ++size_;
+    return static_cast<SlotIndex>(slots_.size() - 1);
+  }
+
+  /// Destroys the value at `slot` and recycles the slot. Returns false if
+  /// the slot is vacant or out of range.
+  bool Erase(SlotIndex slot) {
+    if (slot >= slots_.size() || !slots_[slot].has_value()) return false;
+    slots_[slot].reset();
+    free_.push_back(slot);
+    --size_;
+    return true;
+  }
+
+  /// The value at `slot`, or nullptr when vacant/out of range.
+  T* Get(SlotIndex slot) {
+    if (slot >= slots_.size() || !slots_[slot].has_value()) return nullptr;
+    return &*slots_[slot];
+  }
+  const T* Get(SlotIndex slot) const {
+    if (slot >= slots_.size() || !slots_[slot].has_value()) return nullptr;
+    return &*slots_[slot];
+  }
+
+  /// Unchecked-in-release access; the slot must be occupied.
+  T& operator[](SlotIndex slot) {
+    ITA_DCHECK(slot < slots_.size() && slots_[slot].has_value());
+    return *slots_[slot];
+  }
+  const T& operator[](SlotIndex slot) const {
+    ITA_DCHECK(slot < slots_.size() && slots_[slot].has_value());
+    return *slots_[slot];
+  }
+
+  bool Contains(SlotIndex slot) const {
+    return slot < slots_.size() && slots_[slot].has_value();
+  }
+
+  /// Invokes fn(slot, value) for every occupied slot, ascending by slot —
+  /// one linear pass over the slab.
+  template <typename Fn>
+  void ForEach(Fn&& fn) {
+    for (SlotIndex s = 0; s < slots_.size(); ++s) {
+      if (slots_[s].has_value()) fn(s, *slots_[s]);
+    }
+  }
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (SlotIndex s = 0; s < slots_.size(); ++s) {
+      if (slots_[s].has_value()) fn(s, *slots_[s]);
+    }
+  }
+
+  /// Occupied slots.
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  /// Slab length: occupied + free slots (never shrinks; bounds every
+  /// outstanding slot index).
+  std::size_t slot_count() const { return slots_.size(); }
+  std::size_t free_count() const { return free_.size(); }
+
+  /// Bytes held by the slab and free list (capacity, not size) —
+  /// introspection hook; the server's stats gauge reports slot_count().
+  std::size_t slab_bytes() const {
+    return slots_.capacity() * sizeof(std::optional<T>) +
+           free_.capacity() * sizeof(SlotIndex);
+  }
+
+ private:
+  std::vector<std::optional<T>> slots_;
+  std::vector<SlotIndex> free_;  ///< vacant slots, reused LIFO
+  std::size_t size_ = 0;
+};
+
+}  // namespace ita

@@ -13,80 +13,114 @@ constexpr double kInfinity = std::numeric_limits<double>::infinity();
 }  // namespace
 
 Status ItaServer::OnRegisterQuery(QueryId id, const Query& query) {
-  auto state = std::make_unique<QueryState>();
-  state->id = id;
-  state->query = &query;
-  state->theta.assign(query.terms.size(), kInfinity);
-  state->tau = kInfinity;
+  QueryState state;
+  state.id = id;
+  state.query = &query;
+  state.theta.assign(query.terms.size(), kInfinity);
+  state.theta_epoch.assign(query.terms.size(), 0);
+  state.tau = kInfinity;
+
+  const SlotIndex slot = states_.Insert(std::move(state));
+  states_[slot].slot = slot;
+  slot_of_.emplace(id, slot);
 
   // Threshold-tree entries exist from registration on; +infinity keeps the
   // query invisible to probes until the initial search assigns real
-  // thresholds.
+  // thresholds. Trees address the query by its slab slot.
   for (const TermWeight& tw : query.terms) {
-    trees_[tw.term].Insert(kInfinity, id);
+    const bool inserted = catalog_.Ensure(tw.term).tree.Insert(kInfinity, slot);
+    ITA_DCHECK(inserted);
+    (void)inserted;
   }
-
-  QueryState* raw = state.get();
-  states_.emplace(id, std::move(state));
+  threshold_entries_ += query.terms.size();
 
   // Initial top-k over the current window contents (Section III-A).
-  ExtendSearch(*raw);
+  ExtendSearch(states_[slot]);
+  RefreshMemoryGauges();
   return Status::OK();
 }
 
 Status ItaServer::OnUnregisterQuery(QueryId id) {
-  const auto it = states_.find(id);
-  ITA_CHECK(it != states_.end());
-  const QueryState& state = *it->second;
+  const auto it = slot_of_.find(id);
+  ITA_CHECK(it != slot_of_.end());
+  const SlotIndex slot = it->second;
+  const QueryState& state = states_[slot];
   for (std::size_t i = 0; i < state.query->terms.size(); ++i) {
-    const TermId term = state.query->terms[i].term;
-    const auto tree = trees_.find(term);
-    ITA_CHECK(tree != trees_.end());
-    const bool erased = tree->second.Erase(state.theta[i], id);
+    TermState* ts = catalog_.Find(state.query->terms[i].term);
+    ITA_CHECK(ts != nullptr);
+    const bool erased = ts->tree.Erase(state.theta[i], slot);
     ITA_CHECK(erased) << "threshold tree entry missing for query " << id;
   }
-  states_.erase(it);
+  threshold_entries_ -= state.query->terms.size();
+  slot_of_.erase(it);
+  const bool freed = states_.Erase(slot);
+  ITA_DCHECK(freed);
+  (void)freed;
+  RefreshMemoryGauges();
   return Status::OK();
 }
 
-void ItaServer::CollectAffectedQueries(const Document& doc,
-                                       std::vector<QueryId>* out) {
-  out->clear();
+template <typename TermOp, typename Process>
+void ItaServer::ProcessEventFused(const Document& doc, TermOp&& term_op,
+                                  Process&& process) {
   ServerStats& stats = mutable_stats();
+  probe_scratch_.clear();
   for (const TermWeight& tw : doc.composition) {
-    const auto it = trees_.find(tw.term);
-    if (it == trees_.end() || it->second.empty()) continue;
-    stats.threshold_probe_steps += it->second.ProbeLessEqual(
-        tw.weight, [out](QueryId q) { out->push_back(q); });
+    // One catalog access per term covers both the posting maintenance
+    // (term_op) and the threshold probe — the colocation the TermCatalog
+    // layout buys.
+    TermState& ts = term_op(tw);
+    if (!states_.empty() && !ts.tree.empty()) {
+      stats.threshold_probe_steps += ts.tree.ProbeLessEqual(
+          tw.weight, [this](SlotIndex s) { probe_scratch_.push_back(s); });
+    }
   }
-  // A document is processed once per query even if it clears several local
-  // thresholds (Section III-B).
-  std::sort(out->begin(), out->end());
-  out->erase(std::unique(out->begin(), out->end()), out->end());
+  if (!probe_scratch_.empty()) {
+    // A document is processed once per query even if it clears several
+    // local thresholds (Section III-B).
+    std::sort(probe_scratch_.begin(), probe_scratch_.end());
+    probe_scratch_.erase(
+        std::unique(probe_scratch_.begin(), probe_scratch_.end()),
+        probe_scratch_.end());
+    for (const SlotIndex slot : probe_scratch_) {
+      ++stats.queries_probed;
+      process(states_[slot]);
+    }
+  }
+  RefreshMemoryGauges();
 }
 
 void ItaServer::OnArrive(const Document& doc) {
-  mutable_stats().index_entries_inserted += index_.AddDocument(doc);
-  if (states_.empty()) return;
-
-  CollectAffectedQueries(doc, &probe_scratch_);
-  for (const QueryId id : probe_scratch_) {
-    ++mutable_stats().queries_probed;
-    ProcessArrival(*states_.at(id), doc);
-  }
+  ServerStats& stats = mutable_stats();
+  ProcessEventFused(
+      doc,
+      [this, &doc, &stats](const TermWeight& tw) -> TermState& {
+        TermState& ts = catalog_.Ensure(tw.term);
+        const bool inserted = catalog_.InsertPosting(ts, doc.id, tw.weight);
+        ITA_CHECK(inserted) << "duplicate posting for doc " << doc.id
+                            << " term " << tw.term;
+        ++stats.index_entries_inserted;
+        return ts;
+      },
+      [this, &doc](QueryState& state) { ProcessArrival(state, doc); });
 }
 
 void ItaServer::OnExpire(const Document& doc) {
   // Delete postings first so a refill cannot resurrect the expiring
-  // document.
-  mutable_stats().index_entries_erased += index_.RemoveDocument(doc);
-  if (states_.empty()) return;
-
-  CollectAffectedQueries(doc, &probe_scratch_);
-  for (const QueryId id : probe_scratch_) {
-    ++mutable_stats().queries_probed;
-    ProcessExpiry(*states_.at(id), doc);
-  }
+  // document; the same per-term state fetch serves the tree probe.
+  ServerStats& stats = mutable_stats();
+  ProcessEventFused(
+      doc,
+      [this, &doc, &stats](const TermWeight& tw) -> TermState& {
+        TermState* ts = catalog_.Find(tw.term);
+        ITA_CHECK(ts != nullptr) << "no term state for term " << tw.term;
+        const bool erased = catalog_.ErasePosting(*ts, doc.id, tw.weight);
+        ITA_CHECK(erased) << "missing posting for doc " << doc.id << " term "
+                          << tw.term;
+        ++stats.index_entries_erased;
+        return *ts;
+      },
+      [this, &doc](QueryState& state) { ProcessExpiry(state, doc); });
 }
 
 double ItaServer::ThetaOf(const QueryState& state, TermId term) const {
@@ -154,25 +188,26 @@ void ItaServer::CollectBatchAffected(const DocRange& docs, GetDoc&& get_doc,
       std::size_t hi = lo;
       while (hi < bucket_hi && flat[hi].term == term) ++hi;
 
-      // Bulk index maintenance for this term's run — one ordered merge
-      // pass instead of one top-down search per posting.
-      run_op(term, lo, hi);
+      // ONE slab access per (term, epoch) serves both halves of the
+      // term's work: the bulk index maintenance (one ordered merge pass
+      // for the run) and the single threshold-tree probe.
+      TermState& ts = catalog_.Ensure(term);
+      run_op(ts, lo, hi);
 
-      const auto it = trees_.find(term);
-      if (it != trees_.end() && !it->second.empty()) {
+      if (!ts.tree.empty()) {
         // One tree probe per (term, batch), with the run's max weight; the
         // per-query filter below restores exactness.
         const double max_weight = flat[lo].weight;
         probe_scratch_.clear();
-        stats.threshold_probe_steps += it->second.ProbeLessEqual(
-            max_weight, [this](QueryId q) { probe_scratch_.push_back(q); });
-        for (const QueryId q : probe_scratch_) {
-          const double theta = ThetaOf(*states_.at(q), term);
+        stats.threshold_probe_steps += ts.tree.ProbeLessEqual(
+            max_weight, [this](SlotIndex s) { probe_scratch_.push_back(s); });
+        for (const SlotIndex s : probe_scratch_) {
+          const double theta = ThetaOf(states_[s], term);
           // The run orders by descending weight: stop at the first posting
           // below the query's local threshold.
           for (std::size_t p = lo; p < hi; ++p) {
             if (flat[p].weight < theta) break;
-            batch_affected_.emplace_back(q, flat[p].doc_index);
+            batch_affected_.emplace_back(s, flat[p].doc_index);
           }
         }
       }
@@ -194,21 +229,27 @@ void ItaServer::OnArriveBatch(const std::vector<const Document*>& docs) {
 
   CollectBatchAffected(
       docs, [&docs](std::uint32_t i) -> const Document& { return *docs[i]; },
-      [this, &stats](TermId term, std::size_t lo, std::size_t hi) {
-        const std::size_t n =
-            index_.InsertRun(term, BatchRunIterator{batch_postings_.data() + lo},
-                             BatchRunIterator{batch_postings_.data() + hi});
+      [this, &stats](TermState& ts, std::size_t lo, std::size_t hi) {
+        const std::size_t n = catalog_.InsertRunInto(
+            ts, BatchRunIterator{batch_postings_.data() + lo},
+            BatchRunIterator{batch_postings_.data() + hi});
         ITA_CHECK(n == hi - lo) << "duplicate posting in batch insert";
         stats.index_entries_inserted += n;
       });
-  if (states_.empty()) return;
+  if (states_.empty()) {
+    RefreshMemoryGauges();
+    return;
+  }
 
+  BeginBulkRetheta();
   for (std::size_t lo = 0; lo < batch_affected_.size();) {
-    const QueryId id = batch_affected_[lo].first;
+    const SlotIndex slot = batch_affected_[lo].first;
     std::size_t hi = lo;
-    while (hi < batch_affected_.size() && batch_affected_[hi].first == id) ++hi;
+    while (hi < batch_affected_.size() && batch_affected_[hi].first == slot) {
+      ++hi;
+    }
 
-    QueryState& state = *states_.at(id);
+    QueryState& state = states_[slot];
     stats.queries_probed += hi - lo;
     const std::size_t k = static_cast<std::size_t>(state.query->k);
     const double sk_before = state.result.KthScore(k);
@@ -228,6 +269,8 @@ void ItaServer::OnArriveBatch(const std::vector<const Document*>& docs) {
     }
     lo = hi;
   }
+  FlushBulkRetheta();
+  RefreshMemoryGauges();
 }
 
 void ItaServer::OnExpireBatch(const std::vector<Document>& docs) {
@@ -240,21 +283,27 @@ void ItaServer::OnExpireBatch(const std::vector<Document>& docs) {
   // posting would dangle).
   CollectBatchAffected(
       docs, [&docs](std::uint32_t i) -> const Document& { return docs[i]; },
-      [this, &stats](TermId term, std::size_t lo, std::size_t hi) {
-        const std::size_t n =
-            index_.EraseRun(term, BatchRunIterator{batch_postings_.data() + lo},
-                            BatchRunIterator{batch_postings_.data() + hi});
+      [this, &stats](TermState& ts, std::size_t lo, std::size_t hi) {
+        const std::size_t n = catalog_.EraseRunFrom(
+            ts, BatchRunIterator{batch_postings_.data() + lo},
+            BatchRunIterator{batch_postings_.data() + hi});
         ITA_CHECK(n == hi - lo) << "missing posting in batch erase";
         stats.index_entries_erased += n;
       });
-  if (states_.empty()) return;
+  if (states_.empty()) {
+    RefreshMemoryGauges();
+    return;
+  }
 
+  BeginBulkRetheta();
   for (std::size_t lo = 0; lo < batch_affected_.size();) {
-    const QueryId id = batch_affected_[lo].first;
+    const SlotIndex slot = batch_affected_[lo].first;
     std::size_t hi = lo;
-    while (hi < batch_affected_.size() && batch_affected_[hi].first == id) ++hi;
+    while (hi < batch_affected_.size() && batch_affected_[hi].first == slot) {
+      ++hi;
+    }
 
-    QueryState& state = *states_.at(id);
+    QueryState& state = states_[slot];
     stats.queries_probed += hi - lo;
     const std::size_t k = static_cast<std::size_t>(state.query->k);
 
@@ -264,7 +313,7 @@ void ItaServer::OnExpireBatch(const std::vector<Document>& docs) {
       // Invariant I1: a document above some local threshold is in R.
       ITA_DCHECK(state.result.Contains(d))
           << "I1 violated: expiring doc " << d << " missing from R of query "
-          << id;
+          << state.id;
       if (state.result.InTopK(d, k)) lost_topk = true;
       const bool erased = state.result.Erase(d);
       ITA_CHECK(erased);
@@ -281,6 +330,8 @@ void ItaServer::OnExpireBatch(const std::vector<Document>& docs) {
     }
     lo = hi;
   }
+  FlushBulkRetheta();
+  RefreshMemoryGauges();
 }
 
 void ItaServer::ProcessArrival(QueryState& state, const Document& doc) {
@@ -335,11 +386,63 @@ void ItaServer::ScoreIntoResult(QueryState& state, const Document& doc) {
 void ItaServer::SetTheta(QueryState& state, std::size_t i, double new_theta) {
   const double old_theta = state.theta[i];
   if (old_theta == new_theta) return;
-  const TermId term = state.query->terms[i].term;
-  const auto tree = trees_.find(term);
-  ITA_CHECK(tree != trees_.end());
-  tree->second.Update(old_theta, new_theta, state.id);
+  if (bulk_retheta_active_) {
+    // Defer the tree move: record where this threshold's entry sits at
+    // epoch start (once, however many times it moves this epoch) and let
+    // FlushBulkRetheta relocate it in the per-term merge pass. Trees are
+    // only probed at epoch boundaries, so no reader sees the lag.
+    if (state.theta_epoch[i] != retheta_epoch_) {
+      state.theta_epoch[i] = retheta_epoch_;
+      pending_theta_.push_back(PendingTheta{state.query->terms[i].term,
+                                            state.slot,
+                                            static_cast<std::uint32_t>(i),
+                                            old_theta});
+    }
+    state.theta[i] = new_theta;
+    return;
+  }
+  TermState* ts = catalog_.Find(state.query->terms[i].term);
+  ITA_CHECK(ts != nullptr);
+  ts->tree.Update(old_theta, new_theta, state.slot);
   state.theta[i] = new_theta;
+}
+
+void ItaServer::BeginBulkRetheta() {
+  ++retheta_epoch_;
+  bulk_retheta_active_ = true;
+  pending_theta_.clear();
+}
+
+void ItaServer::FlushBulkRetheta() {
+  bulk_retheta_active_ = false;
+  if (pending_theta_.empty()) return;
+
+  // Group the epoch's moves per term so every touched tree applies its
+  // whole move set as ONE erase-compaction + merge pass, instead of one
+  // Erase+Insert pair per (query, term) move.
+  std::sort(pending_theta_.begin(), pending_theta_.end(),
+            [](const PendingTheta& a, const PendingTheta& b) {
+              return a.term < b.term;
+            });
+  for (std::size_t lo = 0; lo < pending_theta_.size();) {
+    const TermId term = pending_theta_[lo].term;
+    std::size_t hi = lo;
+    while (hi < pending_theta_.size() && pending_theta_[hi].term == term) ++hi;
+
+    move_scratch_.clear();
+    for (std::size_t p = lo; p < hi; ++p) {
+      const PendingTheta& pending = pending_theta_[p];
+      const QueryState& state = states_[pending.slot];
+      const double new_theta = state.theta[pending.term_index];
+      move_scratch_.push_back(FlatThresholdTree::ThetaMove{
+          pending.old_theta, new_theta, pending.slot});
+    }
+    TermState* ts = catalog_.Find(term);
+    ITA_DCHECK(ts != nullptr);
+    ts->tree.ApplyMoves(move_scratch_);
+    lo = hi;
+  }
+  pending_theta_.clear();
 }
 
 void ItaServer::ExtendSearch(QueryState& state) {
@@ -349,12 +452,12 @@ void ItaServer::ExtendSearch(QueryState& state) {
   ServerStats& stats = mutable_stats();
 
   // Cursor i sits at the first unread entry of list i (first entry with
-  // weight strictly below theta[i]); lists_[i] may be null (term never
-  // indexed), which reads as exhausted.
+  // weight strictly below theta[i]); lists_[i] may be null (term holds no
+  // posting), which reads as exhausted.
   std::vector<const InvertedList*> lists(n, nullptr);
   std::vector<InvertedList::Iterator> cursor(n);
   for (std::size_t i = 0; i < n; ++i) {
-    lists[i] = index_.List(qterms[i].term);
+    lists[i] = catalog_.List(qterms[i].term);
     if (lists[i] != nullptr) cursor[i] = lists[i]->FirstBelow(state.theta[i]);
   }
   const auto exhausted = [&](std::size_t i) {
@@ -443,7 +546,7 @@ void ItaServer::RollUp(QueryState& state) {
     double best_key = kInfinity;
     double best_target = 0.0;
     for (std::size_t i = 0; i < n; ++i) {
-      const InvertedList* list = index_.List(qterms[i].term);
+      const InvertedList* list = catalog_.List(qterms[i].term);
       if (list == nullptr) continue;
       const auto target = list->NextWeightAbove(state.theta[i]);
       if (!target.has_value()) continue;
@@ -464,7 +567,7 @@ void ItaServer::RollUp(QueryState& state) {
     // rolled list with weight in [theta_best, best_target) that fall below
     // every (new) local threshold. Such documents score < new_tau <= S_k,
     // so they cannot be in the top-k (DESIGN.md §2, item 5).
-    const InvertedList* list = index_.List(qterms[best].term);
+    const InvertedList* list = catalog_.List(qterms[best].term);
     const double old_theta = state.theta[best];
     SetTheta(state, best, best_target);
     state.tau = new_tau;
@@ -497,27 +600,35 @@ void ItaServer::RollUp(QueryState& state) {
   }
 }
 
+void ItaServer::RefreshMemoryGauges() {
+  ServerStats& stats = mutable_stats();
+  stats.catalog_slab_bytes = catalog_.slab_bytes();
+  stats.postings_bytes = catalog_.postings_bytes();
+  stats.threshold_entries = threshold_entries_;
+  stats.query_state_slots = states_.slot_count();
+}
+
 std::vector<ResultEntry> ItaServer::CurrentResult(QueryId id) const {
-  const auto it = states_.find(id);
-  ITA_CHECK(it != states_.end());
-  const QueryState& state = *it->second;
+  const auto it = slot_of_.find(id);
+  ITA_CHECK(it != slot_of_.end());
+  const QueryState& state = states_[it->second];
   return state.result.TopK(static_cast<std::size_t>(state.query->k));
 }
 
 StatusOr<double> ItaServer::InfluenceThreshold(QueryId id) const {
-  const auto it = states_.find(id);
-  if (it == states_.end()) {
+  const auto it = slot_of_.find(id);
+  if (it == slot_of_.end()) {
     return Status::NotFound("no query with id " + std::to_string(id));
   }
-  return it->second->tau;
+  return states_[it->second].tau;
 }
 
 StatusOr<double> ItaServer::LocalThreshold(QueryId id, TermId term) const {
-  const auto it = states_.find(id);
-  if (it == states_.end()) {
+  const auto it = slot_of_.find(id);
+  if (it == slot_of_.end()) {
     return Status::NotFound("no query with id " + std::to_string(id));
   }
-  const QueryState& state = *it->second;
+  const QueryState& state = states_[it->second];
   for (std::size_t i = 0; i < state.query->terms.size(); ++i) {
     if (state.query->terms[i].term == term) return state.theta[i];
   }
@@ -525,11 +636,11 @@ StatusOr<double> ItaServer::LocalThreshold(QueryId id, TermId term) const {
 }
 
 StatusOr<std::vector<ResultEntry>> ItaServer::Candidates(QueryId id) const {
-  const auto it = states_.find(id);
-  if (it == states_.end()) {
+  const auto it = slot_of_.find(id);
+  if (it == slot_of_.end()) {
     return Status::NotFound("no query with id " + std::to_string(id));
   }
-  const QueryState& state = *it->second;
+  const QueryState& state = states_[it->second];
   std::vector<ResultEntry> out;
   out.reserve(state.result.size());
   for (const auto& entry : state.result) {

@@ -1,10 +1,14 @@
 // The Incremental Threshold Algorithm (Section III of Mouratidis & Pang,
 // ICDE 2009).
 //
-// Data structures (Figure 1): the valid documents live in the base class's
-// FIFO store; on top of them ItaServer maintains an impact-ordered
-// inverted index, and for every inverted list a threshold tree holding the
-// local thresholds theta_{Q,t} of the registered queries.
+// Data structures (Figure 1, reorganized per DESIGN.md §7): the valid
+// documents live in the base class's FIFO store; on top of them ItaServer
+// maintains a unified per-term catalog — one colocated TermState per
+// dense TermId holding the term's impact-ordered inverted list AND its
+// flat threshold tree — plus a slab-allocated SlotMap of per-query
+// states. Threshold-tree entries carry SlotMap slots, so a probe hit
+// resolves to its QueryState with one indexed slab access; no hash
+// lookup sits on the event path.
 //
 // Invariants maintained for every query Q (DESIGN.md §2):
 //   I1  R(Q) = { valid d : exists t in Q with w_{d,t} >= theta_{Q,t} },
@@ -22,18 +26,25 @@
 //   * expiry   — delete postings; probe the same trees; drop the document
 //     from each affected R; if it was in a top-k, resume the threshold
 //     search downward from the current thresholds until I2 holds again.
+//
+// Epoch hooks additionally defer every theta move to a bulk per-term
+// retheta pass: instead of an Erase+Insert tree pair per (query, term)
+// move, the epoch's moves are collected and each touched tree applies
+// them as ONE erase-compaction + merge pass (FlatThresholdTree::
+// ApplyMoves). Trees are only probed at epoch boundaries, so deferring
+// their updates to the end of the hook is invisible to every reader.
 
 #pragma once
 
-#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "container/slot_map.h"
 #include "core/result_set.h"
 #include "core/server.h"
+#include "core/term_catalog.h"
 #include "core/threshold_tree.h"
-#include "index/inverted_index.h"
 
 namespace ita {
 
@@ -51,7 +62,9 @@ class ItaServer : public ContinuousSearchServer {
 
   std::string name() const override { return "ita"; }
 
-  const InvertedIndex& index() const { return index_; }
+  /// The unified per-term catalog (inverted lists + threshold trees) —
+  /// inspection hook for tools and tests.
+  const TermCatalog& catalog() const { return catalog_; }
 
   /// The current influence threshold tau(Q) — exposed for tests and for
   /// the invariant checker.
@@ -64,6 +77,10 @@ class ItaServer : public ContinuousSearchServer {
   /// debugging hook; the public answer is Result(id).
   StatusOr<std::vector<ResultEntry>> Candidates(QueryId id) const;
 
+  /// Slots the query-state slab holds (occupied + reusable) — exposed so
+  /// churn tests can assert free-list reuse bounds the slab.
+  std::size_t query_state_slots() const { return states_.slot_count(); }
+
  protected:
   Status OnRegisterQuery(QueryId id, const Query& query) override;
   Status OnUnregisterQuery(QueryId id) override;
@@ -71,13 +88,14 @@ class ItaServer : public ContinuousSearchServer {
   void OnExpire(const Document& doc) override;
 
   /// Epoch-amortized event processing (DESIGN.md §4). Both hooks bucket
-  /// the batch's postings per term, probe each term's threshold tree ONCE
-  /// with the bucket's maximum weight (instead of once per document), and
-  /// run the expensive per-query machinery (RollUp after arrivals,
-  /// ExtendSearch refill after expirations) once per affected query per
-  /// epoch instead of once per event. Semantically exact: candidate
-  /// filtering uses the exact per-query local thresholds, and I1/I2 are
-  /// restored before the hook returns.
+  /// the batch's postings per term, fetch each term's TermState ONCE for
+  /// both the bulk list maintenance and the single tree probe (with the
+  /// bucket's maximum weight), and run the expensive per-query machinery
+  /// (RollUp after arrivals, ExtendSearch refill after expirations) once
+  /// per affected query per epoch instead of once per event; the theta
+  /// moves those produce flush through the bulk retheta pass. Semantically
+  /// exact: candidate filtering uses the exact per-query local thresholds,
+  /// and I1/I2 are restored before the hook returns.
   ///
   /// ItaServer MUST override OnExpireBatch (not merely for speed): the
   /// base class removes every expiring document from the store before the
@@ -90,21 +108,34 @@ class ItaServer : public ContinuousSearchServer {
   std::vector<ResultEntry> CurrentResult(QueryId id) const override;
 
  private:
+  /// == SlotMap<QueryState>::SlotIndex (spelled concretely so the alias
+  /// does not force instantiation against the incomplete QueryState).
+  using SlotIndex = std::uint32_t;
+
   struct QueryState {
     QueryId id = kInvalidQueryId;
+    SlotIndex slot = 0;            ///< this state's own slab slot
     const Query* query = nullptr;  // owned by the base class; node-stable
     ResultSet result;
     /// Local thresholds, parallel to query->terms. +infinity = nothing
     /// read yet (registration only); 0 = list exhausted (fully monitored).
     std::vector<double> theta;
+    /// Bulk-retheta bookkeeping, parallel to theta: the retheta epoch in
+    /// which theta[i] last started moving (so one epoch records one old
+    /// tree position per moved threshold, however many times it moves).
+    std::vector<std::uint64_t> theta_epoch;
     /// Cached tau = sum_t w_{Q,t} * theta_t; finite once registered.
     double tau = 0.0;
   };
 
-  /// Probes the threshold trees of the document's terms and returns the
-  /// distinct queries with theta_{Q,t} <= w_{d,t} for some t (the queries
-  /// the document may affect).
-  void CollectAffectedQueries(const Document& doc, std::vector<QueryId>* out);
+  /// Shared per-event front half of OnArrive/OnExpire: for each term of
+  /// `doc`, `term_op(tw)` performs the posting maintenance against the
+  /// term's colocated state and returns it (one slab access serves both
+  /// the posting op and the tree probe performed here); every distinct
+  /// affected query is then dispatched to `process(state)`.
+  template <typename TermOp, typename Process>
+  void ProcessEventFused(const Document& doc, TermOp&& term_op,
+                         Process&& process);
 
   /// Arrival handling for one affected query (Section III-B).
   void ProcessArrival(QueryState& state, const Document& doc);
@@ -130,30 +161,65 @@ class ItaServer : public ContinuousSearchServer {
   /// Scores `doc` against `state` and adds it to R (it must be absent).
   void ScoreIntoResult(QueryState& state, const Document& doc);
 
-  /// Moves theta[i] (vector + threshold tree entry) to `new_theta`.
+  /// Moves theta[i] to `new_theta`. Outside an epoch the threshold-tree
+  /// entry moves immediately (one binary search + rotate); inside one the
+  /// move is recorded for the bulk retheta flush and only the state
+  /// vector changes (trees are not probed until the next epoch).
   void SetTheta(QueryState& state, std::size_t i, double new_theta);
+
+  /// Brackets an epoch hook's per-query phase: every SetTheta in between
+  /// is deferred, then FlushBulkRetheta applies each touched tree's moves
+  /// as one ApplyMoves pass.
+  void BeginBulkRetheta();
+  void FlushBulkRetheta();
 
   /// The current local threshold of `term` in `state`; the term must be
   /// part of the query.
   double ThetaOf(const QueryState& state, TermId term) const;
 
+  /// Writes the current structure sizes into the stats gauges (DESIGN.md
+  /// §7) — called at every event/epoch boundary.
+  void RefreshMemoryGauges();
+
   /// Shared batch-hook front half: flattens one posting per (document,
   /// term) of the batch and sorts it ONCE into per-term ImpactOrder runs.
-  /// Each run is handed to `run_op(term, first, last)` — the bulk index
-  /// insert/erase — and then probed against the term's threshold tree
-  /// once, with the run's max weight, emitting one (query, posting index)
-  /// pair per posting that clears the query's local threshold for that
-  /// term. Pairs come out sorted by (query, epoch position) with
-  /// duplicates removed, ready for grouped per-query processing.
+  /// For each run the term's TermState is fetched ONCE; `run_op(ts,
+  /// first, last)` applies the bulk index insert/erase against it, and
+  /// the same state's tree is probed once with the run's max weight,
+  /// emitting one (slot, posting index) pair per posting that clears the
+  /// query's local threshold for that term. Pairs come out sorted by
+  /// (slot, epoch position) with duplicates removed, ready for grouped
+  /// per-query processing.
   template <typename DocRange, typename GetDoc, typename RunOp>
   void CollectBatchAffected(const DocRange& docs, GetDoc&& get_doc,
                             RunOp&& run_op);
 
   ItaTuning tuning_;
-  InvertedIndex index_;
-  std::unordered_map<QueryId, std::unique_ptr<QueryState>> states_;
-  std::unordered_map<TermId, ThresholdTree> trees_;
-  std::vector<QueryId> probe_scratch_;
+  /// Colocated per-term state: inverted list + flat threshold tree in one
+  /// slab indexed by TermId (DESIGN.md §7).
+  TermCatalog catalog_;
+  /// Slab-allocated query states; threshold trees and the batch scratch
+  /// below address them by slot. Slots are recycled under query churn.
+  SlotMap<QueryState> states_;
+  /// Cold-path directory QueryId -> slot (registration, unregistration,
+  /// result lookups); never consulted by event processing.
+  std::unordered_map<QueryId, SlotIndex> slot_of_;
+  /// (theta, query) pairs across all trees == sum of registered query
+  /// sizes — maintained here because trees are mutated through TermState.
+  std::size_t threshold_entries_ = 0;
+  std::vector<SlotIndex> probe_scratch_;
+
+  // Bulk retheta scratch (see SetTheta).
+  struct PendingTheta {
+    TermId term = kInvalidTermId;
+    SlotIndex slot = 0;
+    std::uint32_t term_index = 0;  ///< position in query->terms / theta
+    double old_theta = 0.0;        ///< tree entry at epoch start
+  };
+  bool bulk_retheta_active_ = false;
+  std::uint64_t retheta_epoch_ = 0;
+  std::vector<PendingTheta> pending_theta_;
+  std::vector<FlatThresholdTree::ThetaMove> move_scratch_;
 
   // Batch (epoch) scratch, reused across IngestBatch calls. Postings
   // radix-scatter into the buckets below keyed by the term's low bits
@@ -166,7 +232,7 @@ class ItaServer : public ContinuousSearchServer {
     std::uint32_t doc_index = 0;  ///< position in the epoch's doc sequence
   };
   /// Forward iterator presenting a grouped posting run as ImpactEntries —
-  /// the shape InvertedIndex::InsertRun/EraseRun consume.
+  /// the shape the catalog's run primitives consume.
   struct BatchRunIterator {
     const BatchPosting* p = nullptr;
     ImpactEntry operator*() const { return ImpactEntry{p->weight, p->doc}; }
@@ -188,7 +254,7 @@ class ItaServer : public ContinuousSearchServer {
   /// histogram stays L1-resident, unlike any dictionary-sized table.
   std::vector<std::uint32_t> bucket_start_;
   std::vector<std::uint32_t> bucket_cursor_;
-  std::vector<std::pair<QueryId, std::uint32_t>> batch_affected_;
+  std::vector<std::pair<SlotIndex, std::uint32_t>> batch_affected_;
 };
 
 }  // namespace ita

@@ -1,0 +1,88 @@
+#include "core/term_catalog.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace ita {
+
+std::size_t TermCatalog::AddDocument(const Document& doc) {
+  ITA_DCHECK(doc.id != kInvalidDocId) << "document must have an id before indexing";
+  for (const TermWeight& tw : doc.composition) {
+    const bool inserted = InsertPosting(Ensure(tw.term), doc.id, tw.weight);
+    ITA_CHECK(inserted) << "duplicate posting for doc " << doc.id << " term "
+                        << tw.term;
+  }
+  return doc.composition.size();
+}
+
+std::size_t TermCatalog::RemoveDocument(const Document& doc) {
+  std::size_t removed = 0;
+  for (const TermWeight& tw : doc.composition) {
+    TermState* ts = Find(tw.term);
+    ITA_CHECK(ts != nullptr) << "no term state for term " << tw.term;
+    const bool erased = ErasePosting(*ts, doc.id, tw.weight);
+    ITA_CHECK(erased) << "missing posting for doc " << doc.id << " term "
+                      << tw.term;
+    ++removed;
+  }
+  return removed;
+}
+
+template <typename Apply>
+std::size_t TermCatalog::ForEachTermRun(Apply&& apply) {
+  // Group per term; within a term the entries must follow ImpactOrder
+  // (weight desc, doc desc) so each group is a valid ordered run.
+  std::sort(batch_scratch_.begin(), batch_scratch_.end(),
+            [](const FlatPosting& a, const FlatPosting& b) {
+              if (a.term != b.term) return a.term < b.term;
+              return ImpactOrder{}(a.entry, b.entry);
+            });
+  std::size_t applied = 0;
+  for (std::size_t lo = 0; lo < batch_scratch_.size();) {
+    const TermId term = batch_scratch_[lo].term;
+    std::size_t hi = lo;
+    while (hi < batch_scratch_.size() && batch_scratch_[hi].term == term) ++hi;
+    applied += apply(Ensure(term), lo, hi);
+    lo = hi;
+  }
+  return applied;
+}
+
+std::size_t TermCatalog::AddBatch(const std::vector<const Document*>& docs) {
+  batch_scratch_.clear();
+  for (const Document* doc : docs) {
+    ITA_DCHECK(doc->id != kInvalidDocId)
+        << "document must have an id before indexing";
+    for (const TermWeight& tw : doc->composition) {
+      batch_scratch_.push_back(
+          FlatPosting{tw.term, ImpactEntry{tw.weight, doc->id}});
+    }
+  }
+  return ForEachTermRun([this](TermState& ts, std::size_t lo, std::size_t hi) {
+    const std::size_t n =
+        InsertRunInto(ts, EntryIterator{batch_scratch_.data() + lo},
+                      EntryIterator{batch_scratch_.data() + hi});
+    ITA_CHECK(n == hi - lo) << "duplicate posting in batch insert";
+    return n;
+  });
+}
+
+std::size_t TermCatalog::RemoveBatch(const std::vector<Document>& docs) {
+  batch_scratch_.clear();
+  for (const Document& doc : docs) {
+    for (const TermWeight& tw : doc.composition) {
+      batch_scratch_.push_back(
+          FlatPosting{tw.term, ImpactEntry{tw.weight, doc.id}});
+    }
+  }
+  return ForEachTermRun([this](TermState& ts, std::size_t lo, std::size_t hi) {
+    const std::size_t n =
+        EraseRunFrom(ts, EntryIterator{batch_scratch_.data() + lo},
+                     EntryIterator{batch_scratch_.data() + hi});
+    ITA_CHECK(n == hi - lo) << "missing posting in batch erase";
+    return n;
+  });
+}
+
+}  // namespace ita

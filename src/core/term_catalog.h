@@ -1,0 +1,201 @@
+// The unified per-term catalog (DESIGN.md §7): for every dense TermId,
+// ONE colocated TermState holding the term's impact-ordered inverted
+// list *and* its flat threshold tree, side by side in a single growable
+// slab indexed by TermId.
+//
+// ITA's per-term economy is the pair "apply this term's postings, then
+// probe this term's threshold tree" executed for every term an epoch
+// touches. The seed paid two lookups per term for it — a dense-array
+// fetch into InvertedIndex plus a hash lookup into a separate
+// unordered_map<TermId, ThresholdTree> — with the two structures in
+// unrelated heap regions. The catalog makes it one indexed slab access:
+// Ensure/Find lands on a TermState whose list and tree share a cache
+// neighborhood, and the whole arrival/expiration hot path runs against
+// that one pointer.
+//
+// The catalog subsumes the former index/InvertedIndex: the document-
+// granular maintenance (AddDocument/RemoveDocument), the epoch-granular
+// run primitives (InsertRun/EraseRun), and the self-contained batch
+// helpers (AddBatch/RemoveBatch) all live here, with identical
+// semantics. Threshold trees are mutated directly through TermState by
+// the server (which owns the theta bookkeeping); the catalog tracks
+// posting counts and slab footprint for the memory gauges.
+//
+// Lists and trees are materialized lazily: Find returns nullptr for a
+// term never seen by either side; List additionally returns nullptr
+// until the term holds (or once held) a posting, preserving the former
+// InvertedIndex contract.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.h"
+#include "core/threshold_tree.h"
+#include "index/inverted_list.h"
+#include "stream/document.h"
+
+namespace ita {
+
+/// Everything the server keeps per term, colocated: the postings and the
+/// registered local thresholds over them.
+struct TermState {
+  InvertedList list;
+  FlatThresholdTree tree;
+  /// True once the list ever held a posting (it may be empty again after
+  /// expirations) — preserves the "materialized list" accounting.
+  bool list_materialized = false;
+};
+
+class TermCatalog {
+ public:
+  /// The state for `term`, creating it (and growing the slab) on first
+  /// touch. References are invalidated by slab growth — hold them only
+  /// across code that calls Ensure for no new term.
+  TermState& Ensure(TermId term) {
+    if (term >= states_.size()) {
+      states_.resize(static_cast<std::size_t>(term) + 1);
+    }
+    return states_[term];
+  }
+
+  /// The state for `term`, or nullptr if the term was never touched.
+  TermState* Find(TermId term) {
+    if (term >= states_.size()) return nullptr;
+    return &states_[term];
+  }
+  const TermState* Find(TermId term) const {
+    if (term >= states_.size()) return nullptr;
+    return &states_[term];
+  }
+
+  /// The inverted list for `term`, or nullptr if no posting was ever
+  /// inserted for it. The pointer stays valid while the slab does not
+  /// grow past `term` (Ensure of a larger term may move it).
+  const InvertedList* List(TermId term) const {
+    const TermState* ts = Find(term);
+    if (ts == nullptr || !ts->list_materialized) return nullptr;
+    return &ts->list;
+  }
+
+  /// Inserts one posting per composition entry. Returns the number of
+  /// postings inserted. The document id must be set.
+  std::size_t AddDocument(const Document& doc);
+
+  /// Removes the document's postings (exact inverse of AddDocument).
+  /// Returns the number of postings removed.
+  std::size_t RemoveDocument(const Document& doc);
+
+  /// Batch (epoch) maintenance: inserts the postings of all documents,
+  /// grouped per term and applied to each inverted list as one ordered
+  /// run — exactly equivalent to AddDocument on each document. Returns
+  /// the number of postings inserted.
+  std::size_t AddBatch(const std::vector<const Document*>& docs);
+
+  /// Exact inverse of AddBatch (documents passed by value because the
+  /// expiration path owns them by then). Returns postings removed.
+  std::size_t RemoveBatch(const std::vector<Document>& docs);
+
+  /// Single posting primitives against an already-fetched TermState —
+  /// the per-event path touches each term's state once for both the
+  /// posting and the tree probe. `ts` must belong to this catalog.
+  bool InsertPosting(TermState& ts, DocId doc, double weight) {
+    MarkMaterialized(ts);
+    const bool inserted = ts.list.Insert(doc, weight);
+    if (inserted) ++total_postings_;
+    return inserted;
+  }
+  bool ErasePosting(TermState& ts, DocId doc, double weight) {
+    const bool erased = ts.list.Erase(doc, weight);
+    if (erased) --total_postings_;
+    return erased;
+  }
+
+  /// Run primitives against an already-fetched TermState: apply a whole
+  /// epoch's postings for the term as one ordered merge (insert) or
+  /// compaction (erase) pass. `FwdIt` dereferences to an ImpactEntry (by
+  /// value or reference); the run must follow ImpactOrder. Return
+  /// postings inserted/erased.
+  template <typename FwdIt>
+  std::size_t InsertRunInto(TermState& ts, FwdIt first, FwdIt last) {
+    MarkMaterialized(ts);
+    const std::size_t n = ts.list.InsertOrdered(first, last);
+    total_postings_ += n;
+    return n;
+  }
+  template <typename FwdIt>
+  std::size_t EraseRunFrom(TermState& ts, FwdIt first, FwdIt last) {
+    const std::size_t n = ts.list.EraseOrdered(first, last);
+    total_postings_ -= n;
+    return n;
+  }
+
+  /// Term-keyed run primitives (the former InvertedIndex API).
+  template <typename FwdIt>
+  std::size_t InsertRun(TermId term, FwdIt first, FwdIt last) {
+    return InsertRunInto(Ensure(term), first, last);
+  }
+  template <typename FwdIt>
+  std::size_t EraseRun(TermId term, FwdIt first, FwdIt last) {
+    TermState* ts = Find(term);
+    if (ts == nullptr) return 0;
+    return EraseRunFrom(*ts, first, last);
+  }
+
+  /// Number of terms with a materialized list (counting emptied ones).
+  std::size_t materialized_lists() const { return materialized_; }
+
+  /// Total postings across all lists.
+  std::size_t total_postings() const { return total_postings_; }
+
+  /// Slab length (terms the catalog has slots for).
+  std::size_t term_count() const { return states_.size(); }
+
+  // Memory-footprint gauges (DESIGN.md §7).
+  /// Bytes reserved by the TermState slab itself.
+  std::size_t slab_bytes() const {
+    return states_.capacity() * sizeof(TermState);
+  }
+  /// Bytes held by live postings across all lists.
+  std::size_t postings_bytes() const {
+    return total_postings_ * sizeof(ImpactEntry);
+  }
+
+ private:
+  void MarkMaterialized(TermState& ts) {
+    if (!ts.list_materialized) {
+      ts.list_materialized = true;
+      ++materialized_;
+    }
+  }
+
+  /// One flattened posting of a batch, sortable into per-term ImpactOrder
+  /// runs for InsertOrdered/EraseOrdered.
+  struct FlatPosting {
+    TermId term = kInvalidTermId;
+    ImpactEntry entry;
+  };
+  /// Forward iterator exposing the ImpactEntry of a FlatPosting run.
+  struct EntryIterator {
+    const FlatPosting* p = nullptr;
+    const ImpactEntry& operator*() const { return p->entry; }
+    EntryIterator& operator++() {
+      ++p;
+      return *this;
+    }
+    friend bool operator==(EntryIterator a, EntryIterator b) { return a.p == b.p; }
+    friend bool operator!=(EntryIterator a, EntryIterator b) { return a.p != b.p; }
+  };
+  /// Flattens, sorts and applies the scratch postings via `apply(state,
+  /// run_begin, run_end)` once per term group.
+  template <typename Apply>
+  std::size_t ForEachTermRun(Apply&& apply);
+
+  std::vector<TermState> states_;  ///< the slab, indexed by TermId
+  std::size_t materialized_ = 0;
+  std::size_t total_postings_ = 0;
+  std::vector<FlatPosting> batch_scratch_;
+};
+
+}  // namespace ita

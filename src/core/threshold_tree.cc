@@ -1,5 +1,67 @@
 #include "core/threshold_tree.h"
 
-// ThresholdTree is header-only; this translation unit anchors the header.
+namespace ita {
 
-namespace ita {}  // namespace ita
+std::size_t FlatThresholdTree::ApplyMoves(std::vector<ThetaMove>& moves) {
+  // Drop no-op moves up front so the passes below only touch real work
+  // (the epoch collector records a move when a theta *starts* changing;
+  // it may end the epoch back where it began).
+  moves.erase(std::remove_if(moves.begin(), moves.end(),
+                             [](const ThetaMove& m) {
+                               return m.old_theta == m.new_theta;
+                             }),
+              moves.end());
+  if (moves.empty()) return 0;
+  if (moves.size() == 1) {
+    Update(moves[0].old_theta, moves[0].new_theta, moves[0].query);
+    return 1;
+  }
+
+  // Pass 1 — erase the old entries: sort the moves into the tree's order
+  // by their old position, then compact the survivors forward over the
+  // gaps in one pass of binary-search jumps (the EraseOrdered idiom of
+  // InvertedList).
+  std::sort(moves.begin(), moves.end(),
+            [](const ThetaMove& a, const ThetaMove& b) {
+              return Order{}(Entry{a.old_theta, a.query},
+                             Entry{b.old_theta, b.query});
+            });
+  auto write = entries_.begin();
+  auto read = entries_.begin();
+  for (const ThetaMove& m : moves) {
+    const Entry target{m.old_theta, m.query};
+    const auto pos = std::lower_bound(read, entries_.end(), target, Order{});
+    ITA_DCHECK(pos != entries_.end() && pos->theta == m.old_theta &&
+               pos->query == m.query)
+        << "bulk retheta: old entry missing for query " << m.query;
+    write = (write == read) ? pos : std::move(read, pos, write);
+    read = pos;
+    if (read != entries_.end()) ++read;  // drop the matched entry
+  }
+  write = (write == read) ? entries_.end()
+                          : std::move(read, entries_.end(), write);
+  entries_.erase(write, entries_.end());
+
+  // Pass 2 — insert the new entries: sort by their new position and merge
+  // backward into the reopened tail (the InsertOrdered idiom).
+  std::sort(moves.begin(), moves.end(),
+            [](const ThetaMove& a, const ThetaMove& b) {
+              return Order{}(Entry{a.new_theta, a.query},
+                             Entry{b.new_theta, b.query});
+            });
+  const std::size_t old_size = entries_.size();
+  entries_.resize(old_size + moves.size());
+  auto read_end = entries_.begin() + static_cast<std::ptrdiff_t>(old_size);
+  auto write_end = entries_.end();
+  for (std::size_t j = moves.size(); j-- > 0;) {
+    const Entry value{moves[j].new_theta, moves[j].query};
+    const auto pos =
+        std::lower_bound(entries_.begin(), read_end, value, Order{});
+    write_end = std::move_backward(pos, read_end, write_end);
+    read_end = pos;
+    *--write_end = value;
+  }
+  return moves.size();
+}
+
+}  // namespace ita

@@ -4,21 +4,37 @@
 // local threshold is <= w" executed on every document arrival/expiration
 // that touches the term.
 //
-// Entries ascend by theta, so the probe is a front scan that stops at the
+// Storage is a contiguous array of packed {theta, query} pairs sorted by
+// ascending theta, mirroring the impact-array layout of InvertedList
+// (DESIGN.md §7): the probe is a linear front scan that stops at the
 // first entry above w — cost proportional to the number of *affected*
-// queries, which is exactly the economy ITA is built on.
+// queries (the economy ITA is built on) over cache-resident 16-byte
+// entries, instead of the seed's pointer-chasing skip-list walk. A
+// single Update is one binary search plus one std::rotate (a memmove);
+// the epoch path batches a whole tree's threshold moves into ApplyMoves,
+// one erase-compaction plus one merge pass regardless of the move count.
+//
+// The payload is an opaque 32-bit handle: the tests register QueryIds
+// directly, while ItaServer stores SlotMap slots so a probe hit resolves
+// to query state with one slab access (no hash lookup).
+//
+// Invariants that keep the flat layout exact: entries are unique per
+// query (a query holds ONE local threshold per term), ordered by
+// (theta, query), and every mutation receives the exact current theta —
+// so lookups are binary searches, never scans.
 
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
+#include <vector>
 
 #include "common/logging.h"
 #include "common/types.h"
-#include "container/skip_list.h"
 
 namespace ita {
 
-class ThresholdTree {
+class FlatThresholdTree {
  public:
   struct Entry {
     double theta = 0.0;
@@ -30,46 +46,96 @@ class ThresholdTree {
       return a.query < b.query;
     }
   };
+  /// One relocation of a query's local threshold, applied in bulk by
+  /// ApplyMoves. `old_theta` must be the exact current tree entry.
+  struct ThetaMove {
+    double old_theta = 0.0;
+    double new_theta = 0.0;
+    QueryId query = kInvalidQueryId;
+  };
 
-  /// Registers query `query` with local threshold `theta`. A query appears
-  /// at most once per tree.
-  void Insert(double theta, QueryId query) {
-    const bool inserted = entries_.Insert(Entry{theta, query}).second;
-    ITA_DCHECK(inserted);
-    (void)inserted;
+  /// Registers query `query` with local threshold `theta`. Returns false
+  /// (and inserts nothing) if the exact entry is already present; callers
+  /// treat a duplicate as a logic error.
+  bool Insert(double theta, QueryId query) {
+    const Entry entry{theta, query};
+    const auto it =
+        std::lower_bound(entries_.begin(), entries_.end(), entry, Order{});
+    if (it != entries_.end() && it->theta == theta && it->query == query) {
+      return false;
+    }
+    entries_.insert(it, entry);
+    return true;
   }
 
   /// Removes the entry (theta, query); the exact current theta must be
   /// supplied. Returns false if absent.
   bool Erase(double theta, QueryId query) {
-    return entries_.Erase(Entry{theta, query});
+    const Entry entry{theta, query};
+    const auto it =
+        std::lower_bound(entries_.begin(), entries_.end(), entry, Order{});
+    if (it == entries_.end() || it->theta != theta || it->query != query) {
+      return false;
+    }
+    entries_.erase(it);
+    return true;
   }
 
-  /// Moves a query's threshold from `old_theta` to `new_theta`.
+  /// Moves a query's threshold from `old_theta` to `new_theta`: one
+  /// binary search for each endpoint and one rotate of the span between
+  /// them (a single memmove), instead of the erase + insert pair.
   void Update(double old_theta, double new_theta, QueryId query) {
-    const bool erased = Erase(old_theta, query);
-    ITA_DCHECK(erased);
-    (void)erased;
-    Insert(new_theta, query);
+    if (old_theta == new_theta) return;
+    const auto old_it = std::lower_bound(entries_.begin(), entries_.end(),
+                                         Entry{old_theta, query}, Order{});
+    ITA_DCHECK(old_it != entries_.end() && old_it->theta == old_theta &&
+               old_it->query == query)
+        << "threshold tree entry missing for update";
+    if (new_theta > old_theta) {
+      const auto new_it = std::lower_bound(old_it + 1, entries_.end(),
+                                           Entry{new_theta, query}, Order{});
+      std::rotate(old_it, old_it + 1, new_it);
+      *(new_it - 1) = Entry{new_theta, query};
+    } else {
+      const auto new_it = std::lower_bound(entries_.begin(), old_it,
+                                           Entry{new_theta, query}, Order{});
+      std::rotate(new_it, old_it, old_it + 1);
+      *new_it = Entry{new_theta, query};
+    }
   }
+
+  /// Applies a whole epoch's threshold moves for this tree as one
+  /// erase-compaction pass plus one merge pass — O(n + m log m) for m
+  /// moves over n entries, where m sequential Updates cost O(m n). The
+  /// moves' old entries must all be present, at most one move per query;
+  /// `moves` is reordered in place (scratch). Returns moves applied.
+  std::size_t ApplyMoves(std::vector<ThetaMove>& moves);
 
   /// Invokes `fn(QueryId)` for every query with theta <= w, and returns
-  /// the number of entries visited (== number of invocations).
+  /// the number of entries visited (== number of invocations). Entries
+  /// ascend by theta, so this is a front scan stopping at the first entry
+  /// above w.
   template <typename Fn>
   std::size_t ProbeLessEqual(double w, Fn&& fn) const {
-    std::size_t steps = 0;
-    for (auto it = entries_.begin(); it != entries_.end() && it->theta <= w; ++it) {
-      ++steps;
-      fn(it->query);
-    }
-    return steps;
+    const Entry* it = entries_.data();
+    const Entry* const last = it + entries_.size();
+    for (; it != last && it->theta <= w; ++it) fn(it->query);
+    return static_cast<std::size_t>(it - entries_.data());
   }
 
   std::size_t size() const { return entries_.size(); }
   bool empty() const { return entries_.empty(); }
 
+  /// Read-only view of the packed entries, ascending — test/debug hook.
+  const Entry* begin() const { return entries_.data(); }
+  const Entry* end() const { return entries_.data() + entries_.size(); }
+
  private:
-  SkipList<Entry, Order> entries_;
+  std::vector<Entry> entries_;  ///< ascending (theta, query)
 };
+
+/// The flat layout is the one threshold tree of the system; the historic
+/// name stays for the call sites and the paper's vocabulary.
+using ThresholdTree = FlatThresholdTree;
 
 }  // namespace ita

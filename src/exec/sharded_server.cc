@@ -140,6 +140,8 @@ ServerStats ShardedServer::stats() const {
   // list in sync when adding one) is replicated on every shard: each
   // ingests and indexes the whole stream, so summing would report it S
   // times; take one shard's view, after checking the replicas agree.
+  // The memory gauges stay summed on purpose: every shard's catalog and
+  // query-state slab is private, real memory (stats.h).
   const ServerStats& replicated = shards_[0]->stats();
   for (std::size_t s = 1; s < shards_.size(); ++s) {
     ITA_DCHECK(shards_[s]->stats().documents_ingested ==

@@ -115,8 +115,11 @@ class ShardedServer {
   /// Aggregated operation counters: per-query work summed across shards;
   /// stream plumbing (documents ingested/expired, epochs, index entries)
   /// reported once — every shard ingests and indexes the whole stream, so
-  /// those counters are replicated, not partitioned. Per-shard counters
-  /// stay available via shard_stats().
+  /// those counters are replicated, not partitioned. Memory gauges
+  /// (catalog slab, postings, threshold entries, query-state slots) sum:
+  /// each shard's per-term catalog is private, real memory under the
+  /// broadcast-document design, so the sum is the engine's footprint.
+  /// Per-shard counters stay available via shard_stats().
   ServerStats stats() const;
   const ServerStats& shard_stats(std::size_t shard) const;
   std::size_t shard_query_count(std::size_t shard) const;

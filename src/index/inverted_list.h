@@ -19,7 +19,10 @@
 #pragma once
 
 #include <algorithm>
+#include <iterator>
+#include <memory>
 #include <optional>
+#include <type_traits>
 #include <vector>
 
 #include "common/logging.h"
@@ -41,6 +44,17 @@ struct ImpactOrder {
     return a.doc > b.doc;
   }
 };
+
+/// Iterators that expose ImpactEntries living contiguously in memory
+/// (pointers, vector iterators): bulk list operations can merge straight
+/// from the caller's buffer. A concept (not a plain trait) so that
+/// adapting iterators without iterator_traits plumbing — the batch
+/// pipeline's posting views — cleanly evaluate to false instead of
+/// failing to compile.
+template <typename It>
+concept ContiguousImpactRun =
+    std::contiguous_iterator<It> &&
+    std::same_as<std::remove_cv_t<std::iter_value_t<It>>, ImpactEntry>;
 
 class InvertedList {
  public:
@@ -78,38 +92,21 @@ class InvertedList {
   /// plus at most one rewrite of the array, instead of k half-array
   /// shifts. The run must not contain postings already present. Returns
   /// the number inserted.
+  ///
+  /// Contiguous `ImpactEntry` input (pointers, vector iterators) is merged
+  /// straight from the caller's buffer; only adapting iterators (the batch
+  /// pipeline's posting views) pay a materialization into shared scratch.
   template <typename FwdIt>
   std::size_t InsertOrdered(FwdIt first, FwdIt last) {
-    auto& run = RunScratch();
-    run.clear();
-    for (FwdIt it = first; it != last; ++it) run.push_back(*it);
-    if (run.empty()) return 0;
-    if (run.size() == 1) {
-      // Singleton runs (the common case under a large vocabulary) take the
-      // plain insert path: one search, one tail shift.
-      const bool inserted = Insert(run[0].doc, run[0].weight);
-      ITA_DCHECK(inserted);
-      return inserted ? 1 : 0;
+    if constexpr (ContiguousImpactRun<FwdIt>) {
+      return InsertOrderedRun(std::to_address(first),
+                              static_cast<std::size_t>(last - first));
+    } else {
+      auto& run = RunScratch();
+      run.clear();
+      for (FwdIt it = first; it != last; ++it) run.push_back(*it);
+      return InsertOrderedRun(run.data(), run.size());
     }
-
-    const std::size_t old_size = entries_.size();
-    entries_.resize(old_size + run.size());
-    auto read_end = entries_.begin() + static_cast<std::ptrdiff_t>(old_size);
-    auto write_end = entries_.end();
-    for (std::size_t j = run.size(); j-- > 0;) {
-      const ImpactEntry& value = run[j];
-      const auto pos =
-          std::lower_bound(entries_.begin(), read_end, value, ImpactOrder{});
-      ITA_DCHECK(pos == read_end || pos->doc != value.doc ||
-                 pos->weight != value.weight)
-          << "duplicate posting in ordered insert: doc " << value.doc;
-      // Everything in [pos, read_end) follows `value`: shift it into the
-      // unsettled back block, then place the value in front of it.
-      write_end = std::move_backward(pos, read_end, write_end);
-      read_end = pos;
-      *--write_end = value;
-    }
-    return run.size();
   }
 
   /// Removes a run of postings already sorted by ImpactOrder in one
@@ -186,6 +183,39 @@ class InvertedList {
   }
 
  private:
+  /// The ordered-insert core over a materialized run (must not alias this
+  /// list's own storage): backward pass of binary-search jumps and block
+  /// moves, one array rewrite total.
+  std::size_t InsertOrderedRun(const ImpactEntry* run, std::size_t n) {
+    if (n == 0) return 0;
+    if (n == 1) {
+      // Singleton runs (the common case under a large vocabulary) take the
+      // plain insert path: one search, one tail shift.
+      const bool inserted = Insert(run[0].doc, run[0].weight);
+      ITA_DCHECK(inserted);
+      return inserted ? 1 : 0;
+    }
+
+    const std::size_t old_size = entries_.size();
+    entries_.resize(old_size + n);
+    auto read_end = entries_.begin() + static_cast<std::ptrdiff_t>(old_size);
+    auto write_end = entries_.end();
+    for (std::size_t j = n; j-- > 0;) {
+      const ImpactEntry& value = run[j];
+      const auto pos =
+          std::lower_bound(entries_.begin(), read_end, value, ImpactOrder{});
+      ITA_DCHECK(pos == read_end || pos->doc != value.doc ||
+                 pos->weight != value.weight)
+          << "duplicate posting in ordered insert: doc " << value.doc;
+      // Everything in [pos, read_end) follows `value`: shift it into the
+      // unsettled back block, then place the value in front of it.
+      write_end = std::move_backward(pos, read_end, write_end);
+      read_end = pos;
+      *--write_end = value;
+    }
+    return n;
+  }
+
   Iterator LowerBound(const ImpactEntry& probe) const {
     return std::lower_bound(entries_.data(), entries_.data() + entries_.size(),
                             probe, ImpactOrder{});

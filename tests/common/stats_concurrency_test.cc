@@ -37,6 +37,10 @@ ServerStats DistinctStats(std::uint64_t base) {
   s.rollup_evictions = base + 14;
   s.refills = base + 15;
   s.full_rescans = base + 16;
+  s.catalog_slab_bytes = base + 17;
+  s.postings_bytes = base + 18;
+  s.threshold_entries = base + 19;
+  s.query_state_slots = base + 20;
   return s;
 }
 

@@ -1,0 +1,111 @@
+#include "container/slot_map.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ita {
+namespace {
+
+TEST(SlotMapTest, InsertAssignsDenseSlots) {
+  SlotMap<int> map;
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.Insert(10), 0u);
+  EXPECT_EQ(map.Insert(11), 1u);
+  EXPECT_EQ(map.Insert(12), 2u);
+  EXPECT_EQ(map.size(), 3u);
+  EXPECT_EQ(map.slot_count(), 3u);
+  EXPECT_EQ(map[0], 10);
+  EXPECT_EQ(map[1], 11);
+  EXPECT_EQ(map[2], 12);
+}
+
+TEST(SlotMapTest, EraseVacatesAndGetReturnsNull) {
+  SlotMap<std::string> map;
+  const auto a = map.Insert("a");
+  const auto b = map.Insert("b");
+  EXPECT_TRUE(map.Erase(a));
+  EXPECT_EQ(map.Get(a), nullptr);
+  EXPECT_FALSE(map.Contains(a));
+  ASSERT_NE(map.Get(b), nullptr);
+  EXPECT_EQ(*map.Get(b), "b");
+  EXPECT_EQ(map.size(), 1u);
+  EXPECT_EQ(map.free_count(), 1u);
+  // Double erase and out-of-range erase are rejected.
+  EXPECT_FALSE(map.Erase(a));
+  EXPECT_FALSE(map.Erase(999));
+}
+
+TEST(SlotMapTest, FreedSlotsAreReusedLifo) {
+  SlotMap<int> map;
+  (void)map.Insert(1);
+  const auto s1 = map.Insert(2);
+  const auto s2 = map.Insert(3);
+  EXPECT_TRUE(map.Erase(s1));
+  EXPECT_TRUE(map.Erase(s2));
+  // LIFO: the most recently freed slot comes back first.
+  EXPECT_EQ(map.Insert(30), s2);
+  EXPECT_EQ(map.Insert(20), s1);
+  EXPECT_EQ(map.slot_count(), 3u);  // no growth under churn
+  EXPECT_EQ(map[s1], 20);
+  EXPECT_EQ(map[s2], 30);
+}
+
+TEST(SlotMapTest, ChurnStormKeepsSlabBounded) {
+  SlotMap<int> map;
+  std::vector<SlotMap<int>::SlotIndex> live;
+  for (int i = 0; i < 64; ++i) live.push_back(map.Insert(i));
+  // 1000 rounds of full unregister/re-register churn: the slab must not
+  // grow past the high-water mark of concurrently live values.
+  for (int round = 0; round < 1000; ++round) {
+    for (const auto slot : live) EXPECT_TRUE(map.Erase(slot));
+    live.clear();
+    for (int i = 0; i < 64; ++i) live.push_back(map.Insert(i));
+  }
+  EXPECT_EQ(map.size(), 64u);
+  EXPECT_EQ(map.slot_count(), 64u);
+}
+
+TEST(SlotMapTest, SlotsStayStableAcrossGrowth) {
+  SlotMap<int> map;
+  const auto first = map.Insert(42);
+  for (int i = 0; i < 1000; ++i) (void)map.Insert(i);
+  EXPECT_EQ(map[first], 42);  // the slot survives arbitrary growth
+}
+
+TEST(SlotMapTest, ForEachVisitsOccupiedSlotsInOrder) {
+  SlotMap<int> map;
+  const auto a = map.Insert(1);
+  const auto b = map.Insert(2);
+  const auto c = map.Insert(3);
+  EXPECT_TRUE(map.Erase(b));
+
+  std::vector<std::pair<SlotMap<int>::SlotIndex, int>> seen;
+  map.ForEach([&](SlotMap<int>::SlotIndex slot, int value) {
+    seen.emplace_back(slot, value);
+  });
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], std::make_pair(a, 1));
+  EXPECT_EQ(seen[1], std::make_pair(c, 3));
+}
+
+TEST(SlotMapTest, MoveOnlyValues) {
+  SlotMap<std::unique_ptr<int>> map;
+  const auto slot = map.Insert(std::make_unique<int>(7));
+  ASSERT_NE(map.Get(slot), nullptr);
+  EXPECT_EQ(**map.Get(slot), 7);
+  EXPECT_TRUE(map.Erase(slot));
+}
+
+TEST(SlotMapTest, SlabBytesReflectCapacity) {
+  SlotMap<double> map;
+  EXPECT_EQ(map.slab_bytes(), 0u);
+  (void)map.Insert(1.0);
+  EXPECT_GE(map.slab_bytes(), sizeof(std::optional<double>));
+}
+
+}  // namespace
+}  // namespace ita

@@ -1,0 +1,212 @@
+// TermCatalog subsumes the former index/InvertedIndex: the document- and
+// epoch-granular posting maintenance must behave identically (these
+// suites port the InvertedIndex tests), and the colocated TermState adds
+// the per-term threshold tree plus the memory-footprint gauges.
+
+#include "core/term_catalog.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "../testing/builders.h"
+
+namespace ita {
+namespace {
+
+Document MakeDoc(DocId id, Composition composition) {
+  Document doc;
+  doc.id = id;
+  doc.composition = std::move(composition);
+  return doc;
+}
+
+TEST(TermCatalogTest, AddCreatesListsPerTerm) {
+  TermCatalog catalog;
+  EXPECT_EQ(catalog.AddDocument(MakeDoc(1, {{2, 0.3}, {5, 0.7}})), 2u);
+  EXPECT_EQ(catalog.materialized_lists(), 2u);
+  EXPECT_EQ(catalog.total_postings(), 2u);
+  ASSERT_NE(catalog.List(2), nullptr);
+  ASSERT_NE(catalog.List(5), nullptr);
+  // Terms without a posting expose no list — whether inside the slab (3)
+  // or beyond it (9999).
+  EXPECT_EQ(catalog.List(3), nullptr);
+  EXPECT_EQ(catalog.List(9999), nullptr);
+  EXPECT_EQ(catalog.List(2)->size(), 1u);
+}
+
+TEST(TermCatalogTest, SharedTermsAccumulate) {
+  TermCatalog catalog;
+  catalog.AddDocument(MakeDoc(1, {{7, 0.4}}));
+  catalog.AddDocument(MakeDoc(2, {{7, 0.9}}));
+  catalog.AddDocument(MakeDoc(3, {{7, 0.1}}));
+  ASSERT_NE(catalog.List(7), nullptr);
+  EXPECT_EQ(catalog.List(7)->size(), 3u);
+  EXPECT_DOUBLE_EQ(*catalog.List(7)->TopWeight(), 0.9);
+}
+
+TEST(TermCatalogTest, RemoveInvertsAdd) {
+  TermCatalog catalog;
+  const Document d1 = MakeDoc(1, {{2, 0.3}, {5, 0.7}});
+  const Document d2 = MakeDoc(2, {{5, 0.2}});
+  catalog.AddDocument(d1);
+  catalog.AddDocument(d2);
+  EXPECT_EQ(catalog.RemoveDocument(d1), 2u);
+  EXPECT_EQ(catalog.total_postings(), 1u);
+  EXPECT_TRUE(catalog.List(2)->empty());
+  EXPECT_EQ(catalog.List(5)->size(), 1u);
+  EXPECT_EQ(catalog.RemoveDocument(d2), 1u);
+  EXPECT_EQ(catalog.total_postings(), 0u);
+}
+
+TEST(TermCatalogTest, ListContentsSurviveSlabGrowth) {
+  // The slab stores TermState by value, so growing it past a term MOVES
+  // the state (pointers are documented non-stable across Ensure of a
+  // larger term); the contents and identities must survive the move.
+  TermCatalog catalog;
+  catalog.AddDocument(MakeDoc(1, {{0, 0.5}}));
+  catalog.AddDocument(MakeDoc(2, {{100000, 0.5}}));
+  ASSERT_NE(catalog.List(0), nullptr);
+  EXPECT_EQ(catalog.List(0)->size(), 1u);
+  EXPECT_EQ(catalog.List(0)->begin()->doc, 1u);
+  EXPECT_EQ(catalog.term_count(), 100001u);
+}
+
+TEST(TermCatalogTest, ChurnKeepsCountsConsistent) {
+  TermCatalog catalog;
+  std::vector<Document> window;
+  std::size_t expected = 0;
+  for (DocId id = 1; id <= 500; ++id) {
+    Composition comp;
+    for (TermId t = static_cast<TermId>(id % 7); t < 20; t += 7) {
+      comp.push_back({t, 0.1 + static_cast<double>(id % 13) / 13.0});
+    }
+    Document doc = MakeDoc(id, comp);
+    catalog.AddDocument(doc);
+    expected += comp.size();
+    window.push_back(std::move(doc));
+    if (window.size() > 50) {
+      expected -= window.front().composition.size();
+      catalog.RemoveDocument(window.front());
+      window.erase(window.begin());
+    }
+  }
+  EXPECT_EQ(catalog.total_postings(), expected);
+  EXPECT_EQ(catalog.postings_bytes(), expected * sizeof(ImpactEntry));
+}
+
+TEST(TermCatalogTest, ColocatedTreeLivesBesideList) {
+  // The tentpole property: one Ensure yields both halves of a term's
+  // state, and tree registrations do not fake list materialization.
+  TermCatalog catalog;
+  TermState& ts = catalog.Ensure(42);
+  EXPECT_TRUE(ts.tree.Insert(0.25, 7));
+  EXPECT_EQ(catalog.List(42), nullptr);  // no posting yet
+
+  EXPECT_TRUE(catalog.InsertPosting(ts, 1, 0.5));
+  ASSERT_NE(catalog.List(42), nullptr);
+  EXPECT_EQ(catalog.List(42)->size(), 1u);
+  EXPECT_EQ(catalog.materialized_lists(), 1u);
+
+  std::vector<QueryId> hits;
+  catalog.Find(42)->tree.ProbeLessEqual(0.5, [&](QueryId q) { hits.push_back(q); });
+  EXPECT_EQ(hits, (std::vector<QueryId>{7}));
+}
+
+TEST(TermCatalogTest, SlabBytesTrackCapacity) {
+  TermCatalog catalog;
+  EXPECT_EQ(catalog.slab_bytes(), 0u);
+  catalog.Ensure(9);
+  EXPECT_GE(catalog.slab_bytes(), 10 * sizeof(TermState));
+}
+
+// --- ported epoch-granular suite (AddBatch / RemoveBatch / runs) -------
+
+Document WithId(Document doc, DocId id) {
+  doc.id = id;
+  return doc;
+}
+
+std::vector<Document> SampleDocs() {
+  using testing::MakeDoc;
+  return {
+      WithId(MakeDoc({{1, 0.9}, {2, 0.2}, {7, 0.4}}), 1),
+      WithId(MakeDoc({{1, 0.5}, {3, 0.8}}), 2),
+      WithId(MakeDoc({{1, 0.5}, {2, 0.2}, {3, 0.1}, {9, 1.0}}), 3),
+      WithId(MakeDoc({{7, 0.4}}), 4),
+  };
+}
+
+void ExpectSameLists(const TermCatalog& got, const TermCatalog& want,
+                     TermId max_term) {
+  for (TermId t = 0; t <= max_term; ++t) {
+    const InvertedList* g = got.List(t);
+    const InvertedList* w = want.List(t);
+    const std::size_t gn = g == nullptr ? 0 : g->size();
+    const std::size_t wn = w == nullptr ? 0 : w->size();
+    ASSERT_EQ(gn, wn) << "term " << t;
+    if (gn == 0) continue;
+    auto gi = g->begin();
+    for (const ImpactEntry& we : *w) {
+      EXPECT_EQ(gi->doc, we.doc) << "term " << t;
+      EXPECT_EQ(gi->weight, we.weight) << "term " << t;
+      ++gi;
+    }
+  }
+}
+
+TEST(TermCatalogBatchTest, AddBatchMatchesAddDocument) {
+  const std::vector<Document> docs = SampleDocs();
+  TermCatalog batched, sequential;
+  std::vector<const Document*> ptrs;
+  for (const Document& d : docs) ptrs.push_back(&d);
+
+  std::size_t want_postings = 0;
+  for (const Document& d : docs) want_postings += sequential.AddDocument(d);
+  EXPECT_EQ(batched.AddBatch(ptrs), want_postings);
+  EXPECT_EQ(batched.total_postings(), sequential.total_postings());
+  ExpectSameLists(batched, sequential, 9);
+}
+
+TEST(TermCatalogBatchTest, RemoveBatchMatchesRemoveDocument) {
+  const std::vector<Document> docs = SampleDocs();
+  TermCatalog batched, sequential;
+  std::vector<const Document*> ptrs;
+  for (const Document& d : docs) ptrs.push_back(&d);
+  (void)batched.AddBatch(ptrs);
+  for (const Document& d : docs) (void)sequential.AddDocument(d);
+
+  // Remove the middle two as one epoch.
+  const std::vector<Document> epoch = {docs[1], docs[2]};
+  const std::size_t removed = batched.RemoveBatch(epoch);
+  EXPECT_EQ(removed, docs[1].composition.size() + docs[2].composition.size());
+  (void)sequential.RemoveDocument(docs[1]);
+  (void)sequential.RemoveDocument(docs[2]);
+  EXPECT_EQ(batched.total_postings(), sequential.total_postings());
+  ExpectSameLists(batched, sequential, 9);
+}
+
+TEST(TermCatalogBatchTest, EmptyBatchIsNoOp) {
+  TermCatalog catalog;
+  EXPECT_EQ(catalog.AddBatch({}), 0u);
+  EXPECT_EQ(catalog.RemoveBatch({}), 0u);
+  EXPECT_EQ(catalog.total_postings(), 0u);
+}
+
+TEST(TermCatalogBatchTest, InsertRunEraseRunRoundTrip) {
+  TermCatalog catalog;
+  const std::vector<ImpactEntry> run = {{0.9, 3}, {0.9, 1}, {0.2, 2}};
+  EXPECT_EQ(catalog.InsertRun(5, run.begin(), run.end()), run.size());
+  ASSERT_NE(catalog.List(5), nullptr);
+  EXPECT_EQ(catalog.List(5)->size(), 3u);
+  EXPECT_EQ(catalog.total_postings(), 3u);
+
+  EXPECT_EQ(catalog.EraseRun(5, run.begin(), run.end()), run.size());
+  EXPECT_TRUE(catalog.List(5)->empty());
+  EXPECT_EQ(catalog.total_postings(), 0u);
+  // Erasing from a never-materialized term is a no-op.
+  EXPECT_EQ(catalog.EraseRun(4242, run.begin(), run.end()), 0u);
+}
+
+}  // namespace
+}  // namespace ita

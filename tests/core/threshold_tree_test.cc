@@ -3,7 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
+#include <limits>
 #include <vector>
+
+#include "common/random.h"
 
 namespace ita {
 namespace {
@@ -94,6 +98,133 @@ TEST(ThresholdTreeTest, ManyQueriesProbeScalesWithHits) {
   EXPECT_EQ(hits.size(), 10u);  // thetas 0.000 .. 0.009
   EXPECT_EQ(hits.front(), 0u);
   EXPECT_EQ(hits.back(), 9u);
+}
+
+// --- flat-layout specifics (DESIGN.md §7) ------------------------------
+
+TEST(FlatThresholdTreeTest, DuplicateInsertIsRejected) {
+  FlatThresholdTree tree;
+  EXPECT_TRUE(tree.Insert(0.5, 1));
+  EXPECT_FALSE(tree.Insert(0.5, 1));  // exact duplicate: no insertion
+  EXPECT_EQ(tree.size(), 1u);
+  // Same query at a different theta IS a distinct entry (the caller is
+  // responsible for the one-threshold-per-query invariant).
+  EXPECT_TRUE(tree.Insert(0.6, 1));
+  EXPECT_EQ(tree.size(), 2u);
+}
+
+TEST(FlatThresholdTreeTest, EntriesStayPackedAndSorted) {
+  FlatThresholdTree tree;
+  tree.Insert(0.5, 2);
+  tree.Insert(0.1, 9);
+  tree.Insert(0.5, 1);
+  tree.Insert(0.3, 5);
+  ASSERT_EQ(tree.size(), 4u);
+  const auto* e = tree.begin();
+  EXPECT_DOUBLE_EQ(e[0].theta, 0.1);
+  EXPECT_DOUBLE_EQ(e[1].theta, 0.3);
+  // Equal thetas order by query id — the tie rule the probe scan relies on.
+  EXPECT_DOUBLE_EQ(e[2].theta, 0.5);
+  EXPECT_EQ(e[2].query, 1u);
+  EXPECT_EQ(e[3].query, 2u);
+}
+
+TEST(FlatThresholdTreeTest, BoundaryTieProbeTakesWholeRun) {
+  // A probe exactly at a tie run's theta must report every member of the
+  // run (<=, not <) and nothing beyond it.
+  FlatThresholdTree tree;
+  tree.Insert(0.2, 1);
+  tree.Insert(0.3, 2);
+  tree.Insert(0.3, 3);
+  tree.Insert(0.3, 4);
+  tree.Insert(0.30000001, 5);
+  EXPECT_EQ(Probe(tree, 0.3), (std::vector<QueryId>{1, 2, 3, 4}));
+  EXPECT_EQ(tree.ProbeLessEqual(0.3, [](QueryId) {}), 4u);
+  // Just below the run: only the entry beneath it.
+  EXPECT_EQ(Probe(tree, 0.29999999), (std::vector<QueryId>{1}));
+}
+
+TEST(FlatThresholdTreeTest, UpdateMovesAcrossTieRuns) {
+  FlatThresholdTree tree;
+  tree.Insert(0.5, 1);
+  tree.Insert(0.5, 2);
+  tree.Insert(0.5, 3);
+  tree.Update(0.5, 0.5, 2);  // no-op move must be harmless
+  EXPECT_EQ(Probe(tree, 0.5), (std::vector<QueryId>{1, 2, 3}));
+  tree.Update(0.5, 0.1, 2);  // down, past its tie peers
+  tree.Update(0.5, 0.9, 3);  // up
+  EXPECT_EQ(Probe(tree, 0.1), (std::vector<QueryId>{2}));
+  EXPECT_EQ(Probe(tree, 0.5), (std::vector<QueryId>{1, 2}));
+  EXPECT_EQ(Probe(tree, 0.9), (std::vector<QueryId>{1, 2, 3}));
+}
+
+std::vector<FlatThresholdTree::Entry> Entries(const FlatThresholdTree& tree) {
+  return {tree.begin(), tree.end()};
+}
+
+TEST(FlatThresholdTreeTest, BulkRethetaMatchesSingles) {
+  // Random trees, random move sets: ApplyMoves must leave the tree
+  // byte-identical to the same moves applied one Update at a time.
+  Rng rng(0xBEEF);
+  for (int round = 0; round < 50; ++round) {
+    FlatThresholdTree bulk, singles;
+    const std::size_t n = 1 + rng.Next() % 64;
+    std::vector<double> theta(n);
+    for (QueryId q = 0; q < n; ++q) {
+      // Coarse grid so tie runs are common.
+      theta[q] = (rng.Next() % 16) / 16.0;
+      bulk.Insert(theta[q], q);
+      singles.Insert(theta[q], q);
+    }
+
+    // At most one move per query, mixing ups, downs, ties and no-ops —
+    // the shape one epoch's roll-up/refill produces.
+    std::vector<FlatThresholdTree::ThetaMove> moves;
+    for (QueryId q = 0; q < n; ++q) {
+      if (rng.Next() % 2 == 0) continue;
+      const double target = (rng.Next() % 16) / 16.0;
+      moves.push_back({theta[q], target, q});
+    }
+    std::vector<FlatThresholdTree::ThetaMove> singles_moves = moves;
+
+    bulk.ApplyMoves(moves);
+    for (const auto& m : singles_moves) {
+      singles.Update(m.old_theta, m.new_theta, m.query);
+    }
+
+    const auto got = Entries(bulk);
+    const auto want = Entries(singles);
+    ASSERT_EQ(got.size(), want.size()) << "round " << round;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_DOUBLE_EQ(got[i].theta, want[i].theta) << "round " << round;
+      EXPECT_EQ(got[i].query, want[i].query) << "round " << round;
+    }
+  }
+}
+
+TEST(FlatThresholdTreeTest, ApplyMovesHandlesInfinityAndEmptySets) {
+  FlatThresholdTree tree;
+  const double inf = std::numeric_limits<double>::infinity();
+  tree.Insert(inf, 1);
+  tree.Insert(inf, 2);
+
+  std::vector<FlatThresholdTree::ThetaMove> none;
+  EXPECT_EQ(tree.ApplyMoves(none), 0u);
+
+  // Registration-to-first-search: both entries drop from +inf at once.
+  std::vector<FlatThresholdTree::ThetaMove> moves = {
+      {inf, 0.4, 1}, {inf, 0.2, 2}};
+  EXPECT_EQ(tree.ApplyMoves(moves), 2u);
+  EXPECT_EQ(Probe(tree, 1.0), (std::vector<QueryId>{1, 2}));
+  EXPECT_EQ(Probe(tree, 0.3), (std::vector<QueryId>{2}));
+}
+
+TEST(FlatThresholdTreeTest, ShrinksAsQueriesLeave) {
+  FlatThresholdTree tree;
+  for (QueryId q = 0; q < 100; ++q) tree.Insert(q * 0.01, q);
+  for (QueryId q = 0; q < 100; ++q) EXPECT_TRUE(tree.Erase(q * 0.01, q));
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.ProbeLessEqual(1.0, [](QueryId) {}), 0u);
 }
 
 }  // namespace

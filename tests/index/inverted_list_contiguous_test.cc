@@ -1,0 +1,117 @@
+// Regression suite for the contiguous-input fast path of
+// InvertedList::InsertOrdered: runs arriving as ImpactEntry pointers or
+// vector iterators merge straight from the caller's buffer (no scratch
+// copy), and must produce lists identical to the generic adapting-
+// iterator path and to one-at-a-time Insert.
+
+#include "index/inverted_list.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace ita {
+namespace {
+
+// Mirrors the batch pipeline's posting views: materializes ImpactEntries
+// by value, deliberately NOT contiguous-iterator shaped.
+struct AdaptingIterator {
+  const ImpactEntry* p = nullptr;
+  ImpactEntry operator*() const { return *p; }
+  AdaptingIterator& operator++() {
+    ++p;
+    return *this;
+  }
+  friend bool operator==(AdaptingIterator a, AdaptingIterator b) {
+    return a.p == b.p;
+  }
+  friend bool operator!=(AdaptingIterator a, AdaptingIterator b) {
+    return a.p != b.p;
+  }
+};
+
+static_assert(ContiguousImpactRun<const ImpactEntry*>);
+static_assert(ContiguousImpactRun<ImpactEntry*>);
+static_assert(ContiguousImpactRun<std::vector<ImpactEntry>::const_iterator>);
+static_assert(!ContiguousImpactRun<AdaptingIterator>,
+              "adapting iterators must take the materializing path");
+
+std::vector<ImpactEntry> Snapshot(const InvertedList& list) {
+  return {list.begin(), list.end()};
+}
+
+void ExpectSame(const InvertedList& got, const InvertedList& want) {
+  const auto g = Snapshot(got);
+  const auto w = Snapshot(want);
+  ASSERT_EQ(g.size(), w.size());
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    EXPECT_EQ(g[i].doc, w[i].doc) << "rank " << i;
+    EXPECT_EQ(g[i].weight, w[i].weight) << "rank " << i;
+  }
+}
+
+TEST(InvertedListContiguousTest, PointerRunMatchesSingles) {
+  // Seed both lists with an identical base, then insert the same run via
+  // raw pointers (fast path) and via single Inserts.
+  std::vector<ImpactEntry> base = {{0.9, 2}, {0.5, 4}, {0.1, 6}};
+  std::vector<ImpactEntry> run = {{0.8, 9}, {0.5, 5}, {0.5, 3}, {0.05, 1}};
+  std::sort(run.begin(), run.end(), ImpactOrder{});
+
+  InvertedList fast, singles;
+  for (const ImpactEntry& e : base) {
+    ASSERT_TRUE(fast.Insert(e.doc, e.weight));
+    ASSERT_TRUE(singles.Insert(e.doc, e.weight));
+  }
+  EXPECT_EQ(fast.InsertOrdered(run.data(), run.data() + run.size()),
+            run.size());
+  for (const ImpactEntry& e : run) ASSERT_TRUE(singles.Insert(e.doc, e.weight));
+  ExpectSame(fast, singles);
+}
+
+TEST(InvertedListContiguousTest, VectorIteratorsTakeFastPathAndMatchAdapting) {
+  std::vector<ImpactEntry> run;
+  for (DocId d = 1; d <= 64; ++d) {
+    run.push_back({0.1 + static_cast<double>(d % 7) * 0.1, d});
+  }
+  std::sort(run.begin(), run.end(), ImpactOrder{});
+
+  InvertedList via_vector, via_adapter;
+  EXPECT_EQ(via_vector.InsertOrdered(run.begin(), run.end()), run.size());
+  EXPECT_EQ(via_adapter.InsertOrdered(
+                AdaptingIterator{run.data()},
+                AdaptingIterator{run.data() + run.size()}),
+            run.size());
+  ExpectSame(via_vector, via_adapter);
+}
+
+TEST(InvertedListContiguousTest, EmptyAndSingletonRuns) {
+  InvertedList list;
+  const std::vector<ImpactEntry> none;
+  EXPECT_EQ(list.InsertOrdered(none.data(), none.data()), 0u);
+  EXPECT_TRUE(list.empty());
+
+  const std::vector<ImpactEntry> one = {{0.7, 11}};
+  EXPECT_EQ(list.InsertOrdered(one.data(), one.data() + 1), 1u);
+  ASSERT_EQ(list.size(), 1u);
+  EXPECT_EQ(list.begin()->doc, 11u);
+}
+
+TEST(InvertedListContiguousTest, InterleavesWithExistingTieRuns) {
+  // The merged run lands inside existing equal-weight tie runs; ordering
+  // (weight desc, doc desc) must hold across both sources.
+  InvertedList list;
+  ASSERT_TRUE(list.Insert(4, 0.5));
+  ASSERT_TRUE(list.Insert(2, 0.5));
+  std::vector<ImpactEntry> run = {{0.5, 5}, {0.5, 3}, {0.5, 1}};
+  EXPECT_EQ(list.InsertOrdered(run.data(), run.data() + run.size()),
+            run.size());
+  const auto snap = Snapshot(list);
+  ASSERT_EQ(snap.size(), 5u);
+  for (std::size_t i = 0; i < snap.size(); ++i) {
+    EXPECT_EQ(snap[i].doc, 5u - i);  // docs 5,4,3,2,1 — newest first
+  }
+}
+
+}  // namespace
+}  // namespace ita

@@ -1,0 +1,195 @@
+// Heavy query churn over the slab-allocated query states (DESIGN.md §7):
+// register/unregister storms interleaved with ingest epochs, on both the
+// sequential ItaServer and the sharded engine, validated against the
+// brute-force oracle. Beyond result equivalence the suite pins down the
+// churn-specific invariants of the new layout:
+//   * slot reuse   — the query-state slab never grows past the high-water
+//     mark of concurrently live queries, however many queries churn
+//     through (the free list recycles slots);
+//   * tree shrinkage — threshold trees release their entries on
+//     unregistration (the threshold_entries gauge returns to zero when
+//     the population empties, and tracks the live population otherwise);
+//   * no stale notifications — the result listener only ever fires for
+//     queries registered at flush time, even when queries die mid-epoch.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "common/random.h"
+#include "core/ita_server.h"
+#include "core/oracle_server.h"
+#include "exec/sharded_server.h"
+#include "stream/corpus.h"
+
+namespace ita {
+namespace {
+
+void ExpectSameAnswer(const std::vector<ResultEntry>& got,
+                      const std::vector<ResultEntry>& want, QueryId q,
+                      std::size_t epoch) {
+  ASSERT_EQ(got.size(), want.size())
+      << "result size mismatch, query " << q << ", epoch " << epoch;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    ASSERT_NEAR(got[i].score, want[i].score, 1e-12)
+        << "score mismatch at rank " << i << ", query " << q << ", epoch "
+        << epoch;
+  }
+}
+
+TEST(QueryChurnPropertyTest, StormsMatchOracleAndRecycleSlots) {
+  SyntheticCorpusOptions copts;
+  copts.dictionary_size = 150;
+  copts.min_length = 3;
+  copts.max_length = 20;
+  copts.length_lognormal_mu = 2.0;
+  copts.length_lognormal_sigma = 0.5;
+  copts.seed = 99;
+  SyntheticCorpusGenerator corpus(copts);
+
+  QueryWorkloadOptions qopts;
+  qopts.terms_per_query = 4;
+  qopts.k = 4;
+  qopts.seed = 1234;
+  QueryWorkloadGenerator queries(copts.dictionary_size, qopts);
+
+  const ServerOptions options{WindowSpec::CountBased(30)};
+  ItaServer ita(options);
+  OracleServer oracle(options);
+  exec::ShardedServerOptions sharded_options;
+  sharded_options.window = options.window;
+  sharded_options.shards = 3;
+  exec::ShardedServer sharded(sharded_options);
+
+  // Listeners must never resolve a dead query: every callback id has to
+  // be live at flush time (stale slot/QueryId reuse would surface here).
+  std::set<QueryId> live;
+  std::size_t ita_notifications = 0;
+  ita.SetResultListener(
+      [&live, &ita_notifications](QueryId id, const std::vector<ResultEntry>&) {
+        EXPECT_TRUE(live.count(id) > 0) << "stale notification for query " << id;
+        ++ita_notifications;
+      });
+  std::size_t sharded_notifications = 0;
+  sharded.SetResultListener([&live, &sharded_notifications](
+                                QueryId id, const std::vector<ResultEntry>&) {
+    EXPECT_TRUE(live.count(id) > 0) << "stale notification for query " << id;
+    ++sharded_notifications;
+  });
+
+  std::map<QueryId, std::size_t> terms_of;  // live id -> term count
+  const auto register_one = [&] {
+    const Query q = queries.NextQuery();
+    const auto a = ita.RegisterQuery(q);
+    const auto b = oracle.RegisterQuery(q);
+    const auto c = sharded.RegisterQuery(q);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    ASSERT_TRUE(c.ok());
+    // All engines assign ids from the same sequence.
+    ASSERT_EQ(*a, *b);
+    ASSERT_EQ(*a, *c);
+    live.insert(*a);
+    terms_of[*a] = q.terms.size();
+  };
+  const auto unregister_one = [&](QueryId id) {
+    ASSERT_TRUE(ita.UnregisterQuery(id).ok());
+    ASSERT_TRUE(oracle.UnregisterQuery(id).ok());
+    ASSERT_TRUE(sharded.UnregisterQuery(id).ok());
+    live.erase(id);
+    terms_of.erase(id);
+  };
+
+  for (int i = 0; i < 16; ++i) register_one();
+  std::size_t high_water = live.size();
+
+  Timestamp now = 0;
+  Rng rng(0x5107);
+  for (std::size_t epoch = 0; epoch < 60; ++epoch) {
+    // Churn before the epoch: every 10th epoch a full storm (unregister
+    // everything, re-register a fresh population — slots and tree entries
+    // must fully recycle), otherwise a random partial rotation.
+    if (epoch % 10 == 9) {
+      while (!live.empty()) unregister_one(*live.begin());
+      ASSERT_EQ(ita.stats().threshold_entries, 0u)
+          << "threshold trees retained entries after a full storm";
+      for (int i = 0; i < 16; ++i) register_one();
+    } else {
+      const std::size_t rotate = rng.Next() % 6;
+      for (std::size_t r = 0; r < rotate && !live.empty(); ++r) {
+        auto it = live.begin();
+        std::advance(it, static_cast<long>(rng.Next() % live.size()));
+        unregister_one(*it);
+      }
+      for (std::size_t r = rng.Next() % 6; r > 0; --r) register_one();
+    }
+    high_water = std::max(high_water, live.size());
+
+    std::vector<Document> batch;
+    const std::size_t batch_size = 1 + rng.Next() % 12;
+    batch.reserve(batch_size);
+    for (std::size_t d = 0; d < batch_size; ++d) {
+      batch.push_back(corpus.NextDocument(now += 1000));
+    }
+    std::vector<Document> copy1 = batch;
+    std::vector<Document> copy2 = batch;
+    ASSERT_TRUE(ita.IngestBatch(std::move(batch)).ok());
+    ASSERT_TRUE(oracle.IngestBatch(std::move(copy1)).ok());
+    ASSERT_TRUE(sharded.IngestBatch(std::move(copy2)).ok());
+
+    for (const QueryId id : live) {
+      const auto want = oracle.Result(id);
+      const auto got_ita = ita.Result(id);
+      const auto got_sharded = sharded.Result(id);
+      ASSERT_TRUE(want.ok());
+      ASSERT_TRUE(got_ita.ok());
+      ASSERT_TRUE(got_sharded.ok());
+      ExpectSameAnswer(*got_ita, *want, id, epoch);
+      ExpectSameAnswer(*got_sharded, *want, id, epoch);
+    }
+
+    // Live-population gauges track the churn exactly.
+    std::size_t live_terms = 0;
+    for (const auto& [id, n_terms] : terms_of) live_terms += n_terms;
+    ASSERT_EQ(ita.stats().threshold_entries, live_terms);
+  }
+
+  // Slot reuse: hundreds of queries churned through, but the slab is
+  // bounded by the most that were ever alive at once.
+  EXPECT_LE(ita.query_state_slots(), high_water);
+  EXPECT_EQ(ita.stats().query_state_slots, ita.query_state_slots());
+  EXPECT_GT(ita_notifications, 0u);
+  EXPECT_GT(sharded_notifications, 0u);
+}
+
+TEST(QueryChurnPropertyTest, ReregistrationAfterStormKeepsExactness) {
+  // A tiny deterministic storm: the same query re-registered into a
+  // recycled slot must see exactly the current window, with thresholds
+  // rebuilt from scratch.
+  ItaServer server{ServerOptions{WindowSpec::CountBased(4)}};
+  Query q;
+  q.k = 2;
+  q.terms = {{1, 1.0}};
+
+  for (int round = 0; round < 20; ++round) {
+    const auto id = server.RegisterQuery(q);
+    ASSERT_TRUE(id.ok());
+    Document doc;
+    doc.arrival_time = round;
+    doc.composition = {{1, 0.1 * (round % 9 + 1)}};
+    ASSERT_TRUE(server.Ingest(std::move(doc)).ok());
+    const auto result = server.Result(*id);
+    ASSERT_TRUE(result.ok());
+    ASSERT_FALSE(result->empty());
+    ASSERT_TRUE(server.UnregisterQuery(*id).ok());
+  }
+  EXPECT_LE(server.query_state_slots(), 1u);
+  EXPECT_EQ(server.stats().threshold_entries, 0u);
+}
+
+}  // namespace
+}  // namespace ita
