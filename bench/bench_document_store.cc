@@ -1,0 +1,197 @@
+// Experiment D1 — the epoch-segmented document arena vs. the former
+// per-shard deque-of-Document window store (DESIGN.md §8).
+//
+// BM_ArenaEpochCycle / BM_DequeStoreEpochCycle drive one steady-state
+// window cycle per iteration — append a batch epoch, expire a batch,
+// reclaim — over the WSJ-calibrated synthetic corpus. The deque baseline
+// replicates what every shard used to pay: one Document copy (heap
+// composition vector + heap text string) per document per shard, per-
+// document push/pop. The arena pays one slab append for the whole epoch
+// and a pointer-bump expiry. `document_bytes` counters report the
+// steady-state window footprint of each layout; multiply the deque row by
+// S for the old sharded engine's cost, while the arena figure is the
+// engine's cost at ANY shard count.
+//
+// BM_ArenaGet measures the id → view path (segment-directory upper_bound
+// + offset math) that ItaServer's threshold search rides.
+//
+// BM_ItaIngestWindowAxis is the stream harness's window axis: end-to-end
+// batched ingest at growing window sizes N (the paper's Fig. 3b regime,
+// now over the arena-backed store).
+//
+// To record a machine-readable baseline (bench/results/):
+//   ./build/bench/bench_document_store --benchmark_format=json
+//     --benchmark_min_time=0.5 > bench/results/document_store_baseline.json
+
+#include <benchmark/benchmark.h>
+
+#include <deque>
+#include <vector>
+
+#include "common/logging.h"
+#include "harness/report.h"
+#include "harness/stream_bench.h"
+#include "stream/corpus.h"
+#include "stream/document_arena.h"
+
+namespace ita {
+namespace bench {
+namespace {
+
+std::vector<Document> CorpusPool(std::size_t n) {
+  SyntheticCorpusOptions copts;
+  copts.dictionary_size = 50'000;
+  copts.seed = 99;
+  SyntheticCorpusGenerator corpus(copts);
+  std::vector<Document> pool;
+  pool.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) pool.push_back(corpus.NextDocument());
+  return pool;
+}
+
+/// One steady-state epoch cycle against the arena: plan, pop, append,
+/// reclaim — the storage half of IngestBatch, isolated from indexing.
+void BM_ArenaEpochCycle(benchmark::State& state) {
+  const std::size_t window = static_cast<std::size_t>(state.range(0));
+  const std::size_t batch_size = static_cast<std::size_t>(state.range(1));
+  const std::vector<Document> pool = CorpusPool(4'096);
+  const WindowSpec spec = WindowSpec::CountBased(window);
+
+  DocumentArena arena;
+  Timestamp now = 0;
+  std::size_t cursor = 0;
+  std::vector<DocumentView> scratch;
+  const auto run_epoch = [&] {
+    std::vector<Document> batch;
+    batch.reserve(batch_size);
+    for (std::size_t i = 0; i < batch_size; ++i) {
+      Document doc = pool[cursor++ % pool.size()];
+      doc.arrival_time = ++now;
+      batch.push_back(std::move(doc));
+    }
+    const auto plan = arena.PlanEpoch(spec, now - batch_size, batch);
+    ITA_CHECK(plan.ok());
+    scratch.clear();
+    arena.PopExpiredInto(plan->expiring, scratch);
+    benchmark::DoNotOptimize(scratch.data());
+    arena.AppendEpoch(std::move(batch), plan->first_survivor);
+    arena.ReclaimExpired();
+  };
+  while (arena.size() < window) run_epoch();  // prefill to steady state
+
+  for (auto _ : state) run_epoch();
+
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(batch_size));
+  state.counters["document_bytes"] =
+      benchmark::Counter(static_cast<double>(arena.document_bytes()));
+  state.counters["segments"] =
+      benchmark::Counter(static_cast<double>(arena.segment_count()));
+}
+BENCHMARK(BM_ArenaEpochCycle)
+    ->Args({1'000, 1})->Args({1'000, 64})->Args({1'000, 256})
+    ->Args({10'000, 64})->Args({10'000, 1'024})
+    ->Unit(benchmark::kMicrosecond);
+
+/// The former layout: S deques of owning Documents — the sharded
+/// engine's old broadcast, one Document copy (heap composition + heap
+/// text) per document PER SHARD, per-document push/pop. The S = 1 rows
+/// are the sequential server's former store; compare the S = 4 rows
+/// against the (shard-count-independent) arena rows above to see what
+/// the shared arena saves the engine.
+void BM_DequeStoreEpochCycle(benchmark::State& state) {
+  const std::size_t window = static_cast<std::size_t>(state.range(0));
+  const std::size_t batch_size = static_cast<std::size_t>(state.range(1));
+  const std::size_t shards = static_cast<std::size_t>(state.range(2));
+  const std::vector<Document> pool = CorpusPool(4'096);
+
+  std::vector<std::deque<Document>> stores(shards);
+  Timestamp now = 0;
+  std::size_t cursor = 0;
+  DocId next_id = 1;
+  const auto run_epoch = [&] {
+    for (std::size_t i = 0; i < batch_size; ++i) {
+      const Document& src = pool[cursor++ % pool.size()];
+      const Timestamp at = ++now;
+      const DocId id = next_id++;
+      for (std::deque<Document>& store : stores) {
+        Document doc = src;  // the per-shard copy
+        doc.arrival_time = at;
+        doc.id = id;
+        while (store.size() >= window) store.pop_front();
+        store.push_back(std::move(doc));
+      }
+    }
+    benchmark::DoNotOptimize(stores.data());
+  };
+  while (stores[0].size() < window) run_epoch();
+
+  for (auto _ : state) run_epoch();
+
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(batch_size));
+  std::size_t bytes = 0;
+  for (const std::deque<Document>& store : stores) {
+    for (const Document& doc : store) {
+      bytes += sizeof(Document) +
+               doc.composition.capacity() * sizeof(TermWeight) +
+               doc.text.capacity();
+    }
+  }
+  state.counters["document_bytes"] =
+      benchmark::Counter(static_cast<double>(bytes));
+}
+BENCHMARK(BM_DequeStoreEpochCycle)
+    ->Args({1'000, 1, 1})->Args({1'000, 64, 1})->Args({1'000, 256, 1})
+    ->Args({1'000, 64, 4})->Args({10'000, 64, 1})->Args({10'000, 1'024, 1})
+    ->Args({10'000, 1'024, 4})
+    ->Unit(benchmark::kMicrosecond);
+
+/// id → view lookups over a steady window — the path ItaServer's
+/// ExtendSearch/RollUp ride for every inverted-list entry they score.
+void BM_ArenaGet(benchmark::State& state) {
+  const std::size_t window = static_cast<std::size_t>(state.range(0));
+  const std::vector<Document> pool = CorpusPool(1'024);
+  DocumentArena arena;
+  std::size_t cursor = 0;
+  Timestamp now = 0;
+  while (arena.size() < window) {
+    Document doc = pool[cursor++ % pool.size()];
+    doc.arrival_time = ++now;
+    arena.Append(std::move(doc));
+  }
+  DocId id = arena.next_id() - window;
+  double sink = 0.0;
+  for (auto _ : state) {
+    const auto view = arena.Get(id);
+    sink += static_cast<double>(view->composition.size());
+    if (++id >= arena.next_id()) id = arena.next_id() - window;
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ArenaGet)->Arg(1'000)->Arg(100'000);
+
+/// The stream harness's window axis: full batched ITA ingest (indexing,
+/// probing, result maintenance — not just storage) at growing N.
+void BM_ItaIngestWindowAxis(benchmark::State& state) {
+  StreamWorkload workload;
+  workload.window = static_cast<std::size_t>(state.range(0));
+  workload.batch_size = 64;
+  StreamBench& fixture = StreamBench::Cached(StreamBench::Strategy::kIta,
+                                             workload);
+  const ServerStats before = fixture.server().stats();
+  for (auto _ : state) fixture.StepBatch();
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(workload.batch_size));
+  state.counters["document_bytes"] = benchmark::Counter(
+      static_cast<double>(fixture.server().stats().document_bytes));
+  AttachCounters(state, before, fixture.server());
+}
+BENCHMARK(BM_ItaIngestWindowAxis)
+    ->Arg(1'000)->Arg(10'000)->Arg(100'000)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace ita

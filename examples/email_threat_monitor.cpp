@@ -9,8 +9,10 @@
 //
 // Build & run:   ./build/examples/email_threat_monitor
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/ita_server.h"
@@ -99,10 +101,12 @@ int main() {
       continue;
     }
     for (const ita::ResultEntry& e : *result) {
-      const ita::Document* doc = server.documents().Get(e.doc);
-      std::printf("  score %.3f  email #%llu  %.58s\n", e.score,
+      const auto doc = server.documents().Get(e.doc);
+      const std::string_view text = doc ? doc->text : "<expired>";
+      std::printf("  score %.3f  email #%llu  %.*s\n", e.score,
                   static_cast<unsigned long long>(e.doc),
-                  doc != nullptr ? doc->text.c_str() : "<expired>");
+                  static_cast<int>(std::min<std::size_t>(text.size(), 58)),
+                  text.data());
     }
   }
 

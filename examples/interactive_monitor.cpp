@@ -15,11 +15,13 @@
 //   stats                    server operation counters
 //   help, quit
 
+#include <algorithm>
 #include <cstdio>
 #include <iostream>
 #include <map>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 #include "core/ita_server.h"
 #include "stream/corpus.h"
@@ -130,10 +132,12 @@ int main() {
           continue;
         }
         for (const ita::ResultEntry& e : *result) {
-          const ita::Document* doc = server.documents().Get(e.doc);
-          std::printf("  %.4f  doc %llu  %.60s\n", e.score,
+          const auto doc = server.documents().Get(e.doc);
+          const std::string_view text = doc ? doc->text : "";
+          std::printf("  %.4f  doc %llu  %.*s\n", e.score,
                       static_cast<unsigned long long>(e.doc),
-                      doc != nullptr ? doc->text.c_str() : "");
+                      static_cast<int>(std::min<std::size_t>(text.size(), 60)),
+                      text.data());
         }
       }
 

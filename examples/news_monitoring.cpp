@@ -8,9 +8,11 @@
 //
 // Build & run:   ./build/examples/news_monitoring
 
+#include <algorithm>
 #include <cstdio>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/ita_server.h"
@@ -111,10 +113,12 @@ int main() {
     std::printf("%s:\n", name.c_str());
     const auto result = server.Result(qid);
     for (const ita::ResultEntry& e : *result) {
-      const ita::Document* doc = server.documents().Get(e.doc);
-      std::printf("  %.3f  doc %llu  %.56s\n", e.score,
+      const auto doc = server.documents().Get(e.doc);
+      const std::string_view text = doc ? doc->text : "<expired>";
+      std::printf("  %.3f  doc %llu  %.*s\n", e.score,
                   static_cast<unsigned long long>(e.doc),
-                  doc != nullptr ? doc->text.c_str() : "<expired>");
+                  static_cast<int>(std::min<std::size_t>(text.size(), 56)),
+                  text.data());
     }
   }
 

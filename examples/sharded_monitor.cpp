@@ -141,5 +141,26 @@ int main(int argc, char** argv) {
               stats.postings_bytes / (1024.0 * 1024.0),
               static_cast<unsigned long long>(stats.threshold_entries),
               static_cast<unsigned long long>(stats.query_state_slots));
+
+  // The shared window arena (DESIGN.md §8): document bytes live ONCE in
+  // the engine, whatever the shard count — per-shard stores would pay
+  // this figure S times. The duplication factor is total document memory
+  // across engine + shards over one window copy; the shared arena pins it
+  // at 1.0 (shards report 0 document bytes).
+  const double window_mib = stats.document_bytes / (1024.0 * 1024.0);
+  std::uint64_t shard_doc_bytes = 0;
+  for (std::size_t s = 0; s < server.shard_count(); ++s) {
+    shard_doc_bytes += server.shard_stats(s).document_bytes;
+  }
+  const double duplication =
+      stats.document_bytes == 0
+          ? 0.0
+          : static_cast<double>(stats.document_bytes + shard_doc_bytes) /
+                static_cast<double>(stats.document_bytes);
+  std::printf("window arena: %8.2f MiB documents in %llu segments, "
+              "shared by %zu shard(s) — duplication x%.2f\n",
+              window_mib,
+              static_cast<unsigned long long>(stats.arena_segments),
+              server.shard_count(), duplication);
   return 0;
 }

@@ -25,6 +25,8 @@ void ServerStats::Add(const ServerStats& other) {
   postings_bytes += other.postings_bytes;
   threshold_entries += other.threshold_entries;
   query_state_slots += other.query_state_slots;
+  arena_segments += other.arena_segments;
+  document_bytes += other.document_bytes;
 }
 
 std::string ServerStats::ToString() const {
@@ -48,7 +50,9 @@ std::string ServerStats::ToString() const {
      << "catalog_slab_bytes     = " << catalog_slab_bytes << "\n"
      << "postings_bytes         = " << postings_bytes << "\n"
      << "threshold_entries      = " << threshold_entries << "\n"
-     << "query_state_slots      = " << query_state_slots << "\n";
+     << "query_state_slots      = " << query_state_slots << "\n"
+     << "arena_segments         = " << arena_segments << "\n"
+     << "document_bytes         = " << document_bytes << "\n";
   return os.str();
 }
 

@@ -61,6 +61,14 @@ struct ServerStats {
   std::uint64_t threshold_entries = 0;      ///< (theta, query) pairs across trees
   std::uint64_t query_state_slots = 0;      ///< QueryState slab length (incl. free)
 
+  // Window-arena gauges (DESIGN.md §8): reported by whoever OWNS the
+  // arena — a standalone sequential server, or the sharded engine for its
+  // single shared arena. Embedded shared-arena servers report 0, so the
+  // cross-shard sum equals the owner's figure and document bytes stay
+  // constant in the shard count (the point of the shared arena).
+  std::uint64_t arena_segments = 0;         ///< live window-arena segments
+  std::uint64_t document_bytes = 0;         ///< bytes held by the window arena
+
   void Reset() { *this = ServerStats(); }
 
   /// Adds every counter of `other` into this instance — the per-shard

@@ -61,7 +61,7 @@ Status ItaServer::OnUnregisterQuery(QueryId id) {
 }
 
 template <typename TermOp, typename Process>
-void ItaServer::ProcessEventFused(const Document& doc, TermOp&& term_op,
+void ItaServer::ProcessEventFused(const DocumentView& doc, TermOp&& term_op,
                                   Process&& process) {
   ServerStats& stats = mutable_stats();
   probe_scratch_.clear();
@@ -90,7 +90,7 @@ void ItaServer::ProcessEventFused(const Document& doc, TermOp&& term_op,
   RefreshMemoryGauges();
 }
 
-void ItaServer::OnArrive(const Document& doc) {
+void ItaServer::OnArrive(const DocumentView& doc) {
   ServerStats& stats = mutable_stats();
   ProcessEventFused(
       doc,
@@ -105,7 +105,7 @@ void ItaServer::OnArrive(const Document& doc) {
       [this, &doc](QueryState& state) { ProcessArrival(state, doc); });
 }
 
-void ItaServer::OnExpire(const Document& doc) {
+void ItaServer::OnExpire(const DocumentView& doc) {
   // Delete postings first so a refill cannot resurrect the expiring
   // document; the same per-term state fetch serves the tree probe.
   ServerStats& stats = mutable_stats();
@@ -132,8 +132,8 @@ double ItaServer::ThetaOf(const QueryState& state, TermId term) const {
   return kInfinity;
 }
 
-template <typename DocRange, typename GetDoc, typename RunOp>
-void ItaServer::CollectBatchAffected(const DocRange& docs, GetDoc&& get_doc,
+template <typename RunOp>
+void ItaServer::CollectBatchAffected(std::span<const DocumentView> docs,
                                      RunOp&& run_op) {
   ServerStats& stats = mutable_stats();
 
@@ -143,15 +143,15 @@ void ItaServer::CollectBatchAffected(const DocRange& docs, GetDoc&& get_doc,
   // L1-resident), then each small bucket sorts by (term, ImpactOrder),
   // which makes every term's run contiguous.
   std::size_t total_postings = 0;
-  for (std::uint32_t i = 0; i < docs.size(); ++i) {
-    total_postings += get_doc(i).composition.size();
+  for (const DocumentView& doc : docs) {
+    total_postings += doc.composition.size();
   }
   std::size_t buckets = 16;
   while (buckets < total_postings / 4) buckets <<= 1;
   const std::uint32_t mask = static_cast<std::uint32_t>(buckets) - 1;
   bucket_start_.assign(buckets + 1, 0);
-  for (std::uint32_t i = 0; i < docs.size(); ++i) {
-    for (const TermWeight& tw : get_doc(i).composition) {
+  for (const DocumentView& doc : docs) {
+    for (const TermWeight& tw : doc.composition) {
       ++bucket_start_[(tw.term & mask) + 1];
     }
   }
@@ -160,8 +160,8 @@ void ItaServer::CollectBatchAffected(const DocRange& docs, GetDoc&& get_doc,
   }
   bucket_cursor_.assign(bucket_start_.begin(), bucket_start_.end() - 1);
   batch_postings_.resize(total_postings);
-  for (std::uint32_t i = 0; i < docs.size(); ++i) {
-    const Document& doc = get_doc(i);
+  for (std::uint32_t i = 0; i < static_cast<std::uint32_t>(docs.size()); ++i) {
+    const DocumentView& doc = docs[i];
     for (const TermWeight& tw : doc.composition) {
       batch_postings_[bucket_cursor_[tw.term & mask]++] =
           BatchPosting{tw.weight, doc.id, tw.term, i};
@@ -223,12 +223,12 @@ void ItaServer::CollectBatchAffected(const DocRange& docs, GetDoc&& get_doc,
       batch_affected_.end());
 }
 
-void ItaServer::OnArriveBatch(const std::vector<const Document*>& docs) {
+void ItaServer::OnArriveBatch(std::span<const DocumentView> docs) {
   ServerStats& stats = mutable_stats();
   if (docs.empty()) return;
 
   CollectBatchAffected(
-      docs, [&docs](std::uint32_t i) -> const Document& { return *docs[i]; },
+      docs,
       [this, &stats](TermState& ts, std::size_t lo, std::size_t hi) {
         const std::size_t n = catalog_.InsertRunInto(
             ts, BatchRunIterator{batch_postings_.data() + lo},
@@ -256,7 +256,7 @@ void ItaServer::OnArriveBatch(const std::vector<const Document*>& docs) {
 
     bool improved = false;
     for (std::size_t p = lo; p < hi; ++p) {
-      const Document& doc = *docs[batch_affected_[p].second];
+      const DocumentView& doc = docs[batch_affected_[p].second];
       ScoreIntoResult(state, doc);
       if (*state.result.ScoreOf(doc.id) >= sk_before) improved = true;
     }
@@ -273,16 +273,16 @@ void ItaServer::OnArriveBatch(const std::vector<const Document*>& docs) {
   RefreshMemoryGauges();
 }
 
-void ItaServer::OnExpireBatch(const std::vector<Document>& docs) {
+void ItaServer::OnExpireBatch(std::span<const DocumentView> docs) {
   ServerStats& stats = mutable_stats();
   if (docs.empty()) return;
 
   // The collection pass unindexes every term run before any per-query
   // processing below: a refill must never resurrect a doomed-but-not-yet-
-  // processed document (they are already out of the store, so a stale
-  // posting would dangle).
+  // processed document (they are already popped from the arena, so a
+  // stale posting would dangle).
   CollectBatchAffected(
-      docs, [&docs](std::uint32_t i) -> const Document& { return docs[i]; },
+      docs,
       [this, &stats](TermState& ts, std::size_t lo, std::size_t hi) {
         const std::size_t n = catalog_.EraseRunFrom(
             ts, BatchRunIterator{batch_postings_.data() + lo},
@@ -334,7 +334,7 @@ void ItaServer::OnExpireBatch(const std::vector<Document>& docs) {
   RefreshMemoryGauges();
 }
 
-void ItaServer::ProcessArrival(QueryState& state, const Document& doc) {
+void ItaServer::ProcessArrival(QueryState& state, const DocumentView& doc) {
   const std::size_t k = static_cast<std::size_t>(state.query->k);
   const double sk_before = state.result.KthScore(k);
 
@@ -350,7 +350,7 @@ void ItaServer::ProcessArrival(QueryState& state, const Document& doc) {
   }
 }
 
-void ItaServer::ProcessExpiry(QueryState& state, const Document& doc) {
+void ItaServer::ProcessExpiry(QueryState& state, const DocumentView& doc) {
   const std::size_t k = static_cast<std::size_t>(state.query->k);
 
   // Invariant I1: a document above some local threshold is in R, score
@@ -376,7 +376,7 @@ void ItaServer::ProcessExpiry(QueryState& state, const Document& doc) {
   }
 }
 
-void ItaServer::ScoreIntoResult(QueryState& state, const Document& doc) {
+void ItaServer::ScoreIntoResult(QueryState& state, const DocumentView& doc) {
   const double score = ScoreDocument(doc.composition, state.query->terms);
   ++mutable_stats().scores_computed;
   state.result.Insert(doc.id, score);
@@ -472,8 +472,8 @@ void ItaServer::ExtendSearch(QueryState& state) {
       const DocId d = cursor[i]->doc;
       ++stats.list_entries_read;
       if (!state.result.Contains(d)) {
-        const Document* doc = store().Get(d);
-        ITA_DCHECK(doc != nullptr);
+        const auto doc = store().Get(d);
+        ITA_DCHECK(doc.has_value());
         ScoreIntoResult(state, *doc);
       }
       ++cursor[i];
@@ -576,8 +576,8 @@ void ItaServer::RollUp(QueryState& state) {
     const auto segment_end = list->FirstBelow(old_theta);
     for (auto it = list->FirstBelow(best_target); it != segment_end; ++it) {
       const DocId d = it->doc;
-      const Document* doc = store().Get(d);
-      ITA_DCHECK(doc != nullptr);
+      const auto doc = store().Get(d);
+      ITA_DCHECK(doc.has_value());
       bool monitored = false;
       for (std::size_t j = 0; j < n; ++j) {
         // Only terms the document contains have impact entries; absent

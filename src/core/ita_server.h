@@ -1,38 +1,39 @@
-// The Incremental Threshold Algorithm (Section III of Mouratidis & Pang,
-// ICDE 2009).
-//
-// Data structures (Figure 1, reorganized per DESIGN.md §7): the valid
-// documents live in the base class's FIFO store; on top of them ItaServer
-// maintains a unified per-term catalog — one colocated TermState per
-// dense TermId holding the term's impact-ordered inverted list AND its
-// flat threshold tree — plus a slab-allocated SlotMap of per-query
-// states. Threshold-tree entries carry SlotMap slots, so a probe hit
-// resolves to its QueryState with one indexed slab access; no hash
-// lookup sits on the event path.
-//
-// Invariants maintained for every query Q (DESIGN.md §2):
-//   I1  R(Q) = { valid d : exists t in Q with w_{d,t} >= theta_{Q,t} },
-//       every member with its exact score S(d|Q);
-//   I2  tau(Q) = sum_t w_{Q,t} * theta_{Q,t} <= S_k(Q) whenever R holds at
-//       least k documents (tau = 0 when the query's lists are exhausted).
-// Under I1+I2 any valid document outside R scores strictly below tau <=
-// S_k, so the top-k prefix of R is the exact query answer at all times.
-//
-// Event processing:
-//   * arrival  — insert postings; probe the threshold trees of the
-//     document's terms for queries with theta <= w_{d,t}; score and add
-//     the document to their R; when S_k rises, roll local thresholds up
-//     (shrinking the monitored region) while tau stays <= S_k;
-//   * expiry   — delete postings; probe the same trees; drop the document
-//     from each affected R; if it was in a top-k, resume the threshold
-//     search downward from the current thresholds until I2 holds again.
-//
-// Epoch hooks additionally defer every theta move to a bulk per-term
-// retheta pass: instead of an Erase+Insert tree pair per (query, term)
-// move, the epoch's moves are collected and each touched tree applies
-// them as ONE erase-compaction + merge pass (FlatThresholdTree::
-// ApplyMoves). Trees are only probed at epoch boundaries, so deferring
-// their updates to the end of the hook is invisible to every reader.
+/// \file
+/// The Incremental Threshold Algorithm (Section III of Mouratidis & Pang,
+/// ICDE 2009).
+///
+/// Data structures (Figure 1, reorganized per DESIGN.md §7/§8): the valid
+/// documents live in the window arena (owned by the base class or shared
+/// by an embedding driver); on top of them ItaServer maintains a unified
+/// per-term catalog — one colocated TermState per dense TermId holding the
+/// term's impact-ordered inverted list AND its flat threshold tree — plus
+/// a slab-allocated SlotMap of per-query states. Threshold-tree entries
+/// carry SlotMap slots, so a probe hit resolves to its QueryState with one
+/// indexed slab access; no hash lookup sits on the event path.
+///
+/// Invariants maintained for every query Q (DESIGN.md §2):
+///   I1  R(Q) = { valid d : exists t in Q with w_{d,t} >= theta_{Q,t} },
+///       every member with its exact score S(d|Q);
+///   I2  tau(Q) = sum_t w_{Q,t} * theta_{Q,t} <= S_k(Q) whenever R holds at
+///       least k documents (tau = 0 when the query's lists are exhausted).
+/// Under I1+I2 any valid document outside R scores strictly below tau <=
+/// S_k, so the top-k prefix of R is the exact query answer at all times.
+///
+/// Event processing:
+///   * arrival  — insert postings; probe the threshold trees of the
+///     document's terms for queries with theta <= w_{d,t}; score and add
+///     the document to their R; when S_k rises, roll local thresholds up
+///     (shrinking the monitored region) while tau stays <= S_k;
+///   * expiry   — delete postings; probe the same trees; drop the document
+///     from each affected R; if it was in a top-k, resume the threshold
+///     search downward from the current thresholds until I2 holds again.
+///
+/// Epoch hooks additionally defer every theta move to a bulk per-term
+/// retheta pass: instead of an Erase+Insert tree pair per (query, term)
+/// move, the epoch's moves are collected and each touched tree applies
+/// them as ONE erase-compaction + merge pass (FlatThresholdTree::
+/// ApplyMoves). Trees are only probed at epoch boundaries, so deferring
+/// their updates to the end of the hook is invisible to every reader.
 
 #pragma once
 
@@ -48,6 +49,7 @@
 
 namespace ita {
 
+/// Tuning knobs for ItaServer, used by the ablation benches.
 struct ItaTuning {
   /// Disable to ablate the threshold roll-up of Section III-B (bench A3):
   /// local thresholds then only ever move downward, monitored regions only
@@ -55,11 +57,19 @@ struct ItaTuning {
   bool enable_rollup = true;
 };
 
+/// The paper's Incremental Threshold Algorithm as a server strategy; see
+/// the file comment for the structures and invariants. Single-threaded
+/// like every server in this library: one thread at a time may call the
+/// public API, and an embedding driver never runs two phases of the same
+/// instance concurrently (core/server_strategy.h).
 class ItaServer : public ContinuousSearchServer {
  public:
+  /// Builds an ITA server over `options` (window spec, optional shared
+  /// arena) with the given tuning.
   explicit ItaServer(ServerOptions options, ItaTuning tuning = {})
       : ContinuousSearchServer(options), tuning_(tuning) {}
 
+  /// ServerStrategy: the strategy name, "ita".
   std::string name() const override { return "ita"; }
 
   /// The unified per-term catalog (inverted lists + threshold trees) —
@@ -82,10 +92,15 @@ class ItaServer : public ContinuousSearchServer {
   std::size_t query_state_slots() const { return states_.slot_count(); }
 
  protected:
+  /// Registers threshold-tree entries for the query's terms and runs the
+  /// initial top-k threshold search (Section III-A).
   Status OnRegisterQuery(QueryId id, const Query& query) override;
+  /// Removes the query's tree entries and releases its state slot.
   Status OnUnregisterQuery(QueryId id) override;
-  void OnArrive(const Document& doc) override;
-  void OnExpire(const Document& doc) override;
+  /// Per-event arrival processing (Section III-B).
+  void OnArrive(const DocumentView& doc) override;
+  /// Per-event expiration processing (Section III-B).
+  void OnExpire(const DocumentView& doc) override;
 
   /// Epoch-amortized event processing (DESIGN.md §4). Both hooks bucket
   /// the batch's postings per term, fetch each term's TermState ONCE for
@@ -96,15 +111,15 @@ class ItaServer : public ContinuousSearchServer {
   /// moves those produce flush through the bulk retheta pass. Semantically
   /// exact: candidate filtering uses the exact per-query local thresholds,
   /// and I1/I2 are restored before the hook returns.
-  ///
+  void OnArriveBatch(std::span<const DocumentView> docs) override;
   /// ItaServer MUST override OnExpireBatch (not merely for speed): the
-  /// base class removes every expiring document from the store before the
+  /// epoch driver pops every expiring document from the arena before the
   /// call, so the per-document OnExpire loop could refill from postings of
   /// a doomed-but-not-yet-unindexed document. The override unindexes the
   /// whole batch up front.
-  void OnArriveBatch(const std::vector<const Document*>& docs) override;
-  void OnExpireBatch(const std::vector<Document>& docs) override;
+  void OnExpireBatch(std::span<const DocumentView> docs) override;
 
+  /// The top-k prefix of R(Q), the exact answer.
   std::vector<ResultEntry> CurrentResult(QueryId id) const override;
 
  private:
@@ -134,14 +149,14 @@ class ItaServer : public ContinuousSearchServer {
   /// the posting op and the tree probe performed here); every distinct
   /// affected query is then dispatched to `process(state)`.
   template <typename TermOp, typename Process>
-  void ProcessEventFused(const Document& doc, TermOp&& term_op,
+  void ProcessEventFused(const DocumentView& doc, TermOp&& term_op,
                          Process&& process);
 
   /// Arrival handling for one affected query (Section III-B).
-  void ProcessArrival(QueryState& state, const Document& doc);
+  void ProcessArrival(QueryState& state, const DocumentView& doc);
 
   /// Expiration handling for one affected query (Section III-B).
-  void ProcessExpiry(QueryState& state, const Document& doc);
+  void ProcessExpiry(QueryState& state, const DocumentView& doc);
 
   /// The unified threshold search: used for the initial top-k computation
   /// (Section III-A) and, because R keeps the unverified documents, for
@@ -159,7 +174,7 @@ class ItaServer : public ContinuousSearchServer {
   void RollUp(QueryState& state);
 
   /// Scores `doc` against `state` and adds it to R (it must be absent).
-  void ScoreIntoResult(QueryState& state, const Document& doc);
+  void ScoreIntoResult(QueryState& state, const DocumentView& doc);
 
   /// Moves theta[i] to `new_theta`. Outside an epoch the threshold-tree
   /// entry moves immediately (one binary search + rotate); inside one the
@@ -190,8 +205,8 @@ class ItaServer : public ContinuousSearchServer {
   /// query's local threshold for that term. Pairs come out sorted by
   /// (slot, epoch position) with duplicates removed, ready for grouped
   /// per-query processing.
-  template <typename DocRange, typename GetDoc, typename RunOp>
-  void CollectBatchAffected(const DocRange& docs, GetDoc&& get_doc,
+  template <typename RunOp>
+  void CollectBatchAffected(std::span<const DocumentView> docs,
                             RunOp&& run_op);
 
   ItaTuning tuning_;

@@ -31,7 +31,7 @@ Status NaiveServer::OnUnregisterQuery(QueryId id) {
   return Status::OK();
 }
 
-void NaiveServer::OnArrive(const Document& doc) {
+void NaiveServer::OnArrive(const DocumentView& doc) {
   ServerStats& stats = mutable_stats();
   for (auto& [id, state_ptr] : states_) {
     QueryState& state = *state_ptr;
@@ -71,7 +71,7 @@ void NaiveServer::OnArrive(const Document& doc) {
   }
 }
 
-void NaiveServer::OnExpire(const Document& doc) {
+void NaiveServer::OnExpire(const DocumentView& doc) {
   ServerStats& stats = mutable_stats();
   for (auto& [id, state_ptr] : states_) {
     QueryState& state = *state_ptr;
@@ -107,7 +107,7 @@ void NaiveServer::Refill(QueryState& state) {
   ServerStats& stats = mutable_stats();
   BoundedTopK<ResultSet::Entry, RanksBefore> heap(state.kmax);
   std::size_t matchers = 0;
-  for (const Document& doc : store()) {
+  for (const DocumentView doc : store()) {
     const double score = ScoreDocument(doc.composition, state.query->terms);
     ++stats.scores_computed;
     if (score <= 0.0) continue;

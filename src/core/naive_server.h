@@ -1,22 +1,23 @@
-// The paper's comparator: the Naive monitoring scheme of Section II,
-// strengthened (as in Section IV) with the materialized top-k_max view
-// maintenance of Yi et al., "Efficient Maintenance of Materialized Top-k
-// Views", ICDE 2003 ([6]).
-//
-// Cost model, kept deliberately faithful to the paper:
-//   * every arriving document is scored against *every* registered query
-//     (no term-indexed shortcut — that shortcut is ITA's contribution);
-//   * every expiring document is membership-checked against every query's
-//     view;
-//   * when a deletion shrinks a view below k, the view is recomputed to
-//     top-k_max by scanning all valid documents.
-//
-// The view invariant follows Yi et al.: the view holds the exact top-k'
-// of the valid matching documents, k <= k' <= k_max, shrinking on
-// deletions and refilling (k' = k_max) on underflow. A `complete` flag
-// records when the view holds *all* matching documents (fewer matchers
-// than k_max exist), in which case lower-scoring arrivals must be
-// admitted too.
+/// \file
+/// The paper's comparator: the Naive monitoring scheme of Section II,
+/// strengthened (as in Section IV) with the materialized top-k_max view
+/// maintenance of Yi et al., "Efficient Maintenance of Materialized Top-k
+/// Views", ICDE 2003 ([6]).
+///
+/// Cost model, kept deliberately faithful to the paper:
+///   * every arriving document is scored against *every* registered query
+///     (no term-indexed shortcut — that shortcut is ITA's contribution);
+///   * every expiring document is membership-checked against every query's
+///     view;
+///   * when a deletion shrinks a view below k, the view is recomputed to
+///     top-k_max by scanning all valid documents.
+///
+/// The view invariant follows Yi et al.: the view holds the exact top-k'
+/// of the valid matching documents, k <= k' <= k_max, shrinking on
+/// deletions and refilling (k' = k_max) on underflow. A `complete` flag
+/// records when the view holds *all* matching documents (fewer matchers
+/// than k_max exist), in which case lower-scoring arrivals must be
+/// admitted too.
 
 #pragma once
 
@@ -29,6 +30,7 @@
 
 namespace ita {
 
+/// Tuning knobs for NaiveServer, used by the k_max ablation bench.
 struct NaiveTuning {
   /// k_max = max(k, ceil(kmax_factor * k)). Yi et al. derive the optimal
   /// value analytically from the update rates; 2k is the robust regime
@@ -44,11 +46,17 @@ struct NaiveTuning {
   bool skip_complete_rescans = false;
 };
 
+/// The paper's Naive comparator as a server strategy; see the file
+/// comment for the cost model and the Yi et al. view invariant.
+/// Single-threaded like every server in this library.
 class NaiveServer : public ContinuousSearchServer {
  public:
+  /// Builds a Naive server over `options` (window spec, optional shared
+  /// arena) with the given tuning.
   explicit NaiveServer(ServerOptions options, NaiveTuning tuning = {})
       : ContinuousSearchServer(options), tuning_(tuning) {}
 
+  /// ServerStrategy: the strategy name, "naive".
   std::string name() const override { return "naive"; }
 
   /// The k_max in effect for result size k.
@@ -62,10 +70,15 @@ class NaiveServer : public ContinuousSearchServer {
   StatusOr<bool> ViewComplete(QueryId id) const;
 
  protected:
+  /// Creates the query's view state and runs the initial full rescan.
   Status OnRegisterQuery(QueryId id, const Query& query) override;
+  /// Drops the query's view state.
   Status OnUnregisterQuery(QueryId id) override;
-  void OnArrive(const Document& doc) override;
-  void OnExpire(const Document& doc) override;
+  /// Scores the arrival against every registered query (the Naive cost).
+  void OnArrive(const DocumentView& doc) override;
+  /// Membership-checks the expiry against every view; refills underflows.
+  void OnExpire(const DocumentView& doc) override;
+  /// The top-k prefix of the materialized view.
   std::vector<ResultEntry> CurrentResult(QueryId id) const override;
 
  private:

@@ -1,11 +1,12 @@
-// Result-change notification, shared by every epoch driver: queries whose
-// top-k changed are marked (dedup'd) during an event or epoch, and one
-// Flush implementation fires the listener once per changed query at the
-// epoch boundary. Both the sequential ContinuousSearchServer and the
-// sharded execution engine (exec::ShardedServer) flush through this class,
-// so the notification contract — at most one callback per query per
-// epoch, ascending QueryId order, epoch-final result — has exactly one
-// implementation.
+/// \file
+/// Result-change notification, shared by every epoch driver: queries whose
+/// top-k changed are marked (dedup'd) during an event or epoch, and one
+/// Flush implementation fires the listener once per changed query at the
+/// epoch boundary. Both the sequential ContinuousSearchServer and the
+/// sharded execution engine (exec::ShardedServer) flush through this class,
+/// so the notification contract — at most one callback per query per
+/// epoch, ascending QueryId order, epoch-final result — has exactly one
+/// implementation.
 
 #pragma once
 
@@ -24,10 +25,14 @@ namespace ita {
 using ResultListener =
     std::function<void(QueryId, const std::vector<ResultEntry>&)>;
 
+/// The one mark-and-flush implementation behind every epoch driver's
+/// result notifications; see the file comment for the contract. Not
+/// thread-safe: owned by a single driver, called on its thread only.
 class ResultNotifier {
  public:
   /// Installs the listener fired by Flush(). Pass nullptr to remove.
   void SetListener(ResultListener listener) { listener_ = std::move(listener); }
+  /// True while a listener is installed.
   bool has_listener() const { return listener_ != nullptr; }
 
   /// When enabled, Mark() records changes even while no listener is
@@ -46,6 +51,7 @@ class ResultNotifier {
     if (tracking_ || listener_ != nullptr) marked_.push_back(id);
   }
 
+  /// Mark() for every id in `ids`.
   void MarkAll(const std::vector<QueryId>& ids) {
     for (const QueryId id : ids) Mark(id);
   }

@@ -16,9 +16,9 @@ Status OracleServer::OnUnregisterQuery(QueryId id) {
   return Status::OK();
 }
 
-void OracleServer::OnArrive(const Document& doc) { (void)doc; }
+void OracleServer::OnArrive(const DocumentView& doc) { (void)doc; }
 
-void OracleServer::OnExpire(const Document& doc) { (void)doc; }
+void OracleServer::OnExpire(const DocumentView& doc) { (void)doc; }
 
 std::vector<ResultEntry> OracleServer::CurrentResult(QueryId id) const {
   const auto it = registered_.find(id);
@@ -32,7 +32,7 @@ std::vector<ResultEntry> OracleServer::CurrentResult(QueryId id) const {
     }
   };
   BoundedTopK<ResultEntry, RanksBefore> heap(static_cast<std::size_t>(query.k));
-  for (const Document& doc : store()) {
+  for (const DocumentView doc : store()) {
     const double score = ScoreDocument(doc.composition, query.terms);
     if (score <= 0.0) continue;  // only nonzero-similarity documents count
     heap.Push(ResultEntry{doc.id, score});

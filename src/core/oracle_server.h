@@ -1,6 +1,7 @@
-// Brute-force ground truth: recomputes every result from scratch, on
-// demand, by scanning all valid documents. Used by the test suites to
-// verify ITA and Naive after every stream event; never benchmarked.
+/// \file
+/// Brute-force ground truth: recomputes every result from scratch, on
+/// demand, by scanning all valid documents. Used by the test suites to
+/// verify ITA and Naive after every stream event; never benchmarked.
 
 #pragma once
 
@@ -11,18 +12,27 @@
 
 namespace ita {
 
+/// The ground-truth strategy: no incremental state at all; every result
+/// is recomputed on demand by a full window scan.
 class OracleServer : public ContinuousSearchServer {
  public:
+  /// Builds an oracle over `options` (window spec, optional shared arena).
   explicit OracleServer(ServerOptions options)
       : ContinuousSearchServer(options) {}
 
+  /// ServerStrategy: the strategy name, "oracle".
   std::string name() const override { return "oracle"; }
 
  protected:
+  /// Remembers the query; results are computed lazily.
   Status OnRegisterQuery(QueryId id, const Query& query) override;
+  /// Forgets the query.
   Status OnUnregisterQuery(QueryId id) override;
-  void OnArrive(const Document& doc) override;
-  void OnExpire(const Document& doc) override;
+  /// No-op: the oracle keeps no incremental state.
+  void OnArrive(const DocumentView& doc) override;
+  /// No-op: the oracle keeps no incremental state.
+  void OnExpire(const DocumentView& doc) override;
+  /// Brute-force top-k over all valid documents.
   std::vector<ResultEntry> CurrentResult(QueryId id) const override;
 
  private:

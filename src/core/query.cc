@@ -29,7 +29,7 @@ Status ValidateQuery(const Query& query) {
   return Status::OK();
 }
 
-double ScoreDocument(const Composition& composition,
+double ScoreDocument(std::span<const TermWeight> composition,
                      const std::vector<TermWeight>& query_terms) {
   // The query side is short (a handful of terms); binary-search each query
   // term in the document's composition list.

@@ -1,9 +1,11 @@
-// A continuous text search query (Section II): a set of weighted search
-// terms plus the result size k. Queries are installed once at the server
-// and stay active until unregistered.
+/// \file
+/// A continuous text search query (Section II): a set of weighted search
+/// terms plus the result size k. Queries are installed once at the server
+/// and stay active until unregistered.
 
 #pragma once
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -13,6 +15,8 @@
 
 namespace ita {
 
+/// A continuous text search query: a set of weighted search terms plus
+/// the result size k, installed once and active until unregistered.
 struct Query {
   /// Number of result documents requested. Must be >= 1.
   int k = 0;
@@ -28,8 +32,9 @@ Status ValidateQuery(const Query& query);
 
 /// The similarity score S(d|Q) = sum over shared terms of w_{Q,t} * w_{d,t}
 /// (paper Formula 1). `query_terms` and `composition` must both be sorted
-/// by ascending TermId.
-double ScoreDocument(const Composition& composition,
+/// by ascending TermId. Accepts any contiguous composition — an owning
+/// Document's vector or a DocumentView's slab span.
+double ScoreDocument(std::span<const TermWeight> composition,
                      const std::vector<TermWeight>& query_terms);
 
 }  // namespace ita

@@ -1,10 +1,11 @@
-// The maintained result list R of one continuous query (Section III).
-//
-// R holds every *encountered* document with its exact score — the top-k
-// prefix is the reported answer; the remainder ("unverified" documents in
-// the paper's terminology) is what makes incremental refill possible after
-// expirations. Ordered by decreasing score (ties: newest document first)
-// with O(log n) insert/erase and O(1) membership/score lookup.
+/// \file
+/// The maintained result list R of one continuous query (Section III).
+///
+/// R holds every *encountered* document with its exact score — the top-k
+/// prefix is the reported answer; the remainder ("unverified" documents in
+/// the paper's terminology) is what makes incremental refill possible after
+/// expirations. Ordered by decreasing score (ties: newest document first)
+/// with O(log n) insert/erase and O(1) membership/score lookup.
 
 #pragma once
 
@@ -19,31 +20,40 @@ namespace ita {
 
 /// One reported result: a valid document and its similarity score.
 struct ResultEntry {
-  DocId doc = kInvalidDocId;
-  double score = 0.0;
+  DocId doc = kInvalidDocId;  ///< the document's stream id
+  double score = 0.0;         ///< exact similarity S(d|Q)
 
+  /// Field-wise equality (used by the equivalence test suites).
   friend bool operator==(const ResultEntry& a, const ResultEntry& b) {
     return a.doc == b.doc && a.score == b.score;
   }
 };
 
+/// The maintained result list R of one continuous query; see the file
+/// comment. Not thread-safe: owned by a single server's query state.
 class ResultSet {
  public:
+  /// One scored member of R, as stored in the ranked list.
   struct Entry {
-    double score = 0.0;
-    DocId doc = kInvalidDocId;
+    double score = 0.0;         ///< exact similarity S(d|Q)
+    DocId doc = kInvalidDocId;  ///< the document's stream id
   };
   /// Decreasing score; ties broken by decreasing doc id (newest first).
   struct Order {
+    /// True when `a` ranks before `b`.
     bool operator()(const Entry& a, const Entry& b) const {
       if (a.score != b.score) return a.score > b.score;
       return a.doc > b.doc;
     }
   };
+  /// The ranked backing list.
   using List = SkipList<Entry, Order>;
+  /// Forward iterator over the ranked list, best first.
   using Iterator = List::Iterator;
 
+  /// Number of documents in R.
   std::size_t size() const { return by_doc_.size(); }
+  /// True when R holds no documents.
   bool empty() const { return by_doc_.empty(); }
 
   /// Adds document `doc` with `score`. Must not already be present.
@@ -52,6 +62,7 @@ class ResultSet {
   /// Removes `doc`; returns false if absent.
   bool Erase(DocId doc);
 
+  /// True when `doc` is a member of R.
   bool Contains(DocId doc) const { return by_doc_.find(doc) != by_doc_.end(); }
 
   /// Exact stored score, if present.
@@ -76,9 +87,12 @@ class ResultSet {
     return *by_score_.Back();
   }
 
+  /// Iteration over R, best first.
   Iterator begin() const { return by_score_.begin(); }
+  /// Past-the-end iterator of begin().
   Iterator end() const { return by_score_.end(); }
 
+  /// Removes every document.
   void Clear();
 
  private:

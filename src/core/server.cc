@@ -9,6 +9,12 @@ namespace ita {
 ContinuousSearchServer::ContinuousSearchServer(ServerOptions options)
     : options_(options) {
   ITA_CHECK_OK(options_.window.Validate());
+  if (options_.shared_arena != nullptr) {
+    arena_ = options_.shared_arena;
+  } else {
+    owned_arena_ = std::make_unique<DocumentArena>();
+    arena_ = owned_arena_.get();
+  }
 }
 
 StatusOr<QueryId> ContinuousSearchServer::RegisterQuery(Query query) {
@@ -54,6 +60,8 @@ Status ContinuousSearchServer::UnregisterQuery(QueryId id) {
 }
 
 StatusOr<DocId> ContinuousSearchServer::Ingest(Document document) {
+  ITA_CHECK(owns_arena())
+      << "shared-arena servers are streamed by their epoch driver";
   if (document.arrival_time < last_arrival_time_) {
     return Status::InvalidArgument(
         "document arrival times must be non-decreasing");
@@ -62,139 +70,106 @@ StatusOr<DocId> ContinuousSearchServer::Ingest(Document document) {
 
   // Expire documents the new arrival pushes out of the window — "a
   // document d_ins arrives, forcing an existing one d_del to expire".
+  // Per-event semantics: each expiry is its own event (pop, then hook),
+  // so a strategy's rescan during OnExpire sees the remaining documents.
   if (options_.window.kind == WindowSpec::Kind::kCountBased) {
-    while (store_.size() >= options_.window.count) ExpireOldest();
+    while (arena_->size() >= options_.window.count) ExpireOldest();
   } else {
-    while (!store_.empty() &&
-           !options_.window.ValidAt(store_.Oldest().arrival_time,
+    while (!arena_->empty() &&
+           !options_.window.ValidAt(arena_->Oldest().arrival_time,
                                     document.arrival_time)) {
       ExpireOldest();
     }
   }
 
-  const DocId id = store_.Append(std::move(document));
-  const Document* stored = store_.Get(id);
-  ITA_DCHECK(stored != nullptr);
+  const DocId id = arena_->Append(std::move(document));
+  const auto stored = arena_->Get(id);
+  ITA_DCHECK(stored.has_value());
   OnArrive(*stored);
   ++stats_.documents_ingested;
 
+  arena_->ReclaimExpired();
+  RefreshArenaGauges();
   FlushNotifications();
   return id;
 }
 
 StatusOr<EpochPlan> ContinuousSearchServer::PlanEpoch(
     const std::vector<Document>& batch) const {
-  if (batch.empty()) {
-    return Status::InvalidArgument("epoch batch may not be empty");
-  }
-  Timestamp prev = last_arrival_time_;
-  for (const Document& doc : batch) {
-    if (doc.arrival_time < prev) {
-      return Status::InvalidArgument(
-          "document arrival times must be non-decreasing");
-    }
-    prev = doc.arrival_time;
-  }
-
-  EpochPlan plan;
-  plan.epoch_end = batch.back().arrival_time;
-
-  // Transient prefix: batch documents that would arrive *and* expire
-  // within this epoch. They exist only when the batch alone overflows the
-  // window — in which case every previously valid document expires too
-  // (transients are newer than all of them), leaving the store empty
-  // before the survivors are appended.
-  if (options_.window.kind == WindowSpec::Kind::kCountBased) {
-    if (batch.size() > options_.window.count) {
-      plan.first_survivor = batch.size() - options_.window.count;
-    }
-  } else {
-    while (plan.first_survivor < batch.size() &&
-           !options_.window.ValidAt(batch[plan.first_survivor].arrival_time,
-                                    plan.epoch_end)) {
-      ++plan.first_survivor;
-    }
-  }
-  plan.arriving = batch.size() - plan.first_survivor;
-  return plan;
+  return arena_->PlanEpoch(options_.window, last_arrival_time_, batch);
 }
 
-void ContinuousSearchServer::RunExpirePhase(const EpochPlan& plan) {
+void ContinuousSearchServer::RunExpirePhase(
+    const EpochPlan& plan, std::span<const DocumentView> expired) {
   last_arrival_time_ = std::max(last_arrival_time_, plan.epoch_end);
-
-  // Expire the valid documents the epoch pushes out, as one batch. For a
-  // count-based window the arrivals do the pushing; a pure-expiry plan
-  // (arriving = 0) cannot overflow it and expires nothing.
-  std::vector<Document> expired;
-  if (options_.window.kind == WindowSpec::Kind::kCountBased) {
-    while (!store_.empty() &&
-           store_.size() + plan.arriving > options_.window.count) {
-      expired.push_back(store_.PopOldest());
-    }
-  } else {
-    while (!store_.empty() && !options_.window.ValidAt(
-                                  store_.Oldest().arrival_time, plan.epoch_end)) {
-      expired.push_back(store_.PopOldest());
-    }
-  }
+  ITA_DCHECK(expired.size() == plan.expiring);
   if (!expired.empty()) {
     OnExpireBatch(expired);
     stats_.documents_expired += expired.size();
   }
 }
 
-std::vector<DocId> ContinuousSearchServer::RunArrivePhase(
-    const EpochPlan& plan, std::vector<Document> batch) {
+void ContinuousSearchServer::RunArrivePhase(
+    const EpochPlan& plan, std::span<const DocumentView> arrived) {
   last_arrival_time_ = std::max(last_arrival_time_, plan.epoch_end);
+  ITA_DCHECK(arrived.size() == plan.arriving);
 
-  std::vector<DocId> ids;
-  ids.reserve(batch.size());
+  // Transients received ids from the arena (keeping the id sequence
+  // identical to sequential ingestion) but never reach the hooks.
+  stats_.documents_expired += plan.first_survivor;
 
-  // Transients get ids (keeping the id sequence identical to sequential
-  // ingestion) but never reach the strategy hooks.
-  for (std::size_t i = 0; i < plan.first_survivor; ++i) {
-    ITA_DCHECK(store_.empty());
-    ids.push_back(store_.Append(std::move(batch[i])));
-    store_.PopOldest();
-    ++stats_.documents_expired;
-  }
-
-  std::vector<const Document*> arrived;
-  arrived.reserve(plan.arriving);
-  for (std::size_t i = plan.first_survivor; i < batch.size(); ++i) {
-    const DocId id = store_.Append(std::move(batch[i]));
-    ids.push_back(id);
-    arrived.push_back(store_.Get(id));
-  }
   if (!arrived.empty()) OnArriveBatch(arrived);
 
-  stats_.documents_ingested += batch.size();
+  stats_.documents_ingested += plan.first_survivor + plan.arriving;
   ++stats_.batches_ingested;
-  return ids;
 }
 
 StatusOr<std::vector<DocId>> ContinuousSearchServer::IngestBatch(
     std::vector<Document> batch) {
   if (batch.empty()) return std::vector<DocId>{};
+  ITA_CHECK(owns_arena())
+      << "shared-arena servers are streamed by their epoch driver";
+
   EpochPlan plan;
   {
     const auto planned = PlanEpoch(batch);
     ITA_RETURN_NOT_OK(planned.status());
     plan = *planned;
   }
-  RunExpirePhase(plan);
-  std::vector<DocId> ids = RunArrivePhase(plan, std::move(batch));
+  const std::size_t total = batch.size();
+
+  // The epoch protocol of core/server_strategy.h, single-shard edition:
+  // pop, expire phase, append, arrive phase, reclaim, flush.
+  expired_scratch_.clear();
+  arena_->PopExpiredInto(plan.expiring, expired_scratch_);
+  RunExpirePhase(plan, expired_scratch_);
+
+  const DocId first = arena_->AppendEpoch(std::move(batch), plan.first_survivor);
+  arrived_scratch_.clear();
+  arena_->TailViewsInto(plan.arriving, arrived_scratch_);
+  RunArrivePhase(plan, arrived_scratch_);
+
+  arena_->ReclaimExpired();
+  RefreshArenaGauges();
   FlushNotifications();
+
+  std::vector<DocId> ids(total);
+  for (std::size_t i = 0; i < total; ++i) ids[i] = first + i;
   return ids;
 }
 
 Status ContinuousSearchServer::AdvanceTime(Timestamp now) {
+  ITA_CHECK(owns_arena())
+      << "shared-arena servers are streamed by their epoch driver";
   if (now < last_arrival_time_) {
     return Status::InvalidArgument("time may not move backwards");
   }
-  EpochPlan plan;
-  plan.epoch_end = now;
-  RunExpirePhase(plan);
+  const EpochPlan plan = arena_->PlanAdvance(options_.window, now);
+  expired_scratch_.clear();
+  arena_->PopExpiredInto(plan.expiring, expired_scratch_);
+  RunExpirePhase(plan, expired_scratch_);
+  arena_->ReclaimExpired();
+  RefreshArenaGauges();
   FlushNotifications();
   return Status::OK();
 }
@@ -207,9 +182,10 @@ StatusOr<std::vector<ResultEntry>> ContinuousSearchServer::Result(QueryId id) co
 }
 
 void ContinuousSearchServer::ExpireOldest() {
-  // Remove the document from the store first: strategies that rescan the
-  // valid documents during OnExpire (Naive's refill) must not see it.
-  const Document expired = store_.PopOldest();
+  // Pop the document from the arena first: strategies that rescan the
+  // valid documents during OnExpire (Naive's refill) must not see it. The
+  // view stays readable until the arena reclaims at the event's end.
+  const DocumentView expired = arena_->PopOldest();
   OnExpire(expired);
   ++stats_.documents_expired;
 }
@@ -220,6 +196,12 @@ void ContinuousSearchServer::MarkResultChanged(QueryId id) {
 
 void ContinuousSearchServer::FlushNotifications() {
   notifier_.Flush([this](QueryId id) { return CurrentResult(id); });
+}
+
+void ContinuousSearchServer::RefreshArenaGauges() {
+  if (!owns_arena()) return;  // the embedding driver owns those gauges
+  stats_.arena_segments = arena_->segment_count();
+  stats_.document_bytes = arena_->document_bytes();
 }
 
 const Query& ContinuousSearchServer::GetQuery(QueryId id) const {

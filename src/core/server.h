@@ -1,26 +1,32 @@
-// The continuous text search server abstraction (Section II's system
-// model): documents stream in, registered queries stay active, and the
-// server keeps every query's exact top-k over the sliding window.
-//
-// ContinuousSearchServer owns the machinery every strategy shares — the
-// FIFO list of valid documents, window-driven expiration, query
-// registration bookkeeping, statistics, result-change notification — and
-// delegates the actual result maintenance to subclasses:
-//
-//   * ItaServer    — the paper's Incremental Threshold Algorithm;
-//   * NaiveServer  — the paper's comparator (Naive + Yi et al. top-k_max);
-//   * OracleServer — brute-force ground truth for tests.
-//
-// Servers are single-threaded and run on virtual time, per the paper's
-// main-memory, CPU-bound setting. ContinuousSearchServer also implements
-// the ServerStrategy seam (core/server_strategy.h): the public
-// Ingest/IngestBatch/AdvanceTime entry points are compositions of the
-// seam's epoch phases, which lets exec::ShardedServer embed a complete
-// server per shard and drive the phases itself (DESIGN.md §6).
+/// \file
+/// The continuous text search server abstraction (Section II's system
+/// model): documents stream in, registered queries stay active, and the
+/// server keeps every query's exact top-k over the sliding window.
+///
+/// ContinuousSearchServer owns the machinery every strategy shares — the
+/// window of valid documents (a stream::DocumentArena, owned or shared),
+/// window-driven expiration, query registration bookkeeping, statistics,
+/// result-change notification — and delegates the actual result
+/// maintenance to subclasses:
+///
+///   * ItaServer    — the paper's Incremental Threshold Algorithm;
+///   * NaiveServer  — the paper's comparator (Naive + Yi et al. top-k_max);
+///   * OracleServer — brute-force ground truth for tests.
+///
+/// Servers are single-threaded and run on virtual time, per the paper's
+/// main-memory, CPU-bound setting. ContinuousSearchServer also implements
+/// the ServerStrategy seam (core/server_strategy.h): the public
+/// Ingest/IngestBatch/AdvanceTime entry points are compositions of the
+/// seam's epoch phases around its OWN arena, which lets exec::ShardedServer
+/// embed a complete server per shard, own ONE arena for all of them, and
+/// drive the phases itself (DESIGN.md §6, §8). A server constructed over a
+/// shared arena never mutates it — its public stream mutators are disabled
+/// and the embedding driver performs the pops/appends.
 
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -32,23 +38,39 @@
 #include "core/query.h"
 #include "core/result_set.h"
 #include "core/server_strategy.h"
-#include "index/document_store.h"
 #include "stream/document.h"
+#include "stream/document_arena.h"
 #include "stream/window.h"
 
+/// The incremental-threshold continuous text search library: the paper's
+/// system model (stream, window, queries) and every layer of this
+/// reproduction, from text analysis to the sharded execution engine.
 namespace ita {
 
+/// Construction options shared by every server strategy.
 struct ServerOptions {
+  /// The sliding-window specification (count- or time-based).
   WindowSpec window = WindowSpec::CountBased(1000);
+  /// When set, the server reads this externally owned arena instead of
+  /// creating its own, and never mutates it: the embedding epoch driver
+  /// (exec::ShardedServer) owns the window and drives the phases. The
+  /// pointer must outlive the server. Null (the default) means the server
+  /// owns a private arena and its public Ingest/IngestBatch/AdvanceTime
+  /// mutators are live.
+  DocumentArena* shared_arena = nullptr;
 };
 
+/// Base class of every sequential server strategy; see the file comment.
 class ContinuousSearchServer : public ServerStrategy {
  public:
+  /// Validates the window spec and binds the arena (owned unless
+  /// `options.shared_arena` is set).
   explicit ContinuousSearchServer(ServerOptions options);
   ~ContinuousSearchServer() override = default;
 
-  ContinuousSearchServer(const ContinuousSearchServer&) = delete;
-  ContinuousSearchServer& operator=(const ContinuousSearchServer&) = delete;
+  ContinuousSearchServer(const ContinuousSearchServer&) = delete;  ///< non-copyable
+  ContinuousSearchServer& operator=(const ContinuousSearchServer&) =
+      delete;  ///< non-copyable
 
   /// Installs a continuous query; its result is immediately computed over
   /// the current window contents. Returns the id used for Result()/
@@ -65,7 +87,9 @@ class ContinuousSearchServer : public ServerStrategy {
 
   /// Streams one document into the server: expires documents pushed out of
   /// the window, then processes the arrival. Arrival times must be
-  /// non-decreasing. Returns the id assigned to the document.
+  /// non-decreasing. Returns the id assigned to the document. Requires an
+  /// owned arena (CHECK-fails on a shared-arena embedded server — the
+  /// driver streams there).
   StatusOr<DocId> Ingest(Document document);
 
   /// Streams a batch of documents as one epoch: every expiration the
@@ -73,7 +97,7 @@ class ContinuousSearchServer : public ServerStrategy {
   /// then the arrivals (one OnArriveBatch call), and result-listener
   /// notifications flush once at the end of the epoch instead of once per
   /// event. Arrival times must be non-decreasing across the batch and
-  /// relative to previous ingests.
+  /// relative to previous ingests. Requires an owned arena.
   ///
   /// Semantically exact: after the call, every query's Result() equals
   /// what one-at-a-time Ingest of the same documents would produce. Only
@@ -90,21 +114,29 @@ class ContinuousSearchServer : public ServerStrategy {
   /// For time-based windows: advances the clock to `now`, expiring
   /// documents that fall out of the window, without an accompanying
   /// arrival. The expirations form one epoch (a single OnExpireBatch
-  /// call). No-op for count-based windows.
+  /// call). No-op for count-based windows. Requires an owned arena.
   Status AdvanceTime(Timestamp now);
 
   /// ServerStrategy epoch phases (core/server_strategy.h). IngestBatch is
-  /// exactly PlanEpoch + RunExpirePhase + RunArrivePhase + notification
-  /// flush; an external driver (exec::ShardedServer) runs the same phases
-  /// itself with a cross-shard barrier in between and merges the flush.
+  /// exactly PlanEpoch + arena pop + RunExpirePhase + arena append +
+  /// RunArrivePhase + arena reclaim + notification flush; an external
+  /// driver (exec::ShardedServer) runs the same protocol against its own
+  /// shared arena with a cross-shard barrier between the phases and
+  /// merges the flush.
   StatusOr<EpochPlan> PlanEpoch(
       const std::vector<Document>& batch) const override;
-  void RunExpirePhase(const EpochPlan& plan) override;
-  std::vector<DocId> RunArrivePhase(const EpochPlan& plan,
-                                    std::vector<Document> batch) override;
+  /// ServerStrategy phase 1: one OnExpireBatch over the popped views.
+  void RunExpirePhase(const EpochPlan& plan,
+                      std::span<const DocumentView> expired) override;
+  /// ServerStrategy phase 2: one OnArriveBatch over the appended views.
+  void RunArrivePhase(const EpochPlan& plan,
+                      std::span<const DocumentView> arrived) override;
+  /// ServerStrategy: records changed queries for an external driver's
+  /// merged notification flush (core/notifier.h).
   void SetChangeTracking(bool enabled) override {
     notifier_.SetTracking(enabled);
   }
+  /// ServerStrategy: drains the changed-query marks, sorted and dedup'd.
   std::vector<QueryId> TakeChangedQueries() override {
     return notifier_.TakeChanged();
   }
@@ -128,51 +160,69 @@ class ContinuousSearchServer : public ServerStrategy {
     notifier_.SetListener(std::move(listener));
   }
 
+  /// Operation counters and memory gauges; see common/stats.h.
   const ServerStats& stats() const override { return stats_; }
+  /// Zeroes every counter and gauge.
   void ResetStats() override { stats_.Reset(); }
 
+  /// The construction options (window spec, arena sharing).
   const ServerOptions& options() const { return options_; }
   /// Read-only view of the valid documents (the window contents), oldest
   /// first — inspection hook for tools and tests.
-  const DocumentStore& documents() const { return store_; }
-  std::size_t window_size() const override { return store_.size(); }
+  const DocumentArena& documents() const { return *arena_; }
+  /// Number of valid documents in the window.
+  std::size_t window_size() const override { return arena_->size(); }
+  /// Arrival time of the newest ingested document (or the last
+  /// AdvanceTime target).
   Timestamp last_arrival_time() const { return last_arrival_time_; }
+  /// Number of registered continuous queries.
   std::size_t query_count() const override { return queries_.size(); }
 
  protected:
-  /// Strategy hooks. OnArrive runs with the document already in the store;
-  /// OnExpire runs after the document has left the store (so rescans see
-  /// only still-valid documents) — the reference stays valid for the
-  /// duration of the call.
+  // Strategy hooks. OnArrive runs with the document already in the
+  // arena; OnExpire runs after the document has been popped (so rescans
+  // see only still-valid documents) — the view stays readable for the
+  // duration of the call.
+
+  /// Installs strategy state for `query` (stored at a stable address) and
+  /// computes its initial result over the current window contents.
   virtual Status OnRegisterQuery(QueryId id, const Query& query) = 0;
+  /// Tears down the strategy state of query `id`.
   virtual Status OnUnregisterQuery(QueryId id) = 0;
-  virtual void OnArrive(const Document& doc) = 0;
-  virtual void OnExpire(const Document& doc) = 0;
+  /// Processes one arriving document (already valid in the arena).
+  virtual void OnArrive(const DocumentView& doc) = 0;
+  /// Processes one expired document (already popped; view readable for
+  /// the duration of the call).
+  virtual void OnExpire(const DocumentView& doc) = 0;
+  /// The exact top-k of query `id`, best first.
   virtual std::vector<ResultEntry> CurrentResult(QueryId id) const = 0;
 
-  /// Epoch (batch) strategy hooks, called by IngestBatch/AdvanceTime.
-  /// OnArriveBatch runs with every batch document already in the store
-  /// (pointers stay valid for the duration of the call); OnExpireBatch
-  /// runs after *all* of the epoch's expiring documents have left the
-  /// store, so rescans see only documents that survive the epoch's
-  /// expirations. The defaults delegate to the per-document hooks;
-  /// subclasses override them to amortize index probes and result
-  /// maintenance across the epoch. Overrides must be semantically exact:
-  /// epoch-end results must equal per-document processing (see
-  /// DESIGN.md §4).
-  virtual void OnArriveBatch(const std::vector<const Document*>& docs) {
-    for (const Document* doc : docs) OnArrive(*doc);
+  /// Epoch (batch) strategy hooks, called by the epoch phases. The view
+  /// spans stay readable for the duration of the call. OnArriveBatch runs
+  /// with every batch document already in the arena; OnExpireBatch runs
+  /// after *all* of the epoch's expiring documents have been popped, so
+  /// rescans see only documents that survive the epoch's expirations. The
+  /// defaults delegate to the per-document hooks; subclasses override
+  /// them to amortize index probes and result maintenance across the
+  /// epoch. Overrides must be semantically exact: epoch-end results must
+  /// equal per-document processing (see DESIGN.md §4).
+  virtual void OnArriveBatch(std::span<const DocumentView> docs) {
+    for (const DocumentView& doc : docs) OnArrive(doc);
   }
-  virtual void OnExpireBatch(const std::vector<Document>& docs) {
-    for (const Document& doc : docs) OnExpire(doc);
+  /// Epoch counterpart of OnExpire; see OnArriveBatch.
+  virtual void OnExpireBatch(std::span<const DocumentView> docs) {
+    for (const DocumentView& doc : docs) OnExpire(doc);
   }
 
   /// Subclasses flag queries whose top-k changed during the current event;
   /// the base class fires the listener afterwards.
   void MarkResultChanged(QueryId id);
 
+  /// The registered query for `id`, which must exist.
   const Query& GetQuery(QueryId id) const;
-  const DocumentStore& store() const { return store_; }
+  /// The window arena (shared or owned), read-only.
+  const DocumentArena& store() const { return *arena_; }
+  /// The stats instance subclasses bump on hot paths.
   ServerStats& mutable_stats() { return stats_; }
 
  private:
@@ -180,16 +230,28 @@ class ContinuousSearchServer : public ServerStrategy {
   /// and runs the strategy hook, rolling back on failure.
   Status InstallQuery(QueryId id, Query query);
 
+  /// True when this server owns (and may mutate) its arena.
+  bool owns_arena() const { return owned_arena_ != nullptr; }
+
+  /// Per-event expiry: pops the oldest document and runs OnExpire on it.
   void ExpireOldest();
   void FlushNotifications();
+  /// Copies the owned arena's segment/byte gauges into stats_ (no-op on
+  /// shared arenas — the owning driver reports those).
+  void RefreshArenaGauges();
 
   ServerOptions options_;
-  DocumentStore store_;
+  std::unique_ptr<DocumentArena> owned_arena_;  ///< null in shared mode
+  DocumentArena* arena_ = nullptr;              ///< owned or shared target
   std::unordered_map<QueryId, Query> queries_;
   QueryId next_query_id_ = 1;
   Timestamp last_arrival_time_ = 0;
   ServerStats stats_;
   ResultNotifier notifier_;
+  /// Epoch scratch for the owned-arena drivers (Ingest/IngestBatch/
+  /// AdvanceTime); capacity reused across epochs.
+  std::vector<DocumentView> expired_scratch_;
+  std::vector<DocumentView> arrived_scratch_;
 };
 
 }  // namespace ita

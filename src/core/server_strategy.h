@@ -1,25 +1,39 @@
-// The strategy seam between the server core and the execution layer
-// (exec/): the narrow surface an epoch driver needs to embed a complete
-// search server — ItaServer, NaiveServer or OracleServer — inside a shard
-// without going through the public wrapper API (DESIGN.md §6).
-//
-// ContinuousSearchServer implements this interface; its public
-// Ingest/IngestBatch/AdvanceTime are thin compositions of the phase
-// methods below. A driver that owns several embedded servers (one per
-// shard) can instead run each phase across all shards with a barrier in
-// between, which is exactly what exec::EpochScheduler does:
-//
-//   plan   = shard->PlanEpoch(batch)        (identical across shards)
-//   phase 1: every shard RunExpirePhase(plan)       — barrier —
-//   phase 2: every shard RunArrivePhase(plan, docs) — barrier —
-//   merge:   every shard TakeChangedQueries(), flushed deterministically
-//
-// The phase methods are NOT individually thread-safe: a driver must never
-// run two phases of the same server concurrently. Distinct servers share
-// no mutable state and may run concurrently without synchronization.
+/// \file
+/// The strategy seam between the server core and the execution layer
+/// (exec/): the narrow surface an epoch driver needs to embed a complete
+/// search server — ItaServer, NaiveServer or OracleServer — inside a shard
+/// without going through the public wrapper API (DESIGN.md §6, §8).
+///
+/// ContinuousSearchServer implements this interface; its public
+/// Ingest/IngestBatch/AdvanceTime are thin compositions of the phase
+/// methods below around its own (owned) DocumentArena. A driver that owns
+/// several embedded servers (one per shard) owns ONE shared arena instead,
+/// performs every arena mutation itself, and runs each phase across all
+/// shards with a barrier in between — exactly what exec::ShardedServer
+/// does:
+///
+///   plan = shard->PlanEpoch(batch)                 (identical across shards)
+///   pop:     arena.PopExpiredInto(plan.expiring)   (driver, views readable)
+///   phase 1: every shard RunExpirePhase(plan, expired)   — barrier —
+///   append:  arena.AppendEpoch(batch, plan.first_survivor)  (driver)
+///   phase 2: every shard RunArrivePhase(plan, arrived)   — barrier —
+///   reclaim: arena.ReclaimExpired()                (driver)
+///   merge:   every shard TakeChangedQueries(), flushed deterministically
+///
+/// The strategies never mutate the arena: they consume DocumentView spans
+/// the driver hands them and read the arena for rescans (Naive's refill,
+/// ITA's threshold search) — which is what makes one arena shareable
+/// across S shards with document bytes constant in S.
+///
+/// The phase methods are NOT individually thread-safe: a driver must never
+/// run two phases of the same server concurrently. Distinct servers share
+/// no mutable state of their own and may run concurrently; the shared
+/// arena is read-only during phases (the driver mutates it strictly
+/// between them, and the phase barrier orders mutation against reads).
 
 #pragma once
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -29,27 +43,15 @@
 #include "core/query.h"
 #include "core/result_set.h"
 #include "stream/document.h"
+#include "stream/document_arena.h"
 
 namespace ita {
 
-/// The split of one epoch, computed by PlanEpoch(): when the epoch ends,
-/// which prefix of the batch is transient (arrives and expires within the
-/// epoch) and how many documents actually join the window. A pure-expiry
-/// epoch (AdvanceTime) is an EpochPlan with only `epoch_end` set.
-struct EpochPlan {
-  Timestamp epoch_end = 0;
-  /// Batch documents before this index are transient: they receive ids
-  /// (keeping the id sequence identical to sequential ingestion) but never
-  /// reach the strategy hooks, since their net effect on every result is
-  /// nil. Nonzero only when the batch alone overflows the window.
-  std::size_t first_survivor = 0;
-  /// Number of surviving arrivals (batch size minus the transients).
-  std::size_t arriving = 0;
-};
-
+/// The narrow embedded-server surface an epoch driver programs against.
+/// See the file comment for the full epoch protocol.
 class ServerStrategy {
  public:
-  virtual ~ServerStrategy() = default;
+  virtual ~ServerStrategy() = default;  ///< strategies delete through the seam
 
   /// Human-readable strategy name ("ita", "naive", "oracle").
   virtual std::string name() const = 0;
@@ -70,23 +72,30 @@ class ServerStrategy {
   // --- Epoch phases --------------------------------------------------
 
   /// Validates `batch` (non-empty, non-decreasing arrival times, also
-  /// relative to previous epochs) and computes the epoch split. Const:
-  /// nothing is mutated, so a failed plan leaves every shard untouched.
+  /// relative to previous epochs) and computes the epoch split against
+  /// the window arena. Const: nothing is mutated, so a failed plan leaves
+  /// every shard untouched. Shards sharing one arena (and one stream
+  /// history) compute identical plans, so a driver plans once.
   virtual StatusOr<EpochPlan> PlanEpoch(
       const std::vector<Document>& batch) const = 0;
 
-  /// Phase 1: processes every expiration the epoch implies — documents
-  /// pushed out by the plan's arrivals (count-based windows) or invalid at
-  /// `plan.epoch_end` (time-based windows) — as one OnExpireBatch call.
-  virtual void RunExpirePhase(const EpochPlan& plan) = 0;
+  /// Phase 1: processes the epoch's expirations — the `plan.expiring`
+  /// documents the driver has already popped from the arena, whose views
+  /// are passed in (oldest first) and stay readable for the duration of
+  /// the phase — as one OnExpireBatch call. The arena no longer lists
+  /// them as valid, so rescans during the phase see only surviving
+  /// documents.
+  virtual void RunExpirePhase(const EpochPlan& plan,
+                              std::span<const DocumentView> expired) = 0;
 
-  /// Phase 2: appends the batch to the window (transients per the plan)
-  /// and processes the surviving arrivals as one OnArriveBatch call.
-  /// Returns the assigned ids, in batch order — deterministic, so every
-  /// shard of a broadcast epoch assigns identical ids. The caller must
-  /// have run RunExpirePhase(plan) first.
-  virtual std::vector<DocId> RunArrivePhase(const EpochPlan& plan,
-                                            std::vector<Document> batch) = 0;
+  /// Phase 2: processes the epoch's surviving arrivals — already appended
+  /// to the arena by the driver, views passed in oldest first — as one
+  /// OnArriveBatch call. The caller must have run RunExpirePhase(plan)
+  /// first. Transients (plan.first_survivor of them) received ids from
+  /// the arena but appear in no view span; the strategy accounts them in
+  /// its stats only.
+  virtual void RunArrivePhase(const EpochPlan& plan,
+                              std::span<const DocumentView> arrived) = 0;
 
   // --- Notification merge --------------------------------------------
 
@@ -106,9 +115,13 @@ class ServerStrategy {
   /// Snapshot of the current top-k result of a query, best first.
   virtual StatusOr<std::vector<ResultEntry>> Result(QueryId id) const = 0;
 
+  /// Operation counters and memory gauges (common/stats.h).
   virtual const ServerStats& stats() const = 0;
+  /// Zeroes every counter and gauge.
   virtual void ResetStats() = 0;
+  /// Number of valid documents in the window arena.
   virtual std::size_t window_size() const = 0;
+  /// Number of registered continuous queries.
   virtual std::size_t query_count() const = 0;
 };
 

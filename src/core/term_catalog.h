@@ -1,30 +1,31 @@
-// The unified per-term catalog (DESIGN.md §7): for every dense TermId,
-// ONE colocated TermState holding the term's impact-ordered inverted
-// list *and* its flat threshold tree, side by side in a single growable
-// slab indexed by TermId.
-//
-// ITA's per-term economy is the pair "apply this term's postings, then
-// probe this term's threshold tree" executed for every term an epoch
-// touches. The seed paid two lookups per term for it — a dense-array
-// fetch into InvertedIndex plus a hash lookup into a separate
-// unordered_map<TermId, ThresholdTree> — with the two structures in
-// unrelated heap regions. The catalog makes it one indexed slab access:
-// Ensure/Find lands on a TermState whose list and tree share a cache
-// neighborhood, and the whole arrival/expiration hot path runs against
-// that one pointer.
-//
-// The catalog subsumes the former index/InvertedIndex: the document-
-// granular maintenance (AddDocument/RemoveDocument), the epoch-granular
-// run primitives (InsertRun/EraseRun), and the self-contained batch
-// helpers (AddBatch/RemoveBatch) all live here, with identical
-// semantics. Threshold trees are mutated directly through TermState by
-// the server (which owns the theta bookkeeping); the catalog tracks
-// posting counts and slab footprint for the memory gauges.
-//
-// Lists and trees are materialized lazily: Find returns nullptr for a
-// term never seen by either side; List additionally returns nullptr
-// until the term holds (or once held) a posting, preserving the former
-// InvertedIndex contract.
+/// \file
+/// The unified per-term catalog (DESIGN.md §7): for every dense TermId,
+/// ONE colocated TermState holding the term's impact-ordered inverted
+/// list *and* its flat threshold tree, side by side in a single growable
+/// slab indexed by TermId.
+///
+/// ITA's per-term economy is the pair "apply this term's postings, then
+/// probe this term's threshold tree" executed for every term an epoch
+/// touches. The seed paid two lookups per term for it — a dense-array
+/// fetch into InvertedIndex plus a hash lookup into a separate
+/// unordered_map<TermId, ThresholdTree> — with the two structures in
+/// unrelated heap regions. The catalog makes it one indexed slab access:
+/// Ensure/Find lands on a TermState whose list and tree share a cache
+/// neighborhood, and the whole arrival/expiration hot path runs against
+/// that one pointer.
+///
+/// The catalog subsumes the former index/InvertedIndex: the document-
+/// granular maintenance (AddDocument/RemoveDocument), the epoch-granular
+/// run primitives (InsertRun/EraseRun), and the self-contained batch
+/// helpers (AddBatch/RemoveBatch) all live here, with identical
+/// semantics. Threshold trees are mutated directly through TermState by
+/// the server (which owns the theta bookkeeping); the catalog tracks
+/// posting counts and slab footprint for the memory gauges.
+///
+/// Lists and trees are materialized lazily: Find returns nullptr for a
+/// term never seen by either side; List additionally returns nullptr
+/// until the term holds (or once held) a posting, preserving the former
+/// InvertedIndex contract.
 
 #pragma once
 
@@ -41,13 +42,17 @@ namespace ita {
 /// Everything the server keeps per term, colocated: the postings and the
 /// registered local thresholds over them.
 struct TermState {
-  InvertedList list;
-  FlatThresholdTree tree;
+  InvertedList list;        ///< the term's impact-ordered postings
+  FlatThresholdTree tree;   ///< the local thresholds registered over them
   /// True once the list ever held a posting (it may be empty again after
   /// expirations) — preserves the "materialized list" accounting.
   bool list_materialized = false;
 };
 
+/// The per-term slab of colocated TermStates; see the file comment for
+/// the layout and the reference-invalidation rule. Not thread-safe: one
+/// catalog per server, mutated only by its owner (one per shard under
+/// sharding).
 class TermCatalog {
  public:
   /// The state for `term`, creating it (and growing the slab) on first
@@ -65,6 +70,7 @@ class TermCatalog {
     if (term >= states_.size()) return nullptr;
     return &states_[term];
   }
+  /// Const overload of Find().
   const TermState* Find(TermId term) const {
     if (term >= states_.size()) return nullptr;
     return &states_[term];
@@ -106,6 +112,8 @@ class TermCatalog {
     if (inserted) ++total_postings_;
     return inserted;
   }
+  /// Exact inverse of InsertPosting; returns false if the posting is
+  /// absent. `ts` must belong to this catalog.
   bool ErasePosting(TermState& ts, DocId doc, double weight) {
     const bool erased = ts.list.Erase(doc, weight);
     if (erased) --total_postings_;
@@ -124,6 +132,8 @@ class TermCatalog {
     total_postings_ += n;
     return n;
   }
+  /// Exact inverse of InsertRunInto: erases the run's postings as one
+  /// compaction pass. Returns postings erased.
   template <typename FwdIt>
   std::size_t EraseRunFrom(TermState& ts, FwdIt first, FwdIt last) {
     const std::size_t n = ts.list.EraseOrdered(first, last);
@@ -136,6 +146,7 @@ class TermCatalog {
   std::size_t InsertRun(TermId term, FwdIt first, FwdIt last) {
     return InsertRunInto(Ensure(term), first, last);
   }
+  /// EraseRunFrom keyed by term; a never-touched term erases nothing.
   template <typename FwdIt>
   std::size_t EraseRun(TermId term, FwdIt first, FwdIt last) {
     TermState* ts = Find(term);

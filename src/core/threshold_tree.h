@@ -1,27 +1,28 @@
-// The per-inverted-list "threshold tree" of Section III: a book-keeping
-// structure holding one <theta_{Q,t}, Q> entry for every registered query
-// Q that contains term t. Its job is the probe "find all queries whose
-// local threshold is <= w" executed on every document arrival/expiration
-// that touches the term.
-//
-// Storage is a contiguous array of packed {theta, query} pairs sorted by
-// ascending theta, mirroring the impact-array layout of InvertedList
-// (DESIGN.md §7): the probe is a linear front scan that stops at the
-// first entry above w — cost proportional to the number of *affected*
-// queries (the economy ITA is built on) over cache-resident 16-byte
-// entries, instead of the seed's pointer-chasing skip-list walk. A
-// single Update is one binary search plus one std::rotate (a memmove);
-// the epoch path batches a whole tree's threshold moves into ApplyMoves,
-// one erase-compaction plus one merge pass regardless of the move count.
-//
-// The payload is an opaque 32-bit handle: the tests register QueryIds
-// directly, while ItaServer stores SlotMap slots so a probe hit resolves
-// to query state with one slab access (no hash lookup).
-//
-// Invariants that keep the flat layout exact: entries are unique per
-// query (a query holds ONE local threshold per term), ordered by
-// (theta, query), and every mutation receives the exact current theta —
-// so lookups are binary searches, never scans.
+/// \file
+/// The per-inverted-list "threshold tree" of Section III: a book-keeping
+/// structure holding one <theta_{Q,t}, Q> entry for every registered query
+/// Q that contains term t. Its job is the probe "find all queries whose
+/// local threshold is <= w" executed on every document arrival/expiration
+/// that touches the term.
+///
+/// Storage is a contiguous array of packed {theta, query} pairs sorted by
+/// ascending theta, mirroring the impact-array layout of InvertedList
+/// (DESIGN.md §7): the probe is a linear front scan that stops at the
+/// first entry above w — cost proportional to the number of *affected*
+/// queries (the economy ITA is built on) over cache-resident 16-byte
+/// entries, instead of the seed's pointer-chasing skip-list walk. A
+/// single Update is one binary search plus one std::rotate (a memmove);
+/// the epoch path batches a whole tree's threshold moves into ApplyMoves,
+/// one erase-compaction plus one merge pass regardless of the move count.
+///
+/// The payload is an opaque 32-bit handle: the tests register QueryIds
+/// directly, while ItaServer stores SlotMap slots so a probe hit resolves
+/// to query state with one slab access (no hash lookup).
+///
+/// Invariants that keep the flat layout exact: entries are unique per
+/// query (a query holds ONE local threshold per term), ordered by
+/// (theta, query), and every mutation receives the exact current theta —
+/// so lookups are binary searches, never scans.
 
 #pragma once
 
@@ -34,13 +35,20 @@
 
 namespace ita {
 
+/// One term's threshold tree as a packed sorted array; see the file
+/// comment for the layout and exactness argument. Not thread-safe: owned
+/// and mutated by a single server (one per shard under sharding).
 class FlatThresholdTree {
  public:
+  /// One registered local threshold: query `query` monitors this term
+  /// from weight `theta` up.
   struct Entry {
-    double theta = 0.0;
-    QueryId query = kInvalidQueryId;
+    double theta = 0.0;                ///< the local threshold theta_{Q,t}
+    QueryId query = kInvalidQueryId;   ///< opaque 32-bit payload (id or slot)
   };
+  /// Total order of the packed array: ascending (theta, query).
   struct Order {
+    /// True when `a` sorts before `b`.
     bool operator()(const Entry& a, const Entry& b) const {
       if (a.theta != b.theta) return a.theta < b.theta;
       return a.query < b.query;
@@ -49,9 +57,9 @@ class FlatThresholdTree {
   /// One relocation of a query's local threshold, applied in bulk by
   /// ApplyMoves. `old_theta` must be the exact current tree entry.
   struct ThetaMove {
-    double old_theta = 0.0;
-    double new_theta = 0.0;
-    QueryId query = kInvalidQueryId;
+    double old_theta = 0.0;            ///< exact current tree position
+    double new_theta = 0.0;            ///< target position
+    QueryId query = kInvalidQueryId;   ///< the moving entry's payload
   };
 
   /// Registers query `query` with local threshold `theta`. Returns false
@@ -123,11 +131,14 @@ class FlatThresholdTree {
     return static_cast<std::size_t>(it - entries_.data());
   }
 
+  /// Number of registered (theta, query) entries.
   std::size_t size() const { return entries_.size(); }
+  /// True when no query monitors this term.
   bool empty() const { return entries_.empty(); }
 
   /// Read-only view of the packed entries, ascending — test/debug hook.
   const Entry* begin() const { return entries_.data(); }
+  /// Past-the-end pointer of begin().
   const Entry* end() const { return entries_.data() + entries_.size(); }
 
  private:

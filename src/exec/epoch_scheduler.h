@@ -1,10 +1,11 @@
-// The epoch scheduler: runs one task per shard per phase on a fixed
-// thread pool and blocks until every task finished — the barrier that
-// separates an epoch's expire phase from its arrive phase across shards
-// (DESIGN.md §6). Deliberately work-stealing-free: shard tasks are the
-// unit of parallelism, each touches exactly one shard's private state, so
-// the only scheduling decision that matters is "all of phase N before any
-// of phase N+1", and a barrier expresses it directly.
+/// \file
+/// The epoch scheduler: runs one task per shard per phase on a fixed
+/// thread pool and blocks until every task finished — the barrier that
+/// separates an epoch's expire phase from its arrive phase across shards
+/// (DESIGN.md §6). Deliberately work-stealing-free: shard tasks are the
+/// unit of parallelism, each touches exactly one shard's private state, so
+/// the only scheduling decision that matters is "all of phase N before any
+/// of phase N+1", and a barrier expresses it directly.
 
 #pragma once
 
@@ -15,6 +16,9 @@
 
 namespace ita::exec {
 
+/// The phase-barrier executor of the sharded engine; see the file
+/// comment. Thread-safe in the only way it is used: one driver thread
+/// calls RunPhase at a time; the pool workers run the tasks.
 class EpochScheduler {
  public:
   /// A scheduler backed by `threads` pool workers (at least 1). More
@@ -28,6 +32,7 @@ class EpochScheduler {
   /// so shard state is never abandoned mid-phase.
   void RunPhase(std::size_t tasks, const std::function<void(std::size_t)>& fn);
 
+  /// Number of pool workers backing the phases.
   std::size_t thread_count() const { return pool_.thread_count(); }
 
  private:

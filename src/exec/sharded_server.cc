@@ -26,11 +26,16 @@ ShardedServer::ShardedServer(ShardedServerOptions options)
 
 ShardedServer::ShardedServer(ShardedServerOptions options,
                              const ShardFactory& factory)
-    : options_(options), scheduler_(PickThreads(options)) {
+    : options_(options),
+      arena_(std::make_unique<DocumentArena>()),
+      scheduler_(PickThreads(options)) {
   ITA_CHECK(options_.shards >= 1) << "a sharded server needs at least one shard";
   ITA_CHECK_OK(options_.window.Validate());
   shards_.reserve(options_.shards);
-  const ServerOptions server_options{options_.window};
+  // Every shard reads the engine's arena; none of them owns a window.
+  ServerOptions server_options;
+  server_options.window = options_.window;
+  server_options.shared_arena = arena_.get();
   for (std::size_t s = 0; s < options_.shards; ++s) {
     shards_.push_back(factory(server_options));
     ITA_CHECK(shards_.back() != nullptr) << "shard factory returned null";
@@ -66,45 +71,50 @@ StatusOr<std::vector<DocId>> ShardedServer::IngestBatch(
     std::vector<Document> batch) {
   if (batch.empty()) return std::vector<DocId>{};
 
-  // Plan once — shards are identical (same window, same stream history),
-  // so shard 0's plan is every shard's plan, and a failed plan leaves all
-  // of them untouched (the phases below cannot fail).
+  // Plan once — shards share the arena and the stream history, so shard
+  // 0's plan is every shard's plan, and a failed plan leaves everything
+  // untouched (the phases below cannot fail).
   EpochPlan plan;
   {
     const auto planned = shards_[0]->PlanEpoch(batch);
     ITA_RETURN_NOT_OK(planned.status());
     plan = *planned;
   }
+  const std::size_t total = batch.size();
 
-  // Phase 1: every expiration the epoch implies, on every shard.
-  RunPhase([this, &plan](std::size_t s) { shards_[s]->RunExpirePhase(plan); });
+  // The epoch protocol of core/server_strategy.h: every arena mutation
+  // happens here, on the driver, strictly between phases; the phase
+  // barrier orders it against all shard reads.
+
+  // Pop the expiring documents (views stay readable until the reclaim at
+  // the end of the epoch), then phase 1 on every shard.
+  expired_scratch_.clear();
+  arena_->PopExpiredInto(plan.expiring, expired_scratch_);
+  RunPhase([this, &plan](std::size_t s) {
+    shards_[s]->RunExpirePhase(plan, expired_scratch_);
+  });
 
   // --- barrier: no shard starts arrivals before all finished expiring ---
 
-  // Phase 2: broadcast the arrivals. With several shards each copies the
-  // batch into its private store (the copy itself runs on the shard's
-  // worker, so copying parallelizes too — no shard may steal the caller's
-  // buffer while its siblings still read it); a single shard just takes it.
-  std::vector<std::vector<DocId>> ids(shards_.size());
-  if (shards_.size() == 1) {
-    RunPhase([this, &plan, &batch, &ids](std::size_t s) {
-      ids[s] = shards_[s]->RunArrivePhase(plan, std::move(batch));
-    });
-  } else {
-    RunPhase([this, &plan, &batch, &ids](std::size_t s) {
-      ids[s] = shards_[s]->RunArrivePhase(plan, batch);
-    });
-  }
+  // Append the epoch ONCE; shards consume views, so document bytes are
+  // constant in the shard count (DESIGN.md §8).
+  const DocId first = arena_->AppendEpoch(std::move(batch), plan.first_survivor);
+  arrived_scratch_.clear();
+  arena_->TailViewsInto(plan.arriving, arrived_scratch_);
+  RunPhase([this, &plan](std::size_t s) {
+    shards_[s]->RunArrivePhase(plan, arrived_scratch_);
+  });
 
-  // Every shard must have assigned the same id sequence.
-  for (std::size_t s = 1; s < shards_.size(); ++s) {
-    ITA_DCHECK(ids[s] == ids[0]) << "shard " << s << " id sequence diverged";
-  }
+  // --- barrier: every shard done reading before the arena reclaims ---
 
+  arena_->ReclaimExpired();
   last_arrival_time_ = plan.epoch_end;
   ++epochs_processed_;
   MergeAndFlush();
-  return std::move(ids[0]);
+
+  std::vector<DocId> ids(total);
+  for (std::size_t i = 0; i < total; ++i) ids[i] = first + i;
+  return ids;
 }
 
 StatusOr<DocId> ShardedServer::Ingest(Document document) {
@@ -120,9 +130,13 @@ Status ShardedServer::AdvanceTime(Timestamp now) {
   if (now < last_arrival_time_) {
     return Status::InvalidArgument("time may not move backwards");
   }
-  EpochPlan plan;
-  plan.epoch_end = now;
-  RunPhase([this, &plan](std::size_t s) { shards_[s]->RunExpirePhase(plan); });
+  const EpochPlan plan = arena_->PlanAdvance(options_.window, now);
+  expired_scratch_.clear();
+  arena_->PopExpiredInto(plan.expiring, expired_scratch_);
+  RunPhase([this, &plan](std::size_t s) {
+    shards_[s]->RunExpirePhase(plan, expired_scratch_);
+  });
+  arena_->ReclaimExpired();
   last_arrival_time_ = now;
   ++epochs_processed_;
   MergeAndFlush();
@@ -138,10 +152,10 @@ ServerStats ShardedServer::stats() const {
   for (const auto& shard : shards_) aggregated.Add(shard->stats());
   // Stream plumbing (the counters of stats.h's first group — keep this
   // list in sync when adding one) is replicated on every shard: each
-  // ingests and indexes the whole stream, so summing would report it S
+  // processes and indexes the whole stream, so summing would report it S
   // times; take one shard's view, after checking the replicas agree.
-  // The memory gauges stay summed on purpose: every shard's catalog and
-  // query-state slab is private, real memory (stats.h).
+  // The catalog memory gauges stay summed on purpose: every shard's
+  // catalog and query-state slab is private, real memory (stats.h).
   const ServerStats& replicated = shards_[0]->stats();
   for (std::size_t s = 1; s < shards_.size(); ++s) {
     ITA_DCHECK(shards_[s]->stats().documents_ingested ==
@@ -154,6 +168,10 @@ ServerStats ShardedServer::stats() const {
   aggregated.batches_ingested = replicated.batches_ingested;
   aggregated.index_entries_inserted = replicated.index_entries_inserted;
   aggregated.index_entries_erased = replicated.index_entries_erased;
+  // Window-arena gauges: shards run over the engine's shared arena and
+  // report 0 (stats.h); the engine owns the single real window store.
+  aggregated.arena_segments = arena_->segment_count();
+  aggregated.document_bytes = arena_->document_bytes();
   return aggregated;
 }
 
@@ -187,10 +205,6 @@ std::size_t ShardedServer::query_count() const {
   std::size_t total = 0;
   for (const auto& shard : shards_) total += shard->query_count();
   return total;
-}
-
-std::size_t ShardedServer::window_size() const {
-  return shards_[0]->window_size();
 }
 
 void ShardedServer::RunPhase(const std::function<void(std::size_t)>& fn) {

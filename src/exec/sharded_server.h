@@ -1,27 +1,31 @@
-// The sharded parallel execution engine (DESIGN.md §6): registered
-// queries are hash-partitioned across S shards, each shard owning a
-// private embedded server — its own inverted index, threshold trees,
-// result sets and document store, no shared mutable state — and every
-// ingest epoch is broadcast to all shards through the ServerStrategy
-// phase seam, driven in parallel by an EpochScheduler with a barrier
-// between the expire and arrive phases.
-//
-// Exactness (the paper's guarantee survives sharding): ITA maintains each
-// query's structures — R(Q), the local thresholds θ_{Q,t}, τ(Q) —
-// independently of every other query; the inverted index depends only on
-// the document stream. A shard holding a subset of the queries over the
-// full stream is therefore a complete sequential server run for exactly
-// those queries, so per-shard results equal a sequential run query for
-// query (tests/property/sharded_equivalence_property_test.cc asserts
-// this for S ∈ {1, 2, 4, 7} against ITA and the brute-force oracle).
-//
-// Threading contract: the public API must be called from one thread at a
-// time (like every server in this library); inside IngestBatch /
-// AdvanceTime the engine fans each phase out to the scheduler's pool and
-// the phase barrier orders all shard work against the caller. Listener
-// callbacks fire on the calling thread, after the merge, at most once per
-// query per epoch, in ascending QueryId order — deterministic regardless
-// of how shard tasks interleaved.
+/// \file
+/// The sharded parallel execution engine (DESIGN.md §6, §8): registered
+/// queries are hash-partitioned across S shards, each shard owning a
+/// private embedded server — its own inverted index, threshold trees and
+/// result sets, no shared mutable state — while the sliding window's
+/// documents live ONCE in an engine-owned stream::DocumentArena that every
+/// shard reads through DocumentViews. Every ingest epoch is broadcast to
+/// all shards through the ServerStrategy phase seam, driven in parallel by
+/// an EpochScheduler with a barrier between the expire and arrive phases;
+/// the engine alone mutates the arena, strictly between phases.
+///
+/// Exactness (the paper's guarantee survives sharding): ITA maintains each
+/// query's structures — R(Q), the local thresholds θ_{Q,t}, τ(Q) —
+/// independently of every other query; the inverted index depends only on
+/// the document stream. A shard holding a subset of the queries over the
+/// full stream is therefore a complete sequential server run for exactly
+/// those queries, so per-shard results equal a sequential run query for
+/// query (tests/property/sharded_equivalence_property_test.cc asserts
+/// this for S ∈ {1, 2, 4, 7} against ITA and the brute-force oracle).
+///
+/// Threading contract: the public API must be called from one thread at a
+/// time (like every server in this library); inside IngestBatch /
+/// AdvanceTime the engine fans each phase out to the scheduler's pool and
+/// the phase barrier orders all shard work — and all shard reads of the
+/// shared arena — against the caller's arena mutations. Listener
+/// callbacks fire on the calling thread, after the merge, at most once per
+/// query per epoch, in ascending QueryId order — deterministic regardless
+/// of how shard tasks interleaved.
 
 #pragma once
 
@@ -42,10 +46,14 @@
 #include "core/server_strategy.h"
 #include "exec/epoch_scheduler.h"
 #include "pipeline/ingest_pipeline.h"
+#include "stream/document_arena.h"
 
+/// The parallel execution layer: epoch scheduling and the sharded engine.
 namespace ita::exec {
 
+/// Construction options for the sharded engine.
 struct ShardedServerOptions {
+  /// The sliding-window specification, shared by every shard.
   WindowSpec window = WindowSpec::CountBased(1000);
   /// Number of shards S (>= 1). Queries are partitioned by id across the
   /// shards; every shard sees the whole document stream.
@@ -58,10 +66,14 @@ struct ShardedServerOptions {
   ItaTuning tuning;
 };
 
+/// S embedded servers behind one epoch driver and one shared window
+/// arena; see the file comment for the partitioning and threading
+/// contracts.
 class ShardedServer {
  public:
   /// Builds one embedded per-shard server; invoked `shards` times at
-  /// construction, all with the same window options.
+  /// construction, all with the same window options and the engine's
+  /// shared arena.
   using ShardFactory =
       std::function<std::unique_ptr<ServerStrategy>(const ServerOptions&)>;
 
@@ -71,8 +83,8 @@ class ShardedServer {
   /// (the equivalence suite shards Naive and Oracle too).
   ShardedServer(ShardedServerOptions options, const ShardFactory& factory);
 
-  ShardedServer(const ShardedServer&) = delete;
-  ShardedServer& operator=(const ShardedServer&) = delete;
+  ShardedServer(const ShardedServer&) = delete;             ///< non-copyable
+  ShardedServer& operator=(const ShardedServer&) = delete;  ///< non-copyable
 
   /// Installs a continuous query on the shard its id hashes to; the result
   /// is immediately computed over the current window contents.
@@ -82,14 +94,16 @@ class ShardedServer {
   Status UnregisterQuery(QueryId id);
 
   /// Streams a batch of documents as one epoch, broadcast to every shard:
-  /// expire phase on all shards, barrier, arrive phase on all shards,
-  /// barrier, deterministic notification merge. Semantically exact and
+  /// pop the expiring documents from the shared arena, expire phase on
+  /// all shards, barrier, append the batch to the arena ONCE, arrive
+  /// phase on all shards (views only — no per-shard copy), barrier,
+  /// reclaim, deterministic notification merge. Semantically exact and
   /// epoch-equivalent to ContinuousSearchServer::IngestBatch of the same
   /// documents (same ids, same results, same notification cadence).
   StatusOr<std::vector<DocId>> IngestBatch(std::vector<Document> batch);
 
   /// The analyzed-epoch handoff from pipeline/: documents were analyzed
-  /// once upstream; the engine broadcasts the weighted vectors to shards.
+  /// once upstream; the engine stores them once and shards read views.
   StatusOr<std::vector<DocId>> IngestBatch(AnalyzedBatch batch) {
     return IngestBatch(std::move(batch.documents));
   }
@@ -114,15 +128,19 @@ class ShardedServer {
 
   /// Aggregated operation counters: per-query work summed across shards;
   /// stream plumbing (documents ingested/expired, epochs, index entries)
-  /// reported once — every shard ingests and indexes the whole stream, so
-  /// those counters are replicated, not partitioned. Memory gauges
-  /// (catalog slab, postings, threshold entries, query-state slots) sum:
-  /// each shard's per-term catalog is private, real memory under the
-  /// broadcast-document design, so the sum is the engine's footprint.
-  /// Per-shard counters stay available via shard_stats().
+  /// reported once — every shard processes and indexes the whole stream,
+  /// so those counters are replicated, not partitioned. Catalog memory
+  /// gauges (slab, postings, threshold entries, query-state slots) sum:
+  /// each shard's per-term catalog is private, real memory. The window-
+  /// arena gauges (arena_segments, document_bytes) come from the engine's
+  /// single shared arena — they are what makes document memory constant
+  /// in S. Per-shard counters stay available via shard_stats().
   ServerStats stats() const;
+  /// One shard's private counters (catalog gauges are that shard's own).
   const ServerStats& shard_stats(std::size_t shard) const;
+  /// Number of queries partitioned onto `shard`.
   std::size_t shard_query_count(std::size_t shard) const;
+  /// Zeroes every shard's counters and the engine's busy-time tallies.
   void ResetStats();
 
   /// Wall-clock busy time shard `shard`'s phase tasks have accumulated
@@ -131,14 +149,25 @@ class ShardedServer {
   /// own core — and is the hardware-independent scaling metric recorded
   /// by bench_sharded.
   std::uint64_t shard_busy_micros(std::size_t shard) const;
+  /// Ingest/advance epochs driven since construction or ResetStats().
   std::uint64_t epochs_processed() const { return epochs_processed_; }
 
+  /// Engine name, e.g. "sharded(ita,4)".
   std::string name() const;
+  /// Number of shards S.
   std::size_t shard_count() const { return shards_.size(); }
+  /// Scheduler worker threads.
   std::size_t thread_count() const { return scheduler_.thread_count(); }
+  /// Total registered queries across all shards.
   std::size_t query_count() const;
-  std::size_t window_size() const;
+  /// Number of valid documents in the shared window arena.
+  std::size_t window_size() const { return arena_->size(); }
+  /// Read-only view of the shared window arena — inspection hook for
+  /// tools and tests.
+  const DocumentArena& documents() const { return *arena_; }
+  /// Arrival time of the newest ingested document (or AdvanceTime target).
   Timestamp last_arrival_time() const { return last_arrival_time_; }
+  /// The construction options.
   const ShardedServerOptions& options() const { return options_; }
 
   /// The shard a query id is partitioned to.
@@ -154,6 +183,10 @@ class ShardedServer {
   void MergeAndFlush();
 
   ShardedServerOptions options_;
+  /// The single window store every shard reads (DESIGN.md §8). Declared
+  /// before shards_ so it outlives them; mutated only by the engine,
+  /// strictly between phases.
+  std::unique_ptr<DocumentArena> arena_;
   std::vector<std::unique_ptr<ServerStrategy>> shards_;
   EpochScheduler scheduler_;
   ResultNotifier notifier_;
@@ -163,6 +196,10 @@ class ShardedServer {
   /// Indexed by shard; written only by the worker running that shard's
   /// phase task (the barrier orders writes against reads).
   std::vector<std::uint64_t> shard_busy_micros_;
+  /// Per-epoch view scratch, written by the engine before each phase and
+  /// read concurrently (read-only) by every shard during it.
+  std::vector<DocumentView> expired_scratch_;
+  std::vector<DocumentView> arrived_scratch_;
 };
 
 }  // namespace ita::exec

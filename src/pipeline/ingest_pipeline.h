@@ -45,11 +45,12 @@ struct RawDocument {
 };
 
 /// The analysis → execution handoff: one epoch's worth of documents,
-/// analyzed exactly once. Analysis stays single-pass no matter how many
-/// shards consume the epoch — the execution engine broadcasts the batch
-/// by const reference and each shard copies the weighted vectors into its
-/// private store (exec::ShardedServer::IngestBatch), while the sequential
-/// server moves them (ContinuousSearchServer::IngestBatch).
+/// analyzed exactly once AND stored exactly once. The consuming epoch
+/// driver — sequential ContinuousSearchServer or exec::ShardedServer —
+/// moves the weighted vectors into its window arena
+/// (stream::DocumentArena); under sharding every shard then reads
+/// DocumentViews of that one copy, so neither analysis nor document
+/// memory scales with the shard count (DESIGN.md §8).
 struct AnalyzedBatch {
   std::vector<Document> documents;
 

@@ -4,7 +4,7 @@
 
 namespace ita {
 
-double CompositionWeight(const Composition& composition, TermId term) {
+double CompositionWeight(std::span<const TermWeight> composition, TermId term) {
   const auto it = std::lower_bound(
       composition.begin(), composition.end(), term,
       [](const TermWeight& tw, TermId t) { return tw.term < t; });

@@ -1,18 +1,33 @@
 // The stream element of Section II: a text document with its composition
 // list (one <term, weight> pair per distinct term) and arrival timestamp.
+//
+// Two representations, split along the ownership boundary (DESIGN.md §8):
+//
+//   * Document      — the owning ingest-side record: producers and the
+//     analysis pipeline build it, the window arena consumes it. Heap-
+//     backed (vector composition, string text), moved along the ingest
+//     path, never stored per shard.
+//   * DocumentView  — the trivially copyable read-side handle every
+//     consumer below the arena works with: a span over the composition
+//     slab and a string_view over the text slab of the owning
+//     stream::DocumentArena segment. Views are what the strategy hooks,
+//     result maintenance and shards see; copying one copies 64 bytes,
+//     not the document.
 
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <string>
+#include <string_view>
 
 #include "common/types.h"
 
 namespace ita {
 
-/// A streamed document. `id` is assigned by the server at ingestion
-/// (strictly increasing with arrival order); producers leave it at
-/// kInvalidDocId. `composition` is sorted by ascending TermId with
+/// A streamed document (the owning record). `id` is assigned by the server
+/// at ingestion (strictly increasing with arrival order); producers leave
+/// it at kInvalidDocId. `composition` is sorted by ascending TermId with
 /// strictly positive weights — see ita::BuildComposition.
 struct Document {
   DocId id = kInvalidDocId;
@@ -22,8 +37,21 @@ struct Document {
   std::size_t token_count = 0; ///< post-filtering token count (BM25 length)
 };
 
+/// A non-owning, trivially copyable view of a stored document. The spans
+/// alias the owning arena's segment slabs; see stream/document_arena.h
+/// for the exact validity window. Pass by value — it is two
+/// pointers-plus-lengths and a header, cheaper to copy than to indirect
+/// through.
+struct DocumentView {
+  DocId id = kInvalidDocId;
+  Timestamp arrival_time = 0;
+  std::size_t token_count = 0;              ///< post-filtering token count
+  std::span<const TermWeight> composition;  ///< sorted by ascending TermId
+  std::string_view text;                    ///< optional raw payload
+};
+
 /// Binary-searches a composition list for `term`; returns the weight or
 /// 0.0 when the document does not contain the term.
-double CompositionWeight(const Composition& composition, TermId term);
+double CompositionWeight(std::span<const TermWeight> composition, TermId term);
 
 }  // namespace ita

@@ -1,0 +1,273 @@
+#include "stream/document_arena.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace ita {
+
+// --- planning ---------------------------------------------------------
+
+StatusOr<EpochPlan> DocumentArena::PlanEpoch(
+    const WindowSpec& window, Timestamp last_arrival,
+    const std::vector<Document>& batch) const {
+  if (batch.empty()) {
+    return Status::InvalidArgument("epoch batch may not be empty");
+  }
+  Timestamp prev = last_arrival;
+  for (const Document& doc : batch) {
+    if (doc.arrival_time < prev) {
+      return Status::InvalidArgument(
+          "document arrival times must be non-decreasing");
+    }
+    prev = doc.arrival_time;
+  }
+
+  EpochPlan plan;
+  plan.epoch_end = batch.back().arrival_time;
+
+  // Transient prefix: batch documents that would arrive *and* expire
+  // within this epoch. They exist only when the batch alone overflows the
+  // window — in which case every previously valid document expires too
+  // (transients are newer than all of them), leaving the window empty
+  // before the survivors are appended.
+  if (window.kind == WindowSpec::Kind::kCountBased) {
+    if (batch.size() > window.count) {
+      plan.first_survivor = batch.size() - window.count;
+    }
+  } else {
+    while (plan.first_survivor < batch.size() &&
+           !window.ValidAt(batch[plan.first_survivor].arrival_time,
+                           plan.epoch_end)) {
+      ++plan.first_survivor;
+    }
+  }
+  plan.arriving = batch.size() - plan.first_survivor;
+
+  // Valid head documents the epoch pushes out: overflow for count-based
+  // windows, age for time-based ones.
+  if (window.kind == WindowSpec::Kind::kCountBased) {
+    if (size() + plan.arriving > window.count) {
+      plan.expiring = std::min(size(), size() + plan.arriving - window.count);
+    }
+  } else {
+    const_iterator it = begin();
+    while (plan.expiring < size() &&
+           !window.ValidAt((*it).arrival_time, plan.epoch_end)) {
+      ++plan.expiring;
+      ++it;
+    }
+  }
+  return plan;
+}
+
+EpochPlan DocumentArena::PlanAdvance(const WindowSpec& window,
+                                     Timestamp now) const {
+  EpochPlan plan;
+  plan.epoch_end = now;
+  if (window.kind == WindowSpec::Kind::kTimeBased) {
+    const_iterator it = begin();
+    while (plan.expiring < size() &&
+           !window.ValidAt((*it).arrival_time, now)) {
+      ++plan.expiring;
+      ++it;
+    }
+  }
+  return plan;
+}
+
+// --- mutation ---------------------------------------------------------
+
+DocumentView DocumentArena::PopOldest() {
+  ITA_DCHECK(!empty());
+  const DocumentView view = ViewOf(head_id_);
+  ++head_id_;
+  return view;
+}
+
+void DocumentArena::PopExpiredInto(std::size_t n,
+                                   std::vector<DocumentView>& out) {
+  ITA_DCHECK(n <= size());
+  out.reserve(out.size() + n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(PopOldest());
+}
+
+DocumentArena::Segment& DocumentArena::TailSegmentFor(std::size_t incoming,
+                                                      bool force_new) {
+  if (!force_new && !segments_.empty() &&
+      segments_.back().docs.size() < options_.min_segment_docs) {
+    return segments_.back();
+  }
+  if (!free_.empty()) {
+    // Already counted in bytes_; Clear() keeps the capacities.
+    segments_.push_back(std::move(free_.back()));
+    free_.pop_back();
+    segments_.back().Clear();
+  } else {
+    segments_.emplace_back();
+  }
+  Segment& seg = segments_.back();
+  seg.first_id = next_id_;
+  const std::size_t before = SegmentBytes(seg);
+  seg.docs.reserve(std::max(incoming, options_.min_segment_docs));
+  bytes_ += SegmentBytes(seg) - before;
+  seg_first_.push_back(seg.first_id);
+  return seg;
+}
+
+void DocumentArena::Store(Segment& seg, DocId id, const Document& doc) {
+  ITA_DCHECK(seg.end_id() == id) << "segment ids must stay gapless";
+  (void)id;  // only consumed by the DCHECK above
+  StoredDoc meta;
+  meta.arrival_time = doc.arrival_time;
+  meta.comp_offset = seg.comp.size();
+  meta.text_offset = seg.text.size();
+  meta.comp_len = static_cast<std::uint32_t>(doc.composition.size());
+  meta.text_len = static_cast<std::uint32_t>(doc.text.size());
+  meta.token_count = static_cast<std::uint32_t>(doc.token_count);
+  seg.comp.insert(seg.comp.end(), doc.composition.begin(),
+                  doc.composition.end());
+  seg.text.append(doc.text);
+  seg.docs.push_back(meta);
+}
+
+DocId DocumentArena::AppendEpoch(std::vector<Document>&& batch,
+                                 std::size_t first_survivor) {
+  ITA_DCHECK(first_survivor <= batch.size());
+  const DocId first = next_id_;
+
+  // Transients: ids only (keeping the sequence identical to sequential
+  // ingestion). PlanEpoch guarantees every older document expired first,
+  // so moving the head past the transient ids empties nothing valid.
+  if (first_survivor > 0) {
+    ITA_DCHECK(empty()) << "transients imply a fully-expired window";
+    next_id_ += first_survivor;
+    head_id_ = next_id_;
+  }
+
+  const std::size_t surviving = batch.size() - first_survivor;
+  if (surviving == 0) return first;
+
+  // A transient prefix introduces an id gap; gaps may not fall inside a
+  // segment (id -> offset math), so force a fresh one.
+  Segment& seg = TailSegmentFor(surviving, /*force_new=*/first_survivor > 0);
+
+  // Reserve the epoch's exact slab increments up front: one sized growth
+  // per slab per epoch, no geometric-doubling slack in steady state.
+  std::size_t comp_total = 0;
+  std::size_t text_total = 0;
+  for (std::size_t i = first_survivor; i < batch.size(); ++i) {
+    comp_total += batch[i].composition.size();
+    text_total += batch[i].text.size();
+  }
+  const std::size_t before = SegmentBytes(seg);
+  seg.docs.reserve(seg.docs.size() + surviving);
+  seg.comp.reserve(seg.comp.size() + comp_total);
+  seg.text.reserve(seg.text.size() + text_total);
+
+  for (std::size_t i = first_survivor; i < batch.size(); ++i) {
+    Store(seg, next_id_, batch[i]);
+    ++next_id_;
+  }
+  bytes_ += SegmentBytes(seg) - before;
+  return first;
+}
+
+DocId DocumentArena::Append(Document&& doc) {
+  Segment& seg = TailSegmentFor(1, /*force_new=*/false);
+  const DocId id = next_id_;
+  const std::size_t before = SegmentBytes(seg);
+  Store(seg, id, doc);
+  bytes_ += SegmentBytes(seg) - before;
+  ++next_id_;
+  return id;
+}
+
+void DocumentArena::TailViewsInto(std::size_t n,
+                                  std::vector<DocumentView>& out) const {
+  ITA_DCHECK(n <= size());
+  out.reserve(out.size() + n);
+  for (const_iterator it(this, next_id_ - n); it != end(); ++it) {
+    out.push_back(*it);
+  }
+}
+
+void DocumentArena::ReclaimExpired() {
+  // Park at most a couple of retired segments for reuse; release the
+  // rest so a shrinking window returns memory instead of hoarding it.
+  constexpr std::size_t kMaxFreeSegments = 2;
+  while (!segments_.empty() && segments_.front().end_id() <= head_id_) {
+    if (free_.size() < kMaxFreeSegments) {
+      free_.push_back(std::move(segments_.front()));  // stays in bytes_
+    } else {
+      bytes_ -= SegmentBytes(segments_.front());      // released for real
+    }
+    segments_.pop_front();
+    seg_first_.erase(seg_first_.begin());
+  }
+}
+
+// --- read side --------------------------------------------------------
+
+std::size_t DocumentArena::SegmentIndexOf(DocId id) const {
+  ITA_DCHECK(!seg_first_.empty());
+  const auto it =
+      std::upper_bound(seg_first_.begin(), seg_first_.end(), id);
+  ITA_DCHECK(it != seg_first_.begin());
+  return static_cast<std::size_t>(it - seg_first_.begin()) - 1;
+}
+
+DocumentView DocumentArena::ViewInSegment(const Segment& seg,
+                                          std::size_t offset) const {
+  ITA_DCHECK(offset < seg.docs.size());
+  const StoredDoc& meta = seg.docs[offset];
+  DocumentView view;
+  view.id = seg.first_id + offset;
+  view.arrival_time = meta.arrival_time;
+  view.token_count = meta.token_count;
+  view.composition = std::span<const TermWeight>(
+      seg.comp.data() + meta.comp_offset, meta.comp_len);
+  view.text = std::string_view(seg.text.data() + meta.text_offset,
+                               meta.text_len);
+  return view;
+}
+
+DocumentView DocumentArena::ViewOf(DocId id) const {
+  const Segment& seg = segments_[SegmentIndexOf(id)];
+  ITA_DCHECK(id >= seg.first_id && id < seg.end_id());
+  return ViewInSegment(seg, static_cast<std::size_t>(id - seg.first_id));
+}
+
+std::optional<DocumentView> DocumentArena::Get(DocId id) const {
+  if (id < head_id_ || id >= next_id_) return std::nullopt;
+  return ViewOf(id);
+}
+
+// --- iterator ---------------------------------------------------------
+
+DocumentArena::const_iterator::const_iterator(const DocumentArena* arena,
+                                              DocId id)
+    : arena_(arena), id_(id) {
+  if (arena_ != nullptr && id_ < arena_->next_id_) {
+    seg_index_ = arena_->SegmentIndexOf(id_);
+  }
+}
+
+DocumentView DocumentArena::const_iterator::operator*() const {
+  const Segment& seg = arena_->segments_[seg_index_];
+  return arena_->ViewInSegment(seg,
+                               static_cast<std::size_t>(id_ - seg.first_id));
+}
+
+DocumentArena::const_iterator& DocumentArena::const_iterator::operator++() {
+  ++id_;
+  // Valid ids are gapless across segments (transient gaps always sit
+  // below the head), so the next document is either the next offset of
+  // this segment or offset 0 of the next.
+  if (id_ < arena_->next_id_ &&
+      id_ >= arena_->segments_[seg_index_].end_id()) {
+    ++seg_index_;
+  }
+  return *this;
+}
+
+}  // namespace ita

@@ -1,0 +1,295 @@
+// The epoch-segmented document arena (DESIGN.md §8): the single owner of
+// the sliding window's document bytes, shared read-only by every consumer
+// — the sequential server owns a private one, the sharded execution
+// engine owns ONE for all of its shards (shards hold DocumentViews, so
+// window memory is constant in the shard count instead of multiplied by
+// it).
+//
+// Layout: a FIFO ring of segments, each holding a run of consecutively
+// ingested documents with all of their compositions, texts and metadata
+// in three contiguous slabs (one metadata vector, one TermWeight slab,
+// one text slab). A batch epoch lands in one segment; tiny epochs (the
+// per-event path) coalesce into the open tail segment until it reaches
+// `min_segment_docs`. Appending a whole epoch therefore costs O(bytes
+// copied) with a constant number of slab growths — not one heap
+// allocation per document, as the former per-shard deque-of-Document
+// stores paid.
+//
+// Ids are sequential with arrival order (the scheme of the former
+// index/DocumentStore), so id → view lookup is positional: a range check
+// against [head_id, next_id), an upper_bound over the segment directory
+// (at most window / min_segment_docs entries — constant in the window
+// size), then offset arithmetic inside the segment.
+//
+// Expiry is logical-first: popping the oldest documents bumps the head
+// id (O(1) per document, no data movement); segment memory is reclaimed
+// only when EVERY document in a head segment has left the window, and
+// reclaimed segments park on a free list for reuse, so a steady-state
+// window recycles a bounded ring of slabs.
+//
+// View validity (the aliasing contract every consumer relies on):
+//   * a view of a VALID document stays valid until a later AppendEpoch/
+//     Append call (which may grow the open tail segment's slabs) or until
+//     its segment is reclaimed — within an epoch, arrive-phase views are
+//     stable because the driver appends before fanning out and mutates
+//     nothing until the phase barrier;
+//   * a view of a popped (expired) document stays readable until the
+//     next ReclaimExpired() call — the expire phase consumes its views
+//     strictly before the driver reclaims at the epoch boundary.
+//
+// Thread safety: mutation (PopOldest/PopExpiredInto/Append/AppendEpoch/
+// ReclaimExpired) is single-writer — only the epoch driver calls it,
+// never inside a phase. Between mutations, any number of threads may
+// read concurrently (Get, iteration, views); the sharded engine's phase
+// barrier orders every mutation against every shard read
+// (tests/exec/document_arena_parallel_test.cc runs this under
+// ThreadSanitizer).
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "stream/document.h"
+#include "stream/window.h"
+
+namespace ita {
+
+/// The split of one ingest epoch against the current window contents,
+/// computed by DocumentArena::PlanEpoch (const — a failed plan mutates
+/// nothing). The epoch driver executes the plan: pop `expiring` head
+/// documents, run the expire phase, append the batch (`first_survivor`
+/// transients receive ids only), run the arrive phase, reclaim. A
+/// pure-expiry epoch (AdvanceTime) is a plan with only `epoch_end` and
+/// `expiring` set.
+struct EpochPlan {
+  /// Arrival time of the epoch's last document (or the AdvanceTime target).
+  Timestamp epoch_end = 0;
+  /// Batch documents before this index are transient: they arrive *and*
+  /// expire within the epoch (possible only when the batch alone
+  /// overflows the window). They receive ids — keeping the id sequence
+  /// identical to sequential ingestion — but are never stored and never
+  /// reach the strategy hooks, since their net effect on every result is
+  /// nil.
+  std::size_t first_survivor = 0;
+  /// Number of surviving arrivals (batch size minus the transients).
+  std::size_t arriving = 0;
+  /// Number of currently valid head documents the epoch pushes out of the
+  /// window.
+  std::size_t expiring = 0;
+};
+
+class DocumentArena {
+ public:
+  struct Options {
+    /// Tail segments accept further epochs until they hold at least this
+    /// many documents — the coalescing floor that keeps the per-event
+    /// ingest path from creating one segment per document.
+    std::size_t min_segment_docs = 256;
+  };
+
+  DocumentArena() = default;
+  explicit DocumentArena(Options options) : options_(options) {
+    ITA_CHECK(options_.min_segment_docs >= 1);
+  }
+
+  DocumentArena(const DocumentArena&) = delete;
+  DocumentArena& operator=(const DocumentArena&) = delete;
+
+  // --- Planning -------------------------------------------------------
+
+  /// Validates `batch` (non-empty, arrival times non-decreasing and
+  /// >= `last_arrival`) and computes the epoch split against the current
+  /// window contents. Const: a failed plan leaves the arena — and every
+  /// consumer sharing it — untouched.
+  StatusOr<EpochPlan> PlanEpoch(const WindowSpec& window,
+                                Timestamp last_arrival,
+                                const std::vector<Document>& batch) const;
+
+  /// The pure-expiry plan of an AdvanceTime(now) epoch: how many head
+  /// documents fall out of a time-based window at `now`. Count-based
+  /// windows expire nothing without arrivals.
+  EpochPlan PlanAdvance(const WindowSpec& window, Timestamp now) const;
+
+  // --- Mutation (epoch driver only — see the thread-safety contract) --
+
+  /// Logically expires the oldest valid document and returns its view,
+  /// readable until the next ReclaimExpired(). Requires !empty().
+  DocumentView PopOldest();
+
+  /// PopOldest() `n` times, appending the views to `out` (oldest first;
+  /// `out` is not cleared — callers reuse scratch vectors).
+  void PopExpiredInto(std::size_t n, std::vector<DocumentView>& out);
+
+  /// Appends one epoch: assigns ids to all `batch` documents in order
+  /// (returning the first — ids are sequential, so batch[i] received
+  /// `first + i`) and stores the documents from `first_survivor` on. The
+  /// transient prefix is id-only: PlanEpoch guarantees the window is
+  /// empty by then, and the head id moves past the transients so they
+  /// are never valid. Invalidates views into the open tail segment.
+  DocId AppendEpoch(std::vector<Document>&& batch,
+                    std::size_t first_survivor);
+
+  /// Appends a single surviving document (an epoch of one, the per-event
+  /// ingest path) and returns its id. Invalidates views into the open
+  /// tail segment.
+  DocId Append(Document&& doc);
+
+  /// Views of the `n` newest valid documents, oldest first — the arrive
+  /// phase's view span, taken right after AppendEpoch. Appends to `out`.
+  void TailViewsInto(std::size_t n, std::vector<DocumentView>& out) const;
+
+  /// Frees head segments whose every document has been popped, parking
+  /// them on the free list for reuse. Views of popped documents die here;
+  /// views of valid documents survive. Called once per epoch, after the
+  /// arrive phase.
+  void ReclaimExpired();
+
+  // --- Read side (any thread between mutations) -----------------------
+
+  /// Number of valid (in-window) documents.
+  std::size_t size() const { return static_cast<std::size_t>(next_id_ - head_id_); }
+  bool empty() const { return head_id_ == next_id_; }
+
+  /// Id that will be assigned to the next appended document.
+  DocId next_id() const { return next_id_; }
+
+  /// View of the valid document with the given id, or nullopt if it never
+  /// existed, has expired, or is not yet ingested.
+  std::optional<DocumentView> Get(DocId id) const;
+
+  bool Contains(DocId id) const { return Get(id).has_value(); }
+
+  /// Oldest (next-to-expire) valid document. Requires !empty().
+  DocumentView Oldest() const {
+    ITA_DCHECK(!empty());
+    return ViewOf(head_id_);
+  }
+
+  /// Forward iteration over the valid documents, oldest first, yielding
+  /// DocumentViews by value. The iterator carries a segment cursor, so a
+  /// full-window scan (Naive's refill, the oracle) costs O(1) per
+  /// document — no per-step directory search. Invalidated, like views,
+  /// by arena mutation.
+  class const_iterator {
+   public:
+    using value_type = DocumentView;
+    using difference_type = std::ptrdiff_t;
+
+    const_iterator() = default;
+    const_iterator(const DocumentArena* arena, DocId id);
+
+    DocumentView operator*() const;
+    const_iterator& operator++();
+    const_iterator operator++(int) {
+      const_iterator copy = *this;
+      ++(*this);
+      return copy;
+    }
+    friend bool operator==(const const_iterator& a, const const_iterator& b) {
+      return a.id_ == b.id_;
+    }
+    friend bool operator!=(const const_iterator& a, const const_iterator& b) {
+      return a.id_ != b.id_;
+    }
+
+   private:
+    const DocumentArena* arena_ = nullptr;
+    DocId id_ = 0;
+    std::size_t seg_index_ = 0;  ///< segment holding id_ (unused at end())
+  };
+
+  const_iterator begin() const { return const_iterator(this, head_id_); }
+  const_iterator end() const { return const_iterator(this, next_id_); }
+
+  // --- Memory gauges (DESIGN.md §8) -----------------------------------
+
+  /// Live segments currently backing the window (excluding the free list).
+  std::size_t segment_count() const { return segments_.size(); }
+
+  /// Reclaimed segments parked for reuse.
+  std::size_t free_segment_count() const { return free_.size(); }
+
+  /// Total bytes held by the arena: metadata, composition and text slab
+  /// capacities of every live and parked segment, maintained
+  /// incrementally (O(1) — safe to read on the per-event path). This is
+  /// THE document-bytes figure of the engine — with a shared arena it is
+  /// constant in the shard count.
+  std::size_t document_bytes() const { return bytes_; }
+
+ private:
+  /// Fixed-size per-document metadata; compositions and texts live in the
+  /// owning segment's slabs at the recorded offsets.
+  struct StoredDoc {
+    Timestamp arrival_time = 0;
+    std::uint64_t comp_offset = 0;
+    std::uint64_t text_offset = 0;
+    std::uint32_t comp_len = 0;
+    std::uint32_t text_len = 0;
+    std::uint32_t token_count = 0;
+  };
+
+  /// One ring entry: a run of consecutively ingested documents (ids
+  /// first_id .. first_id + docs.size() - 1, no gaps) with slab-backed
+  /// payloads.
+  struct Segment {
+    DocId first_id = 0;
+    std::vector<StoredDoc> docs;
+    std::vector<TermWeight> comp;
+    std::string text;
+
+    DocId end_id() const { return first_id + docs.size(); }
+    void Clear() {
+      docs.clear();
+      comp.clear();
+      text.clear();
+    }
+  };
+
+  /// The segment to append `incoming` documents into: the open tail if it
+  /// exists and `force_new` is false, else a fresh segment (recycled from
+  /// the free list when possible). Keeps bytes_ consistent.
+  Segment& TailSegmentFor(std::size_t incoming, bool force_new);
+
+  /// Current slab-capacity bytes of one segment (the unit bytes_ sums).
+  static std::size_t SegmentBytes(const Segment& seg) {
+    return seg.docs.capacity() * sizeof(StoredDoc) +
+           seg.comp.capacity() * sizeof(TermWeight) + seg.text.capacity();
+  }
+
+  /// Copies one owning record into `seg`'s slabs under id `id`.
+  void Store(Segment& seg, DocId id, const Document& doc);
+
+  /// View of document `id`, which must be stored (head_id_ <= id is NOT
+  /// required: popped-but-unreclaimed documents resolve too).
+  DocumentView ViewOf(DocId id) const;
+
+  /// View of the document at `offset` within `seg`.
+  DocumentView ViewInSegment(const Segment& seg, std::size_t offset) const;
+
+  /// Index into segments_ of the segment holding `id` (which must be
+  /// stored): an upper_bound over the contiguous first-id directory.
+  std::size_t SegmentIndexOf(DocId id) const;
+
+  Options options_;
+  std::deque<Segment> segments_;   ///< the ring, oldest first
+  /// Contiguous mirror of segments_[i].first_id — the binary-searched
+  /// id → segment directory (a few KB even at 10^5-document windows).
+  std::vector<DocId> seg_first_;
+  std::vector<Segment> free_;      ///< reclaimed segments kept for reuse
+  DocId head_id_ = 1;              ///< oldest valid id
+  DocId next_id_ = 1;              ///< id of the next arrival
+  /// Sum of SegmentBytes over segments_ and free_, updated at every
+  /// capacity change so document_bytes() is O(1).
+  std::size_t bytes_ = 0;
+};
+
+}  // namespace ita

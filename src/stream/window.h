@@ -39,6 +39,15 @@ struct WindowSpec {
 
   /// True if a document that arrived at `arrival` is still valid at `now`
   /// under a time-based window. (Count-based validity is positional.)
+  ///
+  /// The window is the half-open interval **(now - duration, now]**:
+  /// a document is valid for exactly `duration` microseconds, expiring at
+  /// the instant `now == arrival + duration` — so `arrival == now -
+  /// duration` reads as expired, never as valid. Timestamps are signed,
+  /// so `now < duration` (a window reaching past the virtual epoch) makes
+  /// `now - duration` negative and every non-negative arrival valid —
+  /// there is no unsigned wrap-around to guard. Both boundaries are
+  /// pinned by tests/stream/window_test.cc (TimeBasedBoundary*).
   bool ValidAt(Timestamp arrival, Timestamp now) const {
     return arrival > now - duration;
   }

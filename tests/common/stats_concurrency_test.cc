@@ -41,6 +41,8 @@ ServerStats DistinctStats(std::uint64_t base) {
   s.postings_bytes = base + 18;
   s.threshold_entries = base + 19;
   s.query_state_slots = base + 20;
+  s.arena_segments = base + 21;
+  s.document_bytes = base + 22;
   return s;
 }
 

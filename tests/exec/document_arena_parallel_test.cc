@@ -1,0 +1,134 @@
+// The shared-arena aliasing contract under real concurrency (DESIGN.md
+// §8): the engine mutates the arena strictly between phases, and during a
+// phase any number of shard workers read views of the same single copy.
+// These tests drive that pattern with raw threads (and through the full
+// sharded engine) so the ThreadSanitizer CI job — which runs the exec/
+// label — can prove the reads are race-free.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/ita_server.h"
+#include "exec/sharded_server.h"
+#include "stream/document.h"
+#include "stream/document_arena.h"
+
+namespace ita {
+namespace {
+
+std::vector<Document> SyntheticBatch(std::size_t n, Timestamp start_at) {
+  std::vector<Document> batch;
+  batch.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Document doc;
+    doc.arrival_time = start_at + static_cast<Timestamp>(i);
+    doc.composition = {{static_cast<TermId>(i % 7), 0.25},
+                       {static_cast<TermId>(100 + i % 11), 0.5}};
+    doc.text = "payload-" + std::to_string(i);
+    doc.token_count = 2;
+    batch.push_back(std::move(doc));
+  }
+  return batch;
+}
+
+// The raw pattern: one writer thread-of-record (this test) alternates
+// epoch mutations with barriered parallel read phases, exactly like the
+// engine. Every reader walks all valid views and the expired span.
+TEST(DocumentArenaParallelTest, ShardWorkersReadViewsConcurrently) {
+  constexpr std::size_t kReaders = 4;
+  constexpr std::size_t kEpochs = 20;
+  constexpr std::size_t kBatch = 64;
+  constexpr std::size_t kWindow = 256;
+
+  DocumentArena arena;
+  const WindowSpec window = WindowSpec::CountBased(kWindow);
+  Timestamp now = 0;
+
+  for (std::size_t epoch = 0; epoch < kEpochs; ++epoch) {
+    auto batch = SyntheticBatch(kBatch, now);
+    now += kBatch;
+    const auto plan = arena.PlanEpoch(window, now - kBatch, batch);
+    ASSERT_TRUE(plan.ok());
+
+    std::vector<DocumentView> expired;
+    arena.PopExpiredInto(plan->expiring, expired);
+    arena.AppendEpoch(std::move(batch), plan->first_survivor);
+    std::vector<DocumentView> arrived;
+    arena.TailViewsInto(plan->arriving, arrived);
+
+    // "Phase": kReaders concurrent shard-like readers over the one copy.
+    std::atomic<std::uint64_t> checksum{0};
+    std::vector<std::thread> readers;
+    readers.reserve(kReaders);
+    for (std::size_t r = 0; r < kReaders; ++r) {
+      readers.emplace_back([&arena, &expired, &arrived, &checksum] {
+        std::uint64_t local = 0;
+        for (const DocumentView& doc : expired) {
+          local += doc.id + doc.composition.size() + doc.text.size();
+        }
+        for (const DocumentView& doc : arrived) {
+          local += doc.id + static_cast<std::uint64_t>(
+                                doc.composition.front().weight * 100);
+        }
+        for (const DocumentView doc : arena) {
+          local += doc.id;
+          const auto direct = arena.Get(doc.id);
+          if (!direct.has_value() || direct->text != doc.text) return;
+        }
+        checksum.fetch_add(local, std::memory_order_relaxed);
+      });
+    }
+    for (auto& t : readers) t.join();  // the phase barrier
+
+    arena.ReclaimExpired();  // only after every reader is done
+
+    // All readers saw the identical window: checksum must be an exact
+    // multiple of one reader's sum (and nonzero once documents exist).
+    const std::uint64_t total = checksum.load();
+    ASSERT_EQ(total % kReaders, 0u);
+    ASSERT_GT(total, 0u);
+  }
+  EXPECT_EQ(arena.size(), kWindow);
+}
+
+// The same contract through the production path: a sharded engine whose
+// shards all rescan the shared arena (Naive-style registration refills
+// and ITA threshold searches read it) while epochs stream.
+TEST(DocumentArenaParallelTest, ShardedEngineSharesOneArena) {
+  exec::ShardedServerOptions options;
+  options.window = WindowSpec::CountBased(128);
+  options.shards = 4;
+  options.threads = 4;
+  exec::ShardedServer server(options);
+
+  for (QueryId i = 0; i < 16; ++i) {
+    Query query;
+    query.k = 3;
+    query.terms = {{static_cast<TermId>(i % 7), 1.0},
+                   {static_cast<TermId>(100 + i % 11), 0.5}};
+    ASSERT_TRUE(server.RegisterQuery(std::move(query)).ok());
+  }
+
+  Timestamp now = 0;
+  for (int epoch = 0; epoch < 12; ++epoch) {
+    auto batch = SyntheticBatch(48, now);
+    now += 48;
+    ASSERT_TRUE(server.IngestBatch(std::move(batch)).ok());
+  }
+
+  // One shared window store: the engine's document bytes, not S times.
+  EXPECT_EQ(server.window_size(), 128u);
+  const ServerStats stats = server.stats();
+  EXPECT_GT(stats.document_bytes, 0u);
+  EXPECT_GT(stats.arena_segments, 0u);
+  for (std::size_t s = 0; s < server.shard_count(); ++s) {
+    EXPECT_EQ(server.shard_stats(s).document_bytes, 0u)
+        << "shard " << s << " must not own window memory";
+  }
+}
+
+}  // namespace
+}  // namespace ita

@@ -114,7 +114,7 @@ TEST(EndToEndTest, TimeBasedWindowWithPoissonArrivals) {
   EXPECT_LE(result->size(), 5u);
   // Every reported document must still be inside the time window.
   for (const ResultEntry& e : *result) {
-    ASSERT_NE(server.documents().Get(e.doc), nullptr);
+    ASSERT_TRUE(server.documents().Get(e.doc).has_value());
   }
   // Idle period expires everything.
   ASSERT_TRUE(server.AdvanceTime(arrivals.Now() + 60'000).ok());

@@ -68,7 +68,7 @@ void CheckInvariants(const ItaServer& server,
     for (const ResultEntry& e : *candidates) in_r.emplace(e.doc, e.score);
 
     // I1 over every valid document + the "outside R scores < tau" bound.
-    for (const Document& doc : server.documents()) {
+    for (const DocumentView doc : server.documents()) {
       bool monitored = false;
       for (std::size_t i = 0; i < query.terms.size(); ++i) {
         // Only terms the document actually contains have impact entries;

@@ -55,7 +55,7 @@ void CheckViewInvariants(const NaiveServer& server,
 
     // Brute-force matcher list, ranked like the server ranks.
     std::vector<ResultEntry> matchers;
-    for (const Document& doc : server.documents()) {
+    for (const DocumentView doc : server.documents()) {
       const double score = ScoreDocument(doc.composition, query.terms);
       if (score > 0.0) matchers.push_back(ResultEntry{doc.id, score});
     }
@@ -90,8 +90,8 @@ void CheckViewInvariants(const NaiveServer& server,
 
     // V4: stored scores are exact for the documents they cite.
     for (const ResultEntry& e : view) {
-      const Document* doc = server.documents().Get(e.doc);
-      ASSERT_NE(doc, nullptr) << "view cites expired doc " << e.doc;
+      const auto doc = server.documents().Get(e.doc);
+      ASSERT_TRUE(doc.has_value()) << "view cites expired doc " << e.doc;
       ASSERT_NEAR(e.score, ScoreDocument(doc->composition, query.terms), 1e-12);
     }
   }

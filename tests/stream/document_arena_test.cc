@@ -1,0 +1,310 @@
+// The epoch-segmented document arena (stream/document_arena.h): id
+// assignment, FIFO semantics and O(1)-style lookup ported from the former
+// index/DocumentStore suite, plus the arena-specific machinery — segment
+// coalescing and sealing, logical-pop-then-reclaim expiry, segment reuse
+// through the free list, transient id gaps, and epoch planning for both
+// window kinds.
+
+#include "stream/document_arena.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "stream/document.h"
+
+namespace ita {
+namespace {
+
+Document MakeDoc(Timestamp at, std::string text = "",
+                 Composition comp = {{1, 0.5}}) {
+  Document doc;
+  doc.arrival_time = at;
+  doc.composition = std::move(comp);
+  doc.text = std::move(text);
+  doc.token_count = 3;
+  return doc;
+}
+
+std::vector<Document> MakeBatch(std::size_t n, Timestamp start_at = 0) {
+  std::vector<Document> batch;
+  batch.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    batch.push_back(MakeDoc(start_at + static_cast<Timestamp>(i),
+                            "doc" + std::to_string(i)));
+  }
+  return batch;
+}
+
+// --- ported DocumentStore behaviour -----------------------------------
+
+TEST(DocumentArenaTest, AssignsSequentialIdsFromOne) {
+  DocumentArena arena;
+  EXPECT_EQ(arena.Append(MakeDoc(10)), 1u);
+  EXPECT_EQ(arena.Append(MakeDoc(11)), 2u);
+  EXPECT_EQ(arena.Append(MakeDoc(12)), 3u);
+  EXPECT_EQ(arena.next_id(), 4u);
+  EXPECT_EQ(arena.size(), 3u);
+}
+
+TEST(DocumentArenaTest, FifoOrder) {
+  DocumentArena arena;
+  arena.Append(MakeDoc(10, "a"));
+  arena.Append(MakeDoc(11, "b"));
+  EXPECT_EQ(arena.Oldest().id, 1u);
+  EXPECT_EQ(arena.Oldest().text, "a");
+  const DocumentView popped = arena.PopOldest();
+  EXPECT_EQ(popped.id, 1u);
+  EXPECT_EQ(popped.text, "a");  // readable until ReclaimExpired()
+  EXPECT_EQ(arena.Oldest().id, 2u);
+  EXPECT_EQ(arena.size(), 1u);
+}
+
+TEST(DocumentArenaTest, GetById) {
+  DocumentArena arena;
+  arena.Append(MakeDoc(10, "x", {{3, 0.25}, {7, 0.75}}));
+  const auto view = arena.Get(1);
+  ASSERT_TRUE(view.has_value());
+  EXPECT_EQ(view->id, 1u);
+  EXPECT_EQ(view->arrival_time, 10);
+  EXPECT_EQ(view->token_count, 3u);
+  EXPECT_EQ(view->text, "x");
+  ASSERT_EQ(view->composition.size(), 2u);
+  EXPECT_EQ(view->composition[0].term, 3u);
+  EXPECT_DOUBLE_EQ(view->composition[1].weight, 0.75);
+}
+
+TEST(DocumentArenaTest, GetRejectsNeverExpiredAndFutureIds) {
+  DocumentArena arena;
+  for (int i = 0; i < 4; ++i) arena.Append(MakeDoc(i));
+  arena.PopOldest();
+  arena.PopOldest();
+  arena.ReclaimExpired();
+  EXPECT_FALSE(arena.Get(0).has_value());  // kInvalidDocId, never assigned
+  EXPECT_FALSE(arena.Get(1).has_value());  // expired
+  EXPECT_FALSE(arena.Get(2).has_value());  // expired
+  EXPECT_TRUE(arena.Get(3).has_value());   // valid
+  EXPECT_TRUE(arena.Get(4).has_value());   // valid
+  EXPECT_FALSE(arena.Get(5).has_value());  // not yet ingested
+  EXPECT_FALSE(arena.Get(999).has_value());
+  EXPECT_TRUE(arena.Contains(3));
+  EXPECT_FALSE(arena.Contains(5));
+}
+
+TEST(DocumentArenaTest, IterationOldestFirst) {
+  DocumentArena arena;
+  for (int i = 0; i < 5; ++i) arena.Append(MakeDoc(100 + i));
+  arena.PopOldest();
+  DocId want = 2;
+  for (const DocumentView doc : arena) {
+    EXPECT_EQ(doc.id, want);
+    EXPECT_EQ(doc.arrival_time, 100 + static_cast<Timestamp>(want) - 1);
+    ++want;
+  }
+  EXPECT_EQ(want, 6u);
+}
+
+TEST(DocumentArenaTest, EmptyArena) {
+  DocumentArena arena;
+  EXPECT_TRUE(arena.empty());
+  EXPECT_EQ(arena.size(), 0u);
+  EXPECT_EQ(arena.next_id(), 1u);
+  EXPECT_FALSE(arena.Get(1).has_value());
+  EXPECT_TRUE(arena.begin() == arena.end());
+  EXPECT_EQ(arena.segment_count(), 0u);
+  EXPECT_EQ(arena.document_bytes(), 0u);
+}
+
+TEST(DocumentArenaTest, LargeChurnKeepsLookupExact) {
+  DocumentArena arena;
+  const std::size_t window = 64;
+  for (int i = 0; i < 5000; ++i) {
+    if (arena.size() >= window) {
+      arena.PopOldest();
+      arena.ReclaimExpired();
+    }
+    const DocId id = arena.Append(MakeDoc(i, std::to_string(i)));
+    ASSERT_EQ(id, static_cast<DocId>(i) + 1);
+    const auto view = arena.Get(id);
+    ASSERT_TRUE(view.has_value());
+    ASSERT_EQ(view->text, std::to_string(i));
+  }
+  EXPECT_EQ(arena.size(), window);
+}
+
+// --- segments, coalescing, reclamation --------------------------------
+
+TEST(DocumentArenaTest, SmallEpochsCoalesceIntoOneSegment) {
+  DocumentArena arena(DocumentArena::Options{/*min_segment_docs=*/8});
+  for (int i = 0; i < 8; ++i) arena.Append(MakeDoc(i));
+  EXPECT_EQ(arena.segment_count(), 1u);  // 8 singles share one segment
+  arena.Append(MakeDoc(9));              // sealed at 8: a new one opens
+  EXPECT_EQ(arena.segment_count(), 2u);
+}
+
+TEST(DocumentArenaTest, BatchEpochLandsInOneSegment) {
+  DocumentArena arena(DocumentArena::Options{/*min_segment_docs=*/4});
+  arena.AppendEpoch(MakeBatch(100), /*first_survivor=*/0);
+  EXPECT_EQ(arena.segment_count(), 1u);
+  arena.AppendEpoch(MakeBatch(100, 100), /*first_survivor=*/0);
+  EXPECT_EQ(arena.segment_count(), 2u);
+  EXPECT_EQ(arena.size(), 200u);
+}
+
+TEST(DocumentArenaTest, ReclaimFreesOnlyFullyExpiredSegments) {
+  DocumentArena arena(DocumentArena::Options{/*min_segment_docs=*/4});
+  arena.AppendEpoch(MakeBatch(4), 0);      // segment A: ids 1..4
+  arena.AppendEpoch(MakeBatch(4, 10), 0);  // segment B: ids 5..8
+  ASSERT_EQ(arena.segment_count(), 2u);
+
+  // Pop 3 of segment A: logical only, nothing reclaimable yet.
+  std::vector<DocumentView> views;
+  arena.PopExpiredInto(3, views);
+  arena.ReclaimExpired();
+  EXPECT_EQ(arena.segment_count(), 2u);
+  EXPECT_EQ(arena.free_segment_count(), 0u);
+
+  // Popping the 4th empties segment A; reclaim parks it on the free list.
+  arena.PopOldest();
+  arena.ReclaimExpired();
+  EXPECT_EQ(arena.segment_count(), 1u);
+  EXPECT_EQ(arena.free_segment_count(), 1u);
+  EXPECT_EQ(arena.size(), 4u);
+  EXPECT_EQ(arena.Oldest().id, 5u);
+}
+
+TEST(DocumentArenaTest, SegmentsAreReusedAfterFullWindowExpiry) {
+  DocumentArena arena(DocumentArena::Options{/*min_segment_docs=*/4});
+  // Fill, fully expire, refill — several times. The ring must recycle
+  // parked segments instead of growing: live + free segments stay bounded.
+  for (int round = 0; round < 10; ++round) {
+    arena.AppendEpoch(MakeBatch(8, round * 100), 0);
+    std::vector<DocumentView> views;
+    arena.PopExpiredInto(arena.size(), views);
+    arena.ReclaimExpired();
+    EXPECT_TRUE(arena.empty());
+  }
+  EXPECT_LE(arena.segment_count() + arena.free_segment_count(), 3u);
+  const std::size_t bytes_after_warmup = arena.document_bytes();
+
+  arena.AppendEpoch(MakeBatch(8, 10'000), 0);
+  EXPECT_EQ(arena.size(), 8u);
+  EXPECT_EQ(arena.Oldest().id, 81u);  // ids keep counting across reuse
+  // Reused slabs: no fresh growth needed for the same-shaped epoch.
+  EXPECT_LE(arena.document_bytes(), bytes_after_warmup);
+}
+
+TEST(DocumentArenaTest, PoppedViewsStayReadableUntilReclaim) {
+  DocumentArena arena;
+  arena.Append(MakeDoc(1, "first"));
+  arena.Append(MakeDoc(2, "second"));
+  std::vector<DocumentView> expired;
+  arena.PopExpiredInto(2, expired);
+  ASSERT_EQ(expired.size(), 2u);
+  EXPECT_EQ(expired[0].text, "first");
+  EXPECT_EQ(expired[1].text, "second");
+  EXPECT_TRUE(arena.empty());
+  EXPECT_FALSE(arena.Get(1).has_value());  // no longer valid...
+  EXPECT_EQ(expired[0].composition.size(), 1u);  // ...but still readable
+  arena.ReclaimExpired();
+  EXPECT_EQ(arena.segment_count(), 0u);
+}
+
+// --- transients --------------------------------------------------------
+
+TEST(DocumentArenaTest, TransientPrefixGetsIdsButIsNeverStored) {
+  DocumentArena arena;
+  // Batch of 5 into an empty window where only the last 2 survive.
+  const DocId first = arena.AppendEpoch(MakeBatch(5), /*first_survivor=*/3);
+  EXPECT_EQ(first, 1u);
+  EXPECT_EQ(arena.next_id(), 6u);
+  EXPECT_EQ(arena.size(), 2u);
+  EXPECT_FALSE(arena.Get(1).has_value());
+  EXPECT_FALSE(arena.Get(3).has_value());
+  ASSERT_TRUE(arena.Get(4).has_value());
+  EXPECT_EQ(arena.Get(4)->text, "doc3");
+  EXPECT_EQ(arena.Oldest().id, 4u);
+
+  // Iteration skips the id gap.
+  std::vector<DocId> seen;
+  for (const DocumentView doc : arena) seen.push_back(doc.id);
+  EXPECT_EQ(seen, (std::vector<DocId>{4, 5}));
+}
+
+TEST(DocumentArenaTest, TailViewsReturnTheNewestSurvivors) {
+  DocumentArena arena;
+  arena.AppendEpoch(MakeBatch(3), 0);
+  arena.AppendEpoch(MakeBatch(4, 10), 0);
+  std::vector<DocumentView> views;
+  arena.TailViewsInto(4, views);
+  ASSERT_EQ(views.size(), 4u);
+  EXPECT_EQ(views.front().id, 4u);
+  EXPECT_EQ(views.back().id, 7u);
+  EXPECT_EQ(views[1].text, "doc1");
+}
+
+// --- planning ----------------------------------------------------------
+
+TEST(DocumentArenaPlanTest, RejectsEmptyAndOutOfOrderBatches) {
+  DocumentArena arena;
+  const WindowSpec window = WindowSpec::CountBased(10);
+  EXPECT_FALSE(arena.PlanEpoch(window, 0, {}).ok());
+
+  std::vector<Document> batch;
+  batch.push_back(MakeDoc(5));
+  batch.push_back(MakeDoc(4));
+  EXPECT_FALSE(arena.PlanEpoch(window, 0, batch).ok());
+
+  std::vector<Document> late;
+  late.push_back(MakeDoc(5));
+  EXPECT_FALSE(arena.PlanEpoch(window, /*last_arrival=*/9, late).ok());
+}
+
+TEST(DocumentArenaPlanTest, CountBasedOverflowAndTransients) {
+  DocumentArena arena;
+  const WindowSpec window = WindowSpec::CountBased(4);
+  arena.AppendEpoch(MakeBatch(3), 0);
+
+  // 3 valid + 2 arriving over capacity 4: one expiry, no transients.
+  auto plan = arena.PlanEpoch(window, 2, MakeBatch(2, 10));
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->expiring, 1u);
+  EXPECT_EQ(plan->first_survivor, 0u);
+  EXPECT_EQ(plan->arriving, 2u);
+  EXPECT_EQ(plan->epoch_end, 11);
+
+  // A batch of 6 alone overflows the window: 2 transients, everything
+  // previously valid expires.
+  plan = arena.PlanEpoch(window, 2, MakeBatch(6, 10));
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->first_survivor, 2u);
+  EXPECT_EQ(plan->arriving, 4u);
+  EXPECT_EQ(plan->expiring, 3u);
+}
+
+TEST(DocumentArenaPlanTest, TimeBasedExpiryAndAdvance) {
+  DocumentArena arena;
+  const WindowSpec window = WindowSpec::TimeBased(100);
+  arena.Append(MakeDoc(0));
+  arena.Append(MakeDoc(50));
+  arena.Append(MakeDoc(90));
+
+  // Epoch ending at 149: only the t=0 document ages out (0 <= 149-100).
+  std::vector<Document> batch;
+  batch.push_back(MakeDoc(149));
+  auto plan = arena.PlanEpoch(window, 90, batch);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->expiring, 1u);
+  EXPECT_EQ(plan->arriving, 1u);
+
+  // The boundary instant: at now=150, arrival 50 == now - duration is
+  // expired too (the half-open interval of WindowSpec::ValidAt).
+  EXPECT_EQ(arena.PlanAdvance(window, 150).expiring, 2u);
+  EXPECT_EQ(arena.PlanAdvance(window, 149).expiring, 1u);
+  // Count-based windows never expire on a pure advance.
+  EXPECT_EQ(arena.PlanAdvance(WindowSpec::CountBased(1), 1000).expiring, 0u);
+}
+
+}  // namespace
+}  // namespace ita

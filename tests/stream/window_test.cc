@@ -37,5 +37,27 @@ TEST(WindowSpecTest, TimeValidityBoundary) {
   EXPECT_TRUE(w.ValidAt(50, 50));    // brand new
 }
 
+// The interval is (now - duration, now]: a document lives for exactly
+// `duration` microseconds, and `arrival == now - duration` is the first
+// expired instant — pinned here so the half-open choice in
+// WindowSpec::ValidAt cannot silently flip.
+TEST(WindowSpecTest, TimeBasedBoundaryIsHalfOpen) {
+  const WindowSpec w = WindowSpec::TimeBased(1000);
+  EXPECT_FALSE(w.ValidAt(/*arrival=*/0, /*now=*/1000));  // == now - duration
+  EXPECT_TRUE(w.ValidAt(/*arrival=*/1, /*now=*/1000));   // 1us inside
+  EXPECT_TRUE(w.ValidAt(/*arrival=*/1000, /*now=*/1000));  // arrives "now"
+}
+
+// `now < duration` reaches past the virtual epoch: `now - duration` goes
+// negative (Timestamp is signed — no unsigned wrap-around), so every
+// non-negative arrival is valid.
+TEST(WindowSpecTest, TimeBasedBoundaryBeforeOneFullWindow) {
+  const WindowSpec w = WindowSpec::TimeBased(1'000'000);
+  EXPECT_TRUE(w.ValidAt(/*arrival=*/0, /*now=*/0));
+  EXPECT_TRUE(w.ValidAt(/*arrival=*/0, /*now=*/999'999));
+  EXPECT_TRUE(w.ValidAt(/*arrival=*/500, /*now=*/999'999));
+  EXPECT_FALSE(w.ValidAt(/*arrival=*/0, /*now=*/1'000'000));  // window filled
+}
+
 }  // namespace
 }  // namespace ita
