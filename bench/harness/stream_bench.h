@@ -1,9 +1,17 @@
 // Shared benchmark fixture reproducing the paper's experimental setup
 // (Section IV): a WSJ-calibrated synthetic document stream (see DESIGN.md
 // §3), a population of random-dictionary-term queries with k = 10, a
-// sliding window, and one of the two competing servers. A benchmark
-// iteration is one stream event: a document arrival plus the expirations
-// it forces — exactly the paper's "processing time" metric.
+// sliding window, and one of the competing servers. A benchmark iteration
+// is one stream event: a document arrival plus the expirations it forces —
+// exactly the paper's "processing time" metric.
+//
+// The stream comes from the scenario simulator (src/sim/): StreamWorkload
+// compiles to a sim::ScenarioSpec in pooled mode (document bodies
+// pre-synthesized and cycled with fresh Poisson arrival stamps, keeping
+// steady-state generation out of the measured path) and the fixture pulls
+// SimEpochs through the same sim::ApplyEpoch seam the soak tier drives —
+// the bench harness no longer owns a private stream generator (DESIGN.md
+// §9).
 //
 // Fixtures are cached per configuration: Google Benchmark re-enters the
 // benchmark function several times (estimation + measurement), and window
@@ -23,8 +31,8 @@
 #include "core/naive_server.h"
 #include "core/server.h"
 #include "exec/sharded_server.h"
-#include "stream/arrival_process.h"
-#include "stream/corpus.h"
+#include "sim/event_stream.h"
+#include "sim/sim_engine.h"
 
 namespace ita {
 namespace bench {
@@ -47,13 +55,14 @@ struct StreamWorkload {
   int k = 10;
   /// 0 = the paper's uniform draw over the whole dictionary; otherwise
   /// restrict query terms to the `query_max_term` most frequent terms
-  /// ("hot" queries — see QueryWorkloadOptions::max_term).
+  /// ("hot" queries — see sim::QueryProfile::hot_max_term).
   std::size_t query_max_term = 0;
   /// Query churn axis: per StepBatch() epoch, unregister this many of the
   /// oldest live queries and register as many fresh ones before the
-  /// ingest — the registration/unregistration storm workload that the
-  /// slot-map query-state slab and flat threshold trees are built for.
-  /// 0 = static population (the paper's setting).
+  /// ingest (a sim churn storm every epoch) — the registration/
+  /// unregistration storm workload that the slot-map query-state slab and
+  /// flat threshold trees are built for. 0 = static population (the
+  /// paper's setting).
   std::size_t churn_per_epoch = 0;
 
   // Stream & window (paper: Poisson at 200 docs/s, count-based window).
@@ -82,6 +91,10 @@ struct StreamWorkload {
   double kmax_factor = 2.0;                // Naive
   bool skip_complete_rescans = false;      // Naive
 
+  /// The sim scenario this workload compiles to (pooled mode, Poisson
+  /// arrivals, delayed query install for the empty-window prefill).
+  sim::ScenarioSpec ToScenarioSpec() const;
+
   /// Stable identity for fixture caching.
   std::string CacheKey(const std::string& strategy) const;
 };
@@ -95,42 +108,35 @@ class StreamBench {
   /// first use.
   static StreamBench& Cached(Strategy strategy, const StreamWorkload& workload);
 
-  /// Processes one stream event: the next document arrival (and the
-  /// expirations it forces). This is the timed region.
+  /// Processes one stream event through the per-event Ingest path: the
+  /// next document arrival (and the expirations it forces). This is the
+  /// timed region. Requires workload().batch_size == 1.
   void Step();
 
   /// Processes one ingest epoch: the next `workload().batch_size`
-  /// arrivals as a single IngestBatch (and the expirations they force).
-  /// The timed region for the batched-pipeline experiments.
+  /// arrivals as a single IngestBatch (plus the epoch's query churn, when
+  /// the churn axis is on). The timed region for the batched-pipeline
+  /// experiments.
   void StepBatch();
 
   /// The sequential server behind kIta/kNaive. CHECK-fails for a
   /// kSharded fixture — use sharded() there.
   ContinuousSearchServer& server() {
-    ITA_CHECK(server_ != nullptr) << "kSharded fixtures have no sequential "
-                                     "server; use sharded()";
-    return *server_;
+    ITA_CHECK(engine_->sequential() != nullptr)
+        << "kSharded fixtures have no sequential server; use sharded()";
+    return *engine_->sequential();
   }
   /// The sharded engine behind Strategy::kSharded (null otherwise) —
   /// exposes per-shard busy time for the critical-path counters.
-  exec::ShardedServer* sharded() { return sharded_.get(); }
+  exec::ShardedServer* sharded() { return engine_->sharded(); }
   const StreamWorkload& workload() const { return workload_; }
 
  private:
   StreamBench(Strategy strategy, const StreamWorkload& workload);
 
   StreamWorkload workload_;
-  std::unique_ptr<ContinuousSearchServer> server_;    // sequential strategies
-  std::unique_ptr<exec::ShardedServer> sharded_;      // Strategy::kSharded
-  std::vector<Document> pool_;
-  std::size_t cursor_ = 0;
-  PoissonProcess arrivals_;
-  /// Churn machinery (churn_per_epoch > 0): live query ids plus the
-  /// generator that mints replacements; the cursor rotates oldest-first
-  /// through the whole population across epochs.
-  std::unique_ptr<QueryWorkloadGenerator> query_gen_;
-  std::vector<QueryId> live_queries_;
-  std::size_t churn_cursor_ = 0;
+  std::unique_ptr<sim::SimEngine> engine_;
+  std::unique_ptr<sim::EventStreamGenerator> stream_;
 };
 
 }  // namespace bench

@@ -1,0 +1,121 @@
+// libFuzzer target for the whole text-analysis front end: raw bytes ->
+// Tokenizer -> stopword filter -> (optionally) Porter stemmer ->
+// Vocabulary interning -> weighting -> pipeline/IngestPipeline document
+// AND query analysis. The pipeline must never crash, overflow or trip
+// sanitizers on arbitrary input — it sits directly on untrusted text.
+//
+// Input layout: byte 0 selects the pipeline configuration (stemming,
+// stopword removal, weighting scheme, k); the rest is the document/query
+// text, fed through both the single-document and the batch path (which
+// must agree by contract).
+//
+// Build modes:
+//   * Clang + -DITA_BUILD_FUZZERS=ON: a real libFuzzer binary
+//     (-fsanitize=fuzzer,address) — CI runs a ~30 s smoke fuzz over the
+//     checked-in corpus (fuzz/corpus/ingest_pipeline/).
+//   * Any compiler, ITA_FUZZ_STANDALONE: a regression runner whose main()
+//     replays files passed as arguments once each — the same CLI libFuzzer
+//     exposes for corpus replay, registered as the `fuzz`-labeled ctest.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/logging.h"
+#include "pipeline/ingest_pipeline.h"
+
+namespace {
+
+using ita::Document;
+using ita::IngestPipeline;
+using ita::IngestPipelineOptions;
+using ita::RawDocument;
+using ita::WeightingScheme;
+
+void DriveOnePipeline(const IngestPipelineOptions& options,
+                      std::string_view text, int k) {
+  IngestPipeline pipeline(options);
+
+  // Single-document path.
+  const Document doc = pipeline.AnalyzeDocument(text, /*arrival_time=*/1);
+  // Composition-list contract: sorted by ascending TermId, one entry per
+  // distinct term, strictly positive weights.
+  for (std::size_t i = 0; i < doc.composition.size(); ++i) {
+    ITA_CHECK(doc.composition[i].weight > 0.0);
+    if (i > 0) {
+      ITA_CHECK(doc.composition[i - 1].term < doc.composition[i].term);
+    }
+  }
+
+  // Batch path must agree with the single-document path.
+  std::vector<RawDocument> raw;
+  raw.push_back(RawDocument{std::string(text), 2});
+  raw.push_back(RawDocument{std::string(text), 3});
+  const std::vector<Document> batch = pipeline.AnalyzeBatch(raw);
+  ITA_CHECK(batch.size() == 2);
+  ITA_CHECK(batch[0].composition.size() == batch[1].composition.size());
+
+  // Query path: a failed analysis must be a clean Status, never a crash.
+  const auto query = pipeline.AnalyzeQuery(text, k);
+  if (query.ok()) {
+    ITA_CHECK(query->k == k);
+    ITA_CHECK(!query->terms.empty());
+  }
+}
+
+int DriveBytes(const std::uint8_t* data, std::size_t size) {
+  if (size == 0) return 0;
+  const std::uint8_t selector = data[0];
+  const std::string_view text(reinterpret_cast<const char*>(data + 1),
+                              size - 1);
+
+  IngestPipelineOptions options;
+  options.stem = (selector & 0x1) != 0;
+  options.remove_stopwords = (selector & 0x2) != 0;
+  options.keep_text = (selector & 0x4) != 0;
+  switch ((selector >> 3) & 0x3) {
+    case 0: options.scheme = WeightingScheme::kCosine; break;
+    case 1: options.scheme = WeightingScheme::kBm25; break;
+    default: options.scheme = WeightingScheme::kRawTf; break;
+  }
+  const int k = 1 + (selector >> 5);  // 1..8
+
+  DriveOnePipeline(options, text, k);
+  return 0;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  return DriveBytes(data, size);
+}
+
+#ifdef ITA_FUZZ_STANDALONE
+// Corpus replay mode: run each file argument through the target once,
+// mirroring libFuzzer's file-argument CLI.
+#include <fstream>
+#include <iostream>
+#include <iterator>
+
+int main(int argc, char** argv) {
+  int ran = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i][0] == '-') continue;  // ignore libFuzzer-style flags
+    std::ifstream in(argv[i], std::ios::binary);
+    if (!in) {
+      std::cerr << "cannot open corpus file: " << argv[i] << "\n";
+      return 1;
+    }
+    const std::string bytes((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+    LLVMFuzzerTestOneInput(
+        reinterpret_cast<const std::uint8_t*>(bytes.data()), bytes.size());
+    ++ran;
+  }
+  std::cout << "replayed " << ran << " corpus inputs\n";
+  return ran > 0 ? 0 : 1;
+}
+#endif  // ITA_FUZZ_STANDALONE

@@ -1,0 +1,185 @@
+#include "sim/checker.h"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <unordered_set>
+
+namespace ita::sim {
+
+namespace {
+
+/// Formats "engine <name>, query <id>, epoch <e>: <what>".
+Status Violation(const SimEngine& engine, QueryId id, std::uint64_t epoch,
+                 const std::string& what) {
+  std::ostringstream os;
+  os << "engine " << engine.name() << ", query " << id << ", epoch " << epoch
+     << ": " << what;
+  return Status::Internal(os.str());
+}
+
+bool ScoreClose(double got, double want, double tol) {
+  return std::abs(got - want) <= tol * (1.0 + std::abs(want));
+}
+
+}  // namespace
+
+Status DifferentialChecker::CheckEpoch(const std::vector<SimEngine*>& engines,
+                                       const std::vector<LiveQuery>& live,
+                                       std::uint64_t epoch_index, bool force) {
+  const auto due = [epoch_index, force](std::size_t interval) {
+    if (interval == 0) return force;
+    return force || epoch_index % interval == 0;
+  };
+  if (due(options_.invariant_interval_epochs)) {
+    ++invariant_checks_;
+    for (SimEngine* engine : engines) {
+      ITA_RETURN_NOT_OK(CheckInvariants(*engine, live, epoch_index));
+    }
+  }
+  if (oracle_ != nullptr && due(options_.differential_interval_epochs)) {
+    ++differential_checks_;
+    for (SimEngine* engine : engines) {
+      ITA_RETURN_NOT_OK(CheckDifferential(*engine, live, epoch_index));
+    }
+  }
+  return Status::OK();
+}
+
+Status DifferentialChecker::CheckInvariants(SimEngine& engine,
+                                            const std::vector<LiveQuery>& live,
+                                            std::uint64_t epoch_index) {
+  const ItaServer* ita = engine.ita();
+  for (const LiveQuery& lq : live) {
+    const auto result = engine.Result(lq.id);
+    if (!result.ok()) {
+      return Violation(engine, lq.id, epoch_index,
+                       "Result failed: " + result.status().ToString());
+    }
+    if (result->size() > static_cast<std::size_t>(lq.query->k)) {
+      return Violation(engine, lq.id, epoch_index,
+                       "result larger than k=" + std::to_string(lq.query->k));
+    }
+    std::unordered_set<DocId> seen;
+    double prev = std::numeric_limits<double>::infinity();
+    for (const ResultEntry& e : *result) {
+      if (!(e.score > 0.0) || !std::isfinite(e.score)) {
+        return Violation(engine, lq.id, epoch_index,
+                         "non-positive or non-finite score");
+      }
+      if (e.score > prev) {
+        return Violation(engine, lq.id, epoch_index,
+                         "scores not non-increasing");
+      }
+      prev = e.score;
+      if (!seen.insert(e.doc).second) {
+        return Violation(engine, lq.id, epoch_index,
+                         "duplicate document id " + std::to_string(e.doc));
+      }
+    }
+
+    if (ita == nullptr) continue;
+
+    // ITA threshold invariants (DESIGN.md §2). These read the server's
+    // white-box hooks, so they run only on sequential ITA wrappers — the
+    // sharded engine's per-shard servers are validated transitively by
+    // the oracle differential.
+    const auto tau_or = ita->InfluenceThreshold(lq.id);
+    if (!tau_or.ok()) {
+      return Violation(engine, lq.id, epoch_index,
+                       "InfluenceThreshold failed: " +
+                           tau_or.status().ToString());
+    }
+    const double tau = *tau_or;
+    if (!std::isfinite(tau) || tau < 0.0) {
+      return Violation(engine, lq.id, epoch_index, "tau not finite/>=0");
+    }
+    double tau_check = 0.0;
+    for (const TermWeight& tw : lq.query->terms) {
+      const auto theta = ita->LocalThreshold(lq.id, tw.term);
+      if (!theta.ok()) {
+        return Violation(engine, lq.id, epoch_index,
+                         "LocalThreshold failed: " + theta.status().ToString());
+      }
+      if (!std::isfinite(*theta) || *theta < 0.0) {
+        return Violation(engine, lq.id, epoch_index, "theta not finite/>=0");
+      }
+      tau_check += tw.weight * *theta;
+    }
+    if (!ScoreClose(tau, tau_check, options_.score_tolerance)) {
+      return Violation(engine, lq.id, epoch_index,
+                       "tau cache inconsistent with local thresholds");
+    }
+    const auto candidates = ita->Candidates(lq.id);
+    if (!candidates.ok()) {
+      return Violation(engine, lq.id, epoch_index,
+                       "Candidates failed: " + candidates.status().ToString());
+    }
+    // The reported top-k must be the exact prefix of R.
+    if (result->size() >
+        std::min<std::size_t>(candidates->size(),
+                              static_cast<std::size_t>(lq.query->k))) {
+      return Violation(engine, lq.id, epoch_index,
+                       "result larger than the candidate prefix");
+    }
+    for (std::size_t i = 0; i < result->size(); ++i) {
+      if ((*result)[i].doc != (*candidates)[i].doc ||
+          !ScoreClose((*result)[i].score, (*candidates)[i].score,
+                      options_.score_tolerance)) {
+        return Violation(engine, lq.id, epoch_index,
+                         "top-k is not the prefix of R at rank " +
+                             std::to_string(i));
+      }
+    }
+    // I2: once R holds k documents, tau never exceeds S_k.
+    if (candidates->size() >= static_cast<std::size_t>(lq.query->k)) {
+      const double sk = (*candidates)[lq.query->k - 1].score;
+      if (tau > sk + options_.score_tolerance * (1.0 + std::abs(sk))) {
+        return Violation(engine, lq.id, epoch_index,
+                         "tau exceeds S_k (I2 violated)");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status DifferentialChecker::CheckDifferential(SimEngine& engine,
+                                              const std::vector<LiveQuery>& live,
+                                              std::uint64_t epoch_index) {
+  if (engine.window_size() != oracle_->window_size()) {
+    return Violation(engine, kInvalidQueryId, epoch_index,
+                     "window size " + std::to_string(engine.window_size()) +
+                         " != oracle " + std::to_string(oracle_->window_size()));
+  }
+  for (const LiveQuery& lq : live) {
+    const auto want = oracle_->Result(lq.id);
+    if (!want.ok()) {
+      return Violation(engine, lq.id, epoch_index,
+                       "oracle Result failed: " + want.status().ToString());
+    }
+    const auto got = engine.Result(lq.id);
+    if (!got.ok()) {
+      return Violation(engine, lq.id, epoch_index,
+                       "Result failed: " + got.status().ToString());
+    }
+    if (got->size() != want->size()) {
+      return Violation(engine, lq.id, epoch_index,
+                       "result size " + std::to_string(got->size()) +
+                           " != oracle " + std::to_string(want->size()));
+    }
+    for (std::size_t i = 0; i < got->size(); ++i) {
+      // Ties permute only equal scores, so the score sequences must
+      // match positionally even when ids differ.
+      if (!ScoreClose((*got)[i].score, (*want)[i].score,
+                      options_.score_tolerance)) {
+        std::ostringstream os;
+        os << "score diverges from oracle at rank " << i << " (got "
+           << (*got)[i].score << ", want " << (*want)[i].score << ")";
+        return Violation(engine, lq.id, epoch_index, os.str());
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace ita::sim

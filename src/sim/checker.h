@@ -1,0 +1,90 @@
+/// \file
+/// The online oracle-differential and invariant checker: validated WHILE
+/// a scenario streams, not after it finishes, so a violation surfaces at
+/// the epoch that introduced it (with ~one epoch of context) instead of
+/// 10^6 events later.
+///
+/// Three layers of checking, each on its own cadence:
+///   * structural result invariants — every engine, every checked epoch:
+///     |result| <= k, scores strictly positive and non-increasing,
+///     document ids unique;
+///   * ITA threshold invariants (engines wrapping an ItaServer): tau and
+///     every local threshold finite and non-negative, tau consistent
+///     with the thresholds, the reported top-k the exact prefix of the
+///     candidate set R, and tau <= S_k once R holds k documents
+///     (DESIGN.md §2, I2);
+///   * oracle differential — every engine against the brute-force
+///     OracleServer fed the same stream: equal window sizes and, per
+///     live query, equal result sizes and positionally equal scores
+///     (ties permute only equal scores).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "core/query.h"
+#include "sim/sim_engine.h"
+
+namespace ita::sim {
+
+/// Cadences and tolerances for the online checker.
+struct CheckerOptions {
+  /// Run the oracle differential every this many epochs (1 = every
+  /// epoch; 0 disables). The final epoch is always checked.
+  std::size_t differential_interval_epochs = 1;
+  /// Run the structural/threshold invariants every this many epochs
+  /// (1 = every epoch; 0 disables). The final epoch is always checked.
+  std::size_t invariant_interval_epochs = 1;
+  /// Absolute-plus-relative score comparison tolerance:
+  /// |got - want| <= tol * (1 + |want|).
+  double score_tolerance = 1e-9;
+};
+
+/// A query currently live in every engine under test. `query` must
+/// outlive the check call (the runner owns the live map).
+struct LiveQuery {
+  QueryId id = kInvalidQueryId;
+  const Query* query = nullptr;
+};
+
+/// The online checker; see the file comment for the three layers. One
+/// instance per scenario run. Not thread-safe.
+class DifferentialChecker {
+ public:
+  /// `oracle` may be null (disables the differential layer). The pointer
+  /// must outlive the checker.
+  DifferentialChecker(CheckerOptions options, SimEngine* oracle)
+      : options_(options), oracle_(oracle) {}
+
+  /// Validates `engines` after epoch `epoch_index`, honoring the
+  /// configured cadences (`force` runs every layer regardless — used for
+  /// the final epoch). Returns the first violation, annotated with the
+  /// engine, query and epoch.
+  Status CheckEpoch(const std::vector<SimEngine*>& engines,
+                    const std::vector<LiveQuery>& live,
+                    std::uint64_t epoch_index, bool force = false);
+
+  /// Oracle differentials run so far.
+  std::uint64_t differential_checks() const { return differential_checks_; }
+  /// Invariant passes run so far.
+  std::uint64_t invariant_checks() const { return invariant_checks_; }
+
+ private:
+  /// Structural + ITA threshold invariants for one engine.
+  Status CheckInvariants(SimEngine& engine, const std::vector<LiveQuery>& live,
+                         std::uint64_t epoch_index);
+  /// Oracle equivalence for one engine.
+  Status CheckDifferential(SimEngine& engine,
+                           const std::vector<LiveQuery>& live,
+                           std::uint64_t epoch_index);
+
+  CheckerOptions options_;
+  SimEngine* oracle_;
+  std::uint64_t differential_checks_ = 0;
+  std::uint64_t invariant_checks_ = 0;
+};
+
+}  // namespace ita::sim

@@ -1,0 +1,260 @@
+#include "sim/event_stream.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace ita::sim {
+
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+/// Repeat count of each flooded hot term — heavy enough that the flood
+/// dominates the document's impact weights.
+constexpr std::uint32_t kFloodRepeat = 4;
+
+void AppendU32(std::uint32_t v, std::string* out) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+void AppendU64(std::uint64_t v, std::string* out) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+void AppendDouble(double v, std::string* out) {
+  AppendU64(std::bit_cast<std::uint64_t>(v), out);
+}
+
+}  // namespace
+
+void SerializeEpoch(const SimEpoch& epoch, std::string* out) {
+  AppendU64(epoch.index, out);
+  AppendU64(epoch.unregister.size(), out);
+  for (const QueryId id : epoch.unregister) AppendU32(id, out);
+  AppendU64(epoch.register_queries.size(), out);
+  for (std::size_t i = 0; i < epoch.register_queries.size(); ++i) {
+    const Query& q = epoch.register_queries[i];
+    AppendU32(epoch.register_ids[i], out);
+    AppendU32(static_cast<std::uint32_t>(q.k), out);
+    AppendU64(q.terms.size(), out);
+    for (const TermWeight& tw : q.terms) {
+      AppendU32(tw.term, out);
+      AppendDouble(tw.weight, out);
+    }
+  }
+  AppendU64(epoch.batch.size(), out);
+  for (const Document& doc : epoch.batch) {
+    AppendU64(static_cast<std::uint64_t>(doc.arrival_time), out);
+    AppendU64(doc.token_count, out);
+    AppendU64(doc.composition.size(), out);
+    for (const TermWeight& tw : doc.composition) {
+      AppendU32(tw.term, out);
+      AppendDouble(tw.weight, out);
+    }
+  }
+  out->push_back(epoch.has_advance ? '\1' : '\0');
+  AppendU64(static_cast<std::uint64_t>(epoch.advance_to), out);
+}
+
+void StreamFingerprint::Absorb(const SimEpoch& epoch) {
+  scratch_.clear();
+  SerializeEpoch(epoch, &scratch_);
+  for (const char c : scratch_) {
+    hash_ ^= static_cast<unsigned char>(c);
+    hash_ *= 0x100000001b3ULL;  // FNV-1a prime
+  }
+}
+
+namespace {
+
+ZipfDocumentSampler::Options BodySamplerOptions(const ScenarioSpec& spec) {
+  ZipfDocumentSampler::Options o;
+  o.dictionary_size = spec.vocabulary.dictionary_size;
+  o.zipf_exponent = spec.vocabulary.zipf_exponent;
+  o.length_mu = spec.vocabulary.length_mu;
+  o.length_sigma = spec.vocabulary.length_sigma;
+  o.min_length = spec.vocabulary.min_length;
+  o.max_length = spec.vocabulary.max_length;
+  return o;
+}
+
+}  // namespace
+
+EventStreamGenerator::EventStreamGenerator(ScenarioSpec spec)
+    : spec_(std::move(spec)),
+      // Distinct SplitMix-style offsets keep the per-concern streams
+      // statistically independent while deriving from the one seed.
+      arrival_rng_(spec_.seed * 0x9E3779B97F4A7C15ULL + 1),
+      doc_rng_(spec_.seed * 0x9E3779B97F4A7C15ULL + 2),
+      query_rng_(spec_.seed * 0x9E3779B97F4A7C15ULL + 3),
+      batch_rng_(spec_.seed * 0x9E3779B97F4A7C15ULL + 4),
+      body_sampler_(BodySamplerOptions(spec_)),
+      // Heavy-tailed k distribution; built unconditionally (cheap) and
+      // sampled only when the profile enables it. Invalid specs are
+      // caught by Validate() below; the max() keeps this member safe to
+      // build first.
+      k_zipf_(static_cast<std::size_t>(std::max(spec_.queries.k_max, 1)), 1.2) {
+  ITA_CHECK_OK(spec_.Validate());
+  if (spec_.pool_documents > 0) {
+    // Pooled mode: synthesize the content templates once, up front
+    // (drift/floods are positional and would be frozen into the pool
+    // anyway, so pooled scenarios are meant for steady-state benching).
+    pool_.reserve(spec_.pool_documents);
+    for (std::size_t i = 0; i < spec_.pool_documents; ++i) {
+      pool_.push_back(SynthesizeDocument());
+    }
+  }
+}
+
+double EventStreamGenerator::RateAt(double seconds) const {
+  const ArrivalProfile& a = spec_.arrivals;
+  switch (a.shape) {
+    case ArrivalShape::kUniform:
+    case ArrivalShape::kPoisson:
+      return a.rate_per_second;
+    case ArrivalShape::kFlashCrowd: {
+      const double phase = std::fmod(seconds, a.burst_period_seconds);
+      return phase < a.burst_duration_seconds
+                 ? a.rate_per_second * a.burst_factor
+                 : a.rate_per_second;
+    }
+    case ArrivalShape::kDiurnal:
+      return a.rate_per_second *
+             (1.0 + a.diurnal_amplitude *
+                        std::sin(kTwoPi * seconds / a.diurnal_period_seconds));
+  }
+  return a.rate_per_second;
+}
+
+TermId EventStreamGenerator::RankToTerm(std::size_t rank) const {
+  return static_cast<TermId>((rank + drift_offset_) %
+                             spec_.vocabulary.dictionary_size);
+}
+
+Document EventStreamGenerator::SynthesizeDocument() {
+  const VocabularyProfile& v = spec_.vocabulary;
+  // The shared Zipfian body sampler (stream/corpus.h); topic drift is
+  // its rank rotation.
+  std::size_t token_count =
+      body_sampler_.SampleBody(&doc_rng_, drift_offset_, &counts_scratch_);
+
+  // Adversarial hot-term flood: while the flood window is open, spike
+  // the currently hottest ranks into every document. Flood tokens count
+  // toward the document length BM25 sees.
+  const bool flooding =
+      v.flood_terms > 0 && v.flood_period_events > 0 &&
+      (events_generated_ % v.flood_period_events) < v.flood_duration_events;
+  if (flooding) {
+    for (std::size_t r = 0; r < v.flood_terms; ++r) {
+      const TermId term = RankToTerm(r);
+      const auto it = std::lower_bound(
+          counts_scratch_.begin(), counts_scratch_.end(), term,
+          [](const auto& entry, TermId t) { return entry.first < t; });
+      if (it != counts_scratch_.end() && it->first == term) {
+        it->second += kFloodRepeat;
+      } else {
+        counts_scratch_.insert(it, {term, kFloodRepeat});
+      }
+      token_count += kFloodRepeat;
+    }
+  }
+
+  return ComposeSyntheticDocument(counts_scratch_, token_count, spec_.scheme,
+                                  &corpus_stats_);
+}
+
+Document EventStreamGenerator::NextDocument() {
+  Document doc = pool_.empty() ? SynthesizeDocument()
+                               : pool_[pool_cursor_++ % pool_.size()];
+
+  // Arrival stamp from the (possibly modulated) arrival process.
+  const double rate = RateAt(static_cast<double>(now_) * 1e-6);
+  const double gap_seconds = spec_.arrivals.shape == ArrivalShape::kUniform
+                                 ? 1.0 / rate
+                                 : arrival_rng_.Exponential(rate);
+  now_ += std::max<Timestamp>(1, static_cast<Timestamp>(std::llround(gap_seconds * 1e6)));
+  doc.arrival_time = now_;
+
+  ++events_generated_;
+  const VocabularyProfile& v = spec_.vocabulary;
+  if (v.drift_interval_events > 0 &&
+      events_generated_ % v.drift_interval_events == 0) {
+    drift_offset_ = (drift_offset_ + v.drift_stride) % v.dictionary_size;
+  }
+  return doc;
+}
+
+Query EventStreamGenerator::NextQuery() {
+  const QueryProfile& q = spec_.queries;
+  std::size_t range = spec_.vocabulary.dictionary_size;
+  if (q.hot_max_term != 0 && q.hot_max_term < range) range = q.hot_max_term;
+
+  // Ranks, not raw ids: a query registered mid-stream targets the hot
+  // vocabulary of its registration instant (drift-aware).
+  std::vector<TermId> picks;
+  picks.reserve(q.terms_per_query);
+  for (std::size_t i = 0; i < q.terms_per_query; ++i) {
+    picks.push_back(RankToTerm(query_rng_.UniformInt(0, range - 1)));
+  }
+  const int k = q.heavy_tailed_k
+                    ? 1 + static_cast<int>(k_zipf_.Sample(&query_rng_))
+                    : q.k;
+  return BuildTermQuery(std::move(picks), k, spec_.scheme);
+}
+
+std::optional<SimEpoch> EventStreamGenerator::NextEpoch() {
+  if (events_generated_ >= spec_.events) return std::nullopt;
+
+  SimEpoch epoch;
+  epoch.index = epoch_index_;
+
+  const QueryProfile& q = spec_.queries;
+  if (!installed_initial_ &&
+      events_generated_ >= q.install_after_events) {
+    // Initial population, ids 1..n in registration order.
+    for (std::size_t i = 0; i < q.initial_queries; ++i) {
+      epoch.register_ids.push_back(next_query_id_);
+      live_.push_back(next_query_id_++);
+      epoch.register_queries.push_back(NextQuery());
+    }
+    installed_initial_ = true;
+  } else if (installed_initial_ && q.storm_period_epochs > 0 &&
+             epoch_index_ > 0 && epoch_index_ % q.storm_period_epochs == 0) {
+    // Churn storm: retire the oldest queries, install replacements.
+    const std::size_t n = std::min<std::size_t>(q.storm_size, live_.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      epoch.unregister.push_back(live_.front());
+      live_.pop_front();
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      epoch.register_ids.push_back(next_query_id_);
+      live_.push_back(next_query_id_++);
+      epoch.register_queries.push_back(NextQuery());
+    }
+  }
+
+  std::size_t n = spec_.batch_size;
+  if (spec_.jitter_batch_size && spec_.batch_size > 1) {
+    n = 1 + static_cast<std::size_t>(
+                batch_rng_.UniformInt(0, 2 * spec_.batch_size - 2));
+  }
+  n = std::min<std::size_t>(n, spec_.events - events_generated_);
+  epoch.batch.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) epoch.batch.push_back(NextDocument());
+
+  if (spec_.advance_time &&
+      spec_.window.kind == WindowSpec::Kind::kTimeBased &&
+      spec_.advance_period_epochs > 0 &&
+      (epoch_index_ + 1) % spec_.advance_period_epochs == 0) {
+    epoch.has_advance = true;
+    epoch.advance_to = now_ + spec_.window.duration / 2;
+    now_ = epoch.advance_to;  // the stream clock never moves backwards
+  }
+
+  ++epoch_index_;
+  return epoch;
+}
+
+}  // namespace ita::sim

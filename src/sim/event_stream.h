@@ -1,0 +1,141 @@
+/// \file
+/// The deterministic event stream a ScenarioSpec compiles to: a sequence
+/// of SimEpochs, each carrying the epoch's query churn, its document
+/// batch and an optional clock advance, in application order. The
+/// generator is pull-based and byte-reproducible: two generators built
+/// from equal specs produce identical epochs — identical down to the
+/// canonical serialization — regardless of which engine (if any)
+/// consumes them. SerializeEpoch/StreamFingerprint pin that contract.
+///
+/// Query ids are predicted by the generator (both the sequential servers
+/// and the sharded engine assign 1, 2, 3, ... in registration order), so
+/// an epoch is fully self-contained: the consumer asserts the engine
+/// really assigned the predicted ids (sim/sim_engine.h does).
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/types.h"
+#include "core/query.h"
+#include "sim/scenario.h"
+#include "stream/corpus.h"
+#include "stream/document.h"
+#include "text/weighting.h"
+
+namespace ita::sim {
+
+/// One epoch of simulated workload. Application order: `unregister`
+/// (oldest first), then `register_queries` (the engine must hand back
+/// `register_ids[i]` for the i-th registration), then `batch` as ONE
+/// ingest epoch, then — when `has_advance` — AdvanceTime(advance_to).
+struct SimEpoch {
+  /// Zero-based epoch sequence number.
+  std::uint64_t index = 0;
+  /// Queries terminated this epoch, in termination order.
+  std::vector<QueryId> unregister;
+  /// Predicted engine-assigned ids, parallel to `register_queries`.
+  std::vector<QueryId> register_ids;
+  /// Queries installed this epoch, in registration order.
+  std::vector<Query> register_queries;
+  /// The epoch's document arrivals (ids unassigned, arrival times
+  /// non-decreasing). May be empty for advance-only epochs.
+  std::vector<Document> batch;
+  /// When true, the consumer advances the clock to `advance_to` after
+  /// ingesting `batch` (time-based windows only).
+  bool has_advance = false;
+  Timestamp advance_to = 0;
+};
+
+/// Appends the canonical little-endian serialization of `epoch` to
+/// `out` — the byte layout behind the determinism contract (doubles are
+/// serialized as IEEE-754 bit patterns, so "equal" means bit-equal).
+void SerializeEpoch(const SimEpoch& epoch, std::string* out);
+
+/// Order-sensitive FNV-1a 64 digest over the canonical serialization of
+/// a stream's epochs — a cheap whole-stream identity for reproducibility
+/// assertions and repro lines.
+class StreamFingerprint {
+ public:
+  /// Mixes `epoch`'s canonical bytes into the digest.
+  void Absorb(const SimEpoch& epoch);
+  /// The digest over everything absorbed so far.
+  std::uint64_t digest() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 0xcbf29ce484222325ULL;  ///< FNV-1a offset basis
+  std::string scratch_;
+};
+
+/// Compiles a ScenarioSpec into its epoch sequence. Pull-based,
+/// deterministic, engine-independent; not thread-safe. Construction
+/// CHECK-fails on an invalid spec (validate first to handle errors).
+class EventStreamGenerator {
+ public:
+  explicit EventStreamGenerator(ScenarioSpec spec);
+
+  /// The validated spec this stream was compiled from.
+  const ScenarioSpec& spec() const { return spec_; }
+
+  /// Produces the next epoch, or nullopt once `spec().events` document
+  /// arrivals have been emitted.
+  std::optional<SimEpoch> NextEpoch();
+
+  /// Document arrivals emitted so far.
+  std::uint64_t events_generated() const { return events_generated_; }
+  /// Epochs emitted so far.
+  std::uint64_t epochs_generated() const { return epoch_index_; }
+  /// Ids of the queries live after the last emitted epoch, oldest first.
+  const std::deque<QueryId>& live_queries() const { return live_; }
+  /// The stream clock: arrival time of the newest document (or the last
+  /// advance target).
+  Timestamp now() const { return now_; }
+
+ private:
+  /// Synthesizes the next document and stamps the next arrival time.
+  Document NextDocument();
+  /// One freshly synthesized document body (composition + token count),
+  /// honoring drift and floods at the current stream position.
+  Document SynthesizeDocument();
+  /// Draws one fresh query against the current (drifted) hot set.
+  Query NextQuery();
+  /// The arrival profile's instantaneous rate at virtual time `seconds`.
+  double RateAt(double seconds) const;
+  /// Zipf rank -> term id under the current drift rotation.
+  TermId RankToTerm(std::size_t rank) const;
+
+  ScenarioSpec spec_;
+  // Independent per-concern generators (all derived from spec_.seed), so
+  // e.g. arrival draws never perturb document contents.
+  Rng arrival_rng_;
+  Rng doc_rng_;
+  Rng query_rng_;
+  Rng batch_rng_;
+  /// The shared Zipfian body sampler (stream/corpus.h); drift enters as
+  /// its rank rotation.
+  ZipfDocumentSampler body_sampler_;
+  ZipfDistribution k_zipf_;  ///< heavy-tailed k (sampled only when enabled)
+  CorpusStats corpus_stats_;                ///< feeds BM25 weighting
+
+  std::uint64_t events_generated_ = 0;
+  std::uint64_t epoch_index_ = 0;
+  std::size_t drift_offset_ = 0;
+  Timestamp now_ = 0;
+  bool installed_initial_ = false;
+  QueryId next_query_id_ = 1;
+  std::deque<QueryId> live_;
+
+  /// Pooled mode (spec.pool_documents > 0): pre-synthesized document
+  /// bodies, cycled with fresh arrival stamps.
+  std::vector<Document> pool_;
+  std::size_t pool_cursor_ = 0;
+
+  TermCounts counts_scratch_;  ///< synthesis scratch, reused across docs
+};
+
+}  // namespace ita::sim

@@ -1,0 +1,200 @@
+#include "sim/runner.h"
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+#include <unordered_map>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace ita::sim {
+
+ScenarioRunner::ScenarioRunner(ScenarioSpec spec, RunOptions options)
+    : spec_(std::move(spec)), options_(std::move(options)) {}
+
+std::string ScenarioRunner::ReproLine(const ScenarioSpec& spec) {
+  std::ostringstream os;
+  os << "--seed=" << spec.seed << " --events=" << spec.events
+     << " (scenario '" << spec.name << "')";
+  return os.str();
+}
+
+StatusOr<RunReport> ScenarioRunner::Run() {
+  ITA_RETURN_NOT_OK(spec_.Validate());
+
+  const auto fail = [this](const std::string& what) {
+    return Status::Internal(what + "; reproduce with " + ReproLine(spec_));
+  };
+
+  // --- Assemble the fleet -------------------------------------------
+  std::vector<std::unique_ptr<SimEngine>> engines;
+  if (options_.include_sequential_ita) {
+    engines.push_back(MakeSequentialEngine(SequentialStrategy::kIta,
+                                           spec_.window, options_.tuning));
+  }
+  if (options_.include_naive) {
+    engines.push_back(
+        MakeSequentialEngine(SequentialStrategy::kNaive, spec_.window));
+  }
+  for (const std::size_t shards : options_.shard_counts) {
+    engines.push_back(MakeShardedEngine(spec_.window, shards,
+                                        options_.threads_per_sharded,
+                                        options_.tuning));
+  }
+  if (engines.empty()) {
+    return Status::InvalidArgument("scenario run needs at least one engine");
+  }
+  std::unique_ptr<SimEngine> oracle;
+  if (options_.check_oracle) {
+    oracle = MakeSequentialEngine(SequentialStrategy::kOracle, spec_.window);
+  }
+  std::vector<SimEngine*> engine_ptrs;
+  engine_ptrs.reserve(engines.size());
+  for (const auto& e : engines) engine_ptrs.push_back(e.get());
+
+  // Per-engine notification capture: the notifier contract (ascending
+  // QueryId, once per query per epoch) and cross-engine equality are
+  // validated every epoch.
+  std::vector<std::vector<QueryId>> fired(engines.size());
+  if (options_.verify_notifications) {
+    for (std::size_t i = 0; i < engines.size(); ++i) {
+      engines[i]->SetResultListener(
+          [&fired, i](QueryId id, const std::vector<ResultEntry>&) {
+            fired[i].push_back(id);
+          });
+    }
+  }
+
+  EventStreamGenerator generator(spec_);
+  DifferentialChecker checker(options_.checker, oracle.get());
+  StreamFingerprint fingerprint;
+
+  // The live query population (id -> query); pointers into the map stay
+  // stable across inserts/erases, which LiveQuery relies on.
+  std::unordered_map<QueryId, Query> live;
+  std::vector<QueryId> live_order;
+
+  RunReport report;
+  std::uint64_t last_epoch_index = 0;
+
+  while (auto epoch = generator.NextEpoch()) {
+    last_epoch_index = epoch->index;
+    fingerprint.Absorb(*epoch);
+
+    // Drive every engine; the first is the reference for assigned ids.
+    std::vector<DocId> reference_ids;
+    for (std::size_t i = 0; i < engines.size(); ++i) {
+      auto ids = ApplyEpoch(*engines[i], *epoch);
+      if (!ids.ok()) return fail(ids.status().ToString());
+      if (i == 0) {
+        reference_ids = *std::move(ids);
+      } else if (*ids != reference_ids) {
+        std::ostringstream os;
+        os << "engine " << engines[i]->name()
+           << " assigned different document ids than "
+           << engines[0]->name() << " at epoch " << epoch->index;
+        return fail(os.str());
+      }
+    }
+    if (oracle != nullptr) {
+      const auto ids = ApplyEpoch(*oracle, *epoch);
+      if (!ids.ok()) return fail(ids.status().ToString());
+    }
+
+    // Track the live population.
+    for (const QueryId id : epoch->unregister) {
+      live.erase(id);
+      live_order.erase(
+          std::remove(live_order.begin(), live_order.end(), id),
+          live_order.end());
+    }
+    for (std::size_t i = 0; i < epoch->register_queries.size(); ++i) {
+      live.emplace(epoch->register_ids[i], epoch->register_queries[i]);
+      live_order.push_back(epoch->register_ids[i]);
+    }
+
+    // Notification contract: within each flush the ids ascend strictly,
+    // every notified id is live, and the full per-epoch sequences are
+    // identical across engines. An epoch flushes once after its ingest
+    // and once after its clock advance, so the captured sequence may be
+    // the concatenation of up to that many ascending runs.
+    if (options_.verify_notifications) {
+      const std::size_t flush_points =
+          (epoch->batch.empty() ? 0u : 1u) + (epoch->has_advance ? 1u : 0u);
+      for (std::size_t i = 0; i < engines.size(); ++i) {
+        std::size_t ascending_runs = fired[i].empty() ? 0 : 1;
+        for (std::size_t j = 0; j < fired[i].size(); ++j) {
+          if (j > 0 && fired[i][j] <= fired[i][j - 1]) ++ascending_runs;
+          if (live.find(fired[i][j]) == live.end()) {
+            std::ostringstream os;
+            os << "engine " << engines[i]->name()
+               << " notified dead query " << fired[i][j] << " at epoch "
+               << epoch->index;
+            return fail(os.str());
+          }
+        }
+        if (ascending_runs > flush_points) {
+          std::ostringstream os;
+          os << "engine " << engines[i]->name()
+             << " notified out of ascending QueryId order at epoch "
+             << epoch->index << " (" << ascending_runs
+             << " ascending runs, " << flush_points << " flushes)";
+          return fail(os.str());
+        }
+        if (fired[i] != fired[0]) {
+          std::ostringstream os;
+          os << "engine " << engines[i]->name()
+             << " notification stream diverges from "
+             << engines[0]->name() << " at epoch " << epoch->index;
+          return fail(os.str());
+        }
+      }
+      report.notifications += fired[0].size();
+      for (auto& f : fired) f.clear();
+    }
+
+    // Online checking at the configured cadence.
+    std::vector<LiveQuery> live_view;
+    live_view.reserve(live_order.size());
+    for (const QueryId id : live_order) {
+      live_view.push_back(LiveQuery{id, &live.at(id)});
+    }
+    const Status checked =
+        checker.CheckEpoch(engine_ptrs, live_view, epoch->index);
+    if (!checked.ok()) return fail(checked.ToString());
+
+    report.epochs += 1;
+    report.events += epoch->batch.size();
+    if (options_.progress_every_epochs > 0 &&
+        epoch->index % options_.progress_every_epochs == 0) {
+      ITA_LOG(Info) << "scenario '" << spec_.name << "': epoch "
+                    << epoch->index << ", " << generator.events_generated()
+                    << "/" << spec_.events << " events, window "
+                    << engines[0]->window_size() << ", live queries "
+                    << live.size();
+    }
+  }
+
+  // Final forced pass: every layer runs once more on the end state even
+  // when the cadence skipped the last epoch.
+  if (report.epochs > 0) {
+    std::vector<LiveQuery> live_view;
+    live_view.reserve(live_order.size());
+    for (const QueryId id : live_order) {
+      live_view.push_back(LiveQuery{id, &live.at(id)});
+    }
+    const Status checked = checker.CheckEpoch(engine_ptrs, live_view,
+                                              last_epoch_index, /*force=*/true);
+    if (!checked.ok()) return fail(checked.ToString());
+  }
+
+  report.fingerprint = fingerprint.digest();
+  report.differential_checks = checker.differential_checks();
+  report.invariant_checks = checker.invariant_checks();
+  report.final_window_size = engines[0]->window_size();
+  report.final_query_count = engines[0]->query_count();
+  return report;
+}
+
+}  // namespace ita::sim

@@ -1,0 +1,93 @@
+/// \file
+/// The scenario runner: compiles a ScenarioSpec into its event stream
+/// and drives every epoch through a fleet of engines — the sequential
+/// ItaServer, the sharded engine at any set of shard counts, optionally
+/// Naive — side by side with the brute-force oracle, with the online
+/// DifferentialChecker (sim/checker.h) validating results mid-run and
+/// the runner itself cross-checking engine-assigned document ids and the
+/// per-epoch notification streams across engines.
+///
+/// This is the one stream-driving loop the soak tier, the regression-
+/// seed replayer and the examples share. Failures come back as a
+/// detailed Status whose message ends with the `--seed=` reproduction
+/// line, so any soak failure is one command away from a deterministic
+/// replay.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/ita_server.h"
+#include "sim/checker.h"
+#include "sim/event_stream.h"
+#include "sim/scenario.h"
+#include "sim/sim_engine.h"
+
+namespace ita::sim {
+
+/// Which engines a run drives and how hard it checks them.
+struct RunOptions {
+  /// Drive the sequential ItaServer (also the reference for cross-engine
+  /// document-id and notification comparisons).
+  bool include_sequential_ita = true;
+  /// Drive the sequential NaiveServer as well (slower; differential runs
+  /// then also validate the comparator implementation).
+  bool include_naive = false;
+  /// Shard counts of the sharded engines to drive (may be empty).
+  std::vector<std::size_t> shard_counts;
+  /// Scheduler threads per sharded engine; 0 = one per shard.
+  std::size_t threads_per_sharded = 0;
+  /// Tuning for every ITA instance (sequential and per-shard).
+  ItaTuning tuning;
+  /// Feed the oracle and run the differential layer. Disable only for
+  /// pure throughput drives (the checker then covers invariants only).
+  bool check_oracle = true;
+  /// Cadences and tolerances of the online checker.
+  CheckerOptions checker;
+  /// Cross-check the per-epoch result-notification streams (ascending
+  /// QueryId order, identical sequences across engines).
+  bool verify_notifications = true;
+  /// Log one progress line every this many epochs (0 = silent).
+  std::size_t progress_every_epochs = 0;
+};
+
+/// What a completed run did — counters for assertions and reporting.
+struct RunReport {
+  std::uint64_t epochs = 0;                ///< epochs driven
+  std::uint64_t events = 0;                ///< document arrivals streamed
+  std::uint64_t fingerprint = 0;           ///< stream digest (engine-independent)
+  std::uint64_t notifications = 0;         ///< listener firings (reference engine)
+  std::uint64_t differential_checks = 0;   ///< oracle passes run
+  std::uint64_t invariant_checks = 0;      ///< invariant passes run
+  std::size_t final_window_size = 0;       ///< window size after the last epoch
+  std::size_t final_query_count = 0;       ///< live queries after the last epoch
+};
+
+/// Drives one scenario through one fleet; see the file comment. Build,
+/// Run() once, read the report. Not thread-safe, not reusable.
+class ScenarioRunner {
+ public:
+  /// Validates nothing yet — Run() compiles and validates the spec.
+  ScenarioRunner(ScenarioSpec spec, RunOptions options);
+
+  /// Streams the whole scenario. Any engine error, id-prediction
+  /// mismatch, checker violation or notification divergence aborts the
+  /// run with a Status whose message ends with ReproLine(spec()).
+  StatusOr<RunReport> Run();
+
+  /// The scenario under test.
+  const ScenarioSpec& spec() const { return spec_; }
+
+  /// The deterministic reproduction line every failure carries:
+  /// "--seed=<seed> --events=<events> (scenario '<name>')".
+  static std::string ReproLine(const ScenarioSpec& spec);
+
+ private:
+  ScenarioSpec spec_;
+  RunOptions options_;
+};
+
+}  // namespace ita::sim

@@ -1,0 +1,199 @@
+#include "sim/scenario.h"
+
+#include <algorithm>
+
+namespace ita::sim {
+
+const char* ArrivalShapeName(ArrivalShape shape) {
+  switch (shape) {
+    case ArrivalShape::kUniform: return "uniform";
+    case ArrivalShape::kPoisson: return "poisson";
+    case ArrivalShape::kFlashCrowd: return "flash_crowd";
+    case ArrivalShape::kDiurnal: return "diurnal";
+  }
+  return "?";
+}
+
+Status ScenarioSpec::Validate() const {
+  ITA_RETURN_NOT_OK(window.Validate());
+  if (events == 0) return Status::InvalidArgument("events must be >= 1");
+  if (batch_size == 0) return Status::InvalidArgument("batch_size must be >= 1");
+  if (arrivals.rate_per_second <= 0.0) {
+    return Status::InvalidArgument("arrival rate must be positive");
+  }
+  if (arrivals.shape == ArrivalShape::kFlashCrowd &&
+      (arrivals.burst_factor < 1.0 || arrivals.burst_period_seconds <= 0.0 ||
+       arrivals.burst_duration_seconds <= 0.0 ||
+       arrivals.burst_duration_seconds > arrivals.burst_period_seconds)) {
+    return Status::InvalidArgument("malformed flash-crowd burst parameters");
+  }
+  if (arrivals.shape == ArrivalShape::kDiurnal &&
+      (arrivals.diurnal_amplitude < 0.0 || arrivals.diurnal_amplitude >= 1.0 ||
+       arrivals.diurnal_period_seconds <= 0.0)) {
+    return Status::InvalidArgument("malformed diurnal parameters");
+  }
+  if (vocabulary.dictionary_size == 0) {
+    return Status::InvalidArgument("dictionary must be non-empty");
+  }
+  if (vocabulary.min_length < 1 ||
+      vocabulary.min_length > vocabulary.max_length) {
+    return Status::InvalidArgument("malformed document length bounds");
+  }
+  if (vocabulary.flood_terms > vocabulary.dictionary_size) {
+    return Status::InvalidArgument("flood_terms exceeds the dictionary");
+  }
+  if (vocabulary.flood_period_events != 0 &&
+      vocabulary.flood_duration_events > vocabulary.flood_period_events) {
+    return Status::InvalidArgument("flood window longer than its period");
+  }
+  if (queries.terms_per_query == 0) {
+    return Status::InvalidArgument("queries need at least one term");
+  }
+  if (queries.k < 1 || (queries.heavy_tailed_k && queries.k_max < 1)) {
+    return Status::InvalidArgument("k must be >= 1");
+  }
+  if (queries.storm_period_epochs != 0 && queries.storm_size == 0) {
+    return Status::InvalidArgument("churn storms need storm_size >= 1");
+  }
+  if (queries.storm_period_epochs != 0 &&
+      queries.storm_size > queries.initial_queries) {
+    return Status::InvalidArgument(
+        "storm_size exceeds the query population");
+  }
+  return Status::OK();
+}
+
+ScenarioSpec ZipfDriftScenario(std::uint64_t seed) {
+  ScenarioSpec spec;
+  spec.name = "zipf_drift";
+  spec.seed = seed;
+  spec.window = WindowSpec::CountBased(200);
+  spec.batch_size = 64;
+  spec.vocabulary.dictionary_size = 1'200;
+  spec.vocabulary.drift_interval_events = 500;
+  spec.vocabulary.drift_stride = 37;
+  spec.queries.initial_queries = 16;
+  spec.queries.terms_per_query = 4;
+  spec.queries.hot_max_term = 80;  // hot queries feel the drift directly
+  return spec;
+}
+
+ScenarioSpec FlashCrowdScenario(std::uint64_t seed) {
+  ScenarioSpec spec;
+  spec.name = "flash_crowd";
+  spec.seed = seed;
+  spec.window = WindowSpec::CountBased(150);
+  spec.batch_size = 48;
+  spec.jitter_batch_size = true;
+  spec.arrivals.shape = ArrivalShape::kFlashCrowd;
+  spec.arrivals.rate_per_second = 100.0;
+  spec.arrivals.burst_factor = 10.0;
+  spec.arrivals.burst_period_seconds = 20.0;
+  spec.arrivals.burst_duration_seconds = 2.5;
+  spec.vocabulary.dictionary_size = 800;
+  spec.queries.initial_queries = 14;
+  spec.queries.terms_per_query = 5;
+  return spec;
+}
+
+ScenarioSpec ChurnStormScenario(std::uint64_t seed) {
+  ScenarioSpec spec;
+  spec.name = "churn_storm";
+  spec.seed = seed;
+  // Time-based window with periodic advances: expiration-only epochs
+  // interleave with the churn storms.
+  spec.window = WindowSpec::TimeBased(1'500'000);  // 1.5 virtual seconds
+  spec.advance_time = true;
+  spec.advance_period_epochs = 5;
+  spec.batch_size = 40;
+  spec.vocabulary.dictionary_size = 600;
+  spec.queries.initial_queries = 24;
+  spec.queries.terms_per_query = 4;
+  spec.queries.storm_period_epochs = 3;
+  spec.queries.storm_size = 6;
+  return spec;
+}
+
+ScenarioSpec DiurnalScenario(std::uint64_t seed) {
+  ScenarioSpec spec;
+  spec.name = "diurnal";
+  spec.seed = seed;
+  spec.window = WindowSpec::CountBased(180);
+  spec.batch_size = 32;
+  spec.arrivals.shape = ArrivalShape::kDiurnal;
+  spec.arrivals.rate_per_second = 150.0;
+  spec.arrivals.diurnal_amplitude = 0.85;
+  spec.arrivals.diurnal_period_seconds = 40.0;
+  spec.vocabulary.dictionary_size = 1'000;
+  spec.queries.initial_queries = 12;
+  spec.queries.heavy_tailed_k = true;
+  spec.queries.k_max = 48;
+  return spec;
+}
+
+ScenarioSpec HotTermFloodScenario(std::uint64_t seed) {
+  ScenarioSpec spec;
+  spec.name = "hot_term_flood";
+  spec.seed = seed;
+  spec.window = WindowSpec::CountBased(120);
+  spec.batch_size = 36;
+  spec.vocabulary.dictionary_size = 700;
+  spec.vocabulary.flood_terms = 5;
+  spec.vocabulary.flood_period_events = 400;
+  spec.vocabulary.flood_duration_events = 120;
+  spec.queries.initial_queries = 16;
+  spec.queries.terms_per_query = 3;
+  spec.queries.hot_max_term = 30;  // queries sit right on the flooded terms
+  return spec;
+}
+
+ScenarioSpec MixedStressScenario(std::uint64_t seed) {
+  ScenarioSpec spec;
+  spec.name = "mixed_stress";
+  spec.seed = seed;
+  spec.window = WindowSpec::CountBased(160);
+  spec.batch_size = 44;
+  spec.jitter_batch_size = true;
+  spec.arrivals.shape = ArrivalShape::kFlashCrowd;
+  spec.arrivals.rate_per_second = 120.0;
+  spec.arrivals.burst_factor = 6.0;
+  spec.arrivals.burst_period_seconds = 15.0;
+  spec.arrivals.burst_duration_seconds = 2.0;
+  spec.vocabulary.dictionary_size = 900;
+  spec.vocabulary.drift_interval_events = 700;
+  spec.vocabulary.drift_stride = 53;
+  spec.vocabulary.flood_terms = 4;
+  spec.vocabulary.flood_period_events = 600;
+  spec.vocabulary.flood_duration_events = 150;
+  spec.queries.initial_queries = 20;
+  spec.queries.terms_per_query = 4;
+  spec.queries.heavy_tailed_k = true;
+  spec.queries.k_max = 32;
+  spec.queries.hot_max_term = 60;
+  spec.queries.storm_period_epochs = 4;
+  spec.queries.storm_size = 5;
+  return spec;
+}
+
+const std::vector<ScenarioFactory>& ScenarioCatalog() {
+  static const std::vector<ScenarioFactory>* catalog =
+      new std::vector<ScenarioFactory>{
+          {"zipf_drift", &ZipfDriftScenario},
+          {"flash_crowd", &FlashCrowdScenario},
+          {"churn_storm", &ChurnStormScenario},
+          {"diurnal", &DiurnalScenario},
+          {"hot_term_flood", &HotTermFloodScenario},
+          {"mixed_stress", &MixedStressScenario},
+      };
+  return *catalog;
+}
+
+const ScenarioFactory* FindScenario(const std::string& name) {
+  const auto& catalog = ScenarioCatalog();
+  const auto it = std::find_if(
+      catalog.begin(), catalog.end(),
+      [&name](const ScenarioFactory& f) { return name == f.name; });
+  return it == catalog.end() ? nullptr : &*it;
+}
+
+}  // namespace ita::sim

@@ -1,0 +1,186 @@
+/// \file
+/// Scenario specifications for the deterministic workload simulator
+/// (DESIGN.md §9): composable profiles — vocabulary skew with topic
+/// drift and hot-term floods, bursty/diurnal arrival processes, query
+/// churn storms and heavy-tailed result sizes — that a ScenarioSpec
+/// assembles into one reproducible event stream (sim/event_stream.h).
+///
+/// Everything in a spec is plain data: two generators constructed from
+/// equal specs emit byte-identical streams (the determinism contract is
+/// pinned by tests/sim/scenario_determinism_test.cc). The named presets
+/// at the bottom form the scenario catalog the soak tier and the
+/// examples iterate over; every future workload PR extends that catalog
+/// rather than hand-rolling another stream loop.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "stream/window.h"
+#include "text/weighting.h"
+
+/// Deterministic scenario simulation: reproducible workload generation
+/// and oracle-differential validation over any engine.
+namespace ita::sim {
+
+/// Shape of the arrival process on the virtual-time axis.
+enum class ArrivalShape {
+  kUniform,     ///< fixed inter-arrival gap 1/rate
+  kPoisson,     ///< the paper's homogeneous Poisson stream
+  kFlashCrowd,  ///< Poisson whose rate multiplies during periodic bursts
+  kDiurnal,     ///< Poisson with sinusoidal rate modulation
+};
+
+/// Returns a stable display name ("uniform", "poisson", ...).
+const char* ArrivalShapeName(ArrivalShape shape);
+
+/// When documents arrive. Burst/diurnal parameters are ignored by the
+/// shapes that do not use them.
+struct ArrivalProfile {
+  ArrivalShape shape = ArrivalShape::kPoisson;
+  /// Base mean arrival rate (documents per virtual second, > 0).
+  double rate_per_second = 200.0;
+  /// Flash crowd: every `burst_period_seconds` the rate is multiplied by
+  /// `burst_factor` for `burst_duration_seconds` — the flash-crowd /
+  /// breaking-news regime where epochs suddenly carry many more arrivals.
+  double burst_factor = 8.0;
+  double burst_period_seconds = 30.0;
+  double burst_duration_seconds = 3.0;
+  /// Diurnal: rate(t) = base * (1 + amplitude * sin(2*pi*t / period)).
+  /// `diurnal_amplitude` must stay in [0, 1).
+  double diurnal_amplitude = 0.8;
+  double diurnal_period_seconds = 600.0;
+};
+
+/// What documents say: a Zipfian vocabulary whose rank->term mapping can
+/// drift over the stream, optionally spiked by adversarial hot-term
+/// floods.
+struct VocabularyProfile {
+  /// Dictionary size; term ids are 0..dictionary_size-1.
+  std::size_t dictionary_size = 2'000;
+  /// Zipf exponent of the term distribution (1.0 ≈ natural language).
+  double zipf_exponent = 1.0;
+  /// Topic drift: every `drift_interval_events` generated documents the
+  /// rank->term mapping rotates by `drift_stride`, so the hot vocabulary
+  /// cools and formerly cold terms heat up — the regime where stale
+  /// per-term structures (threshold trees, postings) stop being hot.
+  /// 0 disables drift.
+  std::size_t drift_interval_events = 0;
+  std::size_t drift_stride = 1;
+  /// Adversarial hot-term flood: during a flood window every document
+  /// additionally carries the `flood_terms` currently hottest terms with
+  /// a heavy repeat count, concentrating all index and threshold-tree
+  /// traffic on a handful of term states. Windows open every
+  /// `flood_period_events` documents and last `flood_duration_events`
+  /// documents; 0 terms or 0 period disables floods.
+  std::size_t flood_terms = 0;
+  std::size_t flood_period_events = 0;
+  std::size_t flood_duration_events = 0;
+  /// Document length: log-normal token counts, clamped to the bounds.
+  double length_mu = 2.6;
+  double length_sigma = 0.5;
+  std::size_t min_length = 3;
+  std::size_t max_length = 48;
+};
+
+/// Who is asking: the continuous-query population and how it churns.
+struct QueryProfile {
+  /// Queries installed at the start of the stream (ids 1..n, in order).
+  std::size_t initial_queries = 16;
+  /// The initial population registers only after this many document
+  /// events have streamed (0 = before the first epoch). Benchmarks use
+  /// this to prefill the window on an empty server.
+  std::size_t install_after_events = 0;
+  /// Terms per query, drawn from the dictionary with replacement.
+  std::size_t terms_per_query = 4;
+  /// Result size when `heavy_tailed_k` is false.
+  int k = 5;
+  /// Heavy-tailed k: k = 1 + Zipf(1.2) rank over [0, k_max) — most
+  /// queries ask for a handful of results, a few ask for k_max.
+  bool heavy_tailed_k = false;
+  int k_max = 64;
+  /// When nonzero, draw query terms only from the `hot_max_term` hottest
+  /// Zipf ranks (dense-matching queries).
+  std::size_t hot_max_term = 0;
+  /// Churn storm: every `storm_period_epochs` epochs, unregister the
+  /// `storm_size` oldest live queries and register as many fresh ones —
+  /// the registration/unregistration storm the slot-map query-state slab
+  /// is built for. 0 period = static population.
+  std::size_t storm_period_epochs = 0;
+  std::size_t storm_size = 0;
+};
+
+/// A complete scenario: window, weighting, stream length and the three
+/// composed profiles. Plain data — copy, compare, serialize freely.
+struct ScenarioSpec {
+  /// Catalog name, used in repro lines and test labels.
+  std::string name = "scenario";
+  /// The sliding-window specification shared by every engine under test.
+  WindowSpec window = WindowSpec::CountBased(64);
+  /// Impact-weighting scheme for documents and queries.
+  WeightingScheme scheme = WeightingScheme::kCosine;
+  /// Master seed: every random draw of the generator derives from it.
+  std::uint64_t seed = 1;
+  /// Total document arrivals the stream produces.
+  std::size_t events = 10'000;
+  /// Documents per ingest epoch (the last epoch may be smaller).
+  std::size_t batch_size = 32;
+  /// When true, epoch sizes jitter uniformly in [1, 2*batch_size-1]
+  /// (mean batch_size) instead of being constant — exercises ragged
+  /// epoch boundaries.
+  bool jitter_batch_size = false;
+  /// For time-based windows: emit an AdvanceTime half a window past the
+  /// stream clock every `advance_period_epochs` epochs, forcing
+  /// expiration-only epochs. Ignored for count-based windows.
+  bool advance_time = false;
+  std::size_t advance_period_epochs = 4;
+  /// Pooled mode for benchmarks: pre-generate this many document
+  /// compositions and cycle them (stamping fresh arrival times from the
+  /// arrival profile) instead of synthesizing every document — keeps
+  /// steady-state generation out of the measured path. 0 = every
+  /// document freshly synthesized (the test-tier default).
+  std::size_t pool_documents = 0;
+
+  ArrivalProfile arrivals;
+  VocabularyProfile vocabulary;
+  QueryProfile queries;
+
+  /// Structural validation (positive rates, bounds in range, ...).
+  Status Validate() const;
+};
+
+// --- Scenario catalog ---------------------------------------------------
+// Named presets composed from the profiles above; `seed` perturbs every
+// random draw while keeping the shape. The soak tier runs the catalog;
+// tests/sim/regression_seeds_test.cc replays recorded (name, seed) pairs.
+
+/// Zipfian vocabulary whose hot set drifts across the stream.
+ScenarioSpec ZipfDriftScenario(std::uint64_t seed);
+/// Flash-crowd arrivals: quiet baseline punctuated by rate bursts.
+ScenarioSpec FlashCrowdScenario(std::uint64_t seed);
+/// Query churn storms over a time-based window with clock advances.
+ScenarioSpec ChurnStormScenario(std::uint64_t seed);
+/// Diurnal (sinusoidal) arrival modulation with heavy-tailed k.
+ScenarioSpec DiurnalScenario(std::uint64_t seed);
+/// Adversarial hot-term floods against dense-matching hot queries.
+ScenarioSpec HotTermFloodScenario(std::uint64_t seed);
+/// Everything at once: drift + bursts + floods + churn + ragged epochs.
+ScenarioSpec MixedStressScenario(std::uint64_t seed);
+
+/// One catalog entry: the preset's name and factory.
+struct ScenarioFactory {
+  const char* name;
+  ScenarioSpec (*make)(std::uint64_t seed);
+};
+
+/// The full preset catalog, in a stable order.
+const std::vector<ScenarioFactory>& ScenarioCatalog();
+
+/// Looks up a catalog entry by name (nullptr when absent).
+const ScenarioFactory* FindScenario(const std::string& name);
+
+}  // namespace ita::sim

@@ -1,0 +1,177 @@
+#include "sim/sim_engine.h"
+
+#include <sstream>
+#include <utility>
+
+#include "core/oracle_server.h"
+
+namespace ita::sim {
+
+namespace {
+
+/// SimEngine over any sequential ContinuousSearchServer.
+class SequentialEngine final : public SimEngine {
+ public:
+  explicit SequentialEngine(std::unique_ptr<ContinuousSearchServer> server)
+      : server_(std::move(server)) {}
+
+  std::string name() const override { return server_->name(); }
+  StatusOr<QueryId> RegisterQuery(Query query) override {
+    return server_->RegisterQuery(std::move(query));
+  }
+  Status UnregisterQuery(QueryId id) override {
+    return server_->UnregisterQuery(id);
+  }
+  StatusOr<std::vector<DocId>> IngestBatch(
+      std::vector<Document> batch) override {
+    return server_->IngestBatch(std::move(batch));
+  }
+  StatusOr<DocId> Ingest(Document document) override {
+    return server_->Ingest(std::move(document));
+  }
+  Status AdvanceTime(Timestamp now) override {
+    return server_->AdvanceTime(now);
+  }
+  StatusOr<std::vector<ResultEntry>> Result(QueryId id) const override {
+    return server_->Result(id);
+  }
+  void SetResultListener(ResultListener listener) override {
+    server_->SetResultListener(std::move(listener));
+  }
+  std::size_t window_size() const override { return server_->window_size(); }
+  std::size_t query_count() const override { return server_->query_count(); }
+  ServerStats stats() const override { return server_->stats(); }
+  void ResetStats() override { server_->ResetStats(); }
+  ContinuousSearchServer* sequential() override { return server_.get(); }
+
+ private:
+  std::unique_ptr<ContinuousSearchServer> server_;
+};
+
+/// SimEngine over the sharded parallel engine.
+class ShardedEngine final : public SimEngine {
+ public:
+  explicit ShardedEngine(exec::ShardedServerOptions options)
+      : server_(std::move(options)) {}
+
+  std::string name() const override { return server_.name(); }
+  StatusOr<QueryId> RegisterQuery(Query query) override {
+    return server_.RegisterQuery(std::move(query));
+  }
+  Status UnregisterQuery(QueryId id) override {
+    return server_.UnregisterQuery(id);
+  }
+  StatusOr<std::vector<DocId>> IngestBatch(
+      std::vector<Document> batch) override {
+    return server_.IngestBatch(std::move(batch));
+  }
+  StatusOr<DocId> Ingest(Document document) override {
+    return server_.Ingest(std::move(document));
+  }
+  Status AdvanceTime(Timestamp now) override {
+    return server_.AdvanceTime(now);
+  }
+  StatusOr<std::vector<ResultEntry>> Result(QueryId id) const override {
+    return server_.Result(id);
+  }
+  void SetResultListener(ResultListener listener) override {
+    server_.SetResultListener(std::move(listener));
+  }
+  std::size_t window_size() const override { return server_.window_size(); }
+  std::size_t query_count() const override { return server_.query_count(); }
+  ServerStats stats() const override { return server_.stats(); }
+  void ResetStats() override { server_.ResetStats(); }
+  exec::ShardedServer* sharded() override { return &server_; }
+
+ private:
+  exec::ShardedServer server_;
+};
+
+}  // namespace
+
+std::unique_ptr<SimEngine> MakeSequentialEngine(
+    SequentialStrategy strategy, const WindowSpec& window,
+    const ItaTuning& ita_tuning, const NaiveTuning& naive_tuning) {
+  ServerOptions options;
+  options.window = window;
+  std::unique_ptr<ContinuousSearchServer> server;
+  switch (strategy) {
+    case SequentialStrategy::kIta:
+      server = std::make_unique<ItaServer>(options, ita_tuning);
+      break;
+    case SequentialStrategy::kNaive:
+      server = std::make_unique<NaiveServer>(options, naive_tuning);
+      break;
+    case SequentialStrategy::kOracle:
+      server = std::make_unique<OracleServer>(options);
+      break;
+  }
+  return std::make_unique<SequentialEngine>(std::move(server));
+}
+
+std::unique_ptr<SimEngine> MakeShardedEngine(const WindowSpec& window,
+                                             std::size_t shards,
+                                             std::size_t threads,
+                                             const ItaTuning& tuning) {
+  exec::ShardedServerOptions options;
+  options.window = window;
+  options.shards = shards;
+  options.threads = threads;
+  options.tuning = tuning;
+  return std::make_unique<ShardedEngine>(std::move(options));
+}
+
+StatusOr<std::vector<DocId>> ApplyEpoch(SimEngine& engine, SimEpoch&& epoch,
+                                        IngestMode mode) {
+  const auto fail = [&epoch, &engine](const std::string& what) {
+    std::ostringstream os;
+    os << "epoch " << epoch.index << ", engine " << engine.name() << ": "
+       << what;
+    return Status::Internal(os.str());
+  };
+
+  for (const QueryId id : epoch.unregister) {
+    const Status s = engine.UnregisterQuery(id);
+    if (!s.ok()) return fail("unregister " + std::to_string(id) + " failed: " +
+                             s.ToString());
+  }
+  for (std::size_t i = 0; i < epoch.register_queries.size(); ++i) {
+    const auto got = engine.RegisterQuery(std::move(epoch.register_queries[i]));
+    if (!got.ok()) return fail("register failed: " + got.status().ToString());
+    if (*got != epoch.register_ids[i]) {
+      return fail("engine assigned query id " + std::to_string(*got) +
+                  ", stream predicted " +
+                  std::to_string(epoch.register_ids[i]));
+    }
+  }
+
+  std::vector<DocId> ids;
+  if (!epoch.batch.empty()) {
+    if (mode == IngestMode::kBatch) {
+      auto got = engine.IngestBatch(std::move(epoch.batch));
+      if (!got.ok()) return fail("ingest failed: " + got.status().ToString());
+      ids = *std::move(got);
+    } else {
+      ids.reserve(epoch.batch.size());
+      for (Document& doc : epoch.batch) {
+        const auto got = engine.Ingest(std::move(doc));
+        if (!got.ok()) return fail("ingest failed: " + got.status().ToString());
+        ids.push_back(*got);
+      }
+    }
+  }
+
+  if (epoch.has_advance) {
+    const Status s = engine.AdvanceTime(epoch.advance_to);
+    if (!s.ok()) return fail("advance failed: " + s.ToString());
+  }
+  return ids;
+}
+
+StatusOr<std::vector<DocId>> ApplyEpoch(SimEngine& engine,
+                                        const SimEpoch& epoch,
+                                        IngestMode mode) {
+  return ApplyEpoch(engine, SimEpoch{epoch}, mode);  // copy: epoch is shared
+}
+
+}  // namespace ita::sim

@@ -1,0 +1,119 @@
+/// \file
+/// The uniform driving surface the simulator programs against: one
+/// SimEngine wrapper per engine under test — the sequential strategies
+/// (ItaServer, NaiveServer, OracleServer) and the sharded parallel
+/// engine at any shard count — plus ApplyEpoch, the single
+/// implementation of "feed one SimEpoch into an engine". Every consumer
+/// of the event stream (the scenario runner, the soak tier, the bench
+/// harness) applies epochs through this seam, so the application order
+/// (unregister, register, ingest, advance) and the engine-assigned-id
+/// assertions exist exactly once.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "core/ita_server.h"
+#include "core/naive_server.h"
+#include "core/notifier.h"
+#include "core/result_set.h"
+#include "core/server.h"
+#include "exec/sharded_server.h"
+#include "sim/event_stream.h"
+#include "stream/window.h"
+
+namespace ita::sim {
+
+/// The engine operations a scenario needs; implemented by thin wrappers
+/// over the sequential servers and the sharded engine. Single-threaded
+/// like the engines themselves.
+class SimEngine {
+ public:
+  virtual ~SimEngine() = default;
+
+  /// Engine display name ("ita", "oracle", "sharded(ita,4)", ...).
+  virtual std::string name() const = 0;
+
+  /// Installs a continuous query; returns the engine-assigned id.
+  virtual StatusOr<QueryId> RegisterQuery(Query query) = 0;
+  /// Terminates a continuous query.
+  virtual Status UnregisterQuery(QueryId id) = 0;
+  /// Streams one epoch batch; returns the assigned document ids.
+  virtual StatusOr<std::vector<DocId>> IngestBatch(
+      std::vector<Document> batch) = 0;
+  /// Streams one document through the per-event path.
+  virtual StatusOr<DocId> Ingest(Document document) = 0;
+  /// Advances the clock (time-based windows; no-op otherwise).
+  virtual Status AdvanceTime(Timestamp now) = 0;
+  /// Snapshot of the current top-k result of a query, best first.
+  virtual StatusOr<std::vector<ResultEntry>> Result(QueryId id) const = 0;
+  /// Installs the per-epoch result listener (core/notifier.h contract).
+  virtual void SetResultListener(ResultListener listener) = 0;
+  /// Number of valid documents in the engine's window.
+  virtual std::size_t window_size() const = 0;
+  /// Number of registered continuous queries.
+  virtual std::size_t query_count() const = 0;
+  /// Operation counters (aggregated across shards for the sharded
+  /// engine).
+  virtual ServerStats stats() const = 0;
+  /// Zeroes every counter and gauge.
+  virtual void ResetStats() = 0;
+
+  /// The wrapped sequential server, or null for the sharded engine —
+  /// lets callers reach strategy-specific introspection hooks.
+  virtual ContinuousSearchServer* sequential() { return nullptr; }
+  /// The wrapped sharded engine, or null for sequential wrappers.
+  virtual exec::ShardedServer* sharded() { return nullptr; }
+
+  /// The wrapped server as an ItaServer when it is one (enables the
+  /// checker's threshold invariants), else null.
+  const ItaServer* ita() const {
+    return dynamic_cast<const ItaServer*>(
+        const_cast<SimEngine*>(this)->sequential());
+  }
+};
+
+/// Which sequential strategy a MakeSequentialEngine wrapper embeds.
+enum class SequentialStrategy { kIta, kNaive, kOracle };
+
+/// Wraps a freshly constructed sequential server of the given strategy.
+std::unique_ptr<SimEngine> MakeSequentialEngine(
+    SequentialStrategy strategy, const WindowSpec& window,
+    const ItaTuning& ita_tuning = {}, const NaiveTuning& naive_tuning = {});
+
+/// Wraps a freshly constructed sharded engine (per-shard ItaServers).
+/// `threads` = 0 picks one worker per shard (capped at the hardware).
+std::unique_ptr<SimEngine> MakeShardedEngine(const WindowSpec& window,
+                                             std::size_t shards,
+                                             std::size_t threads = 0,
+                                             const ItaTuning& tuning = {});
+
+/// How ApplyEpoch streams an epoch's batch into the engine.
+enum class IngestMode {
+  kBatch,     ///< one IngestBatch epoch (the production path)
+  kPerEvent,  ///< one Ingest call per document (the paper's event loop)
+};
+
+/// Feeds one epoch into `engine` in application order — unregister,
+/// register (asserting the engine assigns exactly the predicted
+/// register_ids), ingest the batch, advance the clock — and returns the
+/// assigned document ids. Any engine error or id-prediction mismatch
+/// comes back as a non-OK status naming the epoch. This overload
+/// consumes the epoch (the batch moves into the engine) — the choice
+/// for a sole-owner caller like the bench fixture, whose timed region
+/// must not pay a document deep copy.
+StatusOr<std::vector<DocId>> ApplyEpoch(SimEngine& engine, SimEpoch&& epoch,
+                                        IngestMode mode = IngestMode::kBatch);
+
+/// ApplyEpoch for a shared epoch (the scenario runner feeds one epoch to
+/// a whole fleet): the batch is copied, `epoch` is left intact.
+StatusOr<std::vector<DocId>> ApplyEpoch(SimEngine& engine,
+                                        const SimEpoch& epoch,
+                                        IngestMode mode = IngestMode::kBatch);
+
+}  // namespace ita::sim

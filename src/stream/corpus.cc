@@ -8,44 +8,91 @@
 
 namespace ita {
 
-SyntheticCorpusGenerator::SyntheticCorpusGenerator(SyntheticCorpusOptions options)
-    : options_(options),
-      zipf_(options.dictionary_size, options.zipf_exponent),
-      rng_(options.seed) {
+ZipfDocumentSampler::ZipfDocumentSampler(const Options& options)
+    : options_(options), zipf_(options.dictionary_size, options.zipf_exponent) {
   ITA_CHECK(options_.dictionary_size > 0);
   ITA_CHECK(options_.min_length >= 1 && options_.min_length <= options_.max_length);
   count_scratch_.assign(options_.dictionary_size, 0);
 }
 
-Document SyntheticCorpusGenerator::NextDocument(Timestamp arrival_time) {
+std::size_t ZipfDocumentSampler::SampleBody(Rng* rng,
+                                            std::size_t rank_rotation,
+                                            TermCounts* counts) {
   // Draw the document length, then that many Zipfian tokens.
-  const double raw_len =
-      rng_.LogNormal(options_.length_lognormal_mu, options_.length_lognormal_sigma);
+  const double raw_len = rng->LogNormal(options_.length_mu, options_.length_sigma);
   std::size_t length = static_cast<std::size_t>(std::llround(raw_len));
   length = std::clamp(length, options_.min_length, options_.max_length);
 
   touched_scratch_.clear();
   for (std::size_t i = 0; i < length; ++i) {
-    const TermId term = static_cast<TermId>(zipf_.Sample(&rng_));
+    const TermId term = static_cast<TermId>(
+        (zipf_.Sample(rng) + rank_rotation) % options_.dictionary_size);
     if (count_scratch_[term] == 0) touched_scratch_.push_back(term);
     ++count_scratch_[term];
   }
   std::sort(touched_scratch_.begin(), touched_scratch_.end());
 
-  TermCounts counts;
-  counts.reserve(touched_scratch_.size());
+  counts->clear();
+  counts->reserve(touched_scratch_.size());
   for (const TermId term : touched_scratch_) {
-    counts.emplace_back(term, count_scratch_[term]);
+    counts->emplace_back(term, count_scratch_[term]);
     count_scratch_[term] = 0;  // reset for the next document
   }
+  return length;
+}
 
-  corpus_stats_.AddDocument(counts, length);
-
+Document ComposeSyntheticDocument(const TermCounts& counts,
+                                  std::size_t token_count,
+                                  WeightingScheme scheme, CorpusStats* stats,
+                                  const Bm25Params& bm25) {
+  stats->AddDocument(counts, token_count);
   Document doc;
+  doc.token_count = token_count;
+  doc.composition = BuildComposition(counts, token_count, scheme, stats, bm25);
+  return doc;
+}
+
+Query BuildTermQuery(std::vector<TermId> picks, int k, WeightingScheme scheme) {
+  std::sort(picks.begin(), picks.end());
+  TermCounts counts;
+  for (const TermId term : picks) {
+    if (!counts.empty() && counts.back().first == term) {
+      ++counts.back().second;
+    } else {
+      counts.emplace_back(term, 1);
+    }
+  }
+  Query query;
+  query.k = k;
+  query.terms = BuildQueryVector(counts, scheme);
+  return query;
+}
+
+namespace {
+
+ZipfDocumentSampler::Options SamplerOptions(const SyntheticCorpusOptions& o) {
+  ZipfDocumentSampler::Options s;
+  s.dictionary_size = o.dictionary_size;
+  s.zipf_exponent = o.zipf_exponent;
+  s.length_mu = o.length_lognormal_mu;
+  s.length_sigma = o.length_lognormal_sigma;
+  s.min_length = o.min_length;
+  s.max_length = o.max_length;
+  return s;
+}
+
+}  // namespace
+
+SyntheticCorpusGenerator::SyntheticCorpusGenerator(SyntheticCorpusOptions options)
+    : options_(options), sampler_(SamplerOptions(options)), rng_(options.seed) {}
+
+Document SyntheticCorpusGenerator::NextDocument(Timestamp arrival_time) {
+  TermCounts counts;
+  const std::size_t length = sampler_.SampleBody(&rng_, /*rank_rotation=*/0,
+                                                 &counts);
+  Document doc = ComposeSyntheticDocument(counts, length, options_.scheme,
+                                          &corpus_stats_, options_.bm25);
   doc.arrival_time = arrival_time;
-  doc.token_count = length;
-  doc.composition = BuildComposition(counts, length, options_.scheme,
-                                     &corpus_stats_, options_.bm25);
   return doc;
 }
 
@@ -67,21 +114,7 @@ Query QueryWorkloadGenerator::NextQuery() {
   for (std::size_t i = 0; i < options_.terms_per_query; ++i) {
     picks.push_back(static_cast<TermId>(rng_.UniformInt(0, range - 1)));
   }
-  std::sort(picks.begin(), picks.end());
-
-  TermCounts counts;
-  for (const TermId term : picks) {
-    if (!counts.empty() && counts.back().first == term) {
-      ++counts.back().second;
-    } else {
-      counts.emplace_back(term, 1);
-    }
-  }
-
-  Query query;
-  query.k = options_.k;
-  query.terms = BuildQueryVector(counts, options_.scheme);
-  return query;
+  return BuildTermQuery(std::move(picks), options_.k, options_.scheme);
 }
 
 std::vector<Query> QueryWorkloadGenerator::MakeQueries(std::size_t count) {

@@ -23,6 +23,57 @@
 
 namespace ita {
 
+/// Reusable Zipfian document-body sampler — the one implementation of
+/// "draw a log-normal token count, then that many Zipf-ranked terms"
+/// shared by the WSJ-calibrated corpus generator below and the scenario
+/// simulator (sim/event_stream.h). Not thread-safe (owns the counting
+/// scratch).
+class ZipfDocumentSampler {
+ public:
+  struct Options {
+    /// Dictionary size; term ids are 0..dictionary_size-1 (must be > 0).
+    std::size_t dictionary_size = 0;
+    /// Zipf exponent of the term (unigram) distribution.
+    double zipf_exponent = 1.0;
+    /// Log-normal token-count parameters, clamped to the bounds below.
+    double length_mu = 0.0;
+    double length_sigma = 0.0;
+    std::size_t min_length = 1;
+    std::size_t max_length = 1;
+  };
+
+  explicit ZipfDocumentSampler(const Options& options);
+
+  /// Samples one document body into `counts` (sorted by TermId, one
+  /// entry per distinct term) and returns the token count. Sampled Zipf
+  /// ranks become term ids via (rank + rank_rotation) % dictionary —
+  /// identity at 0; the simulator rotates it for topic drift.
+  std::size_t SampleBody(Rng* rng, std::size_t rank_rotation,
+                         TermCounts* counts);
+
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+  ZipfDistribution zipf_;
+  std::vector<std::uint32_t> count_scratch_;  // termid -> count, lazily cleared
+  std::vector<TermId> touched_scratch_;
+};
+
+/// Shared tail of synthetic document generation: feeds `stats` with the
+/// document and turns the counts into a weighted Document (arrival time
+/// and id left for the caller). `token_count` is what BM25 length
+/// normalization sees — callers that inject extra terms (the simulator's
+/// hot-term floods) account them here explicitly.
+Document ComposeSyntheticDocument(const TermCounts& counts,
+                                  std::size_t token_count,
+                                  WeightingScheme scheme, CorpusStats* stats,
+                                  const Bm25Params& bm25 = {});
+
+/// A query from raw term picks (drawn with replacement — duplicates
+/// aggregate into term frequencies), weighted under `scheme`.
+Query BuildTermQuery(std::vector<TermId> picks, int k, WeightingScheme scheme);
+
 struct SyntheticCorpusOptions {
   /// Dictionary size; term ids are 0..dictionary_size-1 where id == Zipf
   /// rank (0 is the most frequent term). Default mirrors WSJ.
@@ -59,11 +110,9 @@ class SyntheticCorpusGenerator {
 
  private:
   SyntheticCorpusOptions options_;
-  ZipfDistribution zipf_;
+  ZipfDocumentSampler sampler_;
   Rng rng_;
   CorpusStats corpus_stats_;
-  std::vector<std::uint32_t> count_scratch_;  // termid -> count, lazily cleared
-  std::vector<TermId> touched_scratch_;
 };
 
 struct QueryWorkloadOptions {

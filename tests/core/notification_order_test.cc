@@ -1,0 +1,129 @@
+// Regression pin for the notification-order contract of core/notifier.h:
+// after every ingest/advance epoch the result listener fires at most once
+// per changed query, in ASCENDING QueryId order — on the sequential
+// server (including sparse, out-of-order-registered ids via
+// RegisterQueryWithId) and on the sharded engine, whose merge must stay
+// deterministic however its shard tasks interleave.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "../testing/builders.h"
+#include "core/ita_server.h"
+#include "exec/sharded_server.h"
+
+namespace ita {
+namespace {
+
+using testing::MakeDoc;
+using testing::MakeQuery;
+
+TEST(NotificationOrderTest, SequentialFiresAscendingAcrossSparseIds) {
+  ItaServer server{ServerOptions{WindowSpec::CountBased(16)}};
+
+  // Register ids deliberately out of ascending order; all match term 1,
+  // so every epoch changes every query.
+  const std::vector<QueryId> ids = {50, 3, 77, 12, 31};
+  for (const QueryId id : ids) {
+    ASSERT_TRUE(server.RegisterQueryWithId(id, MakeQuery(3, {{1, 1.0}})).ok());
+  }
+
+  std::vector<QueryId> fired;
+  server.SetResultListener(
+      [&fired](QueryId q, const std::vector<ResultEntry>&) {
+        fired.push_back(q);
+      });
+
+  std::vector<QueryId> want = ids;
+  std::sort(want.begin(), want.end());
+  for (int epoch = 0; epoch < 4; ++epoch) {
+    fired.clear();
+    std::vector<Document> batch;
+    batch.push_back(MakeDoc({{1, 1.0 + epoch}}, 100 * (epoch + 1)));
+    batch.push_back(MakeDoc({{1, 2.0 + epoch}}, 100 * (epoch + 1) + 1));
+    ASSERT_TRUE(server.IngestBatch(std::move(batch)).ok());
+    // One callback per changed query, ascending — never registration
+    // order, never per-document duplicates.
+    ASSERT_EQ(fired, want) << "epoch " << epoch;
+  }
+}
+
+TEST(NotificationOrderTest, SequentialPerEventPathAlsoAscends) {
+  ItaServer server{ServerOptions{WindowSpec::CountBased(8)}};
+  ASSERT_TRUE(server.RegisterQueryWithId(9, MakeQuery(2, {{1, 1.0}})).ok());
+  ASSERT_TRUE(server.RegisterQueryWithId(2, MakeQuery(2, {{1, 1.0}})).ok());
+
+  std::vector<QueryId> fired;
+  server.SetResultListener(
+      [&fired](QueryId q, const std::vector<ResultEntry>&) {
+        fired.push_back(q);
+      });
+  ASSERT_TRUE(server.Ingest(MakeDoc({{1, 5.0}}, 10)).ok());
+  EXPECT_EQ(fired, (std::vector<QueryId>{2, 9}));
+}
+
+TEST(NotificationOrderTest, ShardedMergeFiresAscending) {
+  // 4 shards, 2 worker threads: queries land on different shards
+  // (id % shards) and their phase tasks interleave nondeterministically,
+  // yet the merged flush must stay ascending and complete.
+  exec::ShardedServerOptions options;
+  options.window = WindowSpec::CountBased(16);
+  options.shards = 4;
+  options.threads = 2;
+  exec::ShardedServer server{options};
+
+  std::vector<QueryId> ids;
+  for (int i = 0; i < 9; ++i) {
+    const auto id = server.RegisterQuery(MakeQuery(3, {{1, 1.0}}));
+    ASSERT_TRUE(id.ok());
+    ids.push_back(*id);
+  }
+
+  std::vector<QueryId> fired;
+  server.SetResultListener(
+      [&fired](QueryId q, const std::vector<ResultEntry>&) {
+        fired.push_back(q);
+      });
+
+  std::vector<QueryId> want = ids;
+  std::sort(want.begin(), want.end());
+  for (int epoch = 0; epoch < 6; ++epoch) {
+    fired.clear();
+    std::vector<Document> batch;
+    for (int d = 0; d < 3; ++d) {
+      batch.push_back(
+          MakeDoc({{1, 1.0 + epoch + d}}, 100 * (epoch + 1) + d));
+    }
+    ASSERT_TRUE(server.IngestBatch(std::move(batch)).ok());
+    ASSERT_EQ(fired, want) << "epoch " << epoch;
+  }
+}
+
+TEST(NotificationOrderTest, OnlyChangedQueriesFire) {
+  ItaServer server{ServerOptions{WindowSpec::CountBased(16)}};
+  // Query 4 watches term 1, query 8 watches term 2.
+  ASSERT_TRUE(server.RegisterQueryWithId(8, MakeQuery(2, {{2, 1.0}})).ok());
+  ASSERT_TRUE(server.RegisterQueryWithId(4, MakeQuery(2, {{1, 1.0}})).ok());
+
+  std::vector<QueryId> fired;
+  server.SetResultListener(
+      [&fired](QueryId q, const std::vector<ResultEntry>&) {
+        fired.push_back(q);
+      });
+
+  ASSERT_TRUE(server.Ingest(MakeDoc({{1, 1.0}}, 10)).ok());
+  EXPECT_EQ(fired, (std::vector<QueryId>{4}));
+
+  fired.clear();
+  ASSERT_TRUE(server.Ingest(MakeDoc({{2, 1.0}}, 20)).ok());
+  EXPECT_EQ(fired, (std::vector<QueryId>{8}));
+
+  fired.clear();
+  ASSERT_TRUE(server.Ingest(MakeDoc({{1, 2.0}, {2, 2.0}}, 30)).ok());
+  EXPECT_EQ(fired, (std::vector<QueryId>{4, 8}));
+}
+
+}  // namespace
+}  // namespace ita

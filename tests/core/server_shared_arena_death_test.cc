@@ -1,0 +1,89 @@
+// Death tests for the CHECK-disabled public stream mutators of a
+// shared-arena server (DESIGN.md §8): a ContinuousSearchServer
+// constructed over ServerOptions::shared_arena never mutates the window —
+// its epoch driver owns every pop/append — so Ingest, IngestBatch and
+// AdvanceTime must abort rather than corrupt the driver's arena. The
+// read side (queries, results, window inspection) must stay fully live.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "../testing/builders.h"
+#include "core/ita_server.h"
+#include "core/naive_server.h"
+#include "core/oracle_server.h"
+#include "stream/document_arena.h"
+
+namespace ita {
+namespace {
+
+ServerOptions SharedOptions(DocumentArena* arena) {
+  ServerOptions options;
+  options.window = WindowSpec::CountBased(8);
+  options.shared_arena = arena;
+  return options;
+}
+
+using testing::MakeDoc;
+using testing::MakeQuery;
+
+TEST(SharedArenaDeathTest, IngestAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  DocumentArena arena;
+  ItaServer server{SharedOptions(&arena)};
+  EXPECT_DEATH(
+      { (void)server.Ingest(MakeDoc({{1, 1.0}}, 10)); },
+      "streamed by their epoch driver");
+}
+
+TEST(SharedArenaDeathTest, IngestBatchAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  DocumentArena arena;
+  ItaServer server{SharedOptions(&arena)};
+  std::vector<Document> batch;
+  batch.push_back(MakeDoc({{1, 1.0}}, 10));
+  EXPECT_DEATH({ (void)server.IngestBatch(batch); },
+               "streamed by their epoch driver");
+}
+
+TEST(SharedArenaDeathTest, AdvanceTimeAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  DocumentArena arena;
+  ServerOptions options;
+  options.window = WindowSpec::TimeBased(1'000);
+  options.shared_arena = &arena;
+  ItaServer server{options};
+  EXPECT_DEATH({ (void)server.AdvanceTime(50); },
+               "streamed by their epoch driver");
+}
+
+TEST(SharedArenaDeathTest, EveryStrategyAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  DocumentArena arena;
+  NaiveServer naive{SharedOptions(&arena)};
+  OracleServer oracle{SharedOptions(&arena)};
+  EXPECT_DEATH({ (void)naive.Ingest(MakeDoc({{1, 1.0}}, 10)); },
+               "streamed by their epoch driver");
+  EXPECT_DEATH({ (void)oracle.Ingest(MakeDoc({{1, 1.0}}, 10)); },
+               "streamed by their epoch driver");
+}
+
+// The read-side API of a shared-arena server stays live: registration
+// computes the initial result over whatever the driver has streamed.
+TEST(SharedArenaDeathTest, ReadSideStaysLive) {
+  DocumentArena arena;
+  ItaServer server{SharedOptions(&arena)};
+
+  const auto qid = server.RegisterQuery(MakeQuery(2, {{1, 1.0}}));
+  ASSERT_TRUE(qid.ok());
+  const auto result = server.Result(*qid);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->empty());
+  EXPECT_EQ(server.window_size(), 0u);
+  EXPECT_TRUE(server.UnregisterQuery(*qid).ok());
+}
+
+}  // namespace
+}  // namespace ita

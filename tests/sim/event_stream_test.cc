@@ -1,0 +1,291 @@
+// Shape checks on the scenario profiles: the generator must actually
+// produce the regimes its knobs promise — rate bursts, topic drift,
+// hot-term floods, churn storms, heavy-tailed k, ragged epochs, pooled
+// steady-state mode — all deterministically.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "sim/event_stream.h"
+#include "sim/scenario.h"
+
+namespace ita::sim {
+namespace {
+
+std::vector<SimEpoch> Drain(EventStreamGenerator& gen) {
+  std::vector<SimEpoch> epochs;
+  while (auto e = gen.NextEpoch()) epochs.push_back(*std::move(e));
+  return epochs;
+}
+
+std::vector<Document> AllDocuments(const std::vector<SimEpoch>& epochs) {
+  std::vector<Document> docs;
+  for (const SimEpoch& e : epochs) {
+    docs.insert(docs.end(), e.batch.begin(), e.batch.end());
+  }
+  return docs;
+}
+
+TEST(EventStreamTest, EmitsExactlySpecEvents) {
+  ScenarioSpec spec = ZipfDriftScenario(1);
+  spec.events = 1'234;
+  spec.batch_size = 100;  // does not divide events: last epoch is ragged
+  EventStreamGenerator gen(spec);
+  const auto epochs = Drain(gen);
+  EXPECT_EQ(AllDocuments(epochs).size(), spec.events);
+  EXPECT_EQ(epochs.back().batch.size(), spec.events % spec.batch_size);
+  EXPECT_EQ(gen.NextEpoch(), std::nullopt);  // exhausted streams stay exhausted
+}
+
+TEST(EventStreamTest, ArrivalTimesNonDecreasing) {
+  for (const ScenarioFactory& factory : ScenarioCatalog()) {
+    ScenarioSpec spec = factory.make(3);
+    spec.events = 1'000;
+    EventStreamGenerator gen(spec);
+    Timestamp last = 0;
+    for (const SimEpoch& e : Drain(gen)) {
+      for (const Document& doc : e.batch) {
+        ASSERT_GE(doc.arrival_time, last) << factory.name;
+        last = doc.arrival_time;
+      }
+      if (e.has_advance) {
+        ASSERT_GE(e.advance_to, last) << factory.name;
+        last = e.advance_to;
+      }
+    }
+  }
+}
+
+TEST(EventStreamTest, FlashCrowdBurstsRaiseTheRate) {
+  ScenarioSpec spec = FlashCrowdScenario(2);
+  spec.events = 8'000;
+  spec.jitter_batch_size = false;
+  EventStreamGenerator gen(spec);
+  const auto docs = AllDocuments(Drain(gen));
+
+  // Partition inter-arrival gaps by whether they landed inside a burst
+  // window; the burst mean must be well below the baseline mean.
+  const double period = spec.arrivals.burst_period_seconds * 1e6;
+  const double burst_len = spec.arrivals.burst_duration_seconds * 1e6;
+  double burst_sum = 0.0;
+  double calm_sum = 0.0;
+  std::size_t burst_n = 0;
+  std::size_t calm_n = 0;
+  for (std::size_t i = 1; i < docs.size(); ++i) {
+    const double gap =
+        static_cast<double>(docs[i].arrival_time - docs[i - 1].arrival_time);
+    const double phase =
+        std::fmod(static_cast<double>(docs[i - 1].arrival_time), period);
+    if (phase < burst_len) {
+      burst_sum += gap;
+      ++burst_n;
+    } else {
+      calm_sum += gap;
+      ++calm_n;
+    }
+  }
+  ASSERT_GT(burst_n, 100u);
+  ASSERT_GT(calm_n, 100u);
+  const double burst_mean = burst_sum / static_cast<double>(burst_n);
+  const double calm_mean = calm_sum / static_cast<double>(calm_n);
+  // burst_factor = 10: expect at least a 4x gap reduction inside bursts.
+  EXPECT_LT(burst_mean * 4.0, calm_mean);
+}
+
+TEST(EventStreamTest, ZipfDriftRotatesTheHotSet) {
+  ScenarioSpec spec;
+  spec.name = "drift_probe";
+  spec.events = 6'000;
+  spec.batch_size = 50;
+  spec.vocabulary.dictionary_size = 500;
+  spec.vocabulary.drift_interval_events = 1'000;
+  spec.vocabulary.drift_stride = 100;
+  spec.queries.initial_queries = 1;
+  EventStreamGenerator gen(spec);
+  const auto docs = AllDocuments(Drain(gen));
+
+  // The hottest term of the first drift phase is rank 0 -> term 0; by
+  // the last phase the mapping has rotated 5 times -> term 500 - er,
+  // (5 * 100) % 500 == 0 would alias, so count per-phase modes instead.
+  const auto mode_term = [&docs](std::size_t lo, std::size_t hi) {
+    std::map<TermId, std::size_t> freq;
+    for (std::size_t i = lo; i < hi; ++i) {
+      for (const TermWeight& tw : docs[i].composition) ++freq[tw.term];
+    }
+    TermId best = 0;
+    std::size_t best_n = 0;
+    for (const auto& [term, n] : freq) {
+      if (n > best_n) {
+        best = term;
+        best_n = n;
+      }
+    }
+    return best;
+  };
+  // Phase 0 (events 0..999): rank 0 maps to term 0. Phase 1 (events
+  // 1000..1999): rank 0 maps to term 100.
+  EXPECT_EQ(mode_term(0, 1'000), 0u);
+  EXPECT_EQ(mode_term(1'000, 2'000), 100u);
+  EXPECT_EQ(mode_term(2'000, 3'000), 200u);
+}
+
+TEST(EventStreamTest, HotTermFloodSpikesDocuments) {
+  ScenarioSpec spec = HotTermFloodScenario(4);
+  spec.events = 1'600;
+  EventStreamGenerator gen(spec);
+  const auto docs = AllDocuments(Drain(gen));
+  const VocabularyProfile& v = spec.vocabulary;
+
+  // Documents inside a flood window carry every flooded term; outside
+  // they only sometimes do.
+  std::size_t in_flood = 0;
+  std::size_t carrying_all = 0;
+  for (std::size_t i = 0; i < docs.size(); ++i) {
+    const bool flooded =
+        (i % v.flood_period_events) < v.flood_duration_events;
+    if (!flooded) continue;
+    ++in_flood;
+    bool all = true;
+    for (std::size_t r = 0; r < v.flood_terms; ++r) {
+      if (CompositionWeight(docs[i].composition, static_cast<TermId>(r)) <=
+          0.0) {
+        all = false;
+        break;
+      }
+    }
+    if (all) ++carrying_all;
+  }
+  ASSERT_GT(in_flood, 0u);
+  EXPECT_EQ(carrying_all, in_flood);
+}
+
+TEST(EventStreamTest, HeavyTailedKSkewsSmall) {
+  ScenarioSpec spec = DiurnalScenario(6);
+  spec.events = 50;
+  spec.queries.initial_queries = 400;
+  spec.queries.heavy_tailed_k = true;
+  spec.queries.k_max = 48;
+  EventStreamGenerator gen(spec);
+  const auto epochs = Drain(gen);
+  ASSERT_FALSE(epochs.empty());
+  const auto& population = epochs.front().register_queries;
+  ASSERT_EQ(population.size(), 400u);
+
+  std::size_t ones = 0;
+  int max_k = 0;
+  for (const Query& q : population) {
+    ASSERT_GE(q.k, 1);
+    ASSERT_LE(q.k, spec.queries.k_max);
+    if (q.k == 1) ++ones;
+    max_k = std::max(max_k, q.k);
+  }
+  // Zipf(1.2) over 48 ranks: k=1 dominates, but the tail reaches deep.
+  EXPECT_GT(ones, 100u);
+  EXPECT_GT(max_k, 8);
+}
+
+TEST(EventStreamTest, ChurnStormsRecycleThePopulation) {
+  ScenarioSpec spec = ChurnStormScenario(8);
+  spec.events = 2'000;
+  EventStreamGenerator gen(spec);
+  const auto epochs = Drain(gen);
+
+  std::size_t storms = 0;
+  for (const SimEpoch& e : epochs) {
+    if (e.index == 0) {
+      ASSERT_EQ(e.register_queries.size(), spec.queries.initial_queries);
+      ASSERT_TRUE(e.unregister.empty());
+      continue;
+    }
+    if (e.unregister.empty()) continue;
+    ++storms;
+    EXPECT_EQ(e.unregister.size(), spec.queries.storm_size);
+    EXPECT_EQ(e.register_queries.size(), spec.queries.storm_size);
+    EXPECT_EQ(e.index % spec.queries.storm_period_epochs, 0u);
+  }
+  EXPECT_GT(storms, 2u);
+  // Steady population: every storm replaces exactly what it retires.
+  EXPECT_EQ(gen.live_queries().size(), spec.queries.initial_queries);
+}
+
+TEST(EventStreamTest, QueryIdsPredictedSequentially) {
+  ScenarioSpec spec = ChurnStormScenario(9);
+  spec.events = 1'200;
+  EventStreamGenerator gen(spec);
+  QueryId next = 1;
+  for (const SimEpoch& e : Drain(gen)) {
+    for (std::size_t i = 0; i < e.register_ids.size(); ++i) {
+      ASSERT_EQ(e.register_ids[i], next);
+      ++next;
+    }
+    ASSERT_EQ(e.register_ids.size(), e.register_queries.size());
+  }
+}
+
+TEST(EventStreamTest, InstallAfterEventsDelaysThePopulation) {
+  ScenarioSpec spec = ZipfDriftScenario(10);
+  spec.events = 1'000;
+  spec.batch_size = 100;
+  spec.queries.install_after_events = 350;
+  EventStreamGenerator gen(spec);
+  const auto epochs = Drain(gen);
+
+  std::size_t events_before = 0;
+  bool installed = false;
+  for (const SimEpoch& e : epochs) {
+    if (!e.register_queries.empty()) {
+      EXPECT_GE(events_before, spec.queries.install_after_events);
+      installed = true;
+      break;
+    }
+    events_before += e.batch.size();
+  }
+  EXPECT_TRUE(installed);
+}
+
+TEST(EventStreamTest, JitteredEpochsVaryButConserveEvents) {
+  ScenarioSpec spec = FlashCrowdScenario(12);
+  spec.events = 3'000;
+  spec.batch_size = 40;
+  spec.jitter_batch_size = true;
+  EventStreamGenerator gen(spec);
+  const auto epochs = Drain(gen);
+
+  std::size_t total = 0;
+  std::size_t min_n = spec.events;
+  std::size_t max_n = 0;
+  for (const SimEpoch& e : epochs) {
+    total += e.batch.size();
+    min_n = std::min(min_n, e.batch.size());
+    max_n = std::max(max_n, e.batch.size());
+    ASSERT_LE(e.batch.size(), 2 * spec.batch_size - 1);
+  }
+  EXPECT_EQ(total, spec.events);
+  EXPECT_LT(min_n, max_n);  // sizes actually vary
+}
+
+TEST(EventStreamTest, PooledModeCyclesCompositions) {
+  ScenarioSpec spec = ZipfDriftScenario(13);
+  spec.events = 600;
+  spec.batch_size = 50;
+  spec.pool_documents = 100;
+  spec.vocabulary.drift_interval_events = 0;  // pooled = steady state
+  EventStreamGenerator gen(spec);
+  const auto docs = AllDocuments(Drain(gen));
+  ASSERT_EQ(docs.size(), 600u);
+
+  for (std::size_t i = 0; i + spec.pool_documents < docs.size(); ++i) {
+    ASSERT_EQ(docs[i].composition,
+              docs[i + spec.pool_documents].composition)
+        << "pool did not cycle at " << i;
+    // ... but arrival stamps keep advancing.
+    ASSERT_LT(docs[i].arrival_time,
+              docs[i + spec.pool_documents].arrival_time);
+  }
+}
+
+}  // namespace
+}  // namespace ita::sim

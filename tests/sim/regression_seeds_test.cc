@@ -1,0 +1,77 @@
+// Fast replay of the checked-in failing-seed corpus
+// (tests/testing/regression_seeds.txt): every recorded (scenario, seed)
+// pair re-runs as a short oracle-differential drive on every build, so
+// a stream that once exposed a bug keeps guarding against it. See the
+// corpus file for the entry format.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/runner.h"
+#include "sim/scenario.h"
+
+namespace ita::sim {
+namespace {
+
+constexpr std::size_t kDefaultReplayEvents = 2'000;
+
+struct SeedEntry {
+  std::string scenario;
+  std::uint64_t seed = 0;
+  std::size_t events = kDefaultReplayEvents;
+};
+
+std::vector<SeedEntry> LoadCorpus(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open seed corpus: " << path;
+  std::vector<SeedEntry> entries;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    SeedEntry entry;
+    fields >> entry.scenario >> entry.seed;
+    EXPECT_FALSE(fields.fail()) << "malformed corpus line: " << line;
+    // Optional third field; on conversion failure C++ writes 0 into the
+    // target, so parse into a scratch and only commit a successful read.
+    std::size_t events = 0;
+    if (fields >> events) {
+      entry.events = events;
+    } else {
+      EXPECT_TRUE(fields.eof())
+          << "malformed trailing token in corpus line: " << line;
+    }
+    entries.push_back(entry);
+  }
+  return entries;
+}
+
+TEST(RegressionSeedsTest, CorpusReplaysClean) {
+  const std::vector<SeedEntry> corpus =
+      LoadCorpus(std::string(ITA_TESTS_DIR) + "/testing/regression_seeds.txt");
+  ASSERT_FALSE(corpus.empty());
+
+  for (const SeedEntry& entry : corpus) {
+    const ScenarioFactory* factory = FindScenario(entry.scenario);
+    ASSERT_NE(factory, nullptr)
+        << "corpus names unknown scenario '" << entry.scenario << "'";
+    ScenarioSpec spec = factory->make(entry.seed);
+    spec.events = entry.events;
+
+    RunOptions options;
+    options.shard_counts = {2};
+    options.checker.differential_interval_epochs = 2;
+    ScenarioRunner runner(spec, options);
+    const auto report = runner.Run();
+    EXPECT_TRUE(report.ok())
+        << "regression seed regressed: " << report.status().ToString();
+  }
+}
+
+}  // namespace
+}  // namespace ita::sim

@@ -1,0 +1,73 @@
+// Custom test main for the sim suites: InitGoogleTest first (it strips
+// gtest's own flags), then parse the simulator's replay flags from what
+// remains and from the environment. See sim_test_support.h for the
+// contract.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "sim/sim_test_support.h"
+
+namespace ita {
+namespace sim_test {
+namespace {
+
+std::uint64_t g_seed_override = 0;
+std::uint64_t g_events_override = 0;
+
+/// Strict decimal parse: the whole token must convert, or the process
+/// aborts loudly — a silently mis-parsed replay value (e.g. "1e6" read
+/// as 1) would defeat the failing-seed replay loop these flags exist
+/// for. (0 remains the "no override" sentinel; scenario defaults use
+/// nonzero seeds, so a genuine 0 override is never needed.)
+std::uint64_t ParseU64(const char* what, const std::string& text) {
+  char* end = nullptr;
+  const std::uint64_t value = std::strtoull(text.c_str(), &end, 10);
+  if (text.empty() || end != text.c_str() + text.size()) {
+    std::fprintf(stderr,
+                 "invalid %s value '%s': expected a decimal integer "
+                 "(e.g. --seed=42, ITA_SOAK_EVENTS=1000000)\n",
+                 what, text.c_str());
+    std::exit(2);
+  }
+  return value;
+}
+
+}  // namespace
+
+std::uint64_t SeedOverride() { return g_seed_override; }
+std::uint64_t EventsOverride() { return g_events_override; }
+void SetSeedOverride(std::uint64_t seed) { g_seed_override = seed; }
+void SetEventsOverride(std::uint64_t events) { g_events_override = events; }
+
+}  // namespace sim_test
+}  // namespace ita
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+
+  // Environment first, flags second: an explicit --seed= on the command
+  // line wins over ITA_SIM_SEED.
+  if (const char* env = std::getenv("ITA_SIM_SEED")) {
+    ita::sim_test::SetSeedOverride(
+        ita::sim_test::ParseU64("ITA_SIM_SEED", env));
+  }
+  if (const char* env = std::getenv("ITA_SOAK_EVENTS")) {
+    ita::sim_test::SetEventsOverride(
+        ita::sim_test::ParseU64("ITA_SOAK_EVENTS", env));
+  }
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--seed=", 0) == 0) {
+      ita::sim_test::SetSeedOverride(
+          ita::sim_test::ParseU64("--seed", arg.substr(7)));
+    } else if (arg.rfind("--events=", 0) == 0) {
+      ita::sim_test::SetEventsOverride(
+          ita::sim_test::ParseU64("--events", arg.substr(9)));
+    }
+  }
+  return RUN_ALL_TESTS();
+}

@@ -1,0 +1,40 @@
+// Shared configuration for the sim test suites (determinism, runner,
+// soak, regression replay), populated by the custom test main
+// (sim_test_main.cc) from the command line and the environment:
+//
+//   --seed=N    / ITA_SIM_SEED=N     — override every scenario seed
+//   --events=N  / ITA_SOAK_EVENTS=N  — override the soak event count
+//
+// This is the failing-seed replay loop: a soak/property failure prints
+// its `--seed=` line, the developer reruns the test binary with that
+// flag, and the identical stream replays byte for byte. The flag wins
+// over the environment variable.
+
+#pragma once
+
+#include <cstdint>
+
+namespace ita {
+namespace sim_test {
+
+/// Scenario-seed override (0 = use each test's default seed).
+std::uint64_t SeedOverride();
+/// Soak event-count override (0 = use the soak tier's default).
+std::uint64_t EventsOverride();
+
+/// Setters used by sim_test_main.cc only.
+void SetSeedOverride(std::uint64_t seed);
+void SetEventsOverride(std::uint64_t events);
+
+/// The seed a test should run: the override when present, else `fallback`.
+inline std::uint64_t EffectiveSeed(std::uint64_t fallback) {
+  return SeedOverride() != 0 ? SeedOverride() : fallback;
+}
+
+/// The soak event count: the override when present, else `fallback`.
+inline std::uint64_t EffectiveEvents(std::uint64_t fallback) {
+  return EventsOverride() != 0 ? EventsOverride() : fallback;
+}
+
+}  // namespace sim_test
+}  // namespace ita

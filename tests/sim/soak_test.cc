@@ -1,0 +1,79 @@
+// The soak tier (ctest label "soak"): long oracle-differential drives
+// of the scenario catalog through the full engine fleet — sequential
+// ITA plus the sharded engine at S ∈ {1, 2, 4} — with the online
+// checker validating results, invariants and notification streams
+// mid-run.
+//
+// Event budget: `--events=N` / ITA_SOAK_EVENTS=N scales each scenario
+// (the acceptance drive is >= 10^6 events across the tier under
+// ASan/UBSan); the default keeps the tier affordable inside tier-1
+// ctest. Failures print the `--seed=` line; replay with
+//
+//   ./tests/sim_soak_test --gtest_filter='*<scenario>*' --seed=N --events=M
+//
+// and append the line to tests/testing/regression_seeds.txt so the fast
+// replay tier pins the fix.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "sim/runner.h"
+#include "sim/scenario.h"
+#include "sim/sim_test_support.h"
+
+namespace ita::sim {
+namespace {
+
+/// Default document events per scenario when no --events= override is
+/// given. The full catalog then streams ~120k events through 4 engines
+/// + oracle — a few seconds in Release, well inside sanitizer budgets.
+constexpr std::uint64_t kDefaultSoakEvents = 20'000;
+
+class SoakTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SoakTest, OracleDifferentialFleetDrive) {
+  const ScenarioFactory* factory = FindScenario(GetParam());
+  ASSERT_NE(factory, nullptr);
+  ScenarioSpec spec = factory->make(sim_test::EffectiveSeed(101));
+  spec.events =
+      static_cast<std::size_t>(sim_test::EffectiveEvents(kDefaultSoakEvents));
+
+  RunOptions options;
+  options.include_sequential_ita = true;
+  options.shard_counts = {1, 2, 4};
+  options.threads_per_sharded = 3;  // != shards: phases must queue
+  options.check_oracle = true;
+  // Invariants every epoch; the (more expensive) oracle differential on
+  // a coarser cadence, with the final epoch always checked.
+  options.checker.invariant_interval_epochs = 1;
+  options.checker.differential_interval_epochs = 4;
+  options.verify_notifications = true;
+  // One progress line roughly every ~64k events on long drives.
+  options.progress_every_epochs =
+      spec.events > 200'000 ? 64'000 / spec.batch_size : 0;
+
+  ScenarioRunner runner(spec, options);
+  const auto report = runner.Run();
+  // The Status message ends with the --seed= reproduction line.
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  EXPECT_EQ(report->events, spec.events);
+  EXPECT_GT(report->differential_checks, 0u);
+  EXPECT_GT(report->invariant_checks, 0u);
+  EXPECT_GT(report->notifications, 0u);
+  RecordProperty("events", static_cast<int>(report->events));
+  RecordProperty("fingerprint", std::to_string(report->fingerprint));
+}
+
+INSTANTIATE_TEST_SUITE_P(ScenarioCatalog, SoakTest,
+                         ::testing::Values("zipf_drift", "flash_crowd",
+                                           "churn_storm", "diurnal",
+                                           "hot_term_flood", "mixed_stress"),
+                         [](const ::testing::TestParamInfo<const char*>& info) {
+                           return std::string(info.param);
+                         });
+
+}  // namespace
+}  // namespace ita::sim
