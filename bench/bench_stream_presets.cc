@@ -1,0 +1,147 @@
+// Experiment S1 — scenario-preset epoch critical path through the
+// sequential ITA engine (DESIGN.md §9, §10).
+//
+// Drives the sim catalog's named presets end-to-end exactly the way the
+// soak tier does — EventStreamGenerator::NextEpoch() feeding
+// sim::ApplyEpoch — so the measured region is one full epoch of the
+// production path: query churn, IngestBatch (arrive + expire collection,
+// scoring, roll-up/refill, bulk retheta) and window maintenance. For the
+// sequential engine an epoch's wall time IS its critical path.
+//
+// Two presets bracket the pruning regimes the block-max/min-theta
+// metadata targets: `hot_term_flood` concentrates traffic on a handful
+// of term states (deep impact runs against dense trees — the WAND-style
+// skip's best case) and `zipf_drift` keeps rotating the hot vocabulary
+// (cold trees with high min_theta behind stale postings). The `queries`
+// axis scales the registered population from the stock preset (16) into
+// the >= 1k regime where threshold-tree traffic dominates.
+//
+// Attached counters turn the prune into something observable:
+// probe_steps/doc and list_reads/doc are the paper's work metrics
+// (ServerStats), and their values must be IDENTICAL across kernel
+// variants and gating (a skipped probe is one that would have visited
+// zero entries) — only time/epoch may move.
+//
+// To record a machine-readable baseline (bench/results/):
+//   ./build/bench/bench_stream_presets --benchmark_format=json
+//     --benchmark_repetitions=5 --benchmark_report_aggregates_only=true
+//     > bench/results/stream_presets_baseline.json
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/logging.h"
+#include "common/stats.h"
+#include "sim/event_stream.h"
+#include "sim/scenario.h"
+#include "sim/sim_engine.h"
+
+namespace ita {
+namespace bench {
+namespace {
+
+/// Cached preset fixture (Google Benchmark re-enters the function for
+/// estimation + measurement; prefill must not repeat): the preset spec
+/// with a benchmark-sized query population, pooled document synthesis,
+/// and an unbounded stream, applied through the soak tier's seam.
+class PresetFixture {
+ public:
+  static PresetFixture& Cached(const std::string& preset,
+                               std::size_t queries) {
+    static auto* cache = new std::map<std::string, std::unique_ptr<PresetFixture>>();
+    const std::string key = preset + "/" + std::to_string(queries);
+    auto it = cache->find(key);
+    if (it == cache->end()) {
+      it = cache->emplace(key, std::unique_ptr<PresetFixture>(
+                                   new PresetFixture(preset, queries)))
+               .first;
+    }
+    return *it->second;
+  }
+
+  /// One epoch through the production path — the timed region.
+  void StepEpoch() {
+    auto epoch = stream_->NextEpoch();
+    ITA_CHECK(epoch.has_value()) << "preset stream exhausted";
+    const auto ids = sim::ApplyEpoch(*engine_, *std::move(epoch));
+    ITA_CHECK(ids.ok()) << ids.status().ToString();
+    benchmark::DoNotOptimize(ids);
+  }
+
+  ServerStats stats() const { return engine_->stats(); }
+
+ private:
+  PresetFixture(const std::string& preset, std::size_t queries) {
+    const sim::ScenarioFactory* factory = sim::FindScenario(preset);
+    ITA_CHECK(factory != nullptr) << "unknown preset " << preset;
+    sim::ScenarioSpec spec = factory->make(/*seed=*/42);
+    // Stream for as long as the benchmark keeps iterating, with pooled
+    // bodies so synthesis stays off the measured path (drift and flood
+    // composition are baked into the pool deterministically).
+    spec.events = std::numeric_limits<std::size_t>::max() / 2;
+    spec.pool_documents = 4'096;
+    if (queries > 0) spec.queries.initial_queries = queries;
+
+    engine_ = sim::MakeSequentialEngine(sim::SequentialStrategy::kIta,
+                                        spec.window);
+    stream_ = std::make_unique<sim::EventStreamGenerator>(spec);
+
+    // Prefill to steady state: full window, whole population installed.
+    while (engine_->query_count() < spec.queries.initial_queries ||
+           stream_->events_generated() < spec.window.count) {
+      auto epoch = stream_->NextEpoch();
+      ITA_CHECK(epoch.has_value()) << "stream exhausted during prefill";
+      const auto ids = sim::ApplyEpoch(*engine_, *std::move(epoch));
+      ITA_CHECK(ids.ok()) << ids.status().ToString();
+    }
+    engine_->ResetStats();
+  }
+
+  std::unique_ptr<sim::SimEngine> engine_;
+  std::unique_ptr<sim::EventStreamGenerator> stream_;
+};
+
+void PresetEpochBench(benchmark::State& state, const std::string& preset) {
+  const auto queries = static_cast<std::size_t>(state.range(0));
+  PresetFixture& fixture = PresetFixture::Cached(preset, queries);
+  const ServerStats before = fixture.stats();
+  for (auto _ : state) fixture.StepEpoch();
+  const ServerStats after = fixture.stats();
+  const auto docs = static_cast<double>(after.documents_ingested -
+                                        before.documents_ingested);
+  state.SetItemsProcessed(static_cast<int64_t>(docs));
+  if (docs > 0) {
+    // Work metrics, invariant across kernel variants and probe gating.
+    state.counters["probe_steps/doc"] = benchmark::Counter(
+        static_cast<double>(after.threshold_probe_steps -
+                            before.threshold_probe_steps) /
+        docs);
+    state.counters["list_reads/doc"] = benchmark::Counter(
+        static_cast<double>(after.list_entries_read -
+                            before.list_entries_read) /
+        docs);
+  }
+}
+
+void BM_ZipfDriftEpoch(benchmark::State& state) {
+  PresetEpochBench(state, "zipf_drift");
+}
+void BM_HotTermFloodEpoch(benchmark::State& state) {
+  PresetEpochBench(state, "hot_term_flood");
+}
+// Arg = registered query population (0 = the stock preset's 16).
+BENCHMARK(BM_ZipfDriftEpoch)
+    ->Arg(0)->Arg(1'024)->Arg(10'240)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_HotTermFloodEpoch)
+    ->Arg(0)->Arg(1'024)->Arg(10'240)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace ita

@@ -70,7 +70,11 @@ void ItaServer::ProcessEventFused(const DocumentView& doc, TermOp&& term_op,
     // (term_op) and the threshold probe — the colocation the TermCatalog
     // layout buys.
     TermState& ts = term_op(tw);
-    if (!states_.empty() && !ts.tree.empty()) {
+    // MinTheta() gate (DESIGN.md §10): an impact below every registered
+    // threshold probes an empty prefix, so skipping the call is exact —
+    // threshold_probe_steps would have grown by zero. MinTheta() is
+    // +infinity for an empty tree, which also subsumes the empty() check.
+    if (!states_.empty() && tw.weight >= ts.tree.MinTheta()) {
       stats.threshold_probe_steps += ts.tree.ProbeLessEqual(
           tw.weight, [this](SlotIndex s) { probe_scratch_.push_back(s); });
     }
@@ -194,10 +198,15 @@ void ItaServer::CollectBatchAffected(std::span<const DocumentView> docs,
       TermState& ts = catalog_.Ensure(term);
       run_op(ts, lo, hi);
 
-      if (!ts.tree.empty()) {
+      // The run orders by descending weight, so flat[lo] carries the
+      // run's maximum impact. MinTheta() gate (DESIGN.md §10): when even
+      // that maximum sits below every registered threshold, the probe
+      // would visit zero entries — skip it without touching the tree
+      // lanes. +infinity on an empty tree subsumes the empty() check.
+      const double max_weight = flat[lo].weight;
+      if (max_weight >= ts.tree.MinTheta()) {
         // One tree probe per (term, batch), with the run's max weight; the
         // per-query filter below restores exactness.
-        const double max_weight = flat[lo].weight;
         probe_scratch_.clear();
         stats.threshold_probe_steps += ts.tree.ProbeLessEqual(
             max_weight, [this](SlotIndex s) { probe_scratch_.push_back(s); });
@@ -647,6 +656,27 @@ StatusOr<std::vector<ResultEntry>> ItaServer::Candidates(QueryId id) const {
     out.push_back(ResultEntry{entry.doc, entry.score});
   }
   return out;
+}
+
+Status ItaServer::ValidatePruningMetadata() const {
+  for (std::size_t t = 0; t < catalog_.term_count(); ++t) {
+    const TermState* ts = catalog_.Find(static_cast<TermId>(t));
+    ITA_DCHECK(ts != nullptr);
+    if (ts == nullptr) continue;
+    const double want =
+        ts->tree.empty() ? kInfinity : ts->tree.At(0).theta;
+    if (ts->tree.MinTheta() != want) {
+      return Status::Internal(
+          "term " + std::to_string(t) + ": cached MinTheta " +
+          std::to_string(ts->tree.MinTheta()) + " != front theta " +
+          std::to_string(want));
+    }
+    if (!ts->list.ValidateBlockMax()) {
+      return Status::Internal("term " + std::to_string(t) +
+                              ": block-max array out of sync with postings");
+    }
+  }
+  return Status::OK();
 }
 
 }  // namespace ita

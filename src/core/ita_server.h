@@ -87,6 +87,15 @@ class ItaServer : public ContinuousSearchServer {
   /// debugging hook; the public answer is Result(id).
   StatusOr<std::vector<ResultEntry>> Candidates(QueryId id) const;
 
+  /// Validates the pruning metadata of every term state (DESIGN.md §10):
+  /// each threshold tree's cached MinTheta() must equal its front theta
+  /// (+infinity when empty), and each inverted list's block-max array
+  /// must mirror its block heads. White-box hook for the sim invariant
+  /// checker (soak tier) and the property tests; the event path relies on
+  /// both caches to skip work, so a violation here means a probe or
+  /// boundary search may silently miss entries.
+  Status ValidatePruningMetadata() const;
+
   /// Slots the query-state slab holds (occupied + reusable) — exposed so
   /// churn tests can assert free-list reuse bounds the slab.
   std::size_t query_state_slots() const { return states_.slot_count(); }

@@ -20,27 +20,43 @@ std::size_t FlatThresholdTree::ApplyMoves(std::vector<ThetaMove>& moves) {
   // Pass 1 — erase the old entries: sort the moves into the tree's order
   // by their old position, then compact the survivors forward over the
   // gaps in one pass of binary-search jumps (the EraseOrdered idiom of
-  // InvertedList).
+  // InvertedList), mirrored across both parallel arrays.
   std::sort(moves.begin(), moves.end(),
             [](const ThetaMove& a, const ThetaMove& b) {
               return Order{}(Entry{a.old_theta, a.query},
                              Entry{b.old_theta, b.query});
             });
-  auto write = entries_.begin();
-  auto read = entries_.begin();
+  const std::size_t n = size();
+  std::size_t write = 0;
+  std::size_t read = 0;
   for (const ThetaMove& m : moves) {
-    const Entry target{m.old_theta, m.query};
-    const auto pos = std::lower_bound(read, entries_.end(), target, Order{});
-    ITA_DCHECK(pos != entries_.end() && pos->theta == m.old_theta &&
-               pos->query == m.query)
+    const std::size_t pos = FindExact(m.old_theta, m.query, read);
+    ITA_DCHECK(pos != npos)
         << "bulk retheta: old entry missing for query " << m.query;
-    write = (write == read) ? pos : std::move(read, pos, write);
+    if (pos == npos) continue;
+    if (write != read) {
+      std::move(thetas_.begin() + static_cast<std::ptrdiff_t>(read),
+                thetas_.begin() + static_cast<std::ptrdiff_t>(pos),
+                thetas_.begin() + static_cast<std::ptrdiff_t>(write));
+      std::move(queries_.begin() + static_cast<std::ptrdiff_t>(read),
+                queries_.begin() + static_cast<std::ptrdiff_t>(pos),
+                queries_.begin() + static_cast<std::ptrdiff_t>(write));
+    }
+    write += pos - read;
     read = pos;
-    if (read != entries_.end()) ++read;  // drop the matched entry
+    if (read != n) ++read;  // drop the matched entry
   }
-  write = (write == read) ? entries_.end()
-                          : std::move(read, entries_.end(), write);
-  entries_.erase(write, entries_.end());
+  if (write != read) {
+    std::move(thetas_.begin() + static_cast<std::ptrdiff_t>(read),
+              thetas_.end(),
+              thetas_.begin() + static_cast<std::ptrdiff_t>(write));
+    std::move(queries_.begin() + static_cast<std::ptrdiff_t>(read),
+              queries_.end(),
+              queries_.begin() + static_cast<std::ptrdiff_t>(write));
+  }
+  write += n - read;
+  thetas_.resize(write);
+  queries_.resize(write);
 
   // Pass 2 — insert the new entries: sort by their new position and merge
   // backward into the reopened tail (the InsertOrdered idiom).
@@ -49,18 +65,28 @@ std::size_t FlatThresholdTree::ApplyMoves(std::vector<ThetaMove>& moves) {
               return Order{}(Entry{a.new_theta, a.query},
                              Entry{b.new_theta, b.query});
             });
-  const std::size_t old_size = entries_.size();
-  entries_.resize(old_size + moves.size());
-  auto read_end = entries_.begin() + static_cast<std::ptrdiff_t>(old_size);
-  auto write_end = entries_.end();
+  const std::size_t old_size = size();
+  thetas_.resize(old_size + moves.size());
+  queries_.resize(old_size + moves.size());
+  std::size_t read_end = old_size;
+  std::size_t write_end = size();
   for (std::size_t j = moves.size(); j-- > 0;) {
-    const Entry value{moves[j].new_theta, moves[j].query};
-    const auto pos =
-        std::lower_bound(entries_.begin(), read_end, value, Order{});
-    write_end = std::move_backward(pos, read_end, write_end);
+    const std::size_t pos =
+        LowerBound(0, read_end, moves[j].new_theta, moves[j].query);
+    std::move_backward(thetas_.begin() + static_cast<std::ptrdiff_t>(pos),
+                       thetas_.begin() + static_cast<std::ptrdiff_t>(read_end),
+                       thetas_.begin() + static_cast<std::ptrdiff_t>(write_end));
+    std::move_backward(
+        queries_.begin() + static_cast<std::ptrdiff_t>(pos),
+        queries_.begin() + static_cast<std::ptrdiff_t>(read_end),
+        queries_.begin() + static_cast<std::ptrdiff_t>(write_end));
+    write_end -= read_end - pos;
     read_end = pos;
-    *--write_end = value;
+    --write_end;
+    thetas_[write_end] = moves[j].new_theta;
+    queries_[write_end] = moves[j].query;
   }
+  RefreshMinTheta();
   return moves.size();
 }
 

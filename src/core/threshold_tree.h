@@ -5,15 +5,25 @@
 /// local threshold is <= w" executed on every document arrival/expiration
 /// that touches the term.
 ///
-/// Storage is a contiguous array of packed {theta, query} pairs sorted by
-/// ascending theta, mirroring the impact-array layout of InvertedList
-/// (DESIGN.md §7): the probe is a linear front scan that stops at the
-/// first entry above w — cost proportional to the number of *affected*
-/// queries (the economy ITA is built on) over cache-resident 16-byte
-/// entries, instead of the seed's pointer-chasing skip-list walk. A
-/// single Update is one binary search plus one std::rotate (a memmove);
-/// the epoch path batches a whole tree's threshold moves into ApplyMoves,
-/// one erase-compaction plus one merge pass regardless of the move count.
+/// Storage is structure-of-arrays (DESIGN.md §10): a dense ascending
+/// `theta` array and a parallel `query` array, both sorted by
+/// (theta, query). The probe is a front scan that stops at the first
+/// theta above w — cost proportional to the number of *affected* queries
+/// (the economy ITA is built on) — and with the thetas contiguous it is
+/// a pure lane scan: simd::ProbePrefixLessEqual counts the affected
+/// prefix 2–4 doubles per instruction, then the payload loop touches
+/// only the hit prefix of the (4-byte) query array. A single Update is
+/// one binary search plus one rotate per array (two memmoves over 12
+/// bytes/entry where the old AoS layout moved 16); the epoch path
+/// batches a whole tree's moves into ApplyMoves, one erase-compaction
+/// plus one merge pass regardless of the move count.
+///
+/// The tree also caches its minimum theta (+infinity when empty): the
+/// epoch collector consults MinTheta() to skip probing terms whose
+/// maximum arriving impact cannot reach any registered threshold — the
+/// WAND-style gate of DESIGN.md §10. A skipped probe is exactly one
+/// that would have visited zero entries, so results and work counters
+/// are bit-identical with and without the gate.
 ///
 /// The payload is an opaque 32-bit handle: the tests register QueryIds
 /// directly, while ItaServer stores SlotMap slots so a probe hit resolves
@@ -22,31 +32,35 @@
 /// Invariants that keep the flat layout exact: entries are unique per
 /// query (a query holds ONE local threshold per term), ordered by
 /// (theta, query), and every mutation receives the exact current theta —
-/// so lookups are binary searches, never scans.
+/// so lookups are binary searches (the shared FindExact), never scans.
 
 #pragma once
 
 #include <algorithm>
 #include <cstddef>
+#include <limits>
 #include <vector>
 
 #include "common/logging.h"
 #include "common/types.h"
+#include "simd/simd.h"
 
 namespace ita {
 
-/// One term's threshold tree as a packed sorted array; see the file
-/// comment for the layout and exactness argument. Not thread-safe: owned
-/// and mutated by a single server (one per shard under sharding).
+/// One term's threshold tree as parallel packed sorted arrays; see the
+/// file comment for the layout and exactness argument. Not thread-safe:
+/// owned and mutated by a single server (one per shard under sharding).
 class FlatThresholdTree {
  public:
   /// One registered local threshold: query `query` monitors this term
-  /// from weight `theta` up.
+  /// from weight `theta` up. The tree stores the two fields in separate
+  /// arrays; Entry is the materialized view (At()) and the key type the
+  /// order/move helpers speak.
   struct Entry {
     double theta = 0.0;                ///< the local threshold theta_{Q,t}
     QueryId query = kInvalidQueryId;   ///< opaque 32-bit payload (id or slot)
   };
-  /// Total order of the packed array: ascending (theta, query).
+  /// Total order of the packed arrays: ascending (theta, query).
   struct Order {
     /// True when `a` sorts before `b`.
     bool operator()(const Entry& a, const Entry& b) const {
@@ -66,50 +80,50 @@ class FlatThresholdTree {
   /// (and inserts nothing) if the exact entry is already present; callers
   /// treat a duplicate as a logic error.
   bool Insert(double theta, QueryId query) {
-    const Entry entry{theta, query};
-    const auto it =
-        std::lower_bound(entries_.begin(), entries_.end(), entry, Order{});
-    if (it != entries_.end() && it->theta == theta && it->query == query) {
+    const std::size_t pos = LowerBound(0, size(), theta, query);
+    if (pos != size() && thetas_[pos] == theta && queries_[pos] == query) {
       return false;
     }
-    entries_.insert(it, entry);
+    thetas_.insert(thetas_.begin() + static_cast<std::ptrdiff_t>(pos), theta);
+    queries_.insert(queries_.begin() + static_cast<std::ptrdiff_t>(pos),
+                    query);
+    RefreshMinTheta();
     return true;
   }
 
   /// Removes the entry (theta, query); the exact current theta must be
   /// supplied. Returns false if absent.
   bool Erase(double theta, QueryId query) {
-    const Entry entry{theta, query};
-    const auto it =
-        std::lower_bound(entries_.begin(), entries_.end(), entry, Order{});
-    if (it == entries_.end() || it->theta != theta || it->query != query) {
-      return false;
-    }
-    entries_.erase(it);
+    const std::size_t pos = FindExact(theta, query);
+    if (pos == npos) return false;
+    thetas_.erase(thetas_.begin() + static_cast<std::ptrdiff_t>(pos));
+    queries_.erase(queries_.begin() + static_cast<std::ptrdiff_t>(pos));
+    RefreshMinTheta();
     return true;
   }
 
   /// Moves a query's threshold from `old_theta` to `new_theta`: one
   /// binary search for each endpoint and one rotate of the span between
-  /// them (a single memmove), instead of the erase + insert pair.
+  /// them (a memmove per array), instead of the erase + insert pair.
   void Update(double old_theta, double new_theta, QueryId query) {
     if (old_theta == new_theta) return;
-    const auto old_it = std::lower_bound(entries_.begin(), entries_.end(),
-                                         Entry{old_theta, query}, Order{});
-    ITA_DCHECK(old_it != entries_.end() && old_it->theta == old_theta &&
-               old_it->query == query)
+    const std::size_t old_pos = FindExact(old_theta, query);
+    ITA_DCHECK(old_pos != npos)
         << "threshold tree entry missing for update";
+    if (old_pos == npos) return;
     if (new_theta > old_theta) {
-      const auto new_it = std::lower_bound(old_it + 1, entries_.end(),
-                                           Entry{new_theta, query}, Order{});
-      std::rotate(old_it, old_it + 1, new_it);
-      *(new_it - 1) = Entry{new_theta, query};
+      const std::size_t new_pos =
+          LowerBound(old_pos + 1, size(), new_theta, query);
+      Rotate(old_pos, old_pos + 1, new_pos);
+      thetas_[new_pos - 1] = new_theta;
+      queries_[new_pos - 1] = query;
     } else {
-      const auto new_it = std::lower_bound(entries_.begin(), old_it,
-                                           Entry{new_theta, query}, Order{});
-      std::rotate(new_it, old_it, old_it + 1);
-      *new_it = Entry{new_theta, query};
+      const std::size_t new_pos = LowerBound(0, old_pos, new_theta, query);
+      Rotate(new_pos, old_pos, old_pos + 1);
+      thetas_[new_pos] = new_theta;
+      queries_[new_pos] = query;
     }
+    RefreshMinTheta();
   }
 
   /// Applies a whole epoch's threshold moves for this tree as one
@@ -120,29 +134,89 @@ class FlatThresholdTree {
   std::size_t ApplyMoves(std::vector<ThetaMove>& moves);
 
   /// Invokes `fn(QueryId)` for every query with theta <= w, and returns
-  /// the number of entries visited (== number of invocations). Entries
-  /// ascend by theta, so this is a front scan stopping at the first entry
-  /// above w.
+  /// the number of entries visited (== number of invocations). Thetas
+  /// ascend, so the affected count is one kernel front scan over the
+  /// theta lanes; only the hit prefix of the query array is then read.
   template <typename Fn>
   std::size_t ProbeLessEqual(double w, Fn&& fn) const {
-    const Entry* it = entries_.data();
-    const Entry* const last = it + entries_.size();
-    for (; it != last && it->theta <= w; ++it) fn(it->query);
-    return static_cast<std::size_t>(it - entries_.data());
+    const std::size_t n =
+        simd::ProbePrefixLessEqual(thetas_.data(), thetas_.size(), w);
+    for (std::size_t i = 0; i < n; ++i) fn(queries_[i]);
+    return n;
   }
 
-  /// Number of registered (theta, query) entries.
-  std::size_t size() const { return entries_.size(); }
-  /// True when no query monitors this term.
-  bool empty() const { return entries_.empty(); }
+  /// The smallest registered theta, +infinity when the tree is empty —
+  /// the epoch collector's probe gate: an impact below MinTheta() cannot
+  /// affect any query of this term. Cached, O(1).
+  double MinTheta() const { return min_theta_; }
 
-  /// Read-only view of the packed entries, ascending — test/debug hook.
-  const Entry* begin() const { return entries_.data(); }
-  /// Past-the-end pointer of begin().
-  const Entry* end() const { return entries_.data() + entries_.size(); }
+  /// Number of registered (theta, query) entries.
+  std::size_t size() const { return thetas_.size(); }
+  /// True when no query monitors this term.
+  bool empty() const { return thetas_.empty(); }
+
+  /// The entry at ascending rank `i` — test/debug hook.
+  Entry At(std::size_t i) const {
+    ITA_DCHECK(i < size());
+    return Entry{thetas_[i], queries_[i]};
+  }
 
  private:
-  std::vector<Entry> entries_;  ///< ascending (theta, query)
+  /// Not-found sentinel of FindExact.
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  /// First index in [from, to) whose (theta, query) sorts >= the key
+  /// under Order — the parallel-array std::lower_bound.
+  std::size_t LowerBound(std::size_t from, std::size_t to, double theta,
+                         QueryId query) const {
+    std::size_t lo = from;
+    std::size_t hi = to;
+    while (lo < hi) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      const bool less = thetas_[mid] != theta ? thetas_[mid] < theta
+                                              : queries_[mid] < query;
+      if (less) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  /// Index of the exact entry (theta, query) in [from, size()), or npos
+  /// when absent — the one shared exact-lookup behind Erase, Update and
+  /// ApplyMoves (every mutation receives the exact current theta, so
+  /// this is a binary search, never a scan).
+  std::size_t FindExact(double theta, QueryId query,
+                        std::size_t from = 0) const {
+    const std::size_t pos = LowerBound(from, size(), theta, query);
+    if (pos == size() || thetas_[pos] != theta || queries_[pos] != query) {
+      return npos;
+    }
+    return pos;
+  }
+
+  /// std::rotate([first, middle, last)) applied to both parallel arrays.
+  void Rotate(std::size_t first, std::size_t middle, std::size_t last) {
+    std::rotate(thetas_.begin() + static_cast<std::ptrdiff_t>(first),
+                thetas_.begin() + static_cast<std::ptrdiff_t>(middle),
+                thetas_.begin() + static_cast<std::ptrdiff_t>(last));
+    std::rotate(queries_.begin() + static_cast<std::ptrdiff_t>(first),
+                queries_.begin() + static_cast<std::ptrdiff_t>(middle),
+                queries_.begin() + static_cast<std::ptrdiff_t>(last));
+  }
+
+  /// Re-derives the cached probe gate after a mutation (O(1)).
+  void RefreshMinTheta() {
+    min_theta_ = thetas_.empty() ? std::numeric_limits<double>::infinity()
+                                 : thetas_.front();
+  }
+
+  std::vector<double> thetas_;    ///< ascending theta lanes (the probe scan)
+  std::vector<QueryId> queries_;  ///< payloads, parallel to thetas_
+  /// Cached thetas_.front() (+inf when empty); see MinTheta().
+  double min_theta_ = std::numeric_limits<double>::infinity();
 };
 
 /// The flat layout is the one threshold tree of the system; the historic

@@ -12,6 +12,25 @@
 // erase shift the tail with memmove, which at these sizes beats pointer-
 // chasing node structures.
 //
+// Block-max metadata (DESIGN.md §10): the array is covered by fixed
+// 64-entry blocks; because entries descend by weight, a block's maximum
+// is simply its first entry, so the metadata is the weight of every 64th
+// entry, itself a descending array. The weight-boundary searches
+// (FirstBelow / FirstAtOrBelow, the cursors of initial search, refill
+// and roll-up) binary-search that 8-byte-dense sampled array — better
+// cache behaviour than striding 16-byte entries — then finish with one
+// SIMD scan (src/simd/) inside the one candidate block. The ordered
+// merge passes narrow on the weight lanes the same way and resolve the
+// doc tie-break scalar. Every search returns exactly the index
+// std::lower_bound would: the kernels are counting primitives with
+// scalar-identical semantics, so results are bit-identical (the
+// equivalence suite in tests/simd/ pins this).
+//
+// The metadata is refreshed at the end of every mutating operation and
+// is only consulted by the read-only API — never mid-merge, when the
+// array is transiently incoherent. ValidateBlockMax() is the white-box
+// hook the sim checker and the property tests assert between epochs.
+//
 // Iterators are raw pointers into the array; any mutation invalidates
 // them. The threshold machinery only holds iterators across read-only
 // phases (searches and roll-up scans run strictly between index updates).
@@ -19,6 +38,7 @@
 #pragma once
 
 #include <algorithm>
+#include <cstddef>
 #include <iterator>
 #include <memory>
 #include <optional>
@@ -27,6 +47,7 @@
 
 #include "common/logging.h"
 #include "common/types.h"
+#include "simd/simd.h"
 
 namespace ita {
 
@@ -36,6 +57,12 @@ struct ImpactEntry {
   double weight = 0.0;
   DocId doc = kInvalidDocId;
 };
+
+// The strided SIMD kernels read the weight lanes of the packed entry
+// array at stride 2 doubles; the layout contract they rely on.
+static_assert(sizeof(ImpactEntry) == 2 * sizeof(double) &&
+                  offsetof(ImpactEntry, weight) == 0,
+              "ImpactEntry must be a packed {double, 8-byte} pair");
 
 /// Decreasing weight, then decreasing doc id (newest first).
 struct ImpactOrder {
@@ -60,16 +87,24 @@ class InvertedList {
  public:
   using Iterator = const ImpactEntry*;
 
+  /// Entries per block-max block (64 × 16 B = two blocks per memory
+  /// page): coarse enough that the metadata stays tiny (one double per
+  /// KiB of postings), fine enough that one SIMD scan settles a block.
+  static constexpr std::size_t kBlockBits = 6;
+  static constexpr std::size_t kBlockSize = std::size_t{1} << kBlockBits;
+
   /// Inserts the posting for (doc, weight). Returns false if an identical
   /// posting is already present (callers treat this as a logic error).
   bool Insert(DocId doc, double weight) {
     const ImpactEntry entry{weight, doc};
-    const auto it =
-        std::lower_bound(entries_.begin(), entries_.end(), entry, ImpactOrder{});
-    if (it != entries_.end() && it->doc == doc && it->weight == weight) {
+    const std::size_t pos = ImpactLowerBound(0, entries_.size(), entry);
+    if (pos != entries_.size() && entries_[pos].doc == doc &&
+        entries_[pos].weight == weight) {
       return false;
     }
-    entries_.insert(it, entry);
+    entries_.insert(entries_.begin() + static_cast<std::ptrdiff_t>(pos),
+                    entry);
+    RefreshBlockMaxFrom(pos >> kBlockBits);
     return true;
   }
 
@@ -77,12 +112,13 @@ class InvertedList {
   /// one supplied at insertion (it comes from the composition list).
   bool Erase(DocId doc, double weight) {
     const ImpactEntry entry{weight, doc};
-    const auto it =
-        std::lower_bound(entries_.begin(), entries_.end(), entry, ImpactOrder{});
-    if (it == entries_.end() || it->doc != doc || it->weight != weight) {
+    const std::size_t pos = ImpactLowerBound(0, entries_.size(), entry);
+    if (pos == entries_.size() || entries_[pos].doc != doc ||
+        entries_[pos].weight != weight) {
       return false;
     }
-    entries_.erase(it);
+    entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(pos));
+    RefreshBlockMaxFrom(pos >> kBlockBits);
     return true;
   }
 
@@ -124,26 +160,36 @@ class InvertedList {
         return Erase(target.doc, target.weight) ? 1 : 0;
       }
     }
+    const std::size_t n = entries_.size();
     std::size_t erased = 0;
-    auto write = entries_.begin();
-    auto read = entries_.begin();
+    std::size_t write = 0;
+    std::size_t read = 0;
     for (FwdIt it = first; it != last; ++it) {
       const ImpactEntry target = *it;
-      const auto pos =
-          std::lower_bound(read, entries_.end(), target, ImpactOrder{});
+      const std::size_t pos = ImpactLowerBound(read, n, target);
       // The block [read, pos) survives: slide it down over the gap left by
       // prior erasures (no-op while nothing has been erased yet).
-      write = (write == read) ? pos : std::move(read, pos, write);
+      if (write != read) {
+        std::move(entries_.begin() + static_cast<std::ptrdiff_t>(read),
+                  entries_.begin() + static_cast<std::ptrdiff_t>(pos),
+                  entries_.begin() + static_cast<std::ptrdiff_t>(write));
+      }
+      write += pos - read;
       read = pos;
-      if (read != entries_.end() && read->doc == target.doc &&
-          read->weight == target.weight) {
+      if (read != n && entries_[read].doc == target.doc &&
+          entries_[read].weight == target.weight) {
         ++read;  // drop the matched posting
         ++erased;
       }
     }
-    write = (write == read) ? entries_.end()
-                            : std::move(read, entries_.end(), write);
-    entries_.erase(write, entries_.end());
+    if (write != read) {
+      std::move(entries_.begin() + static_cast<std::ptrdiff_t>(read),
+                entries_.end(),
+                entries_.begin() + static_cast<std::ptrdiff_t>(write));
+    }
+    write += n - read;
+    entries_.resize(write);
+    RefreshBlockMaxFrom(0);
     return erased;
   }
 
@@ -155,16 +201,18 @@ class InvertedList {
 
   /// First entry with weight strictly below `theta` — where a downward
   /// (initial or refill) scan resumes when the local threshold is `theta`.
-  /// Returns end() when every entry weighs >= theta.
+  /// Returns end() when every entry weighs >= theta. (The full-order
+  /// probe with the kInvalidDocId sentinel reduces to a pure weight
+  /// predicate: no stored doc id is 0, so it lands past the theta tie
+  /// run — exactly "first weight < theta".)
   Iterator FirstBelow(double theta) const {
-    // Order is (weight desc, doc desc); kInvalidDocId (=0) sorts after all
-    // real docs of equal weight, so this lands past the theta tie run.
-    return LowerBound(ImpactEntry{theta, kInvalidDocId});
+    return begin() + WeightBoundIndex</*kOrEqual=*/false>(theta);
   }
 
-  /// First entry with weight <= theta (start of the theta tie run, if any).
+  /// First entry with weight <= theta (start of the theta tie run, if
+  /// any); the kMaxDocId-sentinel probe is "first weight <= theta".
   Iterator FirstAtOrBelow(double theta) const {
-    return LowerBound(ImpactEntry{theta, kMaxDocId});
+    return begin() + WeightBoundIndex</*kOrEqual=*/true>(theta);
   }
 
   /// The smallest distinct weight strictly above `theta` among current
@@ -182,6 +230,28 @@ class InvertedList {
     return entries_.front().weight;
   }
 
+  /// White-box coherence check of the block-max metadata (the sim
+  /// checker and property tests run it between epochs): one block per
+  /// started kBlockSize entries, each recording its block's first (==
+  /// maximum, by descending order) weight.
+  bool ValidateBlockMax() const {
+    const std::size_t blocks =
+        (entries_.size() + kBlockSize - 1) >> kBlockBits;
+    if (block_max_.size() != blocks) return false;
+    for (std::size_t b = 0; b < blocks; ++b) {
+      if (block_max_[b] != entries_[b << kBlockBits].weight) return false;
+    }
+    return true;
+  }
+
+  /// The recorded maximum of block `b` — test/debug hook.
+  double BlockMaxAt(std::size_t b) const {
+    ITA_DCHECK(b < block_max_.size());
+    return block_max_[b];
+  }
+  /// Number of block-max blocks (== ceil(size() / kBlockSize)).
+  std::size_t BlockCount() const { return block_max_.size(); }
+
  private:
   /// The ordered-insert core over a materialized run (must not alias this
   /// list's own storage): backward pass of binary-search jumps and block
@@ -198,27 +268,112 @@ class InvertedList {
 
     const std::size_t old_size = entries_.size();
     entries_.resize(old_size + n);
-    auto read_end = entries_.begin() + static_cast<std::ptrdiff_t>(old_size);
-    auto write_end = entries_.end();
+    std::size_t read_end = old_size;
+    std::size_t write_end = entries_.size();
     for (std::size_t j = n; j-- > 0;) {
       const ImpactEntry& value = run[j];
-      const auto pos =
-          std::lower_bound(entries_.begin(), read_end, value, ImpactOrder{});
-      ITA_DCHECK(pos == read_end || pos->doc != value.doc ||
-                 pos->weight != value.weight)
+      const std::size_t pos = ImpactLowerBound(0, read_end, value);
+      ITA_DCHECK(pos == read_end || entries_[pos].doc != value.doc ||
+                 entries_[pos].weight != value.weight)
           << "duplicate posting in ordered insert: doc " << value.doc;
       // Everything in [pos, read_end) follows `value`: shift it into the
       // unsettled back block, then place the value in front of it.
-      write_end = std::move_backward(pos, read_end, write_end);
+      std::move_backward(
+          entries_.begin() + static_cast<std::ptrdiff_t>(pos),
+          entries_.begin() + static_cast<std::ptrdiff_t>(read_end),
+          entries_.begin() + static_cast<std::ptrdiff_t>(write_end));
+      write_end -= read_end - pos;
       read_end = pos;
-      *--write_end = value;
+      entries_[--write_end] = value;
     }
+    RefreshBlockMaxFrom(0);
     return n;
   }
 
-  Iterator LowerBound(const ImpactEntry& probe) const {
-    return std::lower_bound(entries_.data(), entries_.data() + entries_.size(),
-                            probe, ImpactOrder{});
+  /// Index of std::lower_bound(entries + lo, entries + hi, target,
+  /// ImpactOrder{}) — the merge passes' search primitive, valid on any
+  /// coherent subrange (it never consults the block metadata, so it is
+  /// safe mid-merge). Hybrid: binary-narrow on the weight lanes to one
+  /// block, one SIMD scan for the first weight <= target.weight, then a
+  /// bounded scalar walk through the equal-weight run for the doc
+  /// tie-break (falling back to one std::lower_bound on adversarially
+  /// long tie runs, keeping the worst case O(log n)).
+  std::size_t ImpactLowerBound(std::size_t lo, std::size_t hi,
+                               const ImpactEntry& target) const {
+    std::size_t wlo = lo;
+    std::size_t whi = hi;
+    while (whi - wlo > kBlockSize) {
+      const std::size_t mid = wlo + (whi - wlo) / 2;
+      if (entries_[mid].weight <= target.weight) {
+        whi = mid;
+      } else {
+        wlo = mid + 1;
+      }
+    }
+    std::size_t i =
+        wlo + (wlo == whi
+                   ? 0
+                   : simd::FirstStride2LessEqual(&entries_[wlo].weight,
+                                                 whi - wlo, target.weight));
+    std::size_t tie_steps = 0;
+    while (i < hi && entries_[i].weight == target.weight &&
+           entries_[i].doc > target.doc) {
+      ++i;
+      if (++tie_steps == kBlockSize) {
+        return static_cast<std::size_t>(
+            std::lower_bound(entries_.data() + i, entries_.data() + hi,
+                             target, ImpactOrder{}) -
+            entries_.data());
+      }
+    }
+    return i;
+  }
+
+  /// First index whose weight satisfies "< theta" (or "<= theta"): the
+  /// block-max descent behind FirstBelow / FirstAtOrBelow. Binary search
+  /// over the sampled block heads finds the first block already past the
+  /// boundary; the boundary itself then lies inside the preceding block,
+  /// settled by one SIMD scan. Requires coherent metadata (read-only
+  /// API; never called mid-merge).
+  template <bool kOrEqual>
+  std::size_t WeightBoundIndex(double theta) const {
+    const std::size_t n = entries_.size();
+    if (n == 0) return 0;
+    std::size_t lo = 0;
+    std::size_t hi = block_max_.size();
+    while (lo < hi) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      const bool past = kOrEqual ? block_max_[mid] <= theta
+                                 : block_max_[mid] < theta;
+      if (past) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    // Block `lo` is the first whose head is past the boundary (every
+    // earlier block was skipped wholesale: its head — its maximum — is
+    // still at or above it). The boundary entry is its head or inside
+    // the block before it.
+    if (lo == 0) return 0;
+    const std::size_t start = (lo - 1) << kBlockBits;
+    const std::size_t count = std::min(n, lo << kBlockBits) - start;
+    const double* base = &entries_[start].weight;
+    const std::size_t off =
+        kOrEqual ? simd::FirstStride2LessEqual(base, count, theta)
+                 : simd::FirstStride2Less(base, count, theta);
+    return start + off;
+  }
+
+  /// Recomputes the block maxima for blocks >= `first_block` (a mutation
+  /// at index i leaves blocks below i >> kBlockBits untouched).
+  void RefreshBlockMaxFrom(std::size_t first_block) {
+    const std::size_t blocks =
+        (entries_.size() + kBlockSize - 1) >> kBlockBits;
+    block_max_.resize(blocks);
+    for (std::size_t b = first_block; b < blocks; ++b) {
+      block_max_[b] = entries_[b << kBlockBits].weight;
+    }
   }
 
   /// Shared scratch for materializing InsertOrdered runs (the server is
@@ -230,6 +385,9 @@ class InvertedList {
   }
 
   std::vector<ImpactEntry> entries_;
+  /// entries_[b << kBlockBits].weight for every started block b — the
+  /// descending sampled-weight array the boundary searches descend.
+  std::vector<double> block_max_;
 };
 
 }  // namespace ita

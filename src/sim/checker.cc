@@ -50,6 +50,17 @@ Status DifferentialChecker::CheckInvariants(SimEngine& engine,
                                             const std::vector<LiveQuery>& live,
                                             std::uint64_t epoch_index) {
   const ItaServer* ita = engine.ita();
+  if (ita != nullptr) {
+    // Pruning-metadata coherence (DESIGN.md §10): the cached per-tree
+    // MinTheta() probe gates and the per-list block-max arrays must
+    // mirror the structures they summarize — the event path trusts them
+    // to skip probes and postings, so drift would silently drop results.
+    const Status pruning = ita->ValidatePruningMetadata();
+    if (!pruning.ok()) {
+      return Violation(engine, kInvalidQueryId, epoch_index,
+                       "pruning metadata: " + pruning.ToString());
+    }
+  }
   for (const LiveQuery& lq : live) {
     const auto result = engine.Result(lq.id);
     if (!result.ok()) {

@@ -1,0 +1,245 @@
+#include "simd/simd.h"
+
+#include <bit>
+#include <cstdlib>
+#include <string_view>
+
+#include "common/logging.h"
+
+// The x86-64 vector kernels below are written with gcc vector extensions
+// (clang implements the same dialect). SSE2 is part of the x86-64
+// baseline, so its kernel compiles without any target attribute; the
+// AVX2 kernel carries __attribute__((target("avx2"))) so it builds under
+// any -march and is only *called* after __builtin_cpu_supports("avx2").
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define ITA_SIMD_X86 1
+#else
+#define ITA_SIMD_X86 0
+#endif
+
+namespace ita::simd {
+namespace {
+
+// --- scalar reference kernels -------------------------------------------
+// These define the exact semantics every vector variant must reproduce
+// bit for bit; the equivalence suite (tests/simd/) diffs against them.
+
+std::size_t ProbePrefixLessEqualScalar(const double* values, std::size_t n,
+                                       double w) {
+  std::size_t i = 0;
+  while (i < n && values[i] <= w) ++i;
+  return i;
+}
+
+std::size_t FirstStride2LessScalar(const double* base, std::size_t count,
+                                   double w) {
+  for (std::size_t i = 0; i < count; ++i) {
+    if (base[2 * i] < w) return i;
+  }
+  return count;
+}
+
+std::size_t FirstStride2LessEqualScalar(const double* base, std::size_t count,
+                                        double w) {
+  for (std::size_t i = 0; i < count; ++i) {
+    if (base[2 * i] <= w) return i;
+  }
+  return count;
+}
+
+#if ITA_SIMD_X86
+
+typedef double v2df __attribute__((vector_size(16)));
+typedef double v4df __attribute__((vector_size(32)));
+
+/// Unaligned 16/32-byte loads (memcpy compiles to movupd/vmovupd and
+/// sidesteps both alignment and strict-aliasing concerns — the impact
+/// arrays interleave weight doubles with DocId bit patterns).
+inline v2df Load2(const double* p) {
+  v2df v;
+  __builtin_memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+// --- SSE2 (2 lanes, x86-64 baseline) ------------------------------------
+
+/// Sign-bit mask of a 2-lane comparison result (1 bit per lane).
+inline int MoveMask2(v2df m) { return __builtin_ia32_movmskpd(m); }
+
+std::size_t ProbePrefixLessEqualSse2(const double* values, std::size_t n,
+                                     double w) {
+  const v2df wv = {w, w};
+  std::size_t i = 0;
+  // 8 doubles per iteration; each lane mask bit is 1 while theta <= w, so
+  // the combined mask's trailing-one count IS the front-scan stop offset.
+  while (i + 8 <= n) {
+    const int m = MoveMask2((v2df)(Load2(values + i) <= wv)) |
+                  (MoveMask2((v2df)(Load2(values + i + 2) <= wv)) << 2) |
+                  (MoveMask2((v2df)(Load2(values + i + 4) <= wv)) << 4) |
+                  (MoveMask2((v2df)(Load2(values + i + 6) <= wv)) << 6);
+    if (m != 0xFF) return i + std::countr_one(static_cast<unsigned>(m));
+    i += 8;
+  }
+  while (i + 2 <= n) {
+    const int m = MoveMask2((v2df)(Load2(values + i) <= wv));
+    if (m != 0x3) return i + std::countr_one(static_cast<unsigned>(m));
+    i += 2;
+  }
+  while (i < n && values[i] <= w) ++i;
+  return i;
+}
+
+/// Packs the weight lanes of entries i and i+1 (base[2i], base[2i+2])
+/// into one 2-lane vector; the doc lanes are never compared.
+inline v2df Weights2(const double* base, std::size_t i) {
+  return __builtin_shufflevector(Load2(base + 2 * i), Load2(base + 2 * i + 2),
+                                 0, 2);
+}
+
+template <bool kOrEqual>
+std::size_t FirstStride2Sse2(const double* base, std::size_t count, double w) {
+  const v2df wv = {w, w};
+  std::size_t i = 0;
+  while (i + 4 <= count) {
+    const v2df a = Weights2(base, i);
+    const v2df b = Weights2(base, i + 2);
+    const int m = MoveMask2((v2df)(kOrEqual ? (a <= wv) : (a < wv))) |
+                  (MoveMask2((v2df)(kOrEqual ? (b <= wv) : (b < wv))) << 2);
+    if (m != 0) return i + std::countr_zero(static_cast<unsigned>(m));
+    i += 4;
+  }
+  for (; i < count; ++i) {
+    const double v = base[2 * i];
+    if (kOrEqual ? (v <= w) : (v < w)) return i;
+  }
+  return count;
+}
+
+std::size_t FirstStride2LessSse2(const double* base, std::size_t count,
+                                 double w) {
+  return FirstStride2Sse2<false>(base, count, w);
+}
+std::size_t FirstStride2LessEqualSse2(const double* base, std::size_t count,
+                                      double w) {
+  return FirstStride2Sse2<true>(base, count, w);
+}
+
+// --- AVX2 (4 lanes, runtime-dispatched) ---------------------------------
+
+__attribute__((target("avx2"))) inline v4df Load4(const double* p) {
+  v4df v;
+  __builtin_memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+__attribute__((target("avx2"))) inline int MoveMask4(v4df m) {
+  return __builtin_ia32_movmskpd256(m);
+}
+
+__attribute__((target("avx2"))) std::size_t ProbePrefixLessEqualAvx2(
+    const double* values, std::size_t n, double w) {
+  const v4df wv = {w, w, w, w};
+  std::size_t i = 0;
+  while (i + 8 <= n) {
+    const int m = MoveMask4((v4df)(Load4(values + i) <= wv)) |
+                  (MoveMask4((v4df)(Load4(values + i + 4) <= wv)) << 4);
+    if (m != 0xFF) return i + std::countr_one(static_cast<unsigned>(m));
+    i += 8;
+  }
+  while (i + 4 <= n) {
+    const int m = MoveMask4((v4df)(Load4(values + i) <= wv));
+    if (m != 0xF) return i + std::countr_one(static_cast<unsigned>(m));
+    i += 4;
+  }
+  while (i < n && values[i] <= w) ++i;
+  return i;
+}
+
+/// Weight lanes of entries i .. i+3 gathered into one 4-lane vector.
+__attribute__((target("avx2"))) inline v4df Weights4(const double* base,
+                                                     std::size_t i) {
+  return __builtin_shufflevector(Load4(base + 2 * i), Load4(base + 2 * i + 4),
+                                 0, 2, 4, 6);
+}
+
+template <bool kOrEqual>
+__attribute__((target("avx2"))) std::size_t FirstStride2Avx2(
+    const double* base, std::size_t count, double w) {
+  const v4df wv = {w, w, w, w};
+  std::size_t i = 0;
+  while (i + 8 <= count) {
+    const v4df a = Weights4(base, i);
+    const v4df b = Weights4(base, i + 4);
+    const int m = MoveMask4((v4df)(kOrEqual ? (a <= wv) : (a < wv))) |
+                  (MoveMask4((v4df)(kOrEqual ? (b <= wv) : (b < wv))) << 4);
+    if (m != 0) return i + std::countr_zero(static_cast<unsigned>(m));
+    i += 8;
+  }
+  for (; i < count; ++i) {
+    const double v = base[2 * i];
+    if (kOrEqual ? (v <= w) : (v < w)) return i;
+  }
+  return count;
+}
+
+__attribute__((target("avx2"))) std::size_t FirstStride2LessAvx2(
+    const double* base, std::size_t count, double w) {
+  return FirstStride2Avx2<false>(base, count, w);
+}
+__attribute__((target("avx2"))) std::size_t FirstStride2LessEqualAvx2(
+    const double* base, std::size_t count, double w) {
+  return FirstStride2Avx2<true>(base, count, w);
+}
+
+#endif  // ITA_SIMD_X86
+
+// --- variant tables and dispatch ----------------------------------------
+
+constexpr Kernels kScalarKernels{"scalar", ProbePrefixLessEqualScalar,
+                                 FirstStride2LessScalar,
+                                 FirstStride2LessEqualScalar};
+#if ITA_SIMD_X86
+constexpr Kernels kSse2Kernels{"sse2", ProbePrefixLessEqualSse2,
+                               FirstStride2LessSse2,
+                               FirstStride2LessEqualSse2};
+constexpr Kernels kAvx2Kernels{"avx2", ProbePrefixLessEqualAvx2,
+                               FirstStride2LessAvx2,
+                               FirstStride2LessEqualAvx2};
+#endif
+
+const Kernels* ResolveActive() {
+  const std::vector<const Kernels*>& available = AvailableKernels();
+#if !defined(ITA_SIMD_FORCE_SCALAR)
+  // A/B hook: ITA_SIMD_KERNEL=scalar|sse2|avx2 pins the variant (when
+  // this CPU can run it) without a rebuild.
+  if (const char* env = std::getenv("ITA_SIMD_KERNEL")) {
+    for (const Kernels* k : available) {
+      if (std::string_view(k->name) == env) return k;
+    }
+    ITA_LOG(Warning) << "ITA_SIMD_KERNEL=" << env
+                     << " names no runnable kernel variant; auto-dispatching";
+  }
+#endif
+  return available.back();  // widest runnable variant (scalar first)
+}
+
+}  // namespace
+
+const std::vector<const Kernels*>& AvailableKernels() {
+  static const std::vector<const Kernels*> kAvailable = [] {
+    std::vector<const Kernels*> v{&kScalarKernels};
+#if ITA_SIMD_X86 && !defined(ITA_SIMD_FORCE_SCALAR)
+    v.push_back(&kSse2Kernels);
+    if (__builtin_cpu_supports("avx2")) v.push_back(&kAvx2Kernels);
+#endif
+    return v;
+  }();
+  return kAvailable;
+}
+
+const Kernels& ActiveKernels() {
+  static const Kernels* const kActive = ResolveActive();
+  return *kActive;
+}
+
+}  // namespace ita::simd

@@ -1,0 +1,91 @@
+/// \file
+/// The SIMD kernel layer (DESIGN.md §10): vectorized scan primitives for
+/// the two hottest contiguous loops of the engine — the threshold-tree
+/// probe (a front scan over a dense, ascending theta array) and the
+/// impact-array boundary searches of the inverted lists (strided weight
+/// scans over 16-byte {weight, doc} entries).
+///
+/// Every kernel is a pure *counting* primitive with front-scan
+/// semantics: it returns the index of the first element failing (or
+/// satisfying) a weight predicate, scanning left to right. That contract
+/// is exact for ANY input — sortedness only makes the result meaningful
+/// to the callers — so a vector kernel and the scalar reference are
+/// bit-identical by construction, which is what the equivalence suite
+/// (tests/simd/) pins.
+///
+/// Variants are built with gcc vector extensions: a 2-lane SSE2 kernel
+/// (baseline x86-64, no extra ISA needed) and a 4-lane AVX2 kernel
+/// compiled via `__attribute__((target("avx2")))` so the library builds
+/// with any -march and selects at runtime through
+/// `__builtin_cpu_supports`. The scalar fallback is always built; a
+/// `-DITA_SIMD=OFF` build (macro ITA_SIMD_FORCE_SCALAR) pins dispatch to
+/// it, and the `ITA_SIMD_KERNEL` environment variable (scalar | sse2 |
+/// avx2) overrides dispatch for A/B runs without rebuilding. On non-x86
+/// targets only the scalar kernel exists.
+///
+/// Thread safety: dispatch resolves once behind a magic static; kernels
+/// are stateless pure functions.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ita::simd {
+
+/// One kernel variant: the function table dispatch selects from.
+/// `stride2` kernels read doubles at positions base[0], base[2],
+/// base[4], ... — the weight lanes of a packed 16-byte
+/// {double weight, uint64 doc} impact array (`base` = &entries[0].weight,
+/// `count` = number of entries). The doc lanes are never interpreted:
+/// vector variants load them but mask their comparison bits out, so
+/// arbitrary bit patterns (including ones that read as NaN doubles) are
+/// harmless.
+struct Kernels {
+  const char* name;  ///< "scalar", "sse2", "avx2"
+
+  /// Number of leading elements with values[i] <= w — the index of the
+  /// first element > w in a left-to-right scan (n when none fails).
+  /// The threshold-tree probe over the ascending SoA theta array.
+  std::size_t (*probe_prefix_less_equal)(const double* values, std::size_t n,
+                                         double w);
+
+  /// Index of the first entry whose weight lane is < w (count when
+  /// none). Drives InvertedList::FirstBelow within a block.
+  std::size_t (*first_stride2_less)(const double* base, std::size_t count,
+                                    double w);
+
+  /// Index of the first entry whose weight lane is <= w (count when
+  /// none). Drives FirstAtOrBelow and the ordered-merge lower bounds.
+  std::size_t (*first_stride2_less_equal)(const double* base,
+                                          std::size_t count, double w);
+};
+
+/// The variant dispatch picked for this process: the widest kernel the
+/// CPU supports, unless pinned by ITA_SIMD_FORCE_SCALAR (the
+/// -DITA_SIMD=OFF build) or overridden by ITA_SIMD_KERNEL. Resolved once
+/// on first use (thread-safe).
+const Kernels& ActiveKernels();
+
+/// Every variant runnable on this build + CPU, scalar first — the
+/// equivalence suite cross-checks each against the scalar reference.
+/// ITA_SIMD_FORCE_SCALAR builds return only the scalar entry.
+const std::vector<const Kernels*>& AvailableKernels();
+
+/// Convenience wrappers over ActiveKernels().
+inline std::size_t ProbePrefixLessEqual(const double* values, std::size_t n,
+                                        double w) {
+  return ActiveKernels().probe_prefix_less_equal(values, n, w);
+}
+/// First strided entry with weight < w; see Kernels::first_stride2_less.
+inline std::size_t FirstStride2Less(const double* base, std::size_t count,
+                                    double w) {
+  return ActiveKernels().first_stride2_less(base, count, w);
+}
+/// First strided entry with weight <= w.
+inline std::size_t FirstStride2LessEqual(const double* base, std::size_t count,
+                                         double w) {
+  return ActiveKernels().first_stride2_less_equal(base, count, w);
+}
+
+}  // namespace ita::simd

@@ -120,13 +120,12 @@ TEST(FlatThresholdTreeTest, EntriesStayPackedAndSorted) {
   tree.Insert(0.5, 1);
   tree.Insert(0.3, 5);
   ASSERT_EQ(tree.size(), 4u);
-  const auto* e = tree.begin();
-  EXPECT_DOUBLE_EQ(e[0].theta, 0.1);
-  EXPECT_DOUBLE_EQ(e[1].theta, 0.3);
+  EXPECT_DOUBLE_EQ(tree.At(0).theta, 0.1);
+  EXPECT_DOUBLE_EQ(tree.At(1).theta, 0.3);
   // Equal thetas order by query id — the tie rule the probe scan relies on.
-  EXPECT_DOUBLE_EQ(e[2].theta, 0.5);
-  EXPECT_EQ(e[2].query, 1u);
-  EXPECT_EQ(e[3].query, 2u);
+  EXPECT_DOUBLE_EQ(tree.At(2).theta, 0.5);
+  EXPECT_EQ(tree.At(2).query, 1u);
+  EXPECT_EQ(tree.At(3).query, 2u);
 }
 
 TEST(FlatThresholdTreeTest, BoundaryTieProbeTakesWholeRun) {
@@ -159,7 +158,10 @@ TEST(FlatThresholdTreeTest, UpdateMovesAcrossTieRuns) {
 }
 
 std::vector<FlatThresholdTree::Entry> Entries(const FlatThresholdTree& tree) {
-  return {tree.begin(), tree.end()};
+  std::vector<FlatThresholdTree::Entry> entries;
+  entries.reserve(tree.size());
+  for (std::size_t i = 0; i < tree.size(); ++i) entries.push_back(tree.At(i));
+  return entries;
 }
 
 TEST(FlatThresholdTreeTest, BulkRethetaMatchesSingles) {
@@ -217,6 +219,55 @@ TEST(FlatThresholdTreeTest, ApplyMovesHandlesInfinityAndEmptySets) {
   EXPECT_EQ(tree.ApplyMoves(moves), 2u);
   EXPECT_EQ(Probe(tree, 1.0), (std::vector<QueryId>{1, 2}));
   EXPECT_EQ(Probe(tree, 0.3), (std::vector<QueryId>{2}));
+}
+
+TEST(FlatThresholdTreeTest, MinThetaTracksEveryMutation) {
+  // The cached probe gate (DESIGN.md §10) must equal the smallest live
+  // theta after any mutation, and +inf on an empty tree.
+  const double inf = std::numeric_limits<double>::infinity();
+  FlatThresholdTree tree;
+  EXPECT_EQ(tree.MinTheta(), inf);
+  tree.Insert(0.5, 1);
+  EXPECT_DOUBLE_EQ(tree.MinTheta(), 0.5);
+  tree.Insert(0.2, 2);
+  EXPECT_DOUBLE_EQ(tree.MinTheta(), 0.2);
+  tree.Update(0.2, 0.8, 2);  // the minimum moves away
+  EXPECT_DOUBLE_EQ(tree.MinTheta(), 0.5);
+  std::vector<FlatThresholdTree::ThetaMove> moves = {{0.5, 0.05, 1},
+                                                     {0.8, 0.6, 2}};
+  tree.ApplyMoves(moves);
+  EXPECT_DOUBLE_EQ(tree.MinTheta(), 0.05);
+  EXPECT_TRUE(tree.Erase(0.05, 1));
+  EXPECT_DOUBLE_EQ(tree.MinTheta(), 0.6);
+  EXPECT_TRUE(tree.Erase(0.6, 2));
+  EXPECT_EQ(tree.MinTheta(), inf);
+}
+
+TEST(FlatThresholdTreeTest, MinThetaMatchesFrontUnderRandomChurn) {
+  Rng rng(0xFEED);
+  FlatThresholdTree tree;
+  std::vector<double> position;  // query q's live theta (index = q)
+  for (int step = 0; step < 2000; ++step) {
+    const QueryId q = static_cast<QueryId>(rng.Next() % 48);
+    if (q >= position.size()) {
+      position.resize(q + 1, -1.0);
+    }
+    const double target = (rng.Next() % 64) / 64.0;
+    if (position[q] < 0.0) {
+      ASSERT_TRUE(tree.Insert(target, q));
+      position[q] = target;
+    } else if (rng.Next() % 4 == 0) {
+      ASSERT_TRUE(tree.Erase(position[q], q));
+      position[q] = -1.0;
+    } else {
+      tree.Update(position[q], target, q);
+      position[q] = target;
+    }
+    const double want = tree.empty()
+                            ? std::numeric_limits<double>::infinity()
+                            : tree.At(0).theta;
+    ASSERT_EQ(tree.MinTheta(), want) << "step " << step;
+  }
 }
 
 TEST(FlatThresholdTreeTest, ShrinksAsQueriesLeave) {

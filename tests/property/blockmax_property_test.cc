@@ -1,0 +1,153 @@
+// Block-max metadata invariants under randomized churn (DESIGN.md §10).
+//
+// InvertedList keeps one cached maximum per 64-entry block of its
+// impact-ordered postings array; the boundary searches (FirstBelow /
+// FirstAtOrBelow) binary-search that dense sampled array first and
+// settle the answer with one SIMD scan inside a single candidate block.
+// Every mutation path — single Insert/Erase, InsertOrdered merges,
+// EraseOrdered compactions — must leave the metadata coherent, or a
+// later boundary search silently lands in the wrong block.
+//
+// This suite churns one list through randomized interleavings of all
+// four mutation paths against a naive sorted-vector model and asserts,
+// after EVERY operation:
+//   * ValidateBlockMax() — the white-box coherence hook (also wired into
+//     the sim soak tier through ItaServer::ValidatePruningMetadata);
+//   * the postings equal the model bit-for-bit in ImpactOrder;
+//   * FirstBelow/FirstAtOrBelow match naive linear scans at adversarial
+//     thetas (exact tie values and their neighborhoods) — the observable
+//     behavior the metadata accelerates.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "index/inverted_list.h"
+
+namespace ita {
+namespace {
+
+/// First index with weight < theta (strictly), scanning the model.
+std::size_t NaiveFirstBelow(const std::vector<ImpactEntry>& v, double theta) {
+  std::size_t i = 0;
+  while (i < v.size() && v[i].weight >= theta) ++i;
+  return i;
+}
+
+/// First index with weight <= theta, scanning the model.
+std::size_t NaiveFirstAtOrBelow(const std::vector<ImpactEntry>& v,
+                                double theta) {
+  std::size_t i = 0;
+  while (i < v.size() && v[i].weight > theta) ++i;
+  return i;
+}
+
+class BlockMaxPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BlockMaxPropertyTest, MetadataAndBoundariesSurviveChurn) {
+  std::mt19937_64 rng(GetParam());
+  // A small discrete weight pool forces long tie runs — the adversarial
+  // case for both the block boundary searches and the doc-tie walks.
+  const auto random_weight = [&rng]() {
+    return 0.25 * static_cast<double>(1 + rng() % 8);
+  };
+  const auto random_doc = [&rng]() {
+    return static_cast<DocId>(rng() % 4'096);
+  };
+
+  InvertedList list;
+  std::vector<ImpactEntry> model;  // sorted by ImpactOrder
+  std::set<std::pair<double, DocId>> present;
+
+  const auto model_insert = [&](const ImpactEntry& e) {
+    const auto it =
+        std::lower_bound(model.begin(), model.end(), e, ImpactOrder{});
+    model.insert(it, e);
+  };
+
+  const auto check = [&](std::size_t step) {
+    ASSERT_TRUE(list.ValidateBlockMax()) << "step " << step;
+    ASSERT_EQ(list.size(), model.size()) << "step " << step;
+    for (std::size_t i = 0; i < model.size(); ++i) {
+      ASSERT_EQ(list.begin()[i].doc, model[i].doc) << "step " << step;
+      ASSERT_EQ(list.begin()[i].weight, model[i].weight) << "step " << step;
+    }
+    // Boundary searches at every distinct weight (exact ties) and just
+    // off them, plus the extremes.
+    for (double theta : {0.0, 0.25, 1.0, 2.0, 2.25, 1.125, 0.24, 1e9}) {
+      ASSERT_EQ(static_cast<std::size_t>(list.FirstBelow(theta) - list.begin()),
+                NaiveFirstBelow(model, theta))
+          << "step " << step << " theta " << theta;
+      ASSERT_EQ(
+          static_cast<std::size_t>(list.FirstAtOrBelow(theta) - list.begin()),
+          NaiveFirstAtOrBelow(model, theta))
+          << "step " << step << " theta " << theta;
+    }
+  };
+
+  for (std::size_t step = 0; step < 600; ++step) {
+    switch (rng() % 4) {
+      case 0: {  // single insert
+        const ImpactEntry e{random_weight(), random_doc()};
+        if (!present.insert({e.weight, e.doc}).second) break;
+        ASSERT_TRUE(list.Insert(e.doc, e.weight));
+        model_insert(e);
+        break;
+      }
+      case 1: {  // single erase of a present posting
+        if (model.empty()) break;
+        const ImpactEntry e = model[rng() % model.size()];
+        ASSERT_TRUE(list.Erase(e.doc, e.weight));
+        model.erase(std::find_if(model.begin(), model.end(),
+                                 [&](const ImpactEntry& m) {
+                                   return m.doc == e.doc &&
+                                          m.weight == e.weight;
+                                 }));
+        present.erase({e.weight, e.doc});
+        break;
+      }
+      case 2: {  // ordered bulk insert (fresh postings only)
+        std::vector<ImpactEntry> run;
+        const std::size_t want = 1 + rng() % 96;  // crosses block edges
+        while (run.size() < want) {
+          const ImpactEntry e{random_weight(), random_doc()};
+          if (present.insert({e.weight, e.doc}).second) run.push_back(e);
+        }
+        std::sort(run.begin(), run.end(), ImpactOrder{});
+        ASSERT_EQ(list.InsertOrdered(run.begin(), run.end()), run.size());
+        for (const ImpactEntry& e : run) model_insert(e);
+        break;
+      }
+      default: {  // ordered bulk erase of a random sample
+        if (model.empty()) break;
+        std::set<std::size_t> picks;
+        const std::size_t want = 1 + rng() % std::min<std::size_t>(96, model.size());
+        while (picks.size() < want) picks.insert(rng() % model.size());
+        std::vector<ImpactEntry> run;
+        for (const std::size_t i : picks) run.push_back(model[i]);
+        // picks ascend in model order == ImpactOrder already.
+        ASSERT_EQ(list.EraseOrdered(run.begin(), run.end()), run.size());
+        for (auto it = picks.rbegin(); it != picks.rend(); ++it) {
+          present.erase({model[*it].weight, model[*it].doc});
+          model.erase(model.begin() + static_cast<std::ptrdiff_t>(*it));
+        }
+        break;
+      }
+    }
+    check(step);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BlockMaxPropertyTest,
+                         ::testing::Values(1u, 42u, 1337u),
+                         [](const ::testing::TestParamInfo<std::uint64_t>& i) {
+                           return "seed_" + std::to_string(i.param);
+                         });
+
+}  // namespace
+}  // namespace ita

@@ -1,0 +1,227 @@
+// Scalar-vs-vector kernel equivalence (DESIGN.md §10). Every kernel in
+// simd/ is a pure counting primitive with front-scan semantics — "index
+// of the first element failing the predicate, scanning left to right" —
+// a contract that is exact for ANY input, sorted or not. So each vector
+// variant must match the scalar reference bit-identically on arbitrary
+// doubles: ties, denormals (no -ffast-math, so no FTZ/DAZ), signed
+// zeros, infinities, NaNes, and every lane-width remainder around the
+// 2/4/8-lane vector strides.
+//
+// The suite cross-checks every variant AvailableKernels() reports for
+// this build + CPU (scalar always; sse2/avx2 where supported) against
+// independent references reimplemented here, on exhaustive small inputs
+// and on randomized storms. A build with -DITA_SIMD=OFF runs the same
+// suite with only the scalar entry — the CI matrix runs both.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "simd/simd.h"
+
+namespace ita::simd {
+namespace {
+
+// -- Independent references (deliberately naive) --------------------------
+
+std::size_t RefProbePrefixLessEqual(const double* values, std::size_t n,
+                                    double w) {
+  std::size_t i = 0;
+  while (i < n && values[i] <= w) ++i;
+  return i;
+}
+
+template <bool kOrEqual>
+std::size_t RefFirstStride2(const double* base, std::size_t count, double w) {
+  for (std::size_t i = 0; i < count; ++i) {
+    const double x = base[2 * i];
+    if (kOrEqual ? (x <= w) : (x < w)) return i;
+  }
+  return count;
+}
+
+// -- Input synthesis ------------------------------------------------------
+
+/// Adversarial values: boundary magnitudes the predicate must order
+/// exactly, plus NaN (compares false both ways — a front scan treats it
+/// as "fails <=" / "fails <").
+std::vector<double> ValuePool() {
+  const double inf = std::numeric_limits<double>::infinity();
+  const double eps = std::numeric_limits<double>::epsilon();
+  return {
+      0.0,
+      -0.0,
+      1.0,
+      -1.0,
+      0.5,
+      1.0 + eps,
+      1.0 - eps,
+      1e-300,
+      -1e-300,
+      std::numeric_limits<double>::denorm_min(),
+      -std::numeric_limits<double>::denorm_min(),
+      std::numeric_limits<double>::min(),
+      std::numeric_limits<double>::max(),
+      inf,
+      -inf,
+      std::numeric_limits<double>::quiet_NaN(),
+  };
+}
+
+/// A strided {weight, doc} buffer: weight lanes at even doubles, doc
+/// lanes filled with raw 64-bit patterns (many of which read as NaN
+/// doubles) — the kernels must never interpret them.
+std::vector<double> MakeStrided(const std::vector<double>& weights,
+                                std::mt19937_64& rng) {
+  std::vector<double> buf(2 * weights.size());
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    buf[2 * i] = weights[i];
+    const std::uint64_t bits =
+        (i % 3 == 0) ? ~std::uint64_t{0} : rng();  // all-ones = NaN pattern
+    std::memcpy(&buf[2 * i + 1], &bits, sizeof(bits));
+  }
+  return buf;
+}
+
+/// Runs `check(kernels)` once per available variant with the variant
+/// name traced — a failure names the kernel that diverged.
+template <typename Check>
+void ForEachKernel(Check&& check) {
+  for (const Kernels* k : AvailableKernels()) {
+    SCOPED_TRACE(std::string("kernel: ") + k->name);
+    check(*k);
+  }
+}
+
+// -- Dispatch sanity ------------------------------------------------------
+
+TEST(KernelDispatchTest, ScalarIsFirstAndActiveIsListed) {
+  const auto& available = AvailableKernels();
+  ASSERT_FALSE(available.empty());
+  EXPECT_STREQ(available.front()->name, "scalar");
+  const Kernels& active = ActiveKernels();
+  bool listed = false;
+  for (const Kernels* k : available) listed |= (k == &active);
+  EXPECT_TRUE(listed) << "active kernel " << active.name
+                      << " missing from AvailableKernels()";
+}
+
+// -- Probe kernel ---------------------------------------------------------
+
+TEST(KernelEquivalenceTest, ProbeExhaustiveSmallWithTies) {
+  // Ascending arrays with 3-long tie runs, every size straddling the
+  // 2/4/8-lane strides, probed at each distinct value, between values,
+  // and outside the range.
+  for (std::size_t n = 0; n <= 35; ++n) {
+    std::vector<double> values(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      values[i] = 0.5 * static_cast<double>(i / 3);
+    }
+    std::vector<double> probes = {-1.0, 0.0, 0.25, 1e9,
+                                  std::numeric_limits<double>::infinity()};
+    for (const double v : values) {
+      probes.push_back(v);
+      probes.push_back(v - 1e-9);
+      probes.push_back(v + 1e-9);
+    }
+    ForEachKernel([&](const Kernels& k) {
+      for (const double w : probes) {
+        ASSERT_EQ(k.probe_prefix_less_equal(values.data(), n, w),
+                  RefProbePrefixLessEqual(values.data(), n, w))
+            << "n=" << n << " w=" << w;
+      }
+    });
+  }
+}
+
+TEST(KernelEquivalenceTest, ProbeRandomStorm) {
+  // Arbitrary (unsorted) contents: the counting contract holds for any
+  // input, which is exactly what makes vector == scalar provable.
+  std::mt19937_64 rng(0x5eed'c0de);
+  const std::vector<double> pool = ValuePool();
+  std::uniform_int_distribution<std::size_t> pick(0, pool.size() - 1);
+  std::uniform_real_distribution<double> uniform(-2.0, 2.0);
+  for (int trial = 0; trial < 2'000; ++trial) {
+    const std::size_t n = rng() % 300;
+    std::vector<double> values(n);
+    for (double& v : values) {
+      v = (rng() % 2 == 0) ? pool[pick(rng)] : uniform(rng);
+    }
+    const double w = (rng() % 4 == 0) ? pool[pick(rng)]
+                     : (n > 0 && rng() % 2 == 0)
+                         ? values[rng() % n]  // exact-tie probes
+                         : uniform(rng);
+    ForEachKernel([&](const Kernels& k) {
+      ASSERT_EQ(k.probe_prefix_less_equal(values.data(), n, w),
+                RefProbePrefixLessEqual(values.data(), n, w))
+          << "trial=" << trial << " n=" << n << " w=" << w;
+    });
+  }
+}
+
+// -- Strided weight kernels -----------------------------------------------
+
+TEST(KernelEquivalenceTest, Stride2ExhaustiveSmallWithTies) {
+  // Descending weights with tie runs — the impact-order shape — across
+  // every remainder width, with garbage doc lanes interleaved.
+  std::mt19937_64 rng(0xb10c'5);
+  for (std::size_t n = 0; n <= 35; ++n) {
+    std::vector<double> weights(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      weights[i] = 0.5 * static_cast<double>((n - i + 2) / 3);
+    }
+    const std::vector<double> buf = MakeStrided(weights, rng);
+    std::vector<double> probes = {-1.0, 0.0, 1e9,
+                                  std::numeric_limits<double>::infinity()};
+    for (const double v : weights) {
+      probes.push_back(v);
+      probes.push_back(v - 1e-9);
+      probes.push_back(v + 1e-9);
+    }
+    ForEachKernel([&](const Kernels& k) {
+      for (const double w : probes) {
+        ASSERT_EQ(k.first_stride2_less(buf.data(), n, w),
+                  RefFirstStride2<false>(buf.data(), n, w))
+            << "less: n=" << n << " w=" << w;
+        ASSERT_EQ(k.first_stride2_less_equal(buf.data(), n, w),
+                  RefFirstStride2<true>(buf.data(), n, w))
+            << "less_equal: n=" << n << " w=" << w;
+      }
+    });
+  }
+}
+
+TEST(KernelEquivalenceTest, Stride2RandomStorm) {
+  std::mt19937_64 rng(0xdead'beef);
+  const std::vector<double> pool = ValuePool();
+  std::uniform_int_distribution<std::size_t> pick(0, pool.size() - 1);
+  std::uniform_real_distribution<double> uniform(-2.0, 2.0);
+  for (int trial = 0; trial < 2'000; ++trial) {
+    const std::size_t n = rng() % 200;
+    std::vector<double> weights(n);
+    for (double& v : weights) {
+      v = (rng() % 2 == 0) ? pool[pick(rng)] : uniform(rng);
+    }
+    const std::vector<double> buf = MakeStrided(weights, rng);
+    const double w = (rng() % 4 == 0) ? pool[pick(rng)]
+                     : (n > 0 && rng() % 2 == 0) ? weights[rng() % n]
+                                                 : uniform(rng);
+    ForEachKernel([&](const Kernels& k) {
+      ASSERT_EQ(k.first_stride2_less(buf.data(), n, w),
+                RefFirstStride2<false>(buf.data(), n, w))
+          << "less: trial=" << trial << " n=" << n << " w=" << w;
+      ASSERT_EQ(k.first_stride2_less_equal(buf.data(), n, w),
+                RefFirstStride2<true>(buf.data(), n, w))
+          << "less_equal: trial=" << trial << " n=" << n << " w=" << w;
+    });
+  }
+}
+
+}  // namespace
+}  // namespace ita::simd
