@@ -37,6 +37,7 @@
 
 #include "common/logging.h"
 #include "common/stats.h"
+#include "harness/obs_report.h"
 #include "sim/event_stream.h"
 #include "sim/scenario.h"
 #include "sim/sim_engine.h"
@@ -75,6 +76,10 @@ class PresetFixture {
 
   ServerStats stats() const { return engine_->stats(); }
 
+  /// The engine's trace — non-null only when the fixture was built
+  /// under ITA_OBS_TRACE=1 in an ITA_OBS=ON build.
+  const obs::EpochTrace* trace() const { return engine_->trace(); }
+
  private:
   PresetFixture(const std::string& preset, std::size_t queries) {
     const sim::ScenarioFactory* factory = sim::FindScenario(preset);
@@ -89,6 +94,10 @@ class PresetFixture {
 
     engine_ = sim::MakeSequentialEngine(sim::SequentialStrategy::kIta,
                                         spec.window);
+    if (ObsTraceRequested()) {
+      engine_->EnableTracing(/*capacity=*/1'024);
+      engine_->EnableHotTermTracking();
+    }
     stream_ = std::make_unique<sim::EventStreamGenerator>(spec);
 
     // Prefill to steady state: full window, whole population installed.
@@ -126,6 +135,8 @@ void PresetEpochBench(benchmark::State& state, const std::string& preset) {
                             before.list_entries_read) /
         docs);
   }
+  // Phase-latency percentiles, present only in ITA_OBS_TRACE=1 runs.
+  ReportTraceCounters(state, fixture.trace());
 }
 
 void BM_ZipfDriftEpoch(benchmark::State& state) {

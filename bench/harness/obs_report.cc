@@ -1,0 +1,46 @@
+#include "harness/obs_report.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "obs/histogram.h"
+#include "obs/phase_recorder.h"
+
+namespace ita {
+namespace bench {
+
+bool ObsTraceRequested() {
+  const char* value = std::getenv("ITA_OBS_TRACE");
+  return value != nullptr && value[0] != '\0' &&
+         std::strcmp(value, "0") != 0;
+}
+
+void ReportTraceCounters(benchmark::State& state,
+                         const obs::EpochTrace* trace) {
+  if (trace == nullptr || trace->epochs() == 0) return;
+
+  const obs::Histogram& wall = trace->wall_hist();
+  state.counters["wall_p50_ns"] =
+      benchmark::Counter(wall.Quantile(0.50));
+  state.counters["wall_p99_ns"] =
+      benchmark::Counter(wall.Quantile(0.99));
+
+  for (std::size_t p = 0; p < obs::kPhaseCount; ++p) {
+    const auto phase = static_cast<obs::Phase>(p);
+    obs::Histogram merged;
+    for (std::size_t s = 0; s < trace->shards(); ++s) {
+      merged.Merge(trace->phase_hist(s, phase));
+    }
+    if (merged.count() == 0 || merged.max() == 0) continue;
+    state.counters[std::string(obs::PhaseName(phase)) + "_p99_ns"] =
+        benchmark::Counter(merged.Quantile(0.99));
+  }
+  if (trace->max_imbalance() > 0.0) {
+    state.counters["imbalance_max"] =
+        benchmark::Counter(trace->max_imbalance());
+  }
+}
+
+}  // namespace bench
+}  // namespace ita

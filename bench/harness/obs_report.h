@@ -1,0 +1,35 @@
+// Telemetry reporting for the benchmark binaries: when the fixture ran
+// with epoch phase tracing enabled, attach the trace's latency
+// percentiles as Google Benchmark counters so they land in the JSON
+// output next to time/epoch (--benchmark_format=json, the format the
+// recorded baselines under bench/results/ use).
+//
+// Tracing is opt-in per run via the environment (ITA_OBS_TRACE=1): the
+// default bench configuration stays untraced and comparable with the
+// recorded untraced baselines, and the traced run is the one the
+// obs-overhead baseline (bench/results/obs_overhead_baseline.json)
+// records against it.
+
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include "obs/epoch_trace.h"
+
+namespace ita {
+namespace bench {
+
+/// True when the environment asks bench fixtures to trace
+/// (ITA_OBS_TRACE set to anything but "" or "0"). Always false in an
+/// ITA_OBS=OFF build, where EnableTracing would be a no-op anyway.
+bool ObsTraceRequested();
+
+/// Attaches the trace's percentiles to `state` as counters — epoch wall
+/// p50/p99, per-phase p99 (each phase's histograms merged across
+/// shards), and the worst shard imbalance. No-op when `trace` is null
+/// or empty, so callers can pass engine->trace() unconditionally.
+void ReportTraceCounters(benchmark::State& state,
+                         const obs::EpochTrace* trace);
+
+}  // namespace bench
+}  // namespace ita

@@ -8,6 +8,7 @@
 
 #include "common/clock.h"
 #include "common/logging.h"
+#include "harness/obs_report.h"
 
 namespace ita {
 namespace bench {
@@ -117,6 +118,10 @@ StreamBench::StreamBench(Strategy strategy, const StreamWorkload& workload)
     tuning.skip_complete_rescans = workload.skip_complete_rescans;
     engine_ = sim::MakeSequentialEngine(sim::SequentialStrategy::kNaive,
                                         spec.window, ItaTuning{}, tuning);
+  }
+  if (ObsTraceRequested()) {
+    engine_->EnableTracing(/*capacity=*/1'024);
+    engine_->EnableHotTermTracking();
   }
 
   // Pool synthesis happens here, inside the generator (analysis is

@@ -131,6 +131,11 @@ class StreamBench {
   exec::ShardedServer* sharded() { return engine_->sharded(); }
   const StreamWorkload& workload() const { return workload_; }
 
+  /// The fixture's epoch trace — non-null only when the fixture was
+  /// built under ITA_OBS_TRACE=1 (harness/obs_report.h) in an
+  /// ITA_OBS=ON build. Pass straight to ReportTraceCounters.
+  const obs::EpochTrace* trace() const { return engine_->trace(); }
+
  private:
   StreamBench(Strategy strategy, const StreamWorkload& workload);
 

@@ -7,18 +7,45 @@
 //   ./scenario_sim                      # list the catalog
 //   ./scenario_sim flash_crowd          # default seed/events
 //   ./scenario_sim mixed_stress 7 50000 # scenario, seed, events
+//
+// --metrics=<path> additionally enables epoch phase tracing and hot-term
+// tracking on the whole fleet and, after a clean run, writes the metrics
+// snapshot as JSON at <path> plus the Prometheus text rendition next to
+// it (foo.json -> foo.prom). CI's metrics-smoke job drives this flag.
 
 #include <cstdint>
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "sim/runner.h"
 #include "sim/scenario.h"
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::cout << "usage: " << argv[0] << " <scenario> [seed] [events]\n\n"
+  // Split --flags from the positional scenario/seed/events arguments.
+  std::string metrics_path;
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const std::string metrics_flag = "--metrics=";
+    if (arg.rfind(metrics_flag, 0) == 0) {
+      metrics_path = arg.substr(metrics_flag.size());
+      if (metrics_path.empty()) {
+        std::cerr << "--metrics= needs a path\n";
+        return 1;
+      }
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "unknown flag '" << arg << "'\n";
+      return 1;
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+
+  if (positional.empty()) {
+    std::cout << "usage: " << argv[0]
+              << " <scenario> [seed] [events] [--metrics=<path>]\n\n"
               << "scenario catalog:\n";
     for (const ita::sim::ScenarioFactory& factory :
          ita::sim::ScenarioCatalog()) {
@@ -28,23 +55,24 @@ int main(int argc, char** argv) {
   }
 
   const ita::sim::ScenarioFactory* factory =
-      ita::sim::FindScenario(argv[1]);
+      ita::sim::FindScenario(positional[0]);
   if (factory == nullptr) {
-    std::cerr << "unknown scenario '" << argv[1] << "'\n";
+    std::cerr << "unknown scenario '" << positional[0] << "'\n";
     return 1;
   }
   const std::uint64_t seed =
-      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1;
+      positional.size() > 1 ? std::strtoull(positional[1], nullptr, 10) : 1;
   ita::sim::ScenarioSpec spec = factory->make(seed);
-  if (argc > 3) {
+  if (positional.size() > 2) {
     spec.events =
-        static_cast<std::size_t>(std::strtoull(argv[3], nullptr, 10));
+        static_cast<std::size_t>(std::strtoull(positional[2], nullptr, 10));
   }
 
   ita::sim::RunOptions options;
   options.shard_counts = {2, 4};
   options.checker.differential_interval_epochs = 4;
   options.progress_every_epochs = 64;
+  options.metrics_path = metrics_path;
 
   std::cout << "scenario '" << spec.name << "', seed " << spec.seed << ", "
             << spec.events << " events, window " << spec.window.ToString()
@@ -63,5 +91,9 @@ int main(int argc, char** argv) {
             << "stream fingerprint: " << std::hex << report->fingerprint
             << std::dec << "\nfinal window " << report->final_window_size
             << " docs, " << report->final_query_count << " live queries\n";
+  if (!metrics_path.empty()) {
+    std::cout << "metrics snapshot written to " << metrics_path
+              << " (+ Prometheus rendition alongside)\n";
+  }
   return 0;
 }

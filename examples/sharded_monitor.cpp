@@ -1,20 +1,24 @@
-// The sharded parallel execution engine end to end (DESIGN.md §6):
+// Live telemetry over the sharded parallel execution engine (DESIGN.md
+// §6, §11): for each shard count S the monitor streams a synthetic
+// workload with epoch phase tracing and hot-term tracking enabled, then
+// prints
 //
-//   1. Documents are analyzed ONCE by the pipeline (AnalyzeEpoch) and the
-//      weighted vectors broadcast to every shard.
-//   2. exec::ShardedServer partitions the registered queries across S
-//      shards, each a private ItaServer, and drives every epoch's expire
-//      and arrive phases in parallel with a barrier in between.
-//   3. Results are exact — identical to one sequential server (see
-//      tests/property/sharded_equivalence_property_test.cc).
+//   1. the per-shard phase-latency table — p50/p99 of each epoch phase
+//      (plan, expire, arrive, notify-flush, barrier-wait) straight from
+//      the obs::EpochTrace histograms, plus the epoch wall distribution;
+//   2. the shard-imbalance gauge (max/mean shard phase work; 1.0 means
+//      the partition is balanced, S means one shard did everything);
+//   3. the hottest terms by postings + probe work (space-saving sketch);
+//   4. the engine's metrics-registry snapshot (the same series the
+//      scenario runner's --metrics dump and CI's metrics-smoke job
+//      export), rendered as name = value lines.
 //
-// Prints per-shard busy time and the epoch critical path (max over
-// shards), the quantity that becomes wall-clock latency once every shard
-// has its own core — plus the memory-footprint gauges of the unified
-// per-term catalog (DESIGN.md §7), per shard and aggregated.
+// By default the monitor sweeps S in {1, 2, 4, 8} over the identical
+// stream so the tables line up; --shards pins a single count.
 //
-// Build & run:   ./build/examples/sharded_monitor --shards 4 --threads 2
-//                [--queries 500] [--window 2000] [--batch 128] [--docs 4096]
+// Build & run:   ./build/examples/sharded_monitor [--shards 4]
+//                [--threads 2] [--queries 500] [--window 2000]
+//                [--batch 128] [--docs 4096]
 
 #include <cstdio>
 #include <cstdlib>
@@ -22,7 +26,9 @@
 #include <string>
 #include <vector>
 
-#include "exec/sharded_server.h"
+#include "obs/epoch_trace.h"
+#include "sim/metrics_export.h"
+#include "sim/sim_engine.h"
 #include "stream/corpus.h"
 
 namespace {
@@ -36,23 +42,21 @@ std::size_t FlagOr(int argc, char** argv, const char* name, std::size_t fallback
   return fallback;
 }
 
-}  // namespace
+struct MonitorConfig {
+  std::size_t threads = 0;
+  std::size_t queries = 500;
+  std::size_t window = 2'000;
+  std::size_t batch = 128;
+  std::size_t docs = 4'096;
+};
 
-int main(int argc, char** argv) {
-  const std::size_t shards = FlagOr(argc, argv, "--shards", 4);
-  const std::size_t threads = FlagOr(argc, argv, "--threads", 0);  // 0 = auto
-  const std::size_t n_queries = FlagOr(argc, argv, "--queries", 500);
-  const std::size_t window = FlagOr(argc, argv, "--window", 2'000);
-  const std::size_t batch = FlagOr(argc, argv, "--batch", 128);
-  const std::size_t docs = FlagOr(argc, argv, "--docs", 4'096);
-
-  ita::exec::ShardedServerOptions options;
-  options.window = ita::WindowSpec::CountBased(window);
-  options.shards = shards;
-  options.threads = threads;
-  ita::exec::ShardedServer server(options);
-  std::printf("engine %s, %zu scheduler thread(s)\n", server.name().c_str(),
-              server.thread_count());
+/// One full drive at shard count `shards`: identical corpus and query
+/// seeds across calls, so the phase tables are comparable down the sweep.
+int RunOne(std::size_t shards, const MonitorConfig& config) {
+  auto engine = ita::sim::MakeShardedEngine(
+      ita::WindowSpec::CountBased(config.window), shards, config.threads);
+  engine->EnableTracing(/*capacity=*/512);
+  engine->EnableHotTermTracking(/*capacity=*/32);
 
   // A hot query population over the Zipf head, so per-query work dominates
   // the replicated index maintenance — the regime sharding targets.
@@ -67,31 +71,26 @@ int main(int argc, char** argv) {
   qopts.max_term = 200;
   qopts.seed = 11;
   ita::QueryWorkloadGenerator queries(copts.dictionary_size, qopts);
-  for (std::size_t i = 0; i < n_queries; ++i) {
-    const auto id = server.RegisterQuery(queries.NextQuery());
+  for (std::size_t i = 0; i < config.queries; ++i) {
+    const auto id = engine->RegisterQuery(queries.NextQuery());
     if (!id.ok()) {
       std::fprintf(stderr, "register failed: %s\n",
                    id.status().ToString().c_str());
       return 1;
     }
   }
-  std::printf("%zu queries partitioned over %zu shard(s): ",
-              server.query_count(), server.shard_count());
-  for (std::size_t s = 0; s < server.shard_count(); ++s) {
-    std::printf("%s%zu", s == 0 ? "" : " / ", server.shard_query_count(s));
-  }
-  std::printf("\n");
 
   ita::Timestamp now = 0;
   std::size_t streamed = 0;
-  while (streamed < docs) {
+  while (streamed < config.docs) {
     std::vector<ita::Document> epoch;
-    epoch.reserve(batch);
-    for (std::size_t i = 0; i < batch && streamed + i < docs; ++i) {
+    epoch.reserve(config.batch);
+    for (std::size_t i = 0; i < config.batch && streamed + i < config.docs;
+         ++i) {
       epoch.push_back(corpus.NextDocument(now += 5'000));
     }
     streamed += epoch.size();
-    const auto ids = server.IngestBatch(std::move(epoch));
+    const auto ids = engine->IngestBatch(std::move(epoch));
     if (!ids.ok()) {
       std::fprintf(stderr, "ingest failed: %s\n",
                    ids.status().ToString().c_str());
@@ -99,68 +98,104 @@ int main(int argc, char** argv) {
     }
   }
 
-  const ita::ServerStats stats = server.stats();
-  std::printf("streamed %llu docs in %llu epochs, window holds %zu\n",
-              static_cast<unsigned long long>(stats.documents_ingested),
-              static_cast<unsigned long long>(server.epochs_processed()),
-              server.window_size());
-  std::printf("aggregated work: %llu scores, %llu result insertions\n",
-              static_cast<unsigned long long>(stats.scores_computed),
-              static_cast<unsigned long long>(stats.result_insertions));
+  std::printf("\n=== %s: %zu queries, window %zu, %zu docs ===\n",
+              engine->name().c_str(), engine->query_count(), config.window,
+              streamed);
 
-  std::uint64_t critical = 0;
-  for (std::size_t s = 0; s < server.shard_count(); ++s) {
-    const std::uint64_t busy = server.shard_busy_micros(s);
-    if (busy > critical) critical = busy;
-    std::printf("  shard %zu: busy %8.1f ms, %zu queries, %llu scores\n", s,
-                busy / 1e3, server.shard_query_count(s),
-                static_cast<unsigned long long>(
-                    server.shard_stats(s).scores_computed));
-  }
-  std::printf("epoch critical path (max shard busy): %.1f ms total — the\n"
-              "wall cost of the stream once every shard has its own core\n",
-              critical / 1e3);
+  const ita::obs::EpochTrace* trace = engine->trace();
+  if (trace == nullptr) {
+    std::printf("(built with ITA_OBS=OFF — no phase trace; counters only)\n");
+  } else {
+    // 1. The per-shard phase-latency table, microseconds p50/p99.
+    std::printf("per-shard phase latency, us p50/p99 over %llu epochs:\n",
+                static_cast<unsigned long long>(trace->epochs()));
+    std::printf("  %-6s", "shard");
+    for (std::size_t p = 0; p < ita::obs::kPhaseCount; ++p) {
+      std::printf(" %16s",
+                  ita::obs::PhaseName(static_cast<ita::obs::Phase>(p)));
+    }
+    std::printf("\n");
+    for (std::size_t s = 0; s < trace->shards(); ++s) {
+      std::printf("  %-6zu", s);
+      for (std::size_t p = 0; p < ita::obs::kPhaseCount; ++p) {
+        const ita::obs::Histogram& hist =
+            trace->phase_hist(s, static_cast<ita::obs::Phase>(p));
+        std::printf(" %7.1f/%8.1f", hist.Quantile(0.50) / 1e3,
+                    hist.Quantile(0.99) / 1e3);
+      }
+      std::printf("\n");
+    }
+    const ita::obs::Histogram& wall = trace->wall_hist();
+    std::printf("  epoch wall us p50/p99: %.1f / %.1f  (mean %.1f)\n",
+                wall.Quantile(0.50) / 1e3, wall.Quantile(0.99) / 1e3,
+                wall.Mean() / 1e3);
 
-  // Memory footprint of the per-term catalogs and query-state slabs
-  // (DESIGN.md §7). Per-shard structures are private and real — the
-  // document broadcast replicates postings per shard by design — so the
-  // aggregate (summed by ServerStats::Add) is the engine's total memory.
-  std::printf("memory footprint (catalog slab + postings + query slots):\n");
-  for (std::size_t s = 0; s < server.shard_count(); ++s) {
-    const ita::ServerStats& ss = server.shard_stats(s);
-    std::printf("  shard %zu: %8.2f MiB slab, %8.2f MiB postings, "
-                "%llu threshold entries, %llu query slots\n",
-                s, ss.catalog_slab_bytes / (1024.0 * 1024.0),
-                ss.postings_bytes / (1024.0 * 1024.0),
-                static_cast<unsigned long long>(ss.threshold_entries),
-                static_cast<unsigned long long>(ss.query_state_slots));
+    // 2. The shard-imbalance gauge.
+    std::printf("  shard imbalance (max/mean phase work): last %.2f, "
+                "worst %.2f  [1.00 = balanced, %zu.00 = one shard]\n",
+                trace->last_imbalance(), trace->max_imbalance(),
+                trace->shards());
   }
-  std::printf("  total:   %8.2f MiB slab, %8.2f MiB postings, "
-              "%llu threshold entries, %llu query slots\n",
-              stats.catalog_slab_bytes / (1024.0 * 1024.0),
-              stats.postings_bytes / (1024.0 * 1024.0),
-              static_cast<unsigned long long>(stats.threshold_entries),
-              static_cast<unsigned long long>(stats.query_state_slots));
 
-  // The shared window arena (DESIGN.md §8): document bytes live ONCE in
-  // the engine, whatever the shard count — per-shard stores would pay
-  // this figure S times. The duplication factor is total document memory
-  // across engine + shards over one window copy; the shared arena pins it
-  // at 1.0 (shards report 0 document bytes).
-  const double window_mib = stats.document_bytes / (1024.0 * 1024.0);
-  std::uint64_t shard_doc_bytes = 0;
-  for (std::size_t s = 0; s < server.shard_count(); ++s) {
-    shard_doc_bytes += server.shard_stats(s).document_bytes;
+  // 3. Hot terms by postings + probe work (upper-bound counts).
+  const ita::obs::SpaceSavingSketch hot = engine->HotTerms();
+  if (hot.total_weight() > 0) {
+    std::printf("  hottest terms (postings + probe steps, upper bounds):");
+    std::size_t shown = 0;
+    for (const auto& entry : hot.TopK(8)) {
+      std::printf("%s t%u=%llu", shown++ == 0 ? "" : ",", entry.term,
+                  static_cast<unsigned long long>(entry.count));
+    }
+    std::printf("  (of %llu total)\n",
+                static_cast<unsigned long long>(hot.total_weight()));
   }
-  const double duplication =
-      stats.document_bytes == 0
-          ? 0.0
-          : static_cast<double>(stats.document_bytes + shard_doc_bytes) /
-                static_cast<double>(stats.document_bytes);
-  std::printf("window arena: %8.2f MiB documents in %llu segments, "
-              "shared by %zu shard(s) — duplication x%.2f\n",
-              window_mib,
-              static_cast<unsigned long long>(stats.arena_segments),
-              server.shard_count(), duplication);
+
+  // 4. The registry snapshot — the exact series an external scrape sees.
+  ita::obs::MetricsRegistry registry;
+  const ita::Status exported = ita::sim::ExportEngineMetrics(
+      *engine, {ita::obs::Label{"engine", engine->name()}}, &registry);
+  if (!exported.ok()) {
+    std::fprintf(stderr, "metrics export failed: %s\n",
+                 exported.ToString().c_str());
+    return 1;
+  }
+  std::printf("  registry snapshot (%zu counters, %zu gauges, %zu "
+              "histograms):\n",
+              registry.counters().size(), registry.gauges().size(),
+              registry.histograms().size());
+  for (const auto& counter : registry.counters()) {
+    if (counter.value == 0) continue;  // keep the listing to live series
+    if (counter.name == "ita_hot_term_load") continue;  // shown above
+    std::printf("    %-34s %llu\n", counter.name.c_str(),
+                static_cast<unsigned long long>(counter.value));
+  }
+  for (const auto& gauge : registry.gauges()) {
+    if (gauge.value == 0.0) continue;
+    std::printf("    %-34s %.2f\n", gauge.name.c_str(), gauge.value);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  MonitorConfig config;
+  config.threads = FlagOr(argc, argv, "--threads", 0);  // 0 = auto
+  config.queries = FlagOr(argc, argv, "--queries", 500);
+  config.window = FlagOr(argc, argv, "--window", 2'000);
+  config.batch = FlagOr(argc, argv, "--batch", 128);
+  config.docs = FlagOr(argc, argv, "--docs", 4'096);
+
+  const std::size_t pinned = FlagOr(argc, argv, "--shards", 0);
+  std::vector<std::size_t> sweep;
+  if (pinned != 0) {
+    sweep.push_back(pinned);
+  } else {
+    sweep = {1, 2, 4, 8};
+  }
+  for (const std::size_t shards : sweep) {
+    const int rc = RunOne(shards, config);
+    if (rc != 0) return rc;
+  }
   return 0;
 }

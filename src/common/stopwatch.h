@@ -1,30 +1,28 @@
-// Wall-clock stopwatch used only by the benchmark harness (the library
-// itself runs on virtual time; see common/clock.h).
+// Wall-clock stopwatch used only by the benchmark harness and execution
+// drivers (the library itself runs on virtual time; see common/clock.h).
+// A thin forwarding facade over obs::Timer — the single steady-clock
+// utility — kept for the established seconds/millis call sites; new code
+// that needs nanosecond readings should use obs::Timer directly.
 
 #pragma once
 
-#include <chrono>
+#include "obs/timer.h"
 
 namespace ita {
 
-/// High-resolution elapsed-time measurement.
+/// High-resolution elapsed-time measurement (forwards to obs::Timer).
 class Stopwatch {
  public:
-  Stopwatch() : start_(Clock::now()) {}
-
-  void Restart() { start_ = Clock::now(); }
+  void Restart() { timer_.Restart(); }
 
   /// Elapsed seconds since construction or the last Restart().
-  double ElapsedSeconds() const {
-    return std::chrono::duration<double>(Clock::now() - start_).count();
-  }
+  double ElapsedSeconds() const { return timer_.ElapsedSeconds(); }
 
   /// Elapsed milliseconds since construction or the last Restart().
-  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMillis() const { return timer_.ElapsedMillis(); }
 
  private:
-  using Clock = std::chrono::steady_clock;
-  Clock::time_point start_;
+  obs::Timer timer_;
 };
 
 }  // namespace ita

@@ -12,6 +12,14 @@ namespace {
 constexpr double kInfinity = std::numeric_limits<double>::infinity();
 }  // namespace
 
+void ItaServer::EnableHotTermTracking(std::size_t capacity) {
+#if ITA_OBS_ENABLED
+  hot_terms_ = std::make_unique<obs::SpaceSavingSketch>(capacity);
+#else
+  (void)capacity;  // the batch path carries no sketch updates
+#endif
+}
+
 Status ItaServer::OnRegisterQuery(QueryId id, const Query& query) {
   QueryState state;
   state.id = id;
@@ -204,12 +212,14 @@ void ItaServer::CollectBatchAffected(std::span<const DocumentView> docs,
       // would visit zero entries — skip it without touching the tree
       // lanes. +infinity on an empty tree subsumes the empty() check.
       const double max_weight = flat[lo].weight;
+      std::size_t probe_steps = 0;
       if (max_weight >= ts.tree.MinTheta()) {
         // One tree probe per (term, batch), with the run's max weight; the
         // per-query filter below restores exactness.
         probe_scratch_.clear();
-        stats.threshold_probe_steps += ts.tree.ProbeLessEqual(
+        probe_steps = ts.tree.ProbeLessEqual(
             max_weight, [this](SlotIndex s) { probe_scratch_.push_back(s); });
+        stats.threshold_probe_steps += probe_steps;
         for (const SlotIndex s : probe_scratch_) {
           const double theta = ThetaOf(states_[s], term);
           // The run orders by descending weight: stop at the first posting
@@ -220,6 +230,15 @@ void ItaServer::CollectBatchAffected(std::span<const DocumentView> docs,
           }
         }
       }
+#if ITA_OBS_ENABLED
+      // Hot-term load: the postings the run maintained plus the tree
+      // entries its probe visited — one sketch update per (term, epoch).
+      if (hot_terms_ != nullptr) {
+        hot_terms_->Add(term, (hi - lo) + probe_steps);
+      }
+#else
+      (void)probe_steps;
+#endif
       lo = hi;
     }
   }
@@ -236,20 +255,24 @@ void ItaServer::OnArriveBatch(std::span<const DocumentView> docs) {
   ServerStats& stats = mutable_stats();
   if (docs.empty()) return;
 
-  CollectBatchAffected(
-      docs,
-      [this, &stats](TermState& ts, std::size_t lo, std::size_t hi) {
-        const std::size_t n = catalog_.InsertRunInto(
-            ts, BatchRunIterator{batch_postings_.data() + lo},
-            BatchRunIterator{batch_postings_.data() + hi});
-        ITA_CHECK(n == hi - lo) << "duplicate posting in batch insert";
-        stats.index_entries_inserted += n;
-      });
+  {
+    ITA_OBS_SUB_SPAN(phase_recorder(), obs::SubSpan::kProbe);
+    CollectBatchAffected(
+        docs,
+        [this, &stats](TermState& ts, std::size_t lo, std::size_t hi) {
+          const std::size_t n = catalog_.InsertRunInto(
+              ts, BatchRunIterator{batch_postings_.data() + lo},
+              BatchRunIterator{batch_postings_.data() + hi});
+          ITA_CHECK(n == hi - lo) << "duplicate posting in batch insert";
+          stats.index_entries_inserted += n;
+        });
+  }
   if (states_.empty()) {
     RefreshMemoryGauges();
     return;
   }
 
+  ITA_OBS_SUB_SPAN(phase_recorder(), obs::SubSpan::kRollUp);
   BeginBulkRetheta();
   for (std::size_t lo = 0; lo < batch_affected_.size();) {
     const SlotIndex slot = batch_affected_[lo].first;
@@ -290,20 +313,24 @@ void ItaServer::OnExpireBatch(std::span<const DocumentView> docs) {
   // processing below: a refill must never resurrect a doomed-but-not-yet-
   // processed document (they are already popped from the arena, so a
   // stale posting would dangle).
-  CollectBatchAffected(
-      docs,
-      [this, &stats](TermState& ts, std::size_t lo, std::size_t hi) {
-        const std::size_t n = catalog_.EraseRunFrom(
-            ts, BatchRunIterator{batch_postings_.data() + lo},
-            BatchRunIterator{batch_postings_.data() + hi});
-        ITA_CHECK(n == hi - lo) << "missing posting in batch erase";
-        stats.index_entries_erased += n;
-      });
+  {
+    ITA_OBS_SUB_SPAN(phase_recorder(), obs::SubSpan::kProbe);
+    CollectBatchAffected(
+        docs,
+        [this, &stats](TermState& ts, std::size_t lo, std::size_t hi) {
+          const std::size_t n = catalog_.EraseRunFrom(
+              ts, BatchRunIterator{batch_postings_.data() + lo},
+              BatchRunIterator{batch_postings_.data() + hi});
+          ITA_CHECK(n == hi - lo) << "missing posting in batch erase";
+          stats.index_entries_erased += n;
+        });
+  }
   if (states_.empty()) {
     RefreshMemoryGauges();
     return;
   }
 
+  ITA_OBS_SUB_SPAN(phase_recorder(), obs::SubSpan::kRefill);
   BeginBulkRetheta();
   for (std::size_t lo = 0; lo < batch_affected_.size();) {
     const SlotIndex slot = batch_affected_[lo].first;

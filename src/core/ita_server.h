@@ -37,6 +37,7 @@
 
 #pragma once
 
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -46,6 +47,7 @@
 #include "core/server.h"
 #include "core/term_catalog.h"
 #include "core/threshold_tree.h"
+#include "obs/top_k_sketch.h"
 
 namespace ita {
 
@@ -99,6 +101,19 @@ class ItaServer : public ContinuousSearchServer {
   /// Slots the query-state slab holds (occupied + reusable) — exposed so
   /// churn tests can assert free-list reuse bounds the slab.
   std::size_t query_state_slots() const { return states_.slot_count(); }
+
+  /// Turns on hot-term load tracking: a space-saving top-K sketch
+  /// (obs/top_k_sketch.h) accumulating, per TermId, the postings plus
+  /// threshold-probe steps each epoch spent on the term — the load signal
+  /// the frequency-adaptive indexing work needs. Tracked on the BATCH
+  /// path only (one sketch update per term-run, off the per-posting hot
+  /// loop); the per-event Ingest path does not feed it. No-op in an
+  /// ITA_OBS=OFF build.
+  void EnableHotTermTracking(std::size_t capacity = 64);
+
+  /// The hot-term sketch, null until EnableHotTermTracking() (and always
+  /// null in an ITA_OBS=OFF build).
+  const obs::SpaceSavingSketch* hot_terms() const { return hot_terms_.get(); }
 
  protected:
   /// Registers threshold-tree entries for the query's terms and runs the
@@ -279,6 +294,10 @@ class ItaServer : public ContinuousSearchServer {
   std::vector<std::uint32_t> bucket_start_;
   std::vector<std::uint32_t> bucket_cursor_;
   std::vector<std::pair<SlotIndex, std::uint32_t>> batch_affected_;
+
+  /// Hot-term load sketch, null unless EnableHotTermTracking() was called
+  /// (fed once per term-run in CollectBatchAffected).
+  std::unique_ptr<obs::SpaceSavingSketch> hot_terms_;
 };
 
 }  // namespace ita

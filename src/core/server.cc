@@ -17,6 +17,15 @@ ContinuousSearchServer::ContinuousSearchServer(ServerOptions options)
   }
 }
 
+void ContinuousSearchServer::EnableTracing(std::size_t capacity) {
+#if ITA_OBS_ENABLED
+  trace_ = std::make_unique<obs::EpochTrace>(capacity, /*shards=*/1);
+  phase_recorder_ = trace_->shard_recorder(0);
+#else
+  (void)capacity;  // spans compile to nothing; a trace would stay empty
+#endif
+}
+
 StatusOr<QueryId> ContinuousSearchServer::RegisterQuery(Query query) {
   ITA_RETURN_NOT_OK(ValidateQuery(query));
   const QueryId id = next_query_id_++;
@@ -68,29 +77,46 @@ StatusOr<DocId> ContinuousSearchServer::Ingest(Document document) {
   }
   last_arrival_time_ = document.arrival_time;
 
+#if ITA_OBS_ENABLED
+  obs::Timer epoch_timer;
+  if (trace_ != nullptr) trace_->BeginEpoch(stats_.batches_ingested);
+#endif
+
   // Expire documents the new arrival pushes out of the window — "a
   // document d_ins arrives, forcing an existing one d_del to expire".
   // Per-event semantics: each expiry is its own event (pop, then hook),
   // so a strategy's rescan during OnExpire sees the remaining documents.
-  if (options_.window.kind == WindowSpec::Kind::kCountBased) {
-    while (arena_->size() >= options_.window.count) ExpireOldest();
-  } else {
-    while (!arena_->empty() &&
-           !options_.window.ValidAt(arena_->Oldest().arrival_time,
-                                    document.arrival_time)) {
-      ExpireOldest();
+  {
+    ITA_OBS_SPAN(phase_recorder_, obs::Phase::kExpire);
+    if (options_.window.kind == WindowSpec::Kind::kCountBased) {
+      while (arena_->size() >= options_.window.count) ExpireOldest();
+    } else {
+      while (!arena_->empty() &&
+             !options_.window.ValidAt(arena_->Oldest().arrival_time,
+                                      document.arrival_time)) {
+        ExpireOldest();
+      }
     }
   }
 
   const DocId id = arena_->Append(std::move(document));
   const auto stored = arena_->Get(id);
   ITA_DCHECK(stored.has_value());
-  OnArrive(*stored);
+  {
+    ITA_OBS_SPAN(phase_recorder_, obs::Phase::kArrive);
+    OnArrive(*stored);
+  }
   ++stats_.documents_ingested;
 
   arena_->ReclaimExpired();
   RefreshArenaGauges();
-  FlushNotifications();
+  {
+    ITA_OBS_SPAN(phase_recorder_, obs::Phase::kNotifyFlush);
+    FlushNotifications();
+  }
+#if ITA_OBS_ENABLED
+  if (trace_ != nullptr) trace_->EndEpoch(epoch_timer.ElapsedNanos());
+#endif
   return id;
 }
 
@@ -101,6 +127,7 @@ StatusOr<EpochPlan> ContinuousSearchServer::PlanEpoch(
 
 void ContinuousSearchServer::RunExpirePhase(
     const EpochPlan& plan, std::span<const DocumentView> expired) {
+  ITA_OBS_SPAN(phase_recorder_, obs::Phase::kExpire);
   last_arrival_time_ = std::max(last_arrival_time_, plan.epoch_end);
   ITA_DCHECK(expired.size() == plan.expiring);
   if (!expired.empty()) {
@@ -111,6 +138,7 @@ void ContinuousSearchServer::RunExpirePhase(
 
 void ContinuousSearchServer::RunArrivePhase(
     const EpochPlan& plan, std::span<const DocumentView> arrived) {
+  ITA_OBS_SPAN(phase_recorder_, obs::Phase::kArrive);
   last_arrival_time_ = std::max(last_arrival_time_, plan.epoch_end);
   ITA_DCHECK(arrived.size() == plan.arriving);
 
@@ -130,8 +158,14 @@ StatusOr<std::vector<DocId>> ContinuousSearchServer::IngestBatch(
   ITA_CHECK(owns_arena())
       << "shared-arena servers are streamed by their epoch driver";
 
+#if ITA_OBS_ENABLED
+  obs::Timer epoch_timer;
+  if (trace_ != nullptr) trace_->BeginEpoch(stats_.batches_ingested);
+#endif
+
   EpochPlan plan;
   {
+    ITA_OBS_SPAN(phase_recorder_, obs::Phase::kPlan);
     const auto planned = PlanEpoch(batch);
     ITA_RETURN_NOT_OK(planned.status());
     plan = *planned;
@@ -151,7 +185,13 @@ StatusOr<std::vector<DocId>> ContinuousSearchServer::IngestBatch(
 
   arena_->ReclaimExpired();
   RefreshArenaGauges();
-  FlushNotifications();
+  {
+    ITA_OBS_SPAN(phase_recorder_, obs::Phase::kNotifyFlush);
+    FlushNotifications();
+  }
+#if ITA_OBS_ENABLED
+  if (trace_ != nullptr) trace_->EndEpoch(epoch_timer.ElapsedNanos());
+#endif
 
   std::vector<DocId> ids(total);
   for (std::size_t i = 0; i < total; ++i) ids[i] = first + i;
@@ -164,13 +204,23 @@ Status ContinuousSearchServer::AdvanceTime(Timestamp now) {
   if (now < last_arrival_time_) {
     return Status::InvalidArgument("time may not move backwards");
   }
+#if ITA_OBS_ENABLED
+  obs::Timer epoch_timer;
+  if (trace_ != nullptr) trace_->BeginEpoch(stats_.batches_ingested);
+#endif
   const EpochPlan plan = arena_->PlanAdvance(options_.window, now);
   expired_scratch_.clear();
   arena_->PopExpiredInto(plan.expiring, expired_scratch_);
   RunExpirePhase(plan, expired_scratch_);
   arena_->ReclaimExpired();
   RefreshArenaGauges();
-  FlushNotifications();
+  {
+    ITA_OBS_SPAN(phase_recorder_, obs::Phase::kNotifyFlush);
+    FlushNotifications();
+  }
+#if ITA_OBS_ENABLED
+  if (trace_ != nullptr) trace_->EndEpoch(epoch_timer.ElapsedNanos());
+#endif
   return Status::OK();
 }
 

@@ -38,6 +38,7 @@
 #include "core/query.h"
 #include "core/result_set.h"
 #include "core/server_strategy.h"
+#include "obs/epoch_trace.h"
 #include "stream/document.h"
 #include "stream/document_arena.h"
 #include "stream/window.h"
@@ -141,6 +142,28 @@ class ContinuousSearchServer : public ServerStrategy {
     return notifier_.TakeChanged();
   }
 
+  /// ServerStrategy: points span instrumentation at `recorder` (null
+  /// disables). The embedding driver calls this; a standalone server gets
+  /// its recorder from EnableTracing() instead.
+  void SetPhaseRecorder(obs::PhaseRecorder* recorder) override {
+    phase_recorder_ = recorder;
+  }
+
+  /// Turns on epoch phase tracing for this standalone server: creates an
+  /// owned single-lane obs::EpochTrace keeping the last `capacity` epochs
+  /// raw and wires the span instrumentation at it. Every subsequent
+  /// Ingest/IngestBatch/AdvanceTime epoch is bracketed and drained.
+  /// No-op in an ITA_OBS=OFF build (trace() stays null, spans compile to
+  /// nothing). Embedded (shared-arena) servers are traced by their driver
+  /// (exec::ShardedServer::EnableTracing), not here.
+  void EnableTracing(std::size_t capacity = 256);
+
+  /// The owned trace, null until EnableTracing() (and always null in an
+  /// ITA_OBS=OFF build or on an embedded server traced by its driver).
+  const obs::EpochTrace* trace() const { return trace_.get(); }
+  /// Mutable owned trace (for Reset between measurement windows).
+  obs::EpochTrace* mutable_trace() { return trace_.get(); }
+
   /// Snapshot of the current top-k result of a query, best first. Exact at
   /// every event boundary (for IngestBatch, the event is the whole epoch).
   ///
@@ -224,6 +247,9 @@ class ContinuousSearchServer : public ServerStrategy {
   const DocumentArena& store() const { return *arena_; }
   /// The stats instance subclasses bump on hot paths.
   ServerStats& mutable_stats() { return stats_; }
+  /// The wired span recorder (null when telemetry is off) — strategy
+  /// subclasses record their sub-spans through it (ITA_OBS_SUB_SPAN).
+  obs::PhaseRecorder* phase_recorder() const { return phase_recorder_; }
 
  private:
   /// Shared tail of RegisterQuery/RegisterQueryWithId: emplaces the query
@@ -248,6 +274,8 @@ class ContinuousSearchServer : public ServerStrategy {
   Timestamp last_arrival_time_ = 0;
   ServerStats stats_;
   ResultNotifier notifier_;
+  obs::PhaseRecorder* phase_recorder_ = nullptr;  ///< null = spans off
+  std::unique_ptr<obs::EpochTrace> trace_;        ///< EnableTracing() only
   /// Epoch scratch for the owned-arena drivers (Ingest/IngestBatch/
   /// AdvanceTime); capacity reused across epochs.
   std::vector<DocumentView> expired_scratch_;

@@ -42,6 +42,7 @@
 #include "common/types.h"
 #include "core/query.h"
 #include "core/result_set.h"
+#include "obs/phase_recorder.h"
 #include "stream/document.h"
 #include "stream/document_arena.h"
 
@@ -109,6 +110,18 @@ class ServerStrategy {
   /// ascending, dedup'd). The driver calls this after the arrive barrier
   /// and flushes the merged set through its own ResultNotifier.
   virtual std::vector<QueryId> TakeChangedQueries() = 0;
+
+  // --- Telemetry ------------------------------------------------------
+
+  /// Points the strategy's span instrumentation (obs/phase_recorder.h) at
+  /// `recorder`; null (the default) disables it. An epoch driver wires
+  /// each shard's private recorder once, before any epoch; the recorder
+  /// must outlive the spans, and the driver's phase barrier orders the
+  /// shard's writes against its own epoch-end drain. The default ignores
+  /// the recorder, so strategies without instrumentation need no code.
+  virtual void SetPhaseRecorder(obs::PhaseRecorder* recorder) {
+    (void)recorder;
+  }
 
   // --- Read side ------------------------------------------------------
 

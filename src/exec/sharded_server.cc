@@ -71,11 +71,17 @@ StatusOr<std::vector<DocId>> ShardedServer::IngestBatch(
     std::vector<Document> batch) {
   if (batch.empty()) return std::vector<DocId>{};
 
+#if ITA_OBS_ENABLED
+  obs::Timer epoch_timer;
+  if (trace_ != nullptr) trace_->BeginEpoch(epochs_processed_);
+#endif
+
   // Plan once — shards share the arena and the stream history, so shard
   // 0's plan is every shard's plan, and a failed plan leaves everything
   // untouched (the phases below cannot fail).
   EpochPlan plan;
   {
+    ITA_OBS_SPAN(driver_lane(), obs::Phase::kPlan);
     const auto planned = shards_[0]->PlanEpoch(batch);
     ITA_RETURN_NOT_OK(planned.status());
     plan = *planned;
@@ -110,7 +116,13 @@ StatusOr<std::vector<DocId>> ShardedServer::IngestBatch(
   arena_->ReclaimExpired();
   last_arrival_time_ = plan.epoch_end;
   ++epochs_processed_;
-  MergeAndFlush();
+  {
+    ITA_OBS_SPAN(driver_lane(), obs::Phase::kNotifyFlush);
+    MergeAndFlush();
+  }
+#if ITA_OBS_ENABLED
+  if (trace_ != nullptr) trace_->EndEpoch(epoch_timer.ElapsedNanos());
+#endif
 
   std::vector<DocId> ids(total);
   for (std::size_t i = 0; i < total; ++i) ids[i] = first + i;
@@ -130,7 +142,15 @@ Status ShardedServer::AdvanceTime(Timestamp now) {
   if (now < last_arrival_time_) {
     return Status::InvalidArgument("time may not move backwards");
   }
-  const EpochPlan plan = arena_->PlanAdvance(options_.window, now);
+#if ITA_OBS_ENABLED
+  obs::Timer epoch_timer;
+  if (trace_ != nullptr) trace_->BeginEpoch(epochs_processed_);
+#endif
+  EpochPlan plan;
+  {
+    ITA_OBS_SPAN(driver_lane(), obs::Phase::kPlan);
+    plan = arena_->PlanAdvance(options_.window, now);
+  }
   expired_scratch_.clear();
   arena_->PopExpiredInto(plan.expiring, expired_scratch_);
   RunPhase([this, &plan](std::size_t s) {
@@ -139,7 +159,13 @@ Status ShardedServer::AdvanceTime(Timestamp now) {
   arena_->ReclaimExpired();
   last_arrival_time_ = now;
   ++epochs_processed_;
-  MergeAndFlush();
+  {
+    ITA_OBS_SPAN(driver_lane(), obs::Phase::kNotifyFlush);
+    MergeAndFlush();
+  }
+#if ITA_OBS_ENABLED
+  if (trace_ != nullptr) trace_->EndEpoch(epoch_timer.ElapsedNanos());
+#endif
   return Status::OK();
 }
 
@@ -196,6 +222,44 @@ std::uint64_t ShardedServer::shard_busy_micros(std::size_t shard) const {
   return shard_busy_micros_[shard];
 }
 
+void ShardedServer::EnableTracing(std::size_t capacity) {
+#if ITA_OBS_ENABLED
+  trace_ = std::make_unique<obs::EpochTrace>(capacity, shards_.size());
+  task_nanos_scratch_.assign(shards_.size(), 0);
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    shards_[s]->SetPhaseRecorder(trace_->shard_recorder(s));
+  }
+#else
+  (void)capacity;  // spans compile to nothing; a trace would stay empty
+#endif
+}
+
+void ShardedServer::EnableHotTermTracking(std::size_t capacity) {
+  for (const auto& shard : shards_) {
+    if (auto* ita = dynamic_cast<ItaServer*>(shard.get())) {
+      ita->EnableHotTermTracking(capacity);
+    }
+  }
+}
+
+obs::SpaceSavingSketch ShardedServer::AggregateHotTerms() const {
+  // Capacity of the aggregate = the first tracked shard's capacity (all
+  // shards were enabled with the same one).
+  for (const auto& shard : shards_) {
+    const auto* ita = dynamic_cast<const ItaServer*>(shard.get());
+    if (ita == nullptr || ita->hot_terms() == nullptr) continue;
+    obs::SpaceSavingSketch merged(ita->hot_terms()->capacity());
+    for (const auto& other : shards_) {
+      const auto* other_ita = dynamic_cast<const ItaServer*>(other.get());
+      if (other_ita != nullptr && other_ita->hot_terms() != nullptr) {
+        merged.MergeFrom(*other_ita->hot_terms());
+      }
+    }
+    return merged;
+  }
+  return obs::SpaceSavingSketch(1);
+}
+
 std::string ShardedServer::name() const {
   return "sharded(" + shards_[0]->name() + "," +
          std::to_string(shards_.size()) + ")";
@@ -208,6 +272,30 @@ std::size_t ShardedServer::query_count() const {
 }
 
 void ShardedServer::RunPhase(const std::function<void(std::size_t)>& fn) {
+#if ITA_OBS_ENABLED
+  if (trace_ != nullptr) {
+    // Traced edition: per-task nanos land in the scratch (same single-
+    // writer-per-shard discipline as shard_busy_micros_; the barrier
+    // orders the writes against the driver's reads below), and the wall
+    // measurement around the whole fan-out yields each shard's barrier
+    // wait — the time its lane sat idle behind the slowest shard.
+    obs::Timer phase_timer;
+    scheduler_.RunPhase(shards_.size(), [this, &fn](std::size_t s) {
+      obs::Timer task_timer;
+      fn(s);
+      const std::uint64_t nanos = task_timer.ElapsedNanos();
+      task_nanos_scratch_[s] = nanos;
+      shard_busy_micros_[s] += nanos / 1'000;
+    });
+    const std::uint64_t wall = phase_timer.ElapsedNanos();
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      const std::uint64_t busy = task_nanos_scratch_[s];
+      trace_->RecordPhase(s, obs::Phase::kBarrierWait,
+                          wall > busy ? wall - busy : 0);
+    }
+    return;
+  }
+#endif
   scheduler_.RunPhase(shards_.size(), [this, &fn](std::size_t s) {
     Stopwatch watch;
     fn(s);

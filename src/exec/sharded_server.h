@@ -45,6 +45,8 @@
 #include "core/server.h"
 #include "core/server_strategy.h"
 #include "exec/epoch_scheduler.h"
+#include "obs/epoch_trace.h"
+#include "obs/top_k_sketch.h"
 #include "pipeline/ingest_pipeline.h"
 #include "stream/document_arena.h"
 
@@ -149,6 +151,33 @@ class ShardedServer {
   /// own core — and is the hardware-independent scaling metric recorded
   /// by bench_sharded.
   std::uint64_t shard_busy_micros(std::size_t shard) const;
+
+  /// Turns on epoch phase tracing: creates an owned S-lane obs::EpochTrace
+  /// keeping the last `capacity` epochs raw and wires every shard's span
+  /// instrumentation at its private lane. Each subsequent epoch records
+  /// the driver's plan and notify-flush spans (lane 0), every shard's
+  /// expire/arrive spans and strategy sub-spans (its own lane, written by
+  /// whichever worker runs the shard's phase task — the phase barrier
+  /// orders those writes against the driver's epoch-end drain), and a
+  /// per-shard barrier-wait span (phase wall minus the shard's task time,
+  /// computed by the driver). No-op in an ITA_OBS=OFF build.
+  void EnableTracing(std::size_t capacity = 256);
+
+  /// The owned trace, null until EnableTracing() (and always null in an
+  /// ITA_OBS=OFF build).
+  const obs::EpochTrace* trace() const { return trace_.get(); }
+  /// Mutable owned trace (for Reset between measurement windows).
+  obs::EpochTrace* mutable_trace() { return trace_.get(); }
+
+  /// Turns on hot-term load tracking on every shard whose strategy is an
+  /// ItaServer (one space-saving sketch of `capacity` entries per shard;
+  /// non-ITA strategies are skipped). No-op in an ITA_OBS=OFF build.
+  void EnableHotTermTracking(std::size_t capacity = 64);
+
+  /// The shards' hot-term sketches folded into one (sound upper bounds;
+  /// merged error bounds are looser than a single sketch's). Empty when
+  /// tracking was never enabled.
+  obs::SpaceSavingSketch AggregateHotTerms() const;
   /// Ingest/advance epochs driven since construction or ResetStats().
   std::uint64_t epochs_processed() const { return epochs_processed_; }
 
@@ -175,8 +204,16 @@ class ShardedServer {
 
  private:
   /// Runs fn(shard) on every shard through the scheduler (one barrier),
-  /// accumulating each task's wall time into shard_busy_micros_.
+  /// accumulating each task's wall time into shard_busy_micros_. With
+  /// tracing on, additionally records each shard's barrier-wait span
+  /// (phase wall minus the shard's own task time) after the barrier.
   void RunPhase(const std::function<void(std::size_t)>& fn);
+
+  /// Lane 0's recorder while tracing (the driver lane), else null — the
+  /// target of the driver's plan / notify-flush spans.
+  obs::PhaseRecorder* driver_lane() {
+    return trace_ != nullptr ? trace_->shard_recorder(0) : nullptr;
+  }
 
   /// Drains every shard's changed queries into the notifier and fires the
   /// listener — the same flush implementation the sequential server uses.
@@ -196,6 +233,12 @@ class ShardedServer {
   /// Indexed by shard; written only by the worker running that shard's
   /// phase task (the barrier orders writes against reads).
   std::vector<std::uint64_t> shard_busy_micros_;
+  /// Per-phase task nanos scratch, same write discipline as
+  /// shard_busy_micros_; read by the driver after the barrier to compute
+  /// barrier-wait spans. Sized only while tracing.
+  std::vector<std::uint64_t> task_nanos_scratch_;
+  /// The epoch trace, null until EnableTracing().
+  std::unique_ptr<obs::EpochTrace> trace_;
   /// Per-epoch view scratch, written by the engine before each phase and
   /// read concurrently (read-only) by every shard during it.
   std::vector<DocumentView> expired_scratch_;

@@ -1,0 +1,142 @@
+#include "obs/epoch_trace.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace ita::obs {
+
+const char* PhaseName(Phase phase) {
+  switch (phase) {
+    case Phase::kPlan: return "plan";
+    case Phase::kExpire: return "expire";
+    case Phase::kArrive: return "arrive";
+    case Phase::kNotifyFlush: return "notify_flush";
+    case Phase::kBarrierWait: return "barrier_wait";
+  }
+  return "?";
+}
+
+const char* SubSpanName(SubSpan span) {
+  switch (span) {
+    case SubSpan::kProbe: return "probe";
+    case SubSpan::kRollUp: return "rollup";
+    case SubSpan::kRefill: return "refill";
+  }
+  return "?";
+}
+
+EpochTrace::EpochTrace(std::size_t capacity, std::size_t shards)
+    : capacity_(std::max<std::size_t>(capacity, 1)),
+      shards_(std::max<std::size_t>(shards, 1)),
+      recorders_(shards_),
+      ring_epoch_(capacity_, 0),
+      ring_wall_(capacity_, 0),
+      ring_phase_(capacity_ * shards_ * kPhaseCount, 0),
+      ring_sub_(capacity_ * shards_ * kSubSpanCount, 0),
+      phase_hists_(shards_ * kPhaseCount),
+      sub_hists_(shards_ * kSubSpanCount),
+      cum_phase_(shards_ * kPhaseCount, 0),
+      cum_sub_(shards_ * kSubSpanCount, 0) {}
+
+void EpochTrace::BeginEpoch(std::uint64_t epoch_index) {
+  current_epoch_ = epoch_index;
+  for (PhaseRecorder& recorder : recorders_) recorder.Reset();
+}
+
+PhaseRecorder* EpochTrace::shard_recorder(std::size_t shard) {
+  ITA_DCHECK(shard < shards_);
+  return &recorders_[shard];
+}
+
+void EpochTrace::EndEpoch(std::uint64_t wall_nanos) {
+  const std::size_t row = head_;
+  head_ = (head_ + 1) % capacity_;
+  size_ = std::min(size_ + 1, capacity_);
+  ++epochs_;
+
+  ring_epoch_[row] = current_epoch_;
+  ring_wall_[row] = wall_nanos;
+  wall_hist_.Record(wall_nanos);
+
+  std::uint64_t* phase_row = &ring_phase_[row * shards_ * kPhaseCount];
+  std::uint64_t* sub_row = &ring_sub_[row * shards_ * kSubSpanCount];
+  std::uint64_t busy_max = 0;
+  std::uint64_t busy_sum = 0;
+  for (std::size_t s = 0; s < shards_; ++s) {
+    const PhaseRecorder& recorder = recorders_[s];
+    for (std::size_t p = 0; p < kPhaseCount; ++p) {
+      const std::uint64_t nanos = recorder.phase_nanos(static_cast<Phase>(p));
+      phase_row[s * kPhaseCount + p] = nanos;
+      phase_hists_[s * kPhaseCount + p].Record(nanos);
+      cum_phase_[s * kPhaseCount + p] += nanos;
+    }
+    for (std::size_t q = 0; q < kSubSpanCount; ++q) {
+      const std::uint64_t nanos = recorder.sub_nanos(static_cast<SubSpan>(q));
+      sub_row[s * kSubSpanCount + q] = nanos;
+      sub_hists_[s * kSubSpanCount + q].Record(nanos);
+      cum_sub_[s * kSubSpanCount + q] += nanos;
+    }
+    // Imbalance looks at the barriered phase work only (expire + arrive):
+    // lane 0 doubles as the driver lane, and including the driver-only
+    // spans (plan, notify-flush) would bias it against shard 0.
+    const std::uint64_t busy = recorder.phase_nanos(Phase::kExpire) +
+                               recorder.phase_nanos(Phase::kArrive);
+    busy_max = std::max(busy_max, busy);
+    busy_sum += busy;
+  }
+
+  if (busy_sum > 0) {
+    const double mean =
+        static_cast<double>(busy_sum) / static_cast<double>(shards_);
+    last_imbalance_ = static_cast<double>(busy_max) / mean;
+    max_imbalance_ = std::max(max_imbalance_, last_imbalance_);
+  } else {
+    last_imbalance_ = 0.0;
+  }
+}
+
+EpochTrace::SampleView EpochTrace::Sample(std::size_t index) const {
+  ITA_CHECK(index < size_) << "trace holds " << size_ << " epochs";
+  // Row of the index-th oldest retained epoch: the ring's oldest row is
+  // head_ when full, 0 otherwise.
+  const std::size_t oldest = size_ == capacity_ ? head_ : 0;
+  const std::size_t row = (oldest + index) % capacity_;
+  SampleView view;
+  view.epoch = ring_epoch_[row];
+  view.wall_nanos = ring_wall_[row];
+  view.phase_nanos = &ring_phase_[row * shards_ * kPhaseCount];
+  view.sub_nanos = &ring_sub_[row * shards_ * kSubSpanCount];
+  return view;
+}
+
+std::uint64_t EpochTrace::cumulative_phase_nanos(std::size_t shard,
+                                                 Phase phase) const {
+  return cum_phase_[shard * kPhaseCount + static_cast<std::size_t>(phase)];
+}
+
+std::uint64_t EpochTrace::cumulative_sub_nanos(std::size_t shard,
+                                               SubSpan span) const {
+  return cum_sub_[shard * kSubSpanCount + static_cast<std::size_t>(span)];
+}
+
+void EpochTrace::Reset() {
+  for (PhaseRecorder& recorder : recorders_) recorder.Reset();
+  std::fill(ring_epoch_.begin(), ring_epoch_.end(), 0);
+  std::fill(ring_wall_.begin(), ring_wall_.end(), 0);
+  std::fill(ring_phase_.begin(), ring_phase_.end(), 0);
+  std::fill(ring_sub_.begin(), ring_sub_.end(), 0);
+  head_ = 0;
+  size_ = 0;
+  for (Histogram& hist : phase_hists_) hist.Reset();
+  for (Histogram& hist : sub_hists_) hist.Reset();
+  wall_hist_.Reset();
+  std::fill(cum_phase_.begin(), cum_phase_.end(), 0);
+  std::fill(cum_sub_.begin(), cum_sub_.end(), 0);
+  epochs_ = 0;
+  current_epoch_ = 0;
+  last_imbalance_ = 0.0;
+  max_imbalance_ = 0.0;
+}
+
+}  // namespace ita::obs

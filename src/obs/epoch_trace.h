@@ -1,0 +1,158 @@
+/// \file
+/// Epoch phase tracing (DESIGN.md §11): a preallocated ring buffer of
+/// per-epoch, per-shard span records plus aggregate-on-write histograms.
+/// The owning epoch driver (ContinuousSearchServer for the sequential
+/// path, exec::ShardedServer for the sharded one) brackets every epoch
+/// with BeginEpoch/EndEpoch; in between, each shard's strategy writes its
+/// spans into its private PhaseRecorder (single writer, ordered against
+/// the driver by the phase barrier) and the driver records its own spans
+/// (plan, notify-flush, per-shard barrier-wait) directly.
+///
+/// EndEpoch drains the recorders into the ring — raw rows for the live
+/// per-shard phase table — and feeds the per-(shard, phase) and
+/// per-(shard, sub-span) histograms, the epoch wall-time histogram, and
+/// the shard-imbalance gauge (max/mean shard busy nanos of the epoch;
+/// 1.0 = perfectly balanced, S = one shard did all the work). Nothing
+/// allocates after construction, so tracing cost per epoch is a handful
+/// of array writes.
+///
+/// Threading: BeginEpoch/RecordPhase/EndEpoch and every read-side
+/// accessor belong to the driver thread; shard_recorder(s) may be
+/// written by whichever worker runs shard s's phase, with the barrier
+/// ordering those writes against the driver's EndEpoch drain
+/// (tests/exec/phase_trace_parallel_test.cc runs this under
+/// ThreadSanitizer).
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "obs/histogram.h"
+#include "obs/phase_recorder.h"
+
+namespace ita::obs {
+
+/// Ring buffer + histograms of per-epoch phase spans; see the file
+/// comment for ownership and threading.
+class EpochTrace {
+ public:
+  /// A trace over `shards` lanes keeping the most recent `capacity`
+  /// epochs raw (histograms and cumulative tallies cover every epoch
+  /// since construction or Reset). Lane 0 doubles as the driver lane:
+  /// epoch-level spans (plan, notify-flush) are recorded there.
+  EpochTrace(std::size_t capacity, std::size_t shards);
+
+  // --- Write side (the epoch protocol) -------------------------------
+
+  /// Starts an epoch: zeroes every lane's recorder and stamps the index.
+  void BeginEpoch(std::uint64_t epoch_index);
+
+  /// The per-shard recorder handed to shard `shard`'s strategy (stable
+  /// address for the lifetime of the trace).
+  PhaseRecorder* shard_recorder(std::size_t shard);
+
+  /// Driver-side span record (plan and notify-flush on lane 0, per-shard
+  /// barrier-wait on the shard's own lane).
+  void RecordPhase(std::size_t shard, Phase phase, std::uint64_t nanos) {
+    shard_recorder(shard)->Record(phase, nanos);
+  }
+
+  /// Ends the epoch: drains every lane's recorder into the ring row and
+  /// the aggregate histograms/tallies. `wall_nanos` is the driver's wall
+  /// measurement of the whole epoch.
+  void EndEpoch(std::uint64_t wall_nanos);
+
+  // --- Read side (driver thread) -------------------------------------
+
+  /// Lanes (shards) the trace records.
+  std::size_t shards() const { return shards_; }
+  /// Ring capacity in epochs.
+  std::size_t capacity() const { return capacity_; }
+  /// Epochs currently held raw in the ring (<= capacity()).
+  std::size_t size() const { return size_; }
+  /// Epochs traced since construction or Reset().
+  std::uint64_t epochs() const { return epochs_; }
+
+  /// Read-only view of one ring row; index 0 is the OLDEST retained
+  /// epoch, size() - 1 the newest.
+  struct SampleView {
+    /// The driver's epoch index stamp.
+    std::uint64_t epoch = 0;
+    /// Wall nanos of the whole epoch.
+    std::uint64_t wall_nanos = 0;
+    /// Phase nanos for (shard, phase), laid out shard-major.
+    const std::uint64_t* phase_nanos = nullptr;
+    /// Sub-span nanos for (shard, sub-span), laid out shard-major.
+    const std::uint64_t* sub_nanos = nullptr;
+
+    /// Phase nanos of one (shard, phase) cell.
+    std::uint64_t Phase(std::size_t shard, obs::Phase phase) const {
+      return phase_nanos[shard * kPhaseCount + static_cast<std::size_t>(phase)];
+    }
+    /// Sub-span nanos of one (shard, sub-span) cell.
+    std::uint64_t Sub(std::size_t shard, obs::SubSpan span) const {
+      return sub_nanos[shard * kSubSpanCount + static_cast<std::size_t>(span)];
+    }
+  };
+  /// The `index`-th oldest retained epoch (index < size()).
+  SampleView Sample(std::size_t index) const;
+
+  /// Distribution of one (shard, phase)'s per-epoch nanos over every
+  /// traced epoch.
+  const Histogram& phase_hist(std::size_t shard, Phase phase) const {
+    return phase_hists_[shard * kPhaseCount + static_cast<std::size_t>(phase)];
+  }
+  /// Distribution of one (shard, sub-span)'s per-epoch nanos.
+  const Histogram& sub_hist(std::size_t shard, SubSpan span) const {
+    return sub_hists_[shard * kSubSpanCount + static_cast<std::size_t>(span)];
+  }
+  /// Distribution of whole-epoch wall nanos.
+  const Histogram& wall_hist() const { return wall_hist_; }
+
+  /// Cumulative nanos of one (shard, phase) over every traced epoch.
+  std::uint64_t cumulative_phase_nanos(std::size_t shard, Phase phase) const;
+  /// Cumulative nanos of one (shard, sub-span) over every traced epoch.
+  std::uint64_t cumulative_sub_nanos(std::size_t shard, SubSpan span) const;
+
+  /// The most recent epoch's shard-imbalance gauge: max over shards of
+  /// barriered phase work (expire + arrive nanos; driver-only spans are
+  /// excluded so lane 0's double duty doesn't bias it) divided by the
+  /// mean (1.0 = balanced; 0 before any epoch or when no shard did
+  /// measurable work).
+  double last_imbalance() const { return last_imbalance_; }
+  /// The largest imbalance any traced epoch showed.
+  double max_imbalance() const { return max_imbalance_; }
+
+  /// Forgets every epoch (ring, histograms, tallies); capacity and lane
+  /// count are fixed at construction.
+  void Reset();
+
+ private:
+  std::size_t capacity_;
+  std::size_t shards_;
+  std::vector<PhaseRecorder> recorders_;  ///< one lane per shard
+
+  // Ring storage, preallocated flat: row r spans
+  // [r * shards_ * kPhaseCount, ...) in ring_phase_ (same shape for subs).
+  std::vector<std::uint64_t> ring_epoch_;
+  std::vector<std::uint64_t> ring_wall_;
+  std::vector<std::uint64_t> ring_phase_;
+  std::vector<std::uint64_t> ring_sub_;
+  std::size_t head_ = 0;  ///< next row to write
+  std::size_t size_ = 0;  ///< rows filled (<= capacity_)
+
+  std::vector<Histogram> phase_hists_;  ///< (shard, phase), shard-major
+  std::vector<Histogram> sub_hists_;    ///< (shard, sub-span), shard-major
+  Histogram wall_hist_;
+  std::vector<std::uint64_t> cum_phase_;  ///< same shape as a ring row
+  std::vector<std::uint64_t> cum_sub_;
+
+  std::uint64_t epochs_ = 0;
+  std::uint64_t current_epoch_ = 0;
+  double last_imbalance_ = 0.0;
+  double max_imbalance_ = 0.0;
+};
+
+}  // namespace ita::obs

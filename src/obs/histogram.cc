@@ -1,0 +1,78 @@
+#include "obs/histogram.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace ita::obs {
+
+std::size_t Histogram::BucketIndex(std::uint64_t value) {
+  if (value < 2) return 0;
+  // bit_width(v) - 1 == floor(log2(v)); values >= 2^63 share the overflow
+  // bucket, which makes the cap redundant (bit_width <= 64) but explicit.
+  return std::min<std::size_t>(kBucketCount - 1, std::bit_width(value) - 1);
+}
+
+std::uint64_t Histogram::BucketLowerBound(std::size_t index) {
+  return index == 0 ? 0 : std::uint64_t{1} << index;
+}
+
+std::uint64_t Histogram::BucketUpperBound(std::size_t index) {
+  if (index >= kBucketCount - 1) return ~std::uint64_t{0};
+  return (std::uint64_t{1} << (index + 1)) - 1;
+}
+
+void Histogram::Record(std::uint64_t value) {
+  ++buckets_[BucketIndex(value)];
+  if (count_ == 0 || value < min_) min_ = value;
+  if (value > max_) max_ = value;
+  ++count_;
+  sum_ += value;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  for (std::size_t i = 0; i < kBucketCount; ++i) buckets_[i] += other.buckets_[i];
+  if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+  max_ = std::max(max_, other.max_);
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+std::uint64_t Histogram::Quantile(double p) const {
+  if (count_ == 0) return 0;
+  p = std::clamp(p, 0.0, 1.0);
+  // The rank of the p-quantile in the sorted sample sequence, 1-based:
+  // ceil(p * count), at least 1 (the nearest-rank definition).
+  const double scaled = p * static_cast<double>(count_);
+  std::uint64_t rank = static_cast<std::uint64_t>(scaled);
+  if (static_cast<double>(rank) < scaled) ++rank;
+  rank = std::max<std::uint64_t>(rank, 1);
+  // The extreme ranks are the observed extremes — exact by definition.
+  if (rank <= 1) return min();
+  if (rank >= count_) return max_;
+
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    if (buckets_[i] == 0) continue;
+    if (cumulative + buckets_[i] < rank) {
+      cumulative += buckets_[i];
+      continue;
+    }
+    // The true quantile sits in bucket i. Interpolate linearly by rank
+    // between the bucket bounds, tightened by the observed extremes.
+    const std::uint64_t lo = std::max(BucketLowerBound(i), min());
+    const std::uint64_t hi = std::min(BucketUpperBound(i), max_);
+    if (hi <= lo || buckets_[i] == 1) return lo;
+    const double frac = static_cast<double>(rank - cumulative - 1) /
+                        static_cast<double>(buckets_[i] - 1);
+    const std::uint64_t span = hi - lo;
+    // Clamp the offset: double rounding must not push past `hi` (in the
+    // overflow bucket that would wrap the uint64 arithmetic).
+    const auto offset =
+        static_cast<std::uint64_t>(static_cast<double>(span) * frac);
+    return lo + std::min(offset, span);
+  }
+  return max_;  // unreachable while the bucket counts match count_
+}
+
+}  // namespace ita::obs

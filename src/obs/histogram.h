@@ -1,0 +1,91 @@
+/// \file
+/// Mergeable log2-bucket latency histogram (DESIGN.md §11). A fixed
+/// 64-bucket power-of-two layout over uint64 samples (nanoseconds, bytes,
+/// counts — any non-negative magnitude): bucket 0 holds [0, 2), bucket i
+/// (1 <= i <= 62) holds [2^i, 2^(i+1)), and bucket 63 is the overflow
+/// bucket [2^63, 2^64). Recording is a bit-scan plus one increment;
+/// merging is element-wise addition, so Merge is associative and
+/// commutative and a fleet of per-shard histograms aggregates on read
+/// with no atomics — the same discipline as ServerStats.
+///
+/// Quantile(p) returns a value inside the bucket that contains the true
+/// p-quantile of the recorded samples (linear interpolation by rank
+/// within the bucket, clamped to the observed [min, max]), so the
+/// relative error is bounded by the bucket width: at most 2x, and exact
+/// at p = 0 and p = 1. No allocation ever — the whole state is a few
+/// fixed arrays — so a Histogram can live on hot paths and in
+/// preallocated rings.
+///
+/// Thread-compatibility: plain fields, single writer at a time; the
+/// sharded engine keeps one instance per shard and merges after the
+/// phase barrier (tests/exec/phase_trace_parallel_test.cc runs that
+/// aggregation under ThreadSanitizer).
+
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace ita::obs {
+
+/// Fixed-layout power-of-two histogram; see the file comment.
+class Histogram {
+ public:
+  /// Number of buckets in the fixed layout.
+  static constexpr std::size_t kBucketCount = 64;
+
+  /// The bucket a sample lands in: 0 for values below 2, otherwise
+  /// floor(log2(value)) capped at the overflow bucket (kBucketCount - 1).
+  static std::size_t BucketIndex(std::uint64_t value);
+
+  /// Inclusive lower bound of bucket `index` (0 for bucket 0, else 2^index).
+  static std::uint64_t BucketLowerBound(std::size_t index);
+
+  /// Inclusive upper bound of bucket `index` (2^(index+1) - 1; the
+  /// overflow bucket's bound is the maximum uint64).
+  static std::uint64_t BucketUpperBound(std::size_t index);
+
+  /// Records one sample.
+  void Record(std::uint64_t value);
+
+  /// Adds every bucket count (and count/sum/min/max) of `other` into this
+  /// instance — associative and commutative, the per-shard aggregation
+  /// primitive.
+  void Merge(const Histogram& other);
+
+  /// A value inside the bucket holding the true p-quantile (p clamped to
+  /// [0, 1]), interpolated by rank and clamped to [min(), max()]. Returns
+  /// 0 when empty. Quantile(0) == min(), Quantile(1) == max().
+  std::uint64_t Quantile(double p) const;
+
+  /// Number of recorded samples.
+  std::uint64_t count() const { return count_; }
+  /// Sum of all recorded samples (wraps on overflow like any uint64).
+  std::uint64_t sum() const { return sum_; }
+  /// Smallest recorded sample (0 when empty).
+  std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  /// Largest recorded sample (0 when empty).
+  std::uint64_t max() const { return max_; }
+  /// Mean of the recorded samples (0 when empty).
+  double Mean() const {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+  /// The per-bucket sample counts, bucket 0 first.
+  const std::array<std::uint64_t, kBucketCount>& buckets() const {
+    return buckets_;
+  }
+
+  /// Zeroes every bucket and summary field.
+  void Reset() { *this = Histogram(); }
+
+ private:
+  std::array<std::uint64_t, kBucketCount> buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = 0;  ///< valid only while count_ > 0
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace ita::obs

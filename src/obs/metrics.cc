@@ -1,0 +1,488 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "common/stats.h"
+
+namespace ita::obs {
+
+namespace {
+
+// Canonical double formatting for both export formats: shortest
+// round-trippable representation, no locale dependence.
+std::string FormatDouble(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  // Trim to the shortest representation that round-trips.
+  for (int precision = 1; precision < 17; ++precision) {
+    char candidate[64];
+    std::snprintf(candidate, sizeof(candidate), "%.*g", precision, value);
+    if (std::stod(candidate) == value) return candidate;
+  }
+  return buf;
+}
+
+// JSON string escaping (quotes, backslash, control characters).
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// Prometheus label-value escaping (backslash, quote, newline).
+std::string PromEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string LabelsJson(const std::vector<Label>& labels) {
+  std::string out = "{";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "\"" + JsonEscape(labels[i].key) + "\":\"" +
+           JsonEscape(labels[i].value) + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+// Renders {k1="v1",k2="v2"} (empty string for no labels); `extra` appends
+// one more pair, used for histogram `le` labels.
+std::string LabelsProm(const std::vector<Label>& labels,
+                       const Label* extra = nullptr) {
+  if (labels.empty() && extra == nullptr) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const Label& label : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += label.key + "=\"" + PromEscape(label.value) + "\"";
+  }
+  if (extra != nullptr) {
+    if (!first) out += ",";
+    out += extra->key + "=\"" + PromEscape(extra->value) + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+// Canonical series key for duplicate detection: name + sorted labels.
+std::string SeriesKey(const std::string& name,
+                      const std::vector<Label>& labels) {
+  std::vector<Label> sorted = labels;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Label& a, const Label& b) { return a.key < b.key; });
+  std::string key = name;
+  for (const Label& label : sorted) {
+    key += '\x1f';
+    key += label.key;
+    key += '\x1e';
+    key += label.value;
+  }
+  return key;
+}
+
+}  // namespace
+
+bool IsValidMetricName(std::string_view name) {
+  if (name.empty()) return false;
+  auto head = [](char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+  };
+  auto tail = [&](char c) {
+    return head(c) || std::isdigit(static_cast<unsigned char>(c));
+  };
+  if (!head(name[0])) return false;
+  return std::all_of(name.begin() + 1, name.end(), tail);
+}
+
+bool IsValidLabelKey(std::string_view key) {
+  if (key.empty()) return false;
+  auto head = [](char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+  };
+  auto tail = [&](char c) {
+    return head(c) || std::isdigit(static_cast<unsigned char>(c));
+  };
+  if (!head(key[0])) return false;
+  return std::all_of(key.begin() + 1, key.end(), tail);
+}
+
+Status MetricsRegistry::Validate(const std::string& name,
+                                 const std::vector<Label>& labels,
+                                 std::string_view kind) const {
+  if (!IsValidMetricName(name)) {
+    return Status::InvalidArgument("invalid metric name: '" + name + "'");
+  }
+  for (const Label& label : labels) {
+    if (!IsValidLabelKey(label.key)) {
+      return Status::InvalidArgument("invalid label key '" + label.key +
+                                     "' on metric '" + name + "'");
+    }
+  }
+  const std::string key = SeriesKey(name, labels);
+  for (const Counter& c : counters_) {
+    if (SeriesKey(c.name, c.labels) == key) {
+      return Status::AlreadyExists("duplicate series: " + name);
+    }
+  }
+  for (const Gauge& g : gauges_) {
+    if (SeriesKey(g.name, g.labels) == key) {
+      return Status::AlreadyExists("duplicate series: " + name);
+    }
+  }
+  for (const HistogramEntry& h : histograms_) {
+    if (SeriesKey(h.name, h.labels) == key) {
+      return Status::AlreadyExists("duplicate series: " + name);
+    }
+  }
+  // A histogram renders <name>_bucket/_sum/_count samples, so a
+  // histogram and a scalar cannot share a base name either; the
+  // same-name-different-labels case is allowed for all kinds and the
+  // cross-kind clash surfaces through LintPrometheus in tests.
+  (void)kind;
+  return Status::OK();
+}
+
+Status MetricsRegistry::AddCounter(std::string name, std::string help,
+                                   std::vector<Label> labels,
+                                   std::uint64_t value) {
+  ITA_RETURN_NOT_OK(Validate(name, labels, "counter"));
+  counters_.push_back(
+      Counter{std::move(name), std::move(help), std::move(labels), value});
+  return Status::OK();
+}
+
+Status MetricsRegistry::AddGauge(std::string name, std::string help,
+                                 std::vector<Label> labels, double value) {
+  ITA_RETURN_NOT_OK(Validate(name, labels, "gauge"));
+  gauges_.push_back(
+      Gauge{std::move(name), std::move(help), std::move(labels), value});
+  return Status::OK();
+}
+
+Status MetricsRegistry::AddHistogram(std::string name, std::string help,
+                                     std::vector<Label> labels,
+                                     const Histogram& histogram) {
+  ITA_RETURN_NOT_OK(Validate(name, labels, "histogram"));
+  histograms_.push_back(HistogramEntry{std::move(name), std::move(help),
+                                       std::move(labels), histogram});
+  return Status::OK();
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::string out = "{\"version\":1,\"counters\":[";
+  for (std::size_t i = 0; i < counters_.size(); ++i) {
+    const Counter& c = counters_[i];
+    if (i > 0) out += ",";
+    out += "{\"name\":\"" + JsonEscape(c.name) + "\",\"help\":\"" +
+           JsonEscape(c.help) + "\",\"labels\":" + LabelsJson(c.labels) +
+           ",\"value\":" + std::to_string(c.value) + "}";
+  }
+  out += "],\"gauges\":[";
+  for (std::size_t i = 0; i < gauges_.size(); ++i) {
+    const Gauge& g = gauges_[i];
+    if (i > 0) out += ",";
+    out += "{\"name\":\"" + JsonEscape(g.name) + "\",\"help\":\"" +
+           JsonEscape(g.help) + "\",\"labels\":" + LabelsJson(g.labels) +
+           ",\"value\":" + FormatDouble(g.value) + "}";
+  }
+  out += "],\"histograms\":[";
+  for (std::size_t i = 0; i < histograms_.size(); ++i) {
+    const HistogramEntry& h = histograms_[i];
+    const Histogram& hist = h.histogram;
+    if (i > 0) out += ",";
+    out += "{\"name\":\"" + JsonEscape(h.name) + "\",\"help\":\"" +
+           JsonEscape(h.help) + "\",\"labels\":" + LabelsJson(h.labels) +
+           ",\"count\":" + std::to_string(hist.count()) +
+           ",\"sum\":" + std::to_string(hist.sum()) +
+           ",\"min\":" + std::to_string(hist.min()) +
+           ",\"max\":" + std::to_string(hist.max()) +
+           ",\"mean\":" + FormatDouble(hist.Mean()) +
+           ",\"p50\":" + std::to_string(hist.Quantile(0.50)) +
+           ",\"p90\":" + std::to_string(hist.Quantile(0.90)) +
+           ",\"p99\":" + std::to_string(hist.Quantile(0.99)) + ",\"buckets\":[";
+    bool first = true;
+    for (std::size_t b = 0; b < Histogram::kBucketCount; ++b) {
+      if (hist.buckets()[b] == 0) continue;
+      if (!first) out += ",";
+      first = false;
+      out += "{\"le\":" + std::to_string(Histogram::BucketUpperBound(b)) +
+             ",\"count\":" + std::to_string(hist.buckets()[b]) + "}";
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string MetricsRegistry::ToPrometheus() const {
+  std::ostringstream out;
+  // Group samples by metric name so each name gets exactly one HELP/TYPE
+  // header even when several label sets share it. map keeps the output
+  // deterministically ordered by name.
+  struct Family {
+    std::string help;
+    std::string type;
+    std::vector<std::string> samples;
+  };
+  std::map<std::string, Family> families;
+
+  for (const Counter& c : counters_) {
+    Family& family = families[c.name];
+    if (family.type.empty()) {
+      family.type = "counter";
+      family.help = c.help;
+    }
+    family.samples.push_back(c.name + LabelsProm(c.labels) + " " +
+                             std::to_string(c.value));
+  }
+  for (const Gauge& g : gauges_) {
+    Family& family = families[g.name];
+    if (family.type.empty()) {
+      family.type = "gauge";
+      family.help = g.help;
+    }
+    family.samples.push_back(g.name + LabelsProm(g.labels) + " " +
+                             FormatDouble(g.value));
+  }
+  for (const HistogramEntry& h : histograms_) {
+    Family& family = families[h.name];
+    if (family.type.empty()) {
+      family.type = "histogram";
+      family.help = h.help;
+    }
+    const Histogram& hist = h.histogram;
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < Histogram::kBucketCount; ++b) {
+      if (hist.buckets()[b] == 0) continue;
+      cumulative += hist.buckets()[b];
+      Label le{"le", std::to_string(Histogram::BucketUpperBound(b))};
+      family.samples.push_back(h.name + "_bucket" + LabelsProm(h.labels, &le) +
+                               " " + std::to_string(cumulative));
+    }
+    Label le_inf{"le", "+Inf"};
+    family.samples.push_back(h.name + "_bucket" + LabelsProm(h.labels, &le_inf) +
+                             " " + std::to_string(hist.count()));
+    family.samples.push_back(h.name + "_sum" + LabelsProm(h.labels) + " " +
+                             std::to_string(hist.sum()));
+    family.samples.push_back(h.name + "_count" + LabelsProm(h.labels) + " " +
+                             std::to_string(hist.count()));
+  }
+
+  for (const auto& [name, family] : families) {
+    if (!family.help.empty()) {
+      out << "# HELP " << name << " " << family.help << "\n";
+    }
+    out << "# TYPE " << name << " " << family.type << "\n";
+    for (const std::string& sample : family.samples) out << sample << "\n";
+  }
+  return out.str();
+}
+
+void MetricsRegistry::Clear() {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+Status LintPrometheus(std::string_view exposition) {
+  std::set<std::string> seen_series;
+  std::size_t line_number = 0;
+  std::size_t pos = 0;
+  while (pos <= exposition.size()) {
+    const std::size_t eol = exposition.find('\n', pos);
+    const std::string_view line = exposition.substr(
+        pos, eol == std::string_view::npos ? std::string_view::npos
+                                           : eol - pos);
+    pos = eol == std::string_view::npos ? exposition.size() + 1 : eol + 1;
+    ++line_number;
+    if (line.empty() || line[0] == '#') continue;
+
+    auto fail = [&](const std::string& why) {
+      return Status::InvalidArgument("prometheus lint: line " +
+                                     std::to_string(line_number) + ": " + why);
+    };
+
+    // <name>[{labels}] <value>
+    std::size_t name_end = 0;
+    while (name_end < line.size() && line[name_end] != '{' &&
+           line[name_end] != ' ') {
+      ++name_end;
+    }
+    const std::string_view name = line.substr(0, name_end);
+    if (!IsValidMetricName(name)) {
+      return fail("invalid metric name '" + std::string(name) + "'");
+    }
+
+    std::string series_key(name);
+    std::size_t cursor = name_end;
+    if (cursor < line.size() && line[cursor] == '{') {
+      // Parse label pairs: key="value" with \\, \", \n escapes in values.
+      std::vector<Label> labels;
+      ++cursor;
+      while (cursor < line.size() && line[cursor] != '}') {
+        std::size_t key_end = cursor;
+        while (key_end < line.size() && line[key_end] != '=') ++key_end;
+        if (key_end >= line.size()) return fail("unterminated label");
+        const std::string_view key = line.substr(cursor, key_end - cursor);
+        if (!IsValidLabelKey(key)) {
+          return fail("invalid label key '" + std::string(key) + "'");
+        }
+        cursor = key_end + 1;
+        if (cursor >= line.size() || line[cursor] != '"') {
+          return fail("label value must be quoted");
+        }
+        ++cursor;
+        std::string value;
+        while (cursor < line.size() && line[cursor] != '"') {
+          if (line[cursor] == '\\' && cursor + 1 < line.size()) ++cursor;
+          value += line[cursor];
+          ++cursor;
+        }
+        if (cursor >= line.size()) return fail("unterminated label value");
+        ++cursor;  // closing quote
+        labels.push_back(Label{std::string(key), std::move(value)});
+        if (cursor < line.size() && line[cursor] == ',') ++cursor;
+      }
+      if (cursor >= line.size()) return fail("unterminated label set");
+      ++cursor;  // closing brace
+      std::sort(labels.begin(), labels.end(),
+                [](const Label& a, const Label& b) { return a.key < b.key; });
+      for (const Label& label : labels) {
+        series_key += '\x1f';
+        series_key += label.key;
+        series_key += '\x1e';
+        series_key += label.value;
+      }
+    }
+
+    if (cursor >= line.size() || line[cursor] != ' ') {
+      return fail("expected ' ' before sample value");
+    }
+    const std::string value_text(line.substr(cursor + 1));
+    if (value_text.empty()) return fail("missing sample value");
+    if (value_text != "+Inf" && value_text != "-Inf" && value_text != "NaN") {
+      std::size_t consumed = 0;
+      try {
+        (void)std::stod(value_text, &consumed);
+      } catch (...) {
+        return fail("unparsable sample value '" + value_text + "'");
+      }
+      if (consumed != value_text.size()) {
+        return fail("trailing garbage after sample value");
+      }
+    }
+
+    if (!seen_series.insert(series_key).second) {
+      return fail("duplicate series for metric '" + std::string(name) + "'");
+    }
+  }
+  return Status::OK();
+}
+
+Status ExportServerStats(const ServerStats& stats, std::vector<Label> labels,
+                         MetricsRegistry* registry) {
+  struct CounterSpec {
+    const char* name;
+    const char* help;
+    std::uint64_t value;
+  };
+  const CounterSpec counters[] = {
+      {"ita_documents_ingested_total", "Documents ingested",
+       stats.documents_ingested},
+      {"ita_documents_expired_total", "Documents expired",
+       stats.documents_expired},
+      {"ita_batches_ingested_total", "IngestBatch epochs processed",
+       stats.batches_ingested},
+      {"ita_index_entries_inserted_total", "Inverted-list entries inserted",
+       stats.index_entries_inserted},
+      {"ita_index_entries_erased_total", "Inverted-list entries erased",
+       stats.index_entries_erased},
+      {"ita_scores_computed_total", "Full document scores computed",
+       stats.scores_computed},
+      {"ita_queries_probed_total", "Query may-be-affected probe hits",
+       stats.queries_probed},
+      {"ita_membership_checks_total", "Result membership checks",
+       stats.membership_checks},
+      {"ita_result_insertions_total", "Documents added to some result",
+       stats.result_insertions},
+      {"ita_result_removals_total", "Documents dropped from some result",
+       stats.result_removals},
+      {"ita_threshold_probe_steps_total", "Threshold-tree entries visited",
+       stats.threshold_probe_steps},
+      {"ita_list_entries_read_total", "Inverted-list entries consumed by TA",
+       stats.list_entries_read},
+      {"ita_rollup_steps_total", "Local-threshold roll-up lifts",
+       stats.rollup_steps},
+      {"ita_rollup_evictions_total", "Result evictions due to roll-up",
+       stats.rollup_evictions},
+      {"ita_refills_total", "Post-expiration search resumptions",
+       stats.refills},
+      {"ita_full_rescans_total", "Naive top-k_max recomputations",
+       stats.full_rescans},
+  };
+  for (const CounterSpec& spec : counters) {
+    ITA_RETURN_NOT_OK(
+        registry->AddCounter(spec.name, spec.help, labels, spec.value));
+  }
+
+  struct GaugeSpec {
+    const char* name;
+    const char* help;
+    std::uint64_t value;
+  };
+  const GaugeSpec gauges[] = {
+      {"ita_catalog_slab_bytes", "TermState slab reservation bytes",
+       stats.catalog_slab_bytes},
+      {"ita_postings_bytes", "Live inverted-list entry bytes",
+       stats.postings_bytes},
+      {"ita_threshold_entries", "(theta, query) pairs across threshold trees",
+       stats.threshold_entries},
+      {"ita_query_state_slots", "QueryState slab length incl. free slots",
+       stats.query_state_slots},
+      {"ita_arena_segments", "Live window-arena segments",
+       stats.arena_segments},
+      {"ita_document_bytes", "Bytes held by the window arena",
+       stats.document_bytes},
+  };
+  for (const GaugeSpec& spec : gauges) {
+    ITA_RETURN_NOT_OK(registry->AddGauge(spec.name, spec.help, labels,
+                                         static_cast<double>(spec.value)));
+  }
+  return Status::OK();
+}
+
+}  // namespace ita::obs

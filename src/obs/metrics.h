@@ -1,0 +1,127 @@
+/// \file
+/// Metrics export (DESIGN.md §11): a MetricsRegistry collects named
+/// counters, gauges, and histograms — each with an optional label set —
+/// and renders one snapshot as JSON (machine-readable, versioned) or
+/// Prometheus text exposition format. The registry is a snapshot
+/// container, not a live aggregation point: callers (SimEngine wrappers,
+/// examples, benches) build one from current server state at export time,
+/// so the hot path never touches it.
+///
+/// Names must match the Prometheus metric-name grammar
+/// [a-zA-Z_:][a-zA-Z0-9_:]* and label keys [a-zA-Z_][a-zA-Z0-9_]*;
+/// registering an invalid or duplicate (name, labels) series returns an
+/// error Status rather than producing an unscrapable exposition. The
+/// companion LintPrometheus() validates a rendered exposition the same
+/// way CI's metrics-smoke job does.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/histogram.h"
+
+namespace ita {
+struct ServerStats;
+}  // namespace ita
+
+namespace ita::obs {
+
+/// One key=value metric label.
+struct Label {
+  std::string key;    ///< label key ([a-zA-Z_][a-zA-Z0-9_]*)
+  std::string value;  ///< label value (any UTF-8; escaped on render)
+};
+
+/// Snapshot container rendering to JSON / Prometheus; see the file
+/// comment for naming rules.
+class MetricsRegistry {
+ public:
+  /// A registered counter series (monotonic total).
+  struct Counter {
+    std::string name;           ///< metric family name
+    std::string help;           ///< HELP text of the family
+    std::vector<Label> labels;  ///< the series' label set
+    std::uint64_t value = 0;    ///< the sampled total
+  };
+  /// A registered gauge series (point-in-time level).
+  struct Gauge {
+    std::string name;           ///< metric family name
+    std::string help;           ///< HELP text of the family
+    std::vector<Label> labels;  ///< the series' label set
+    double value = 0.0;         ///< the sampled level
+  };
+  /// A registered histogram series (a Histogram snapshot copy).
+  struct HistogramEntry {
+    std::string name;           ///< metric family name
+    std::string help;           ///< HELP text of the family
+    std::vector<Label> labels;  ///< the series' label set
+    Histogram histogram;        ///< the sampled distribution
+  };
+
+  /// Registers a counter sample. Fails with InvalidArgument on a bad name
+  /// or label key, AlreadyExists on a duplicate (name, labels) series.
+  Status AddCounter(std::string name, std::string help,
+                    std::vector<Label> labels, std::uint64_t value);
+
+  /// Registers a gauge sample; same failure modes as AddCounter.
+  Status AddGauge(std::string name, std::string help, std::vector<Label> labels,
+                  double value);
+
+  /// Registers a histogram snapshot; same failure modes as AddCounter.
+  Status AddHistogram(std::string name, std::string help,
+                      std::vector<Label> labels, const Histogram& histogram);
+
+  /// Registered counters in registration order.
+  const std::vector<Counter>& counters() const { return counters_; }
+  /// Registered gauges in registration order.
+  const std::vector<Gauge>& gauges() const { return gauges_; }
+  /// Registered histograms in registration order.
+  const std::vector<HistogramEntry>& histograms() const { return histograms_; }
+
+  /// The snapshot as a JSON object: {"version": 1, "counters": [...],
+  /// "gauges": [...], "histograms": [...]}; each histogram carries count,
+  /// sum, min, max, mean, p50/p90/p99, and its non-empty buckets.
+  std::string ToJson() const;
+
+  /// The snapshot in Prometheus text exposition format: one HELP/TYPE
+  /// header per metric name, histogram series expanded to cumulative
+  /// `_bucket{le="..."}` samples (non-empty buckets plus "+Inf"), `_sum`,
+  /// and `_count`.
+  std::string ToPrometheus() const;
+
+  /// Drops every registered series.
+  void Clear();
+
+ private:
+  /// InvalidArgument / AlreadyExists checks shared by the Add* methods.
+  Status Validate(const std::string& name, const std::vector<Label>& labels,
+                  std::string_view kind) const;
+
+  std::vector<Counter> counters_;
+  std::vector<Gauge> gauges_;
+  std::vector<HistogramEntry> histograms_;
+};
+
+/// True iff `name` matches the Prometheus metric-name grammar.
+bool IsValidMetricName(std::string_view name);
+
+/// True iff `key` matches the Prometheus label-key grammar.
+bool IsValidLabelKey(std::string_view key);
+
+/// Validates a rendered Prometheus text exposition: every sample line
+/// must parse (name, optional labels, numeric value), metric names and
+/// label keys must match the grammar, and no two samples may repeat the
+/// same (name, labels) series. Mirrors CI's metrics-smoke lint.
+Status LintPrometheus(std::string_view exposition);
+
+/// Registers every ServerStats counter and gauge under its canonical
+/// export name (ita_documents_ingested_total, ita_postings_bytes, ...)
+/// with `labels` attached to each series.
+Status ExportServerStats(const ServerStats& stats, std::vector<Label> labels,
+                         MetricsRegistry* registry);
+
+}  // namespace ita::obs

@@ -1,0 +1,178 @@
+/// \file
+/// Per-shard telemetry recorders and the ITA_OBS span macros (DESIGN.md
+/// §11). A PhaseRecorder is the write side of epoch phase tracing: plain
+/// non-atomic accumulators for the five epoch phases (plan, expire,
+/// arrive, notify-flush, barrier-wait) plus the ITA sub-spans (probe
+/// collection, roll-up, refill), written by exactly one thread at a time
+/// — the worker running that shard's phase — and drained by the epoch
+/// driver after the arrive barrier, which orders writes against reads
+/// exactly like ServerStats' per-shard counters.
+///
+/// Cost model: with the ITA_OBS build option OFF every span macro expands
+/// to nothing — the epoch path carries zero telemetry instructions. With
+/// it ON (the default), an un-enabled server pays one null-pointer branch
+/// per span; an enabled one adds two steady_clock reads per span (begin +
+/// end), a few nanoseconds against epoch phases that run micro- to
+/// milliseconds.
+
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "obs/timer.h"
+
+namespace ita::obs {
+
+/// The spans an epoch driver records, one per epoch protocol step
+/// (core/server_strategy.h). kBarrierWait only exists under a sharded
+/// driver: the time a shard's lane sat idle between finishing its phase
+/// task and the phase barrier releasing (wall - busy for that phase).
+enum class Phase : std::uint8_t {
+  kPlan = 0,      ///< PlanEpoch: batch validation + epoch split
+  kExpire,        ///< RunExpirePhase: the epoch's expirations
+  kArrive,        ///< RunArrivePhase: the epoch's arrivals
+  kNotifyFlush,   ///< notification merge + listener callbacks
+  kBarrierWait,   ///< idle lane time behind the phase barrier (sharded)
+};
+/// Number of traced phases.
+inline constexpr std::size_t kPhaseCount = 5;
+
+/// Lower-case display/export name of a phase ("plan", "expire", ...).
+const char* PhaseName(Phase phase);
+
+/// Strategy-internal sub-spans recorded inside the phase spans; today all
+/// three belong to ItaServer's epoch hooks.
+enum class SubSpan : std::uint8_t {
+  kProbe = 0,  ///< batch collection: bulk index maintenance + tree probes
+  kRollUp,     ///< per-query arrival processing incl. threshold roll-up
+  kRefill,     ///< per-query expiry processing incl. ExtendSearch refills
+};
+/// Number of traced sub-spans.
+inline constexpr std::size_t kSubSpanCount = 3;
+
+/// Lower-case display/export name of a sub-span ("probe", "rollup",
+/// "refill").
+const char* SubSpanName(SubSpan span);
+
+/// One shard's span accumulators for the current epoch; see the file
+/// comment for the single-writer discipline. Zeroed by the driver at
+/// epoch start (EpochTrace::BeginEpoch), drained at epoch end.
+class PhaseRecorder {
+ public:
+  /// Adds `nanos` to the phase accumulator.
+  void Record(Phase phase, std::uint64_t nanos) {
+    phase_nanos_[static_cast<std::size_t>(phase)] += nanos;
+  }
+
+  /// Adds `nanos` to the sub-span accumulator.
+  void RecordSub(SubSpan span, std::uint64_t nanos) {
+    sub_nanos_[static_cast<std::size_t>(span)] += nanos;
+  }
+
+  /// Accumulated nanos of one phase this epoch.
+  std::uint64_t phase_nanos(Phase phase) const {
+    return phase_nanos_[static_cast<std::size_t>(phase)];
+  }
+
+  /// Accumulated nanos of one sub-span this epoch.
+  std::uint64_t sub_nanos(SubSpan span) const {
+    return sub_nanos_[static_cast<std::size_t>(span)];
+  }
+
+  /// Sum of every phase accumulator except barrier-wait — the shard's
+  /// busy time this epoch.
+  std::uint64_t busy_nanos() const {
+    std::uint64_t total = 0;
+    for (std::size_t p = 0; p < kPhaseCount; ++p) {
+      if (p != static_cast<std::size_t>(Phase::kBarrierWait)) {
+        total += phase_nanos_[p];
+      }
+    }
+    return total;
+  }
+
+  /// Zeroes every accumulator (the driver's epoch-start reset).
+  void Reset() {
+    phase_nanos_.fill(0);
+    sub_nanos_.fill(0);
+  }
+
+ private:
+  std::array<std::uint64_t, kPhaseCount> phase_nanos_{};
+  std::array<std::uint64_t, kSubSpanCount> sub_nanos_{};
+};
+
+/// RAII span: starts a Timer when the recorder is non-null and adds the
+/// elapsed nanos to the recorder's phase accumulator on destruction. Use
+/// through the ITA_OBS_SPAN macro so a disabled build compiles the span
+/// out entirely.
+class ScopedSpan {
+ public:
+  /// Begins the span (no clock read when `recorder` is null).
+  ScopedSpan(PhaseRecorder* recorder, Phase phase)
+      : recorder_(recorder), phase_(phase) {
+    if (recorder_ != nullptr) timer_.Restart();
+  }
+  /// Ends the span.
+  ~ScopedSpan() {
+    if (recorder_ != nullptr) recorder_->Record(phase_, timer_.ElapsedNanos());
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;             ///< non-copyable
+  ScopedSpan& operator=(const ScopedSpan&) = delete;  ///< non-copyable
+
+ private:
+  PhaseRecorder* recorder_;
+  Phase phase_;
+  Timer timer_;
+};
+
+/// ScopedSpan for a strategy-internal sub-span; same null discipline.
+class ScopedSubSpan {
+ public:
+  /// Begins the sub-span (no clock read when `recorder` is null).
+  ScopedSubSpan(PhaseRecorder* recorder, SubSpan span)
+      : recorder_(recorder), span_(span) {
+    if (recorder_ != nullptr) timer_.Restart();
+  }
+  /// Ends the sub-span.
+  ~ScopedSubSpan() {
+    if (recorder_ != nullptr) {
+      recorder_->RecordSub(span_, timer_.ElapsedNanos());
+    }
+  }
+
+  ScopedSubSpan(const ScopedSubSpan&) = delete;             ///< non-copyable
+  ScopedSubSpan& operator=(const ScopedSubSpan&) = delete;  ///< non-copyable
+
+ private:
+  PhaseRecorder* recorder_;
+  SubSpan span_;
+  Timer timer_;
+};
+
+}  // namespace ita::obs
+
+// The build-time gate: -DITA_OBS=OFF defines ITA_OBS_DISABLED and every
+// span macro expands to nothing, so the epoch path is bit-for-bit the
+// untraced code. The helper indirection produces unique variable names
+// per expansion site.
+#if defined(ITA_OBS_DISABLED)
+#define ITA_OBS_ENABLED 0
+#define ITA_OBS_SPAN(recorder, phase) ((void)0)
+#define ITA_OBS_SUB_SPAN(recorder, span) ((void)0)
+#else
+#define ITA_OBS_ENABLED 1
+#define ITA_OBS_CONCAT_INNER(a, b) a##b
+#define ITA_OBS_CONCAT(a, b) ITA_OBS_CONCAT_INNER(a, b)
+#define ITA_OBS_SPAN(recorder, phase)                             \
+  ::ita::obs::ScopedSpan ITA_OBS_CONCAT(ita_obs_span_, __LINE__) { \
+    (recorder), (phase)                                            \
+  }
+#define ITA_OBS_SUB_SPAN(recorder, span)                              \
+  ::ita::obs::ScopedSubSpan ITA_OBS_CONCAT(ita_obs_subspan_, __LINE__) { \
+    (recorder), (span)                                                 \
+  }
+#endif

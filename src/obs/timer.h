@@ -1,0 +1,56 @@
+/// \file
+/// The one steady-clock timing utility of the library (DESIGN.md §11).
+/// Every wall-clock measurement — the benchmark harness' Stopwatch, the
+/// sharded engine's busy-time tallies, the telemetry spans of the obs
+/// layer — reads time through obs::Timer, so "what clock do we trust"
+/// has exactly one answer (std::chrono::steady_clock) and exactly one
+/// conversion site. The library core itself still runs on virtual time
+/// (common/clock.h); obs::Timer only ever measures *our own* processing
+/// cost, never stream semantics.
+
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace ita::obs {
+
+/// Monotonic elapsed-time measurement: construction (or Restart) pins the
+/// start point, the Elapsed* accessors read the clock once and convert.
+/// Trivially copyable, no allocation, safe to keep per shard.
+class Timer {
+ public:
+  /// The clock every wall measurement in this library uses.
+  using Clock = std::chrono::steady_clock;
+
+  /// Starts timing at construction.
+  Timer() : start_(Clock::now()) {}
+
+  /// Re-pins the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed nanoseconds since construction or the last Restart() — the
+  /// unit the telemetry histograms record.
+  std::uint64_t ElapsedNanos() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start_)
+            .count());
+  }
+
+  /// Elapsed microseconds since construction or the last Restart().
+  std::uint64_t ElapsedMicros() const { return ElapsedNanos() / 1'000; }
+
+  /// Elapsed seconds since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds since construction or the last Restart().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  Clock::time_point start_;
+};
+
+}  // namespace ita::obs

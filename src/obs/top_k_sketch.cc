@@ -1,0 +1,181 @@
+#include "obs/top_k_sketch.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace ita::obs {
+
+SpaceSavingSketch::SpaceSavingSketch(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(capacity, 1)) {
+  entries_.reserve(capacity_);
+  slots_.assign(std::bit_ceil(capacity_ * 2), kEmptySlot);
+  victim_candidates_.reserve(capacity_);
+}
+
+std::size_t SpaceSavingSketch::HashSlot(TermId term) const {
+  // Fibonacci multiplicative hash; the high bits carry the mixing, so
+  // shift them down before masking to the (power-of-two) table size.
+  const std::uint64_t mixed =
+      static_cast<std::uint64_t>(term) * 0x9E3779B97F4A7C15ull;
+  return static_cast<std::size_t>(mixed >> 32) & (slots_.size() - 1);
+}
+
+std::size_t SpaceSavingSketch::Find(TermId term) const {
+  const std::size_t mask = slots_.size() - 1;
+  for (std::size_t slot = HashSlot(term);; slot = (slot + 1) & mask) {
+    const std::uint32_t index = slots_[slot];
+    if (index == kEmptySlot) return entries_.size();
+    if (entries_[index].term == term) return index;
+  }
+}
+
+void SpaceSavingSketch::InsertSlot(TermId term, std::size_t index) {
+  const std::size_t mask = slots_.size() - 1;
+  std::size_t slot = HashSlot(term);
+  while (slots_[slot] != kEmptySlot) slot = (slot + 1) & mask;
+  slots_[slot] = static_cast<std::uint32_t>(index);
+}
+
+void SpaceSavingSketch::RebuildSlots() {
+  std::fill(slots_.begin(), slots_.end(), kEmptySlot);
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    InsertSlot(entries_[i].term, i);
+  }
+}
+
+void SpaceSavingSketch::EraseSlot(TermId term) {
+  const std::size_t mask = slots_.size() - 1;
+  std::size_t hole = HashSlot(term);
+  while (entries_[slots_[hole]].term != term) hole = (hole + 1) & mask;
+  slots_[hole] = kEmptySlot;
+  // Backshift deletion (Knuth 6.4 R): walk the rest of the probe cluster
+  // and pull back any entry whose home slot lies at or before the hole,
+  // so no later Find() probe stops early at the gap.
+  for (std::size_t cur = (hole + 1) & mask; slots_[cur] != kEmptySlot;
+       cur = (cur + 1) & mask) {
+    const std::size_t home = HashSlot(entries_[slots_[cur]].term);
+    if (((cur - home) & mask) >= ((cur - hole) & mask)) {
+      slots_[hole] = slots_[cur];
+      slots_[cur] = kEmptySlot;
+      hole = cur;
+    }
+  }
+}
+
+std::size_t SpaceSavingSketch::PopVictim() {
+  while (!victim_candidates_.empty()) {
+    const std::uint32_t index = victim_candidates_.back();
+    victim_candidates_.pop_back();
+    if (entries_[index].count == cached_min_count_) return index;
+  }
+  cached_min_count_ = entries_.front().count;
+  victim_candidates_.push_back(0);
+  for (std::size_t i = 1; i < entries_.size(); ++i) {
+    if (entries_[i].count < cached_min_count_) {
+      cached_min_count_ = entries_[i].count;
+      victim_candidates_.clear();
+      victim_candidates_.push_back(static_cast<std::uint32_t>(i));
+    } else if (entries_[i].count == cached_min_count_) {
+      victim_candidates_.push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+  const std::size_t victim = victim_candidates_.back();
+  victim_candidates_.pop_back();
+  return victim;
+}
+
+std::uint64_t SpaceSavingSketch::MinTrackedCount() const {
+  if (entries_.size() < capacity_) return 0;
+  std::uint64_t min_count = entries_.front().count;
+  for (const Entry& entry : entries_) {
+    min_count = std::min(min_count, entry.count);
+  }
+  return min_count;
+}
+
+void SpaceSavingSketch::Add(TermId term, std::uint64_t weight) {
+  total_weight_ += weight;
+  const std::size_t index = Find(term);
+  if (index < entries_.size()) {
+    entries_[index].count += weight;
+    return;
+  }
+  if (entries_.size() < capacity_) {
+    entries_.push_back(Entry{term, weight, 0});
+    InsertSlot(term, entries_.size() - 1);
+    return;
+  }
+  // Space-saving eviction: the new term replaces the minimum-count entry
+  // and inherits its count as the error bound — the weight the new term
+  // could at most have accumulated while untracked.
+  const std::size_t victim = PopVictim();
+  const std::uint64_t inherited = entries_[victim].count;
+  EraseSlot(entries_[victim].term);
+  entries_[victim] = Entry{term, inherited + weight, inherited};
+  InsertSlot(term, victim);
+}
+
+void SpaceSavingSketch::MergeFrom(const SpaceSavingSketch& other) {
+  total_weight_ += other.total_weight_;
+  // Weight a term absent from `other` might have accumulated there before
+  // eviction: other's minimum tracked count (0 if other never filled).
+  const std::uint64_t other_floor = other.MinTrackedCount();
+
+  std::vector<Entry> merged = entries_;
+  std::vector<bool> seen_in_other(merged.size(), false);
+  for (const Entry& theirs : other.entries_) {
+    bool found = false;
+    for (std::size_t i = 0; i < merged.size(); ++i) {
+      if (merged[i].term == theirs.term) {
+        merged[i].count += theirs.count;
+        merged[i].error += theirs.error;
+        seen_in_other[i] = true;
+        found = true;
+        break;
+      }
+    }
+    if (!found) merged.push_back(theirs);
+  }
+  for (std::size_t i = 0; i < seen_in_other.size(); ++i) {
+    if (!seen_in_other[i]) {
+      merged[i].count += other_floor;
+      merged[i].error += other_floor;
+    }
+  }
+
+  if (merged.size() > capacity_) {
+    std::nth_element(merged.begin(), merged.begin() + capacity_, merged.end(),
+                     [](const Entry& a, const Entry& b) {
+                       return a.count != b.count ? a.count > b.count
+                                                 : a.term < b.term;
+                     });
+    merged.resize(capacity_);
+  }
+  entries_ = std::move(merged);
+  RebuildSlots();
+  // Indices into entries_ changed wholesale; the candidate cache is
+  // stale. The next eviction rescans.
+  victim_candidates_.clear();
+  cached_min_count_ = 0;
+}
+
+std::vector<SpaceSavingSketch::Entry> SpaceSavingSketch::TopK(
+    std::size_t k) const {
+  std::vector<Entry> sorted = entries_;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Entry& a, const Entry& b) {
+              return a.count != b.count ? a.count > b.count : a.term < b.term;
+            });
+  if (k != 0 && sorted.size() > k) sorted.resize(k);
+  return sorted;
+}
+
+void SpaceSavingSketch::Reset() {
+  entries_.clear();
+  std::fill(slots_.begin(), slots_.end(), kEmptySlot);
+  victim_candidates_.clear();
+  cached_min_count_ = 0;
+  total_weight_ = 0;
+}
+
+}  // namespace ita::obs

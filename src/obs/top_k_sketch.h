@@ -1,0 +1,132 @@
+/// \file
+/// Hot-term load tracking (DESIGN.md §11): a space-saving top-K sketch
+/// (Metwally, Agrawal, El Abbadi 2005) over per-epoch postings/probe work
+/// keyed by TermId. The sketch keeps at most `capacity` counters; a hit
+/// bumps its counter, a miss evicts the current minimum and inherits its
+/// count as the new entry's error bound. The classic guarantees follow:
+/// every tracked count overestimates the true weight by at most its
+/// recorded error, and any term whose true weight exceeds the minimum
+/// tracked count is guaranteed to be tracked — so the heavy hitters of a
+/// skewed (Zipf) stream are found with O(capacity) memory
+/// (tests/obs/top_k_sketch_test.cc checks both against an exact-counts
+/// oracle).
+///
+/// Add() is called once per term-run in ItaServer's batch collection, not
+/// per posting. A hit costs one O(1) expected open-addressing lookup; the
+/// O(capacity) min-scan + index rebuild only runs on a miss that evicts,
+/// at most once per distinct untracked term per epoch. Plain fields,
+/// single writer —
+/// the sharded engine keeps one sketch per shard and merges on read via
+/// MergeFrom(), which is sound (never under-counts an upper bound) though
+/// merged error bounds are looser than a single sketch's.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ita::obs {
+
+/// Space-saving heavy-hitter sketch over TermId weights; see the file
+/// comment for guarantees and threading.
+class SpaceSavingSketch {
+ public:
+  /// One tracked term.
+  struct Entry {
+    /// The tracked term.
+    TermId term = 0;
+    /// Upper bound on the term's accumulated weight.
+    std::uint64_t count = 0;
+    /// Maximum overestimation in `count` (0 means the count is exact).
+    std::uint64_t error = 0;
+  };
+
+  /// A sketch tracking at most `capacity` terms (at least 1).
+  explicit SpaceSavingSketch(std::size_t capacity);
+
+  /// Adds `weight` to `term`'s counter, evicting the minimum-count entry
+  /// when the term is untracked and the sketch is full.
+  void Add(TermId term, std::uint64_t weight);
+
+  /// Folds `other` into this sketch. Counts of terms tracked by both are
+  /// summed; a term only `other` tracks enters with its count. Terms this
+  /// sketch tracks but `other` does not get `other`'s minimum count added
+  /// to both count and error (the weight they *might* have accumulated in
+  /// `other` before eviction), keeping every count a sound upper bound.
+  /// The union is then truncated back to capacity, keeping the largest.
+  void MergeFrom(const SpaceSavingSketch& other);
+
+  /// The tracked entries sorted by descending count (ties by ascending
+  /// term id for determinism), at most `k` of them (0 = all).
+  std::vector<Entry> TopK(std::size_t k = 0) const;
+
+  /// Total weight Add() has seen (exact, unaffected by eviction).
+  std::uint64_t total_weight() const { return total_weight_; }
+
+  /// Number of terms currently tracked (<= capacity()).
+  std::size_t size() const { return entries_.size(); }
+
+  /// Maximum number of tracked terms.
+  std::size_t capacity() const { return capacity_; }
+
+  /// Forgets every entry and the total weight.
+  void Reset();
+
+ private:
+  /// Marks a free slot in slots_.
+  static constexpr std::uint32_t kEmptySlot = ~std::uint32_t{0};
+
+  /// Index of `term` in entries_, or entries_.size() when untracked.
+  /// O(1) expected: an open-addressing probe of slots_.
+  std::size_t Find(TermId term) const;
+
+  /// The smallest tracked count (0 while not full — an incoming term
+  /// never pays an error bound before the sketch fills).
+  std::uint64_t MinTrackedCount() const;
+
+  /// The slots_ probe start for `term` (Fibonacci multiplicative hash).
+  std::size_t HashSlot(TermId term) const;
+
+  /// Walks `term`'s probe sequence to its first empty slot and stores
+  /// `index` there (entries_[index].term must already be `term`).
+  void InsertSlot(TermId term, std::size_t index);
+
+  /// Removes `term`'s slot with linear-probing backshift deletion —
+  /// O(cluster length), O(1) expected at load <= 1/2 — so an eviction
+  /// costs one delete + one insert, not a table rebuild.
+  void EraseSlot(TermId term);
+
+  /// Rebuilds slots_ from entries_ wholesale; only the MergeFrom path
+  /// (already O(capacity^2) in the entry merge) uses it.
+  void RebuildSlots();
+
+  /// The index of a minimum-count entry, amortized O(1): one O(capacity)
+  /// scan collects EVERY entry at the minimum into victim_candidates_,
+  /// then evictions drain the list. Counts only grow, so a candidate
+  /// still at cached_min_count_ is still a true minimum; ones that took
+  /// hits are skipped. Zipf tails cluster many entries at the same
+  /// count, so one scan typically serves many evictions.
+  std::size_t PopVictim();
+
+  std::size_t capacity_;
+  std::vector<Entry> entries_;  ///< unordered; TopK sorts a copy
+  /// Open-addressing hash index into entries_ (kEmptySlot = free), sized
+  /// to a power of two >= 2 * capacity at construction so the load factor
+  /// stays <= 1/2 and linear probing terminates. Makes the per-term-run
+  /// Add() hit path O(1) instead of an O(capacity) scan — the difference
+  /// between noise-level and double-digit tracing overhead on small
+  /// epochs (bench/results/obs_overhead_baseline.json).
+  std::vector<std::uint32_t> slots_;
+  /// Entry indices whose count equaled cached_min_count_ at the last
+  /// min-scan (see PopVictim); reserved to capacity at construction.
+  std::vector<std::uint32_t> victim_candidates_;
+  /// The minimum count as of the last min-scan; a floor on every count
+  /// until the candidates drain (counts never decrease).
+  std::uint64_t cached_min_count_ = 0;
+  std::uint64_t total_weight_ = 0;
+};
+
+}  // namespace ita::obs

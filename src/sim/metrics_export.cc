@@ -1,0 +1,84 @@
+#include "sim/metrics_export.h"
+
+#include <string>
+#include <utility>
+
+namespace ita::sim {
+
+namespace {
+
+/// `base` plus one extra label (the registry copies, so reuse is fine).
+std::vector<obs::Label> With(const std::vector<obs::Label>& base,
+                             std::string key, std::string value) {
+  std::vector<obs::Label> labels = base;
+  labels.push_back(obs::Label{std::move(key), std::move(value)});
+  return labels;
+}
+
+std::vector<obs::Label> With2(const std::vector<obs::Label>& base,
+                              std::string key1, std::string value1,
+                              std::string key2, std::string value2) {
+  std::vector<obs::Label> labels = base;
+  labels.push_back(obs::Label{std::move(key1), std::move(value1)});
+  labels.push_back(obs::Label{std::move(key2), std::move(value2)});
+  return labels;
+}
+
+}  // namespace
+
+Status ExportEngineMetrics(const SimEngine& engine,
+                           std::vector<obs::Label> base_labels,
+                           obs::MetricsRegistry* registry) {
+  ITA_RETURN_NOT_OK(
+      obs::ExportServerStats(engine.stats(), base_labels, registry));
+
+  if (const obs::EpochTrace* trace = engine.trace(); trace != nullptr) {
+    ITA_RETURN_NOT_OK(registry->AddCounter("ita_epochs_traced",
+                                           "Epochs the trace has recorded",
+                                           base_labels, trace->epochs()));
+    ITA_RETURN_NOT_OK(registry->AddGauge(
+        "ita_shard_imbalance",
+        "Last epoch's max/mean shard phase work (1 = balanced)", base_labels,
+        trace->last_imbalance()));
+    ITA_RETURN_NOT_OK(registry->AddGauge(
+        "ita_shard_imbalance_max", "Largest imbalance any traced epoch showed",
+        base_labels, trace->max_imbalance()));
+    if (trace->wall_hist().count() > 0) {
+      ITA_RETURN_NOT_OK(registry->AddHistogram(
+          "ita_epoch_wall_nanos", "Whole-epoch wall time", base_labels,
+          trace->wall_hist()));
+    }
+    for (std::size_t s = 0; s < trace->shards(); ++s) {
+      const std::string shard = std::to_string(s);
+      for (std::size_t p = 0; p < obs::kPhaseCount; ++p) {
+        const auto phase = static_cast<obs::Phase>(p);
+        const obs::Histogram& hist = trace->phase_hist(s, phase);
+        if (hist.count() == 0 || hist.max() == 0) continue;
+        ITA_RETURN_NOT_OK(registry->AddHistogram(
+            "ita_epoch_phase_nanos", "Per-epoch phase time",
+            With2(base_labels, "shard", shard, "phase", obs::PhaseName(phase)),
+            hist));
+      }
+      for (std::size_t q = 0; q < obs::kSubSpanCount; ++q) {
+        const auto span = static_cast<obs::SubSpan>(q);
+        const obs::Histogram& hist = trace->sub_hist(s, span);
+        if (hist.count() == 0 || hist.max() == 0) continue;
+        ITA_RETURN_NOT_OK(registry->AddHistogram(
+            "ita_epoch_subspan_nanos", "Per-epoch strategy sub-span time",
+            With2(base_labels, "shard", shard, "span", obs::SubSpanName(span)),
+            hist));
+      }
+    }
+  }
+
+  const obs::SpaceSavingSketch hot = engine.HotTerms();
+  for (const obs::SpaceSavingSketch::Entry& entry : hot.TopK()) {
+    ITA_RETURN_NOT_OK(registry->AddCounter(
+        "ita_hot_term_load",
+        "Postings + probe steps attributed to the term (upper bound)",
+        With(base_labels, "term", std::to_string(entry.term)), entry.count));
+  }
+  return Status::OK();
+}
+
+}  // namespace ita::sim

@@ -1,0 +1,39 @@
+/// \file
+/// The one place engine state becomes a metrics snapshot (DESIGN.md §11):
+/// ExportEngineMetrics reads a SimEngine's counters, epoch trace, and
+/// hot-term sketch and registers every series — canonical names, base
+/// labels attached — into an obs::MetricsRegistry, which then renders
+/// JSON or Prometheus text. The scenario runner's --metrics dump, the
+/// sharded_monitor example, and the metrics tests all consume this
+/// function, so the export schema exists exactly once.
+///
+/// Series produced (docs/metrics_schema.json mirrors the JSON shape):
+///   * every ServerStats counter/gauge (obs/metrics.h ExportServerStats);
+///   * with tracing: ita_epoch_wall_nanos (histogram),
+///     ita_epoch_phase_nanos{shard=,phase=} and
+///     ita_epoch_subspan_nanos{shard=,span=} (histograms; empty series
+///     are skipped), ita_epochs_traced (counter), ita_shard_imbalance
+///     and ita_shard_imbalance_max (gauges);
+///   * with hot-term tracking: ita_hot_term_load{term=} (counters, one
+///     per tracked term, value = the sketch's upper-bound count).
+
+#pragma once
+
+#include <vector>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+#include "sim/sim_engine.h"
+
+namespace ita::sim {
+
+/// Registers `engine`'s full telemetry snapshot into `registry` with
+/// `base_labels` attached to every series; see the file comment for the
+/// series list. Fails only on registry rejection (invalid or duplicate
+/// series — e.g. exporting two engines into one registry with identical
+/// labels).
+Status ExportEngineMetrics(const SimEngine& engine,
+                           std::vector<obs::Label> base_labels,
+                           obs::MetricsRegistry* registry);
+
+}  // namespace ita::sim

@@ -1,12 +1,14 @@
 #include "sim/runner.h"
 
 #include <algorithm>
+#include <fstream>
 #include <memory>
 #include <sstream>
 #include <unordered_map>
 #include <utility>
 
 #include "common/logging.h"
+#include "sim/metrics_export.h"
 
 namespace ita::sim {
 
@@ -48,6 +50,12 @@ StatusOr<RunReport> ScenarioRunner::Run() {
   std::unique_ptr<SimEngine> oracle;
   if (options_.check_oracle) {
     oracle = MakeSequentialEngine(SequentialStrategy::kOracle, spec_.window);
+  }
+  if (options_.enable_tracing || !options_.metrics_path.empty()) {
+    for (const auto& e : engines) {
+      e->EnableTracing();
+      e->EnableHotTermTracking();
+    }
   }
   std::vector<SimEngine*> engine_ptrs;
   engine_ptrs.reserve(engines.size());
@@ -194,6 +202,37 @@ StatusOr<RunReport> ScenarioRunner::Run() {
   report.invariant_checks = checker.invariant_checks();
   report.final_window_size = engines[0]->window_size();
   report.final_query_count = engines[0]->query_count();
+
+  if (!options_.metrics_path.empty()) {
+    obs::MetricsRegistry registry;
+    for (const auto& e : engines) {
+      const Status exported = ExportEngineMetrics(
+          *e, {obs::Label{"engine", e->name()}}, &registry);
+      if (!exported.ok()) return fail(exported.ToString());
+    }
+    const auto write = [](const std::string& path,
+                          const std::string& content) {
+      std::ofstream out(path, std::ios::trunc);
+      out << content;
+      out.close();
+      return out.good() ? Status::OK()
+                        : Status::IoError("cannot write " + path);
+    };
+    ITA_RETURN_NOT_OK(write(options_.metrics_path, registry.ToJson()));
+    std::string prom_path = options_.metrics_path;
+    const std::string json_suffix = ".json";
+    if (prom_path.size() > json_suffix.size() &&
+        prom_path.compare(prom_path.size() - json_suffix.size(),
+                          json_suffix.size(), json_suffix) == 0) {
+      prom_path.resize(prom_path.size() - json_suffix.size());
+    }
+    prom_path += ".prom";
+    const std::string exposition = registry.ToPrometheus();
+    // The exposition we write must pass our own lint — the same check
+    // CI's metrics-smoke job applies to the file.
+    ITA_RETURN_NOT_OK(obs::LintPrometheus(exposition));
+    ITA_RETURN_NOT_OK(write(prom_path, exposition));
+  }
   return report;
 }
 

@@ -52,6 +52,15 @@ struct RunOptions {
   bool verify_notifications = true;
   /// Log one progress line every this many epochs (0 = silent).
   std::size_t progress_every_epochs = 0;
+  /// Enable epoch phase tracing and hot-term load tracking on every
+  /// engine in the fleet (obs/epoch_trace.h; no-op in ITA_OBS=OFF
+  /// builds). Implied by a non-empty metrics_path.
+  bool enable_tracing = false;
+  /// When non-empty, a successful run writes the fleet's metrics
+  /// snapshot here as JSON (sim/metrics_export.h schema, one label set
+  /// per engine) plus the Prometheus text rendition next to it (a .json
+  /// suffix becomes .prom; any other path gains a .prom suffix).
+  std::string metrics_path;
 };
 
 /// What a completed run did — counters for assertions and reporting.

@@ -42,6 +42,22 @@ class SequentialEngine final : public SimEngine {
   std::size_t query_count() const override { return server_->query_count(); }
   ServerStats stats() const override { return server_->stats(); }
   void ResetStats() override { server_->ResetStats(); }
+  void EnableTracing(std::size_t capacity) override {
+    server_->EnableTracing(capacity);
+  }
+  const obs::EpochTrace* trace() const override { return server_->trace(); }
+  void EnableHotTermTracking(std::size_t capacity) override {
+    if (auto* ita = dynamic_cast<ItaServer*>(server_.get())) {
+      ita->EnableHotTermTracking(capacity);
+    }
+  }
+  obs::SpaceSavingSketch HotTerms() const override {
+    const auto* ita = dynamic_cast<const ItaServer*>(server_.get());
+    if (ita != nullptr && ita->hot_terms() != nullptr) {
+      return *ita->hot_terms();
+    }
+    return obs::SpaceSavingSketch(1);
+  }
   ContinuousSearchServer* sequential() override { return server_.get(); }
 
  private:
@@ -81,6 +97,16 @@ class ShardedEngine final : public SimEngine {
   std::size_t query_count() const override { return server_.query_count(); }
   ServerStats stats() const override { return server_.stats(); }
   void ResetStats() override { server_.ResetStats(); }
+  void EnableTracing(std::size_t capacity) override {
+    server_.EnableTracing(capacity);
+  }
+  const obs::EpochTrace* trace() const override { return server_.trace(); }
+  void EnableHotTermTracking(std::size_t capacity) override {
+    server_.EnableHotTermTracking(capacity);
+  }
+  obs::SpaceSavingSketch HotTerms() const override {
+    return server_.AggregateHotTerms();
+  }
   exec::ShardedServer* sharded() override { return &server_; }
 
  private:

@@ -64,6 +64,30 @@ class SimEngine {
   /// Zeroes every counter and gauge.
   virtual void ResetStats() = 0;
 
+  // --- Telemetry (DESIGN.md §11) --------------------------------------
+
+  /// Turns on epoch phase tracing on the wrapped engine (a single-lane
+  /// trace for sequential servers, one lane per shard for the sharded
+  /// engine). No-op in an ITA_OBS=OFF build. Default: engines without
+  /// tracing ignore the call.
+  virtual void EnableTracing(std::size_t capacity = 256) { (void)capacity; }
+
+  /// The engine's epoch trace, or null when tracing was never enabled
+  /// (or the build has ITA_OBS=OFF).
+  virtual const obs::EpochTrace* trace() const { return nullptr; }
+
+  /// Turns on hot-term load tracking on the wrapped engine's ItaServer(s);
+  /// ignored by non-ITA strategies and in ITA_OBS=OFF builds.
+  virtual void EnableHotTermTracking(std::size_t capacity = 64) {
+    (void)capacity;
+  }
+
+  /// The engine's hot-term sketch (folded across shards for the sharded
+  /// engine); empty when tracking was never enabled.
+  virtual obs::SpaceSavingSketch HotTerms() const {
+    return obs::SpaceSavingSketch(1);
+  }
+
   /// The wrapped sequential server, or null for the sharded engine —
   /// lets callers reach strategy-specific introspection hooks.
   virtual ContinuousSearchServer* sequential() { return nullptr; }

@@ -1,0 +1,152 @@
+// Epoch phase tracing under the parallel scheduler: every shard's
+// PhaseRecorder is written by whichever worker thread runs that shard's
+// phase task and drained by the driver after the phase barrier with no
+// atomics — this suite drives that aggregation with real worker threads
+// so the "exec"-labeled ThreadSanitizer CI job validates the
+// barrier-ordering discipline (DESIGN.md §11). The content assertions
+// double as the spans-sum-vs-wall consistency check for the sharded
+// driver: every lane's phase spans nest inside the epoch, so their sum
+// cannot exceed the driver's wall measurement.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "exec/sharded_server.h"
+#include "obs/epoch_trace.h"
+#include "obs/phase_recorder.h"
+#include "stream/corpus.h"
+
+namespace ita::exec {
+namespace {
+
+ShardedServerOptions TraceOptions(std::size_t shards) {
+  ShardedServerOptions options;
+  options.window = WindowSpec::CountBased(256);
+  options.shards = shards;
+  options.threads = shards;  // real parallelism across shard tasks
+  return options;
+}
+
+/// Streams `epochs` synthetic batches through `server` with a hot query
+/// population registered first.
+void DriveTracedStream(ShardedServer& server, std::size_t epochs,
+                       std::size_t batch = 64) {
+  SyntheticCorpusOptions copts;
+  copts.dictionary_size = 5'000;
+  copts.seed = 21;
+  SyntheticCorpusGenerator corpus(copts);
+
+  QueryWorkloadOptions qopts;
+  qopts.terms_per_query = 4;
+  qopts.k = 5;
+  qopts.max_term = 100;
+  qopts.seed = 12;
+  QueryWorkloadGenerator queries(copts.dictionary_size, qopts);
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_TRUE(server.RegisterQuery(queries.NextQuery()).ok());
+  }
+
+  Timestamp now = 0;
+  for (std::size_t e = 0; e < epochs; ++e) {
+    std::vector<Document> docs;
+    docs.reserve(batch);
+    for (std::size_t i = 0; i < batch; ++i) {
+      docs.push_back(corpus.NextDocument(now += 1'000));
+    }
+    ASSERT_TRUE(server.IngestBatch(std::move(docs)).ok());
+  }
+}
+
+TEST(PhaseTraceParallelTest, RecordersAggregateAcrossTheBarrier) {
+  ShardedServer server(TraceOptions(/*shards=*/4));
+  server.EnableTracing(/*capacity=*/16);
+  server.EnableHotTermTracking(/*capacity=*/16);
+#if !ITA_OBS_ENABLED
+  EXPECT_EQ(server.trace(), nullptr)
+      << "ITA_OBS=OFF must keep tracing a no-op";
+  GTEST_SKIP() << "telemetry compiled out (ITA_OBS=OFF)";
+#else
+  const std::size_t kEpochs = 24;
+  DriveTracedStream(server, kEpochs);
+
+  const obs::EpochTrace* trace = server.trace();
+  ASSERT_NE(trace, nullptr);
+  EXPECT_EQ(trace->shards(), 4u);
+  EXPECT_EQ(trace->epochs(), kEpochs);
+  EXPECT_EQ(trace->size(), trace->capacity());  // 24 epochs > capacity 16
+
+  // Every shard's expire and arrive span fired every epoch, and the
+  // driver recorded a barrier-wait for every lane.
+  for (std::size_t s = 0; s < trace->shards(); ++s) {
+    EXPECT_EQ(trace->phase_hist(s, obs::Phase::kExpire).count(), kEpochs);
+    EXPECT_EQ(trace->phase_hist(s, obs::Phase::kArrive).count(), kEpochs);
+    EXPECT_EQ(trace->phase_hist(s, obs::Phase::kBarrierWait).count(), kEpochs);
+    EXPECT_GT(trace->cumulative_phase_nanos(s, obs::Phase::kArrive), 0u);
+    // ITA sub-spans reached the per-shard strategies.
+    EXPECT_GT(trace->cumulative_sub_nanos(s, obs::SubSpan::kProbe), 0u);
+  }
+  // Driver spans live on lane 0 only.
+  EXPECT_GT(trace->cumulative_phase_nanos(0, obs::Phase::kPlan), 0u);
+  for (std::size_t s = 1; s < trace->shards(); ++s) {
+    EXPECT_EQ(trace->cumulative_phase_nanos(s, obs::Phase::kPlan), 0u);
+    EXPECT_EQ(trace->cumulative_phase_nanos(s, obs::Phase::kNotifyFlush), 0u);
+  }
+
+  // Span-sum consistency: per lane, the recorded spans nest inside the
+  // epoch, so plan + expire + arrive + barrier-wait + notify-flush can
+  // never exceed the epoch wall (tiny slack for clock granularity).
+  for (std::size_t i = 0; i < trace->size(); ++i) {
+    const auto sample = trace->Sample(i);
+    EXPECT_GT(sample.wall_nanos, 0u);
+    for (std::size_t s = 0; s < trace->shards(); ++s) {
+      std::uint64_t lane_total = 0;
+      for (std::size_t p = 0; p < obs::kPhaseCount; ++p) {
+        lane_total += sample.Phase(s, static_cast<obs::Phase>(p));
+      }
+      EXPECT_LE(lane_total, sample.wall_nanos + 2'000u)
+          << "lane " << s << " spans exceed the epoch wall at sample " << i;
+    }
+  }
+
+  // The imbalance gauge saw real shard work.
+  EXPECT_GE(trace->last_imbalance(), 1.0);
+  EXPECT_GE(trace->max_imbalance(), trace->last_imbalance());
+
+  // The per-shard sketches fold into one aggregate with real weight.
+  const obs::SpaceSavingSketch hot = server.AggregateHotTerms();
+  EXPECT_GT(hot.total_weight(), 0u);
+  EXPECT_FALSE(hot.TopK(4).empty());
+#endif
+}
+
+TEST(PhaseTraceParallelTest, UntracedServerStaysUntraced) {
+  ShardedServer server(TraceOptions(/*shards=*/2));
+  EXPECT_EQ(server.trace(), nullptr);
+  DriveTracedStream(server, /*epochs=*/4);
+  EXPECT_EQ(server.trace(), nullptr);
+  EXPECT_EQ(server.AggregateHotTerms().total_weight(), 0u);
+}
+
+TEST(PhaseTraceParallelTest, TraceResetKeepsRecording) {
+  ShardedServer server(TraceOptions(/*shards=*/2));
+  server.EnableTracing(/*capacity=*/8);
+  DriveTracedStream(server, /*epochs=*/4);
+#if ITA_OBS_ENABLED
+  ASSERT_NE(server.trace(), nullptr);
+  EXPECT_EQ(server.trace()->epochs(), 4u);
+  server.mutable_trace()->Reset();
+  EXPECT_EQ(server.trace()->epochs(), 0u);
+  // The recorder wiring survives a Reset: further epochs keep tracing.
+  ASSERT_TRUE(
+      server
+          .IngestBatch({SyntheticCorpusGenerator(SyntheticCorpusOptions{})
+                            .NextDocument(1'000'000'000)})
+          .ok());
+  EXPECT_EQ(server.trace()->epochs(), 1u);
+#endif
+}
+
+}  // namespace
+}  // namespace ita::exec

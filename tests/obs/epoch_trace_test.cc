@@ -1,0 +1,168 @@
+#include "obs/epoch_trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "obs/phase_recorder.h"
+
+namespace ita::obs {
+namespace {
+
+TEST(PhaseRecorderTest, RecordsAndResets) {
+  PhaseRecorder recorder;
+  recorder.Record(Phase::kExpire, 100);
+  recorder.Record(Phase::kExpire, 50);
+  recorder.Record(Phase::kArrive, 7);
+  recorder.RecordSub(SubSpan::kProbe, 3);
+  EXPECT_EQ(recorder.phase_nanos(Phase::kExpire), 150u);
+  EXPECT_EQ(recorder.phase_nanos(Phase::kArrive), 7u);
+  EXPECT_EQ(recorder.phase_nanos(Phase::kPlan), 0u);
+  EXPECT_EQ(recorder.sub_nanos(SubSpan::kProbe), 3u);
+  recorder.Reset();
+  EXPECT_EQ(recorder.phase_nanos(Phase::kExpire), 0u);
+  EXPECT_EQ(recorder.sub_nanos(SubSpan::kProbe), 0u);
+}
+
+TEST(ScopedSpanTest, NullRecorderIsInert) {
+  // The disabled-at-runtime path: a null recorder must not crash (and
+  // must not read the clock, though that is invisible here).
+  ScopedSpan span(nullptr, Phase::kExpire);
+  ScopedSubSpan sub(nullptr, SubSpan::kProbe);
+}
+
+TEST(ScopedSpanTest, RecordsElapsedOnDestruction) {
+  PhaseRecorder recorder;
+  {
+    ScopedSpan span(&recorder, Phase::kArrive);
+  }
+  // Non-negative and sane; a scope that does nothing still costs a
+  // couple of clock reads.
+  EXPECT_LT(recorder.phase_nanos(Phase::kArrive), 1'000'000'000u);
+}
+
+TEST(EpochTraceTest, SingleLaneEpochLifecycle) {
+  EpochTrace trace(/*capacity=*/4, /*shards=*/1);
+  EXPECT_EQ(trace.epochs(), 0u);
+  EXPECT_EQ(trace.size(), 0u);
+
+  trace.BeginEpoch(10);
+  trace.RecordPhase(0, Phase::kPlan, 100);
+  trace.RecordPhase(0, Phase::kExpire, 200);
+  trace.RecordPhase(0, Phase::kArrive, 300);
+  trace.shard_recorder(0)->RecordSub(SubSpan::kProbe, 40);
+  trace.EndEpoch(/*wall_nanos=*/1'000);
+
+  EXPECT_EQ(trace.epochs(), 1u);
+  ASSERT_EQ(trace.size(), 1u);
+  const auto sample = trace.Sample(0);
+  EXPECT_EQ(sample.epoch, 10u);
+  EXPECT_EQ(sample.wall_nanos, 1'000u);
+  EXPECT_EQ(sample.Phase(0, Phase::kPlan), 100u);
+  EXPECT_EQ(sample.Phase(0, Phase::kExpire), 200u);
+  EXPECT_EQ(sample.Phase(0, Phase::kArrive), 300u);
+  EXPECT_EQ(sample.Phase(0, Phase::kNotifyFlush), 0u);
+  EXPECT_EQ(sample.Sub(0, SubSpan::kProbe), 40u);
+
+  EXPECT_EQ(trace.wall_hist().count(), 1u);
+  EXPECT_EQ(trace.wall_hist().max(), 1'000u);
+  EXPECT_EQ(trace.phase_hist(0, Phase::kExpire).count(), 1u);
+  EXPECT_EQ(trace.phase_hist(0, Phase::kExpire).max(), 200u);
+  EXPECT_EQ(trace.cumulative_phase_nanos(0, Phase::kExpire), 200u);
+  EXPECT_EQ(trace.cumulative_sub_nanos(0, SubSpan::kProbe), 40u);
+  // One lane: trivially balanced.
+  EXPECT_DOUBLE_EQ(trace.last_imbalance(), 1.0);
+}
+
+TEST(EpochTraceTest, BeginEpochZeroesRecorders) {
+  EpochTrace trace(2, 1);
+  trace.BeginEpoch(0);
+  trace.RecordPhase(0, Phase::kExpire, 500);
+  trace.EndEpoch(500);
+  trace.BeginEpoch(1);
+  trace.EndEpoch(100);  // no spans this epoch
+  const auto sample = trace.Sample(1);
+  EXPECT_EQ(sample.Phase(0, Phase::kExpire), 0u)
+      << "stale span leaked across BeginEpoch";
+  EXPECT_EQ(trace.cumulative_phase_nanos(0, Phase::kExpire), 500u);
+}
+
+TEST(EpochTraceTest, RingKeepsTheMostRecentEpochs) {
+  EpochTrace trace(/*capacity=*/2, /*shards=*/1);
+  for (std::uint64_t e = 0; e < 5; ++e) {
+    trace.BeginEpoch(e);
+    trace.RecordPhase(0, Phase::kArrive, 10 * (e + 1));
+    trace.EndEpoch(100 * (e + 1));
+  }
+  EXPECT_EQ(trace.epochs(), 5u);
+  ASSERT_EQ(trace.size(), 2u);
+  // Oldest retained first: epochs 3 and 4.
+  EXPECT_EQ(trace.Sample(0).epoch, 3u);
+  EXPECT_EQ(trace.Sample(1).epoch, 4u);
+  EXPECT_EQ(trace.Sample(1).Phase(0, Phase::kArrive), 50u);
+  // Histograms and tallies still cover every epoch.
+  EXPECT_EQ(trace.wall_hist().count(), 5u);
+  EXPECT_EQ(trace.cumulative_phase_nanos(0, Phase::kArrive),
+            10u + 20u + 30u + 40u + 50u);
+}
+
+TEST(EpochTraceTest, ImbalanceIsMaxOverMeanOfBarrieredWork) {
+  EpochTrace trace(4, /*shards=*/2);
+  trace.BeginEpoch(0);
+  // Driver-only spans on lane 0 must NOT skew the gauge.
+  trace.RecordPhase(0, Phase::kPlan, 1'000'000);
+  trace.RecordPhase(0, Phase::kNotifyFlush, 1'000'000);
+  trace.RecordPhase(0, Phase::kExpire, 100);
+  trace.RecordPhase(0, Phase::kArrive, 200);  // shard 0 busy: 300
+  trace.RecordPhase(1, Phase::kExpire, 300);
+  trace.RecordPhase(1, Phase::kArrive, 600);  // shard 1 busy: 900
+  trace.EndEpoch(2'000);
+  // max = 900, mean = 600.
+  EXPECT_DOUBLE_EQ(trace.last_imbalance(), 1.5);
+  EXPECT_DOUBLE_EQ(trace.max_imbalance(), 1.5);
+
+  trace.BeginEpoch(1);
+  trace.RecordPhase(0, Phase::kExpire, 500);
+  trace.RecordPhase(1, Phase::kExpire, 500);
+  trace.EndEpoch(1'000);
+  EXPECT_DOUBLE_EQ(trace.last_imbalance(), 1.0);
+  EXPECT_DOUBLE_EQ(trace.max_imbalance(), 1.5);  // worst epoch sticks
+
+  trace.BeginEpoch(2);
+  trace.EndEpoch(10);  // no shard work at all
+  EXPECT_DOUBLE_EQ(trace.last_imbalance(), 0.0);
+}
+
+TEST(EpochTraceTest, ResetForgetsEpochsButKeepsShape) {
+  EpochTrace trace(2, 2);
+  trace.BeginEpoch(0);
+  trace.RecordPhase(1, Phase::kArrive, 7);
+  trace.EndEpoch(10);
+  trace.Reset();
+  EXPECT_EQ(trace.epochs(), 0u);
+  EXPECT_EQ(trace.size(), 0u);
+  EXPECT_EQ(trace.wall_hist().count(), 0u);
+  EXPECT_EQ(trace.cumulative_phase_nanos(1, Phase::kArrive), 0u);
+  EXPECT_DOUBLE_EQ(trace.last_imbalance(), 0.0);
+  EXPECT_DOUBLE_EQ(trace.max_imbalance(), 0.0);
+  EXPECT_EQ(trace.capacity(), 2u);
+  EXPECT_EQ(trace.shards(), 2u);
+  // Still usable after Reset.
+  trace.BeginEpoch(5);
+  trace.EndEpoch(10);
+  EXPECT_EQ(trace.Sample(0).epoch, 5u);
+}
+
+TEST(EpochTraceTest, PhaseAndSubSpanNames) {
+  EXPECT_STREQ(PhaseName(Phase::kPlan), "plan");
+  EXPECT_STREQ(PhaseName(Phase::kExpire), "expire");
+  EXPECT_STREQ(PhaseName(Phase::kArrive), "arrive");
+  EXPECT_STREQ(PhaseName(Phase::kNotifyFlush), "notify_flush");
+  EXPECT_STREQ(PhaseName(Phase::kBarrierWait), "barrier_wait");
+  EXPECT_STREQ(SubSpanName(SubSpan::kProbe), "probe");
+  EXPECT_STREQ(SubSpanName(SubSpan::kRollUp), "rollup");
+  EXPECT_STREQ(SubSpanName(SubSpan::kRefill), "refill");
+}
+
+}  // namespace
+}  // namespace ita::obs

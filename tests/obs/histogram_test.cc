@@ -1,0 +1,191 @@
+#include "obs/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/random.h"
+
+namespace ita::obs {
+namespace {
+
+TEST(HistogramTest, BucketIndexLayout) {
+  EXPECT_EQ(Histogram::BucketIndex(0), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(1), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(2), 1u);
+  EXPECT_EQ(Histogram::BucketIndex(3), 1u);
+  EXPECT_EQ(Histogram::BucketIndex(4), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(7), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(8), 3u);
+  EXPECT_EQ(Histogram::BucketIndex(std::uint64_t{1} << 62), 62u);
+  EXPECT_EQ(Histogram::BucketIndex(std::uint64_t{1} << 63), 63u);
+  EXPECT_EQ(Histogram::BucketIndex(std::numeric_limits<std::uint64_t>::max()),
+            63u);
+}
+
+TEST(HistogramTest, BucketBoundsContainTheirValues) {
+  for (std::size_t i = 0; i < Histogram::kBucketCount; ++i) {
+    const std::uint64_t lo = Histogram::BucketLowerBound(i);
+    const std::uint64_t hi = Histogram::BucketUpperBound(i);
+    EXPECT_LE(lo, hi);
+    EXPECT_EQ(Histogram::BucketIndex(lo), i);
+    EXPECT_EQ(Histogram::BucketIndex(hi), i);
+  }
+}
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram hist;
+  EXPECT_EQ(hist.count(), 0u);
+  EXPECT_EQ(hist.sum(), 0u);
+  EXPECT_EQ(hist.min(), 0u);
+  EXPECT_EQ(hist.max(), 0u);
+  EXPECT_EQ(hist.Quantile(0.5), 0u);
+  EXPECT_DOUBLE_EQ(hist.Mean(), 0.0);
+}
+
+TEST(HistogramTest, RecordUpdatesSummary) {
+  Histogram hist;
+  hist.Record(10);
+  hist.Record(100);
+  hist.Record(3);
+  EXPECT_EQ(hist.count(), 3u);
+  EXPECT_EQ(hist.sum(), 113u);
+  EXPECT_EQ(hist.min(), 3u);
+  EXPECT_EQ(hist.max(), 100u);
+  EXPECT_DOUBLE_EQ(hist.Mean(), 113.0 / 3.0);
+}
+
+TEST(HistogramTest, QuantileExactAtExtremes) {
+  Histogram hist;
+  for (const std::uint64_t v : {7u, 19u, 250u, 1000u, 40000u}) hist.Record(v);
+  EXPECT_EQ(hist.Quantile(0.0), 7u);
+  EXPECT_EQ(hist.Quantile(1.0), 40000u);
+  // Out-of-range p clamps rather than reading out of bounds.
+  EXPECT_EQ(hist.Quantile(-3.0), 7u);
+  EXPECT_EQ(hist.Quantile(2.0), 40000u);
+}
+
+TEST(HistogramTest, OverflowBucketHoldsHugeSamples) {
+  Histogram hist;
+  const std::uint64_t huge = std::uint64_t{1} << 63;
+  hist.Record(huge);
+  hist.Record(std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(hist.buckets()[Histogram::kBucketCount - 1], 2u);
+  EXPECT_EQ(hist.count(), 2u);
+  EXPECT_EQ(hist.min(), huge);
+  EXPECT_EQ(hist.max(), std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(hist.Quantile(1.0), std::numeric_limits<std::uint64_t>::max());
+  // Any mid quantile stays inside the overflow bucket.
+  EXPECT_GE(hist.Quantile(0.5), huge);
+}
+
+// The documented accuracy contract: the returned value lives in the
+// bucket holding the true (nearest-rank) quantile, clamped to the
+// observed range — so it is within 2x of the sorted-reference answer.
+TEST(HistogramTest, QuantileWithinBucketOfSortedReference) {
+  Rng rng(1234);
+  std::vector<std::uint64_t> samples;
+  Histogram hist;
+  for (int i = 0; i < 5'000; ++i) {
+    // Mixed magnitudes: log-uniform over [1, 2^40).
+    const int shift = static_cast<int>(rng.Next() % 40);
+    const std::uint64_t value = (std::uint64_t{1} << shift) | (rng.Next() & 7);
+    samples.push_back(value);
+    hist.Record(value);
+  }
+  std::sort(samples.begin(), samples.end());
+  for (const double p : {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+    // Nearest-rank reference on the exact samples.
+    std::size_t rank = static_cast<std::size_t>(p * samples.size());
+    rank = std::min(rank, samples.size() - 1);
+    const std::uint64_t reference = samples[rank];
+    const std::uint64_t answer = hist.Quantile(p);
+    // Same power-of-two bucket => within a factor of 2 either way.
+    EXPECT_LE(answer, 2 * reference + 1) << "p=" << p;
+    EXPECT_LE(reference, 2 * answer + 1) << "p=" << p;
+  }
+}
+
+TEST(HistogramTest, MergeMatchesConcatenatedRecording) {
+  Rng rng(7);
+  Histogram a, b, combined;
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t value = rng.Next() % 1'000'000;
+    if (i % 2 == 0) {
+      a.Record(value);
+    } else {
+      b.Record(value);
+    }
+    combined.Record(value);
+  }
+  Histogram merged = a;
+  merged.Merge(b);
+  EXPECT_EQ(merged.count(), combined.count());
+  EXPECT_EQ(merged.sum(), combined.sum());
+  EXPECT_EQ(merged.min(), combined.min());
+  EXPECT_EQ(merged.max(), combined.max());
+  EXPECT_EQ(merged.buckets(), combined.buckets());
+}
+
+TEST(HistogramTest, MergeIsCommutativeAndAssociative) {
+  Rng rng(99);
+  Histogram parts[3];
+  for (int i = 0; i < 300; ++i) {
+    parts[i % 3].Record(rng.Next() % (std::uint64_t{1} << (1 + i % 50)));
+  }
+
+  Histogram ab = parts[0];
+  ab.Merge(parts[1]);
+  Histogram ba = parts[1];
+  ba.Merge(parts[0]);
+  EXPECT_EQ(ab.buckets(), ba.buckets());
+  EXPECT_EQ(ab.count(), ba.count());
+  EXPECT_EQ(ab.sum(), ba.sum());
+  EXPECT_EQ(ab.min(), ba.min());
+  EXPECT_EQ(ab.max(), ba.max());
+
+  Histogram left = ab;  // (a + b) + c
+  left.Merge(parts[2]);
+  Histogram bc = parts[1];
+  bc.Merge(parts[2]);
+  Histogram right = parts[0];  // a + (b + c)
+  right.Merge(bc);
+  EXPECT_EQ(left.buckets(), right.buckets());
+  EXPECT_EQ(left.count(), right.count());
+  EXPECT_EQ(left.sum(), right.sum());
+  EXPECT_EQ(left.min(), right.min());
+  EXPECT_EQ(left.max(), right.max());
+}
+
+TEST(HistogramTest, MergeWithEmptyIsIdentity) {
+  Histogram hist, empty;
+  hist.Record(17);
+  hist.Record(42);
+  Histogram merged = hist;
+  merged.Merge(empty);
+  EXPECT_EQ(merged.count(), 2u);
+  EXPECT_EQ(merged.min(), 17u);
+  EXPECT_EQ(merged.max(), 42u);
+  Histogram other = empty;
+  other.Merge(hist);
+  EXPECT_EQ(other.count(), 2u);
+  EXPECT_EQ(other.min(), 17u);
+  EXPECT_EQ(other.max(), 42u);
+}
+
+TEST(HistogramTest, ResetClearsEverything) {
+  Histogram hist;
+  hist.Record(1'000);
+  hist.Reset();
+  EXPECT_EQ(hist.count(), 0u);
+  EXPECT_EQ(hist.sum(), 0u);
+  EXPECT_EQ(hist.min(), 0u);
+  EXPECT_EQ(hist.max(), 0u);
+  for (const std::uint64_t bucket : hist.buckets()) EXPECT_EQ(bucket, 0u);
+}
+
+}  // namespace
+}  // namespace ita::obs

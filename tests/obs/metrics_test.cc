@@ -1,0 +1,183 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/stats.h"
+#include "obs/histogram.h"
+
+namespace ita::obs {
+namespace {
+
+bool Contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+TEST(MetricsNamesTest, MetricNameGrammar) {
+  EXPECT_TRUE(IsValidMetricName("ita_documents_ingested_total"));
+  EXPECT_TRUE(IsValidMetricName("a:b_c9"));
+  EXPECT_TRUE(IsValidMetricName("_x"));
+  EXPECT_FALSE(IsValidMetricName(""));
+  EXPECT_FALSE(IsValidMetricName("9lives"));
+  EXPECT_FALSE(IsValidMetricName("has-dash"));
+  EXPECT_FALSE(IsValidMetricName("has space"));
+}
+
+TEST(MetricsNamesTest, LabelKeyGrammar) {
+  EXPECT_TRUE(IsValidLabelKey("shard"));
+  EXPECT_TRUE(IsValidLabelKey("_hidden9"));
+  EXPECT_FALSE(IsValidLabelKey("with:colon"));  // colons are name-only
+  EXPECT_FALSE(IsValidLabelKey("9shard"));
+  EXPECT_FALSE(IsValidLabelKey(""));
+}
+
+TEST(MetricsRegistryTest, RejectsInvalidNamesAndKeys) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.AddCounter("bad-name", "h", {}, 1).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(registry.AddGauge("ok_name", "h", {Label{"bad-key", "v"}}, 1.0)
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_TRUE(registry.counters().empty());
+  EXPECT_TRUE(registry.gauges().empty());
+}
+
+TEST(MetricsRegistryTest, RejectsDuplicateSeriesAcrossKinds) {
+  MetricsRegistry registry;
+  ASSERT_TRUE(registry.AddCounter("ita_x", "h", {Label{"a", "1"}}, 5).ok());
+  // Same (name, labels) again — as any kind — is a duplicate.
+  EXPECT_EQ(registry.AddCounter("ita_x", "h", {Label{"a", "1"}}, 6).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(registry.AddGauge("ita_x", "h", {Label{"a", "1"}}, 6.0).code(),
+            StatusCode::kAlreadyExists);
+  // A different label set on the same name is a new series.
+  EXPECT_TRUE(registry.AddCounter("ita_x", "h", {Label{"a", "2"}}, 7).ok());
+  // Label order must not matter for identity.
+  ASSERT_TRUE(registry
+                  .AddCounter("ita_y", "h",
+                              {Label{"a", "1"}, Label{"b", "2"}}, 1)
+                  .ok());
+  EXPECT_EQ(registry
+                .AddCounter("ita_y", "h",
+                            {Label{"b", "2"}, Label{"a", "1"}}, 1)
+                .code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(MetricsRegistryTest, JsonCarriesVersionAndSeries) {
+  MetricsRegistry registry;
+  ASSERT_TRUE(
+      registry.AddCounter("ita_c", "docs", {Label{"engine", "ita"}}, 42).ok());
+  ASSERT_TRUE(registry.AddGauge("ita_g", "bytes", {}, 2.5).ok());
+  Histogram hist;
+  hist.Record(3);
+  hist.Record(1'000);
+  ASSERT_TRUE(registry.AddHistogram("ita_h", "lat", {}, hist).ok());
+
+  const std::string json = registry.ToJson();
+  EXPECT_TRUE(Contains(json, "\"version\":1")) << json;
+  EXPECT_TRUE(Contains(json, "\"name\":\"ita_c\"")) << json;
+  EXPECT_TRUE(Contains(json, "\"engine\":\"ita\"")) << json;
+  EXPECT_TRUE(Contains(json, "\"value\":42")) << json;
+  EXPECT_TRUE(Contains(json, "\"name\":\"ita_h\"")) << json;
+  EXPECT_TRUE(Contains(json, "\"count\":2")) << json;
+  EXPECT_TRUE(Contains(json, "\"min\":3")) << json;
+  EXPECT_TRUE(Contains(json, "\"max\":1000")) << json;
+  EXPECT_TRUE(Contains(json, "\"p50\"")) << json;
+  EXPECT_TRUE(Contains(json, "\"buckets\"")) << json;
+}
+
+TEST(MetricsRegistryTest, PrometheusRenditionPassesOwnLint) {
+  MetricsRegistry registry;
+  ASSERT_TRUE(
+      registry.AddCounter("ita_c_total", "docs", {Label{"engine", "ita"}}, 42)
+          .ok());
+  ASSERT_TRUE(registry
+                  .AddCounter("ita_c_total", "docs",
+                              {Label{"engine", "sharded(ita,4)"}}, 99)
+                  .ok());
+  ASSERT_TRUE(registry.AddGauge("ita_g", "level", {}, -1.5).ok());
+  Histogram hist;
+  hist.Record(3);
+  hist.Record(900);
+  hist.Record(1'000);
+  ASSERT_TRUE(registry.AddHistogram("ita_h", "lat", {Label{"shard", "0"}}, hist)
+                  .ok());
+
+  const std::string text = registry.ToPrometheus();
+  EXPECT_TRUE(LintPrometheus(text).ok()) << text;
+
+  // One HELP/TYPE header per family even with two series.
+  std::size_t first = text.find("# TYPE ita_c_total counter");
+  ASSERT_NE(first, std::string::npos) << text;
+  EXPECT_EQ(text.find("# TYPE ita_c_total counter", first + 1),
+            std::string::npos);
+  EXPECT_TRUE(Contains(text, "# TYPE ita_h histogram")) << text;
+  // Histogram expansion: cumulative buckets, +Inf, _sum, _count.
+  EXPECT_TRUE(Contains(text, "ita_h_bucket{shard=\"0\",le=\"+Inf\"} 3"))
+      << text;
+  EXPECT_TRUE(Contains(text, "ita_h_sum{shard=\"0\"} 1903")) << text;
+  EXPECT_TRUE(Contains(text, "ita_h_count{shard=\"0\"} 3")) << text;
+  // 900 and 1000 share bucket [512, 1024): its cumulative count is 3.
+  EXPECT_TRUE(Contains(text, "le=\"1023\"} 3")) << text;
+}
+
+TEST(LintPrometheusTest, AcceptsCommentsBlanksAndSpecialValues) {
+  EXPECT_TRUE(LintPrometheus("# HELP x y\n# TYPE x gauge\nx 1\n").ok());
+  EXPECT_TRUE(LintPrometheus("\n# orphan comment\nx{a=\"b\"} -2.5e3\n").ok());
+  EXPECT_TRUE(LintPrometheus("x 1\ny +Inf\nz NaN\n").ok());
+}
+
+TEST(LintPrometheusTest, RejectsMalformedExpositions) {
+  // Invalid metric name.
+  EXPECT_FALSE(LintPrometheus("9bad 1\n").ok());
+  // Invalid label key.
+  EXPECT_FALSE(LintPrometheus("x{9k=\"v\"} 1\n").ok());
+  // Unterminated label set.
+  EXPECT_FALSE(LintPrometheus("x{a=\"v\" 1\n").ok());
+  // Missing / non-numeric value.
+  EXPECT_FALSE(LintPrometheus("x\n").ok());
+  EXPECT_FALSE(LintPrometheus("x{a=\"v\"} fast\n").ok());
+  // Trailing garbage after the value.
+  EXPECT_FALSE(LintPrometheus("x 1 2 3\n").ok());
+  // Duplicate (name, labels) series.
+  EXPECT_FALSE(LintPrometheus("x{a=\"v\"} 1\nx{a=\"v\"} 2\n").ok());
+}
+
+TEST(ExportServerStatsTest, RegistersCanonicalSeries) {
+  ServerStats stats;
+  stats.documents_ingested = 123;
+  stats.scores_computed = 456;
+  stats.postings_bytes = 789;
+  MetricsRegistry registry;
+  ASSERT_TRUE(
+      ExportServerStats(stats, {Label{"engine", "ita"}}, &registry).ok());
+
+  bool found_counter = false;
+  for (const auto& counter : registry.counters()) {
+    if (counter.name == "ita_documents_ingested_total") {
+      found_counter = true;
+      EXPECT_EQ(counter.value, 123u);
+      ASSERT_EQ(counter.labels.size(), 1u);
+      EXPECT_EQ(counter.labels[0].value, "ita");
+    }
+  }
+  EXPECT_TRUE(found_counter);
+  bool found_gauge = false;
+  for (const auto& gauge : registry.gauges()) {
+    if (gauge.name == "ita_postings_bytes") {
+      found_gauge = true;
+      EXPECT_DOUBLE_EQ(gauge.value, 789.0);
+    }
+  }
+  EXPECT_TRUE(found_gauge);
+  // Exporting twice with the same labels is a duplicate-series error.
+  EXPECT_FALSE(
+      ExportServerStats(stats, {Label{"engine", "ita"}}, &registry).ok());
+  // The exposition the export produces is lintable.
+  EXPECT_TRUE(LintPrometheus(registry.ToPrometheus()).ok());
+}
+
+}  // namespace
+}  // namespace ita::obs

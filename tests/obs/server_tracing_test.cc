@@ -1,0 +1,127 @@
+// Sequential-driver tracing: ContinuousSearchServer brackets its epoch
+// paths (Ingest, IngestBatch, AdvanceTime) with BeginEpoch/EndEpoch and
+// the ITA strategy writes probe/roll-up/refill sub-spans through the
+// recorder the driver hands it. These tests pin the epoch accounting,
+// the span-sum-vs-wall consistency the metrics snapshots rely on, and
+// the hot-term sketch wiring on the batch path.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/ita_server.h"
+#include "obs/epoch_trace.h"
+#include "obs/phase_recorder.h"
+#include "stream/corpus.h"
+
+namespace ita {
+namespace {
+
+ServerOptions SmallWindow(std::size_t window = 128) {
+  ServerOptions options;
+  options.window = WindowSpec::CountBased(window);
+  return options;
+}
+
+/// `epochs` batches of `batch` synthetic docs with 32 hot queries.
+void Drive(ItaServer& server, std::size_t epochs, std::size_t batch) {
+  SyntheticCorpusOptions copts;
+  copts.dictionary_size = 2'000;
+  copts.seed = 5;
+  SyntheticCorpusGenerator corpus(copts);
+  QueryWorkloadOptions qopts;
+  qopts.terms_per_query = 4;
+  qopts.k = 5;
+  qopts.max_term = 64;
+  qopts.seed = 6;
+  QueryWorkloadGenerator queries(copts.dictionary_size, qopts);
+  for (int i = 0; i < 32; ++i) {
+    ASSERT_TRUE(server.RegisterQuery(queries.NextQuery()).ok());
+  }
+  Timestamp now = 0;
+  for (std::size_t e = 0; e < epochs; ++e) {
+    std::vector<Document> docs;
+    for (std::size_t i = 0; i < batch; ++i) {
+      docs.push_back(corpus.NextDocument(now += 1'000));
+    }
+    ASSERT_TRUE(server.IngestBatch(std::move(docs)).ok());
+  }
+}
+
+TEST(ServerTracingTest, DisabledByDefault) {
+  ItaServer server(SmallWindow());
+  EXPECT_EQ(server.trace(), nullptr);
+  EXPECT_EQ(server.hot_terms(), nullptr);
+  Drive(server, /*epochs=*/2, /*batch=*/16);
+  EXPECT_EQ(server.trace(), nullptr);
+}
+
+TEST(ServerTracingTest, BatchEpochsAreTracedWithSubSpans) {
+  ItaServer server(SmallWindow(/*window=*/64));
+  server.EnableTracing(/*capacity=*/8);
+  server.EnableHotTermTracking(/*capacity=*/16);
+#if !ITA_OBS_ENABLED
+  EXPECT_EQ(server.trace(), nullptr);
+  GTEST_SKIP() << "telemetry compiled out (ITA_OBS=OFF)";
+#else
+  const std::size_t kEpochs = 6;
+  // 32 docs/epoch over a 64-doc window: expirations from epoch 3 on.
+  Drive(server, kEpochs, /*batch=*/32);
+
+  const obs::EpochTrace* trace = server.trace();
+  ASSERT_NE(trace, nullptr);
+  EXPECT_EQ(trace->shards(), 1u);
+  EXPECT_EQ(trace->epochs(), kEpochs);
+
+  // Every epoch recorded its driver phases...
+  EXPECT_EQ(trace->phase_hist(0, obs::Phase::kPlan).count(), kEpochs);
+  EXPECT_EQ(trace->phase_hist(0, obs::Phase::kArrive).count(), kEpochs);
+  EXPECT_EQ(trace->phase_hist(0, obs::Phase::kNotifyFlush).count(), kEpochs);
+  EXPECT_GT(trace->cumulative_phase_nanos(0, obs::Phase::kArrive), 0u);
+  // ...no barrier exists on the sequential driver...
+  EXPECT_EQ(trace->cumulative_phase_nanos(0, obs::Phase::kBarrierWait), 0u);
+  // ...and the ITA strategy's sub-spans came through the recorder:
+  // probe + roll-up on every arrival epoch, refill once expiry begins.
+  EXPECT_GT(trace->cumulative_sub_nanos(0, obs::SubSpan::kProbe), 0u);
+  EXPECT_EQ(trace->sub_hist(0, obs::SubSpan::kRollUp).count(), kEpochs);
+  EXPECT_GT(trace->sub_hist(0, obs::SubSpan::kRefill).count(), 0u);
+
+  // Span-sum consistency: all spans nest inside the epoch, so their sum
+  // is bounded by the driver's wall measurement (small clock slack).
+  for (std::size_t i = 0; i < trace->size(); ++i) {
+    const auto sample = trace->Sample(i);
+    EXPECT_GT(sample.wall_nanos, 0u);
+    std::uint64_t span_total = 0;
+    for (std::size_t p = 0; p < obs::kPhaseCount; ++p) {
+      span_total += sample.Phase(0, static_cast<obs::Phase>(p));
+    }
+    EXPECT_LE(span_total, sample.wall_nanos + 2'000u) << "sample " << i;
+    // The epoch did real measured work.
+    EXPECT_GT(sample.Phase(0, obs::Phase::kArrive), 0u);
+  }
+
+  // Hot-term tracking on the batch path saw the postings stream.
+  ASSERT_NE(server.hot_terms(), nullptr);
+  EXPECT_GT(server.hot_terms()->total_weight(), 0u);
+  EXPECT_FALSE(server.hot_terms()->TopK(4).empty());
+#endif
+}
+
+TEST(ServerTracingTest, PerEventIngestTracesOneEpochEach) {
+  ItaServer server(SmallWindow());
+  server.EnableTracing(/*capacity=*/4);
+#if !ITA_OBS_ENABLED
+  GTEST_SKIP() << "telemetry compiled out (ITA_OBS=OFF)";
+#else
+  SyntheticCorpusGenerator corpus{SyntheticCorpusOptions{}};
+  ASSERT_TRUE(server.Ingest(corpus.NextDocument(1'000)).ok());
+  ASSERT_TRUE(server.Ingest(corpus.NextDocument(2'000)).ok());
+  ASSERT_NE(server.trace(), nullptr);
+  EXPECT_EQ(server.trace()->epochs(), 2u);
+  EXPECT_EQ(server.trace()->phase_hist(0, obs::Phase::kArrive).count(), 2u);
+#endif
+}
+
+}  // namespace
+}  // namespace ita

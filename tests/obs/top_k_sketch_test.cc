@@ -1,0 +1,151 @@
+#include "obs/top_k_sketch.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/random.h"
+#include "common/types.h"
+
+namespace ita::obs {
+namespace {
+
+TEST(SpaceSavingSketchTest, ExactBelowCapacity) {
+  SpaceSavingSketch sketch(8);
+  sketch.Add(3, 10);
+  sketch.Add(5, 2);
+  sketch.Add(3, 1);
+  EXPECT_EQ(sketch.size(), 2u);
+  EXPECT_EQ(sketch.total_weight(), 13u);
+  const auto top = sketch.TopK();
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].term, 3u);
+  EXPECT_EQ(top[0].count, 11u);
+  EXPECT_EQ(top[0].error, 0u);
+  EXPECT_EQ(top[1].term, 5u);
+  EXPECT_EQ(top[1].count, 2u);
+  EXPECT_EQ(top[1].error, 0u);
+}
+
+TEST(SpaceSavingSketchTest, EvictionInheritsMinCountAsError) {
+  SpaceSavingSketch sketch(2);
+  sketch.Add(1, 10);
+  sketch.Add(2, 3);
+  sketch.Add(7, 5);  // evicts term 2 (min count 3)
+  EXPECT_EQ(sketch.size(), 2u);
+  const auto top = sketch.TopK();
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].term, 1u);
+  EXPECT_EQ(top[0].count, 10u);
+  EXPECT_EQ(top[1].term, 7u);
+  EXPECT_EQ(top[1].count, 8u);  // 3 inherited + 5 added
+  EXPECT_EQ(top[1].error, 3u);
+  EXPECT_EQ(sketch.total_weight(), 18u);
+}
+
+TEST(SpaceSavingSketchTest, TopKOrdersAndTruncates) {
+  SpaceSavingSketch sketch(8);
+  sketch.Add(4, 5);
+  sketch.Add(9, 5);  // tie with 4: ascending term breaks it
+  sketch.Add(1, 20);
+  const auto top2 = sketch.TopK(2);
+  ASSERT_EQ(top2.size(), 2u);
+  EXPECT_EQ(top2[0].term, 1u);
+  EXPECT_EQ(top2[1].term, 4u);
+  EXPECT_EQ(sketch.TopK(100).size(), 3u);
+}
+
+// The classic space-saving guarantees against an exact-counts oracle on
+// a Zipf stream: every tracked count is a sound upper bound (true <=
+// count, count - error <= true), and every term whose true weight beats
+// the minimum tracked count is tracked.
+TEST(SpaceSavingSketchTest, ZipfStreamObeysSketchGuarantees) {
+  Rng rng(2026);
+  const ZipfDistribution zipf(10'000, 1.1);
+  SpaceSavingSketch sketch(64);
+  std::map<TermId, std::uint64_t> exact;
+  std::uint64_t total = 0;
+  for (int i = 0; i < 100'000; ++i) {
+    const auto term = static_cast<TermId>(zipf.Sample(&rng));
+    const std::uint64_t weight = 1 + rng.Next() % 4;
+    sketch.Add(term, weight);
+    exact[term] += weight;
+    total += weight;
+  }
+  EXPECT_EQ(sketch.total_weight(), total);
+
+  const auto tracked = sketch.TopK();
+  EXPECT_EQ(tracked.size(), sketch.capacity());
+  std::uint64_t min_tracked = tracked.back().count;
+  for (const auto& entry : tracked) {
+    const std::uint64_t true_weight = exact[entry.term];
+    EXPECT_LE(true_weight, entry.count) << "term " << entry.term;
+    EXPECT_LE(entry.count - entry.error, true_weight)
+        << "term " << entry.term;
+    min_tracked = std::min(min_tracked, entry.count);
+  }
+  // Heavy-hitter guarantee: a true weight above the minimum tracked
+  // count cannot have been evicted.
+  for (const auto& [term, weight] : exact) {
+    if (weight <= min_tracked) continue;
+    bool found = false;
+    for (const auto& entry : tracked) found = found || entry.term == term;
+    EXPECT_TRUE(found) << "heavy term " << term << " (weight " << weight
+                       << " > min tracked " << min_tracked << ") evicted";
+  }
+  // On a skewed stream the head is identified exactly: rank 0 dominates.
+  EXPECT_EQ(tracked.front().term, 0u);
+}
+
+// Merging per-shard sketches must preserve the upper-bound soundness —
+// this is how the sharded engine folds shards on read.
+TEST(SpaceSavingSketchTest, MergeKeepsCountsSoundUpperBounds) {
+  Rng rng(7);
+  const ZipfDistribution zipf(2'000, 1.2);
+  SpaceSavingSketch shard_a(32), shard_b(32);
+  std::map<TermId, std::uint64_t> exact;
+  for (int i = 0; i < 40'000; ++i) {
+    const auto term = static_cast<TermId>(zipf.Sample(&rng));
+    (i % 2 == 0 ? shard_a : shard_b).Add(term, 1);
+    exact[term] += 1;
+  }
+  SpaceSavingSketch merged = shard_a;
+  merged.MergeFrom(shard_b);
+  EXPECT_EQ(merged.total_weight(),
+            shard_a.total_weight() + shard_b.total_weight());
+  EXPECT_LE(merged.size(), merged.capacity());
+  for (const auto& entry : merged.TopK()) {
+    EXPECT_LE(exact[entry.term], entry.count) << "term " << entry.term;
+  }
+  // The unquestionable head of the Zipf stream survives the merge.
+  EXPECT_EQ(merged.TopK(1).front().term, 0u);
+}
+
+TEST(SpaceSavingSketchTest, MergeFromEmptyAndIntoEmpty) {
+  SpaceSavingSketch filled(4), empty(4);
+  filled.Add(5, 9);
+  SpaceSavingSketch a = filled;
+  a.MergeFrom(empty);
+  EXPECT_EQ(a.TopK().front().count, 9u);
+  SpaceSavingSketch b = empty;
+  b.MergeFrom(filled);
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_EQ(b.TopK().front().term, 5u);
+  EXPECT_EQ(b.TopK().front().count, 9u);
+  EXPECT_EQ(b.total_weight(), 9u);
+}
+
+TEST(SpaceSavingSketchTest, ResetForgetsEverything) {
+  SpaceSavingSketch sketch(4);
+  sketch.Add(1, 2);
+  sketch.Reset();
+  EXPECT_EQ(sketch.size(), 0u);
+  EXPECT_EQ(sketch.total_weight(), 0u);
+  EXPECT_TRUE(sketch.TopK().empty());
+  EXPECT_EQ(sketch.capacity(), 4u);
+}
+
+}  // namespace
+}  // namespace ita::obs

@@ -1,0 +1,183 @@
+// Metrics export over the sim fleet: ExportEngineMetrics is the single
+// place the snapshot schema lives — the scenario runner's --metrics
+// dump, the sharded-monitor example, and CI's metrics-smoke job all
+// consume it. These tests pin the exported series for traced and
+// untraced engines and the runner's end-to-end JSON + Prometheus dump.
+
+#include "sim/metrics_export.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/phase_recorder.h"
+#include "sim/runner.h"
+#include "sim/scenario.h"
+#include "sim/sim_engine.h"
+#include "stream/corpus.h"
+
+namespace ita::sim {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+/// Streams a few epochs of synthetic docs through `engine`.
+void DriveEngine(SimEngine& engine, std::size_t epochs) {
+  SyntheticCorpusOptions copts;
+  copts.dictionary_size = 1'000;
+  copts.seed = 3;
+  SyntheticCorpusGenerator corpus(copts);
+  QueryWorkloadOptions qopts;
+  qopts.terms_per_query = 3;
+  qopts.k = 5;
+  qopts.max_term = 50;
+  qopts.seed = 4;
+  QueryWorkloadGenerator queries(copts.dictionary_size, qopts);
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_TRUE(engine.RegisterQuery(queries.NextQuery()).ok());
+  }
+  Timestamp now = 0;
+  for (std::size_t e = 0; e < epochs; ++e) {
+    std::vector<Document> docs;
+    for (int i = 0; i < 24; ++i) docs.push_back(corpus.NextDocument(now += 500));
+    ASSERT_TRUE(engine.IngestBatch(std::move(docs)).ok());
+  }
+}
+
+bool HasSeries(const obs::MetricsRegistry& registry, const std::string& name) {
+  for (const auto& c : registry.counters()) {
+    if (c.name == name) return true;
+  }
+  for (const auto& g : registry.gauges()) {
+    if (g.name == name) return true;
+  }
+  for (const auto& h : registry.histograms()) {
+    if (h.name == name) return true;
+  }
+  return false;
+}
+
+TEST(MetricsExportTest, UntracedEngineExportsCountersOnly) {
+  auto engine = MakeSequentialEngine(SequentialStrategy::kIta,
+                                     WindowSpec::CountBased(100));
+  DriveEngine(*engine, 3);
+  obs::MetricsRegistry registry;
+  ASSERT_TRUE(ExportEngineMetrics(*engine, {obs::Label{"engine", "ita"}},
+                                  &registry)
+                  .ok());
+  EXPECT_TRUE(HasSeries(registry, "ita_documents_ingested_total"));
+  EXPECT_TRUE(HasSeries(registry, "ita_postings_bytes"));
+  // No trace, no hot terms: none of the telemetry series appear.
+  EXPECT_FALSE(HasSeries(registry, "ita_epochs_traced"));
+  EXPECT_FALSE(HasSeries(registry, "ita_epoch_phase_nanos"));
+  EXPECT_FALSE(HasSeries(registry, "ita_hot_term_load"));
+  EXPECT_TRUE(obs::LintPrometheus(registry.ToPrometheus()).ok());
+}
+
+TEST(MetricsExportTest, TracedShardedEngineExportsPhaseSeries) {
+  auto engine = MakeShardedEngine(WindowSpec::CountBased(100), /*shards=*/2);
+  engine->EnableTracing();
+  engine->EnableHotTermTracking();
+  DriveEngine(*engine, 4);
+  obs::MetricsRegistry registry;
+  ASSERT_TRUE(ExportEngineMetrics(*engine, {obs::Label{"engine", "s2"}},
+                                  &registry)
+                  .ok());
+#if ITA_OBS_ENABLED
+  EXPECT_TRUE(HasSeries(registry, "ita_epochs_traced"));
+  EXPECT_TRUE(HasSeries(registry, "ita_shard_imbalance"));
+  EXPECT_TRUE(HasSeries(registry, "ita_epoch_wall_nanos"));
+  EXPECT_TRUE(HasSeries(registry, "ita_epoch_phase_nanos"));
+  EXPECT_TRUE(HasSeries(registry, "ita_hot_term_load"));
+  // Phase histograms carry the shard and phase as labels.
+  bool shard1_arrive = false;
+  for (const auto& h : registry.histograms()) {
+    if (h.name != "ita_epoch_phase_nanos") continue;
+    bool s1 = false, arrive = false;
+    for (const auto& label : h.labels) {
+      s1 = s1 || (label.key == "shard" && label.value == "1");
+      arrive = arrive || (label.key == "phase" && label.value == "arrive");
+    }
+    shard1_arrive = shard1_arrive || (s1 && arrive);
+  }
+  EXPECT_TRUE(shard1_arrive);
+#else
+  EXPECT_FALSE(HasSeries(registry, "ita_epochs_traced"));
+#endif
+  // Whatever was exported renders to a lintable exposition and JSON.
+  EXPECT_TRUE(obs::LintPrometheus(registry.ToPrometheus()).ok());
+  EXPECT_NE(registry.ToJson().find("\"version\":1"), std::string::npos);
+}
+
+TEST(MetricsExportTest, TwoEnginesShareOneRegistryViaLabels) {
+  auto a = MakeSequentialEngine(SequentialStrategy::kIta,
+                                WindowSpec::CountBased(50));
+  auto b = MakeShardedEngine(WindowSpec::CountBased(50), /*shards=*/2);
+  DriveEngine(*a, 2);
+  DriveEngine(*b, 2);
+  obs::MetricsRegistry registry;
+  ASSERT_TRUE(
+      ExportEngineMetrics(*a, {obs::Label{"engine", a->name()}}, &registry)
+          .ok());
+  ASSERT_TRUE(
+      ExportEngineMetrics(*b, {obs::Label{"engine", b->name()}}, &registry)
+          .ok());
+  // Same engine label twice would collide on every series.
+  EXPECT_FALSE(
+      ExportEngineMetrics(*a, {obs::Label{"engine", a->name()}}, &registry)
+          .ok());
+  EXPECT_TRUE(obs::LintPrometheus(registry.ToPrometheus()).ok());
+}
+
+TEST(MetricsExportTest, RunnerWritesJsonAndLintedProm) {
+  const ScenarioFactory* factory = FindScenario("zipf_drift");
+  ASSERT_NE(factory, nullptr);
+  ScenarioSpec spec = factory->make(/*seed=*/3);
+  spec.events = 400;
+
+  const std::string json_path =
+      ::testing::TempDir() + "/metrics_export_test.json";
+  const std::string prom_path =
+      ::testing::TempDir() + "/metrics_export_test.prom";
+  std::remove(json_path.c_str());
+  std::remove(prom_path.c_str());
+
+  RunOptions options;
+  options.shard_counts = {2};
+  options.checker.differential_interval_epochs = 8;
+  options.metrics_path = json_path;
+  ScenarioRunner runner(spec, options);
+  const auto report = runner.Run();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  const std::string json = ReadFile(json_path);
+  ASSERT_FALSE(json.empty());
+  EXPECT_NE(json.find("\"version\":1"), std::string::npos);
+  EXPECT_NE(json.find("ita_documents_ingested_total"), std::string::npos);
+  // Both fleet engines appear as label sets.
+  EXPECT_NE(json.find("\"engine\":\"ita\""), std::string::npos);
+  EXPECT_NE(json.find("sharded(ita,2)"), std::string::npos);
+
+  const std::string prom = ReadFile(prom_path);
+  ASSERT_FALSE(prom.empty());
+  EXPECT_TRUE(obs::LintPrometheus(prom).ok());
+  EXPECT_NE(prom.find("# TYPE ita_documents_ingested_total counter"),
+            std::string::npos);
+#if ITA_OBS_ENABLED
+  // A metrics dump implies tracing: the phase series are in the files.
+  EXPECT_NE(json.find("ita_epoch_wall_nanos"), std::string::npos);
+  EXPECT_NE(prom.find("ita_epoch_wall_nanos_bucket"), std::string::npos);
+#endif
+}
+
+}  // namespace
+}  // namespace ita::sim

@@ -50,6 +50,10 @@ TEST_P(SoakTest, OracleDifferentialFleetDrive) {
   options.checker.invariant_interval_epochs = 1;
   options.checker.differential_interval_epochs = 4;
   options.verify_notifications = true;
+  // Telemetry on for the whole fleet drive: the per-shard recorders and
+  // hot-term sketches run through every sanitizer soak (no-op when the
+  // build has ITA_OBS=OFF).
+  options.enable_tracing = true;
   // One progress line roughly every ~64k events on long drives.
   options.progress_every_epochs =
       spec.events > 200'000 ? 64'000 / spec.batch_size : 0;

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Lint a Prometheus text exposition file.
+
+Usage: tools/lint_prometheus.py <exposition.prom>
+
+Mirrors obs::LintPrometheus (src/obs/metrics.cc): every sample line must
+parse as `name[{key="value",...}] value`, metric names must match
+[a-zA-Z_:][a-zA-Z0-9_:]*, label keys [a-zA-Z_][a-zA-Z0-9_]*, and no
+(name, labels) series may repeat. Additionally checks the HELP/TYPE
+discipline the registry renderer guarantees: at most one HELP and one
+TYPE comment per metric family.
+
+Exit code 0 = clean, 1 = violations (all printed), 2 = usage.
+"""
+
+import re
+import sys
+
+METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_KEY = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+SAMPLE = re.compile(
+    r"^(?P<name>[^{\s]+)"
+    r"(?:\{(?P<labels>(?:[^\"}]+=\"(?:[^\"\\]|\\.)*\",?)*)\})?"
+    r" (?P<value>\S+)$"
+)
+LABEL = re.compile(r'(?P<key>[^=,]+)="(?P<value>(?:[^"\\]|\\.)*)"')
+VALUE = re.compile(r"^[+-]?(?:\d+\.?\d*(?:[eE][+-]?\d+)?|\.\d+(?:[eE][+-]?\d+)?|Inf|NaN)$")
+
+
+def lint(path):
+    errors = []
+    seen_series = set()
+    seen_comments = set()
+    with open(path, encoding="utf-8") as f:
+        for number, raw in enumerate(f, start=1):
+            line = raw.rstrip("\n")
+            if not line.strip():
+                continue
+            if line.startswith("#"):
+                match = re.match(r"^# (HELP|TYPE) (\S+)", line)
+                if match:
+                    key = (match.group(1), match.group(2))
+                    if key in seen_comments:
+                        errors.append(
+                            f"{path}:{number}: repeated {match.group(1)} for "
+                            f"family {match.group(2)}")
+                    seen_comments.add(key)
+                continue
+            match = SAMPLE.match(line)
+            if match is None:
+                errors.append(f"{path}:{number}: unparsable sample line: "
+                              f"{line!r}")
+                continue
+            name = match.group("name")
+            if METRIC_NAME.match(name) is None:
+                errors.append(f"{path}:{number}: invalid metric name {name!r}")
+            labels = []
+            if match.group("labels"):
+                for label in LABEL.finditer(match.group("labels")):
+                    key = label.group("key").lstrip(",")
+                    if LABEL_KEY.match(key) is None:
+                        errors.append(
+                            f"{path}:{number}: invalid label key {key!r}")
+                    labels.append((key, label.group("value")))
+            if VALUE.match(match.group("value")) is None:
+                errors.append(f"{path}:{number}: non-numeric value "
+                              f"{match.group('value')!r}")
+            series = (name, tuple(sorted(labels)))
+            if series in seen_series:
+                errors.append(f"{path}:{number}: duplicate series {series}")
+            seen_series.add(series)
+    return errors, len(seen_series)
+
+
+def main(argv):
+    if len(argv) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    errors, samples = lint(argv[1])
+    if errors:
+        for error in errors:
+            print(f"INVALID {error}")
+        return 1
+    print(f"OK {argv[1]}: {samples} samples")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Validate a metrics JSON snapshot against docs/metrics_schema.json.
+
+Usage: tools/validate_metrics.py <snapshot.json> [schema.json]
+
+Dependency-free: implements the subset of JSON Schema the checked-in
+schema actually uses (type, required, properties, additionalProperties,
+items, enum, minimum, pattern), then applies the semantic checks a
+structural schema cannot express:
+
+  * no duplicate (name, labels) series across counters/gauges/histograms,
+  * each histogram's bucket counts sum to its `count`,
+  * bucket `le` bounds strictly increase,
+  * min <= p50 <= p90 <= p99 <= max on every non-empty histogram.
+
+Exit code 0 = valid, 1 = invalid (every violation printed), 2 = usage.
+"""
+
+import json
+import re
+import sys
+
+TYPE_CHECKS = {
+    "object": lambda v: isinstance(v, dict),
+    "array": lambda v: isinstance(v, list),
+    "string": lambda v: isinstance(v, str),
+    # bool is an int subclass in Python; exclude it explicitly.
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "number": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+    "boolean": lambda v: isinstance(v, bool),
+}
+
+
+def check(schema, value, path, errors):
+    """Structural validation of the supported schema subset."""
+    expected = schema.get("type")
+    if expected is not None and not TYPE_CHECKS[expected](value):
+        errors.append(f"{path}: expected {expected}, got {type(value).__name__}")
+        return
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append(f"{path}: {value!r} not in {schema['enum']}")
+    if "minimum" in schema and isinstance(value, (int, float)) \
+            and not isinstance(value, bool) and value < schema["minimum"]:
+        errors.append(f"{path}: {value} < minimum {schema['minimum']}")
+    if "pattern" in schema and isinstance(value, str) \
+            and re.search(schema["pattern"], value) is None:
+        errors.append(f"{path}: {value!r} does not match {schema['pattern']}")
+    if isinstance(value, dict):
+        for key in schema.get("required", []):
+            if key not in value:
+                errors.append(f"{path}: missing required key {key!r}")
+        properties = schema.get("properties", {})
+        additional = schema.get("additionalProperties", True)
+        for key, child in value.items():
+            if key in properties:
+                check(properties[key], child, f"{path}.{key}", errors)
+            elif isinstance(additional, dict):
+                check(additional, child, f"{path}.{key}", errors)
+            elif additional is False:
+                errors.append(f"{path}: unexpected key {key!r}")
+    if isinstance(value, list) and "items" in schema:
+        for i, item in enumerate(value):
+            check(schema["items"], item, f"{path}[{i}]", errors)
+
+
+def semantic_checks(snapshot, errors):
+    """The invariants the schema subset cannot express."""
+    seen = set()
+    for kind in ("counters", "gauges", "histograms"):
+        for i, series in enumerate(snapshot.get(kind, [])):
+            if not isinstance(series, dict):
+                continue
+            labels = series.get("labels", {})
+            if not isinstance(labels, dict):
+                continue
+            key = (series.get("name"), tuple(sorted(labels.items())))
+            if key in seen:
+                errors.append(f"{kind}[{i}]: duplicate series {key}")
+            seen.add(key)
+
+    for i, hist in enumerate(snapshot.get("histograms", [])):
+        if not isinstance(hist, dict):
+            continue
+        path = f"histograms[{i}]"
+        buckets = hist.get("buckets", [])
+        bucket_total = sum(b.get("count", 0) for b in buckets
+                           if isinstance(b, dict))
+        if bucket_total != hist.get("count"):
+            errors.append(f"{path}: bucket counts sum to {bucket_total}, "
+                          f"count is {hist.get('count')}")
+        bounds = [b.get("le") for b in buckets if isinstance(b, dict)]
+        if bounds != sorted(set(bounds)):
+            errors.append(f"{path}: bucket le bounds not strictly increasing")
+        if hist.get("count", 0) > 0:
+            chain = [hist.get(k, 0) for k in ("min", "p50", "p90", "p99", "max")]
+            if chain != sorted(chain):
+                errors.append(f"{path}: min<=p50<=p90<=p99<=max violated: "
+                              f"{chain}")
+
+
+def main(argv):
+    if len(argv) not in (2, 3):
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    snapshot_path = argv[1]
+    schema_path = argv[2] if len(argv) == 3 else "docs/metrics_schema.json"
+    with open(snapshot_path, encoding="utf-8") as f:
+        snapshot = json.load(f)
+    with open(schema_path, encoding="utf-8") as f:
+        schema = json.load(f)
+
+    errors = []
+    check(schema, snapshot, "$", errors)
+    semantic_checks(snapshot, errors)
+    if errors:
+        for error in errors:
+            print(f"INVALID {error}")
+        return 1
+    counters = len(snapshot.get("counters", []))
+    gauges = len(snapshot.get("gauges", []))
+    hists = len(snapshot.get("histograms", []))
+    print(f"OK {snapshot_path}: {counters} counters, {gauges} gauges, "
+          f"{hists} histograms")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
