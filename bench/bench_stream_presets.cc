@@ -34,9 +34,11 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 
 #include "common/logging.h"
 #include "common/stats.h"
+#include "exec/sharded_server.h"
 #include "harness/obs_report.h"
 #include "sim/event_stream.h"
 #include "sim/scenario.h"
@@ -52,14 +54,19 @@ namespace {
 /// and an unbounded stream, applied through the soak tier's seam.
 class PresetFixture {
  public:
-  static PresetFixture& Cached(const std::string& preset,
-                               std::size_t queries) {
+  /// `shards` = 0 drives the sequential ItaServer; >= 1 drives the
+  /// sharded engine at that S, with the load-aware rebalancer switched
+  /// by `rebalance` (the adaptive-placement A/B axis).
+  static PresetFixture& Cached(const std::string& preset, std::size_t queries,
+                               std::size_t shards = 0, bool rebalance = false) {
     static auto* cache = new std::map<std::string, std::unique_ptr<PresetFixture>>();
-    const std::string key = preset + "/" + std::to_string(queries);
+    const std::string key = preset + "/" + std::to_string(queries) + "/S" +
+                            std::to_string(shards) + "/rb" +
+                            std::to_string(rebalance ? 1 : 0);
     auto it = cache->find(key);
     if (it == cache->end()) {
-      it = cache->emplace(key, std::unique_ptr<PresetFixture>(
-                                   new PresetFixture(preset, queries)))
+      it = cache->emplace(key, std::unique_ptr<PresetFixture>(new PresetFixture(
+                                   preset, queries, shards, rebalance)))
                .first;
     }
     return *it->second;
@@ -80,8 +87,22 @@ class PresetFixture {
   /// under ITA_OBS_TRACE=1 in an ITA_OBS=ON build.
   const obs::EpochTrace* trace() const { return engine_->trace(); }
 
+  /// Queries the rebalancer has moved (0 for sequential fixtures).
+  std::uint64_t queries_migrated() const {
+    const exec::ShardedServer* sharded = std::as_const(*engine_).sharded();
+    return sharded != nullptr ? sharded->rebalance_stats().queries_migrated
+                              : 0;
+  }
+
+  /// Queries the rebalancer moved while the fixture prefilled to steady
+  /// state — by the time the timed region starts, an enabled rebalancer
+  /// has usually already converged the placement, so this (not the
+  /// in-measurement delta) is the evidence it acted.
+  std::uint64_t prefill_migrations() const { return prefill_migrations_; }
+
  private:
-  PresetFixture(const std::string& preset, std::size_t queries) {
+  PresetFixture(const std::string& preset, std::size_t queries,
+                std::size_t shards, bool rebalance) {
     const sim::ScenarioFactory* factory = sim::FindScenario(preset);
     ITA_CHECK(factory != nullptr) << "unknown preset " << preset;
     sim::ScenarioSpec spec = factory->make(/*seed=*/42);
@@ -92,8 +113,21 @@ class PresetFixture {
     spec.pool_documents = 4'096;
     if (queries > 0) spec.queries.initial_queries = queries;
 
-    engine_ = sim::MakeSequentialEngine(sim::SequentialStrategy::kIta,
-                                        spec.window);
+    if (shards > 0) {
+      // The A/B axis: static hash placement vs the aggressive rebalance
+      // policy (the same knob CI's forced-rebalancing soak uses). The
+      // default kOn trigger (1.20) is tuned for operational skew — a
+      // uniformly random benchmark population sits just under it, so the
+      // bench measures the policy's full effect, not its dead zone.
+      exec::RebalanceOptions rb;
+      rb.mode = rebalance ? exec::RebalanceMode::kAggressive
+                          : exec::RebalanceMode::kOff;
+      engine_ = sim::MakeShardedEngine(spec.window, shards, /*threads=*/0,
+                                       /*tuning=*/{}, rb);
+    } else {
+      engine_ = sim::MakeSequentialEngine(sim::SequentialStrategy::kIta,
+                                          spec.window);
+    }
     if (ObsTraceRequested()) {
       engine_->EnableTracing(/*capacity=*/1'024);
       engine_->EnableHotTermTracking();
@@ -108,11 +142,28 @@ class PresetFixture {
       const auto ids = sim::ApplyEpoch(*engine_, *std::move(epoch));
       ITA_CHECK(ids.ok()) << ids.status().ToString();
     }
+    // Let the adaptive layers converge before measurement begins: the
+    // placement map needs a run of epochs for its load EMAs to settle
+    // and its bounded migrations to drain (well inside ~128 epochs on
+    // these presets), and the term-tier EMAs need the same. The timed
+    // region then measures steady state for both sides of the A/B.
+    for (int i = 0; i < 128; ++i) {
+      auto epoch = stream_->NextEpoch();
+      ITA_CHECK(epoch.has_value()) << "stream exhausted during settle";
+      const auto ids = sim::ApplyEpoch(*engine_, *std::move(epoch));
+      ITA_CHECK(ids.ok()) << ids.status().ToString();
+    }
+    prefill_migrations_ = queries_migrated();
     engine_->ResetStats();
+    // Drop the prefill epochs from the telemetry too: the recorded
+    // latency percentiles must describe steady state, not the sharded
+    // engine's pre-convergence (still imbalanced) warm-up.
+    if (obs::EpochTrace* trace = engine_->mutable_trace()) trace->Reset();
   }
 
   std::unique_ptr<sim::SimEngine> engine_;
   std::unique_ptr<sim::EventStreamGenerator> stream_;
+  std::uint64_t prefill_migrations_ = 0;
 };
 
 void PresetEpochBench(benchmark::State& state, const std::string& preset) {
@@ -151,6 +202,47 @@ BENCHMARK(BM_ZipfDriftEpoch)
     ->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_HotTermFloodEpoch)
     ->Arg(0)->Arg(1'024)->Arg(10'240)
+    ->Unit(benchmark::kMicrosecond);
+
+// Experiment S2 — the same epoch critical path through the sharded
+// engine, A/B over the load-aware rebalancer (args: S, rebalance 0/1,
+// population fixed at 1'024 so per-shard slices stay non-trivial at
+// S = 8). Skewed presets only: hot_term_flood concentrates query work
+// on the shards whose queries own the flooded terms, flash_crowd spikes
+// arrival bursts — both are the placement-imbalance regimes the
+// rebalancer targets. Under ITA_OBS_TRACE=1 the wall p50/p99/max
+// counters (obs histograms) are the tail-latency evidence recorded in
+// bench/results/adaptive_rebalance_baseline.json.
+void PresetShardedEpochBench(benchmark::State& state,
+                             const std::string& preset) {
+  const auto shards = static_cast<std::size_t>(state.range(0));
+  const bool rebalance = state.range(1) != 0;
+  PresetFixture& fixture =
+      PresetFixture::Cached(preset, /*queries=*/1'024, shards, rebalance);
+  const std::uint64_t migrated_before = fixture.queries_migrated();
+  for (auto _ : state) fixture.StepEpoch();
+  state.counters["queries_migrated"] = benchmark::Counter(
+      static_cast<double>(fixture.queries_migrated() - migrated_before));
+  state.counters["prefill_migrations"] =
+      benchmark::Counter(static_cast<double>(fixture.prefill_migrations()));
+  ReportTraceCounters(state, fixture.trace());
+}
+
+void BM_HotTermFloodShardedEpoch(benchmark::State& state) {
+  PresetShardedEpochBench(state, "hot_term_flood");
+}
+void BM_FlashCrowdShardedEpoch(benchmark::State& state) {
+  PresetShardedEpochBench(state, "flash_crowd");
+}
+BENCHMARK(BM_HotTermFloodShardedEpoch)
+    ->Args({1, 0})->Args({1, 1})
+    ->Args({4, 0})->Args({4, 1})
+    ->Args({8, 0})->Args({8, 1})
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_FlashCrowdShardedEpoch)
+    ->Args({1, 0})->Args({1, 1})
+    ->Args({4, 0})->Args({4, 1})
+    ->Args({8, 0})->Args({8, 1})
     ->Unit(benchmark::kMicrosecond);
 
 }  // namespace

@@ -25,6 +25,21 @@ void ReportTraceCounters(benchmark::State& state,
       benchmark::Counter(wall.Quantile(0.50));
   state.counters["wall_p99_ns"] =
       benchmark::Counter(wall.Quantile(0.99));
+  state.counters["wall_max_ns"] =
+      benchmark::Counter(static_cast<double>(wall.max()));
+
+  // The hardware-independent epoch-latency distribution: per-epoch max
+  // shard busy time. On a core-pinned recorder this — not wall time —
+  // is where load-aware rebalancing shows up (bench/results/README.md).
+  const obs::Histogram& critical = trace->critical_hist();
+  if (critical.count() > 0 && critical.max() > 0) {
+    state.counters["critical_p50_ns"] =
+        benchmark::Counter(critical.Quantile(0.50));
+    state.counters["critical_p99_ns"] =
+        benchmark::Counter(critical.Quantile(0.99));
+    state.counters["critical_max_ns"] =
+        benchmark::Counter(static_cast<double>(critical.max()));
+  }
 
   for (std::size_t p = 0; p < obs::kPhaseCount; ++p) {
     const auto phase = static_cast<obs::Phase>(p);

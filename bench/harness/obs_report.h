@@ -25,9 +25,12 @@ namespace bench {
 bool ObsTraceRequested();
 
 /// Attaches the trace's percentiles to `state` as counters — epoch wall
-/// p50/p99, per-phase p99 (each phase's histograms merged across
-/// shards), and the worst shard imbalance. No-op when `trace` is null
-/// or empty, so callers can pass engine->trace() unconditionally.
+/// p50/p99/max, per-epoch critical-path p50/p99/max (max shard busy
+/// time: the epoch latency once every shard has its own core, the
+/// metric load-aware rebalancing moves on a core-pinned recorder),
+/// per-phase p99 (each phase's histograms merged across shards), and
+/// the worst shard imbalance. No-op when `trace` is null or empty, so
+/// callers can pass engine->trace() unconditionally.
 void ReportTraceCounters(benchmark::State& state,
                          const obs::EpochTrace* trace);
 

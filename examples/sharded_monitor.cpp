@@ -7,7 +7,10 @@
 //      (plan, expire, arrive, notify-flush, barrier-wait) straight from
 //      the obs::EpochTrace histograms, plus the epoch wall distribution;
 //   2. the shard-imbalance gauge (max/mean shard phase work; 1.0 means
-//      the partition is balanced, S means one shard did everything);
+//      the partition is balanced, S means one shard did everything),
+//      followed by the placement and storage-tier churn it provoked —
+//      queries the load-aware rebalancer migrated, per-shard query
+//      counts, and term tier promotions/demotions;
 //   3. the hottest terms by postings + probe work (space-saving sketch);
 //   4. the engine's metrics-registry snapshot (the same series the
 //      scenario runner's --metrics dump and CI's metrics-smoke job
@@ -24,8 +27,10 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "exec/sharded_server.h"
 #include "obs/epoch_trace.h"
 #include "sim/metrics_export.h"
 #include "sim/sim_engine.h"
@@ -136,6 +141,31 @@ int RunOne(std::size_t shards, const MonitorConfig& config) {
                 trace->last_imbalance(), trace->max_imbalance(),
                 trace->shards());
   }
+
+  // 2b. Placement-map and storage-tier churn, right beside the imbalance
+  // gauge it reacts to: how many queries the rebalancer moved (and over
+  // how many epochs), plus the term-tier migrations the per-shard
+  // catalogs performed at the same barriers.
+  const ita::exec::ShardedServer* sharded = std::as_const(*engine).sharded();
+  const ita::ServerStats totals = engine->stats();
+  if (sharded != nullptr) {
+    std::printf("  placement churn: %llu queries migrated across %llu "
+                "rebalancing epochs (last epoch %zu); per-shard queries:",
+                static_cast<unsigned long long>(
+                    sharded->rebalance_stats().queries_migrated),
+                static_cast<unsigned long long>(
+                    sharded->rebalance_stats().rebalance_events),
+                sharded->last_epoch_migrations());
+    for (std::size_t s = 0; s < sharded->shard_count(); ++s) {
+      std::printf(" %zu", sharded->shard_query_count(s));
+    }
+    std::printf("\n");
+  }
+  std::printf("  tier churn: %llu promotions, %llu demotions, %llu terms "
+              "hot now\n",
+              static_cast<unsigned long long>(totals.tier_promotions),
+              static_cast<unsigned long long>(totals.tier_demotions),
+              static_cast<unsigned long long>(totals.hot_tier_terms));
 
   // 3. Hot terms by postings + probe work (upper-bound counts).
   const ita::obs::SpaceSavingSketch hot = engine->HotTerms();

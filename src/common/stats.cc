@@ -21,10 +21,14 @@ void ServerStats::Add(const ServerStats& other) {
   rollup_evictions += other.rollup_evictions;
   refills += other.refills;
   full_rescans += other.full_rescans;
+  tier_promotions += other.tier_promotions;
+  tier_demotions += other.tier_demotions;
   catalog_slab_bytes += other.catalog_slab_bytes;
   postings_bytes += other.postings_bytes;
   threshold_entries += other.threshold_entries;
   query_state_slots += other.query_state_slots;
+  hot_tier_terms += other.hot_tier_terms;
+  registered_queries += other.registered_queries;
   arena_segments += other.arena_segments;
   document_bytes += other.document_bytes;
 }
@@ -47,10 +51,14 @@ std::string ServerStats::ToString() const {
      << "rollup_evictions       = " << rollup_evictions << "\n"
      << "refills                = " << refills << "\n"
      << "full_rescans           = " << full_rescans << "\n"
+     << "tier_promotions        = " << tier_promotions << "\n"
+     << "tier_demotions         = " << tier_demotions << "\n"
      << "catalog_slab_bytes     = " << catalog_slab_bytes << "\n"
      << "postings_bytes         = " << postings_bytes << "\n"
      << "threshold_entries      = " << threshold_entries << "\n"
      << "query_state_slots      = " << query_state_slots << "\n"
+     << "hot_tier_terms         = " << hot_tier_terms << "\n"
+     << "registered_queries     = " << registered_queries << "\n"
      << "arena_segments         = " << arena_segments << "\n"
      << "document_bytes         = " << document_bytes << "\n";
   return os.str();

@@ -48,6 +48,13 @@ struct ServerStats {
   // Naive-specific machinery.
   std::uint64_t full_rescans = 0;           ///< top-k_max recomputations over D
 
+  // Frequency-adaptive tiering (DESIGN.md §12): per-shard counters of
+  // epoch-boundary term migrations between the cold and hot
+  // representations. Real per-shard work, so the cross-shard sum is the
+  // engine total (not on the take-once list).
+  std::uint64_t tier_promotions = 0;        ///< terms migrated cold → hot
+  std::uint64_t tier_demotions = 0;         ///< terms migrated hot → cold
+
   // Memory-footprint gauges (DESIGN.md §7): refreshed by the owning
   // server at each event/epoch boundary, NOT accumulated — each field is
   // the structure's current size at the last refresh. Add() sums them
@@ -60,6 +67,11 @@ struct ServerStats {
   std::uint64_t postings_bytes = 0;         ///< live inverted-list entries
   std::uint64_t threshold_entries = 0;      ///< (theta, query) pairs across trees
   std::uint64_t query_state_slots = 0;      ///< QueryState slab length (incl. free)
+  std::uint64_t hot_tier_terms = 0;         ///< terms currently in the hot tier
+  /// Live registered queries (maintained by the engine on every
+  /// register/unregister, so per-shard instances track the LIVE placement
+  /// after load-aware migrations, not the initial one).
+  std::uint64_t registered_queries = 0;
 
   // Window-arena gauges (DESIGN.md §8): reported by whoever OWNS the
   // arena — a standalone sequential server, or the sharded engine for its

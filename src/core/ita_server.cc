@@ -230,14 +230,15 @@ void ItaServer::CollectBatchAffected(std::span<const DocumentView> docs,
           }
         }
       }
-#if ITA_OBS_ENABLED
       // Hot-term load: the postings the run maintained plus the tree
-      // entries its probe visited — one sketch update per (term, epoch).
+      // entries its probe visited — one record per (term, epoch), feeding
+      // the catalog's tier-selection EMA and (when enabled) the obs
+      // sketch with the same signal.
+      catalog_.NoteTermWork(term, (hi - lo) + probe_steps);
+#if ITA_OBS_ENABLED
       if (hot_terms_ != nullptr) {
         hot_terms_->Add(term, (hi - lo) + probe_steps);
       }
-#else
-      (void)probe_steps;
 #endif
       lo = hi;
     }
@@ -268,6 +269,7 @@ void ItaServer::OnArriveBatch(std::span<const DocumentView> docs) {
         });
   }
   if (states_.empty()) {
+    ApplyEpochTierMigrations();
     RefreshMemoryGauges();
     return;
   }
@@ -283,6 +285,8 @@ void ItaServer::OnArriveBatch(std::span<const DocumentView> docs) {
 
     QueryState& state = states_[slot];
     stats.queries_probed += hi - lo;
+    const std::uint64_t work_before =
+        stats.scores_computed + stats.list_entries_read + stats.rollup_steps;
     const std::size_t k = static_cast<std::size_t>(state.query->k);
     const double sk_before = state.result.KthScore(k);
 
@@ -299,9 +303,15 @@ void ItaServer::OnArriveBatch(std::span<const DocumentView> docs) {
       MarkResultChanged(state.id);
       if (tuning_.enable_rollup) RollUp(state);
     }
+    // Attribute the group's work (probe hits + scoring/read/roll-up
+    // steps) to the query — the rebalancer's victim-selection signal.
+    state.work += (hi - lo) + (stats.scores_computed +
+                               stats.list_entries_read + stats.rollup_steps -
+                               work_before);
     lo = hi;
   }
   FlushBulkRetheta();
+  ApplyEpochTierMigrations();
   RefreshMemoryGauges();
 }
 
@@ -326,6 +336,7 @@ void ItaServer::OnExpireBatch(std::span<const DocumentView> docs) {
         });
   }
   if (states_.empty()) {
+    ApplyEpochTierMigrations();
     RefreshMemoryGauges();
     return;
   }
@@ -341,6 +352,8 @@ void ItaServer::OnExpireBatch(std::span<const DocumentView> docs) {
 
     QueryState& state = states_[slot];
     stats.queries_probed += hi - lo;
+    const std::uint64_t work_before =
+        stats.scores_computed + stats.list_entries_read + stats.rollup_steps;
     const std::size_t k = static_cast<std::size_t>(state.query->k);
 
     bool lost_topk = false;
@@ -364,9 +377,13 @@ void ItaServer::OnExpireBatch(std::span<const DocumentView> docs) {
         ExtendSearch(state);
       }
     }
+    state.work += (hi - lo) + (stats.scores_computed +
+                               stats.list_entries_read + stats.rollup_steps -
+                               work_before);
     lo = hi;
   }
   FlushBulkRetheta();
+  ApplyEpochTierMigrations();
   RefreshMemoryGauges();
 }
 
@@ -642,6 +659,30 @@ void ItaServer::RefreshMemoryGauges() {
   stats.postings_bytes = catalog_.postings_bytes();
   stats.threshold_entries = threshold_entries_;
   stats.query_state_slots = states_.slot_count();
+  stats.hot_tier_terms = catalog_.hot_tier_terms();
+}
+
+void ItaServer::ApplyEpochTierMigrations() {
+  const TermCatalog::TierMigrations done = catalog_.ApplyTierMigrations();
+  ServerStats& stats = mutable_stats();
+  stats.tier_promotions += done.promotions;
+  stats.tier_demotions += done.demotions;
+}
+
+void ItaServer::DrainTopWorkQueries(
+    std::size_t max, std::vector<std::pair<QueryId, std::uint64_t>>& out) {
+  out.clear();
+  states_.ForEach([&out](SlotIndex /*slot*/, QueryState& state) {
+    if (state.work > 0) out.emplace_back(state.id, state.work);
+    state.work >>= 1;  // decay: quiet queries stop looking hot
+  });
+  std::sort(out.begin(), out.end(),
+            [](const std::pair<QueryId, std::uint64_t>& a,
+               const std::pair<QueryId, std::uint64_t>& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;
+            });
+  if (out.size() > max) out.resize(max);
 }
 
 std::vector<ResultEntry> ItaServer::CurrentResult(QueryId id) const {
@@ -702,6 +743,13 @@ Status ItaServer::ValidatePruningMetadata() const {
       return Status::Internal("term " + std::to_string(t) +
                               ": block-max array out of sync with postings");
     }
+  }
+  // Tier coherence (DESIGN.md §12): a term's list granularity and tree
+  // probe layout must both match its recorded tier — a half-migrated
+  // term would answer correctly but account its tier wrong.
+  if (!catalog_.ValidateTiers()) {
+    return Status::Internal(
+        "tier metadata out of sync with list/tree representations");
   }
   return Status::OK();
 }

@@ -57,6 +57,11 @@ struct ItaTuning {
   /// local thresholds then only ever move downward, monitored regions only
   /// grow, and more arrivals/expirations must be processed per query.
   bool enable_rollup = true;
+  /// Frequency-adaptive term-tier policy (DESIGN.md §12): hot terms —
+  /// selected by an EMA of per-epoch term work — migrate to a denser
+  /// block-max layout and a wide threshold-tree probe at epoch
+  /// boundaries. Representation-only: results stay bit-identical.
+  TierPolicy tier;
 };
 
 /// The paper's Incremental Threshold Algorithm as a server strategy; see
@@ -69,7 +74,9 @@ class ItaServer : public ContinuousSearchServer {
   /// Builds an ITA server over `options` (window spec, optional shared
   /// arena) with the given tuning.
   explicit ItaServer(ServerOptions options, ItaTuning tuning = {})
-      : ContinuousSearchServer(options), tuning_(tuning) {}
+      : ContinuousSearchServer(options), tuning_(tuning) {
+    catalog_.SetTierPolicy(tuning_.tier);
+  }
 
   /// ServerStrategy: the strategy name, "ita".
   std::string name() const override { return "ita"; }
@@ -114,6 +121,14 @@ class ItaServer : public ContinuousSearchServer {
   /// The hot-term sketch, null until EnableHotTermTracking() (and always
   /// null in an ITA_OBS=OFF build).
   const obs::SpaceSavingSketch* hot_terms() const { return hot_terms_.get(); }
+
+  /// ServerStrategy: the most work-expensive queries since the last drain
+  /// (descending accumulated work, ties ascending id, at most `max`), the
+  /// sharded rebalancer's victim-selection signal. Every query's
+  /// accounting halves on drain so stale hotness fades.
+  void DrainTopWorkQueries(
+      std::size_t max,
+      std::vector<std::pair<QueryId, std::uint64_t>>& out) override;
 
  protected:
   /// Registers threshold-tree entries for the query's terms and runs the
@@ -165,6 +180,11 @@ class ItaServer : public ContinuousSearchServer {
     std::vector<std::uint64_t> theta_epoch;
     /// Cached tau = sum_t w_{Q,t} * theta_t; finite once registered.
     double tau = 0.0;
+    /// Accumulated epoch work attributed to this query (probe hits plus
+    /// scoring/read/roll-up steps its processing drove) since the last
+    /// DrainTopWorkQueries — the rebalancer's victim-selection signal.
+    /// Halved at every drain so stale hotness fades.
+    std::uint64_t work = 0;
   };
 
   /// Shared per-event front half of OnArrive/OnExpire: for each term of
@@ -219,6 +239,12 @@ class ItaServer : public ContinuousSearchServer {
   /// Writes the current structure sizes into the stats gauges (DESIGN.md
   /// §7) — called at every event/epoch boundary.
   void RefreshMemoryGauges();
+
+  /// Folds the epoch's NoteTermWork records into the catalog's tier EMAs
+  /// and executes any due tier migrations (DESIGN.md §12) — called at the
+  /// tail of each batch hook, after the bulk retheta flush, when nothing
+  /// holds list iterators or is mid-probe.
+  void ApplyEpochTierMigrations();
 
   /// Shared batch-hook front half: flattens one posting per (document,
   /// term) of the batch and sorts it ONCE into per-term ImpactOrder runs.

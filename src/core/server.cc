@@ -54,6 +54,7 @@ Status ContinuousSearchServer::InstallQuery(QueryId id, Query query) {
     queries_.erase(it);
     return status;
   }
+  stats_.registered_queries = queries_.size();
   return Status::OK();
 }
 
@@ -65,7 +66,18 @@ Status ContinuousSearchServer::UnregisterQuery(QueryId id) {
   ITA_RETURN_NOT_OK(OnUnregisterQuery(id));
   queries_.erase(it);
   notifier_.Unmark(id);
+  stats_.registered_queries = queries_.size();
   return Status::OK();
+}
+
+StatusOr<Query> ContinuousSearchServer::ExtractQuery(QueryId id) {
+  const auto it = queries_.find(id);
+  if (it == queries_.end()) {
+    return Status::NotFound("no query with id " + std::to_string(id));
+  }
+  Query copy = it->second;  // the strategy hook reads it during teardown
+  ITA_RETURN_NOT_OK(UnregisterQuery(id));
+  return copy;
 }
 
 StatusOr<DocId> ContinuousSearchServer::Ingest(Document document) {

@@ -86,6 +86,12 @@ class ContinuousSearchServer : public ServerStrategy {
   /// Terminates a continuous query.
   Status UnregisterQuery(QueryId id) override;
 
+  /// ServerStrategy: removes `id` and returns its definition, so a
+  /// sharded driver can re-home the query at an epoch boundary
+  /// (re-registration on the target recomputes the exact result over the
+  /// current window). Works for every strategy built on this base.
+  StatusOr<Query> ExtractQuery(QueryId id) override;
+
   /// Streams one document into the server: expires documents pushed out of
   /// the window, then processes the arrival. Arrival times must be
   /// non-decreasing. Returns the id assigned to the document. Requires an
@@ -185,8 +191,12 @@ class ContinuousSearchServer : public ServerStrategy {
 
   /// Operation counters and memory gauges; see common/stats.h.
   const ServerStats& stats() const override { return stats_; }
-  /// Zeroes every counter and gauge.
-  void ResetStats() override { stats_.Reset(); }
+  /// Zeroes every counter and gauge, then restores the live-population
+  /// gauge (registered queries survive a stats reset).
+  void ResetStats() override {
+    stats_.Reset();
+    stats_.registered_queries = queries_.size();
+  }
 
   /// The construction options (window spec, arena sharing).
   const ServerOptions& options() const { return options_; }

@@ -33,8 +33,10 @@
 
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/stats.h"
@@ -69,6 +71,30 @@ class ServerStrategy {
 
   /// Terminates a continuous query.
   virtual Status UnregisterQuery(QueryId id) = 0;
+
+  // --- Load-aware placement (exec::ShardedServer's rebalancer) --------
+
+  /// Removes the query from this server and returns its definition, so a
+  /// sharded driver can re-register it on another shard at an epoch
+  /// boundary. Re-registration recomputes the result over the current
+  /// window, which is exact (I1/I2 hold with freshly-derived thresholds),
+  /// so a migration never changes a reported score. The default refuses:
+  /// only strategies whose registration is placement-independent opt in.
+  virtual StatusOr<Query> ExtractQuery(QueryId id) {
+    (void)id;
+    return Status::Unimplemented("strategy does not support query extraction");
+  }
+
+  /// Appends up to `max` of this server's most work-expensive queries
+  /// since the last drain, as (id, accumulated work) pairs sorted by
+  /// descending work (ties ascending id), and decays the drained
+  /// accounting. The rebalancer's victim-selection signal; the default
+  /// reports none (drivers fall back to id-ordered selection).
+  virtual void DrainTopWorkQueries(
+      std::size_t max, std::vector<std::pair<QueryId, std::uint64_t>>& out) {
+    (void)max;
+    out.clear();
+  }
 
   // --- Epoch phases --------------------------------------------------
 

@@ -6,6 +6,36 @@
 
 namespace ita {
 
+TermCatalog::TierMigrations TermCatalog::ApplyTierMigrations() {
+  TierMigrations out;
+  if (epoch_work_.empty()) return out;
+  const TierPolicy& p = tier_policy_;
+  std::size_t migrations = 0;
+  for (const auto& [term, work] : epoch_work_) {
+    TermState& ts = states_[term];
+    ts.work_ema = p.alpha * static_cast<double>(work) +
+                  (1.0 - p.alpha) * ts.work_ema;
+    if (migrations >= p.max_migrations_per_epoch) continue;
+    if (!ts.hot_tier && ts.work_ema >= p.promote_ema) {
+      ts.list.SetBlockBits(p.hot_block_bits);
+      ts.tree.SetWideProbe(true);
+      ts.hot_tier = true;
+      ++hot_terms_;
+      ++out.promotions;
+      ++migrations;
+    } else if (ts.hot_tier && ts.work_ema <= p.demote_ema) {
+      ts.list.SetBlockBits(InvertedList::kBlockBits);
+      ts.tree.SetWideProbe(false);
+      ts.hot_tier = false;
+      --hot_terms_;
+      ++out.demotions;
+      ++migrations;
+    }
+  }
+  epoch_work_.clear();
+  return out;
+}
+
 std::size_t TermCatalog::AddDocument(const Document& doc) {
   ITA_DCHECK(doc.id != kInvalidDocId) << "document must have an id before indexing";
   for (const TermWeight& tw : doc.composition) {

@@ -47,6 +47,37 @@ struct TermState {
   /// True once the list ever held a posting (it may be empty again after
   /// expirations) — preserves the "materialized list" accounting.
   bool list_materialized = false;
+  /// True while the term sits in the hot tier: denser block-max metadata
+  /// on the list, wide probe layout on the tree (DESIGN.md §12).
+  bool hot_tier = false;
+  /// EMA of the term's per-epoch work (run length + probe steps — the
+  /// same signal the obs hot-term sketch consumes), the tier selector.
+  double work_ema = 0.0;
+};
+
+/// Tier-selection policy (DESIGN.md §12): when the EMA of a term's
+/// per-epoch work crosses `promote_ema` the term migrates to the hot
+/// representation; it returns to the cold one only when the EMA decays
+/// under `demote_ema`. The gap between the two thresholds is the
+/// hysteresis band that keeps borderline terms from thrashing;
+/// `max_migrations_per_epoch` bounds the migration work any single epoch
+/// absorbs. Migrations happen only at epoch boundaries (after the bulk
+/// retheta flush, before the next collection), so no probe or search
+/// ever observes a half-migrated term.
+struct TierPolicy {
+  /// Master switch; off = every term stays in the cold representation.
+  bool enabled = true;
+  /// EMA work at or above which a cold term promotes.
+  double promote_ema = 768.0;
+  /// EMA work at or below which a hot term demotes (< promote_ema).
+  double demote_ema = 192.0;
+  /// EMA smoothing factor applied per epoch the term is touched.
+  double alpha = 0.25;
+  /// Upper bound on promotions + demotions per epoch boundary.
+  std::size_t max_migrations_per_epoch = 8;
+  /// Hot-tier block-max granularity (log2 entries per block): 4 = 16
+  /// entries per block, 4× denser than the cold default of 64.
+  std::size_t hot_block_bits = 4;
 };
 
 /// The per-term slab of colocated TermStates; see the file comment for
@@ -154,6 +185,56 @@ class TermCatalog {
     return EraseRunFrom(*ts, first, last);
   }
 
+  // Frequency-adaptive tiering (DESIGN.md §12).
+
+  /// Installs the tier policy. Meant to be set once before streaming;
+  /// disabling it later leaves already-hot terms hot (harmless — both
+  /// representations are exact).
+  void SetTierPolicy(const TierPolicy& policy) { tier_policy_ = policy; }
+  /// The active tier policy.
+  const TierPolicy& tier_policy() const { return tier_policy_; }
+
+  /// Records one epoch's work for `term` (run length + probe steps, the
+  /// per-term-run signal the obs sketch consumes). Deferred into a
+  /// scratch list; the EMA update and any migration happen at the next
+  /// ApplyTierMigrations(). No-op while the policy is disabled.
+  void NoteTermWork(TermId term, std::size_t work) {
+    if (!tier_policy_.enabled) return;
+    epoch_work_.emplace_back(term, work);
+  }
+
+  /// Outcome of one epoch boundary's tier migrations.
+  struct TierMigrations {
+    std::size_t promotions = 0;  ///< terms moved cold → hot
+    std::size_t demotions = 0;   ///< terms moved hot → cold
+  };
+
+  /// Epoch-boundary tier maintenance: folds every NoteTermWork record
+  /// since the last call into the per-term EMAs, then migrates terms
+  /// whose EMA crossed out of the hysteresis band — at most
+  /// max_migrations_per_epoch of them, promotions and demotions counted
+  /// together. Callers invoke this strictly between epochs (nothing may
+  /// hold list iterators or be mid-probe). Untouched terms keep their
+  /// tier: an idle hot term costs only its (denser) metadata, and its
+  /// next touch resumes the EMA decay.
+  TierMigrations ApplyTierMigrations();
+
+  /// Terms currently in the hot tier.
+  std::size_t hot_tier_terms() const { return hot_terms_; }
+
+  /// White-box tier-coherence check (ValidatePruningMetadata's second
+  /// leg): every term's list granularity and tree probe layout must
+  /// match its recorded tier.
+  bool ValidateTiers() const {
+    for (const TermState& ts : states_) {
+      const std::size_t want_bits =
+          ts.hot_tier ? tier_policy_.hot_block_bits : InvertedList::kBlockBits;
+      if (ts.list.block_bits() != want_bits) return false;
+      if (ts.tree.wide_probe() != ts.hot_tier) return false;
+    }
+    return true;
+  }
+
   /// Number of terms with a materialized list (counting emptied ones).
   std::size_t materialized_lists() const { return materialized_; }
 
@@ -207,6 +288,12 @@ class TermCatalog {
   std::size_t materialized_ = 0;
   std::size_t total_postings_ = 0;
   std::vector<FlatPosting> batch_scratch_;
+
+  TierPolicy tier_policy_;
+  std::size_t hot_terms_ = 0;
+  /// NoteTermWork records since the last ApplyTierMigrations (one entry
+  /// per term per epoch — the collector touches each term's run once).
+  std::vector<std::pair<TermId, std::size_t>> epoch_work_;
 };
 
 }  // namespace ita

@@ -137,13 +137,26 @@ class FlatThresholdTree {
   /// the number of entries visited (== number of invocations). Thetas
   /// ascend, so the affected count is one kernel front scan over the
   /// theta lanes; only the hit prefix of the query array is then read.
+  /// Hot-tier trees (SetWideProbe) swap the linear kernel scan for a
+  /// galloping upper-bound on the same ascending array — O(log prefix)
+  /// where flood terms make the affected prefix most of the tree. Both
+  /// modes count the exact same prefix (first theta > w), so results
+  /// and the probe-steps work counter are bit-identical across tiers.
   template <typename Fn>
   std::size_t ProbeLessEqual(double w, Fn&& fn) const {
     const std::size_t n =
-        simd::ProbePrefixLessEqual(thetas_.data(), thetas_.size(), w);
+        wide_probe_ ? GallopPrefixLessEqual(w)
+                    : simd::ProbePrefixLessEqual(thetas_.data(),
+                                                 thetas_.size(), w);
     for (std::size_t i = 0; i < n; ++i) fn(queries_[i]);
     return n;
   }
+
+  /// Selects the wide (hot-tier) probe layout; see ProbeLessEqual. Tier
+  /// migrations flip this only at epoch boundaries, never mid-probe.
+  void SetWideProbe(bool wide) { wide_probe_ = wide; }
+  /// True when the tree probes via the wide (galloping) path.
+  bool wide_probe() const { return wide_probe_; }
 
   /// The smallest registered theta, +infinity when the tree is empty —
   /// the epoch collector's probe gate: an impact below MinTheta() cannot
@@ -213,10 +226,29 @@ class FlatThresholdTree {
                                  : thetas_.front();
   }
 
+  /// The wide-probe affected count: exponential front gallop then one
+  /// binary search — the first index with theta > w, identical to the
+  /// linear kernel scan's stop index.
+  std::size_t GallopPrefixLessEqual(double w) const {
+    const std::size_t n = thetas_.size();
+    if (n == 0 || thetas_[0] > w) return 0;
+    std::size_t hi = 1;
+    while (hi < n && thetas_[hi] <= w) hi <<= 1;
+    const std::size_t lo = hi >> 1;  // thetas_[lo] <= w by the gallop
+    hi = std::min(hi, n);
+    return static_cast<std::size_t>(
+        std::upper_bound(thetas_.begin() + static_cast<std::ptrdiff_t>(lo),
+                         thetas_.begin() + static_cast<std::ptrdiff_t>(hi),
+                         w) -
+        thetas_.begin());
+  }
+
   std::vector<double> thetas_;    ///< ascending theta lanes (the probe scan)
   std::vector<QueryId> queries_;  ///< payloads, parallel to thetas_
   /// Cached thetas_.front() (+inf when empty); see MinTheta().
   double min_theta_ = std::numeric_limits<double>::infinity();
+  /// Hot-tier probe layout flag; see SetWideProbe().
+  bool wide_probe_ = false;
 };
 
 /// The flat layout is the one threshold tree of the system; the historic

@@ -1,6 +1,8 @@
 #include "exec/sharded_server.h"
 
 #include <algorithm>
+#include <cstdlib>
+#include <string>
 #include <thread>
 #include <utility>
 
@@ -17,6 +19,35 @@ std::size_t PickThreads(const ShardedServerOptions& options) {
   return std::max<std::size_t>(1, std::min(options.shards, hw));
 }
 
+// The ITA_REBALANCE environment override ("off"/"0", "on"/"1",
+// "aggressive") applied on top of the configured options, then the
+// aggressive-mode knob tightening: a low trigger, no hysteresis and a
+// bigger move budget, so soak/CI runs exercise migration churn on every
+// skewed stream regardless of where the mode came from.
+RebalanceOptions ApplyRebalanceEnv(RebalanceOptions options) {
+  const char* env = std::getenv("ITA_REBALANCE");
+  if (env != nullptr && *env != '\0') {
+    const std::string value(env);
+    if (value == "off" || value == "0") {
+      options.mode = RebalanceMode::kOff;
+    } else if (value == "on" || value == "1") {
+      options.mode = RebalanceMode::kOn;
+    } else if (value == "aggressive") {
+      options.mode = RebalanceMode::kAggressive;
+    } else {
+      ITA_LOG(Warning) << "unknown ITA_REBALANCE value '" << value
+                       << "' (want off|on|aggressive); keeping configured mode";
+    }
+  }
+  if (options.mode == RebalanceMode::kAggressive) {
+    options.imbalance_trigger = std::min(options.imbalance_trigger, 1.05);
+    options.hysteresis_epochs = 1;
+    options.max_moves_per_epoch = std::max<std::size_t>(
+        options.max_moves_per_epoch, 16);
+  }
+  return options;
+}
+
 }  // namespace
 
 ShardedServer::ShardedServer(ShardedServerOptions options)
@@ -27,6 +58,7 @@ ShardedServer::ShardedServer(ShardedServerOptions options)
 ShardedServer::ShardedServer(ShardedServerOptions options,
                              const ShardFactory& factory)
     : options_(options),
+      rebalance_(ApplyRebalanceEnv(options.rebalance)),
       arena_(std::make_unique<DocumentArena>()),
       scheduler_(PickThreads(options)) {
   ITA_CHECK(options_.shards >= 1) << "a sharded server needs at least one shard";
@@ -41,6 +73,8 @@ ShardedServer::ShardedServer(ShardedServerOptions options,
     ITA_CHECK(shards_.back() != nullptr) << "shard factory returned null";
   }
   shard_busy_micros_.assign(shards_.size(), 0);
+  load_ema_.assign(shards_.size(), 0.0);
+  load_snapshot_.assign(shards_.size(), 0);
 }
 
 void ShardedServer::SetResultListener(ResultListener listener) {
@@ -58,13 +92,18 @@ void ShardedServer::SetResultListener(ResultListener listener) {
 StatusOr<QueryId> ShardedServer::RegisterQuery(Query query) {
   ITA_RETURN_NOT_OK(ValidateQuery(query));
   const QueryId id = next_query_id_++;
-  ITA_RETURN_NOT_OK(
-      shards_[ShardOf(id)]->RegisterQueryWithId(id, std::move(query)));
+  // Fresh queries always start on their id-hash home shard; only the
+  // rebalancer ever moves the placement entry afterwards.
+  const std::size_t home = id % shards_.size();
+  ITA_RETURN_NOT_OK(shards_[home]->RegisterQueryWithId(id, std::move(query)));
+  placement_.emplace(id, static_cast<std::uint32_t>(home));
   return id;
 }
 
 Status ShardedServer::UnregisterQuery(QueryId id) {
-  return shards_[ShardOf(id)]->UnregisterQuery(id);
+  ITA_RETURN_NOT_OK(shards_[ShardOf(id)]->UnregisterQuery(id));
+  placement_.erase(id);
+  return Status::OK();
 }
 
 StatusOr<std::vector<DocId>> ShardedServer::IngestBatch(
@@ -120,6 +159,10 @@ StatusOr<std::vector<DocId>> ShardedServer::IngestBatch(
     ITA_OBS_SPAN(driver_lane(), obs::Phase::kNotifyFlush);
     MergeAndFlush();
   }
+  // Strictly after the flush: migration re-registrations can mark their
+  // query changed on the receiving shard, and the next epoch's merge must
+  // not surface those marks (the result is bit-identical across a move).
+  MaybeRebalance();
 #if ITA_OBS_ENABLED
   if (trace_ != nullptr) trace_->EndEpoch(epoch_timer.ElapsedNanos());
 #endif
@@ -163,6 +206,10 @@ Status ShardedServer::AdvanceTime(Timestamp now) {
     ITA_OBS_SPAN(driver_lane(), obs::Phase::kNotifyFlush);
     MergeAndFlush();
   }
+  // Strictly after the flush: migration re-registrations can mark their
+  // query changed on the receiving shard, and the next epoch's merge must
+  // not surface those marks (the result is bit-identical across a move).
+  MaybeRebalance();
 #if ITA_OBS_ENABLED
   if (trace_ != nullptr) trace_->EndEpoch(epoch_timer.ElapsedNanos());
 #endif
@@ -215,6 +262,14 @@ void ShardedServer::ResetStats() {
   for (const auto& shard : shards_) shard->ResetStats();
   shard_busy_micros_.assign(shards_.size(), 0);
   epochs_processed_ = 0;
+  // The load signal differences cumulative shard counters, so zeroing the
+  // shards must also zero the snapshots (and with them the smoothed
+  // estimates — a measurement window starts from a clean slate).
+  load_ema_.assign(shards_.size(), 0.0);
+  load_snapshot_.assign(shards_.size(), 0);
+  imbalance_streak_ = 0;
+  rebalance_stats_ = RebalanceStats{};
+  last_epoch_migrations_ = 0;
 }
 
 std::uint64_t ShardedServer::shard_busy_micros(std::size_t shard) const {
@@ -302,6 +357,91 @@ void ShardedServer::RunPhase(const std::function<void(std::size_t)>& fn) {
     shard_busy_micros_[s] +=
         static_cast<std::uint64_t>(watch.ElapsedSeconds() * 1e6);
   });
+}
+
+std::uint64_t ShardedServer::ShardWorkCounter(const ServerStats& stats) {
+  // The same per-term run counters the obs sketch and the tier policy
+  // consume: probe hits, tree steps, list scans and score evaluations —
+  // a deterministic proxy for the shard's epoch CPU time.
+  return stats.queries_probed + stats.threshold_probe_steps +
+         stats.list_entries_read + stats.scores_computed;
+}
+
+void ShardedServer::MaybeRebalance() {
+  last_epoch_migrations_ = 0;
+  const bool enabled =
+      rebalance_.mode != RebalanceMode::kOff && shards_.size() >= 2;
+  // Snapshots advance even while disabled so flipping the mode on later
+  // starts from current counters instead of a construction-time delta.
+  double total_ema = 0.0;
+  std::size_t donor = 0;
+  std::size_t receiver = 0;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const std::uint64_t work = ShardWorkCounter(shards_[s]->stats());
+    const std::uint64_t delta =
+        work >= load_snapshot_[s] ? work - load_snapshot_[s] : 0;
+    load_snapshot_[s] = work;
+    load_ema_[s] = rebalance_.load_smoothing * static_cast<double>(delta) +
+                   (1.0 - rebalance_.load_smoothing) * load_ema_[s];
+    total_ema += load_ema_[s];
+    if (load_ema_[s] > load_ema_[donor]) donor = s;
+    if (load_ema_[s] < load_ema_[receiver]) receiver = s;
+  }
+  if (!enabled) return;
+  const double mean_ema = total_ema / static_cast<double>(shards_.size());
+  if (mean_ema <= 0.0 ||
+      load_ema_[donor] < rebalance_.imbalance_trigger * mean_ema) {
+    imbalance_streak_ = 0;
+    return;
+  }
+  ++imbalance_streak_;
+  if (imbalance_streak_ < rebalance_.hysteresis_epochs) return;
+  if (donor == receiver) return;  // degenerate trigger (<= 1.0) on a flat fleet
+
+  // Victims: the donor's hottest queries since the last drain; fall back
+  // to its lowest ids when the strategy keeps no per-query accounting.
+  top_work_scratch_.clear();
+  shards_[donor]->DrainTopWorkQueries(rebalance_.max_moves_per_epoch,
+                                      top_work_scratch_);
+  if (top_work_scratch_.empty()) {
+    for (const auto& [id, shard] : placement_) {
+      if (shard == donor) top_work_scratch_.emplace_back(id, 0);
+    }
+    std::sort(top_work_scratch_.begin(), top_work_scratch_.end());
+    if (top_work_scratch_.size() > rebalance_.max_moves_per_epoch) {
+      top_work_scratch_.resize(rebalance_.max_moves_per_epoch);
+    }
+  }
+
+  std::size_t moved = 0;
+  for (const auto& victim : top_work_scratch_) {
+    const QueryId id = victim.first;
+    // The drained accounting may lag an unregister from earlier in the
+    // epoch; a vanished victim just forfeits its slot in the budget.
+    auto extracted = shards_[donor]->ExtractQuery(id);
+    if (!extracted.ok()) continue;
+    ITA_CHECK_OK(shards_[receiver]->RegisterQueryWithId(id, std::move(*extracted)));
+    placement_[id] = static_cast<std::uint32_t>(receiver);
+    ++moved;
+  }
+  if (moved > 0) {
+    // Re-registration recomputes an identical top-k, so any change marks
+    // it produced are spurious — drop them before the next epoch's merge.
+    shards_[receiver]->TakeChangedQueries();
+    last_epoch_migrations_ = moved;
+    rebalance_stats_.queries_migrated += moved;
+    ++rebalance_stats_.rebalance_events;
+    imbalance_streak_ = 0;
+  }
+}
+
+Status ShardedServer::ValidatePruningMetadata() const {
+  for (const auto& shard : shards_) {
+    if (const auto* ita = dynamic_cast<const ItaServer*>(shard.get())) {
+      ITA_RETURN_NOT_OK(ita->ValidatePruningMetadata());
+    }
+  }
+  return Status::OK();
 }
 
 void ShardedServer::MergeAndFlush() {

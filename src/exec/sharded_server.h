@@ -1,6 +1,8 @@
 /// \file
-/// The sharded parallel execution engine (DESIGN.md §6, §8): registered
-/// queries are hash-partitioned across S shards, each shard owning a
+/// The sharded parallel execution engine (DESIGN.md §6, §8, §12):
+/// registered queries start on the shard their id hashes to and may
+/// thereafter be migrated between shards by the load-aware rebalancer
+/// (RebalanceOptions) at epoch barriers, each shard owning a
 /// private embedded server — its own inverted index, threshold trees and
 /// result sets, no shared mutable state — while the sliding window's
 /// documents live ONCE in an engine-owned stream::DocumentArena that every
@@ -33,6 +35,8 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/stats.h"
@@ -53,6 +57,38 @@
 /// The parallel execution layer: epoch scheduling and the sharded engine.
 namespace ita::exec {
 
+/// How aggressively the engine migrates queries between shards.
+enum class RebalanceMode {
+  kOff,         ///< static id-hash placement, never migrates
+  kOn,          ///< bounded migrations behind hysteresis (the default)
+  kAggressive,  ///< low trigger, no hysteresis, larger move budget
+};
+
+/// Load-aware placement policy (DESIGN.md §12): at each epoch barrier the
+/// driver folds every shard's per-epoch work counters into a smoothed
+/// load estimate and, when the hottest shard exceeds the mean by the
+/// trigger factor for `hysteresis_epochs` consecutive epochs, migrates up
+/// to `max_moves_per_epoch` of its most expensive queries to the coolest
+/// shard. Migration = ExtractQuery + RegisterQueryWithId, which recomputes
+/// the exact top-k over the current window, so placement never changes a
+/// reported result or a notification (see ServerStrategy::ExtractQuery).
+struct RebalanceOptions {
+  /// Policy switch; the environment variable ITA_REBALANCE ("off", "on",
+  /// "aggressive") overrides it at engine construction.
+  RebalanceMode mode = RebalanceMode::kOn;
+  /// Migration budget per epoch — bounds the barrier-time cost of a
+  /// rebalance step (each move recomputes one query's top-k).
+  std::size_t max_moves_per_epoch = 4;
+  /// Rebalance when max shard load >= trigger * mean shard load.
+  double imbalance_trigger = 1.20;
+  /// Consecutive over-trigger epochs required before the first move —
+  /// keeps one-epoch spikes from thrashing placement.
+  std::size_t hysteresis_epochs = 3;
+  /// EMA coefficient for the per-shard load estimate: weight of the
+  /// newest epoch's work delta (0 < smoothing <= 1).
+  double load_smoothing = 0.5;
+};
+
 /// Construction options for the sharded engine.
 struct ShardedServerOptions {
   /// The sliding-window specification, shared by every shard.
@@ -66,6 +102,8 @@ struct ShardedServerOptions {
   /// Tuning for the default per-shard ItaServer factory; ignored when a
   /// custom factory is supplied.
   ItaTuning tuning;
+  /// Load-aware placement policy; see RebalanceOptions.
+  RebalanceOptions rebalance;
 };
 
 /// S embedded servers behind one epoch driver and one shared window
@@ -181,6 +219,29 @@ class ShardedServer {
   /// Ingest/advance epochs driven since construction or ResetStats().
   std::uint64_t epochs_processed() const { return epochs_processed_; }
 
+  /// Lifetime counters of the load-aware placement layer.
+  struct RebalanceStats {
+    /// Queries moved between shards since construction or ResetStats().
+    std::uint64_t queries_migrated = 0;
+    /// Epochs in which at least one query moved.
+    std::uint64_t rebalance_events = 0;
+  };
+  /// The placement layer's counters (zeroed by ResetStats()).
+  const RebalanceStats& rebalance_stats() const { return rebalance_stats_; }
+  /// Queries migrated at the barrier of the most recent epoch — the
+  /// per-epoch churn number sharded_monitor prints beside the imbalance
+  /// gauge.
+  std::size_t last_epoch_migrations() const { return last_epoch_migrations_; }
+  /// The rebalance policy in effect (options after any ITA_REBALANCE
+  /// environment override).
+  const RebalanceOptions& rebalance_options() const { return rebalance_; }
+
+  /// Runs every ITA shard's pruning-metadata audit (block-max caches,
+  /// threshold-tree mirrors, storage-tier tags) — the sim invariant
+  /// checker's white-box hook, valid across tier and placement
+  /// migrations. Non-ITA shards are skipped.
+  Status ValidatePruningMetadata() const;
+
   /// Engine name, e.g. "sharded(ita,4)".
   std::string name() const;
   /// Number of shards S.
@@ -199,8 +260,15 @@ class ShardedServer {
   /// The construction options.
   const ShardedServerOptions& options() const { return options_; }
 
-  /// The shard a query id is partitioned to.
-  std::size_t ShardOf(QueryId id) const { return id % shards_.size(); }
+  /// The shard a query id is placed on: registration homes every query at
+  /// id % S; afterwards the id stays wherever the rebalancer last moved
+  /// it. Unknown ids resolve to the hash home (whose shard reports
+  /// NotFound, preserving the static-partitioning error surface).
+  std::size_t ShardOf(QueryId id) const {
+    const auto it = placement_.find(id);
+    return it != placement_.end() ? static_cast<std::size_t>(it->second)
+                                  : id % shards_.size();
+  }
 
  private:
   /// Runs fn(shard) on every shard through the scheduler (one barrier),
@@ -219,7 +287,21 @@ class ShardedServer {
   /// listener — the same flush implementation the sequential server uses.
   void MergeAndFlush();
 
+  /// The per-epoch rebalance step, run at the epoch barrier strictly
+  /// after MergeAndFlush (so migration-time re-registrations can never
+  /// leak a spurious notification): folds each shard's work delta into
+  /// load_ema_, checks trigger and hysteresis, then moves up to the
+  /// budgeted number of the donor's hottest queries to the coolest shard.
+  void MaybeRebalance();
+
+  /// One shard's cumulative probe/scan/score work — the load signal
+  /// MaybeRebalance differences against load_snapshot_.
+  static std::uint64_t ShardWorkCounter(const ServerStats& stats);
+
   ShardedServerOptions options_;
+  /// Rebalance policy in effect: options_.rebalance after the
+  /// ITA_REBALANCE environment override.
+  RebalanceOptions rebalance_;
   /// The single window store every shard reads (DESIGN.md §8). Declared
   /// before shards_ so it outlives them; mutated only by the engine,
   /// strictly between phases.
@@ -243,6 +325,21 @@ class ShardedServer {
   /// read concurrently (read-only) by every shard during it.
   std::vector<DocumentView> expired_scratch_;
   std::vector<DocumentView> arrived_scratch_;
+
+  // --- Load-aware placement state (driver-only, between phases) -------
+  /// Where each live query id currently lives. Registration inserts the
+  /// id-hash home shard; only MaybeRebalance ever changes an entry.
+  std::unordered_map<QueryId, std::uint32_t> placement_;
+  /// Smoothed per-shard load estimate (EMA of per-epoch work deltas).
+  std::vector<double> load_ema_;
+  /// Previous epoch's cumulative ShardWorkCounter per shard.
+  std::vector<std::uint64_t> load_snapshot_;
+  /// Consecutive epochs the imbalance trigger has fired.
+  std::size_t imbalance_streak_ = 0;
+  RebalanceStats rebalance_stats_;
+  std::size_t last_epoch_migrations_ = 0;
+  /// Victim-selection scratch for DrainTopWorkQueries.
+  std::vector<std::pair<QueryId, std::uint64_t>> top_work_scratch_;
 };
 
 }  // namespace ita::exec

@@ -90,8 +90,28 @@ class InvertedList {
   /// Entries per block-max block (64 × 16 B = two blocks per memory
   /// page): coarse enough that the metadata stays tiny (one double per
   /// KiB of postings), fine enough that one SIMD scan settles a block.
+  /// This is the cold-tier default; hot-tier lists densify the metadata
+  /// at runtime via SetBlockBits (DESIGN.md §12).
   static constexpr std::size_t kBlockBits = 6;
   static constexpr std::size_t kBlockSize = std::size_t{1} << kBlockBits;
+
+  /// Current block-max granularity (log2 entries per block).
+  std::size_t block_bits() const { return block_bits_; }
+  /// Current entries per block-max block.
+  std::size_t block_size() const { return std::size_t{1} << block_bits_; }
+
+  /// Re-tiers the block-max metadata to 2^bits entries per block and
+  /// rebuilds it. Pure representation change: every boundary search still
+  /// returns exactly the index std::lower_bound would, so results are
+  /// bit-identical across granularities — only the metadata density (and
+  /// the in-block scan length it leaves) moves. Called by the catalog's
+  /// tier migrations, strictly at epoch boundaries.
+  void SetBlockBits(std::size_t bits) {
+    ITA_DCHECK(bits > 0 && bits <= kBlockBits + 8);
+    if (bits == block_bits_) return;
+    block_bits_ = bits;
+    RefreshBlockMaxFrom(0);
+  }
 
   /// Inserts the posting for (doc, weight). Returns false if an identical
   /// posting is already present (callers treat this as a logic error).
@@ -104,7 +124,7 @@ class InvertedList {
     }
     entries_.insert(entries_.begin() + static_cast<std::ptrdiff_t>(pos),
                     entry);
-    RefreshBlockMaxFrom(pos >> kBlockBits);
+    RefreshBlockMaxFrom(pos >> block_bits_);
     return true;
   }
 
@@ -118,7 +138,7 @@ class InvertedList {
       return false;
     }
     entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(pos));
-    RefreshBlockMaxFrom(pos >> kBlockBits);
+    RefreshBlockMaxFrom(pos >> block_bits_);
     return true;
   }
 
@@ -232,14 +252,15 @@ class InvertedList {
 
   /// White-box coherence check of the block-max metadata (the sim
   /// checker and property tests run it between epochs): one block per
-  /// started kBlockSize entries, each recording its block's first (==
+  /// started block_size() entries — at the list's CURRENT granularity,
+  /// so it covers both tiers — each recording its block's first (==
   /// maximum, by descending order) weight.
   bool ValidateBlockMax() const {
     const std::size_t blocks =
-        (entries_.size() + kBlockSize - 1) >> kBlockBits;
+        (entries_.size() + block_size() - 1) >> block_bits_;
     if (block_max_.size() != blocks) return false;
     for (std::size_t b = 0; b < blocks; ++b) {
-      if (block_max_[b] != entries_[b << kBlockBits].weight) return false;
+      if (block_max_[b] != entries_[b << block_bits_].weight) return false;
     }
     return true;
   }
@@ -249,7 +270,7 @@ class InvertedList {
     ITA_DCHECK(b < block_max_.size());
     return block_max_[b];
   }
-  /// Number of block-max blocks (== ceil(size() / kBlockSize)).
+  /// Number of block-max blocks (== ceil(size() / block_size())).
   std::size_t BlockCount() const { return block_max_.size(); }
 
  private:
@@ -356,8 +377,8 @@ class InvertedList {
     // still at or above it). The boundary entry is its head or inside
     // the block before it.
     if (lo == 0) return 0;
-    const std::size_t start = (lo - 1) << kBlockBits;
-    const std::size_t count = std::min(n, lo << kBlockBits) - start;
+    const std::size_t start = (lo - 1) << block_bits_;
+    const std::size_t count = std::min(n, lo << block_bits_) - start;
     const double* base = &entries_[start].weight;
     const std::size_t off =
         kOrEqual ? simd::FirstStride2LessEqual(base, count, theta)
@@ -366,13 +387,13 @@ class InvertedList {
   }
 
   /// Recomputes the block maxima for blocks >= `first_block` (a mutation
-  /// at index i leaves blocks below i >> kBlockBits untouched).
+  /// at index i leaves blocks below i >> block_bits_ untouched).
   void RefreshBlockMaxFrom(std::size_t first_block) {
     const std::size_t blocks =
-        (entries_.size() + kBlockSize - 1) >> kBlockBits;
+        (entries_.size() + block_size() - 1) >> block_bits_;
     block_max_.resize(blocks);
     for (std::size_t b = first_block; b < blocks; ++b) {
-      block_max_[b] = entries_[b << kBlockBits].weight;
+      block_max_[b] = entries_[b << block_bits_].weight;
     }
   }
 
@@ -385,9 +406,12 @@ class InvertedList {
   }
 
   std::vector<ImpactEntry> entries_;
-  /// entries_[b << kBlockBits].weight for every started block b — the
+  /// entries_[b << block_bits_].weight for every started block b — the
   /// descending sampled-weight array the boundary searches descend.
   std::vector<double> block_max_;
+  /// log2 entries per block-max block: kBlockBits cold, denser when the
+  /// catalog promotes this term's list to the hot tier.
+  std::size_t block_bits_ = kBlockBits;
 };
 
 }  // namespace ita

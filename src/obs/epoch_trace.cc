@@ -86,6 +86,7 @@ void EpochTrace::EndEpoch(std::uint64_t wall_nanos) {
     busy_sum += busy;
   }
 
+  critical_hist_.Record(busy_max);
   if (busy_sum > 0) {
     const double mean =
         static_cast<double>(busy_sum) / static_cast<double>(shards_);
@@ -131,6 +132,7 @@ void EpochTrace::Reset() {
   for (Histogram& hist : phase_hists_) hist.Reset();
   for (Histogram& hist : sub_hists_) hist.Reset();
   wall_hist_.Reset();
+  critical_hist_.Reset();
   std::fill(cum_phase_.begin(), cum_phase_.end(), 0);
   std::fill(cum_sub_.begin(), cum_sub_.end(), 0);
   epochs_ = 0;

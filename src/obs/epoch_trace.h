@@ -110,6 +110,12 @@ class EpochTrace {
   }
   /// Distribution of whole-epoch wall nanos.
   const Histogram& wall_hist() const { return wall_hist_; }
+  /// Distribution of per-epoch critical-path nanos: max over shards of
+  /// the barriered phase work (expire + arrive — the same spans the
+  /// imbalance gauge uses), i.e. the epoch latency once every shard runs
+  /// on its own core. This is the hardware-independent tail metric the
+  /// load-aware rebalancer targets (bench/results/README.md).
+  const Histogram& critical_hist() const { return critical_hist_; }
 
   /// Cumulative nanos of one (shard, phase) over every traced epoch.
   std::uint64_t cumulative_phase_nanos(std::size_t shard, Phase phase) const;
@@ -146,6 +152,7 @@ class EpochTrace {
   std::vector<Histogram> phase_hists_;  ///< (shard, phase), shard-major
   std::vector<Histogram> sub_hists_;    ///< (shard, sub-span), shard-major
   Histogram wall_hist_;
+  Histogram critical_hist_;  ///< per-epoch max shard busy (expire+arrive)
   std::vector<std::uint64_t> cum_phase_;  ///< same shape as a ring row
   std::vector<std::uint64_t> cum_sub_;
 

@@ -453,6 +453,10 @@ Status ExportServerStats(const ServerStats& stats, std::vector<Label> labels,
        stats.refills},
       {"ita_full_rescans_total", "Naive top-k_max recomputations",
        stats.full_rescans},
+      {"ita_tier_promotions_total", "Terms promoted to the hot storage tier",
+       stats.tier_promotions},
+      {"ita_tier_demotions_total", "Terms demoted back to the cold tier",
+       stats.tier_demotions},
   };
   for (const CounterSpec& spec : counters) {
     ITA_RETURN_NOT_OK(
@@ -473,6 +477,10 @@ Status ExportServerStats(const ServerStats& stats, std::vector<Label> labels,
        stats.threshold_entries},
       {"ita_query_state_slots", "QueryState slab length incl. free slots",
        stats.query_state_slots},
+      {"ita_hot_tier_terms", "Terms currently on the hot storage tier",
+       stats.hot_tier_terms},
+      {"ita_registered_queries", "Live registered continuous queries",
+       stats.registered_queries},
       {"ita_arena_segments", "Live window-arena segments",
        stats.arena_segments},
       {"ita_document_bytes", "Bytes held by the window arena",

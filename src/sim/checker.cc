@@ -61,6 +61,15 @@ Status DifferentialChecker::CheckInvariants(SimEngine& engine,
                        "pruning metadata: " + pruning.ToString());
     }
   }
+  if (exec::ShardedServer* sharded = engine.sharded(); sharded != nullptr) {
+    // Same audit across every ITA shard — also covers the storage-tier
+    // tags and survives tier/placement migrations at epoch barriers.
+    const Status pruning = sharded->ValidatePruningMetadata();
+    if (!pruning.ok()) {
+      return Violation(engine, kInvalidQueryId, epoch_index,
+                       "sharded pruning metadata: " + pruning.ToString());
+    }
+  }
   for (const LiveQuery& lq : live) {
     const auto result = engine.Result(lq.id);
     if (!result.ok()) {

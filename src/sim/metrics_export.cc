@@ -71,6 +71,19 @@ Status ExportEngineMetrics(const SimEngine& engine,
     }
   }
 
+  if (const exec::ShardedServer* sharded = engine.sharded();
+      sharded != nullptr) {
+    const auto& rb = sharded->rebalance_stats();
+    ITA_RETURN_NOT_OK(registry->AddCounter(
+        "ita_queries_migrated_total",
+        "Queries moved between shards by the load-aware rebalancer",
+        base_labels, rb.queries_migrated));
+    ITA_RETURN_NOT_OK(registry->AddCounter(
+        "ita_rebalance_events_total",
+        "Epochs in which at least one query migrated", base_labels,
+        rb.rebalance_events));
+  }
+
   const obs::SpaceSavingSketch hot = engine.HotTerms();
   for (const obs::SpaceSavingSketch::Entry& entry : hot.TopK()) {
     ITA_RETURN_NOT_OK(registry->AddCounter(

@@ -42,7 +42,7 @@ StatusOr<RunReport> ScenarioRunner::Run() {
   for (const std::size_t shards : options_.shard_counts) {
     engines.push_back(MakeShardedEngine(spec_.window, shards,
                                         options_.threads_per_sharded,
-                                        options_.tuning));
+                                        options_.tuning, options_.rebalance));
   }
   if (engines.empty()) {
     return Status::InvalidArgument("scenario run needs at least one engine");
@@ -202,6 +202,11 @@ StatusOr<RunReport> ScenarioRunner::Run() {
   report.invariant_checks = checker.invariant_checks();
   report.final_window_size = engines[0]->window_size();
   report.final_query_count = engines[0]->query_count();
+  for (const auto& e : engines) {
+    if (const exec::ShardedServer* sharded = e->sharded()) {
+      report.queries_migrated += sharded->rebalance_stats().queries_migrated;
+    }
+  }
 
   if (!options_.metrics_path.empty()) {
     obs::MetricsRegistry registry;

@@ -40,6 +40,9 @@ struct RunOptions {
   std::vector<std::size_t> shard_counts;
   /// Scheduler threads per sharded engine; 0 = one per shard.
   std::size_t threads_per_sharded = 0;
+  /// Load-aware placement policy for every sharded engine in the fleet
+  /// (exec/sharded_server.h; ITA_REBALANCE still overrides the mode).
+  exec::RebalanceOptions rebalance;
   /// Tuning for every ITA instance (sequential and per-shard).
   ItaTuning tuning;
   /// Feed the oracle and run the differential layer. Disable only for
@@ -73,6 +76,10 @@ struct RunReport {
   std::uint64_t invariant_checks = 0;      ///< invariant passes run
   std::size_t final_window_size = 0;       ///< window size after the last epoch
   std::size_t final_query_count = 0;       ///< live queries after the last epoch
+  /// Placement migrations summed over the fleet's sharded engines — lets
+  /// rebalancing tests assert migrations actually happened while every
+  /// result/notification check above stayed green.
+  std::uint64_t queries_migrated = 0;
 };
 
 /// Drives one scenario through one fleet; see the file comment. Build,

@@ -46,6 +46,9 @@ class SequentialEngine final : public SimEngine {
     server_->EnableTracing(capacity);
   }
   const obs::EpochTrace* trace() const override { return server_->trace(); }
+  obs::EpochTrace* mutable_trace() override {
+    return server_->mutable_trace();
+  }
   void EnableHotTermTracking(std::size_t capacity) override {
     if (auto* ita = dynamic_cast<ItaServer*>(server_.get())) {
       ita->EnableHotTermTracking(capacity);
@@ -101,6 +104,9 @@ class ShardedEngine final : public SimEngine {
     server_.EnableTracing(capacity);
   }
   const obs::EpochTrace* trace() const override { return server_.trace(); }
+  obs::EpochTrace* mutable_trace() override {
+    return server_.mutable_trace();
+  }
   void EnableHotTermTracking(std::size_t capacity) override {
     server_.EnableHotTermTracking(capacity);
   }
@@ -135,15 +141,15 @@ std::unique_ptr<SimEngine> MakeSequentialEngine(
   return std::make_unique<SequentialEngine>(std::move(server));
 }
 
-std::unique_ptr<SimEngine> MakeShardedEngine(const WindowSpec& window,
-                                             std::size_t shards,
-                                             std::size_t threads,
-                                             const ItaTuning& tuning) {
+std::unique_ptr<SimEngine> MakeShardedEngine(
+    const WindowSpec& window, std::size_t shards, std::size_t threads,
+    const ItaTuning& tuning, const exec::RebalanceOptions& rebalance) {
   exec::ShardedServerOptions options;
   options.window = window;
   options.shards = shards;
   options.threads = threads;
   options.tuning = tuning;
+  options.rebalance = rebalance;
   return std::make_unique<ShardedEngine>(std::move(options));
 }
 

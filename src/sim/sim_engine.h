@@ -76,6 +76,11 @@ class SimEngine {
   /// (or the build has ITA_OBS=OFF).
   virtual const obs::EpochTrace* trace() const { return nullptr; }
 
+  /// Mutable view of the trace — lets a fixture Reset() the telemetry
+  /// after prefill so measured distributions cover only steady state.
+  /// Null whenever trace() is.
+  virtual obs::EpochTrace* mutable_trace() { return nullptr; }
+
   /// Turns on hot-term load tracking on the wrapped engine's ItaServer(s);
   /// ignored by non-ITA strategies and in ITA_OBS=OFF builds.
   virtual void EnableHotTermTracking(std::size_t capacity = 64) {
@@ -93,6 +98,11 @@ class SimEngine {
   virtual ContinuousSearchServer* sequential() { return nullptr; }
   /// The wrapped sharded engine, or null for sequential wrappers.
   virtual exec::ShardedServer* sharded() { return nullptr; }
+  /// Const view of the wrapped sharded engine (metrics export reads its
+  /// rebalance counters), or null for sequential wrappers.
+  const exec::ShardedServer* sharded() const {
+    return const_cast<SimEngine*>(this)->sharded();
+  }
 
   /// The wrapped server as an ItaServer when it is one (enables the
   /// checker's threshold invariants), else null.
@@ -112,10 +122,11 @@ std::unique_ptr<SimEngine> MakeSequentialEngine(
 
 /// Wraps a freshly constructed sharded engine (per-shard ItaServers).
 /// `threads` = 0 picks one worker per shard (capped at the hardware).
-std::unique_ptr<SimEngine> MakeShardedEngine(const WindowSpec& window,
-                                             std::size_t shards,
-                                             std::size_t threads = 0,
-                                             const ItaTuning& tuning = {});
+/// `rebalance` sets the engine's load-aware placement policy (the
+/// ITA_REBALANCE environment override still applies on top).
+std::unique_ptr<SimEngine> MakeShardedEngine(
+    const WindowSpec& window, std::size_t shards, std::size_t threads = 0,
+    const ItaTuning& tuning = {}, const exec::RebalanceOptions& rebalance = {});
 
 /// How ApplyEpoch streams an epoch's batch into the engine.
 enum class IngestMode {

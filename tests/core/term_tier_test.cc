@@ -1,0 +1,207 @@
+// Frequency-adaptive term tiering (DESIGN.md §12): the TierPolicy EMA
+// with its hysteresis band, the epoch-boundary migration budget, and the
+// representation swap itself — hot terms carry denser block-max metadata
+// and the wide threshold-tree probe, and both representations answer
+// identically (probes, bounds, prefix counts), which is what lets the
+// equivalence suites run unmodified with tiering on.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "core/term_catalog.h"
+#include "core/threshold_tree.h"
+#include "index/inverted_list.h"
+
+namespace ita {
+namespace {
+
+TierPolicy TightPolicy() {
+  TierPolicy policy;
+  policy.promote_ema = 100.0;
+  policy.demote_ema = 25.0;
+  policy.alpha = 0.5;
+  policy.max_migrations_per_epoch = 8;
+  policy.hot_block_bits = 4;
+  return policy;
+}
+
+/// One epoch: record `work` for the term, migrate at the boundary.
+TermCatalog::TierMigrations Epoch(TermCatalog& catalog, TermId term,
+                                  std::size_t work) {
+  catalog.NoteTermWork(term, work);
+  return catalog.ApplyTierMigrations();
+}
+
+TEST(TermTierTest, PromotionRequiresSustainedWork) {
+  TermCatalog catalog;
+  catalog.SetTierPolicy(TightPolicy());
+  catalog.Ensure(7);
+
+  // One 150-work epoch: EMA = 0.5 * 150 = 75 < 100 — no promotion; a
+  // single spike must not migrate the term.
+  auto done = Epoch(catalog, 7, 150);
+  EXPECT_EQ(done.promotions, 0u);
+  EXPECT_FALSE(catalog.Find(7)->hot_tier);
+
+  // A second identical epoch lifts the EMA to 112.5 — promoted.
+  done = Epoch(catalog, 7, 150);
+  EXPECT_EQ(done.promotions, 1u);
+  EXPECT_TRUE(catalog.Find(7)->hot_tier);
+  EXPECT_EQ(catalog.hot_tier_terms(), 1u);
+  EXPECT_EQ(catalog.Find(7)->list.block_bits(), TightPolicy().hot_block_bits);
+  EXPECT_TRUE(catalog.Find(7)->tree.wide_probe());
+  EXPECT_TRUE(catalog.ValidateTiers());
+}
+
+TEST(TermTierTest, HysteresisBandHoldsTheTier) {
+  TermCatalog catalog;
+  catalog.SetTierPolicy(TightPolicy());
+  catalog.Ensure(3);
+  Epoch(catalog, 3, 400);  // EMA 200 — straight past promote_ema
+  ASSERT_TRUE(catalog.Find(3)->hot_tier);
+
+  // Work inside the band (EMA decays 200 -> 100 -> 50 -> ... but stays
+  // above demote_ema = 25): the term must stay hot — no thrash.
+  auto done = Epoch(catalog, 3, 0);  // EMA 100
+  EXPECT_EQ(done.demotions, 0u);
+  done = Epoch(catalog, 3, 0);  // EMA 50
+  EXPECT_EQ(done.demotions, 0u);
+  EXPECT_TRUE(catalog.Find(3)->hot_tier);
+
+  // Two more idle epochs sink the EMA to 12.5 <= 25 — demoted, cold
+  // representation restored exactly.
+  Epoch(catalog, 3, 0);          // EMA 25 — boundary: <= demotes
+  const TermState& ts = *catalog.Find(3);
+  EXPECT_FALSE(ts.hot_tier);
+  EXPECT_EQ(catalog.hot_tier_terms(), 0u);
+  EXPECT_EQ(ts.list.block_bits(), InvertedList::kBlockBits);
+  EXPECT_FALSE(ts.tree.wide_probe());
+  EXPECT_TRUE(catalog.ValidateTiers());
+}
+
+TEST(TermTierTest, BoundaryValuesPromoteAndDemoteInclusively) {
+  TermCatalog catalog;
+  TierPolicy policy = TightPolicy();
+  policy.alpha = 1.0;  // EMA == the epoch's work, exact boundary control
+  catalog.SetTierPolicy(policy);
+  catalog.Ensure(1);
+
+  // EMA exactly promote_ema promotes (>= threshold).
+  auto done = Epoch(catalog, 1, 100);
+  EXPECT_EQ(done.promotions, 1u);
+  // EMA just above demote_ema stays hot; exactly demote_ema demotes.
+  done = Epoch(catalog, 1, 26);
+  EXPECT_EQ(done.demotions, 0u);
+  done = Epoch(catalog, 1, 25);
+  EXPECT_EQ(done.demotions, 1u);
+  EXPECT_FALSE(catalog.Find(1)->hot_tier);
+}
+
+TEST(TermTierTest, MigrationBudgetBoundsOneEpoch) {
+  TermCatalog catalog;
+  TierPolicy policy = TightPolicy();
+  policy.alpha = 1.0;
+  policy.max_migrations_per_epoch = 2;
+  catalog.SetTierPolicy(policy);
+
+  for (TermId t = 0; t < 5; ++t) {
+    catalog.Ensure(t);
+    catalog.NoteTermWork(t, 500);
+  }
+  // Five terms over the threshold, budget 2: exactly two promote now…
+  auto done = catalog.ApplyTierMigrations();
+  EXPECT_EQ(done.promotions, 2u);
+  EXPECT_EQ(catalog.hot_tier_terms(), 2u);
+  // …and the rest follow in later epochs as their (already-high) EMAs
+  // are touched again.
+  for (TermId t = 0; t < 5; ++t) catalog.NoteTermWork(t, 500);
+  done = catalog.ApplyTierMigrations();
+  EXPECT_EQ(done.promotions, 2u);
+  for (TermId t = 0; t < 5; ++t) catalog.NoteTermWork(t, 500);
+  done = catalog.ApplyTierMigrations();
+  EXPECT_EQ(done.promotions, 1u);
+  EXPECT_EQ(catalog.hot_tier_terms(), 5u);
+  EXPECT_TRUE(catalog.ValidateTiers());
+}
+
+TEST(TermTierTest, DisabledPolicyNeverMigrates) {
+  TermCatalog catalog;
+  TierPolicy policy = TightPolicy();
+  policy.enabled = false;
+  catalog.SetTierPolicy(policy);
+  catalog.Ensure(9);
+  for (int i = 0; i < 10; ++i) {
+    const auto done = Epoch(catalog, 9, 10'000);
+    EXPECT_EQ(done.promotions + done.demotions, 0u);
+  }
+  EXPECT_FALSE(catalog.Find(9)->hot_tier);
+  EXPECT_EQ(catalog.hot_tier_terms(), 0u);
+}
+
+TEST(TermTierTest, HotListAnswersIdenticallyToCold) {
+  // The representation swap is metadata-only: bounds and block maxima
+  // must agree between granularities, across inserts and erases that
+  // straddle the migration.
+  InvertedList cold;
+  InvertedList hot;
+  for (DocId d = 1; d <= 200; ++d) {
+    const double w = 1.0 / static_cast<double>(d);
+    cold.Insert(d, w);
+    hot.Insert(d, w);
+  }
+  hot.SetBlockBits(4);
+  ASSERT_TRUE(cold.ValidateBlockMax());
+  ASSERT_TRUE(hot.ValidateBlockMax());
+  for (DocId d = 50; d < 60; ++d) {
+    const double w = 1.0 / static_cast<double>(d);
+    ASSERT_TRUE(cold.Erase(d, w));
+    ASSERT_TRUE(hot.Erase(d, w));
+  }
+  cold.Insert(500, 0.31);
+  hot.Insert(500, 0.31);
+  ASSERT_TRUE(cold.ValidateBlockMax());
+  ASSERT_TRUE(hot.ValidateBlockMax());
+  ASSERT_EQ(cold.size(), hot.size());
+  for (double bound : {0.9, 0.31, 0.1, 0.013, 0.0}) {
+    EXPECT_EQ(cold.FirstBelow(bound) - cold.begin(),
+              hot.FirstBelow(bound) - hot.begin())
+        << "bound " << bound;
+    EXPECT_EQ(cold.FirstAtOrBelow(bound) - cold.begin(),
+              hot.FirstAtOrBelow(bound) - hot.begin())
+        << "bound " << bound;
+  }
+  // Migrating back restores the cold metadata exactly.
+  hot.SetBlockBits(InvertedList::kBlockBits);
+  ASSERT_TRUE(hot.ValidateBlockMax());
+  EXPECT_EQ(cold.FirstBelow(0.1) - cold.begin(),
+            hot.FirstBelow(0.1) - hot.begin());
+}
+
+TEST(TermTierTest, WideProbeCountsMatchTheLinearScan) {
+  // ProbeLessEqual must report the same prefix length (and visit the
+  // same queries) through the galloping wide layout as through the
+  // kernel scan — probe-step counters stay bit-identical across tiers.
+  FlatThresholdTree linear;
+  FlatThresholdTree wide;
+  wide.SetWideProbe(true);
+  for (QueryId q = 1; q <= 64; ++q) {
+    const double theta = static_cast<double>(q % 17) * 0.125;
+    linear.Insert(theta, q);
+    wide.Insert(theta, q);
+  }
+  for (double w : {-1.0, 0.0, 0.124, 0.125, 1.0, 1.999, 2.0, 100.0}) {
+    std::vector<QueryId> a;
+    std::vector<QueryId> b;
+    const std::size_t na =
+        linear.ProbeLessEqual(w, [&a](QueryId q) { a.push_back(q); });
+    const std::size_t nb =
+        wide.ProbeLessEqual(w, [&b](QueryId q) { b.push_back(q); });
+    EXPECT_EQ(na, nb) << "w=" << w;
+    EXPECT_EQ(a, b) << "w=" << w;
+  }
+}
+
+}  // namespace
+}  // namespace ita

@@ -1,0 +1,175 @@
+// The load-aware placement layer (DESIGN.md §12): a workload skewed onto
+// one shard triggers bounded query migrations at epoch barriers —
+// results stay exact (bit-identical to a sequential server over the same
+// stream), placement bookkeeping (ShardOf, shard query counts, the
+// registered_queries gauge) tracks every move, hysteresis delays the
+// first move, kOff never moves, and ITA_REBALANCE overrides the mode.
+
+#include "exec/sharded_server.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <vector>
+
+#include "../testing/builders.h"
+#include "core/ita_server.h"
+
+namespace ita::exec {
+namespace {
+
+ShardedServerOptions SkewOptions(RebalanceMode mode) {
+  ShardedServerOptions options;
+  options.window = WindowSpec::CountBased(64);
+  options.shards = 2;
+  options.threads = 2;
+  options.rebalance.mode = mode;
+  return options;
+}
+
+/// `pairs` hot/cold query pairs: ids alternate 1, 2, 3, ... so with S=2
+/// every hot query (term 7, matched by the whole stream) lands on shard
+/// 1 and every cold query (a term the stream never emits) on shard 0 —
+/// all probe/score work concentrates on shard 1.
+void RegisterSkewedPopulation(ShardedServer& server, std::size_t pairs) {
+  for (std::size_t i = 0; i < pairs; ++i) {
+    ASSERT_TRUE(server.RegisterQuery(
+        testing::MakeQuery(4, {{7, 1.0}, {11, 0.5}})).ok());
+    ASSERT_TRUE(server.RegisterQuery(
+        testing::MakeQuery(4, {{static_cast<TermId>(1'000 + i), 1.0}})).ok());
+  }
+}
+
+/// One epoch of 8 hot documents (terms 7 and 11), arrival times striding
+/// from `t0`.
+std::vector<Document> HotEpoch(Timestamp t0, int salt) {
+  std::vector<Document> batch;
+  for (int i = 0; i < 8; ++i) {
+    const double w = 0.1 + 0.05 * static_cast<double>((salt + i) % 13);
+    batch.push_back(testing::MakeDoc({{7, w}, {11, 1.0 - w}},
+                                     t0 + static_cast<Timestamp>(i) * 10));
+  }
+  return batch;
+}
+
+TEST(ShardedRebalanceTest, SkewedLoadMigratesAndStaysExact) {
+  ShardedServer server(SkewOptions(RebalanceMode::kAggressive));
+  ItaServer reference(
+      {.window = WindowSpec::CountBased(64)});
+  RegisterSkewedPopulation(server, 4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(reference.RegisterQuery(
+        testing::MakeQuery(4, {{7, 1.0}, {11, 0.5}})).ok());
+    ASSERT_TRUE(reference.RegisterQuery(
+        testing::MakeQuery(4, {{static_cast<TermId>(1'000 + i), 1.0}})).ok());
+  }
+
+  for (int epoch = 0; epoch < 8; ++epoch) {
+    const Timestamp t0 = static_cast<Timestamp>(epoch) * 1'000;
+    ASSERT_TRUE(server.IngestBatch(HotEpoch(t0, epoch)).ok());
+    ASSERT_TRUE(reference.IngestBatch(HotEpoch(t0, epoch)).ok());
+    // Exactness across migrations: every query's top-k matches the
+    // sequential server's, every epoch.
+    for (QueryId id = 1; id <= 8; ++id) {
+      const auto got = server.Result(id);
+      const auto want = reference.Result(id);
+      ASSERT_TRUE(got.ok() && want.ok());
+      ASSERT_EQ(got->size(), want->size()) << "query " << id;
+      for (std::size_t i = 0; i < got->size(); ++i) {
+        EXPECT_EQ((*got)[i].doc, (*want)[i].doc) << "query " << id;
+        EXPECT_DOUBLE_EQ((*got)[i].score, (*want)[i].score) << "query " << id;
+      }
+    }
+  }
+
+  // The skew must have provoked migrations off the hot shard…
+  EXPECT_GT(server.rebalance_stats().queries_migrated, 0u);
+  EXPECT_GT(server.rebalance_stats().rebalance_events, 0u);
+
+  // …and every piece of placement bookkeeping must agree: ShardOf vs the
+  // per-shard populations, their sum, and the per-shard gauge.
+  std::vector<std::size_t> by_shard(server.shard_count(), 0);
+  for (QueryId id = 1; id <= 8; ++id) ++by_shard[server.ShardOf(id)];
+  std::size_t total = 0;
+  for (std::size_t s = 0; s < server.shard_count(); ++s) {
+    EXPECT_EQ(server.shard_query_count(s), by_shard[s]) << "shard " << s;
+    EXPECT_EQ(server.shard_stats(s).registered_queries, by_shard[s])
+        << "shard " << s;
+    total += by_shard[s];
+  }
+  EXPECT_EQ(total, 8u);
+  EXPECT_EQ(server.stats().registered_queries, 8u);
+  EXPECT_TRUE(server.ValidatePruningMetadata().ok());
+}
+
+TEST(ShardedRebalanceTest, OffModeNeverMigrates) {
+  ShardedServer server(SkewOptions(RebalanceMode::kOff));
+  RegisterSkewedPopulation(server, 4);
+  for (int epoch = 0; epoch < 8; ++epoch) {
+    ASSERT_TRUE(
+        server.IngestBatch(HotEpoch(static_cast<Timestamp>(epoch) * 1'000,
+                                    epoch)).ok());
+  }
+  EXPECT_EQ(server.rebalance_stats().queries_migrated, 0u);
+  for (QueryId id = 1; id <= 8; ++id) {
+    EXPECT_EQ(server.ShardOf(id), id % server.shard_count());
+  }
+}
+
+TEST(ShardedRebalanceTest, HysteresisDelaysTheFirstMove) {
+  ShardedServerOptions options = SkewOptions(RebalanceMode::kOn);
+  options.rebalance.hysteresis_epochs = 3;
+  options.rebalance.imbalance_trigger = 1.05;
+  ShardedServer server(options);
+  RegisterSkewedPopulation(server, 4);
+
+  // Two over-trigger epochs: the streak (1, then 2) stays below the
+  // hysteresis requirement of 3 — no move yet.
+  for (int epoch = 0; epoch < 2; ++epoch) {
+    ASSERT_TRUE(
+        server.IngestBatch(HotEpoch(static_cast<Timestamp>(epoch) * 1'000,
+                                    epoch)).ok());
+  }
+  EXPECT_EQ(server.rebalance_stats().queries_migrated, 0u);
+
+  // The third consecutive epoch reaches the streak and migrates.
+  ASSERT_TRUE(server.IngestBatch(HotEpoch(2'000, 2)).ok());
+  EXPECT_GT(server.rebalance_stats().queries_migrated, 0u);
+  EXPECT_EQ(server.last_epoch_migrations(),
+            server.rebalance_stats().queries_migrated);
+}
+
+TEST(ShardedRebalanceTest, ResetStatsClearsRebalanceState) {
+  ShardedServer server(SkewOptions(RebalanceMode::kAggressive));
+  RegisterSkewedPopulation(server, 4);
+  for (int epoch = 0; epoch < 6; ++epoch) {
+    ASSERT_TRUE(
+        server.IngestBatch(HotEpoch(static_cast<Timestamp>(epoch) * 1'000,
+                                    epoch)).ok());
+  }
+  ASSERT_GT(server.rebalance_stats().queries_migrated, 0u);
+  server.ResetStats();
+  EXPECT_EQ(server.rebalance_stats().queries_migrated, 0u);
+  EXPECT_EQ(server.rebalance_stats().rebalance_events, 0u);
+  EXPECT_EQ(server.last_epoch_migrations(), 0u);
+  // The gauge survives the reset: it tracks live placement, not history.
+  EXPECT_EQ(server.stats().registered_queries, 8u);
+}
+
+TEST(ShardedRebalanceTest, EnvOverrideWins) {
+  ASSERT_EQ(setenv("ITA_REBALANCE", "off", /*overwrite=*/1), 0);
+  ShardedServer off(SkewOptions(RebalanceMode::kAggressive));
+  EXPECT_EQ(off.rebalance_options().mode, RebalanceMode::kOff);
+
+  ASSERT_EQ(setenv("ITA_REBALANCE", "aggressive", /*overwrite=*/1), 0);
+  ShardedServer aggressive(SkewOptions(RebalanceMode::kOff));
+  EXPECT_EQ(aggressive.rebalance_options().mode, RebalanceMode::kAggressive);
+  // The aggressive knob tightening applies regardless of the mode's
+  // origin.
+  EXPECT_LE(aggressive.rebalance_options().imbalance_trigger, 1.05);
+  EXPECT_EQ(aggressive.rebalance_options().hysteresis_epochs, 1u);
+  ASSERT_EQ(unsetenv("ITA_REBALANCE"), 0);
+}
+
+}  // namespace
+}  // namespace ita::exec
