@@ -1,0 +1,269 @@
+// Experiment P1 — persistence costs on the steady-state epoch path
+// (DESIGN.md §13).
+//
+// Three questions, each with a direct acceptance criterion:
+//
+//   1. Log-append overhead: the write-ahead EpochLog records every
+//      canonical SimEpoch before it is applied. BM_ZipfDriftEpoch times
+//      the plain epoch critical path; BM_LogAppend times the append
+//      alone on real epochs from the same preset (serialize + FNV-1a +
+//      framed copy, with the snapshot-cadence truncation included). The
+//      durability tax is the ratio of the two medians — the acceptance
+//      bound is LogAppend_median / Epoch_median <= 0.05. (A two-arm A/B
+//      on separate live fixtures cannot resolve a 5% bound: the epoch
+//      path's own run-to-run spread exceeds it.)
+//   2. Snapshot cost: BM_Checkpoint serializes the full engine state
+//      (arena ring, query slab, threshold SoA, tier flags) at the epoch
+//      barrier; BM_Restore rebuilds a fresh engine from those bytes.
+//      Both report bytes/op, so cost scales are visible next to time.
+//   3. Replay cost: BM_LogParse re-frames and checksums a log tail the
+//      way recovery does (records/op reported) — the per-epoch price of
+//      the log-tail half of "snapshot + tail replay".
+//
+// To record a machine-readable baseline (bench/results/):
+//   ./build/bench/bench_persist --benchmark_format=json
+//     --benchmark_repetitions=5 --benchmark_report_aggregates_only=true
+//     > bench/results/persist_baseline.json
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/logging.h"
+#include "core/ita_server.h"
+#include "exec/sharded_server.h"
+#include "persist/epoch_log.h"
+#include "persist/snapshot.h"
+#include "sim/event_stream.h"
+#include "sim/scenario.h"
+#include "sim/sim_engine.h"
+
+namespace ita {
+namespace bench {
+namespace {
+
+/// Epochs between log truncations in the logged arm — the snapshot
+/// cadence the recovery protocol pairs the log with (a real deployment
+/// clears the tail whenever a snapshot lands).
+constexpr std::size_t kLogTruncateEvery = 64;
+
+/// Cached steady-state fixture over a catalog preset, with an optional
+/// write-ahead log on the epoch path (the P1 A/B axis).
+class PersistFixture {
+ public:
+  static PersistFixture& Cached(const std::string& preset, std::size_t queries,
+                                std::size_t shards, bool logged) {
+    static auto* cache =
+        new std::map<std::string, std::unique_ptr<PersistFixture>>();
+    const std::string key = preset + "/" + std::to_string(queries) + "/S" +
+                            std::to_string(shards) + "/log" +
+                            std::to_string(logged ? 1 : 0);
+    auto it = cache->find(key);
+    if (it == cache->end()) {
+      it = cache->emplace(key, std::unique_ptr<PersistFixture>(new PersistFixture(
+                                   preset, queries, shards, logged)))
+               .first;
+    }
+    return *it->second;
+  }
+
+  /// One epoch through the production path; the logged arm appends the
+  /// canonical record first, exactly as CrashRestoreRunner does.
+  void StepEpoch() {
+    auto epoch = stream_->NextEpoch();
+    ITA_CHECK(epoch.has_value()) << "preset stream exhausted";
+    if (logged_) {
+      log_.Append(*epoch);
+      if (++epochs_since_truncate_ >= kLogTruncateEvery) {
+        log_.Clear();
+        epochs_since_truncate_ = 0;
+      }
+    }
+    const auto ids = sim::ApplyEpoch(*engine_, *std::move(epoch));
+    ITA_CHECK(ids.ok()) << ids.status().ToString();
+    benchmark::DoNotOptimize(ids);
+  }
+
+  /// Serializes the engine's full state into `out` (cleared first).
+  void Checkpoint(std::string* out) {
+    out->clear();
+    if (exec::ShardedServer* sharded = engine_->sharded()) {
+      const auto status = sharded->Checkpoint(out);
+      ITA_CHECK(status.ok()) << status.ToString();
+      return;
+    }
+    persist::SnapshotWriter writer(out);
+    const auto status = engine_->sequential()->Checkpoint(writer);
+    ITA_CHECK(status.ok()) << status.ToString();
+  }
+
+  const sim::ScenarioSpec& spec() const { return spec_; }
+  bool sharded() const { return engine_->sharded() != nullptr; }
+  std::size_t shard_count() const { return shards_; }
+
+ private:
+  PersistFixture(const std::string& preset, std::size_t queries,
+                 std::size_t shards, bool logged)
+      : logged_(logged), shards_(shards) {
+    const sim::ScenarioFactory* factory = sim::FindScenario(preset);
+    ITA_CHECK(factory != nullptr) << "unknown preset " << preset;
+    spec_ = factory->make(/*seed=*/42);
+    spec_.events = std::numeric_limits<std::size_t>::max() / 2;
+    spec_.pool_documents = 4'096;
+    if (queries > 0) spec_.queries.initial_queries = queries;
+
+    if (shards > 0) {
+      engine_ = sim::MakeShardedEngine(spec_.window, shards, /*threads=*/0);
+    } else {
+      engine_ = sim::MakeSequentialEngine(sim::SequentialStrategy::kIta,
+                                          spec_.window);
+    }
+    stream_ = std::make_unique<sim::EventStreamGenerator>(spec_);
+    // Prefill to steady state (full window, population installed) so
+    // the measured snapshots describe a loaded engine, not a cold one.
+    while (engine_->query_count() < spec_.queries.initial_queries ||
+           stream_->events_generated() < spec_.window.count) {
+      auto epoch = stream_->NextEpoch();
+      ITA_CHECK(epoch.has_value()) << "stream exhausted during prefill";
+      const auto ids = sim::ApplyEpoch(*engine_, *std::move(epoch));
+      ITA_CHECK(ids.ok()) << ids.status().ToString();
+    }
+  }
+
+  const bool logged_;
+  const std::size_t shards_;
+  sim::ScenarioSpec spec_;
+  std::unique_ptr<sim::SimEngine> engine_;
+  std::unique_ptr<sim::EventStreamGenerator> stream_;
+  persist::EpochLog log_;
+  std::size_t epochs_since_truncate_ = 0;
+};
+
+// P1.1a — the reference: the plain zipf_drift epoch critical path at a
+// paper-sized population (the denominator of the durability-tax ratio).
+void BM_ZipfDriftEpoch(benchmark::State& state) {
+  PersistFixture& fixture = PersistFixture::Cached(
+      "zipf_drift", /*queries=*/1'024, /*shards=*/0, /*logged=*/false);
+  for (auto _ : state) fixture.StepEpoch();
+}
+BENCHMARK(BM_ZipfDriftEpoch)->Unit(benchmark::kMicrosecond);
+
+// P1.1b — the numerator: one WAL append per iteration over a cycled
+// pool of real zipf_drift epochs, truncation cadence included. Reports
+// payload bytes/epoch so the cost scale is visible next to the time.
+void BM_LogAppend(benchmark::State& state) {
+  sim::ScenarioSpec spec = sim::FindScenario("zipf_drift")->make(/*seed=*/42);
+  spec.events = std::numeric_limits<std::size_t>::max() / 2;
+  spec.pool_documents = 4'096;
+  spec.queries.initial_queries = 1'024;
+  sim::EventStreamGenerator stream(spec);
+  std::vector<sim::SimEpoch> pool;
+  std::size_t payload_bytes = 0;
+  for (std::size_t i = 0; i < 256; ++i) {
+    auto epoch = stream.NextEpoch();
+    ITA_CHECK(epoch.has_value());
+    std::string canonical;
+    sim::SerializeEpoch(*epoch, &canonical);
+    payload_bytes += canonical.size();
+    pool.push_back(*std::move(epoch));
+  }
+  persist::EpochLog log;
+  std::size_t at = 0;
+  std::size_t since_truncate = 0;
+  for (auto _ : state) {
+    log.Append(pool[at]);
+    if (++at == pool.size()) at = 0;
+    if (++since_truncate >= kLogTruncateEvery) {
+      log.Clear();
+      since_truncate = 0;
+    }
+    benchmark::DoNotOptimize(log.records());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(
+      state.iterations() * (payload_bytes / pool.size())));
+  state.counters["payload_bytes/epoch"] =
+      benchmark::Counter(static_cast<double>(payload_bytes / pool.size()));
+}
+BENCHMARK(BM_LogAppend)->Unit(benchmark::kMicrosecond);
+
+// P1.2a — full-state snapshot at the epoch barrier. Sequential at a
+// paper-sized population, and sharded S=4 (nested per-shard sections,
+// placement map included).
+void CheckpointBench(benchmark::State& state, std::size_t shards) {
+  PersistFixture& fixture = PersistFixture::Cached(
+      "zipf_drift", /*queries=*/1'024, shards, /*logged=*/false);
+  std::string bytes;
+  for (auto _ : state) {
+    fixture.Checkpoint(&bytes);
+    benchmark::DoNotOptimize(bytes.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(bytes.size()));
+  state.counters["snapshot_bytes"] =
+      benchmark::Counter(static_cast<double>(bytes.size()));
+}
+void BM_CheckpointSequential(benchmark::State& state) {
+  CheckpointBench(state, /*shards=*/0);
+}
+void BM_CheckpointSharded4(benchmark::State& state) {
+  CheckpointBench(state, /*shards=*/4);
+}
+BENCHMARK(BM_CheckpointSequential)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_CheckpointSharded4)->Unit(benchmark::kMicrosecond);
+
+// P1.2b — restore of the sequential snapshot into a fresh server: the
+// container parse + arena/slab/threshold rebuild recovery pays once.
+void BM_RestoreSequential(benchmark::State& state) {
+  PersistFixture& fixture = PersistFixture::Cached(
+      "zipf_drift", /*queries=*/1'024, /*shards=*/0, /*logged=*/false);
+  std::string bytes;
+  fixture.Checkpoint(&bytes);
+  for (auto _ : state) {
+    auto reader = persist::SnapshotReader::Open(bytes);
+    ITA_CHECK(reader.ok()) << reader.status().ToString();
+    ItaServer restored({.window = fixture.spec().window});
+    const auto status = restored.Restore(*reader);
+    ITA_CHECK(status.ok()) << status.ToString();
+    benchmark::DoNotOptimize(restored.window_size());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(bytes.size()));
+}
+BENCHMARK(BM_RestoreSequential)->Unit(benchmark::kMicrosecond);
+
+// P1.3 — log-tail parse, the recovery-side cost of the WAL: frame,
+// checksum and decode a tail of representative epochs.
+void BM_LogParse(benchmark::State& state) {
+  const auto records = static_cast<std::size_t>(state.range(0));
+  sim::ScenarioSpec spec = sim::FindScenario("zipf_drift")->make(/*seed=*/42);
+  spec.events = std::numeric_limits<std::size_t>::max() / 2;
+  spec.pool_documents = 1'024;
+  sim::EventStreamGenerator stream(spec);
+  persist::EpochLog log;
+  for (std::size_t i = 0; i < records; ++i) {
+    auto epoch = stream.NextEpoch();
+    ITA_CHECK(epoch.has_value());
+    log.Append(*epoch);
+  }
+  for (auto _ : state) {
+    auto parsed =
+        persist::ParseEpochLog(log.bytes(), persist::TornTailPolicy::kFail);
+    ITA_CHECK(parsed.ok()) << parsed.status().ToString();
+    benchmark::DoNotOptimize(parsed->size());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(log.bytes().size()));
+  state.counters["records"] =
+      benchmark::Counter(static_cast<double>(records));
+}
+BENCHMARK(BM_LogParse)->Arg(64)->Arg(512)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace ita

@@ -103,6 +103,9 @@ class [[nodiscard]] Status {
     return code_ == StatusCode::kFailedPrecondition;
   }
   bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+  bool IsUnimplemented() const { return code_ == StatusCode::kUnimplemented; }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+  bool IsIoError() const { return code_ == StatusCode::kIoError; }
 
   std::string ToString() const {
     if (ok()) return "OK";

@@ -113,6 +113,10 @@ class SlotMap {
   /// outstanding slot index).
   std::size_t slot_count() const { return slots_.size(); }
   std::size_t free_count() const { return free_.size(); }
+  /// The vacant slots in recycling order: back() is reused first (LIFO).
+  /// Persistence reads this to reproduce the exact slab layout — erasing
+  /// a fresh map's slots in this order front-to-back rebuilds the stack.
+  const std::vector<SlotIndex>& free_slots() const { return free_; }
 
   /// Bytes held by the slab and free list (capacity, not size) —
   /// introspection hook; the server's stats gauge reports slot_count().

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/logging.h"
+#include "persist/snapshot.h"
 
 namespace ita {
 
@@ -651,6 +652,176 @@ void ItaServer::RollUp(QueryState& state) {
       }
     }
   }
+}
+
+Status ItaServer::CheckpointStrategy(persist::SnapshotWriter& snapshot) const {
+  std::string state;
+  persist::WireWriter w(&state);
+  w.PutU64(retheta_epoch_);
+
+  // Tier metadata for every term that diverged from a fresh TermState.
+  // The lists and trees themselves are rebuilt on restore.
+  std::uint64_t n_meta = 0;
+  for (TermId t = 0; t < catalog_.term_count(); ++t) {
+    const TermState& ts = *catalog_.Find(t);
+    if (ts.list_materialized || ts.hot_tier || ts.work_ema != 0.0) ++n_meta;
+  }
+  w.PutU64(n_meta);
+  for (TermId t = 0; t < catalog_.term_count(); ++t) {
+    const TermState& ts = *catalog_.Find(t);
+    if (!ts.list_materialized && !ts.hot_tier && ts.work_ema == 0.0) continue;
+    w.PutU32(t);
+    w.PutBool(ts.list_materialized);
+    w.PutBool(ts.hot_tier);
+    w.PutDouble(ts.work_ema);
+  }
+
+  // The slab verbatim: every slot in index order (occupied or vacant),
+  // then the free list in recycling order — together they reproduce the
+  // exact layout, so restored threshold trees carry identical slots.
+  w.PutU64(states_.slot_count());
+  for (SlotIndex slot = 0; slot < states_.slot_count(); ++slot) {
+    const QueryState* state_ptr = states_.Get(slot);
+    w.PutBool(state_ptr != nullptr);
+    if (state_ptr == nullptr) continue;
+    const QueryState& qs = *state_ptr;
+    w.PutU32(qs.id);
+    w.PutU64(qs.theta.size());
+    for (const double theta : qs.theta) w.PutDouble(theta);
+    for (const std::uint64_t epoch : qs.theta_epoch) w.PutU64(epoch);
+    w.PutDouble(qs.tau);
+    w.PutU64(qs.work);
+    w.PutU64(qs.result.size());
+    for (const ResultSet::Entry& entry : qs.result) {
+      w.PutU64(entry.doc);
+      w.PutDouble(entry.score);
+    }
+  }
+  w.PutU64(states_.free_slots().size());
+  for (const SlotIndex slot : states_.free_slots()) w.PutU32(slot);
+
+  snapshot.AddSection("ita/state", state);
+  return Status::OK();
+}
+
+Status ItaServer::RestoreStrategy(const persist::SnapshotReader& snapshot) {
+  ITA_ASSIGN_OR_RETURN(const std::string_view bytes,
+                       snapshot.Section("ita/state"));
+  persist::WireReader r(bytes);
+  ITA_RETURN_NOT_OK(r.ReadU64(&retheta_epoch_));
+
+  // Tier metadata first: block granularity and probe layout must be in
+  // place before postings and tree entries are re-inserted, so the
+  // rebuilt structures land directly in their persisted representation.
+  std::uint64_t n_meta = 0;
+  ITA_RETURN_NOT_OK(r.ReadCount(&n_meta, 14));
+  for (std::uint64_t i = 0; i < n_meta; ++i) {
+    std::uint32_t term = 0;
+    bool materialized = false;
+    bool hot = false;
+    double work_ema = 0.0;
+    ITA_RETURN_NOT_OK(r.ReadU32(&term));
+    ITA_RETURN_NOT_OK(r.ReadBool(&materialized));
+    ITA_RETURN_NOT_OK(r.ReadBool(&hot));
+    ITA_RETURN_NOT_OK(r.ReadDouble(&work_ema));
+    catalog_.RestoreTermMeta(term, materialized, hot, work_ema);
+  }
+
+  // Inverted lists are a pure function of the window contents: re-insert
+  // every valid document's postings from the restored arena. Impact order
+  // is content-determined, so the rebuilt lists are identical.
+  for (const DocumentView doc : store()) {
+    for (const TermWeight& tw : doc.composition) {
+      catalog_.InsertPosting(catalog_.Ensure(tw.term), doc.id, tw.weight);
+    }
+  }
+
+  // Reproduce the slab layout exactly: occupy every slot in index order,
+  // fill the persisted states, then free the vacant slots in the
+  // persisted recycling order (Erase push_back rebuilds the LIFO stack).
+  std::uint64_t slot_count = 0;
+  ITA_RETURN_NOT_OK(r.ReadCount(&slot_count, 1));
+  std::vector<bool> occupied(slot_count, false);
+  for (std::uint64_t s = 0; s < slot_count; ++s) {
+    const SlotIndex slot = states_.Insert(QueryState{});
+    if (slot != s) {
+      return Status::Internal("slot map not freshly constructed on restore");
+    }
+  }
+  std::uint64_t vacant = 0;
+  for (std::uint64_t s = 0; s < slot_count; ++s) {
+    const SlotIndex slot = static_cast<SlotIndex>(s);
+    bool is_occupied = false;
+    ITA_RETURN_NOT_OK(r.ReadBool(&is_occupied));
+    occupied[s] = is_occupied;
+    if (!is_occupied) {
+      ++vacant;
+      continue;
+    }
+    QueryState& qs = states_[slot];
+    ITA_RETURN_NOT_OK(r.ReadU32(&qs.id));
+    qs.slot = slot;
+    qs.query = &GetQuery(qs.id);
+    std::uint64_t n_terms = 0;
+    ITA_RETURN_NOT_OK(r.ReadCount(&n_terms, 16));
+    if (n_terms != qs.query->terms.size()) {
+      return Status::IoError("ita: theta count disagrees with query " +
+                             std::to_string(qs.id));
+    }
+    qs.theta.resize(n_terms);
+    qs.theta_epoch.resize(n_terms);
+    for (std::uint64_t i = 0; i < n_terms; ++i) {
+      ITA_RETURN_NOT_OK(r.ReadDouble(&qs.theta[i]));
+    }
+    for (std::uint64_t i = 0; i < n_terms; ++i) {
+      ITA_RETURN_NOT_OK(r.ReadU64(&qs.theta_epoch[i]));
+    }
+    ITA_RETURN_NOT_OK(r.ReadDouble(&qs.tau));
+    ITA_RETURN_NOT_OK(r.ReadU64(&qs.work));
+    std::uint64_t n_result = 0;
+    ITA_RETURN_NOT_OK(r.ReadCount(&n_result, 16));
+    for (std::uint64_t i = 0; i < n_result; ++i) {
+      std::uint64_t doc = 0;
+      double score = 0.0;
+      ITA_RETURN_NOT_OK(r.ReadU64(&doc));
+      ITA_RETURN_NOT_OK(r.ReadDouble(&score));
+      qs.result.Insert(doc, score);
+    }
+    slot_of_.emplace(qs.id, slot);
+
+    // Re-register the persisted thresholds in their terms' trees: sorted
+    // arrays make the rebuilt layout identical to the serialized one.
+    for (std::uint64_t i = 0; i < n_terms; ++i) {
+      const bool inserted =
+          catalog_.Ensure(qs.query->terms[i].term).tree.Insert(qs.theta[i], slot);
+      if (!inserted) {
+        return Status::IoError("ita: duplicate threshold entry for query " +
+                               std::to_string(qs.id));
+      }
+    }
+    threshold_entries_ += n_terms;
+  }
+
+  std::uint64_t n_free = 0;
+  ITA_RETURN_NOT_OK(r.ReadCount(&n_free, 4));
+  if (n_free != vacant) {
+    return Status::IoError("ita: free-list length disagrees with slab");
+  }
+  for (std::uint64_t i = 0; i < n_free; ++i) {
+    std::uint32_t slot = 0;
+    ITA_RETURN_NOT_OK(r.ReadU32(&slot));
+    if (slot >= slot_count || occupied[slot]) {
+      return Status::IoError("ita: free list names an occupied slot");
+    }
+    const bool freed = states_.Erase(slot);
+    if (!freed) {
+      return Status::IoError("ita: free list repeats slot " +
+                             std::to_string(slot));
+    }
+  }
+  ITA_RETURN_NOT_OK(r.ExpectEnd());
+  RefreshMemoryGauges();
+  return Status::OK();
 }
 
 void ItaServer::RefreshMemoryGauges() {

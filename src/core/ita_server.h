@@ -161,6 +161,19 @@ class ItaServer : public ContinuousSearchServer {
   /// The top-k prefix of R(Q), the exact answer.
   std::vector<ResultEntry> CurrentResult(QueryId id) const override;
 
+  /// Persists the ITA-specific state as the "ita/state" section: the
+  /// retheta epoch, per-term tier metadata, the exact query-state slab
+  /// layout (occupied slots with θ/θ-epoch/τ/work/R, plus the free list
+  /// in recycling order). Inverted lists and threshold trees are NOT
+  /// serialized — they are pure functions of (arena, θ vectors) and are
+  /// rebuilt deterministically on restore (DESIGN.md §13).
+  Status CheckpointStrategy(persist::SnapshotWriter& snapshot) const override;
+  /// Exact-state restore: reinstates tier metadata, rebuilds the inverted
+  /// lists from the restored arena, reproduces the slab layout (including
+  /// LIFO free-list order), and re-registers every θ in its term's tree —
+  /// no threshold search runs, so θ/τ/R come back verbatim.
+  Status RestoreStrategy(const persist::SnapshotReader& snapshot) override;
+
  private:
   /// == SlotMap<QueryState>::SlotIndex (spelled concretely so the alias
   /// does not force instantiation against the incomplete QueryState).

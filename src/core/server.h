@@ -170,6 +170,20 @@ class ContinuousSearchServer : public ServerStrategy {
   /// Mutable owned trace (for Reset between measurement windows).
   obs::EpochTrace* mutable_trace() { return trace_.get(); }
 
+  /// ServerStrategy: persists the shared base state — window config,
+  /// query catalog, stats, and (when owned) the window arena — as the
+  /// "server/core" and "server/arena" sections, then delegates to
+  /// CheckpointStrategy for the subclass's own sections. Call only at an
+  /// epoch boundary (DESIGN.md §13).
+  Status Checkpoint(persist::SnapshotWriter& snapshot) const override;
+
+  /// ServerStrategy: rebuilds state from a snapshot written by the same
+  /// strategy over the same window spec and arena-ownership mode.
+  /// Requires a freshly constructed server (no queries, empty window);
+  /// FailedPrecondition otherwise, and typed errors (see
+  /// persist/snapshot.h) on mismatched or corrupt input.
+  Status Restore(const persist::SnapshotReader& snapshot) override;
+
   /// Snapshot of the current top-k result of a query, best first. Exact at
   /// every event boundary (for IngestBatch, the event is the whole epoch).
   ///
@@ -246,6 +260,22 @@ class ContinuousSearchServer : public ServerStrategy {
   virtual void OnExpireBatch(std::span<const DocumentView> docs) {
     for (const DocumentView& doc : docs) OnExpire(doc);
   }
+
+  /// Checkpoint hook: appends the subclass's own sections after the base
+  /// sections. The default appends none (a strategy whose state is fully
+  /// derivable from the base sections — Oracle, Naive — needs no code).
+  virtual Status CheckpointStrategy(persist::SnapshotWriter& snapshot) const {
+    (void)snapshot;
+    return Status::OK();
+  }
+
+  /// Restore hook, called after the base class has restored the arena and
+  /// re-emplaced the query catalog (WITHOUT running OnRegisterQuery). The
+  /// default recomputes: it re-registers every query ascending by id,
+  /// deriving fresh strategy state from the restored window — exact for
+  /// strategies whose state is a pure function of (queries, window).
+  /// ItaServer overrides it to restore its θ/τ/result state verbatim.
+  virtual Status RestoreStrategy(const persist::SnapshotReader& snapshot);
 
   /// Subclasses flag queries whose top-k changed during the current event;
   /// the base class fires the listener afterwards.

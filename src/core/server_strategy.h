@@ -48,6 +48,11 @@
 #include "stream/document.h"
 #include "stream/document_arena.h"
 
+namespace ita::persist {
+class SnapshotReader;
+class SnapshotWriter;
+}  // namespace ita::persist
+
 namespace ita {
 
 /// The narrow embedded-server surface an epoch driver programs against.
@@ -147,6 +152,26 @@ class ServerStrategy {
   /// the recorder, so strategies without instrumentation need no code.
   virtual void SetPhaseRecorder(obs::PhaseRecorder* recorder) {
     (void)recorder;
+  }
+
+  // --- Persistence (src/persist/, DESIGN.md §13) ----------------------
+
+  /// Writes this server's full state as named sections of `snapshot`, at
+  /// an epoch boundary (never mid-phase). The default refuses: only
+  /// strategies whose state is serializable opt in. Const — a checkpoint
+  /// observes, it never perturbs.
+  virtual Status Checkpoint(persist::SnapshotWriter& snapshot) const {
+    (void)snapshot;
+    return Status::Unimplemented("strategy does not support checkpointing");
+  }
+
+  /// Rebuilds this server's state from a snapshot written by the same
+  /// strategy over the same configuration. Only valid on a freshly
+  /// constructed (empty) server; a failed restore leaves the server
+  /// unusable (construct a new one). The default refuses.
+  virtual Status Restore(const persist::SnapshotReader& snapshot) {
+    (void)snapshot;
+    return Status::Unimplemented("strategy does not support restore");
   }
 
   // --- Read side ------------------------------------------------------

@@ -222,6 +222,26 @@ class TermCatalog {
   /// Terms currently in the hot tier.
   std::size_t hot_tier_terms() const { return hot_terms_; }
 
+  /// Restore-path primitive (DESIGN.md §13): reinstates a term's
+  /// persisted tier metadata on a freshly rebuilt catalog — the
+  /// materialized flag, the hot/cold representation (block granularity +
+  /// probe layout), and the work EMA the tier selector resumes from.
+  /// Call after the term's postings have been re-inserted; keeps the
+  /// materialized/hot-term counters and ValidateTiers() coherent.
+  void RestoreTermMeta(TermId term, bool materialized, bool hot,
+                       double work_ema) {
+    TermState& ts = Ensure(term);
+    if (materialized) MarkMaterialized(ts);
+    if (hot != ts.hot_tier) {
+      ts.hot_tier = hot;
+      hot_terms_ += hot ? 1 : std::size_t(-1);
+      ts.list.SetBlockBits(hot ? tier_policy_.hot_block_bits
+                               : InvertedList::kBlockBits);
+      ts.tree.SetWideProbe(hot);
+    }
+    ts.work_ema = work_ema;
+  }
+
   /// White-box tier-coherence check (ValidatePruningMetadata's second
   /// leg): every term's list granularity and tree probe layout must
   /// match its recorded tier.

@@ -8,6 +8,7 @@
 
 #include "common/logging.h"
 #include "common/stopwatch.h"
+#include "persist/snapshot.h"
 
 namespace ita::exec {
 
@@ -433,6 +434,137 @@ void ShardedServer::MaybeRebalance() {
     ++rebalance_stats_.rebalance_events;
     imbalance_streak_ = 0;
   }
+}
+
+Status ShardedServer::Checkpoint(std::string* out) const {
+  out->clear();
+  persist::SnapshotWriter snapshot(out);
+
+  std::string meta;
+  persist::WireWriter w(&meta);
+  w.PutU64(shards_.size());
+  w.PutU8(static_cast<std::uint8_t>(options_.window.kind));
+  w.PutU64(options_.window.count);
+  w.PutI64(options_.window.duration);
+  w.PutU32(next_query_id_);
+  w.PutI64(last_arrival_time_);
+  w.PutU64(epochs_processed_);
+  // Rebalancer state, so a restored engine's future placement decisions
+  // match the uninterrupted run's exactly.
+  for (const double ema : load_ema_) w.PutDouble(ema);
+  for (const std::uint64_t snap : load_snapshot_) w.PutU64(snap);
+  w.PutU64(imbalance_streak_);
+  w.PutU64(rebalance_stats_.queries_migrated);
+  w.PutU64(rebalance_stats_.rebalance_events);
+  snapshot.AddSection("sharded/meta", meta);
+
+  std::string arena;
+  arena_->SerializeTo(&arena);
+  snapshot.AddSection("sharded/arena", arena);
+
+  std::string placement;
+  persist::WireWriter pw(&placement);
+  std::vector<QueryId> ids;
+  ids.reserve(placement_.size());
+  for (const auto& [id, shard] : placement_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  pw.PutU64(ids.size());
+  for (const QueryId id : ids) {
+    pw.PutU32(id);
+    pw.PutU32(placement_.at(id));
+  }
+  snapshot.AddSection("sharded/placement", placement);
+
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    std::string shard_bytes;
+    persist::SnapshotWriter shard_snapshot(&shard_bytes);
+    ITA_RETURN_NOT_OK(shards_[s]->Checkpoint(shard_snapshot));
+    snapshot.AddSection("sharded/shard" + std::to_string(s), shard_bytes);
+  }
+  return Status::OK();
+}
+
+Status ShardedServer::Restore(std::string_view bytes) {
+  if (query_count() != 0 || !arena_->empty() || epochs_processed_ != 0) {
+    return Status::FailedPrecondition(
+        "restore requires a freshly constructed engine");
+  }
+  ITA_ASSIGN_OR_RETURN(const persist::SnapshotReader snapshot,
+                       persist::SnapshotReader::Open(bytes));
+
+  ITA_ASSIGN_OR_RETURN(const std::string_view meta,
+                       snapshot.Section("sharded/meta"));
+  persist::WireReader r(meta);
+  std::uint64_t shards = 0;
+  ITA_RETURN_NOT_OK(r.ReadU64(&shards));
+  if (shards != shards_.size()) {
+    return Status::FailedPrecondition(
+        "snapshot has " + std::to_string(shards) + " shards, this engine " +
+        std::to_string(shards_.size()));
+  }
+  std::uint8_t kind = 0;
+  std::uint64_t count = 0;
+  std::int64_t duration = 0;
+  ITA_RETURN_NOT_OK(r.ReadU8(&kind));
+  ITA_RETURN_NOT_OK(r.ReadU64(&count));
+  ITA_RETURN_NOT_OK(r.ReadI64(&duration));
+  if (kind != static_cast<std::uint8_t>(options_.window.kind) ||
+      count != options_.window.count ||
+      duration != options_.window.duration) {
+    return Status::FailedPrecondition(
+        "snapshot window spec does not match this engine's");
+  }
+  ITA_RETURN_NOT_OK(r.ReadU32(&next_query_id_));
+  ITA_RETURN_NOT_OK(r.ReadI64(&last_arrival_time_));
+  ITA_RETURN_NOT_OK(r.ReadU64(&epochs_processed_));
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    ITA_RETURN_NOT_OK(r.ReadDouble(&load_ema_[s]));
+  }
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    ITA_RETURN_NOT_OK(r.ReadU64(&load_snapshot_[s]));
+  }
+  std::uint64_t streak = 0;
+  ITA_RETURN_NOT_OK(r.ReadU64(&streak));
+  imbalance_streak_ = static_cast<std::size_t>(streak);
+  ITA_RETURN_NOT_OK(r.ReadU64(&rebalance_stats_.queries_migrated));
+  ITA_RETURN_NOT_OK(r.ReadU64(&rebalance_stats_.rebalance_events));
+  ITA_RETURN_NOT_OK(r.ExpectEnd());
+
+  // Arena strictly before the shards: shard restore rebuilds inverted
+  // lists by reading the shared window contents.
+  ITA_ASSIGN_OR_RETURN(const std::string_view arena_bytes,
+                       snapshot.Section("sharded/arena"));
+  ITA_RETURN_NOT_OK(arena_->DeserializeFrom(arena_bytes));
+
+  ITA_ASSIGN_OR_RETURN(const std::string_view placement,
+                       snapshot.Section("sharded/placement"));
+  persist::WireReader pr(placement);
+  std::uint64_t n_placed = 0;
+  ITA_RETURN_NOT_OK(pr.ReadCount(&n_placed, 8));
+  for (std::uint64_t i = 0; i < n_placed; ++i) {
+    std::uint32_t id = 0;
+    std::uint32_t shard = 0;
+    ITA_RETURN_NOT_OK(pr.ReadU32(&id));
+    ITA_RETURN_NOT_OK(pr.ReadU32(&shard));
+    if (shard >= shards_.size()) {
+      return Status::IoError("placement names shard " + std::to_string(shard));
+    }
+    if (!placement_.emplace(id, shard).second) {
+      return Status::IoError("placement repeats query id " +
+                             std::to_string(id));
+    }
+  }
+  ITA_RETURN_NOT_OK(pr.ExpectEnd());
+
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    ITA_ASSIGN_OR_RETURN(
+        const std::string_view shard_bytes,
+        snapshot.Section("sharded/shard" + std::to_string(s)));
+    ITA_ASSIGN_OR_RETURN(const persist::SnapshotReader shard_snapshot,
+                         persist::SnapshotReader::Open(shard_bytes));
+    ITA_RETURN_NOT_OK(shards_[s]->Restore(shard_snapshot));
+  }
+  return Status::OK();
 }
 
 Status ShardedServer::ValidatePruningMetadata() const {

@@ -236,6 +236,21 @@ class ShardedServer {
   /// environment override).
   const RebalanceOptions& rebalance_options() const { return rebalance_; }
 
+  /// Writes the engine's complete state as one snapshot container
+  /// (persist/snapshot.h) into `out`: engine metadata + rebalancer state
+  /// ("sharded/meta"), the shared window arena ("sharded/arena"), the
+  /// live placement map ("sharded/placement" — so rebalanced layouts
+  /// restore exactly), and each shard's own nested snapshot container
+  /// ("sharded/shard<i>"). Call only between epochs — the epoch barrier
+  /// is the consistency point (DESIGN.md §13).
+  Status Checkpoint(std::string* out) const;
+
+  /// Rebuilds the engine from Checkpoint bytes. Requires a freshly
+  /// constructed engine with the same shard count and window spec;
+  /// FailedPrecondition otherwise, typed snapshot errors on corrupt
+  /// input. Wall-clock tallies (shard_busy_micros) restart at zero.
+  Status Restore(std::string_view bytes);
+
   /// Runs every ITA shard's pruning-metadata audit (block-max caches,
   /// threshold-tree mirrors, storage-tier tags) — the sim invariant
   /// checker's white-box hook, valid across tier and placement

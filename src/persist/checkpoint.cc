@@ -1,0 +1,83 @@
+#include "persist/checkpoint.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "obs/metrics.h"
+
+namespace ita::persist {
+
+void ExportPersistStats(const PersistStats& stats,
+                        obs::MetricsRegistry* registry) {
+  const auto gauge = [&](const char* name, const char* help,
+                         std::uint64_t value) {
+    (void)registry->AddGauge(name, help, {}, static_cast<double>(value));
+  };
+  gauge("ita_persist_snapshots_written", "Snapshots written since start",
+        stats.snapshots_written);
+  gauge("ita_persist_snapshot_bytes", "Total snapshot bytes written",
+        stats.snapshot_bytes);
+  gauge("ita_persist_snapshot_write_nanos",
+        "Total wall time spent writing snapshots, in nanoseconds",
+        stats.snapshot_write_nanos);
+  gauge("ita_persist_restores", "Snapshot restores since start",
+        stats.restores);
+  gauge("ita_persist_restore_nanos",
+        "Total wall time spent restoring snapshots, in nanoseconds",
+        stats.restore_nanos);
+  gauge("ita_persist_log_records_appended",
+        "Epoch records appended to the write-ahead log",
+        stats.log_records_appended);
+  gauge("ita_persist_log_bytes_appended",
+        "Bytes appended to the write-ahead log", stats.log_bytes_appended);
+  gauge("ita_persist_replayed_epochs",
+        "Epochs re-applied from log tails during recovery",
+        stats.replayed_epochs);
+  gauge("ita_persist_replay_nanos",
+        "Total wall time spent replaying log tails, in nanoseconds",
+        stats.replay_nanos);
+}
+
+Status WriteFileAtomic(const std::string& path, std::string_view bytes) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError("open '" + tmp + "': " + std::strerror(errno));
+  }
+  const bool wrote =
+      bytes.empty() || std::fwrite(bytes.data(), 1, bytes.size(), f) ==
+                           bytes.size();
+  const bool closed = std::fclose(f) == 0;
+  if (!wrote || !closed) {
+    std::remove(tmp.c_str());
+    return Status::IoError("write '" + tmp + "': " + std::strerror(errno));
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IoError("rename '" + tmp + "' -> '" + path +
+                           "': " + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status ReadFileToString(const std::string& path, std::string* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IoError("open '" + path + "': " + std::strerror(errno));
+  }
+  out->clear();
+  char buf[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out->append(buf, n);
+  }
+  const bool failed = std::ferror(f) != 0;
+  std::fclose(f);
+  if (failed) {
+    return Status::IoError("read '" + path + "': " + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+}  // namespace ita::persist

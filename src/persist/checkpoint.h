@@ -1,0 +1,51 @@
+/// \file
+/// Persistence bookkeeping shared by every checkpointing caller: the
+/// PersistStats counter block (exported to obs/ as gauges), and the
+/// atomic file helpers a durable deployment writes snapshots and logs
+/// through. Kept separate from snapshot.h/epoch_log.h so the format
+/// layers stay free of filesystem and metrics concerns.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace ita::obs {
+class MetricsRegistry;
+}  // namespace ita::obs
+
+namespace ita::persist {
+
+/// Counters for the persistence path: how many snapshots/restores ran,
+/// how long they took, and how many log bytes the WAL appended. Owned by
+/// whoever drives checkpointing (the crash-restore runner, a serving
+/// binary); exported via ExportPersistStats.
+struct PersistStats {
+  std::uint64_t snapshots_written = 0;
+  std::uint64_t snapshot_bytes = 0;        ///< total bytes across snapshots
+  std::uint64_t snapshot_write_nanos = 0;  ///< total Checkpoint() wall time
+  std::uint64_t restores = 0;
+  std::uint64_t restore_nanos = 0;  ///< total Restore() wall time
+  std::uint64_t log_records_appended = 0;
+  std::uint64_t log_bytes_appended = 0;
+  std::uint64_t replayed_epochs = 0;  ///< epochs re-applied from log tails
+  std::uint64_t replay_nanos = 0;     ///< total log-replay wall time
+};
+
+/// Registers one gauge per PersistStats field (prefix "ita_persist_")
+/// reading through to `stats`, which must outlive the registry.
+void ExportPersistStats(const PersistStats& stats,
+                        obs::MetricsRegistry* registry);
+
+/// Writes `bytes` to `path` atomically: a unique temp file in the same
+/// directory, then rename over the target — a crashed writer can never
+/// leave a half-written snapshot where a reader expects a whole one.
+Status WriteFileAtomic(const std::string& path, std::string_view bytes);
+
+/// Reads all of `path` into `*out`; IoError with the path on failure.
+Status ReadFileToString(const std::string& path, std::string* out);
+
+}  // namespace ita::persist

@@ -1,0 +1,153 @@
+#include "persist/epoch_log.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace ita::persist {
+
+Status DeserializeEpoch(WireReader& r, sim::SimEpoch* epoch) {
+  *epoch = sim::SimEpoch{};
+  ITA_RETURN_NOT_OK(r.ReadU64(&epoch->index));
+
+  std::uint64_t n_unregister = 0;
+  ITA_RETURN_NOT_OK(r.ReadCount(&n_unregister, 4));
+  epoch->unregister.reserve(n_unregister);
+  for (std::uint64_t i = 0; i < n_unregister; ++i) {
+    std::uint32_t id = 0;
+    ITA_RETURN_NOT_OK(r.ReadU32(&id));
+    epoch->unregister.push_back(static_cast<QueryId>(id));
+  }
+
+  std::uint64_t n_register = 0;
+  ITA_RETURN_NOT_OK(r.ReadCount(&n_register, 16));
+  epoch->register_ids.reserve(n_register);
+  epoch->register_queries.reserve(n_register);
+  for (std::uint64_t i = 0; i < n_register; ++i) {
+    std::uint32_t id = 0;
+    std::uint32_t k = 0;
+    ITA_RETURN_NOT_OK(r.ReadU32(&id));
+    ITA_RETURN_NOT_OK(r.ReadU32(&k));
+    Query query;
+    query.k = static_cast<int>(k);
+    std::uint64_t n_terms = 0;
+    ITA_RETURN_NOT_OK(r.ReadCount(&n_terms, 12));
+    query.terms.reserve(n_terms);
+    for (std::uint64_t t = 0; t < n_terms; ++t) {
+      std::uint32_t term = 0;
+      double weight = 0.0;
+      ITA_RETURN_NOT_OK(r.ReadU32(&term));
+      ITA_RETURN_NOT_OK(r.ReadDouble(&weight));
+      query.terms.push_back({static_cast<TermId>(term), weight});
+    }
+    epoch->register_ids.push_back(static_cast<QueryId>(id));
+    epoch->register_queries.push_back(std::move(query));
+  }
+
+  std::uint64_t n_docs = 0;
+  ITA_RETURN_NOT_OK(r.ReadCount(&n_docs, 24));
+  epoch->batch.reserve(n_docs);
+  for (std::uint64_t i = 0; i < n_docs; ++i) {
+    Document doc;
+    std::uint64_t arrival = 0;
+    std::uint64_t tokens = 0;
+    ITA_RETURN_NOT_OK(r.ReadU64(&arrival));
+    ITA_RETURN_NOT_OK(r.ReadU64(&tokens));
+    doc.arrival_time = static_cast<Timestamp>(arrival);
+    doc.token_count = static_cast<std::size_t>(tokens);
+    std::uint64_t n_comp = 0;
+    ITA_RETURN_NOT_OK(r.ReadCount(&n_comp, 12));
+    doc.composition.reserve(n_comp);
+    for (std::uint64_t c = 0; c < n_comp; ++c) {
+      std::uint32_t term = 0;
+      double weight = 0.0;
+      ITA_RETURN_NOT_OK(r.ReadU32(&term));
+      ITA_RETURN_NOT_OK(r.ReadDouble(&weight));
+      doc.composition.push_back({static_cast<TermId>(term), weight});
+    }
+    epoch->batch.push_back(std::move(doc));
+  }
+
+  ITA_RETURN_NOT_OK(r.ReadBool(&epoch->has_advance));
+  std::uint64_t advance_to = 0;
+  ITA_RETURN_NOT_OK(r.ReadU64(&advance_to));
+  epoch->advance_to = static_cast<Timestamp>(advance_to);
+  return Status::OK();
+}
+
+void EpochLog::Append(const sim::SimEpoch& epoch) {
+  scratch_.clear();
+  sim::SerializeEpoch(epoch, &scratch_);
+  WireWriter w(&buf_);
+  w.PutU8(kEpochRecordType);
+  w.PutU64(scratch_.size());
+  w.PutU64(Fnv1a(scratch_));
+  buf_.append(scratch_);
+  ++records_;
+}
+
+void EpochLog::TearTail(std::size_t n) {
+  buf_.resize(buf_.size() - std::min(n, buf_.size()));
+}
+
+StatusOr<std::vector<sim::SimEpoch>> ParseEpochLog(std::string_view bytes,
+                                                   TornTailPolicy policy) {
+  std::vector<sim::SimEpoch> epochs;
+  WireReader r(bytes);
+  while (!r.AtEnd()) {
+    const std::size_t record_at = r.position();
+    std::uint8_t type = 0;
+    std::uint64_t payload_len = 0;
+    std::uint64_t want_fnv = 0;
+    std::string_view payload;
+    // A record can be torn only if it reaches the end of the buffer —
+    // anything that fails before the buffer runs out is interior
+    // corruption and fails regardless of policy.
+    Status frame = Status::OK();
+    if (!(frame = r.ReadU8(&type)).ok() ||
+        !(frame = r.ReadU64(&payload_len)).ok() ||
+        !(frame = r.ReadU64(&want_fnv)).ok() ||
+        payload_len > r.remaining()) {
+      if (frame.ok()) {
+        frame = Status::IoError("log: truncated payload of record " +
+                                std::to_string(epochs.size()));
+      }
+      if (policy == TornTailPolicy::kTruncate) return epochs;
+      return Status::IoError(
+          "log: torn final log record at offset " + std::to_string(record_at) +
+          " (" + frame.message() + ")");
+    }
+    if (type != kEpochRecordType) {
+      return Status::InvalidArgument("log: unknown record type " +
+                                     std::to_string(type) + " at offset " +
+                                     std::to_string(record_at));
+    }
+    payload = bytes.substr(r.position(), payload_len);
+    (void)r.Skip(payload_len, "record payload");
+    if (Fnv1a(payload) != want_fnv) {
+      // A checksum-failing FINAL record is indistinguishable from a
+      // crash mid-payload-write; interior ones are corruption proper.
+      if (r.AtEnd()) {
+        if (policy == TornTailPolicy::kTruncate) return epochs;
+        return Status::IoError("log: torn final log record at offset " +
+                               std::to_string(record_at) +
+                               " (checksum mismatch)");
+      }
+      return Status::Internal("log: checksum mismatch in record " +
+                              std::to_string(epochs.size()) + " at offset " +
+                              std::to_string(record_at));
+    }
+    sim::SimEpoch epoch;
+    WireReader pr(payload);
+    Status parsed = DeserializeEpoch(pr, &epoch);
+    if (parsed.ok()) parsed = pr.ExpectEnd();
+    if (!parsed.ok()) {
+      return Status::Internal("log: malformed epoch payload in record " +
+                              std::to_string(epochs.size()) + ": " +
+                              parsed.message());
+    }
+    epochs.push_back(std::move(epoch));
+  }
+  return epochs;
+}
+
+}  // namespace ita::persist

@@ -1,0 +1,93 @@
+/// \file
+/// The write-ahead epoch log (DESIGN.md §13): an append-only record
+/// stream in which every canonical SimEpoch / ingest batch is durably
+/// framed BEFORE it is applied to the server. Recovery is "load the
+/// latest valid snapshot, replay the log tail": because the engines are
+/// deterministic and every applied epoch was logged first, replaying the
+/// tail reproduces the pre-crash state exactly, and epoch-indexed
+/// consumers dedup re-deliveries (at-least-once delivery with
+/// idempotent, epoch-indexed consumption — no commit records needed).
+///
+/// Record framing:
+///   type u8 (kEpochRecordType) | payload_len u64 |
+///   fnv1a(payload) u64 | payload = SerializeEpoch bytes
+///
+/// A crash can tear at most the FINAL record (appends are sequential),
+/// so ParseEpochLog distinguishes the torn tail from interior
+/// corruption: an interior bad record always fails (Internal /
+/// InvalidArgument), while the policy decides the tail — kTruncate
+/// (recovery: keep the valid prefix, drop the torn record; the unacked
+/// source re-sends it) or kFail (a typed IoError, for the corruption
+/// tests and for callers that expect a cleanly closed log).
+///
+/// DeserializeEpoch is the exact inverse of sim::SerializeEpoch — the
+/// one place the canonical epoch byte layout is parsed. Document texts
+/// are not part of the canonical layout (scoring and fingerprints never
+/// read them), so replayed documents carry empty texts.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "persist/wire.h"
+#include "sim/event_stream.h"
+
+namespace ita::persist {
+
+/// Record-type byte of an epoch record (the only type in format v1).
+inline constexpr std::uint8_t kEpochRecordType = 1;
+
+/// Parses one canonical epoch serialization (sim::SerializeEpoch) from
+/// `reader` — the exact byte-level inverse, validated field by field.
+Status DeserializeEpoch(WireReader& reader, sim::SimEpoch* epoch);
+
+/// The append side of the write-ahead log: an in-memory byte buffer the
+/// owner flushes to durable storage (or hands to the crash harness)
+/// between Append and apply. Appends never fail; the buffer is the
+/// record stream verbatim.
+class EpochLog {
+ public:
+  /// Frames and appends one epoch record (serialize, length, checksum).
+  void Append(const sim::SimEpoch& epoch);
+
+  /// The record stream appended so far.
+  const std::string& bytes() const { return buf_; }
+  /// Records appended since construction or the last Clear().
+  std::uint64_t records() const { return records_; }
+  /// True when no record has been appended since the last Clear().
+  bool empty() const { return buf_.empty(); }
+
+  /// Drops every record — called right after a snapshot is cut, because
+  /// the snapshot supersedes the log prefix it covers.
+  void Clear() {
+    buf_.clear();
+    records_ = 0;
+  }
+
+  /// Simulates a torn final append: removes the last `n` bytes (clamped
+  /// to the buffer) as if the crash hit mid-write. Test/harness hook.
+  void TearTail(std::size_t n);
+
+ private:
+  std::string buf_;
+  std::uint64_t records_ = 0;
+  std::string scratch_;  ///< serialization scratch, reused across appends
+};
+
+/// How ParseEpochLog treats a torn (incomplete or checksum-failing)
+/// final record; interior corruption always fails regardless.
+enum class TornTailPolicy {
+  kFail,      ///< typed IoError — the log must be cleanly closed
+  kTruncate,  ///< keep the valid prefix, drop the torn record (recovery)
+};
+
+/// Decodes a log byte stream into its epochs; see the file comment for
+/// the torn-tail semantics.
+StatusOr<std::vector<sim::SimEpoch>> ParseEpochLog(std::string_view bytes,
+                                                   TornTailPolicy policy);
+
+}  // namespace ita::persist

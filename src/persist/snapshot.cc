@@ -1,0 +1,115 @@
+#include "persist/snapshot.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace ita::persist {
+
+SnapshotWriter::SnapshotWriter(std::string* out) : out_(out) {
+  ITA_CHECK(out != nullptr);
+  out_->append(kSnapshotMagic, sizeof(kSnapshotMagic));
+  WireWriter w(out_);
+  w.PutU32(kSnapshotVersion);
+}
+
+void SnapshotWriter::AddSection(std::string_view name,
+                                std::string_view payload) {
+  // An unnamed section could never be looked up again, and a name wider
+  // than the u32 length field would silently truncate: both are writer
+  // bugs, not data corruption.
+  ITA_DCHECK(!name.empty());
+  ITA_DCHECK(name.size() <= UINT32_MAX);
+  WireWriter w(out_);
+  w.PutU32(static_cast<std::uint32_t>(name.size()));
+  out_->append(name.data(), name.size());
+  w.PutU64(payload.size());
+  w.PutU64(Fnv1a(payload));
+  out_->append(payload.data(), payload.size());
+}
+
+StatusOr<SnapshotReader> SnapshotReader::Open(std::string_view bytes) {
+  if (bytes.size() < sizeof(kSnapshotMagic)) {
+    return Status::InvalidArgument("snapshot: shorter than the magic");
+  }
+  if (std::memcmp(bytes.data(), kSnapshotMagic, sizeof(kSnapshotMagic)) != 0) {
+    return Status::InvalidArgument("snapshot: bad magic");
+  }
+  WireReader r(bytes.substr(sizeof(kSnapshotMagic)));
+  std::uint32_t version = 0;
+  if (!r.ReadU32(&version).ok()) {
+    return Status::IoError("snapshot: truncated header");
+  }
+  if (version != kSnapshotVersion) {
+    return Status::FailedPrecondition(
+        "snapshot: format version " + std::to_string(version) +
+        ", this build reads version " + std::to_string(kSnapshotVersion));
+  }
+
+  SnapshotReader reader;
+  while (!r.AtEnd()) {
+    std::uint32_t name_len = 0;
+    if (!r.ReadU32(&name_len).ok()) {
+      return Status::IoError("snapshot: truncated section header");
+    }
+    if (name_len > r.remaining()) {
+      return Status::IoError("snapshot: truncated section name");
+    }
+    const std::size_t name_at = sizeof(kSnapshotMagic) + r.position();
+    std::string name(bytes.substr(name_at, name_len));
+    (void)r.Skip(name_len, "section name");
+    std::uint64_t payload_len = 0;
+    std::uint64_t want_fnv = 0;
+    if (!r.ReadU64(&payload_len).ok() || !r.ReadU64(&want_fnv).ok()) {
+      return Status::IoError("snapshot: truncated section header for '" +
+                             name + "'");
+    }
+    if (payload_len > r.remaining()) {
+      return Status::IoError("snapshot: truncated payload of section '" +
+                             name + "'");
+    }
+    const std::size_t payload_at = sizeof(kSnapshotMagic) + r.position();
+    const std::string_view payload = bytes.substr(payload_at, payload_len);
+    (void)r.Skip(payload_len, "section payload");
+    if (Fnv1a(payload) != want_fnv) {
+      return Status::Internal("snapshot: checksum mismatch in section '" +
+                              name + "'");
+    }
+    for (const auto& [existing, view] : reader.sections_) {
+      (void)view;
+      if (existing == name) {
+        return Status::Internal("snapshot: duplicate section '" + name + "'");
+      }
+    }
+    reader.sections_.emplace_back(std::move(name), payload);
+  }
+  return reader;
+}
+
+StatusOr<std::string_view> SnapshotReader::Section(
+    std::string_view name) const {
+  for (const auto& [existing, payload] : sections_) {
+    if (existing == name) return payload;
+  }
+  return Status::NotFound("snapshot: no section '" + std::string(name) + "'");
+}
+
+bool SnapshotReader::Has(std::string_view name) const {
+  for (const auto& [existing, payload] : sections_) {
+    (void)payload;
+    if (existing == name) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> SnapshotReader::SectionNames() const {
+  std::vector<std::string> names;
+  names.reserve(sections_.size());
+  for (const auto& [name, payload] : sections_) {
+    (void)payload;
+    names.push_back(name);
+  }
+  return names;
+}
+
+}  // namespace ita::persist

@@ -1,0 +1,80 @@
+/// \file
+/// The versioned snapshot container (DESIGN.md §13): a fixed header
+/// (magic "ITASNAP1", format version) followed by named sections, each
+/// sealed with its own FNV-1a 64 checksum so corruption is localized to
+/// the section it hit. Every persisted server state — a sequential
+/// server, a sharded engine, one shard nested inside a sharded snapshot
+/// — is one such container.
+///
+///   header : magic[8] | version u32
+///   section: name_len u32 | name bytes | payload_len u64 |
+///            fnv1a(payload) u64 | payload bytes
+///
+/// SnapshotReader::Open validates the whole container up front — magic,
+/// version, framing, every checksum — and maps each failure mode to a
+/// distinct typed Status (the corruption-detection tests pin them):
+///   * wrong magic            -> InvalidArgument (not a snapshot at all)
+///   * version mismatch       -> FailedPrecondition (needs a migration)
+///   * truncated bytes        -> IoError (partial write / torn copy)
+///   * checksum mismatch      -> Internal (bit rot inside a section)
+/// A failed Open never yields a partially usable reader.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "persist/wire.h"
+
+namespace ita::persist {
+
+/// The 8-byte container magic.
+inline constexpr char kSnapshotMagic[8] = {'I', 'T', 'A', 'S',
+                                           'N', 'A', 'P', '1'};
+/// Current container format version; Open rejects any other.
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+
+/// Appends a snapshot container to a caller-owned buffer: the header at
+/// construction, one section per AddSection. Section names must be
+/// unique within a container (checked by the reader).
+class SnapshotWriter {
+ public:
+  /// Writes the container header into `out` (not owned, appended to).
+  explicit SnapshotWriter(std::string* out);
+
+  /// Appends one named, checksummed section.
+  void AddSection(std::string_view name, std::string_view payload);
+
+ private:
+  std::string* out_;
+};
+
+/// Read side of the container; see the file comment for the validation
+/// and error surface. Holds views into the caller's bytes — the source
+/// buffer must outlive the reader and every section view it returns.
+class SnapshotReader {
+ public:
+  /// Validates the whole container (header, framing, every section
+  /// checksum) and indexes the sections.
+  static StatusOr<SnapshotReader> Open(std::string_view bytes);
+
+  /// The payload of section `name`; NotFound when absent.
+  StatusOr<std::string_view> Section(std::string_view name) const;
+
+  /// True when the container holds a section `name`.
+  bool Has(std::string_view name) const;
+
+  /// Section names in container order.
+  std::vector<std::string> SectionNames() const;
+
+ private:
+  SnapshotReader() = default;
+
+  std::vector<std::pair<std::string, std::string_view>> sections_;
+};
+
+}  // namespace ita::persist

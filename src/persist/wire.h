@@ -1,0 +1,216 @@
+/// \file
+/// The little-endian wire primitives every persisted artifact is built
+/// from (DESIGN.md §13): a WireWriter appending fixed-width integers,
+/// IEEE-754 double bit patterns and length-prefixed byte strings to a
+/// caller-owned buffer, and a bounds-checked WireReader inverting it.
+/// The byte layout deliberately matches the canonical SimEpoch
+/// serialization (sim/event_stream.cc) — u32/u64 little-endian, doubles
+/// as bit patterns — so "equal" always means bit-equal, and the same
+/// FNV-1a 64 digest used by StreamFingerprint seals every snapshot
+/// section and log record.
+///
+/// Error surface: every reader failure is a typed Status (IoError for
+/// truncation — bytes the layout promises are missing), never a crash
+/// and never a silent partial read; a failed read leaves the cursor
+/// where the failure was detected.
+
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace ita::persist {
+
+/// FNV-1a 64 offset basis — the same constant sim::StreamFingerprint
+/// seeds with, so persisted digests and stream digests share one hash.
+inline constexpr std::uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ULL;
+/// FNV-1a 64 prime.
+inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+/// Order-sensitive FNV-1a 64 over `bytes`, resumable via `seed`.
+inline std::uint64_t Fnv1a(std::string_view bytes,
+                           std::uint64_t seed = kFnvOffsetBasis) {
+  std::uint64_t hash = seed;
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+/// Appends wire-format fields to a caller-owned string. The writer never
+/// fails: the buffer grows as needed and the caller decides where the
+/// bytes go (a snapshot section, a log record, a test fixture).
+class WireWriter {
+ public:
+  /// Binds the writer to `out` (not owned; appended to, never cleared).
+  explicit WireWriter(std::string* out) : out_(out) {}
+
+  void PutU8(std::uint8_t v) { out_->push_back(static_cast<char>(v)); }
+
+  void PutU32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      out_->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+    }
+  }
+
+  void PutU64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      out_->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+    }
+  }
+
+  /// Signed 64-bit values (timestamps) travel as their two's-complement
+  /// bit pattern.
+  void PutI64(std::int64_t v) { PutU64(static_cast<std::uint64_t>(v)); }
+
+  /// Doubles travel as IEEE-754 bit patterns: equality is bit-equality.
+  void PutDouble(double v) { PutU64(std::bit_cast<std::uint64_t>(v)); }
+
+  void PutBool(bool v) { PutU8(v ? 1 : 0); }
+
+  /// Length-prefixed (u64) byte string.
+  void PutBytes(std::string_view bytes) {
+    PutU64(bytes.size());
+    out_->append(bytes.data(), bytes.size());
+  }
+
+  /// The bound buffer (for sealing a section once it is complete).
+  const std::string& buffer() const { return *out_; }
+
+ private:
+  std::string* out_;
+};
+
+/// Bounds-checked reader over a wire-format byte range. Does not own the
+/// bytes; they must outlive the reader and any string_view it hands out.
+class WireReader {
+ public:
+  explicit WireReader(std::string_view bytes) : bytes_(bytes) {}
+
+  Status ReadU8(std::uint8_t* v) {
+    ITA_RETURN_NOT_OK(Need(1, "u8"));
+    *v = static_cast<std::uint8_t>(bytes_[pos_++]);
+    return Status::OK();
+  }
+
+  Status ReadU32(std::uint32_t* v) {
+    ITA_RETURN_NOT_OK(Need(4, "u32"));
+    std::uint32_t out = 0;
+    for (int i = 0; i < 4; ++i) {
+      out |= static_cast<std::uint32_t>(
+                 static_cast<unsigned char>(bytes_[pos_ + i]))
+             << (8 * i);
+    }
+    pos_ += 4;
+    *v = out;
+    return Status::OK();
+  }
+
+  Status ReadU64(std::uint64_t* v) {
+    ITA_RETURN_NOT_OK(Need(8, "u64"));
+    std::uint64_t out = 0;
+    for (int i = 0; i < 8; ++i) {
+      out |= static_cast<std::uint64_t>(
+                 static_cast<unsigned char>(bytes_[pos_ + i]))
+             << (8 * i);
+    }
+    pos_ += 8;
+    *v = out;
+    return Status::OK();
+  }
+
+  Status ReadI64(std::int64_t* v) {
+    std::uint64_t raw = 0;
+    ITA_RETURN_NOT_OK(ReadU64(&raw));
+    *v = static_cast<std::int64_t>(raw);
+    return Status::OK();
+  }
+
+  Status ReadDouble(double* v) {
+    std::uint64_t raw = 0;
+    ITA_RETURN_NOT_OK(ReadU64(&raw));
+    *v = std::bit_cast<double>(raw);
+    return Status::OK();
+  }
+
+  Status ReadBool(bool* v) {
+    std::uint8_t raw = 0;
+    ITA_RETURN_NOT_OK(ReadU8(&raw));
+    if (raw > 1) {
+      return Status::IoError("wire: bool byte is " + std::to_string(raw));
+    }
+    *v = raw != 0;
+    return Status::OK();
+  }
+
+  /// Length-prefixed byte string, returned as a view into the source.
+  Status ReadBytes(std::string_view* v) {
+    std::uint64_t len = 0;
+    ITA_RETURN_NOT_OK(ReadU64(&len));
+    ITA_RETURN_NOT_OK(Need(len, "bytes payload"));
+    *v = bytes_.substr(pos_, len);
+    pos_ += len;
+    return Status::OK();
+  }
+
+  /// ReadBytes into an owning string.
+  Status ReadString(std::string* v) {
+    std::string_view view;
+    ITA_RETURN_NOT_OK(ReadBytes(&view));
+    v->assign(view);
+    return Status::OK();
+  }
+
+  /// Reads an element count that the remaining bytes could plausibly
+  /// hold (each element occupying at least `min_element_bytes`) — the
+  /// guard that keeps a corrupted count from driving a multi-gigabyte
+  /// reserve before the per-element reads would fail anyway.
+  Status ReadCount(std::uint64_t* v, std::uint64_t min_element_bytes) {
+    ITA_RETURN_NOT_OK(ReadU64(v));
+    if (min_element_bytes > 0 && *v > remaining() / min_element_bytes) {
+      return Status::IoError("wire: count " + std::to_string(*v) +
+                             " exceeds remaining payload");
+    }
+    return Status::OK();
+  }
+
+  /// Advances the cursor over `n` bytes without materializing them.
+  Status Skip(std::uint64_t n, const char* what) {
+    ITA_RETURN_NOT_OK(Need(n, what));
+    pos_ += n;
+    return Status::OK();
+  }
+
+  std::size_t position() const { return pos_; }
+  std::size_t remaining() const { return bytes_.size() - pos_; }
+  bool AtEnd() const { return pos_ == bytes_.size(); }
+
+  /// IoError unless the reader stands exactly at the end — catches both
+  /// truncation (earlier reads fail) and trailing garbage.
+  Status ExpectEnd() const {
+    if (!AtEnd()) {
+      return Status::IoError("wire: " + std::to_string(remaining()) +
+                             " unconsumed trailing bytes");
+    }
+    return Status::OK();
+  }
+
+ private:
+  Status Need(std::uint64_t n, const char* what) const {
+    if (n > remaining()) {
+      return Status::IoError(std::string("wire: truncated ") + what +
+                             " at offset " + std::to_string(pos_));
+    }
+    return Status::OK();
+  }
+
+  std::string_view bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace ita::persist

@@ -1,0 +1,336 @@
+#include "sim/crash_restore.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <optional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+#include "core/query.h"
+#include "core/result_set.h"
+#include "obs/timer.h"
+#include "persist/epoch_log.h"
+#include "persist/snapshot.h"
+#include "persist/wire.h"
+#include "sim/event_stream.h"
+#include "sim/sim_engine.h"
+
+namespace ita::sim {
+namespace {
+
+/// The idempotent notification consumer of the delivery contract: an
+/// order-sensitive FNV-1a digest over every ACCEPTED delivery, where a
+/// delivery (epoch, query, entries) is accepted only when `epoch` is
+/// newer than the last accepted epoch for that query — exactly how a
+/// real downstream keyed on epoch indices absorbs the at-least-once
+/// re-delivery of log replay.
+class NotificationConsumer {
+ public:
+  void BeginEpoch(std::uint64_t index) { epoch_ = index; }
+
+  void Deliver(QueryId id, const std::vector<ResultEntry>& entries) {
+    // last_ stores epoch+1 so 0 means "never delivered".
+    std::uint64_t& last = last_[id];
+    if (last >= epoch_ + 1) return;  // replayed duplicate — drop
+    last = epoch_ + 1;
+    scratch_.clear();
+    persist::WireWriter w(&scratch_);
+    w.PutU64(epoch_);
+    w.PutU32(id);
+    w.PutU64(entries.size());
+    for (const ResultEntry& entry : entries) {
+      w.PutU64(entry.doc);
+      w.PutDouble(entry.score);
+    }
+    hash_ = persist::Fnv1a(scratch_, hash_);
+    ++deliveries_;
+  }
+
+  std::uint64_t digest() const { return hash_; }
+  std::uint64_t deliveries() const { return deliveries_; }
+
+ private:
+  std::uint64_t epoch_ = 0;
+  std::uint64_t hash_ = persist::kFnvOffsetBasis;
+  std::uint64_t deliveries_ = 0;
+  std::unordered_map<QueryId, std::uint64_t> last_;
+  std::string scratch_;
+};
+
+/// Checkpoints `engine` into `*out` as one snapshot container — the
+/// sharded engine writes its own multi-section container, a sequential
+/// server gets wrapped in a fresh SnapshotWriter.
+Status CheckpointEngine(SimEngine& engine, std::string* out) {
+  out->clear();
+  if (exec::ShardedServer* sharded = engine.sharded()) {
+    return sharded->Checkpoint(out);
+  }
+  persist::SnapshotWriter writer(out);
+  return engine.sequential()->Checkpoint(writer);
+}
+
+/// Restores a freshly constructed `engine` from snapshot `bytes`.
+Status RestoreEngine(SimEngine& engine, std::string_view bytes) {
+  if (exec::ShardedServer* sharded = engine.sharded()) {
+    return sharded->Restore(bytes);
+  }
+  ITA_ASSIGN_OR_RETURN(persist::SnapshotReader reader,
+                       persist::SnapshotReader::Open(bytes));
+  return engine.sequential()->Restore(reader);
+}
+
+}  // namespace
+
+const char* CrashPhaseName(CrashPhase phase) {
+  switch (phase) {
+    case CrashPhase::kBeforeLogAppend:
+      return "before-log-append";
+    case CrashPhase::kTornLogAppend:
+      return "torn-log-append";
+    case CrashPhase::kAfterLogAppend:
+      return "after-log-append";
+    case CrashPhase::kAfterApply:
+      return "after-apply";
+  }
+  return "unknown";
+}
+
+CrashRestoreRunner::CrashRestoreRunner(ScenarioSpec spec,
+                                       CrashRestoreOptions options)
+    : spec_(std::move(spec)), options_(options) {}
+
+std::string CrashRestoreRunner::ReproLine(const ScenarioSpec& spec,
+                                          const CrashRestoreOptions& options) {
+  std::string line = "--scenario=" + spec.name +
+                     " --seed=" + std::to_string(spec.seed) +
+                     " --events=" + std::to_string(spec.events) +
+                     " --shards=" + std::to_string(options.shards) +
+                     " --snapshot-every=" +
+                     std::to_string(options.snapshot_every_epochs) +
+                     " --crash-epoch=" + std::to_string(options.crash_epoch) +
+                     " --phase=" + CrashPhaseName(options.crash_phase);
+  if (options.crash_phase == CrashPhase::kTornLogAppend) {
+    line += " --torn-cut=" + std::to_string(options.torn_cut_bytes);
+  }
+  return line;
+}
+
+StatusOr<CrashRestoreReport> CrashRestoreRunner::Run() {
+  ITA_RETURN_NOT_OK(spec_.Validate());
+  if (options_.snapshot_every_epochs == 0) {
+    return Status::InvalidArgument("snapshot_every_epochs must be >= 1");
+  }
+
+  const auto fail = [this](std::string what) {
+    return Status::Internal(what + "; reproduce with " +
+                            ReproLine(spec_, options_));
+  };
+
+  // --- Materialize the canonical stream --------------------------------
+  // Both runs consume the identical pre-generated epochs, and the subject
+  // needs random access to resume after the kill.
+  EventStreamGenerator generator(spec_);
+  std::vector<SimEpoch> epochs;
+  StreamFingerprint stream_fp;
+  std::unordered_map<QueryId, Query> live_map;
+  while (std::optional<SimEpoch> epoch = generator.NextEpoch()) {
+    stream_fp.Absorb(*epoch);
+    for (const QueryId id : epoch->unregister) live_map.erase(id);
+    for (std::size_t i = 0; i < epoch->register_ids.size(); ++i) {
+      live_map.insert_or_assign(epoch->register_ids[i],
+                                epoch->register_queries[i]);
+    }
+    epochs.push_back(std::move(*epoch));
+  }
+  if (epochs.empty()) {
+    return Status::InvalidArgument("scenario '" + spec_.name +
+                                   "' produced no epochs");
+  }
+  if (options_.crash_epoch >= epochs.size()) {
+    return Status::InvalidArgument(
+        "crash_epoch " + std::to_string(options_.crash_epoch) +
+        " out of range: scenario '" + spec_.name + "' has " +
+        std::to_string(epochs.size()) + " epochs");
+  }
+
+  const auto make_engine = [this]() -> std::unique_ptr<SimEngine> {
+    if (options_.shards == 0) {
+      return MakeSequentialEngine(SequentialStrategy::kIta, spec_.window,
+                                  options_.tuning);
+    }
+    return MakeShardedEngine(spec_.window, options_.shards, options_.threads,
+                             options_.tuning, options_.rebalance);
+  };
+
+  const auto apply = [](SimEngine& engine, NotificationConsumer& consumer,
+                        const SimEpoch& epoch) -> Status {
+    consumer.BeginEpoch(epoch.index);
+    ITA_ASSIGN_OR_RETURN(std::vector<DocId> ids, ApplyEpoch(engine, epoch));
+    (void)ids;
+    return Status::OK();
+  };
+
+  // --- The uninterrupted twin (and the oracle) --------------------------
+  NotificationConsumer twin_consumer;
+  std::unique_ptr<SimEngine> twin = make_engine();
+  twin->SetResultListener(
+      [&twin_consumer](QueryId id, const std::vector<ResultEntry>& entries) {
+        twin_consumer.Deliver(id, entries);
+      });
+  std::unique_ptr<SimEngine> oracle;
+  if (options_.check_oracle) {
+    oracle = MakeSequentialEngine(SequentialStrategy::kOracle, spec_.window);
+  }
+  for (const SimEpoch& epoch : epochs) {
+    ITA_RETURN_NOT_OK(apply(*twin, twin_consumer, epoch));
+    if (oracle != nullptr) {
+      ITA_ASSIGN_OR_RETURN(std::vector<DocId> ids, ApplyEpoch(*oracle, epoch));
+      (void)ids;
+    }
+  }
+
+  // --- The subject: snapshot cadence, WAL, kill, recovery ---------------
+  persist::PersistStats stats;
+  NotificationConsumer subject_consumer;
+  const ResultListener subject_listener =
+      [&subject_consumer](QueryId id, const std::vector<ResultEntry>& entries) {
+        subject_consumer.Deliver(id, entries);
+      };
+  std::unique_ptr<SimEngine> subject = make_engine();
+  subject->SetResultListener(subject_listener);
+
+  persist::EpochLog log;
+  std::string snapshot_bytes;      // latest durable snapshot ("" = none)
+  std::size_t snapshot_covers = 0;  // epochs the snapshot captured
+
+  const auto append_to_log = [&log, &stats](const SimEpoch& epoch) {
+    const std::size_t before = log.bytes().size();
+    log.Append(epoch);
+    ++stats.log_records_appended;
+    stats.log_bytes_appended += log.bytes().size() - before;
+  };
+
+  // Kill + recovery: discard the engine, construct a fresh one, restore
+  // the latest snapshot, replay the log tail (torn tails truncate), and
+  // report the stream position the resumed run continues from.
+  const auto recover = [&]() -> StatusOr<std::size_t> {
+    subject = make_engine();
+    subject->SetResultListener(subject_listener);
+    ITA_ASSIGN_OR_RETURN(
+        std::vector<SimEpoch> tail,
+        persist::ParseEpochLog(log.bytes(), persist::TornTailPolicy::kTruncate));
+    log.Clear();
+    if (!snapshot_bytes.empty()) {
+      obs::Timer timer;
+      ITA_RETURN_NOT_OK(RestoreEngine(*subject, snapshot_bytes));
+      ++stats.restores;
+      stats.restore_nanos += timer.ElapsedNanos();
+    }
+    obs::Timer replay_timer;
+    for (SimEpoch& epoch : tail) {
+      const std::uint64_t expected = snapshot_covers + stats.replayed_epochs;
+      if (epoch.index != expected) {
+        return Status::Internal("log replay out of order: expected epoch " +
+                                std::to_string(expected) + ", log holds " +
+                                std::to_string(epoch.index));
+      }
+      append_to_log(epoch);  // the recovered process's own WAL
+      subject_consumer.BeginEpoch(epoch.index);
+      ITA_ASSIGN_OR_RETURN(std::vector<DocId> ids,
+                           ApplyEpoch(*subject, std::move(epoch)));
+      (void)ids;
+      ++stats.replayed_epochs;
+    }
+    stats.replay_nanos += replay_timer.ElapsedNanos();
+    return snapshot_covers + stats.replayed_epochs;
+  };
+
+  bool crashed = false;
+  std::size_t pos = 0;
+  while (pos < epochs.size()) {
+    const SimEpoch& epoch = epochs[pos];
+    const bool crash_here = !crashed && pos == options_.crash_epoch;
+    if (crash_here && options_.crash_phase == CrashPhase::kBeforeLogAppend) {
+      crashed = true;
+      ITA_ASSIGN_OR_RETURN(pos, recover());
+      continue;
+    }
+    append_to_log(epoch);
+    if (crash_here && options_.crash_phase == CrashPhase::kTornLogAppend) {
+      crashed = true;
+      log.TearTail(options_.torn_cut_bytes == 0 ? 1 : options_.torn_cut_bytes);
+      ITA_ASSIGN_OR_RETURN(pos, recover());
+      continue;
+    }
+    if (crash_here && options_.crash_phase == CrashPhase::kAfterLogAppend) {
+      crashed = true;
+      ITA_ASSIGN_OR_RETURN(pos, recover());
+      continue;
+    }
+    ITA_RETURN_NOT_OK(apply(*subject, subject_consumer, epoch));
+    if (crash_here && options_.crash_phase == CrashPhase::kAfterApply) {
+      crashed = true;
+      ITA_ASSIGN_OR_RETURN(pos, recover());
+      continue;
+    }
+    ++pos;
+    if (pos % options_.snapshot_every_epochs == 0) {
+      obs::Timer timer;
+      ITA_RETURN_NOT_OK(CheckpointEngine(*subject, &snapshot_bytes));
+      ++stats.snapshots_written;
+      stats.snapshot_bytes += snapshot_bytes.size();
+      stats.snapshot_write_nanos += timer.ElapsedNanos();
+      snapshot_covers = pos;
+      log.Clear();
+    }
+  }
+
+  // --- Equivalence -----------------------------------------------------
+  if (subject_consumer.digest() != twin_consumer.digest()) {
+    return fail("notification fingerprints diverge after kill/restore: "
+                "subject=" +
+                std::to_string(subject_consumer.digest()) +
+                " (deliveries=" + std::to_string(subject_consumer.deliveries()) +
+                "), twin=" + std::to_string(twin_consumer.digest()) +
+                " (deliveries=" + std::to_string(twin_consumer.deliveries()) +
+                ")");
+  }
+
+  std::vector<LiveQuery> live;
+  live.reserve(live_map.size());
+  for (const auto& [id, query] : live_map) live.push_back({id, &query});
+  std::sort(live.begin(), live.end(),
+            [](const LiveQuery& a, const LiveQuery& b) { return a.id < b.id; });
+
+  for (const LiveQuery& lq : live) {
+    ITA_ASSIGN_OR_RETURN(std::vector<ResultEntry> got, subject->Result(lq.id));
+    ITA_ASSIGN_OR_RETURN(std::vector<ResultEntry> want, twin->Result(lq.id));
+    if (!(got == want)) {
+      return fail("restored engine's result for query " +
+                  std::to_string(lq.id) + " diverges from the twin (" +
+                  std::to_string(got.size()) + " vs " +
+                  std::to_string(want.size()) + " entries)");
+    }
+  }
+
+  DifferentialChecker checker(options_.checker, oracle.get());
+  const Status check = checker.CheckEpoch({subject.get(), twin.get()}, live,
+                                          epochs.back().index, /*force=*/true);
+  if (!check.ok()) return fail(check.message());
+
+  CrashRestoreReport report;
+  report.epochs = epochs.size();
+  report.events = generator.events_generated();
+  report.stream_fingerprint = stream_fp.digest();
+  report.notification_fingerprint = subject_consumer.digest();
+  report.live_queries = live.size();
+  report.persist = stats;
+  return report;
+}
+
+}  // namespace ita::sim

@@ -1,0 +1,111 @@
+/// \file
+/// The kill/restore harness behind the persistence tier (DESIGN.md §13):
+/// drives one engine ("subject") through a scenario's epoch stream under
+/// the production durability protocol — periodic epoch-boundary
+/// snapshots plus a write-ahead epoch log appended BEFORE each epoch is
+/// applied — then simulates a crash at a configurable epoch/phase,
+/// recovers a fresh engine from the latest snapshot + log-tail replay,
+/// and resumes the stream. An uninterrupted twin consumes the identical
+/// stream; equivalence is judged by
+///   * byte-identical notification fingerprints (order-sensitive FNV-1a
+///     over every delivered (epoch, query, result) triple, with
+///     epoch-indexed dedup absorbing the at-least-once re-delivery that
+///     log replay implies),
+///   * per-query Result() equality at end of stream, and
+///   * a forced oracle differential over subject and twin together.
+///
+/// The consumer-side dedup is the documented delivery contract: the log
+/// carries no commit records, so replay re-delivers notifications for
+/// epochs the consumer may have already seen; consumers key on the epoch
+/// index (monotone per query) and drop duplicates.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "core/ita_server.h"
+#include "exec/sharded_server.h"
+#include "persist/checkpoint.h"
+#include "sim/checker.h"
+#include "sim/scenario.h"
+
+namespace ita::sim {
+
+/// Where inside the epoch-boundary protocol the simulated kill lands.
+/// The four phases cover every distinct recovery shape: nothing durable
+/// yet, a torn (partially written) log record, a logged-but-unapplied
+/// epoch, and a fully applied epoch whose re-delivery the consumer must
+/// dedup.
+enum class CrashPhase {
+  kBeforeLogAppend,  ///< epoch neither logged nor applied; re-fed after restore
+  kTornLogAppend,    ///< crash mid-append: log ends in a torn record
+  kAfterLogAppend,   ///< logged, not applied; recovery replays it from the log
+  kAfterApply,       ///< applied and delivered; replay re-delivers, dedup'd
+};
+
+/// Stable display name ("before-log-append", ...).
+const char* CrashPhaseName(CrashPhase phase);
+
+/// Knobs for one kill/restore run.
+struct CrashRestoreOptions {
+  /// 0 = sequential ItaServer; >= 1 = sharded engine with this many shards.
+  std::size_t shards = 0;
+  /// Worker threads for the sharded engine (0 = one per shard).
+  std::size_t threads = 0;
+  /// Tuning shared by subject, twin and (per-shard) restored engines.
+  ItaTuning tuning;
+  /// Load-aware placement policy for the sharded engine.
+  exec::RebalanceOptions rebalance;
+  /// Snapshot cadence: checkpoint after every N applied epochs (the log
+  /// is cleared at each snapshot). Must be >= 1.
+  std::size_t snapshot_every_epochs = 8;
+  /// Zero-based epoch index at whose boundary the kill hits. Must be
+  /// < the stream's epoch count (Run returns InvalidArgument otherwise).
+  std::uint64_t crash_epoch = 0;
+  CrashPhase crash_phase = CrashPhase::kAfterApply;
+  /// Bytes torn off the log tail for kTornLogAppend (clamped to the
+  /// final record; must be >= 1 so the record is actually torn).
+  std::size_t torn_cut_bytes = 3;
+  /// Run the forced oracle differential over subject and twin at end of
+  /// stream (an OracleServer consumes the whole stream alongside).
+  bool check_oracle = true;
+  /// Tolerances for the differential layer.
+  CheckerOptions checker;
+};
+
+/// What one kill/restore run observed. All equivalence checks have
+/// already passed when Run() returns OK; the fingerprints are surfaced
+/// for logging and cross-run identity assertions.
+struct CrashRestoreReport {
+  std::uint64_t epochs = 0;  ///< epochs in the stream (twin applied all)
+  std::uint64_t events = 0;  ///< document arrivals in the stream
+  std::uint64_t stream_fingerprint = 0;        ///< canonical stream digest
+  std::uint64_t notification_fingerprint = 0;  ///< subject == twin digest
+  std::uint64_t live_queries = 0;              ///< live at end of stream
+  /// Snapshot/restore/log counters for the subject's durability path.
+  persist::PersistStats persist;
+};
+
+/// Runs one kill/restore cycle for `spec` under `options`; see the file
+/// comment for the protocol. Any divergence (fingerprint mismatch,
+/// result inequality, oracle differential, invariant violation) comes
+/// back as a non-OK Status whose message ends with ReproLine(...).
+class CrashRestoreRunner {
+ public:
+  CrashRestoreRunner(ScenarioSpec spec, CrashRestoreOptions options);
+
+  StatusOr<CrashRestoreReport> Run();
+
+  /// "--scenario=<name> --seed=<seed> --crash-epoch=<e> --phase=<p> ..."
+  /// — everything needed to replay this exact run.
+  static std::string ReproLine(const ScenarioSpec& spec,
+                               const CrashRestoreOptions& options);
+
+ private:
+  ScenarioSpec spec_;
+  CrashRestoreOptions options_;
+};
+
+}  // namespace ita::sim

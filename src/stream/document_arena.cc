@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "persist/wire.h"
+
 namespace ita {
 
 // --- planning ---------------------------------------------------------
@@ -240,6 +242,97 @@ DocumentView DocumentArena::ViewOf(DocId id) const {
 std::optional<DocumentView> DocumentArena::Get(DocId id) const {
   if (id < head_id_ || id >= next_id_) return std::nullopt;
   return ViewOf(id);
+}
+
+
+// --- persistence (DESIGN.md Â§13) -----------------------------------------
+
+void DocumentArena::SerializeTo(std::string* out) const {
+  persist::WireWriter w(out);
+  w.PutU64(head_id_);
+  w.PutU64(next_id_);
+  w.PutU64(segments_.size());
+  for (const Segment& seg : segments_) {
+    w.PutU64(seg.first_id);
+    w.PutU64(seg.docs.size());
+    for (const StoredDoc& doc : seg.docs) {
+      w.PutI64(doc.arrival_time);
+      w.PutU64(doc.comp_offset);
+      w.PutU64(doc.text_offset);
+      w.PutU32(doc.comp_len);
+      w.PutU32(doc.text_len);
+      w.PutU32(doc.token_count);
+    }
+    w.PutU64(seg.comp.size());
+    for (const TermWeight& tw : seg.comp) {
+      w.PutU32(tw.term);
+      w.PutDouble(tw.weight);
+    }
+    w.PutBytes(seg.text);
+  }
+}
+
+Status DocumentArena::DeserializeFrom(std::string_view bytes) {
+  if (!segments_.empty() || head_id_ != 1 || next_id_ != 1) {
+    return Status::FailedPrecondition(
+        "arena restore requires a freshly constructed arena");
+  }
+  persist::WireReader r(bytes);
+  ITA_RETURN_NOT_OK(r.ReadU64(&head_id_));
+  ITA_RETURN_NOT_OK(r.ReadU64(&next_id_));
+  std::uint64_t n_segments = 0;
+  ITA_RETURN_NOT_OK(r.ReadCount(&n_segments, 24));
+  DocId prev_end = 0;
+  for (std::uint64_t s = 0; s < n_segments; ++s) {
+    Segment seg;
+    ITA_RETURN_NOT_OK(r.ReadU64(&seg.first_id));
+    if (s > 0 && seg.first_id < prev_end) {
+      return Status::IoError("arena: segment first_id goes backwards");
+    }
+    std::uint64_t n_docs = 0;
+    ITA_RETURN_NOT_OK(r.ReadCount(&n_docs, 36));
+    seg.docs.reserve(n_docs);
+    for (std::uint64_t i = 0; i < n_docs; ++i) {
+      StoredDoc doc;
+      ITA_RETURN_NOT_OK(r.ReadI64(&doc.arrival_time));
+      ITA_RETURN_NOT_OK(r.ReadU64(&doc.comp_offset));
+      ITA_RETURN_NOT_OK(r.ReadU64(&doc.text_offset));
+      ITA_RETURN_NOT_OK(r.ReadU32(&doc.comp_len));
+      ITA_RETURN_NOT_OK(r.ReadU32(&doc.text_len));
+      ITA_RETURN_NOT_OK(r.ReadU32(&doc.token_count));
+      seg.docs.push_back(doc);
+    }
+    std::uint64_t n_comp = 0;
+    ITA_RETURN_NOT_OK(r.ReadCount(&n_comp, 12));
+    seg.comp.reserve(n_comp);
+    for (std::uint64_t i = 0; i < n_comp; ++i) {
+      TermWeight tw;
+      ITA_RETURN_NOT_OK(r.ReadU32(&tw.term));
+      ITA_RETURN_NOT_OK(r.ReadDouble(&tw.weight));
+      seg.comp.push_back(tw);
+    }
+    ITA_RETURN_NOT_OK(r.ReadString(&seg.text));
+    for (const StoredDoc& doc : seg.docs) {
+      if (doc.comp_offset + doc.comp_len > seg.comp.size() ||
+          doc.text_offset + doc.text_len > seg.text.size()) {
+        return Status::IoError("arena: document offsets exceed segment slabs");
+      }
+    }
+    prev_end = seg.end_id();
+    bytes_ += SegmentBytes(seg);
+    seg_first_.push_back(seg.first_id);
+    segments_.push_back(std::move(seg));
+  }
+  ITA_RETURN_NOT_OK(r.ExpectEnd());
+  if (!segments_.empty() &&
+      (head_id_ < segments_.front().first_id ||
+       next_id_ != segments_.back().end_id())) {
+    return Status::IoError("arena: id bounds disagree with segments");
+  }
+  if (segments_.empty() && head_id_ != next_id_) {
+    return Status::IoError("arena: id bounds disagree with segments");
+  }
+  return Status::OK();
 }
 
 // --- iterator ---------------------------------------------------------

@@ -210,6 +210,22 @@ class DocumentArena {
   const_iterator begin() const { return const_iterator(this, head_id_); }
   const_iterator end() const { return const_iterator(this, next_id_); }
 
+  // --- Persistence (DESIGN.md §13) ------------------------------------
+
+  /// Appends the arena's canonical serialization to `out`: the id
+  /// bounds plus every live segment verbatim (metadata records,
+  /// composition slab, text slab — including popped-but-unreclaimed head
+  /// records, which positional lookup needs). The free list is a cache
+  /// and is deliberately not persisted. Call only between epochs.
+  void SerializeTo(std::string* out) const;
+
+  /// Rebuilds the arena from SerializeTo bytes. Requires a freshly
+  /// constructed arena (FailedPrecondition otherwise); typed IoError on
+  /// truncated or malformed input. Byte gauges are recomputed from the
+  /// restored slabs, so document_bytes() may legitimately differ from
+  /// the serializing arena's figure (capacity history is not state).
+  Status DeserializeFrom(std::string_view bytes);
+
   // --- Memory gauges (DESIGN.md §8) -----------------------------------
 
   /// Live segments currently backing the window (excluding the free list).

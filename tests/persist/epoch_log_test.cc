@@ -1,0 +1,196 @@
+// The write-ahead epoch log (persist/epoch_log.h): appended SimEpochs
+// round-trip byte-exactly through ParseEpochLog, torn tails behave per
+// TornTailPolicy, and interior damage fails with the typed Status the
+// recovery protocol keys on.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "persist/epoch_log.h"
+#include "persist/wire.h"
+#include "sim/event_stream.h"
+#include "testing/builders.h"
+
+namespace ita::persist {
+namespace {
+
+using ::ita::testing::MakeDoc;
+using ::ita::testing::MakeQuery;
+
+/// A representative epoch exercising every field of the record payload.
+sim::SimEpoch FullEpoch(std::uint64_t index) {
+  sim::SimEpoch epoch;
+  epoch.index = index;
+  epoch.unregister = {QueryId(3), QueryId(1)};
+  epoch.register_ids = {QueryId(7), QueryId(8)};
+  epoch.register_queries = {MakeQuery(2, {{5, 0.5}, {9, 1.25}}),
+                            MakeQuery(4, {{2, 0.75}})};
+  epoch.batch.push_back(MakeDoc({{5, 0.5}, {11, 2.0}}, Timestamp(100 + index)));
+  epoch.batch.push_back(MakeDoc({{9, 1.0}}, Timestamp(101 + index)));
+  epoch.batch.back().token_count = 17;
+  epoch.has_advance = true;
+  epoch.advance_to = Timestamp(200 + index);
+  return epoch;
+}
+
+/// Equality via the canonical serialization — the same identity the
+/// stream fingerprint uses.
+std::string Canonical(const sim::SimEpoch& epoch) {
+  std::string bytes;
+  sim::SerializeEpoch(epoch, &bytes);
+  return bytes;
+}
+
+TEST(EpochLogTest, RoundTripsRecords) {
+  EpochLog log;
+  EXPECT_TRUE(log.empty());
+  std::vector<sim::SimEpoch> want;
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    want.push_back(FullEpoch(i));
+    log.Append(want.back());
+  }
+  EXPECT_EQ(log.records(), 5u);
+  EXPECT_FALSE(log.empty());
+
+  const auto got = ParseEpochLog(log.bytes(), TornTailPolicy::kFail);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  ASSERT_EQ(got->size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(Canonical((*got)[i]), Canonical(want[i])) << "record " << i;
+  }
+}
+
+TEST(EpochLogTest, EmptyAndAdvanceOnlyEpochsRoundTrip) {
+  EpochLog log;
+  sim::SimEpoch empty;
+  empty.index = 42;
+  log.Append(empty);
+  sim::SimEpoch advance_only;
+  advance_only.index = 43;
+  advance_only.has_advance = true;
+  advance_only.advance_to = 999;
+  log.Append(advance_only);
+
+  const auto got = ParseEpochLog(log.bytes(), TornTailPolicy::kFail);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  ASSERT_EQ(got->size(), 2u);
+  EXPECT_EQ(Canonical((*got)[0]), Canonical(empty));
+  EXPECT_EQ(Canonical((*got)[1]), Canonical(advance_only));
+}
+
+TEST(EpochLogTest, ClearResetsTheLog) {
+  EpochLog log;
+  log.Append(FullEpoch(0));
+  log.Clear();
+  EXPECT_TRUE(log.empty());
+  EXPECT_EQ(log.records(), 0u);
+  EXPECT_TRUE(log.bytes().empty());
+  const auto got = ParseEpochLog(log.bytes(), TornTailPolicy::kFail);
+  ASSERT_TRUE(got.ok());
+  EXPECT_TRUE(got->empty());
+}
+
+TEST(EpochLogTest, TornTailTruncatesOrFailsPerPolicy) {
+  EpochLog log;
+  log.Append(FullEpoch(0));
+  log.Append(FullEpoch(1));
+  const std::size_t intact = log.bytes().size();
+  log.Append(FullEpoch(2));
+
+  // Tear every possible number of bytes off the final record (tearing
+  // ALL of it leaves a valid shorter log, so stop one short): kTruncate
+  // always yields exactly the two intact records, kFail always refuses
+  // with the torn-record IoError.
+  for (std::size_t cut = 1; cut < log.bytes().size() - intact; ++cut) {
+    const std::string_view torn =
+        std::string_view(log.bytes()).substr(0, log.bytes().size() - cut);
+    const auto truncated = ParseEpochLog(torn, TornTailPolicy::kTruncate);
+    ASSERT_TRUE(truncated.ok()) << "cut=" << cut;
+    EXPECT_EQ(truncated->size(), 2u) << "cut=" << cut;
+
+    const Status failed = ParseEpochLog(torn, TornTailPolicy::kFail).status();
+    ASSERT_TRUE(failed.IsIoError()) << "cut=" << cut << ": " << failed.ToString();
+    EXPECT_NE(failed.message().find("torn final log record"), std::string::npos);
+  }
+}
+
+TEST(EpochLogTest, TearTailHelperMatchesManualTruncation) {
+  EpochLog log;
+  log.Append(FullEpoch(0));
+  log.Append(FullEpoch(1));
+  const std::size_t before = log.bytes().size();
+  log.TearTail(3);
+  EXPECT_EQ(log.bytes().size(), before - 3);
+  const auto got = ParseEpochLog(log.bytes(), TornTailPolicy::kTruncate);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->size(), 1u);
+}
+
+TEST(EpochLogTest, ChecksumDamagedFinalRecordIsTorn) {
+  // A checksum-failing FINAL record is indistinguishable from a crash
+  // mid-payload-write: kTruncate drops it, kFail reports it torn.
+  EpochLog log;
+  log.Append(FullEpoch(0));
+  log.Append(FullEpoch(1));
+  std::string bytes(log.bytes());
+  bytes[bytes.size() - 1] ^= 0x10;  // inside the final record's payload
+
+  const auto truncated = ParseEpochLog(bytes, TornTailPolicy::kTruncate);
+  ASSERT_TRUE(truncated.ok());
+  EXPECT_EQ(truncated->size(), 1u);
+  EXPECT_TRUE(ParseEpochLog(bytes, TornTailPolicy::kFail).status().IsIoError());
+}
+
+TEST(EpochLogTest, InteriorChecksumDamageIsInternalUnderBothPolicies) {
+  EpochLog log;
+  log.Append(FullEpoch(0));
+  const std::size_t first_record = log.bytes().size();
+  log.Append(FullEpoch(1));
+  std::string bytes(log.bytes());
+  bytes[first_record - 1] ^= 0x10;  // inside the FIRST record's payload
+
+  for (const TornTailPolicy policy :
+       {TornTailPolicy::kFail, TornTailPolicy::kTruncate}) {
+    const Status status = ParseEpochLog(bytes, policy).status();
+    ASSERT_TRUE(status.IsInternal()) << status.ToString();
+    EXPECT_NE(status.message().find("checksum mismatch"), std::string::npos);
+  }
+}
+
+TEST(EpochLogTest, UnknownRecordTypeIsInvalidArgument) {
+  EpochLog log;
+  log.Append(FullEpoch(0));
+  std::string bytes(log.bytes());
+  WireWriter w(&bytes);
+  w.PutU8(99);  // not kEpochRecordType
+  w.PutU64(0);
+  w.PutU64(Fnv1a(""));
+  const Status status =
+      ParseEpochLog(bytes, TornTailPolicy::kTruncate).status();
+  EXPECT_TRUE(status.IsInvalidArgument()) << status.ToString();
+}
+
+TEST(EpochLogTest, MalformedPayloadIsInternal) {
+  // A record whose frame and checksum are fine but whose payload is not
+  // a SimEpoch: corruption proper, never silently swallowed.
+  std::string payload = "not an epoch";
+  std::string bytes;
+  WireWriter w(&bytes);
+  w.PutU8(kEpochRecordType);
+  w.PutU64(payload.size());
+  w.PutU64(Fnv1a(payload));
+  bytes.append(payload);
+  // Append a valid record after it so the bad one is interior.
+  {
+    EpochLog log;
+    log.Append(FullEpoch(1));
+    bytes.append(log.bytes());
+  }
+  const Status status = ParseEpochLog(bytes, TornTailPolicy::kFail).status();
+  EXPECT_TRUE(status.IsInternal()) << status.ToString();
+}
+
+}  // namespace
+}  // namespace ita::persist

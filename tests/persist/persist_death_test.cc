@@ -1,0 +1,33 @@
+// The persistence layer's programmer-error contracts die loudly: a null
+// output buffer is an ITA_CHECK in every build; the section-name DCHECKs
+// fire in debug builds (compiled out under NDEBUG, so those cases are
+// guarded — corruption of DATA, by contrast, always returns a typed
+// Status and is covered by corruption_test.cc).
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "persist/snapshot.h"
+
+namespace ita::persist {
+namespace {
+
+TEST(PersistDeathTest, NullOutputBufferAborts) {
+  EXPECT_DEATH({ SnapshotWriter writer(nullptr); }, "Check failed");
+}
+
+#ifndef NDEBUG
+TEST(PersistDeathTest, EmptySectionNameAborts) {
+  EXPECT_DEATH(
+      {
+        std::string bytes;
+        SnapshotWriter writer(&bytes);
+        writer.AddSection("", "payload");
+      },
+      "Check failed");
+}
+#endif
+
+}  // namespace
+}  // namespace ita::persist

@@ -1,0 +1,149 @@
+// Exact-layout round-trips of the individual snapshot sections: the
+// strategy section ("ita/state" — SlotMap occupancy incl. LIFO-reused
+// slots, per-slot thresholds, result lists, tier flags) and the arena
+// ring ("server/arena") must re-serialize BYTE-IDENTICALLY after a
+// restore — the strong form of "same state", immune to behavioral
+// coincidence. (The "server/core" section is exempt: its capacity-based
+// memory gauges legitimately differ across a rebuild.)
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/ita_server.h"
+#include "persist/snapshot.h"
+#include "stream/window.h"
+#include "testing/builders.h"
+
+namespace ita {
+namespace {
+
+using ::ita::testing::MakeDoc;
+using ::ita::testing::MakeQuery;
+
+std::string CheckpointOf(const ContinuousSearchServer& server) {
+  std::string bytes;
+  persist::SnapshotWriter writer(&bytes);
+  EXPECT_TRUE(server.Checkpoint(writer).ok());
+  return bytes;
+}
+
+/// Restores a fresh twin from `bytes` and expects the named sections to
+/// re-serialize byte-identically.
+void ExpectSectionsStable(const std::string& bytes, const ItaTuning& tuning,
+                          const WindowSpec& window) {
+  auto reader = persist::SnapshotReader::Open(bytes);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  ItaServer restored({.window = window}, tuning);
+  ASSERT_TRUE(restored.Restore(*reader).ok());
+
+  const std::string again = CheckpointOf(restored);
+  auto reread = persist::SnapshotReader::Open(again);
+  ASSERT_TRUE(reread.ok()) << reread.status().ToString();
+  for (const char* section : {"ita/state", "server/arena"}) {
+    const auto want = reader->Section(section);
+    const auto got = reread->Section(section);
+    ASSERT_TRUE(want.ok() && got.ok()) << section;
+    EXPECT_EQ(*got, *want) << "section '" << section
+                           << "' changed across a restore";
+  }
+}
+
+TEST(SectionRoundTripTest, SlotMapWithLifoReusedSlotsReserializesExactly) {
+  ItaServer server({.window = WindowSpec::CountBased(16)});
+  // Build a slab with holes and LIFO reuse: register 6, erase 3 (free
+  // list order matters), register 2 more (they pop the most recently
+  // freed slots), erase 1 again — the persisted free list must replay
+  // this exact layout.
+  std::vector<QueryId> ids;
+  for (int i = 0; i < 6; ++i) {
+    const auto id =
+        server.RegisterQuery(MakeQuery(1 + i % 3, {{TermId(1 + i), 1.0}}));
+    ASSERT_TRUE(id.ok());
+    ids.push_back(*id);
+  }
+  for (const int victim : {1, 3, 4}) {
+    ASSERT_TRUE(server.UnregisterQuery(ids[victim]).ok());
+  }
+  for (int i = 0; i < 2; ++i) {
+    const auto id = server.RegisterQuery(MakeQuery(2, {{TermId(10 + i), 0.5}}));
+    ASSERT_TRUE(id.ok());
+    ids.push_back(*id);
+  }
+  ASSERT_TRUE(server.UnregisterQuery(ids[0]).ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(
+        server.Ingest(MakeDoc({{TermId(1 + i % 8), 0.4}}, Timestamp(i))).ok());
+  }
+  ExpectSectionsStable(CheckpointOf(server), {}, WindowSpec::CountBased(16));
+}
+
+TEST(SectionRoundTripTest, ThresholdStateReserializesExactly) {
+  // Multi-term queries with populated result lists: per-slot theta
+  // arrays, theta epochs, tau and the best-first result order all live
+  // in ita/state and must survive the rebuild of the threshold trees.
+  ItaServer server({.window = WindowSpec::CountBased(6)});
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(server
+                    .RegisterQuery(MakeQuery(
+                        2, {{TermId(1), 0.5 + 0.1 * i}, {TermId(2 + i), 1.0}}))
+                    .ok());
+  }
+  for (int i = 0; i < 15; ++i) {  // rolls the window: refills + expiries
+    ASSERT_TRUE(server
+                    .Ingest(MakeDoc({{TermId(1), 0.2 + 0.04 * i},
+                                     {TermId(2 + i % 4), 0.9}},
+                                    Timestamp(i)))
+                    .ok());
+  }
+  ExpectSectionsStable(CheckpointOf(server), {}, WindowSpec::CountBased(6));
+}
+
+TEST(SectionRoundTripTest, HotTierFlagsSurviveTheRoundTrip) {
+  // An eager tier policy promotes the flooded term; the restored server
+  // must come back with the term still hot (stats gauge + exact bytes).
+  ItaTuning tuning;
+  tuning.tier.promote_ema = 4.0;
+  tuning.tier.alpha = 1.0;
+  ItaServer server({.window = WindowSpec::CountBased(32)}, tuning);
+  ASSERT_TRUE(server.RegisterQuery(MakeQuery(3, {{TermId(7), 1.0}})).ok());
+  // Batch epochs: the tier EMA feeds off per-epoch batch runs (the
+  // per-event path records no term work).
+  for (int e = 0; e < 8; ++e) {
+    std::vector<Document> batch;
+    for (int i = 0; i < 6; ++i) {
+      batch.push_back(
+          MakeDoc({{TermId(7), 0.3 + 0.01 * (6 * e + i)}}, Timestamp(6 * e + i)));
+    }
+    ASSERT_TRUE(server.IngestBatch(std::move(batch)).ok());
+  }
+  ASSERT_GT(server.stats().hot_tier_terms, 0u)
+      << "tier policy never promoted — the round-trip would be vacuous";
+
+  const std::string bytes = CheckpointOf(server);
+  auto reader = persist::SnapshotReader::Open(bytes);
+  ASSERT_TRUE(reader.ok());
+  ItaServer restored({.window = WindowSpec::CountBased(32)}, tuning);
+  ASSERT_TRUE(restored.Restore(*reader).ok());
+  EXPECT_EQ(restored.stats().hot_tier_terms, server.stats().hot_tier_terms);
+  EXPECT_EQ(restored.stats().tier_promotions, server.stats().tier_promotions);
+  ExpectSectionsStable(bytes, tuning, WindowSpec::CountBased(32));
+}
+
+TEST(SectionRoundTripTest, ArenaRingWithFreedSegmentsReserializesExactly) {
+  // Tiny segments force a multi-segment ring; rolling the window far
+  // past the first segments frees them, leaving id gaps below head.
+  ItaServer server({.window = WindowSpec::CountBased(4)});
+  ASSERT_TRUE(server.RegisterQuery(MakeQuery(2, {{TermId(1), 1.0}})).ok());
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(server
+                    .Ingest(MakeDoc({{TermId(1 + i % 2), 0.5}, {TermId(3), 0.2}},
+                                    Timestamp(i)))
+                    .ok());
+  }
+  ExpectSectionsStable(CheckpointOf(server), {}, WindowSpec::CountBased(4));
+}
+
+}  // namespace
+}  // namespace ita

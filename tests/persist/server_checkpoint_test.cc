@@ -1,0 +1,186 @@
+// The Checkpoint/Restore seam on the sequential servers (core/server.h):
+// a restored server answers every query identically, carries the
+// persisted counters forward, and keeps tracking the stream in lockstep
+// with the original; every precondition violation fails with the typed
+// Status the seam documents.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/ita_server.h"
+#include "core/naive_server.h"
+#include "persist/snapshot.h"
+#include "stream/window.h"
+#include "testing/builders.h"
+
+namespace ita {
+namespace {
+
+using ::ita::testing::MakeDoc;
+using ::ita::testing::MakeQuery;
+
+/// Registers three queries and streams enough documents to roll the
+/// count-based window (expirations included).
+template <typename Server>
+std::vector<QueryId> Populate(Server& server) {
+  std::vector<QueryId> ids;
+  for (const Query& query :
+       {MakeQuery(2, {{1, 1.0}, {2, 0.5}}), MakeQuery(3, {{2, 1.0}}),
+        MakeQuery(1, {{3, 2.0}, {1, 0.25}})}) {
+    auto id = server.RegisterQuery(query);
+    EXPECT_TRUE(id.ok()) << id.status().ToString();
+    ids.push_back(*id);
+  }
+  for (int i = 0; i < 12; ++i) {
+    const double w = 0.1 + 0.07 * i;
+    // Disjoint term ranges (1..3 and 4..5): a composition must never
+    // repeat a term.
+    auto id = server.Ingest(
+        MakeDoc({{TermId(1 + i % 3), w}, {TermId(4 + i % 2), 1.0 - w / 2}},
+                Timestamp(10 + i)));
+    EXPECT_TRUE(id.ok()) << id.status().ToString();
+  }
+  return ids;
+}
+
+std::string CheckpointOf(const ContinuousSearchServer& server) {
+  std::string bytes;
+  persist::SnapshotWriter writer(&bytes);
+  EXPECT_TRUE(server.Checkpoint(writer).ok());
+  return bytes;
+}
+
+Status RestoreFrom(ContinuousSearchServer& server, const std::string& bytes) {
+  auto reader = persist::SnapshotReader::Open(bytes);
+  if (!reader.ok()) return reader.status();
+  return server.Restore(*reader);
+}
+
+TEST(ServerCheckpointTest, ItaRoundTripPreservesResultsAndStats) {
+  ItaServer original({.window = WindowSpec::CountBased(8)});
+  const std::vector<QueryId> ids = Populate(original);
+  const std::string bytes = CheckpointOf(original);
+
+  ItaServer restored({.window = WindowSpec::CountBased(8)});
+  ASSERT_TRUE(RestoreFrom(restored, bytes).ok());
+
+  EXPECT_EQ(restored.query_count(), original.query_count());
+  EXPECT_EQ(restored.window_size(), original.window_size());
+  for (const QueryId id : ids) {
+    const auto got = restored.Result(id);
+    const auto want = original.Result(id);
+    ASSERT_TRUE(got.ok() && want.ok());
+    EXPECT_EQ(*got, *want) << "query " << id;
+  }
+  // Counters travel with the snapshot (gauges are recomputed).
+  const ServerStats a = restored.stats();
+  const ServerStats b = original.stats();
+  EXPECT_EQ(a.documents_ingested, b.documents_ingested);
+  EXPECT_EQ(a.documents_expired, b.documents_expired);
+  EXPECT_EQ(a.scores_computed, b.scores_computed);
+  EXPECT_EQ(a.index_entries_inserted, b.index_entries_inserted);
+  EXPECT_EQ(a.registered_queries, b.registered_queries);
+  EXPECT_EQ(a.threshold_entries, b.threshold_entries);
+}
+
+TEST(ServerCheckpointTest, RestoredServerTracksTheStreamInLockstep) {
+  ItaServer original({.window = WindowSpec::CountBased(8)});
+  const std::vector<QueryId> ids = Populate(original);
+  ItaServer restored({.window = WindowSpec::CountBased(8)});
+  ASSERT_TRUE(RestoreFrom(restored, CheckpointOf(original)).ok());
+
+  // Both servers now consume the identical continuation — including
+  // expirations, a fresh registration and an unregistration — and must
+  // stay indistinguishable throughout.
+  for (ItaServer* server : {&original, &restored}) {
+    ASSERT_TRUE(server->UnregisterQuery(ids[1]).ok());
+    const auto next = server->RegisterQuery(MakeQuery(2, {{2, 1.5}}));
+    ASSERT_TRUE(next.ok());
+    // Engine-assigned ids continue from the persisted next_query_id.
+    EXPECT_EQ(*next, ids.back() + 1);
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_TRUE(server
+                      ->Ingest(MakeDoc({{TermId(1 + i % 4), 0.3 + 0.05 * i}},
+                                       Timestamp(100 + i)))
+                      .ok());
+    }
+  }
+  for (const QueryId id : {ids[0], ids[2], QueryId(ids.back() + 1)}) {
+    const auto got = restored.Result(id);
+    const auto want = original.Result(id);
+    ASSERT_TRUE(got.ok() && want.ok());
+    EXPECT_EQ(*got, *want) << "query " << id;
+  }
+}
+
+TEST(ServerCheckpointTest, NaiveRoundTripsThroughTheDefaultRecomputePath) {
+  // NaiveServer has no strategy section: the base-class default restore
+  // re-registers every query and recomputes, which for a deterministic
+  // strategy lands on the identical observable state.
+  NaiveServer original({.window = WindowSpec::CountBased(8)});
+  const std::vector<QueryId> ids = Populate(original);
+  NaiveServer restored({.window = WindowSpec::CountBased(8)});
+  ASSERT_TRUE(RestoreFrom(restored, CheckpointOf(original)).ok());
+  for (const QueryId id : ids) {
+    const auto got = restored.Result(id);
+    const auto want = original.Result(id);
+    ASSERT_TRUE(got.ok() && want.ok());
+    EXPECT_EQ(*got, *want) << "query " << id;
+  }
+}
+
+TEST(ServerCheckpointTest, RestoreIntoUsedServerIsFailedPrecondition) {
+  ItaServer original({.window = WindowSpec::CountBased(8)});
+  Populate(original);
+  const std::string bytes = CheckpointOf(original);
+
+  ItaServer used({.window = WindowSpec::CountBased(8)});
+  ASSERT_TRUE(used.RegisterQuery(MakeQuery(1, {{1, 1.0}})).ok());
+  const Status status = RestoreFrom(used, bytes);
+  EXPECT_TRUE(status.IsFailedPrecondition()) << status.ToString();
+  EXPECT_NE(status.message().find("freshly constructed"), std::string::npos);
+}
+
+TEST(ServerCheckpointTest, StrategyNameMismatchIsFailedPrecondition) {
+  ItaServer original({.window = WindowSpec::CountBased(8)});
+  Populate(original);
+  NaiveServer wrong({.window = WindowSpec::CountBased(8)});
+  const Status status = RestoreFrom(wrong, CheckpointOf(original));
+  EXPECT_TRUE(status.IsFailedPrecondition()) << status.ToString();
+  EXPECT_NE(status.message().find("'ita'"), std::string::npos);
+}
+
+TEST(ServerCheckpointTest, WindowMismatchIsFailedPrecondition) {
+  ItaServer original({.window = WindowSpec::CountBased(8)});
+  Populate(original);
+  const std::string bytes = CheckpointOf(original);
+
+  ItaServer wider({.window = WindowSpec::CountBased(16)});
+  EXPECT_TRUE(RestoreFrom(wider, bytes).IsFailedPrecondition());
+  ItaServer timed({.window = WindowSpec::TimeBased(100)});
+  EXPECT_TRUE(RestoreFrom(timed, bytes).IsFailedPrecondition());
+}
+
+TEST(ServerCheckpointTest, MissingStrategySectionIsNotFound) {
+  ItaServer original({.window = WindowSpec::CountBased(8)});
+  Populate(original);
+  const std::string full = CheckpointOf(original);
+  const auto reader = persist::SnapshotReader::Open(full);
+  ASSERT_TRUE(reader.ok());
+
+  // Rebuild the container without the strategy's own section.
+  std::string partial;
+  persist::SnapshotWriter writer(&partial);
+  for (const std::string& name : reader->SectionNames()) {
+    if (name == "ita/state") continue;
+    writer.AddSection(name, *reader->Section(name));
+  }
+  ItaServer restored({.window = WindowSpec::CountBased(8)});
+  const Status status = RestoreFrom(restored, partial);
+  EXPECT_TRUE(status.IsNotFound()) << status.ToString();
+}
+
+}  // namespace
+}  // namespace ita

@@ -1,0 +1,138 @@
+// ShardedServer snapshots (exec/sharded_server.h): the epoch-barrier
+// checkpoint captures the shared arena, the placement map, the
+// rebalancer state and every shard's nested container; a restored
+// engine answers identically, keeps the same placement, and continues
+// the stream (including future rebalancing decisions) in lockstep.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "exec/sharded_server.h"
+#include "stream/window.h"
+#include "testing/builders.h"
+
+namespace ita::exec {
+namespace {
+
+using ::ita::testing::MakeDoc;
+using ::ita::testing::MakeQuery;
+
+ShardedServerOptions TwoShards() {
+  ShardedServerOptions options;
+  options.window = WindowSpec::CountBased(8);
+  options.shards = 2;
+  options.threads = 2;
+  return options;
+}
+
+std::vector<QueryId> Populate(ShardedServer& server) {
+  std::vector<QueryId> ids;
+  for (int i = 0; i < 5; ++i) {
+    const auto id = server.RegisterQuery(
+        MakeQuery(2, {{TermId(1 + i % 3), 1.0}, {TermId(5), 0.5 + 0.1 * i}}));
+    EXPECT_TRUE(id.ok()) << id.status().ToString();
+    ids.push_back(*id);
+  }
+  for (int e = 0; e < 4; ++e) {
+    std::vector<Document> batch;
+    for (int i = 0; i < 3; ++i) {
+      batch.push_back(MakeDoc({{TermId(1 + (e + i) % 4), 0.4 + 0.05 * i},
+                               {TermId(5), 0.9}},
+                              Timestamp(10 * e + i)));
+    }
+    EXPECT_TRUE(server.IngestBatch(std::move(batch)).ok());
+  }
+  return ids;
+}
+
+TEST(ShardedCheckpointTest, RoundTripPreservesResultsAndPlacement) {
+  ShardedServer original(TwoShards());
+  const std::vector<QueryId> ids = Populate(original);
+  std::string bytes;
+  ASSERT_TRUE(original.Checkpoint(&bytes).ok());
+
+  ShardedServer restored(TwoShards());
+  ASSERT_TRUE(restored.Restore(bytes).ok());
+
+  EXPECT_EQ(restored.query_count(), original.query_count());
+  EXPECT_EQ(restored.window_size(), original.window_size());
+  for (std::size_t s = 0; s < 2; ++s) {
+    EXPECT_EQ(restored.shard_query_count(s), original.shard_query_count(s))
+        << "shard " << s;
+  }
+  for (const QueryId id : ids) {
+    const auto got = restored.Result(id);
+    const auto want = original.Result(id);
+    ASSERT_TRUE(got.ok() && want.ok());
+    EXPECT_EQ(*got, *want) << "query " << id;
+  }
+  ASSERT_TRUE(restored.ValidatePruningMetadata().ok());
+}
+
+TEST(ShardedCheckpointTest, RestoredEngineTracksTheStreamInLockstep) {
+  ShardedServer original(TwoShards());
+  const std::vector<QueryId> ids = Populate(original);
+  std::string bytes;
+  ASSERT_TRUE(original.Checkpoint(&bytes).ok());
+  ShardedServer restored(TwoShards());
+  ASSERT_TRUE(restored.Restore(bytes).ok());
+
+  for (ShardedServer* server : {&original, &restored}) {
+    ASSERT_TRUE(server->UnregisterQuery(ids[0]).ok());
+    const auto next = server->RegisterQuery(MakeQuery(3, {{TermId(2), 2.0}}));
+    ASSERT_TRUE(next.ok());
+    EXPECT_EQ(*next, ids.back() + 1);  // persisted next_query_id continues
+    for (int e = 0; e < 3; ++e) {
+      std::vector<Document> batch = {
+          MakeDoc({{TermId(2), 0.7}, {TermId(3), 0.2}}, Timestamp(100 + e))};
+      ASSERT_TRUE(server->IngestBatch(std::move(batch)).ok());
+    }
+  }
+  for (QueryId id = ids[1]; id <= ids.back() + 1; ++id) {
+    const auto got = restored.Result(id);
+    const auto want = original.Result(id);
+    ASSERT_TRUE(got.ok() && want.ok()) << "query " << id;
+    EXPECT_EQ(*got, *want) << "query " << id;
+  }
+}
+
+TEST(ShardedCheckpointTest, ShardCountMismatchIsFailedPrecondition) {
+  ShardedServer original(TwoShards());
+  Populate(original);
+  std::string bytes;
+  ASSERT_TRUE(original.Checkpoint(&bytes).ok());
+
+  ShardedServerOptions four = TwoShards();
+  four.shards = 4;
+  ShardedServer wrong(four);
+  const Status status = wrong.Restore(bytes);
+  EXPECT_TRUE(status.IsFailedPrecondition()) << status.ToString();
+}
+
+TEST(ShardedCheckpointTest, RestoreIntoUsedEngineIsFailedPrecondition) {
+  ShardedServer original(TwoShards());
+  Populate(original);
+  std::string bytes;
+  ASSERT_TRUE(original.Checkpoint(&bytes).ok());
+
+  ShardedServer used(TwoShards());
+  Populate(used);
+  EXPECT_TRUE(used.Restore(bytes).IsFailedPrecondition());
+}
+
+TEST(ShardedCheckpointTest, CorruptNestedShardSectionFailsRestore) {
+  ShardedServer original(TwoShards());
+  Populate(original);
+  std::string bytes;
+  ASSERT_TRUE(original.Checkpoint(&bytes).ok());
+  // Damage the container tail — inside the last shard's nested
+  // container. The outer checksum localizes it; Restore must refuse.
+  bytes[bytes.size() - 3] ^= 0x11;
+  ShardedServer restored(TwoShards());
+  EXPECT_FALSE(restored.Restore(bytes).ok());
+}
+
+}  // namespace
+}  // namespace ita::exec

@@ -12,6 +12,8 @@
 #include <string>
 #include <vector>
 
+#include "sim/crash_restore.h"
+#include "sim/event_stream.h"
 #include "sim/runner.h"
 #include "sim/scenario.h"
 
@@ -70,6 +72,48 @@ TEST(RegressionSeedsTest, CorpusReplaysClean) {
     const auto report = runner.Run();
     EXPECT_TRUE(report.ok())
         << "regression seed regressed: " << report.status().ToString();
+  }
+}
+
+TEST(RegressionSeedsTest, CorpusReplaysThroughTheRestorePath) {
+  // Every corpus stream also replays through a kill/restore cycle — a
+  // seed that once exposed an engine bug is exactly the stream most
+  // likely to expose a serialization gap. One mid-stream kill per entry,
+  // phase and cadence varied deterministically across the corpus.
+  const std::vector<SeedEntry> corpus =
+      LoadCorpus(std::string(ITA_TESTS_DIR) + "/testing/regression_seeds.txt");
+  ASSERT_FALSE(corpus.empty());
+
+  constexpr CrashPhase kPhases[] = {
+      CrashPhase::kBeforeLogAppend,
+      CrashPhase::kTornLogAppend,
+      CrashPhase::kAfterLogAppend,
+      CrashPhase::kAfterApply,
+  };
+  std::size_t at = 0;
+  for (const SeedEntry& entry : corpus) {
+    const ScenarioFactory* factory = FindScenario(entry.scenario);
+    ASSERT_NE(factory, nullptr);
+    ScenarioSpec spec = factory->make(entry.seed);
+    spec.events = entry.events;
+
+    EventStreamGenerator generator(spec);
+    while (generator.NextEpoch().has_value()) {
+    }
+    const std::uint64_t epochs = generator.epochs_generated();
+    ASSERT_GT(epochs, 1u) << entry.scenario;
+
+    CrashRestoreOptions options;
+    options.shards = at % 2 == 0 ? 0 : 2;  // alternate sequential/sharded
+    options.snapshot_every_epochs = 3 + at % 5;
+    options.crash_epoch = epochs / 2;
+    options.crash_phase = kPhases[at % 4];
+    ++at;
+
+    CrashRestoreRunner runner(spec, options);
+    const auto report = runner.Run();
+    EXPECT_TRUE(report.ok())
+        << "restore path regressed: " << report.status().ToString();
   }
 }
 
