@@ -1,0 +1,105 @@
+// Live resharding pause cost (DESIGN.md §14): wall time the stream is
+// stalled while ShardedServer::Reshard rebuilds the fleet S→S′ over the
+// paper's steady-state workload. Each iteration reshards away and back
+// (S→S′→S), so the fixture returns to its cached shape; the reported
+// pause is the engine's own reshard_stats() accounting — the cost a
+// deployment pays at the barrier, dominated by re-registering every
+// query (one exact top-k recomputation each over the N-document
+// window). A checkpoint + cross-shape-restore round trip over the same
+// engine is measured alongside: the persistence path pays serialization
+// on top of the same remap, so the gap between the two is the price of
+// going through bytes.
+//
+// Baselines: bench/results/reshard_baseline.json.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <string>
+
+#include "exec/sharded_server.h"
+#include "harness/stream_bench.h"
+
+namespace ita {
+namespace bench {
+namespace {
+
+/// The paper's query-heavy steady state, small enough that window
+/// prefill doesn't dominate fixture setup across the shape axis.
+StreamWorkload ReshardWorkload(std::size_t shards) {
+  StreamWorkload workload;
+  workload.n_queries = 1'000;
+  workload.query_max_term = 200;
+  workload.window = 4'096;
+  workload.batch_size = 256;
+  workload.shards = shards;
+  return workload;
+}
+
+/// One S→S′→S round trip per iteration; the pause counter (engine
+/// accounting, not iteration wall time) is the reported metric.
+void BM_LiveReshardPause(benchmark::State& state) {
+  const auto from = static_cast<std::size_t>(state.range(0));
+  const auto to = static_cast<std::size_t>(state.range(1));
+  StreamBench& bench =
+      StreamBench::Cached(StreamBench::Strategy::kSharded, ReshardWorkload(from));
+  exec::ShardedServer& server = *bench.sharded();
+
+  const exec::ShardedServer::ReshardStats before = server.reshard_stats();
+  for (auto _ : state) {
+    ITA_CHECK(server.Reshard(to).ok());
+    ITA_CHECK(server.Reshard(from).ok());
+    // Stream an epoch so consecutive reshards never degenerate into
+    // remapping an engine the previous iteration just built.
+    bench.StepBatch();
+  }
+  const exec::ShardedServer::ReshardStats after = server.reshard_stats();
+  const std::uint64_t reshards = after.reshards - before.reshards;
+  if (reshards > 0) {
+    state.counters["pause_us_per_reshard"] =
+        static_cast<double>(after.total_pause_nanos - before.total_pause_nanos) /
+        1e3 / static_cast<double>(reshards);
+    state.counters["queries_remapped_per_reshard"] =
+        static_cast<double>(after.queries_remapped - before.queries_remapped) /
+        static_cast<double>(reshards);
+  }
+}
+BENCHMARK(BM_LiveReshardPause)
+    ->Args({4, 2})
+    ->Args({2, 7})
+    ->Args({1, 4})
+    ->Unit(benchmark::kMillisecond);
+
+/// The persistence route to the same shape change: Checkpoint at S,
+/// Restore the bytes into a fresh S′ engine (the cross-shape remap).
+/// The fixture engine itself is never replaced — the fresh engines are
+/// scratch — so the cached stream state stays intact.
+void BM_CheckpointRestoreReshard(benchmark::State& state) {
+  const auto from = static_cast<std::size_t>(state.range(0));
+  const auto to = static_cast<std::size_t>(state.range(1));
+  StreamBench& bench =
+      StreamBench::Cached(StreamBench::Strategy::kSharded, ReshardWorkload(from));
+  exec::ShardedServer& server = *bench.sharded();
+
+  std::uint64_t snapshot_bytes = 0;
+  for (auto _ : state) {
+    std::string bytes;
+    ITA_CHECK(server.Checkpoint(&bytes).ok());
+    snapshot_bytes = bytes.size();
+    exec::ShardedServerOptions options = server.options();
+    options.shards = to;
+    exec::ShardedServer resized(options);
+    ITA_CHECK(resized.Restore(bytes).ok());
+    benchmark::DoNotOptimize(resized.query_count());
+  }
+  state.counters["snapshot_bytes"] = static_cast<double>(snapshot_bytes);
+}
+BENCHMARK(BM_CheckpointRestoreReshard)
+    ->Args({4, 2})
+    ->Args({2, 7})
+    ->Args({1, 4})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace ita

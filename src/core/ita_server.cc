@@ -704,6 +704,20 @@ Status ItaServer::CheckpointStrategy(persist::SnapshotWriter& snapshot) const {
   return Status::OK();
 }
 
+Status ItaServer::OnAdoptWindow() {
+  // Inverted lists are a pure function of the window contents (the same
+  // re-insertion RestoreStrategy runs): index every valid document of
+  // the adopted arena. Impact order is content-determined, so a shard
+  // adopting a window indexes it exactly as if it had ingested it.
+  for (const DocumentView doc : store()) {
+    for (const TermWeight& tw : doc.composition) {
+      catalog_.InsertPosting(catalog_.Ensure(tw.term), doc.id, tw.weight);
+    }
+  }
+  RefreshMemoryGauges();
+  return Status::OK();
+}
+
 Status ItaServer::RestoreStrategy(const persist::SnapshotReader& snapshot) {
   ITA_ASSIGN_OR_RETURN(const std::string_view bytes,
                        snapshot.Section("ita/state"));

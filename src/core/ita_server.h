@@ -174,6 +174,14 @@ class ItaServer : public ContinuousSearchServer {
   /// no threshold search runs, so θ/τ/R come back verbatim.
   Status RestoreStrategy(const persist::SnapshotReader& snapshot) override;
 
+  /// AdoptWindow hook (live resharding, cross-shape restore): rebuilds
+  /// the inverted lists from the already-populated shared arena — the
+  /// same content-determined re-insertion RestoreStrategy performs — so
+  /// the initial top-k searches of subsequently registered queries and
+  /// every later expire phase find the postings they expect. Threshold
+  /// trees stay empty: entries appear per query at registration.
+  Status OnAdoptWindow() override;
+
  private:
   /// == SlotMap<QueryState>::SlotIndex (spelled concretely so the alias
   /// does not force instantiation against the incomplete QueryState).

@@ -132,6 +132,20 @@ StatusOr<Query> ContinuousSearchServer::ExtractQuery(QueryId id) {
   return copy;
 }
 
+Status ContinuousSearchServer::AdoptWindow(Timestamp stream_clock) {
+  if (owns_arena()) {
+    return Status::FailedPrecondition(
+        "only shared-arena embedded servers adopt a window");
+  }
+  if (!queries_.empty() || stats_.documents_ingested != 0 ||
+      stats_.batches_ingested != 0) {
+    return Status::FailedPrecondition(
+        "adopt requires a freshly constructed server");
+  }
+  last_arrival_time_ = std::max(last_arrival_time_, stream_clock);
+  return OnAdoptWindow();
+}
+
 StatusOr<DocId> ContinuousSearchServer::Ingest(Document document) {
   ITA_CHECK(owns_arena())
       << "shared-arena servers are streamed by their epoch driver";
@@ -463,6 +477,67 @@ const Query& ContinuousSearchServer::GetQuery(QueryId id) const {
   const auto it = queries_.find(id);
   ITA_CHECK(it != queries_.end()) << "unknown query id " << id;
   return it->second;
+}
+
+StatusOr<std::vector<std::pair<QueryId, Query>>> ReadQueryRegistry(
+    const persist::SnapshotReader& snapshot) {
+  ITA_ASSIGN_OR_RETURN(const std::string_view core,
+                       snapshot.Section("server/core"));
+  persist::WireReader r(core);
+
+  // The "server/core" prefix up to the registry (the layout Checkpoint
+  // writes): name, window spec, arena-ownership flag, id sequence,
+  // watermark. A cross-shape reader takes none of it as a precondition —
+  // the restoring driver already validated its own meta section.
+  std::string snap_name;
+  ITA_RETURN_NOT_OK(r.ReadString(&snap_name));
+  std::uint8_t kind = 0;
+  std::uint64_t count = 0;
+  std::int64_t duration = 0;
+  bool snap_owned = false;
+  std::uint32_t next_id = 0;
+  std::int64_t last_arrival = 0;
+  ITA_RETURN_NOT_OK(r.ReadU8(&kind));
+  ITA_RETURN_NOT_OK(r.ReadU64(&count));
+  ITA_RETURN_NOT_OK(r.ReadI64(&duration));
+  ITA_RETURN_NOT_OK(r.ReadBool(&snap_owned));
+  ITA_RETURN_NOT_OK(r.ReadU32(&next_id));
+  ITA_RETURN_NOT_OK(r.ReadI64(&last_arrival));
+
+  std::uint64_t n_queries = 0;
+  ITA_RETURN_NOT_OK(r.ReadCount(&n_queries, 16));
+  std::vector<std::pair<QueryId, Query>> registry;
+  registry.reserve(n_queries);
+  for (std::uint64_t i = 0; i < n_queries; ++i) {
+    std::uint32_t id = 0;
+    std::uint32_t k = 0;
+    ITA_RETURN_NOT_OK(r.ReadU32(&id));
+    ITA_RETURN_NOT_OK(r.ReadU32(&k));
+    Query query;
+    query.k = static_cast<int>(k);
+    std::uint64_t n_terms = 0;
+    ITA_RETURN_NOT_OK(r.ReadCount(&n_terms, 12));
+    query.terms.reserve(n_terms);
+    for (std::uint64_t t = 0; t < n_terms; ++t) {
+      TermWeight tw;
+      ITA_RETURN_NOT_OK(r.ReadU32(&tw.term));
+      ITA_RETURN_NOT_OK(r.ReadDouble(&tw.weight));
+      query.terms.push_back(tw);
+    }
+    ITA_RETURN_NOT_OK(ValidateQuery(query));
+    registry.emplace_back(id, std::move(query));
+  }
+  // Checkpoint writes the registry sorted; enforce rather than trust, so
+  // a hand-edited snapshot cannot smuggle a duplicate past the caller.
+  std::sort(registry.begin(), registry.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (std::size_t i = 1; i < registry.size(); ++i) {
+    if (registry[i].first == registry[i - 1].first) {
+      return Status::IoError("snapshot: duplicate query id " +
+                             std::to_string(registry[i].first));
+    }
+  }
+  return registry;
 }
 
 }  // namespace ita

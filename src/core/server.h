@@ -29,6 +29,7 @@
 #include <span>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/stats.h"
@@ -91,6 +92,15 @@ class ContinuousSearchServer : public ServerStrategy {
   /// (re-registration on the target recomputes the exact result over the
   /// current window). Works for every strategy built on this base.
   StatusOr<Query> ExtractQuery(QueryId id) override;
+
+  /// ServerStrategy: primes this FRESHLY constructed shared-arena server
+  /// for a window its driver already populated (live resharding,
+  /// cross-shape restore): adopts `stream_clock` as the arrival watermark
+  /// so batch-time validation continues from the driver's stream clock,
+  /// then runs OnAdoptWindow so the strategy can rebuild per-document
+  /// structures from the arena. FailedPrecondition on an owned-arena
+  /// server or one that has already registered queries or seen an epoch.
+  Status AdoptWindow(Timestamp stream_clock) override;
 
   /// Streams one document into the server: expires documents pushed out of
   /// the window, then processes the arrival. Arrival times must be
@@ -269,6 +279,14 @@ class ContinuousSearchServer : public ServerStrategy {
     return Status::OK();
   }
 
+  /// AdoptWindow hook, called with the shared arena already populated by
+  /// the driver and the watermark adopted. Strategies that keep derived
+  /// per-document structures (ItaServer's inverted postings) rebuild them
+  /// here so later expire phases find every posting they erase. The
+  /// default derives nothing — correct for strategies whose epoch hooks
+  /// recompute from the arena (Oracle, Naive).
+  virtual Status OnAdoptWindow() { return Status::OK(); }
+
   /// Restore hook, called after the base class has restored the arena and
   /// re-emplaced the query catalog (WITHOUT running OnRegisterQuery). The
   /// default recomputes: it re-registers every query ascending by id,
@@ -321,5 +339,17 @@ class ContinuousSearchServer : public ServerStrategy {
   std::vector<DocumentView> expired_scratch_;
   std::vector<DocumentView> arrived_scratch_;
 };
+
+/// Parses the query registry out of the "server/core" section written by
+/// ContinuousSearchServer::Checkpoint, without constructing a server of
+/// the snapshot's shape — the cross-shape restore seam: when
+/// exec::ShardedServer restores a snapshot taken at a different shard
+/// count, it reads each persisted shard's registry here and re-registers
+/// the queries under the new placement. Returns (id, query) pairs sorted
+/// ascending by id; the section's stats tail is ignored. Errors follow
+/// the snapshot taxonomy: NotFound for a missing section, IoError for
+/// truncation or a duplicate id, InvalidArgument for an invalid query.
+StatusOr<std::vector<std::pair<QueryId, Query>>> ReadQueryRegistry(
+    const persist::SnapshotReader& snapshot);
 
 }  // namespace ita

@@ -101,6 +101,21 @@ class ServerStrategy {
     out.clear();
   }
 
+  /// Primes a FRESHLY constructed shard for a shared arena that already
+  /// holds window documents — the shard-lifecycle seam behind live
+  /// resharding and cross-shape restore (exec::ShardedServer::Reshard):
+  /// adopts `stream_clock` as the stream watermark (so batch-time
+  /// validation continues from the driver's clock, not from zero) and a
+  /// strategy that keeps derived per-document structures (ITA's inverted
+  /// postings) rebuilds them from the arena contents, so later expire
+  /// phases find every posting they erase. Must run before any
+  /// RegisterQueryWithId. The default ignores the call — correct only
+  /// for strategies carrying no per-document or stream-clock state.
+  virtual Status AdoptWindow(Timestamp stream_clock) {
+    (void)stream_clock;
+    return Status::OK();
+  }
+
   // --- Epoch phases --------------------------------------------------
 
   /// Validates `batch` (non-empty, non-decreasing arrival times, also

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <string>
 #include <thread>
+#include <unordered_set>
 #include <utility>
 
 #include "common/logging.h"
@@ -52,25 +53,31 @@ RebalanceOptions ApplyRebalanceEnv(RebalanceOptions options) {
 }  // namespace
 
 ShardedServer::ShardedServer(ShardedServerOptions options)
-    : ShardedServer(options, [&options](const ServerOptions& server_options) {
-        return std::make_unique<ItaServer>(server_options, options.tuning);
+    // By-value tuning capture: the stored factory outlives this
+    // constructor call (Reshard replays it), so it must not reference the
+    // parameter.
+    : ShardedServer(options, [tuning = options.tuning](
+                                 const ServerOptions& server_options) {
+        return std::make_unique<ItaServer>(server_options, tuning);
       }) {}
 
 ShardedServer::ShardedServer(ShardedServerOptions options,
                              const ShardFactory& factory)
     : options_(options),
       rebalance_(ApplyRebalanceEnv(options.rebalance)),
+      factory_(factory),
       arena_(std::make_unique<DocumentArena>()),
       scheduler_(PickThreads(options)) {
   ITA_CHECK(options_.shards >= 1) << "a sharded server needs at least one shard";
   ITA_CHECK_OK(options_.window.Validate());
+  ITA_CHECK(factory_ != nullptr) << "a sharded server needs a shard factory";
   shards_.reserve(options_.shards);
   // Every shard reads the engine's arena; none of them owns a window.
   ServerOptions server_options;
   server_options.window = options_.window;
   server_options.shared_arena = arena_.get();
   for (std::size_t s = 0; s < options_.shards; ++s) {
-    shards_.push_back(factory(server_options));
+    shards_.push_back(factory_(server_options));
     ITA_CHECK(shards_.back() != nullptr) << "shard factory returned null";
   }
   shard_busy_micros_.assign(shards_.size(), 0);
@@ -102,9 +109,12 @@ StatusOr<QueryId> ShardedServer::RegisterQuery(Query query) {
 }
 
 Status ShardedServer::UnregisterQuery(QueryId id) {
-  ITA_RETURN_NOT_OK(shards_[ShardOf(id)]->UnregisterQuery(id));
-  placement_.erase(id);
-  return Status::OK();
+  const Status status = shards_[ShardOf(id)]->UnregisterQuery(id);
+  // Drop the placement entry on NotFound too, not just on success: a
+  // stale entry for a dead id would otherwise pin the map forever and
+  // mis-route the extraction passes of later rebalances and reshards.
+  if (status.ok() || status.IsNotFound()) placement_.erase(id);
+  return status;
 }
 
 StatusOr<std::vector<DocId>> ShardedServer::IngestBatch(
@@ -270,6 +280,7 @@ void ShardedServer::ResetStats() {
   load_snapshot_.assign(shards_.size(), 0);
   imbalance_streak_ = 0;
   rebalance_stats_ = RebalanceStats{};
+  reshard_stats_ = ReshardStats{};
   last_epoch_migrations_ = 0;
 }
 
@@ -280,7 +291,8 @@ std::uint64_t ShardedServer::shard_busy_micros(std::size_t shard) const {
 
 void ShardedServer::EnableTracing(std::size_t capacity) {
 #if ITA_OBS_ENABLED
-  trace_ = std::make_unique<obs::EpochTrace>(capacity, shards_.size());
+  trace_capacity_ = std::max<std::size_t>(capacity, 1);
+  trace_ = std::make_unique<obs::EpochTrace>(trace_capacity_, shards_.size());
   task_nanos_scratch_.assign(shards_.size(), 0);
   for (std::size_t s = 0; s < shards_.size(); ++s) {
     shards_[s]->SetPhaseRecorder(trace_->shard_recorder(s));
@@ -291,9 +303,10 @@ void ShardedServer::EnableTracing(std::size_t capacity) {
 }
 
 void ShardedServer::EnableHotTermTracking(std::size_t capacity) {
+  hot_term_capacity_ = std::max<std::size_t>(capacity, 1);
   for (const auto& shard : shards_) {
     if (auto* ita = dynamic_cast<ItaServer*>(shard.get())) {
-      ita->EnableHotTermTracking(capacity);
+      ita->EnableHotTermTracking(hot_term_capacity_);
     }
   }
 }
@@ -436,6 +449,101 @@ void ShardedServer::MaybeRebalance() {
   }
 }
 
+Status ShardedServer::RepartitionQueries(
+    std::vector<std::pair<QueryId, Query>> queries) {
+  for (auto& [id, query] : queries) {
+    const std::size_t home = id % shards_.size();
+    ITA_RETURN_NOT_OK(shards_[home]->RegisterQueryWithId(id, std::move(query)));
+    placement_.emplace(id, static_cast<std::uint32_t>(home));
+  }
+  // Re-registration recomputes an identical top-k, so any change marks it
+  // produced are spurious — drop them, then re-arm tracking to mirror the
+  // engine's listener (a factory-fresh shard starts with tracking off).
+  for (const auto& shard : shards_) {
+    shard->TakeChangedQueries();
+    shard->SetChangeTracking(notifier_.has_listener());
+  }
+  return Status::OK();
+}
+
+Status ShardedServer::Reshard(std::size_t new_shard_count) {
+  if (new_shard_count == 0) {
+    return Status::InvalidArgument("a sharded server needs at least one shard");
+  }
+  if (new_shard_count == shards_.size()) return Status::OK();
+  obs::Timer pause;
+
+  // Extract every live query from the outgoing fleet, ascending by id so
+  // the remap is deterministic. Extraction empties the donors, so the old
+  // shards retire holding no query state.
+  std::vector<QueryId> ids;
+  ids.reserve(placement_.size());
+  for (const auto& [id, shard] : placement_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  std::vector<std::pair<QueryId, Query>> queries;
+  queries.reserve(ids.size());
+  for (const QueryId id : ids) {
+    auto extracted = shards_[ShardOf(id)]->ExtractQuery(id);
+    ITA_RETURN_NOT_OK(extracted.status());
+    queries.emplace_back(id, std::move(*extracted));
+  }
+  const std::size_t remapped = queries.size();
+  placement_.clear();
+
+  // Retire the old fleet and build the new one over the SAME arena — the
+  // window's document bytes never move. Every fresh shard adopts the
+  // populated window (rebuilds its postings, takes the stream watermark)
+  // before any query lands, so initial top-k searches and later expire
+  // phases see a fully indexed window.
+  shards_.clear();
+  options_.shards = new_shard_count;
+  ServerOptions server_options;
+  server_options.window = options_.window;
+  server_options.shared_arena = arena_.get();
+  shards_.reserve(new_shard_count);
+  for (std::size_t s = 0; s < new_shard_count; ++s) {
+    shards_.push_back(factory_(server_options));
+    ITA_CHECK(shards_.back() != nullptr) << "shard factory returned null";
+    ITA_RETURN_NOT_OK(shards_.back()->AdoptWindow(last_arrival_time_));
+  }
+
+  // Driver-side per-shard state resizes to the new width. The load
+  // estimates described shards that no longer exist — they restart from
+  // zero (the snapshots re-seed below, AFTER re-registration, so the
+  // remap's recompute work never counts as epoch load). The lifetime
+  // migration counters survive: a reshard is not a stats reset.
+  shard_busy_micros_.assign(shards_.size(), 0);
+  load_ema_.assign(shards_.size(), 0.0);
+  load_snapshot_.assign(shards_.size(), 0);
+  imbalance_streak_ = 0;
+  last_epoch_migrations_ = 0;
+
+  ITA_RETURN_NOT_OK(RepartitionQueries(std::move(queries)));
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    load_snapshot_[s] = ShardWorkCounter(shards_[s]->stats());
+  }
+  if (hot_term_capacity_ != 0) EnableHotTermTracking(hot_term_capacity_);
+
+  const std::uint64_t pause_nanos = pause.ElapsedNanos();
+#if ITA_OBS_ENABLED
+  if (trace_ != nullptr) {
+    // Lane layout is fixed at trace construction — recreate at the new
+    // width, then record the reshard as one synthetic row on lane 0: the
+    // epoch counter and the wall histogram see the pause, which is the
+    // honest accounting (the stream stalled for exactly that long).
+    EnableTracing(trace_capacity_);
+    trace_->BeginEpoch(epochs_processed_);
+    trace_->RecordPhase(0, obs::Phase::kReshard, pause_nanos);
+    trace_->EndEpoch(pause_nanos);
+  }
+#endif
+  ++reshard_stats_.reshards;
+  reshard_stats_.queries_remapped += remapped;
+  reshard_stats_.last_pause_nanos = pause_nanos;
+  reshard_stats_.total_pause_nanos += pause_nanos;
+  return Status::OK();
+}
+
 Status ShardedServer::Checkpoint(std::string* out) const {
   out->clear();
   persist::SnapshotWriter snapshot(out);
@@ -495,13 +603,14 @@ Status ShardedServer::Restore(std::string_view bytes) {
   ITA_ASSIGN_OR_RETURN(const std::string_view meta,
                        snapshot.Section("sharded/meta"));
   persist::WireReader r(meta);
-  std::uint64_t shards = 0;
-  ITA_RETURN_NOT_OK(r.ReadU64(&shards));
-  if (shards != shards_.size()) {
-    return Status::FailedPrecondition(
-        "snapshot has " + std::to_string(shards) + " shards, this engine " +
-        std::to_string(shards_.size()));
+  std::uint64_t snap_shards = 0;
+  ITA_RETURN_NOT_OK(r.ReadU64(&snap_shards));
+  if (snap_shards == 0) {
+    return Status::IoError("snapshot names zero shards");
   }
+  // A differing shard count is NOT an error: the cross-shape path below
+  // remaps the snapshot's queries onto this engine's width.
+  const bool cross_shape = snap_shards != shards_.size();
   std::uint8_t kind = 0;
   std::uint64_t count = 0;
   std::int64_t duration = 0;
@@ -517,21 +626,35 @@ Status ShardedServer::Restore(std::string_view bytes) {
   ITA_RETURN_NOT_OK(r.ReadU32(&next_query_id_));
   ITA_RETURN_NOT_OK(r.ReadI64(&last_arrival_time_));
   ITA_RETURN_NOT_OK(r.ReadU64(&epochs_processed_));
-  for (std::size_t s = 0; s < shards_.size(); ++s) {
-    ITA_RETURN_NOT_OK(r.ReadDouble(&load_ema_[s]));
+  // Rebalancer state, sized by the SNAPSHOT's width. Same-shape it
+  // carries over verbatim (future placement decisions replay the
+  // uninterrupted run's); cross-shape it is discarded — the estimates
+  // measured a fleet of the old width — and this engine's state stays at
+  // its freshly constructed zeros.
+  std::vector<double> snap_ema(snap_shards, 0.0);
+  std::vector<std::uint64_t> snap_load(snap_shards, 0);
+  for (std::size_t s = 0; s < snap_shards; ++s) {
+    ITA_RETURN_NOT_OK(r.ReadDouble(&snap_ema[s]));
   }
-  for (std::size_t s = 0; s < shards_.size(); ++s) {
-    ITA_RETURN_NOT_OK(r.ReadU64(&load_snapshot_[s]));
+  for (std::size_t s = 0; s < snap_shards; ++s) {
+    ITA_RETURN_NOT_OK(r.ReadU64(&snap_load[s]));
   }
   std::uint64_t streak = 0;
+  RebalanceStats snap_rebalance;
   ITA_RETURN_NOT_OK(r.ReadU64(&streak));
-  imbalance_streak_ = static_cast<std::size_t>(streak);
-  ITA_RETURN_NOT_OK(r.ReadU64(&rebalance_stats_.queries_migrated));
-  ITA_RETURN_NOT_OK(r.ReadU64(&rebalance_stats_.rebalance_events));
+  ITA_RETURN_NOT_OK(r.ReadU64(&snap_rebalance.queries_migrated));
+  ITA_RETURN_NOT_OK(r.ReadU64(&snap_rebalance.rebalance_events));
   ITA_RETURN_NOT_OK(r.ExpectEnd());
+  if (!cross_shape) {
+    load_ema_ = std::move(snap_ema);
+    load_snapshot_ = std::move(snap_load);
+    imbalance_streak_ = static_cast<std::size_t>(streak);
+    rebalance_stats_ = snap_rebalance;
+  }
 
-  // Arena strictly before the shards: shard restore rebuilds inverted
-  // lists by reading the shared window contents.
+  // Arena strictly before the shards: shard restore (and cross-shape
+  // window adoption) rebuilds inverted lists by reading the shared
+  // window contents.
   ITA_ASSIGN_OR_RETURN(const std::string_view arena_bytes,
                        snapshot.Section("sharded/arena"));
   ITA_RETURN_NOT_OK(arena_->DeserializeFrom(arena_bytes));
@@ -541,30 +664,80 @@ Status ShardedServer::Restore(std::string_view bytes) {
   persist::WireReader pr(placement);
   std::uint64_t n_placed = 0;
   ITA_RETURN_NOT_OK(pr.ReadCount(&n_placed, 8));
+  // Cross-shape the persisted placement cannot be installed (it names
+  // shards of the old width) — its id set instead cross-checks the shard
+  // registries below, so a truncated or tampered nested section can
+  // never silently drop or invent a query.
+  std::unordered_set<QueryId> placed;
   for (std::uint64_t i = 0; i < n_placed; ++i) {
     std::uint32_t id = 0;
     std::uint32_t shard = 0;
     ITA_RETURN_NOT_OK(pr.ReadU32(&id));
     ITA_RETURN_NOT_OK(pr.ReadU32(&shard));
-    if (shard >= shards_.size()) {
+    if (shard >= snap_shards) {
       return Status::IoError("placement names shard " + std::to_string(shard));
     }
-    if (!placement_.emplace(id, shard).second) {
+    if (cross_shape) {
+      if (!placed.insert(id).second) {
+        return Status::IoError("placement repeats query id " +
+                               std::to_string(id));
+      }
+    } else if (!placement_.emplace(id, shard).second) {
       return Status::IoError("placement repeats query id " +
                              std::to_string(id));
     }
   }
   ITA_RETURN_NOT_OK(pr.ExpectEnd());
 
-  for (std::size_t s = 0; s < shards_.size(); ++s) {
+  if (!cross_shape) {
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      ITA_ASSIGN_OR_RETURN(
+          const std::string_view shard_bytes,
+          snapshot.Section("sharded/shard" + std::to_string(s)));
+      ITA_ASSIGN_OR_RETURN(const persist::SnapshotReader shard_snapshot,
+                           persist::SnapshotReader::Open(shard_bytes));
+      ITA_RETURN_NOT_OK(shards_[s]->Restore(shard_snapshot));
+    }
+    return Status::OK();
+  }
+
+  // Cross-shape remap: this engine's (fresh) shards adopt the restored
+  // window, then every persisted shard's query registry is read out of
+  // its nested container and re-registered at the new width. Results are
+  // recomputed exactly (placement independence); per-shard counters and
+  // ITA-internal persisted state restart from scratch, like any freshly
+  // placed query's.
+  for (const auto& shard : shards_) {
+    ITA_RETURN_NOT_OK(shard->AdoptWindow(last_arrival_time_));
+  }
+  std::vector<std::pair<QueryId, Query>> queries;
+  queries.reserve(placed.size());
+  for (std::size_t s = 0; s < snap_shards; ++s) {
     ITA_ASSIGN_OR_RETURN(
         const std::string_view shard_bytes,
         snapshot.Section("sharded/shard" + std::to_string(s)));
     ITA_ASSIGN_OR_RETURN(const persist::SnapshotReader shard_snapshot,
                          persist::SnapshotReader::Open(shard_bytes));
-    ITA_RETURN_NOT_OK(shards_[s]->Restore(shard_snapshot));
+    ITA_ASSIGN_OR_RETURN(auto registry, ReadQueryRegistry(shard_snapshot));
+    for (auto& [id, query] : registry) {
+      // erase()==0 covers both corruptions at once: an id absent from the
+      // placement map and an id repeated across two shard registries.
+      if (placed.erase(id) == 0) {
+        return Status::IoError("shard registry names query id " +
+                               std::to_string(id) +
+                               " outside the snapshot placement");
+      }
+      queries.emplace_back(id, std::move(query));
+    }
   }
-  return Status::OK();
+  if (!placed.empty()) {
+    return Status::IoError(
+        "placement names " + std::to_string(placed.size()) +
+        " query id(s) missing from the shard registries");
+  }
+  std::sort(queries.begin(), queries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return RepartitionQueries(std::move(queries));
 }
 
 Status ShardedServer::ValidatePruningMetadata() const {

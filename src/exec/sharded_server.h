@@ -19,6 +19,12 @@
 /// those queries, so per-shard results equal a sequential run query for
 /// query (tests/property/sharded_equivalence_property_test.cc asserts
 /// this for S ∈ {1, 2, 4, 7} against ITA and the brute-force oracle).
+/// The same placement independence is what makes the shard count itself
+/// elastic: Reshard(S′) rebuilds the partition over a new fleet between
+/// epochs, and Restore accepts a snapshot taken at a different width —
+/// both re-register every query and recompute its exact top-k, so the
+/// stream continues bit-identically to an engine that ran at S′ all
+/// along (DESIGN.md §14).
 ///
 /// Threading contract: the public API must be called from one thread at a
 /// time (like every server in this library); inside IngestBatch /
@@ -130,8 +136,28 @@ class ShardedServer {
   /// is immediately computed over the current window contents.
   StatusOr<QueryId> RegisterQuery(Query query);
 
-  /// Terminates a continuous query.
+  /// Terminates a continuous query. The placement entry is dropped
+  /// whether the owning shard removed the query or never had it
+  /// (NotFound) — a dead id must never linger in the placement map.
   Status UnregisterQuery(QueryId id);
+
+  /// Live resharding S→S′ at the epoch barrier (DESIGN.md §14): retires
+  /// the current shard engines and rebuilds the partition over
+  /// `new_shard_count` fresh ones — the shared window arena is untouched
+  /// (document bytes never move). Every live query is extracted, then
+  /// re-registered on its new id-hash home, which recomputes its exact
+  /// top-k over the current window; by the same placement-independence
+  /// argument as rebalancer migration, results and future notifications
+  /// are bit-identical to an engine constructed at S′ (no notification
+  /// fires from the remap itself). Rebalancer load state (EMAs, streak)
+  /// restarts from zero — it measured shards that no longer exist — while
+  /// the lifetime migration counters survive. Tracing and hot-term
+  /// tracking are re-enabled at the new width; per-shard counters and
+  /// busy-time tallies restart at zero. The worker pool keeps its
+  /// construction-time size. Call only between epochs (the public API's
+  /// single-thread contract makes mid-phase calls impossible).
+  /// InvalidArgument for a zero count; no-op when the count is unchanged.
+  Status Reshard(std::size_t new_shard_count);
 
   /// Streams a batch of documents as one epoch, broadcast to every shard:
   /// pop the expiring documents from the shared arena, expire phase on
@@ -235,6 +261,31 @@ class ShardedServer {
   /// The rebalance policy in effect (options after any ITA_REBALANCE
   /// environment override).
   const RebalanceOptions& rebalance_options() const { return rebalance_; }
+  /// The smoothed per-shard load estimates the rebalancer differences —
+  /// exposed so tests can pin the restore contract (same-shape restore
+  /// carries them over exactly; resharding and cross-shape restore zero
+  /// them).
+  const std::vector<double>& load_ema() const { return load_ema_; }
+  /// Number of entries in the placement map. Equals the live query count
+  /// at every epoch barrier — unregistration never leaves a stale entry
+  /// behind (the churn regression test pins this).
+  std::size_t placement_size() const { return placement_.size(); }
+
+  /// Lifetime counters of the live-resharding path.
+  struct ReshardStats {
+    /// Completed Reshard() calls that changed the shard count.
+    std::uint64_t reshards = 0;
+    /// Queries re-registered across all reshards (each remap recomputes
+    /// one exact top-k, the dominant pause cost).
+    std::uint64_t queries_remapped = 0;
+    /// Pause of the most recent reshard, nanoseconds of wall time the
+    /// stream was stalled at the barrier.
+    std::uint64_t last_pause_nanos = 0;
+    /// Sum of every reshard's pause.
+    std::uint64_t total_pause_nanos = 0;
+  };
+  /// The resharding counters (zeroed by ResetStats()).
+  const ReshardStats& reshard_stats() const { return reshard_stats_; }
 
   /// Writes the engine's complete state as one snapshot container
   /// (persist/snapshot.h) into `out`: engine metadata + rebalancer state
@@ -246,9 +297,18 @@ class ShardedServer {
   Status Checkpoint(std::string* out) const;
 
   /// Rebuilds the engine from Checkpoint bytes. Requires a freshly
-  /// constructed engine with the same shard count and window spec;
-  /// FailedPrecondition otherwise, typed snapshot errors on corrupt
-  /// input. Wall-clock tallies (shard_busy_micros) restart at zero.
+  /// constructed engine with the same window spec (FailedPrecondition
+  /// otherwise); typed snapshot errors on corrupt input. The engine's
+  /// shard count may DIFFER from the snapshot's: a same-shape restore
+  /// reinstates every shard's state and the rebalancer's load estimates
+  /// verbatim, while a cross-shape restore remaps — it restores the
+  /// shared arena, reads each persisted shard's query registry, and
+  /// re-registers every query on its id-hash home at the new width,
+  /// recomputing exact top-k results (bit-identical to the snapshotted
+  /// ones, by placement independence). Cross-shape, the rebalancer load
+  /// state and per-shard counters restart at zero — they described a
+  /// fleet of the old width. Wall-clock tallies (shard_busy_micros)
+  /// restart at zero either way.
   Status Restore(std::string_view bytes);
 
   /// Runs every ITA shard's pruning-metadata audit (block-max caches,
@@ -272,7 +332,8 @@ class ShardedServer {
   const DocumentArena& documents() const { return *arena_; }
   /// Arrival time of the newest ingested document (or AdvanceTime target).
   Timestamp last_arrival_time() const { return last_arrival_time_; }
-  /// The construction options.
+  /// The construction options (`shards` tracks the current width after a
+  /// Reshard).
   const ShardedServerOptions& options() const { return options_; }
 
   /// The shard a query id is placed on: registration homes every query at
@@ -313,10 +374,21 @@ class ShardedServer {
   /// MaybeRebalance differences against load_snapshot_.
   static std::uint64_t ShardWorkCounter(const ServerStats& stats);
 
+  /// Re-registers `queries` (ascending by id) on the current fleet's
+  /// id-hash homes, rebuilding the placement map — the shared tail of
+  /// Reshard and cross-shape Restore. The fleet's shards must already
+  /// have adopted the window; spurious change marks from the
+  /// re-registrations are drained and change tracking is re-armed to
+  /// mirror the listener before returning.
+  Status RepartitionQueries(std::vector<std::pair<QueryId, Query>> queries);
+
   ShardedServerOptions options_;
   /// Rebalance policy in effect: options_.rebalance after the
   /// ITA_REBALANCE environment override.
   RebalanceOptions rebalance_;
+  /// The per-shard engine factory, kept so Reshard can build the new
+  /// fleet; captures by value only (it outlives the construction call).
+  ShardFactory factory_;
   /// The single window store every shard reads (DESIGN.md §8). Declared
   /// before shards_ so it outlives them; mutated only by the engine,
   /// strictly between phases.
@@ -336,6 +408,12 @@ class ShardedServer {
   std::vector<std::uint64_t> task_nanos_scratch_;
   /// The epoch trace, null until EnableTracing().
   std::unique_ptr<obs::EpochTrace> trace_;
+  /// EnableTracing's capacity, kept so Reshard can recreate the trace
+  /// with the new lane count; 0 = tracing never enabled.
+  std::size_t trace_capacity_ = 0;
+  /// EnableHotTermTracking's capacity, kept so Reshard can re-arm the
+  /// new fleet's sketches; 0 = tracking never enabled.
+  std::size_t hot_term_capacity_ = 0;
   /// Per-epoch view scratch, written by the engine before each phase and
   /// read concurrently (read-only) by every shard during it.
   std::vector<DocumentView> expired_scratch_;
@@ -352,6 +430,7 @@ class ShardedServer {
   /// Consecutive epochs the imbalance trigger has fired.
   std::size_t imbalance_streak_ = 0;
   RebalanceStats rebalance_stats_;
+  ReshardStats reshard_stats_;
   std::size_t last_epoch_migrations_ = 0;
   /// Victim-selection scratch for DrainTopWorkQueries.
   std::vector<std::pair<QueryId, std::uint64_t>> top_work_scratch_;

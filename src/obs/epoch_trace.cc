@@ -13,6 +13,7 @@ const char* PhaseName(Phase phase) {
     case Phase::kArrive: return "arrive";
     case Phase::kNotifyFlush: return "notify_flush";
     case Phase::kBarrierWait: return "barrier_wait";
+    case Phase::kReshard: return "reshard";
   }
   return "?";
 }

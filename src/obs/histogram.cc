@@ -40,7 +40,13 @@ void Histogram::Merge(const Histogram& other) {
 
 std::uint64_t Histogram::Quantile(double p) const {
   if (count_ == 0) return 0;
-  p = std::clamp(p, 0.0, 1.0);
+  // Not std::clamp: a NaN p compares false both ways and would survive the
+  // clamp, then poison the rank cast below (UB). Treat NaN as p = 0.
+  if (!(p >= 0.0)) {
+    p = 0.0;
+  } else if (p > 1.0) {
+    p = 1.0;
+  }
   // The rank of the p-quantile in the sorted sample sequence, 1-based:
   // ceil(p * count), at least 1 (the nearest-rank definition).
   const double scaled = p * static_cast<double>(count_);

@@ -55,8 +55,10 @@ class Histogram {
   void Merge(const Histogram& other);
 
   /// A value inside the bucket holding the true p-quantile (p clamped to
-  /// [0, 1]), interpolated by rank and clamped to [min(), max()]. Returns
-  /// 0 when empty. Quantile(0) == min(), Quantile(1) == max().
+  /// [0, 1]; NaN reads as 0), interpolated by rank and clamped to
+  /// [min(), max()]. Returns 0 when empty — defined for every p even on
+  /// empty and single-bucket histograms (sharded_monitor prints these on
+  /// idle servers). Quantile(0) == min(), Quantile(1) == max().
   std::uint64_t Quantile(double p) const;
 
   /// Number of recorded samples.

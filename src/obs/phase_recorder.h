@@ -35,9 +35,10 @@ enum class Phase : std::uint8_t {
   kArrive,        ///< RunArrivePhase: the epoch's arrivals
   kNotifyFlush,   ///< notification merge + listener callbacks
   kBarrierWait,   ///< idle lane time behind the phase barrier (sharded)
+  kReshard,       ///< live S→S′ shard-count change at the epoch barrier
 };
 /// Number of traced phases.
-inline constexpr std::size_t kPhaseCount = 5;
+inline constexpr std::size_t kPhaseCount = 6;
 
 /// Lower-case display/export name of a phase ("plan", "expire", ...).
 const char* PhaseName(Phase phase);

@@ -18,49 +18,11 @@
 #include "persist/snapshot.h"
 #include "persist/wire.h"
 #include "sim/event_stream.h"
+#include "sim/notification_consumer.h"
 #include "sim/sim_engine.h"
 
 namespace ita::sim {
 namespace {
-
-/// The idempotent notification consumer of the delivery contract: an
-/// order-sensitive FNV-1a digest over every ACCEPTED delivery, where a
-/// delivery (epoch, query, entries) is accepted only when `epoch` is
-/// newer than the last accepted epoch for that query — exactly how a
-/// real downstream keyed on epoch indices absorbs the at-least-once
-/// re-delivery of log replay.
-class NotificationConsumer {
- public:
-  void BeginEpoch(std::uint64_t index) { epoch_ = index; }
-
-  void Deliver(QueryId id, const std::vector<ResultEntry>& entries) {
-    // last_ stores epoch+1 so 0 means "never delivered".
-    std::uint64_t& last = last_[id];
-    if (last >= epoch_ + 1) return;  // replayed duplicate — drop
-    last = epoch_ + 1;
-    scratch_.clear();
-    persist::WireWriter w(&scratch_);
-    w.PutU64(epoch_);
-    w.PutU32(id);
-    w.PutU64(entries.size());
-    for (const ResultEntry& entry : entries) {
-      w.PutU64(entry.doc);
-      w.PutDouble(entry.score);
-    }
-    hash_ = persist::Fnv1a(scratch_, hash_);
-    ++deliveries_;
-  }
-
-  std::uint64_t digest() const { return hash_; }
-  std::uint64_t deliveries() const { return deliveries_; }
-
- private:
-  std::uint64_t epoch_ = 0;
-  std::uint64_t hash_ = persist::kFnvOffsetBasis;
-  std::uint64_t deliveries_ = 0;
-  std::unordered_map<QueryId, std::uint64_t> last_;
-  std::string scratch_;
-};
 
 /// Checkpoints `engine` into `*out` as one snapshot container — the
 /// sharded engine writes its own multi-section container, a sequential

@@ -82,6 +82,26 @@ Status ExportEngineMetrics(const SimEngine& engine,
         "ita_rebalance_events_total",
         "Epochs in which at least one query migrated", base_labels,
         rb.rebalance_events));
+    // The reshard series export unconditionally (zeros included) so the
+    // schema is stable whether or not a run ever resharded — the CI
+    // metrics-smoke asserts their presence by name.
+    const auto& rs = sharded->reshard_stats();
+    ITA_RETURN_NOT_OK(registry->AddCounter(
+        "ita_reshard_events_total",
+        "Completed live shard-count changes (S to S')", base_labels,
+        rs.reshards));
+    ITA_RETURN_NOT_OK(registry->AddCounter(
+        "ita_reshard_queries_remapped_total",
+        "Queries re-registered across all reshards", base_labels,
+        rs.queries_remapped));
+    ITA_RETURN_NOT_OK(registry->AddGauge(
+        "ita_reshard_last_pause_nanos",
+        "Stream stall of the most recent reshard", base_labels,
+        static_cast<double>(rs.last_pause_nanos)));
+    ITA_RETURN_NOT_OK(registry->AddCounter(
+        "ita_reshard_pause_nanos_total",
+        "Cumulative stream stall across all reshards", base_labels,
+        rs.total_pause_nanos));
   }
 
   const obs::SpaceSavingSketch hot = engine.HotTerms();

@@ -1,0 +1,68 @@
+/// \file
+/// The sim harness's idempotent notification consumer — the downstream
+/// model both durability runners (sim/crash_restore.h) and the
+/// elasticity runner (sim/reshard_runner.h) hang off an engine's result
+/// listener: an order-sensitive FNV-1a digest over every ACCEPTED
+/// delivery, where a delivery (epoch, query, entries) is accepted only
+/// when `epoch` is newer than the last accepted epoch for that query —
+/// exactly how a real consumer keyed on epoch indices absorbs
+/// at-least-once re-delivery (log replay after a crash; a reshard never
+/// re-delivers, so there the dedup is pure pass-through). Two engines
+/// produce equal digests iff they delivered the same results for the
+/// same queries at the same epochs in the same order.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "core/result_set.h"
+#include "persist/wire.h"
+
+namespace ita::sim {
+
+/// See the file comment. Single-threaded, like the listeners feeding it.
+class NotificationConsumer {
+ public:
+  /// Stamps subsequent deliveries with stream epoch `index`; call before
+  /// applying the epoch that fires them.
+  void BeginEpoch(std::uint64_t index) { epoch_ = index; }
+
+  /// Absorbs one listener firing for query `id`, unless this consumer
+  /// already accepted a delivery for `id` at this or a later epoch
+  /// (a replayed duplicate — dropped).
+  void Deliver(QueryId id, const std::vector<ResultEntry>& entries) {
+    // last_ stores epoch+1 so 0 means "never delivered".
+    std::uint64_t& last = last_[id];
+    if (last >= epoch_ + 1) return;  // replayed duplicate — drop
+    last = epoch_ + 1;
+    scratch_.clear();
+    persist::WireWriter w(&scratch_);
+    w.PutU64(epoch_);
+    w.PutU32(id);
+    w.PutU64(entries.size());
+    for (const ResultEntry& entry : entries) {
+      w.PutU64(entry.doc);
+      w.PutDouble(entry.score);
+    }
+    hash_ = persist::Fnv1a(scratch_, hash_);
+    ++deliveries_;
+  }
+
+  /// The order-sensitive digest over every accepted delivery.
+  std::uint64_t digest() const { return hash_; }
+  /// Number of accepted (non-duplicate) deliveries.
+  std::uint64_t deliveries() const { return deliveries_; }
+
+ private:
+  std::uint64_t epoch_ = 0;
+  std::uint64_t hash_ = persist::kFnvOffsetBasis;
+  std::uint64_t deliveries_ = 0;
+  std::unordered_map<QueryId, std::uint64_t> last_;
+  std::string scratch_;
+};
+
+}  // namespace ita::sim

@@ -1,0 +1,198 @@
+#include "sim/reshard_runner.h"
+
+#include <algorithm>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+#include "core/query.h"
+#include "core/result_set.h"
+#include "obs/timer.h"
+#include "sim/event_stream.h"
+#include "sim/notification_consumer.h"
+#include "sim/sim_engine.h"
+
+namespace ita::sim {
+
+const char* ReshardModeName(ReshardMode mode) {
+  switch (mode) {
+    case ReshardMode::kLive:
+      return "live";
+    case ReshardMode::kCheckpointRestore:
+      return "checkpoint-restore";
+  }
+  return "unknown";
+}
+
+ReshardRunner::ReshardRunner(ScenarioSpec spec, ReshardOptions options)
+    : spec_(std::move(spec)), options_(options) {}
+
+std::string ReshardRunner::ReproLine(const ScenarioSpec& spec,
+                                     const ReshardOptions& options) {
+  return "--scenario=" + spec.name + " --seed=" + std::to_string(spec.seed) +
+         " --events=" + std::to_string(spec.events) +
+         " --shards=" + std::to_string(options.initial_shards) +
+         " --new-shards=" + std::to_string(options.new_shards) +
+         " --reshard-epoch=" + std::to_string(options.reshard_epoch) +
+         " --mode=" + ReshardModeName(options.mode);
+}
+
+StatusOr<ReshardReport> ReshardRunner::Run() {
+  ITA_RETURN_NOT_OK(spec_.Validate());
+  if (options_.initial_shards == 0 || options_.new_shards == 0) {
+    return Status::InvalidArgument("shard counts must be >= 1");
+  }
+
+  const auto fail = [this](std::string what) {
+    return Status::Internal(what + "; reproduce with " +
+                            ReproLine(spec_, options_));
+  };
+
+  // --- Materialize the canonical stream --------------------------------
+  // Subject and twin consume the identical pre-generated epochs (the
+  // twin must not see a stream perturbed by the subject's switch).
+  EventStreamGenerator generator(spec_);
+  std::vector<SimEpoch> epochs;
+  StreamFingerprint stream_fp;
+  std::unordered_map<QueryId, Query> live_map;
+  while (std::optional<SimEpoch> epoch = generator.NextEpoch()) {
+    stream_fp.Absorb(*epoch);
+    for (const QueryId id : epoch->unregister) live_map.erase(id);
+    for (std::size_t i = 0; i < epoch->register_ids.size(); ++i) {
+      live_map.insert_or_assign(epoch->register_ids[i],
+                                epoch->register_queries[i]);
+    }
+    epochs.push_back(std::move(*epoch));
+  }
+  if (epochs.empty()) {
+    return Status::InvalidArgument("scenario '" + spec_.name +
+                                   "' produced no epochs");
+  }
+  if (options_.reshard_epoch >= epochs.size()) {
+    return Status::InvalidArgument(
+        "reshard_epoch " + std::to_string(options_.reshard_epoch) +
+        " out of range: scenario '" + spec_.name + "' has " +
+        std::to_string(epochs.size()) + " epochs");
+  }
+
+  // --- The fixed-S′ twin (and the oracle) -------------------------------
+  NotificationConsumer twin_consumer;
+  std::unique_ptr<SimEngine> twin =
+      MakeShardedEngine(spec_.window, options_.new_shards, options_.threads,
+                        options_.tuning, options_.rebalance);
+  twin->SetResultListener(
+      [&twin_consumer](QueryId id, const std::vector<ResultEntry>& entries) {
+        twin_consumer.Deliver(id, entries);
+      });
+  std::unique_ptr<SimEngine> oracle;
+  if (options_.check_oracle) {
+    oracle = MakeSequentialEngine(SequentialStrategy::kOracle, spec_.window);
+  }
+  for (const SimEpoch& epoch : epochs) {
+    twin_consumer.BeginEpoch(epoch.index);
+    ITA_ASSIGN_OR_RETURN(std::vector<DocId> ids, ApplyEpoch(*twin, epoch));
+    (void)ids;
+    if (oracle != nullptr) {
+      ITA_ASSIGN_OR_RETURN(ids, ApplyEpoch(*oracle, epoch));
+      (void)ids;
+    }
+  }
+
+  // --- The subject: S until the barrier, S′ after -----------------------
+  NotificationConsumer subject_consumer;
+  const ResultListener subject_listener =
+      [&subject_consumer](QueryId id, const std::vector<ResultEntry>& entries) {
+        subject_consumer.Deliver(id, entries);
+      };
+  std::unique_ptr<SimEngine> subject =
+      MakeShardedEngine(spec_.window, options_.initial_shards, options_.threads,
+                        options_.tuning, options_.rebalance);
+  subject->SetResultListener(subject_listener);
+
+  std::uint64_t switch_nanos = 0;
+  for (std::size_t pos = 0; pos < epochs.size(); ++pos) {
+    const SimEpoch& epoch = epochs[pos];
+    subject_consumer.BeginEpoch(epoch.index);
+    ITA_ASSIGN_OR_RETURN(std::vector<DocId> ids, ApplyEpoch(*subject, epoch));
+    (void)ids;
+    if (pos != options_.reshard_epoch) continue;
+
+    // The switch, at this epoch's trailing barrier. No notification may
+    // fire from it — the next delivery the consumer sees belongs to the
+    // next epoch.
+    obs::Timer timer;
+    if (options_.mode == ReshardMode::kLive) {
+      ITA_RETURN_NOT_OK(subject->sharded()->Reshard(options_.new_shards));
+    } else {
+      std::string snapshot;
+      ITA_RETURN_NOT_OK(subject->sharded()->Checkpoint(&snapshot));
+      std::unique_ptr<SimEngine> resized = MakeShardedEngine(
+          spec_.window, options_.new_shards, options_.threads, options_.tuning,
+          options_.rebalance);
+      ITA_RETURN_NOT_OK(resized->sharded()->Restore(snapshot));
+      subject = std::move(resized);
+      subject->SetResultListener(subject_listener);
+    }
+    switch_nanos = timer.ElapsedNanos();
+    if (subject->sharded()->shard_count() != options_.new_shards) {
+      return fail("subject runs " +
+                  std::to_string(subject->sharded()->shard_count()) +
+                  " shards after the switch, want " +
+                  std::to_string(options_.new_shards));
+    }
+  }
+
+  // --- Equivalence -----------------------------------------------------
+  if (subject_consumer.digest() != twin_consumer.digest()) {
+    return fail(
+        "notification fingerprints diverge across the reshard: subject=" +
+        std::to_string(subject_consumer.digest()) +
+        " (deliveries=" + std::to_string(subject_consumer.deliveries()) +
+        "), twin=" + std::to_string(twin_consumer.digest()) +
+        " (deliveries=" + std::to_string(twin_consumer.deliveries()) + ")");
+  }
+
+  std::vector<LiveQuery> live;
+  live.reserve(live_map.size());
+  for (const auto& [id, query] : live_map) live.push_back({id, &query});
+  std::sort(live.begin(), live.end(),
+            [](const LiveQuery& a, const LiveQuery& b) { return a.id < b.id; });
+
+  if (subject->sharded()->placement_size() != live.size()) {
+    return fail("placement holds " +
+                std::to_string(subject->sharded()->placement_size()) +
+                " entries at end of stream, want " +
+                std::to_string(live.size()) + " (one per live query)");
+  }
+  for (const LiveQuery& lq : live) {
+    ITA_ASSIGN_OR_RETURN(std::vector<ResultEntry> got, subject->Result(lq.id));
+    ITA_ASSIGN_OR_RETURN(std::vector<ResultEntry> want, twin->Result(lq.id));
+    if (!(got == want)) {
+      return fail("resharded engine's result for query " +
+                  std::to_string(lq.id) + " diverges from the fixed-S' twin (" +
+                  std::to_string(got.size()) + " vs " +
+                  std::to_string(want.size()) + " entries)");
+    }
+  }
+
+  DifferentialChecker checker(options_.checker, oracle.get());
+  const Status check = checker.CheckEpoch({subject.get(), twin.get()}, live,
+                                          epochs.back().index, /*force=*/true);
+  if (!check.ok()) return fail(check.message());
+
+  ReshardReport report;
+  report.epochs = epochs.size();
+  report.events = generator.events_generated();
+  report.stream_fingerprint = stream_fp.digest();
+  report.notification_fingerprint = subject_consumer.digest();
+  report.live_queries = live.size();
+  report.switch_nanos = switch_nanos;
+  report.reshard = subject->sharded()->reshard_stats();
+  return report;
+}
+
+}  // namespace ita::sim

@@ -1,0 +1,105 @@
+/// \file
+/// The elasticity harness behind live resharding (DESIGN.md §14): drives
+/// a sharded engine ("subject") through a scenario's epoch stream at an
+/// initial width S, switches it to S′ at a configurable epoch barrier —
+/// either in place (exec::ShardedServer::Reshard) or through the
+/// cross-shape persistence path (Checkpoint at S, Restore into a fresh
+/// S′ engine) — and resumes the stream. An uninterrupted twin
+/// constructed at S′ from the start consumes the identical stream;
+/// equivalence is judged by
+///   * byte-identical notification fingerprints (order-sensitive FNV-1a
+///     over every delivered (epoch, query, result) triple — a reshard
+///     must not fire, drop, or reorder a single notification),
+///   * per-query Result() equality at end of stream, and
+///   * a forced oracle differential over subject and twin together.
+///
+/// The correctness argument is the engine's placement independence: a
+/// remapped query's top-k is recomputed exactly over the same shared
+/// window, so the post-switch subject IS an engine that ran at S′ all
+/// along, and any fingerprint divergence is a real bug.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "core/ita_server.h"
+#include "exec/sharded_server.h"
+#include "sim/checker.h"
+#include "sim/scenario.h"
+
+namespace ita::sim {
+
+/// Which S→S′ mechanism the run exercises.
+enum class ReshardMode {
+  kLive,               ///< exec::ShardedServer::Reshard at the barrier
+  kCheckpointRestore,  ///< Checkpoint at S, Restore into a fresh S′ engine
+};
+
+/// Stable display name ("live", "checkpoint-restore").
+const char* ReshardModeName(ReshardMode mode);
+
+/// Knobs for one reshard run.
+struct ReshardOptions {
+  /// Width the subject starts at. Must be >= 1.
+  std::size_t initial_shards = 4;
+  /// Width the subject switches to (and the twin runs at). Must be >= 1;
+  /// equal to initial_shards degenerates to a no-op switch.
+  std::size_t new_shards = 2;
+  /// Worker threads for every engine (0 = one per shard).
+  std::size_t threads = 0;
+  /// Tuning shared by subject and twin.
+  ItaTuning tuning;
+  /// Load-aware placement policy for subject and twin — aggressive modes
+  /// make the pre-switch placement maximally unlike the id-hash layout,
+  /// which is exactly what the remap must absorb.
+  exec::RebalanceOptions rebalance;
+  /// Zero-based epoch index at whose trailing barrier the switch runs.
+  /// Must be < the stream's epoch count (InvalidArgument otherwise).
+  std::uint64_t reshard_epoch = 0;
+  ReshardMode mode = ReshardMode::kLive;
+  /// Run the forced oracle differential over subject and twin at end of
+  /// stream (an OracleServer consumes the whole stream alongside).
+  bool check_oracle = true;
+  /// Tolerances for the differential layer.
+  CheckerOptions checker;
+};
+
+/// What one reshard run observed. All equivalence checks have already
+/// passed when Run() returns OK.
+struct ReshardReport {
+  std::uint64_t epochs = 0;  ///< epochs in the stream
+  std::uint64_t events = 0;  ///< document arrivals in the stream
+  std::uint64_t stream_fingerprint = 0;        ///< canonical stream digest
+  std::uint64_t notification_fingerprint = 0;  ///< subject == twin digest
+  std::uint64_t live_queries = 0;              ///< live at end of stream
+  /// Wall nanos the stream was stalled by the switch: the reshard pause
+  /// (kLive) or the checkpoint+restore round trip (kCheckpointRestore).
+  std::uint64_t switch_nanos = 0;
+  /// The subject engine's resharding counters (zeros in
+  /// kCheckpointRestore mode — the switch there replaces the engine).
+  exec::ShardedServer::ReshardStats reshard;
+};
+
+/// Runs one S→S′ switch for `spec` under `options`; see the file
+/// comment for the protocol. Any divergence comes back as a non-OK
+/// Status whose message ends with ReproLine(...).
+class ReshardRunner {
+ public:
+  ReshardRunner(ScenarioSpec spec, ReshardOptions options);
+
+  StatusOr<ReshardReport> Run();
+
+  /// "--scenario=<name> --seed=<seed> --shards=<S> --new-shards=<S'>
+  /// --reshard-epoch=<e> --mode=<m>" — everything needed to replay this
+  /// exact run.
+  static std::string ReproLine(const ScenarioSpec& spec,
+                               const ReshardOptions& options);
+
+ private:
+  ScenarioSpec spec_;
+  ReshardOptions options_;
+};
+
+}  // namespace ita::sim

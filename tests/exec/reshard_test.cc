@@ -1,0 +1,234 @@
+// Live resharding S→S′ at the epoch barrier (DESIGN.md §14): results
+// before and after a mid-stream Reshard are bit-identical to a
+// sequential server over the same stream, placement bookkeeping rebuilds
+// at the new width, telemetry (tracing lanes, hot-term sketches)
+// re-arms, the reshard counters account every remap, and the
+// shard-lifecycle edges (zero width, unchanged width, dead-id
+// unregister) behave as documented.
+
+#include "exec/sharded_server.h"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "../testing/builders.h"
+#include "core/ita_server.h"
+#include "obs/phase_recorder.h"
+
+namespace ita::exec {
+namespace {
+
+ShardedServerOptions SmallOptions(std::size_t shards) {
+  ShardedServerOptions options;
+  options.window = WindowSpec::CountBased(48);
+  options.shards = shards;
+  options.threads = 2;
+  options.rebalance.mode = RebalanceMode::kOff;
+  return options;
+}
+
+/// Registers `n` queries mixing stream terms (3, 7, 11) so every epoch
+/// perturbs several top-k sets.
+void RegisterMixedPopulation(ShardedServer& server, int n) {
+  for (int i = 0; i < n; ++i) {
+    const TermId extra = static_cast<TermId>(3 + 4 * (i % 3));  // 3, 7, 11
+    ASSERT_TRUE(
+        server.RegisterQuery(testing::MakeQuery(3, {{extra, 1.0}, {5, 0.4}}))
+            .ok());
+  }
+}
+
+std::vector<Document> Epoch(Timestamp t0, int salt) {
+  std::vector<Document> batch;
+  for (int i = 0; i < 6; ++i) {
+    const double w = 0.15 + 0.05 * static_cast<double>((salt + i) % 11);
+    batch.push_back(testing::MakeDoc({{3, w}, {7, 1.0 - w}, {11, 0.3 + w}},
+                                     t0 + static_cast<Timestamp>(i) * 10));
+  }
+  return batch;
+}
+
+void ExpectResultsMatchSequential(ShardedServer& server, ItaServer& reference,
+                                  int queries) {
+  for (QueryId id = 1; id <= static_cast<QueryId>(queries); ++id) {
+    const auto got = server.Result(id);
+    const auto want = reference.Result(id);
+    ASSERT_TRUE(got.ok() && want.ok()) << "query " << id;
+    ASSERT_EQ(got->size(), want->size()) << "query " << id;
+    for (std::size_t i = 0; i < got->size(); ++i) {
+      EXPECT_EQ((*got)[i].doc, (*want)[i].doc) << "query " << id;
+      EXPECT_DOUBLE_EQ((*got)[i].score, (*want)[i].score) << "query " << id;
+    }
+  }
+}
+
+TEST(ReshardTest, ZeroShardsIsInvalidArgument) {
+  ShardedServer server(SmallOptions(2));
+  const Status status = server.Reshard(0);
+  EXPECT_TRUE(status.IsInvalidArgument()) << status.ToString();
+  EXPECT_EQ(server.shard_count(), 2u);  // untouched
+}
+
+TEST(ReshardTest, UnchangedWidthIsANoOp) {
+  ShardedServer server(SmallOptions(3));
+  RegisterMixedPopulation(server, 5);
+  ASSERT_TRUE(server.IngestBatch(Epoch(0, 0)).ok());
+  const auto before = server.Result(1);
+  ASSERT_TRUE(server.Reshard(3).ok());
+  EXPECT_EQ(server.shard_count(), 3u);
+  EXPECT_EQ(server.reshard_stats().reshards, 0u);
+  EXPECT_EQ(server.reshard_stats().queries_remapped, 0u);
+  const auto after = server.Result(1);
+  ASSERT_TRUE(before.ok() && after.ok());
+  EXPECT_TRUE(*before == *after);
+}
+
+TEST(ReshardTest, GrowAndShrinkStayExactMidStream) {
+  // 2 → 5 → 1 across a continuous stream; the sequential reference never
+  // reshards, and every epoch's results must match it bit for bit.
+  ShardedServer server(SmallOptions(2));
+  ItaServer reference({.window = WindowSpec::CountBased(48)});
+  constexpr int kQueries = 9;
+  RegisterMixedPopulation(server, kQueries);
+  for (int i = 0; i < kQueries; ++i) {
+    const TermId extra = static_cast<TermId>(3 + 4 * (i % 3));
+    ASSERT_TRUE(
+        reference.RegisterQuery(testing::MakeQuery(3, {{extra, 1.0}, {5, 0.4}}))
+            .ok());
+  }
+
+  const std::size_t widths[] = {5, 1};
+  std::size_t next_width = 0;
+  for (int epoch = 0; epoch < 12; ++epoch) {
+    const Timestamp t0 = static_cast<Timestamp>(epoch) * 1'000;
+    ASSERT_TRUE(server.IngestBatch(Epoch(t0, epoch)).ok());
+    ASSERT_TRUE(reference.IngestBatch(Epoch(t0, epoch)).ok());
+    ExpectResultsMatchSequential(server, reference, kQueries);
+    if (epoch == 3 || epoch == 7) {
+      ASSERT_TRUE(server.Reshard(widths[next_width]).ok());
+      EXPECT_EQ(server.shard_count(), widths[next_width]);
+      ++next_width;
+      // The remap itself must not move any result.
+      ExpectResultsMatchSequential(server, reference, kQueries);
+      EXPECT_TRUE(server.ValidatePruningMetadata().ok());
+    }
+  }
+  EXPECT_EQ(server.reshard_stats().reshards, 2u);
+  EXPECT_EQ(server.reshard_stats().queries_remapped,
+            2u * static_cast<std::uint64_t>(kQueries));
+  EXPECT_GT(server.reshard_stats().last_pause_nanos, 0u);
+  EXPECT_GE(server.reshard_stats().total_pause_nanos,
+            server.reshard_stats().last_pause_nanos);
+}
+
+TEST(ReshardTest, PlacementRebuildsAtTheNewWidth) {
+  ShardedServer server(SmallOptions(4));
+  constexpr int kQueries = 11;
+  RegisterMixedPopulation(server, kQueries);
+  ASSERT_TRUE(server.IngestBatch(Epoch(0, 1)).ok());
+
+  ASSERT_TRUE(server.Reshard(3).ok());
+  EXPECT_EQ(server.placement_size(), static_cast<std::size_t>(kQueries));
+  std::size_t total = 0;
+  for (QueryId id = 1; id <= static_cast<QueryId>(kQueries); ++id) {
+    EXPECT_EQ(server.ShardOf(id), id % 3) << "query " << id;
+  }
+  for (std::size_t s = 0; s < server.shard_count(); ++s) {
+    total += server.shard_query_count(s);
+  }
+  EXPECT_EQ(total, static_cast<std::size_t>(kQueries));
+  EXPECT_EQ(server.stats().registered_queries,
+            static_cast<std::uint64_t>(kQueries));
+  // Rebalancer load state restarted; lifetime reshard counters advanced.
+  for (const double ema : server.load_ema()) EXPECT_EQ(ema, 0.0);
+  EXPECT_EQ(server.last_epoch_migrations(), 0u);
+}
+
+TEST(ReshardTest, NotificationsResumeWithoutASpuriousFlush) {
+  ShardedServer server(SmallOptions(2));
+  RegisterMixedPopulation(server, 6);
+  std::size_t deliveries = 0;
+  server.SetResultListener(
+      [&deliveries](QueryId, const std::vector<ResultEntry>&) {
+        ++deliveries;
+      });
+  ASSERT_TRUE(server.IngestBatch(Epoch(0, 2)).ok());
+  const std::size_t before = deliveries;
+  ASSERT_GT(before, 0u);
+
+  // The remap re-registers every query (which recomputes identical
+  // results) — no listener call may escape the barrier.
+  ASSERT_TRUE(server.Reshard(5).ok());
+  EXPECT_EQ(deliveries, before);
+
+  // The next epoch notifies normally at the new width.
+  ASSERT_TRUE(server.IngestBatch(Epoch(1'000, 3)).ok());
+  EXPECT_GT(deliveries, before);
+}
+
+TEST(ReshardTest, TracingAndHotTermsReArmAtTheNewWidth) {
+  ShardedServer server(SmallOptions(2));
+  RegisterMixedPopulation(server, 6);
+  server.EnableTracing(/*capacity=*/32);
+  server.EnableHotTermTracking(/*capacity=*/16);
+  ASSERT_TRUE(server.IngestBatch(Epoch(0, 4)).ok());
+
+  ASSERT_TRUE(server.Reshard(4).ok());
+#if ITA_OBS_ENABLED
+  ASSERT_NE(server.trace(), nullptr);
+  EXPECT_EQ(server.trace()->shards(), 4u);
+  // The reshard itself is one synthetic trace row on lane 0.
+  EXPECT_EQ(server.trace()->epochs(), 1u);
+  EXPECT_GT(server.trace()->cumulative_phase_nanos(0, obs::Phase::kReshard),
+            0u);
+#endif
+
+  // Post-reshard epochs land in the recreated trace and the re-armed
+  // sketches.
+  ASSERT_TRUE(server.IngestBatch(Epoch(1'000, 5)).ok());
+#if ITA_OBS_ENABLED
+  EXPECT_EQ(server.trace()->epochs(), 2u);
+  EXPECT_FALSE(server.AggregateHotTerms().TopK().empty());
+#endif
+  EXPECT_EQ(server.shard_count(), 4u);
+}
+
+TEST(ReshardTest, UnregisterDropsPlacementEvenOnNotFound) {
+  ShardedServer server(SmallOptions(2));
+  RegisterMixedPopulation(server, 4);
+  EXPECT_EQ(server.placement_size(), 4u);
+
+  ASSERT_TRUE(server.UnregisterQuery(2).ok());
+  EXPECT_EQ(server.placement_size(), 3u);
+  // Double unregister: NotFound, and the map must not regain or retain
+  // an entry for the dead id.
+  EXPECT_TRUE(server.UnregisterQuery(2).IsNotFound());
+  EXPECT_EQ(server.placement_size(), 3u);
+  // Unknown id: NotFound, placement untouched.
+  EXPECT_TRUE(server.UnregisterQuery(999).IsNotFound());
+  EXPECT_EQ(server.placement_size(), 3u);
+
+  // A reshard right after churn extracts exactly the live population.
+  ASSERT_TRUE(server.IngestBatch(Epoch(0, 6)).ok());
+  ASSERT_TRUE(server.Reshard(3).ok());
+  EXPECT_EQ(server.placement_size(), 3u);
+  EXPECT_EQ(server.reshard_stats().queries_remapped, 3u);
+  EXPECT_EQ(server.query_count(), 3u);
+}
+
+TEST(ReshardTest, ResetStatsClearsReshardCounters) {
+  ShardedServer server(SmallOptions(2));
+  RegisterMixedPopulation(server, 4);
+  ASSERT_TRUE(server.IngestBatch(Epoch(0, 7)).ok());
+  ASSERT_TRUE(server.Reshard(3).ok());
+  ASSERT_EQ(server.reshard_stats().reshards, 1u);
+  server.ResetStats();
+  EXPECT_EQ(server.reshard_stats().reshards, 0u);
+  EXPECT_EQ(server.reshard_stats().queries_remapped, 0u);
+  EXPECT_EQ(server.reshard_stats().total_pause_nanos, 0u);
+}
+
+}  // namespace
+}  // namespace ita::exec

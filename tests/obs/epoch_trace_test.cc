@@ -159,6 +159,7 @@ TEST(EpochTraceTest, PhaseAndSubSpanNames) {
   EXPECT_STREQ(PhaseName(Phase::kArrive), "arrive");
   EXPECT_STREQ(PhaseName(Phase::kNotifyFlush), "notify_flush");
   EXPECT_STREQ(PhaseName(Phase::kBarrierWait), "barrier_wait");
+  EXPECT_STREQ(PhaseName(Phase::kReshard), "reshard");
   EXPECT_STREQ(SubSpanName(SubSpan::kProbe), "probe");
   EXPECT_STREQ(SubSpanName(SubSpan::kRollUp), "rollup");
   EXPECT_STREQ(SubSpanName(SubSpan::kRefill), "refill");

@@ -58,6 +58,32 @@ TEST(HistogramTest, RecordUpdatesSummary) {
   EXPECT_DOUBLE_EQ(hist.Mean(), 113.0 / 3.0);
 }
 
+TEST(HistogramTest, QuantileBoundaryBehaviorIsPinned) {
+  // Empty: every p, including the extremes and garbage, answers 0.
+  Histogram empty;
+  for (const double p : {0.0, 0.5, 1.0, -1.0, 2.0}) {
+    EXPECT_EQ(empty.Quantile(p), 0u) << "p=" << p;
+  }
+  EXPECT_EQ(empty.Quantile(std::numeric_limits<double>::quiet_NaN()), 0u);
+
+  // Single sample: every quantile IS that sample.
+  Histogram single;
+  single.Record(42);
+  for (const double p : {0.0, 0.25, 0.5, 1.0}) {
+    EXPECT_EQ(single.Quantile(p), 42u) << "p=" << p;
+  }
+
+  // All mass in one bucket (values 8..15 share bucket 3): p=0 is the
+  // observed min, p=1 the observed max — never a synthetic bucket bound.
+  Histogram one_bucket;
+  for (const std::uint64_t v : {9u, 11u, 14u}) one_bucket.Record(v);
+  EXPECT_EQ(one_bucket.Quantile(0.0), 9u);
+  EXPECT_EQ(one_bucket.Quantile(1.0), 14u);
+
+  // NaN cannot poison the rank arithmetic: it resolves like p = 0.
+  EXPECT_EQ(one_bucket.Quantile(std::numeric_limits<double>::quiet_NaN()), 9u);
+}
+
 TEST(HistogramTest, QuantileExactAtExtremes) {
   Histogram hist;
   for (const std::uint64_t v : {7u, 19u, 250u, 1000u, 40000u}) hist.Record(v);

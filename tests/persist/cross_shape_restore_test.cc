@@ -1,0 +1,212 @@
+// Cross-shape restore (DESIGN.md §14): a ShardedServer snapshot taken
+// at S restores into a freshly constructed S′ engine. The shared window
+// arena and the stream clocks carry over verbatim; every persisted
+// query is re-registered on its id-hash home at the new width,
+// recomputing its exact top-k — bit-identical to the snapshotted
+// results by placement independence. Rebalancer load state restarts at
+// zero cross-shape (it described a fleet of the old width) but carries
+// verbatim same-shape. Every byte-prefix of a snapshot fed through the
+// cross-shape path yields a typed error, never a crash or a partially
+// restored engine.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "exec/sharded_server.h"
+#include "stream/window.h"
+#include "testing/builders.h"
+
+namespace ita::exec {
+namespace {
+
+using ::ita::testing::MakeDoc;
+using ::ita::testing::MakeQuery;
+
+ShardedServerOptions Options(std::size_t shards) {
+  ShardedServerOptions options;
+  options.window = WindowSpec::CountBased(32);
+  options.shards = shards;
+  options.threads = 2;
+  // Rebalancing on with a hair trigger, so the snapshotted placement is
+  // NOT the id-hash layout — exactly what the cross-shape remap absorbs.
+  options.rebalance.mode = RebalanceMode::kAggressive;
+  return options;
+}
+
+std::vector<QueryId> Populate(ShardedServer& server, int queries, int epochs) {
+  std::vector<QueryId> ids;
+  for (int i = 0; i < queries; ++i) {
+    const auto id = server.RegisterQuery(
+        MakeQuery(3, {{TermId(1 + i % 4), 1.0}, {TermId(9), 0.3 + 0.1 * i}}));
+    EXPECT_TRUE(id.ok()) << id.status().ToString();
+    ids.push_back(*id);
+  }
+  for (int e = 0; e < epochs; ++e) {
+    std::vector<Document> batch;
+    for (int i = 0; i < 4; ++i) {
+      batch.push_back(MakeDoc({{TermId(1 + (e + i) % 5), 0.3 + 0.07 * i},
+                               {TermId(9), 0.8 - 0.02 * e}},
+                              Timestamp(100 * e + i)));
+    }
+    EXPECT_TRUE(server.IngestBatch(std::move(batch)).ok());
+  }
+  return ids;
+}
+
+void Continue(ShardedServer& server, int epochs, Timestamp t0) {
+  for (int e = 0; e < epochs; ++e) {
+    std::vector<Document> batch;
+    for (int i = 0; i < 3; ++i) {
+      batch.push_back(MakeDoc({{TermId(2 + (e + i) % 4), 0.5 + 0.06 * i},
+                               {TermId(9), 0.4}},
+                              t0 + Timestamp(10 * e + i)));
+    }
+    ASSERT_TRUE(server.IngestBatch(std::move(batch)).ok());
+  }
+}
+
+class CrossShapeRoundTrip
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(CrossShapeRoundTrip, ResultsAndContinuationMatch) {
+  const auto [from, to] = GetParam();
+  ShardedServer original(Options(from));
+  const std::vector<QueryId> ids = Populate(original, 9, 6);
+  std::string bytes;
+  ASSERT_TRUE(original.Checkpoint(&bytes).ok());
+
+  ShardedServer restored(Options(to));
+  ASSERT_TRUE(restored.Restore(bytes).ok());
+  EXPECT_EQ(restored.shard_count(), to);
+  EXPECT_EQ(restored.query_count(), original.query_count());
+  EXPECT_EQ(restored.placement_size(), ids.size());
+  EXPECT_EQ(restored.window_size(), original.window_size());
+  EXPECT_EQ(restored.last_arrival_time(), original.last_arrival_time());
+  EXPECT_EQ(restored.epochs_processed(), original.epochs_processed());
+  for (const QueryId id : ids) {
+    // Remapped to the id-hash home at the new width...
+    EXPECT_EQ(restored.ShardOf(id), id % to) << "query " << id;
+    // ...with the snapshotted result reproduced exactly.
+    const auto got = restored.Result(id);
+    const auto want = original.Result(id);
+    ASSERT_TRUE(got.ok() && want.ok()) << "query " << id;
+    EXPECT_EQ(*got, *want) << "query " << id;
+  }
+  ASSERT_TRUE(restored.ValidatePruningMetadata().ok());
+
+  // The stream continues in lockstep with a reference engine that ran
+  // at the NEW width over the full history — including churn: the
+  // persisted next_query_id carries over, so new ids line up.
+  ShardedServer reference(Options(to));
+  Populate(reference, 9, 6);
+  for (ShardedServer* server : {&restored, &reference}) {
+    ASSERT_TRUE(server->UnregisterQuery(ids[2]).ok());
+    const auto next = server->RegisterQuery(MakeQuery(2, {{TermId(3), 1.5}}));
+    ASSERT_TRUE(next.ok());
+    EXPECT_EQ(*next, ids.back() + 1);
+    Continue(*server, 4, 1'000);
+  }
+  for (QueryId id : ids) {
+    if (id == ids[2]) continue;
+    const auto got = restored.Result(id);
+    const auto want = reference.Result(id);
+    ASSERT_TRUE(got.ok() && want.ok()) << "query " << id;
+    EXPECT_EQ(*got, *want) << "query " << id;
+  }
+  const auto got = restored.Result(ids.back() + 1);
+  const auto want = reference.Result(ids.back() + 1);
+  ASSERT_TRUE(got.ok() && want.ok());
+  EXPECT_EQ(*got, *want);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, CrossShapeRoundTrip,
+                         ::testing::Values(std::make_pair(2u, 4u),
+                                           std::make_pair(4u, 2u),
+                                           std::make_pair(1u, 3u)),
+                         [](const auto& info) {
+                           return std::to_string(info.param.first) + "to" +
+                                  std::to_string(info.param.second);
+                         });
+
+TEST(CrossShapeRestoreTest, RebalancerStateZeroesCrossShapeCarriesSameShape) {
+  ShardedServer original(Options(3));
+  Populate(original, 12, 8);  // aggressive rebalance → nonzero EMAs
+  bool any_load = false;
+  for (const double ema : original.load_ema()) any_load |= ema > 0.0;
+  ASSERT_TRUE(any_load) << "population too small to accumulate load";
+  std::string bytes;
+  ASSERT_TRUE(original.Checkpoint(&bytes).ok());
+
+  // Same shape: the persisted estimates reinstate verbatim.
+  ShardedServer same(Options(3));
+  ASSERT_TRUE(same.Restore(bytes).ok());
+  ASSERT_EQ(same.load_ema().size(), original.load_ema().size());
+  for (std::size_t s = 0; s < same.load_ema().size(); ++s) {
+    EXPECT_DOUBLE_EQ(same.load_ema()[s], original.load_ema()[s])
+        << "shard " << s;
+  }
+  EXPECT_EQ(same.rebalance_stats().queries_migrated,
+            original.rebalance_stats().queries_migrated);
+
+  // Cross shape: the estimates described a 3-wide fleet — a 2-wide
+  // engine starts measuring from scratch.
+  ShardedServer cross(Options(2));
+  ASSERT_TRUE(cross.Restore(bytes).ok());
+  ASSERT_EQ(cross.load_ema().size(), 2u);
+  for (const double ema : cross.load_ema()) EXPECT_EQ(ema, 0.0);
+  EXPECT_EQ(cross.rebalance_stats().queries_migrated, 0u);
+  EXPECT_EQ(cross.rebalance_stats().rebalance_events, 0u);
+}
+
+TEST(CrossShapeRestoreTest, EveryPrefixFailsTypedNeverPartial) {
+  // Small population on purpose: the walk is O(bytes) restores.
+  ShardedServerOptions small = Options(3);
+  small.window = WindowSpec::CountBased(8);
+  ShardedServer original(small);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(
+        original.RegisterQuery(MakeQuery(2, {{TermId(1 + i), 1.0}})).ok());
+  }
+  Continue(original, 2, 0);
+  std::string bytes;
+  ASSERT_TRUE(original.Checkpoint(&bytes).ok());
+
+  ShardedServerOptions two = Options(3);
+  two.window = WindowSpec::CountBased(8);
+  two.shards = 2;
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    ShardedServer engine(two);
+    const Status status = engine.Restore(bytes.substr(0, len));
+    ASSERT_FALSE(status.ok()) << "prefix of " << len << " bytes restored";
+    ASSERT_TRUE(status.IsIoError() || status.IsInvalidArgument() ||
+                status.IsNotFound())
+        << "prefix " << len << ": " << status.ToString();
+  }
+  // The full bytes still restore — the walk didn't corrupt anything.
+  ShardedServer engine(two);
+  ASSERT_TRUE(engine.Restore(bytes).ok());
+}
+
+TEST(CrossShapeRestoreTest, FlippedByteInsideARegistryFailsTyped) {
+  ShardedServer original(Options(2));
+  Populate(original, 6, 3);
+  std::string bytes;
+  ASSERT_TRUE(original.Checkpoint(&bytes).ok());
+  // Damage a byte in the middle — lands inside a section payload; the
+  // container checksum or a registry parse must catch it cross-shape.
+  std::string damaged = bytes;
+  damaged[damaged.size() / 2] ^= 0x40;
+  ShardedServer restored(Options(5));
+  const Status status = restored.Restore(damaged);
+  EXPECT_FALSE(status.ok());
+  // The failed engine is still a valid empty engine, not a partial one.
+  EXPECT_EQ(restored.query_count(), 0u);
+  EXPECT_EQ(restored.window_size(), 0u);
+}
+
+}  // namespace
+}  // namespace ita::exec

@@ -1,0 +1,105 @@
+// The elasticity property (DESIGN.md §14), swept across the whole
+// scenario catalog: switch a sharded engine S→S′ at a randomized epoch
+// barrier — live Reshard and the checkpoint/cross-shape-restore path,
+// under aggressive rebalancing so the pre-switch placement is maximally
+// unlike the id-hash layout — and the run must be observably identical
+// to a twin that ran at S′ from the start: byte-equal notification
+// fingerprints, equal final results, and a clean forced oracle
+// differential (which re-validates the I1/I2 threshold invariants on
+// the post-switch ITA state). Failures print the reshard repro line
+// (--scenario= --seed= --shards= --new-shards= --reshard-epoch=
+// --mode=) for direct replay.
+//
+// CI runs this suite under ASan/UBSan in the persist job's
+// reshard-under-aggressive-rebalancing sweep (ctest -R ReshardProperty
+// with ITA_REBALANCE=aggressive).
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "exec/sharded_server.h"
+#include "sim/event_stream.h"
+#include "sim/reshard_runner.h"
+#include "sim/scenario.h"
+
+namespace ita::sim {
+namespace {
+
+/// The S→S′ pairs the sweep exercises: shrink to fewer shards, grow past
+/// the original width, and scale out from a single shard.
+constexpr std::pair<std::size_t, std::size_t> kShapes[] = {
+    {4, 2},
+    {2, 7},
+    {1, 4},
+};
+
+constexpr ReshardMode kModes[] = {ReshardMode::kLive,
+                                  ReshardMode::kCheckpointRestore};
+
+/// Epochs the preset's stream produces at the trimmed event count —
+/// needed to place the switch strictly inside the stream.
+std::uint64_t EpochCountOf(const ScenarioSpec& spec) {
+  EventStreamGenerator generator(spec);
+  while (generator.NextEpoch().has_value()) {
+  }
+  return generator.epochs_generated();
+}
+
+TEST(ReshardPropertyTest, EveryShapeAndModeConvergesAcrossCatalog) {
+  Rng rng(20260814);
+  for (const ScenarioFactory& factory : ScenarioCatalog()) {
+    ScenarioSpec spec = factory.make(/*seed=*/0xE1A57);
+    spec.events = 1'200;
+    const std::uint64_t epochs = EpochCountOf(spec);
+    ASSERT_GT(epochs, 4u) << factory.name;
+
+    for (const auto& [from, to] : kShapes) {
+      // One randomized switch point per shape; both mechanisms at the
+      // same barrier, so a divergence isolates the mechanism.
+      const std::uint64_t at = 1 + rng.Next() % (epochs - 2);
+      for (const ReshardMode mode : kModes) {
+        ReshardOptions options;
+        options.initial_shards = from;
+        options.new_shards = to;
+        options.reshard_epoch = at;
+        options.mode = mode;
+        options.rebalance.mode = exec::RebalanceMode::kAggressive;
+        ReshardRunner runner(spec, options);
+        const auto report = runner.Run();
+        ASSERT_TRUE(report.ok())
+            << factory.name << ": " << report.status().ToString()
+            << "\n  rerun: " << ReshardRunner::ReproLine(spec, options);
+        EXPECT_GT(report->live_queries, 0u) << factory.name;
+      }
+    }
+  }
+}
+
+TEST(ReshardPropertyTest, BackToBackSwitchesAtTheFirstAndLastBarrier) {
+  // Edge barriers: a switch after the very first epoch (the window is
+  // nearly empty) and after the last (nothing follows the remap but the
+  // final equivalence checks).
+  ScenarioSpec spec = MixedStressScenario(515151);
+  spec.events = 1'000;
+  const std::uint64_t epochs = EpochCountOf(spec);
+  ASSERT_GT(epochs, 2u);
+  for (const std::uint64_t at : {std::uint64_t{0}, epochs - 1}) {
+    ReshardOptions options;
+    options.initial_shards = 3;
+    options.new_shards = 2;
+    options.reshard_epoch = at;
+    options.rebalance.mode = exec::RebalanceMode::kAggressive;
+    const auto report = ReshardRunner(spec, options).Run();
+    ASSERT_TRUE(report.ok())
+        << "switch at epoch " << at << ": " << report.status().ToString()
+        << "\n  rerun: " << ReshardRunner::ReproLine(spec, options);
+  }
+}
+
+}  // namespace
+}  // namespace ita::sim

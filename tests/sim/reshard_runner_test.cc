@@ -1,0 +1,153 @@
+// The elasticity harness itself (sim/reshard_runner.h): a mid-scenario
+// shard-count switch — live Reshard or the checkpoint/cross-shape-
+// restore path — must converge to the notification fingerprint of a
+// twin that ran at the new width all along; option validation,
+// run-to-run reproducibility, and the churn-storm placement regression
+// (no stale placement entries across unregister bursts and a reshard)
+// ride alongside.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/reshard_runner.h"
+#include "sim/scenario.h"
+#include "sim/sim_test_support.h"
+
+namespace ita::sim {
+namespace {
+
+ScenarioSpec SmallSpec(std::uint64_t fallback_seed) {
+  ScenarioSpec spec = ZipfDriftScenario(sim_test::EffectiveSeed(fallback_seed));
+  spec.events = 900;
+  return spec;
+}
+
+TEST(ReshardRunnerTest, LiveSwitchConvergesToTheTwin) {
+  ReshardOptions options;
+  options.initial_shards = 4;
+  options.new_shards = 2;
+  options.reshard_epoch = 9;
+  options.mode = ReshardMode::kLive;
+  ReshardRunner runner(SmallSpec(17), options);
+  const auto report = runner.Run();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_GT(report->epochs, options.reshard_epoch);
+  EXPECT_EQ(report->events, 900u);
+  EXPECT_NE(report->notification_fingerprint, 0u);
+  EXPECT_GT(report->live_queries, 0u);
+  EXPECT_GT(report->switch_nanos, 0u);
+  EXPECT_EQ(report->reshard.reshards, 1u);
+  EXPECT_GT(report->reshard.queries_remapped, 0u);
+  EXPECT_EQ(report->reshard.last_pause_nanos, report->reshard.total_pause_nanos);
+}
+
+TEST(ReshardRunnerTest, CheckpointRestoreSwitchConvergesToTheTwin) {
+  ReshardOptions options;
+  options.initial_shards = 2;
+  options.new_shards = 5;
+  options.reshard_epoch = 7;
+  options.mode = ReshardMode::kCheckpointRestore;
+  ReshardRunner runner(SmallSpec(29), options);
+  const auto report = runner.Run();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_GT(report->switch_nanos, 0u);
+  // The switch replaced the engine — the fresh one never called Reshard.
+  EXPECT_EQ(report->reshard.reshards, 0u);
+}
+
+TEST(ReshardRunnerTest, BothModesAgreeOnTheFingerprint) {
+  // Live and checkpoint-restore are two mechanisms for the same switch;
+  // over the identical stream they must deliver the identical
+  // notification history.
+  std::uint64_t digests[2] = {0, 0};
+  const ReshardMode modes[] = {ReshardMode::kLive,
+                               ReshardMode::kCheckpointRestore};
+  for (int i = 0; i < 2; ++i) {
+    ReshardOptions options;
+    options.initial_shards = 3;
+    options.new_shards = 2;
+    options.reshard_epoch = 6;
+    options.mode = modes[i];
+    options.check_oracle = false;  // the fingerprint compare is the point
+    ReshardRunner runner(SmallSpec(43), options);
+    const auto report = runner.Run();
+    ASSERT_TRUE(report.ok())
+        << ReshardModeName(modes[i]) << ": " << report.status().ToString();
+    digests[i] = report->notification_fingerprint;
+  }
+  EXPECT_EQ(digests[0], digests[1]);
+}
+
+TEST(ReshardRunnerTest, ChurnStormNeverStrandsAPlacementEntry) {
+  // churn_storm unregisters and re-registers queries every epoch;
+  // aggressive rebalancing piles migrations on top, then the switch
+  // remaps whatever survived. The runner itself asserts
+  // placement_size() == live-query count at end of stream — a stale
+  // entry for any unregistered id fails the run.
+  ScenarioSpec spec = ChurnStormScenario(sim_test::EffectiveSeed(61));
+  spec.events = 900;
+  ReshardOptions options;
+  options.initial_shards = 4;
+  options.new_shards = 3;
+  options.reshard_epoch = 11;
+  options.rebalance.mode = exec::RebalanceMode::kAggressive;
+  ReshardRunner runner(spec, options);
+  const auto report = runner.Run();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_GT(report->live_queries, 0u);
+}
+
+TEST(ReshardRunnerTest, RunsAreReproducible) {
+  ReshardOptions options;
+  options.initial_shards = 2;
+  options.new_shards = 4;
+  options.reshard_epoch = 5;
+  options.check_oracle = false;
+  ReshardRunner first(SmallSpec(83), options);
+  ReshardRunner second(SmallSpec(83), options);
+  const auto a = first.Run();
+  const auto b = second.Run();
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  EXPECT_EQ(a->stream_fingerprint, b->stream_fingerprint);
+  EXPECT_EQ(a->notification_fingerprint, b->notification_fingerprint);
+}
+
+TEST(ReshardRunnerTest, RejectsBadOptions) {
+  ReshardOptions options;
+  options.initial_shards = 0;
+  EXPECT_TRUE(
+      ReshardRunner(SmallSpec(1), options).Run().status().IsInvalidArgument());
+
+  options.initial_shards = 2;
+  options.new_shards = 0;
+  EXPECT_TRUE(
+      ReshardRunner(SmallSpec(1), options).Run().status().IsInvalidArgument());
+
+  options.new_shards = 3;
+  options.reshard_epoch = 1'000'000;  // far past the stream's epoch count
+  EXPECT_TRUE(
+      ReshardRunner(SmallSpec(1), options).Run().status().IsInvalidArgument());
+}
+
+TEST(ReshardRunnerTest, ReproLineNamesTheRun) {
+  ScenarioSpec spec = ZipfDriftScenario(123);
+  ReshardOptions options;
+  options.initial_shards = 4;
+  options.new_shards = 7;
+  options.reshard_epoch = 5;
+  options.mode = ReshardMode::kCheckpointRestore;
+  const std::string line = ReshardRunner::ReproLine(spec, options);
+  EXPECT_NE(line.find("--scenario=zipf_drift"), std::string::npos);
+  EXPECT_NE(line.find("--seed=123"), std::string::npos);
+  EXPECT_NE(line.find("--shards=4"), std::string::npos);
+  EXPECT_NE(line.find("--new-shards=7"), std::string::npos);
+  EXPECT_NE(line.find("--reshard-epoch=5"), std::string::npos);
+  EXPECT_NE(line.find("--mode=checkpoint-restore"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ita::sim
